@@ -1,0 +1,66 @@
+//! The §3 scheduler costs, on today's hardware.
+//!
+//! Paper (DECstation 5000/125): an empty function call ≈ 1.2 µs; "the
+//! time required by our scheduler to create a thread, terminate the
+//! current thread, and switch to the new thread is approximately 30 µs
+//! ... the cost of a thread switch is the cost of only a few function
+//! calls." The claim under test is that ratio (~25×) and the
+//! few-function-calls property.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fox_scheduler::Scheduler;
+use foxbasis::time::{VirtualDuration, VirtualTime};
+use std::hint::black_box;
+
+#[inline(never)]
+fn empty_function(x: u64) -> u64 {
+    black_box(x)
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("empty_function_call", |b| b.iter(|| empty_function(black_box(1))));
+
+    // Fork a thread, run it to termination, switch back: the paper's
+    // 30 µs operation.
+    c.bench_function("fork_terminate_switch", |b| {
+        let mut s = Scheduler::new();
+        b.iter(|| {
+            s.fork(Box::new(|_s| {
+                black_box(0u64);
+            }));
+            s.run_ready();
+        })
+    });
+
+    // A batch of 100 coroutines run round-robin.
+    c.bench_function("round_robin_100_switches", |b| {
+        b.iter(|| {
+            let mut s = Scheduler::new();
+            for _ in 0..100 {
+                s.fork(Box::new(|_s| {
+                    black_box(0u64);
+                }));
+            }
+            s.run_ready();
+        })
+    });
+
+    // Sleep-queue (binary heap) insert + extract.
+    c.bench_function("sleep_queue_insert_extract_64", |b| {
+        b.iter(|| {
+            let mut s = Scheduler::new();
+            for i in 0..64u64 {
+                s.sleep(
+                    VirtualDuration::from_micros((i * 37) % 1000),
+                    Box::new(|_s| {
+                        black_box(0u64);
+                    }),
+                );
+            }
+            s.advance_to(VirtualTime::from_millis(2));
+        })
+    });
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

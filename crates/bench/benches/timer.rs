@@ -1,0 +1,67 @@
+//! The Fig. 11 timer, on today's hardware.
+//!
+//! "The entire code for starting a timer, clearing a timer, and timer
+//! expiration is shown in Figure 11 ... it is simple and fast. A simple
+//! timer implementation such as this one depends for performance on
+//! having both fast thread creation and switching, and fast heap
+//! allocation of the shared state."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fox_scheduler::{timer, Scheduler};
+use foxbasis::time::VirtualTime;
+use std::hint::black_box;
+
+fn bench_timer(c: &mut Criterion) {
+    // start + clear before expiry (the common case: the ACK arrives and
+    // the retransmit timer is cancelled).
+    c.bench_function("timer_start_clear", |b| {
+        let mut s = Scheduler::new();
+        b.iter(|| {
+            let h = timer::start_ms(
+                &mut s,
+                1000,
+                Box::new(|_s| {
+                    black_box(0u64);
+                }),
+            );
+            h.clear();
+            s.run_ready(); // park the sleeper thread
+        })
+    });
+
+    // start + expire (the timeout path): fork, sleep, wake, run handler.
+    c.bench_function("timer_start_expire", |b| {
+        b.iter(|| {
+            let mut s = Scheduler::new();
+            timer::start_ms(
+                &mut s,
+                1,
+                Box::new(|_s| {
+                    black_box(0u64);
+                }),
+            );
+            s.run_until_idle();
+        })
+    });
+
+    // 64 concurrent timers expiring in order (a busy host's retransmit,
+    // delayed-ack and persist timers across many connections).
+    c.bench_function("timer_64_concurrent", |b| {
+        b.iter(|| {
+            let mut s = Scheduler::new();
+            for i in 0..64u64 {
+                timer::start_ms(
+                    &mut s,
+                    1 + (i % 7),
+                    Box::new(|_s| {
+                        black_box(0u64);
+                    }),
+                );
+            }
+            s.advance_to(VirtualTime::from_millis(10));
+        })
+    });
+}
+
+criterion_group!(benches, bench_timer);
+criterion_main!(benches);

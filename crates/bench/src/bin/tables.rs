@@ -1,0 +1,145 @@
+//! Regenerates every table and in-text measurement of the paper's §5.
+//!
+//! Usage:
+//!   cargo run --release -p foxbench --bin tables             # everything
+//!   cargo run --release -p foxbench --bin tables -- table1   # one item
+//!
+//! Items: table1, table2, gc, gcpause, ablations, matrix, loss, micro
+
+use foxbasis::time::VirtualDuration;
+use foxharness::experiments as exp;
+use std::time::Instant;
+
+fn want(args: &[String], name: &str) -> bool {
+    args.is_empty() || args.iter().any(|a| a == name)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = 42;
+
+    if want(&args, "table1") {
+        println!("running Table 1 (two 10^6-byte transfers + RTT runs)...\n");
+        let t1 = exp::table1(seed);
+        println!("{}", exp::render_table1(&t1));
+    }
+
+    if want(&args, "table2") {
+        println!("running Table 2 (profiled 10^6-byte transfer, counters on)...\n");
+        let t2 = exp::table2(seed);
+        println!("{}", exp::render_table2(&t2));
+    }
+
+    if want(&args, "gc") {
+        println!("running the GC study (transfer-size sweep)...\n");
+        let rows = exp::gc_study(&[500_000, 1_000_000, 2_000_000, 5_000_000, 8_000_000], seed);
+        println!("{}", exp::render_gc_study(&rows));
+    }
+
+    if want(&args, "gcpause") {
+        println!("running the GC pause study (stop-and-copy vs incremental)...\n");
+        let t = exp::gc_pause_study(400, seed);
+        println!("{}", exp::render_gc_pause_study(&t));
+    }
+
+    if want(&args, "ablations") {
+        println!("running the ablations (design-choice sweep)...\n");
+        let rows = exp::ablations(500_000, seed);
+        println!("{}", exp::render_ablations(&rows));
+    }
+
+    if want(&args, "matrix") {
+        println!("running the interoperation matrix...\n");
+        let rows = exp::interop_matrix(300_000, seed);
+        println!("{}", exp::render_interop_matrix(&rows));
+    }
+
+    if want(&args, "loss") {
+        println!("running the loss sweep...\n");
+        let rows = exp::loss_sweep(200_000, seed);
+        println!("{}", exp::render_loss_sweep(&rows));
+    }
+
+    if want(&args, "micro") {
+        println!("quick wall-clock microbenchmarks (see Criterion benches for rigor):\n");
+        micro();
+    }
+}
+
+/// Quick-and-dirty wall-clock versions of the Criterion microbenches, so
+/// the tables binary is self-contained.
+fn micro() {
+    use foxbasis::checksum::{byte_check, word_check};
+    use foxbasis::copy::{byte_copy, checked_word_copy, optimized_copy};
+    use foxbasis::wordarray::WordArray;
+
+    let kb = 64usize;
+    let data: Vec<u8> = (0..kb * 1024).map(|i| (i % 251) as u8).collect();
+    let reps = 2000;
+
+    let time_per_kb = |f: &mut dyn FnMut() -> u16| {
+        let t0 = Instant::now();
+        let mut acc = 0u16;
+        for _ in 0..reps {
+            acc = acc.wrapping_add(f());
+        }
+        std::hint::black_box(acc);
+        t0.elapsed().as_nanos() as f64 / (reps as f64 * kb as f64) // ns per KB
+    };
+
+    let w = time_per_kb(&mut || word_check(&data));
+    let b = time_per_kb(&mut || byte_check(&data));
+    println!("checksum (per KB):");
+    println!("  word_check (Fig. 10)  {w:8.1} ns/KB   (paper: 343,000 ns/KB on the DECstation)");
+    println!("  byte_check (x-kernel) {b:8.1} ns/KB   (paper: 375,000 ns/KB)");
+    println!("  algorithm speedup: {:.2}x (paper: 1.09x)", b / w);
+    println!();
+
+    let src = WordArray::from_slice(&data);
+    let mut dst = WordArray::new(data.len());
+    let mut dst2 = vec![0u8; data.len()];
+    let time_copy = |f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t0.elapsed().as_nanos() as f64 / (reps as f64 * kb as f64)
+    };
+    let cw = time_copy(&mut || checked_word_copy(&src, &mut dst));
+    let cb = time_copy(&mut || byte_copy(&src, &mut dst));
+    let co = time_copy(&mut || optimized_copy(&data, &mut dst2));
+    println!("copy (per KB):");
+    println!("  checked word copy     {cw:8.1} ns/KB   (paper SML: 300,000 ns/KB)");
+    println!("  checked byte copy     {cb:8.1} ns/KB");
+    println!("  memcpy (bcopy)        {co:8.1} ns/KB   (paper: 61,000 ns/KB)");
+    println!("  checked/memcpy ratio: {:.1}x (paper: ~5x)", cw / co.max(0.01));
+    println!();
+
+    // Scheduler: empty call vs fork+switch.
+    use fox_scheduler::Scheduler;
+    let t0 = Instant::now();
+    let n = 5_000_000u64;
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc = acc.wrapping_add(std::hint::black_box(i));
+    }
+    std::hint::black_box(acc);
+    let call = t0.elapsed().as_nanos() as f64 / n as f64;
+
+    let mut s = Scheduler::new();
+    let t0 = Instant::now();
+    let m = 200_000u64;
+    for _ in 0..m {
+        s.fork(Box::new(|_| {
+            std::hint::black_box(0u64);
+        }));
+        s.run_ready();
+    }
+    let switch = t0.elapsed().as_nanos() as f64 / m as f64;
+    println!("scheduler:");
+    println!("  baseline op           {call:8.2} ns     (paper empty call: 1,200 ns)");
+    println!("  fork+terminate+switch {switch:8.1} ns     (paper: 30,000 ns)");
+    println!("  ratio: {:.0}x (paper: ~25x)", switch / call.max(0.01));
+    println!();
+    let _ = VirtualDuration::ZERO;
+}

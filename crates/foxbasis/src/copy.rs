@@ -1,0 +1,135 @@
+//! Data-copy routines, the second "data-touching" operation the paper
+//! measures (§5).
+//!
+//! The paper's copy routines were written in SML and ran at about
+//! 300 µs/KB for word-aligned copies on a DECstation 5000/125 —
+//! roughly one fifth the speed of the C library `bcopy` (61 µs/KB) —
+//! because "the current compiler fails to optimize accesses to
+//! successive elements of arrays and thus checks array bounds on every
+//! access and recomputes pointers on every access".
+//!
+//! Three routines reproduce the comparison:
+//! * [`checked_word_copy`] — the paper's SML style: explicit indices,
+//!   4 bytes per iteration, a bounds check on every single access (we
+//!   force the checks through [`WordArray`]'s checked accessors so the
+//!   optimizer cannot hoist them, as the 1994 SML/NJ compiler could not);
+//! * [`byte_copy`] — the naive one-byte-at-a-time variant;
+//! * [`optimized_copy`] — the `bcopy` equivalent (`copy_from_slice`,
+//!   which lowers to `memcpy`).
+//!
+//! The `copy` Criterion bench measures all three; the virtual cost model
+//! charges the paper's constants.
+
+use crate::wordarray::WordArray;
+
+/// Copies `src` into `dst` the way the paper's SML copy loop did: word
+/// at a time, with a bounds check on every access.
+///
+/// # Panics
+/// Panics if `dst` is shorter than `src`.
+pub fn checked_word_copy(src: &WordArray, dst: &mut WordArray) {
+    assert!(dst.len() >= src.len(), "checked_word_copy: destination too short");
+    let limit = src.len() & !3;
+    let mut n = 0;
+    // Tail-recursive loop in the original; the compiler kept the
+    // arguments in registers but re-checked bounds each access.
+    while n < limit {
+        let word = src.sub4(n);
+        dst.update4(n, word);
+        n += 4;
+    }
+    while n < src.len() {
+        let b = src.sub1(n);
+        dst.update1(n, b);
+        n += 1;
+    }
+}
+
+/// Copies `src` into `dst` one byte at a time with per-access checks.
+///
+/// # Panics
+/// Panics if `dst` is shorter than `src`.
+pub fn byte_copy(src: &WordArray, dst: &mut WordArray) {
+    assert!(dst.len() >= src.len(), "byte_copy: destination too short");
+    let mut n = 0;
+    while n < src.len() {
+        let b = src.sub1(n);
+        dst.update1(n, b);
+        n += 1;
+    }
+}
+
+/// Copies `src` into the front of `dst` using the platform `memcpy`
+/// (the `bcopy` of the paper's comparison).
+///
+/// # Panics
+/// Panics if `dst` is shorter than `src`.
+pub fn optimized_copy(src: &[u8], dst: &mut [u8]) {
+    assert!(dst.len() >= src.len(), "optimized_copy: destination too short");
+    dst[..src.len()].copy_from_slice(src);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arr(data: &[u8]) -> WordArray {
+        WordArray::from_slice(data)
+    }
+
+    #[test]
+    fn word_copy_copies_all_lengths() {
+        for len in 0..32 {
+            let src: Vec<u8> = (0..len as u8).collect();
+            let mut dst = WordArray::new(len);
+            checked_word_copy(&arr(&src), &mut dst);
+            assert_eq!(dst.as_slice(), &src[..]);
+        }
+    }
+
+    #[test]
+    fn byte_copy_copies() {
+        let src = arr(b"hello world");
+        let mut dst = WordArray::new(16);
+        byte_copy(&src, &mut dst);
+        assert_eq!(&dst.as_slice()[..11], b"hello world");
+    }
+
+    #[test]
+    fn optimized_copy_copies() {
+        let mut dst = [0u8; 8];
+        optimized_copy(b"abcd", &mut dst);
+        assert_eq!(&dst[..4], b"abcd");
+    }
+
+    #[test]
+    #[should_panic(expected = "destination too short")]
+    fn word_copy_short_destination_panics() {
+        let mut dst = WordArray::new(2);
+        checked_word_copy(&arr(b"abcdef"), &mut dst);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination too short")]
+    fn optimized_copy_short_destination_panics() {
+        let mut dst = [0u8; 1];
+        optimized_copy(b"ab", &mut dst);
+    }
+
+    proptest! {
+        #[test]
+        fn all_copies_agree(src in proptest::collection::vec(any::<u8>(), 0..512), pad in 0usize..8) {
+            let a = arr(&src);
+            let mut d1 = WordArray::new(src.len() + pad);
+            let mut d2 = WordArray::new(src.len() + pad);
+            let mut d3 = vec![0u8; src.len() + pad];
+            checked_word_copy(&a, &mut d1);
+            byte_copy(&a, &mut d2);
+            optimized_copy(&src, &mut d3);
+            prop_assert_eq!(&d1.as_slice()[..src.len()], &src[..]);
+            prop_assert_eq!(&d2.as_slice()[..src.len()], &src[..]);
+            prop_assert_eq!(&d3[..src.len()], &src[..]);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # Fox Basis
+//!
+//! The utility substrate of FoxNet-RS, mirroring the Fox Project's
+//! `FOX_BASIS` structure that every protocol functor in the paper takes as
+//! a parameter ("`structure B: FOX_BASIS (* our utilities *)`", Fig. 4 of
+//! Biagioni, *A Structured TCP in Standard ML*, SIGCOMM '94).
+//!
+//! It contains:
+//!
+//! * [`fifo`] — the FIFO queue (`structure Q: FIFO` in Fig. 6), used for
+//!   the per-connection `to_do` action queue and the out-of-order queue;
+//! * [`deq`] — the double-ended queue (`structure D: DEQ` in Fig. 6),
+//!   used for the queue of unsent outgoing packets;
+//! * [`ring`] — a byte ring buffer used for socket send/receive buffers;
+//! * [`wordarray`] — safe byte arrays with 1/2/4-byte big-endian access,
+//!   the Rust rendering of the Fox extensions' in-lined byte arrays and
+//!   `Byte2`/`Byte4` operations;
+//! * [`mod@checksum`] — the Internet checksum, including a line-for-line port
+//!   of the paper's Fig. 10 `word_check` loop plus the slower
+//!   byte-oriented algorithm the x-kernel used, and incremental update;
+//! * [`copy`] — the copy routines whose cost the paper reports
+//!   (300 µs/KB in SML vs 61 µs/KB for `bcopy` on a DECstation 5000/125);
+//! * [`seq`] — TCP sequence-number arithmetic (modulo 2^32);
+//! * [`time`] — the virtual-time types used by the deterministic
+//!   simulation substrate;
+//! * [`profile`] — the profiling-counter infrastructure reproducing the
+//!   paper's memory-mapped hardware counters (15 µs per update), which
+//!   generates Table 2;
+//! * [`trace`] — the `do_prints` / `do_traces` debug hooks every functor
+//!   in the paper accepts.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod copy;
+pub mod deq;
+pub mod fifo;
+pub mod profile;
+pub mod ring;
+pub mod seq;
+pub mod time;
+pub mod trace;
+pub mod wordarray;
+
+pub use checksum::{checksum, ones_complement_sum, ChecksumAccum};
+pub use deq::Deq;
+pub use fifo::Fifo;
+pub use profile::{Account, Profiler};
+pub use ring::RingBuffer;
+pub use seq::Seq;
+pub use time::{VirtualDuration, VirtualTime};
+pub use trace::Trace;
+pub use wordarray::WordArray;

@@ -1,0 +1,234 @@
+//! A fixed-capacity byte ring buffer.
+//!
+//! TCP's send and receive buffers are bounded byte queues: the receive
+//! window the connection advertises is exactly the free space of the
+//! receive ring (the paper standardizes it to 4096 bytes for the Table 1
+//! benchmark), and the send ring holds bytes the user has written but the
+//! Send module has not yet segmented.
+
+use std::fmt;
+
+/// A fixed-capacity FIFO of bytes.
+///
+/// ```
+/// use foxbasis::ring::RingBuffer;
+/// let mut ring = RingBuffer::new(8);
+/// assert_eq!(ring.write(b"hello"), 5);
+/// assert_eq!(ring.free(), 3); // the window a TCP would advertise
+/// let mut out = [0u8; 8];
+/// assert_eq!(ring.read(&mut out), 5);
+/// assert_eq!(&out[..5], b"hello");
+/// ```
+pub struct RingBuffer {
+    data: Vec<u8>,
+    /// Index of the first valid byte.
+    head: usize,
+    /// Number of valid bytes.
+    len: usize,
+}
+
+impl RingBuffer {
+    /// Creates a ring holding at most `capacity` bytes.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBuffer { data: vec![0; capacity], head: 0, len: 0 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bytes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Free space, i.e. how many more bytes [`write`](Self::write) will
+    /// accept. For a TCP receive buffer this is the window to advertise.
+    pub fn free(&self) -> usize {
+        self.capacity() - self.len
+    }
+
+    /// Appends as much of `src` as fits; returns the number of bytes
+    /// accepted.
+    pub fn write(&mut self, src: &[u8]) -> usize {
+        let n = src.len().min(self.free());
+        let cap = self.capacity();
+        let mut at = (self.head + self.len) % cap;
+        for &b in &src[..n] {
+            self.data[at] = b;
+            at = (at + 1) % cap;
+        }
+        self.len += n;
+        n
+    }
+
+    /// Removes up to `dst.len()` bytes into `dst`; returns the number of
+    /// bytes produced.
+    pub fn read(&mut self, dst: &mut [u8]) -> usize {
+        let n = self.peek(dst);
+        self.skip(n);
+        n
+    }
+
+    /// Copies up to `dst.len()` bytes into `dst` without consuming them;
+    /// returns the number of bytes copied.
+    pub fn peek(&self, dst: &mut [u8]) -> usize {
+        let n = dst.len().min(self.len);
+        let cap = self.capacity();
+        for (i, slot) in dst[..n].iter_mut().enumerate() {
+            *slot = self.data[(self.head + i) % cap];
+        }
+        n
+    }
+
+    /// Copies up to `max` bytes starting `offset` bytes past the head,
+    /// without consuming anything. Used by the retransmission path, which
+    /// must be able to re-read bytes that are sent but unacknowledged.
+    pub fn peek_at(&self, offset: usize, dst: &mut [u8]) -> usize {
+        if offset >= self.len {
+            return 0;
+        }
+        let n = dst.len().min(self.len - offset);
+        let cap = self.capacity();
+        for (i, slot) in dst[..n].iter_mut().enumerate() {
+            *slot = self.data[(self.head + offset + i) % cap];
+        }
+        n
+    }
+
+    /// Discards up to `n` bytes from the front; returns the number
+    /// discarded.
+    pub fn skip(&mut self, n: usize) -> usize {
+        let n = n.min(self.len);
+        self.head = (self.head + n) % self.capacity();
+        self.len -= n;
+        n
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+impl fmt::Debug for RingBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RingBuffer({}/{} bytes)", self.len, self.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut r = RingBuffer::new(8);
+        assert_eq!(r.write(b"hello"), 5);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.free(), 3);
+        let mut buf = [0u8; 8];
+        assert_eq!(r.read(&mut buf), 5);
+        assert_eq!(&buf[..5], b"hello");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn write_truncates_at_capacity() {
+        let mut r = RingBuffer::new(4);
+        assert_eq!(r.write(b"abcdef"), 4);
+        assert_eq!(r.free(), 0);
+        assert_eq!(r.write(b"x"), 0);
+        let mut buf = [0u8; 4];
+        r.read(&mut buf);
+        assert_eq!(&buf, b"abcd");
+    }
+
+    #[test]
+    fn wraps_around() {
+        let mut r = RingBuffer::new(4);
+        r.write(b"abc");
+        let mut buf = [0u8; 2];
+        r.read(&mut buf);
+        assert_eq!(&buf, b"ab");
+        assert_eq!(r.write(b"def"), 3);
+        let mut out = [0u8; 4];
+        assert_eq!(r.read(&mut out), 4);
+        assert_eq!(&out, b"cdef");
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut r = RingBuffer::new(8);
+        r.write(b"data");
+        let mut buf = [0u8; 4];
+        assert_eq!(r.peek(&mut buf), 4);
+        assert_eq!(&buf, b"data");
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn peek_at_offset_for_retransmission() {
+        let mut r = RingBuffer::new(8);
+        r.write(b"abcdef");
+        let mut buf = [0u8; 3];
+        assert_eq!(r.peek_at(2, &mut buf), 3);
+        assert_eq!(&buf, b"cde");
+        assert_eq!(r.peek_at(6, &mut buf), 0);
+        assert_eq!(r.peek_at(5, &mut buf), 1);
+        assert_eq!(buf[0], b'f');
+    }
+
+    #[test]
+    fn peek_at_wraps() {
+        let mut r = RingBuffer::new(4);
+        r.write(b"abcd");
+        r.skip(3);
+        r.write(b"efg");
+        let mut buf = [0u8; 4];
+        assert_eq!(r.peek_at(1, &mut buf), 3);
+        assert_eq!(&buf[..3], b"efg");
+    }
+
+    #[test]
+    fn skip_bounds() {
+        let mut r = RingBuffer::new(4);
+        r.write(b"ab");
+        assert_eq!(r.skip(10), 2);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = RingBuffer::new(0);
+    }
+
+    #[test]
+    fn stress_sequential_integrity() {
+        // Pump a pseudo-random byte stream through a tiny ring and verify
+        // the output equals the input.
+        let mut r = RingBuffer::new(7);
+        let src: Vec<u8> = (0..1000u32).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
+        let mut out = Vec::new();
+        let mut written = 0;
+        while out.len() < src.len() {
+            written += r.write(&src[written..(written + 3).min(src.len())]);
+            let mut buf = [0u8; 2];
+            let n = r.read(&mut buf);
+            out.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(out, src);
+    }
+}

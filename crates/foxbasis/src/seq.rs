@@ -1,0 +1,194 @@
+//! TCP sequence-number arithmetic (modulo 2^32).
+//!
+//! The paper's SML extensions added `ubyte4` (unsigned 4-byte integers)
+//! precisely because "the SML int type is inadequate in number of bits
+//! ... in being signed, and in the operations it supports" — TCP sequence
+//! numbers live in a 32-bit circular space where `a < b` means "a is at
+//! most 2^31 - 1 behind b". [`Seq`] packages that space with the
+//! comparisons RFC 793 uses throughout its SEGMENT-ARRIVES processing
+//! (`SND.UNA < SEG.ACK =< SND.NXT` and friends).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence number.
+///
+/// ```
+/// use foxbasis::seq::Seq;
+/// // Ordering survives wraparound:
+/// assert!(Seq(u32::MAX).lt(Seq(5)));
+/// // RFC 793's ACK test, SND.UNA < SEG.ACK <= SND.NXT:
+/// assert!(Seq(1500).in_open_closed(Seq(1000), Seq(2000)));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Seq(pub u32);
+
+impl Seq {
+    /// The raw 32-bit value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Circular "strictly less than": true iff `self` precedes `other`
+    /// by between 1 and 2^31 - 1 positions.
+    pub fn lt(self, other: Seq) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) > 0
+    }
+
+    /// Circular "less than or equal".
+    pub fn le(self, other: Seq) -> bool {
+        self == other || self.lt(other)
+    }
+
+    /// Circular "strictly greater than".
+    pub fn gt(self, other: Seq) -> bool {
+        other.lt(self)
+    }
+
+    /// Circular "greater than or equal".
+    pub fn ge(self, other: Seq) -> bool {
+        other.le(self)
+    }
+
+    /// RFC 793's half-open acceptance test: `low < self <= high`
+    /// (the form used for `SND.UNA < SEG.ACK =< SND.NXT`).
+    pub fn in_open_closed(self, low: Seq, high: Seq) -> bool {
+        low.lt(self) && self.le(high)
+    }
+
+    /// Closed-open window test: `low <= self < low + len`
+    /// (the form used for `RCV.NXT =< SEG.SEQ < RCV.NXT + RCV.WND`).
+    pub fn in_window(self, low: Seq, len: u32) -> bool {
+        self.0.wrapping_sub(low.0) < len
+    }
+
+    /// The distance from `earlier` to `self`, assuming `earlier <= self`
+    /// circularly. Returns a value in `[0, 2^32)`.
+    pub fn since(self, earlier: Seq) -> u32 {
+        self.0.wrapping_sub(earlier.0)
+    }
+}
+
+impl Add<u32> for Seq {
+    type Output = Seq;
+    fn add(self, n: u32) -> Seq {
+        Seq(self.0.wrapping_add(n))
+    }
+}
+
+impl AddAssign<u32> for Seq {
+    fn add_assign(&mut self, n: u32) {
+        self.0 = self.0.wrapping_add(n);
+    }
+}
+
+impl Sub<u32> for Seq {
+    type Output = Seq;
+    fn sub(self, n: u32) -> Seq {
+        Seq(self.0.wrapping_sub(n))
+    }
+}
+
+impl fmt::Debug for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Seq({})", self.0)
+    }
+}
+
+impl fmt::Display for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_ordering() {
+        assert!(Seq(1).lt(Seq(2)));
+        assert!(!Seq(2).lt(Seq(1)));
+        assert!(!Seq(5).lt(Seq(5)));
+        assert!(Seq(5).le(Seq(5)));
+        assert!(Seq(9).gt(Seq(3)));
+        assert!(Seq(3).ge(Seq(3)));
+    }
+
+    #[test]
+    fn ordering_across_wraparound() {
+        let near_max = Seq(u32::MAX - 1);
+        let wrapped = Seq(5);
+        assert!(near_max.lt(wrapped));
+        assert!(wrapped.gt(near_max));
+        assert_eq!(wrapped.since(near_max), 7);
+    }
+
+    #[test]
+    fn half_space_boundary() {
+        // Exactly 2^31 apart: neither strictly precedes the other by the
+        // RFC's definition; lt must be false both ways.
+        let a = Seq(0);
+        let b = Seq(1 << 31);
+        assert!(!a.lt(b));
+        assert!(!b.lt(a));
+        // One short of half the space: ordered.
+        let c = Seq((1 << 31) - 1);
+        assert!(a.lt(c));
+        assert!(!c.lt(a));
+    }
+
+    #[test]
+    fn ack_acceptance_test() {
+        // SND.UNA < SEG.ACK <= SND.NXT
+        let una = Seq(1000);
+        let nxt = Seq(2000);
+        assert!(Seq(1001).in_open_closed(una, nxt));
+        assert!(Seq(2000).in_open_closed(una, nxt));
+        assert!(!Seq(1000).in_open_closed(una, nxt));
+        assert!(!Seq(2001).in_open_closed(una, nxt));
+    }
+
+    #[test]
+    fn window_test() {
+        let rcv_nxt = Seq(u32::MAX - 2);
+        assert!(rcv_nxt.in_window(rcv_nxt, 10));
+        assert!(Seq(3).in_window(rcv_nxt, 10)); // wrapped into window
+        assert!(!Seq(8).in_window(rcv_nxt, 10));
+        assert!(!Seq(u32::MAX - 3).in_window(rcv_nxt, 10)); // just before
+        assert!(!rcv_nxt.in_window(rcv_nxt, 0)); // zero window admits nothing
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(Seq(u32::MAX) + 2, Seq(1));
+        assert_eq!(Seq(1) - 3, Seq(u32::MAX - 1));
+        let mut s = Seq(u32::MAX);
+        s += 1;
+        assert_eq!(s, Seq(0));
+    }
+
+    proptest! {
+        #[test]
+        fn lt_is_antisymmetric_off_boundary(a: u32, d in 1u32..(1 << 31)) {
+            let x = Seq(a);
+            let y = Seq(a.wrapping_add(d));
+            prop_assert!(x.lt(y));
+            prop_assert!(!y.lt(x));
+        }
+
+        #[test]
+        fn since_inverts_add(a: u32, d: u32) {
+            let x = Seq(a);
+            prop_assert_eq!((x + d).since(x), d);
+        }
+
+        #[test]
+        fn window_membership_matches_linear_model(base: u32, len in 0u32..65536, off: u32) {
+            let s = Seq(base.wrapping_add(off));
+            let member = s.in_window(Seq(base), len);
+            prop_assert_eq!(member, off < len);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Virtual time for the deterministic simulation substrate.
+//!
+//! The paper's determinism claim — "once the actions have been placed on
+//! the queue the behavior of TCP is completely deterministic and
+//! testable" — only holds at whole-system scale if the clock itself is
+//! deterministic. All of FoxNet-RS therefore runs on a discrete virtual
+//! clock with microsecond resolution; real wall-clock time never enters
+//! protocol code.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation clock, in microseconds since simulation
+/// start.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(u64);
+
+/// A span of simulation time, in microseconds.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualDuration(u64);
+
+impl VirtualTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Builds an instant from microseconds since the epoch.
+    pub const fn from_micros(us: u64) -> Self {
+        VirtualTime(us)
+    }
+
+    /// Builds an instant from milliseconds since the epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        VirtualTime(ms * 1_000)
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds since the epoch (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since the epoch, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The time elapsed since `earlier`, saturating to zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: VirtualTime) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// `self + d`, saturating at the maximum representable instant.
+    pub fn saturating_add(self, d: VirtualDuration) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(d.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.min(other.0))
+    }
+}
+
+impl VirtualDuration {
+    /// Zero-length duration.
+    pub const ZERO: VirtualDuration = VirtualDuration(0);
+
+    /// Builds a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        VirtualDuration(us)
+    }
+
+    /// Builds a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        VirtualDuration(ms * 1_000)
+    }
+
+    /// Builds a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        VirtualDuration(s * 1_000_000)
+    }
+
+    /// Builds a duration from fractional seconds, rounding to the nearest
+    /// microsecond. Negative values clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            VirtualDuration(0)
+        } else {
+            VirtualDuration((s * 1e6).round() as u64)
+        }
+    }
+
+    /// Microseconds in this duration.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds in this duration (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// `self - other`, saturating at zero.
+    pub fn saturating_sub(self, other: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// `self * n`, saturating.
+    pub fn saturating_mul(self, n: u64) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_mul(n))
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.min(other.0))
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<VirtualDuration> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, d: VirtualDuration) -> VirtualTime {
+        VirtualTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<VirtualDuration> for VirtualTime {
+    fn add_assign(&mut self, d: VirtualDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = VirtualDuration;
+    fn sub(self, earlier: VirtualTime) -> VirtualDuration {
+        VirtualDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("virtual time subtraction underflow"),
+        )
+    }
+}
+
+impl Add for VirtualDuration {
+    type Output = VirtualDuration;
+    fn add(self, o: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0 + o.0)
+    }
+}
+
+impl AddAssign for VirtualDuration {
+    fn add_assign(&mut self, o: VirtualDuration) {
+        self.0 += o.0;
+    }
+}
+
+impl Sub for VirtualDuration {
+    type Output = VirtualDuration;
+    fn sub(self, o: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(
+            self.0
+                .checked_sub(o.0)
+                .expect("virtual duration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for VirtualDuration {
+    fn sub_assign(&mut self, o: VirtualDuration) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    fn mul(self, n: u64) -> VirtualDuration {
+        VirtualDuration(self.0 * n)
+    }
+}
+
+impl Div<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    fn div(self, n: u64) -> VirtualDuration {
+        VirtualDuration(self.0 / n)
+    }
+}
+
+impl fmt::Debug for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}us", self.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = VirtualTime::from_millis(3);
+        assert_eq!(t.as_micros(), 3_000);
+        assert_eq!(t.as_millis(), 3);
+        let d = VirtualDuration::from_secs(2);
+        assert_eq!(d.as_micros(), 2_000_000);
+        assert_eq!(d.as_millis(), 2_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = VirtualTime::from_micros(100);
+        let d = VirtualDuration::from_micros(50);
+        assert_eq!((t + d).as_micros(), 150);
+        assert_eq!(((t + d) - t).as_micros(), 50);
+        assert_eq!((d + d).as_micros(), 100);
+        assert_eq!((d * 3).as_micros(), 150);
+        assert_eq!((d / 2).as_micros(), 25);
+        assert_eq!((d - VirtualDuration::from_micros(20)).as_micros(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn time_subtraction_underflow_panics() {
+        let _ = VirtualTime::from_micros(1) - VirtualTime::from_micros(2);
+    }
+
+    #[test]
+    fn saturating_operations() {
+        let early = VirtualTime::from_micros(10);
+        let late = VirtualTime::from_micros(20);
+        assert_eq!(early.saturating_since(late), VirtualDuration::ZERO);
+        assert_eq!(late.saturating_since(early).as_micros(), 10);
+        let d = VirtualDuration::from_micros(5);
+        assert_eq!(d.saturating_sub(VirtualDuration::from_micros(9)), VirtualDuration::ZERO);
+        assert_eq!(
+            VirtualDuration::from_micros(u64::MAX).saturating_mul(2).as_micros(),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn min_max() {
+        let a = VirtualTime::from_micros(1);
+        let b = VirtualTime::from_micros(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let x = VirtualDuration::from_micros(1);
+        let y = VirtualDuration::from_micros(2);
+        assert_eq!(x.max(y), y);
+        assert_eq!(x.min(y), x);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(VirtualDuration::from_secs_f64(0.0000015).as_micros(), 2);
+        assert_eq!(VirtualDuration::from_secs_f64(-1.0), VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", VirtualDuration::from_micros(7)), "7us");
+        assert_eq!(format!("{}", VirtualDuration::from_micros(7_500)), "7.500ms");
+        assert_eq!(format!("{}", VirtualDuration::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", VirtualTime::from_micros(1_500_000)), "1.500000s");
+    }
+}

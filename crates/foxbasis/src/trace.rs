@@ -1,0 +1,122 @@
+//! Debug print and trace hooks.
+//!
+//! Every functor in the paper takes `val do_prints: bool` and
+//! `val do_traces: bool` (Fig. 4). [`Trace`] is the Rust equivalent: a
+//! cheap, cloneable handle that collects messages into a shared log (so
+//! tests can assert on them) and optionally echoes to stderr. The closure
+//! taken by [`Trace::trace`] is only evaluated when tracing is on, the
+//! same staging trick the paper uses higher-order functions for.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A named print/trace sink.
+#[derive(Clone)]
+pub struct Trace {
+    name: &'static str,
+    do_prints: bool,
+    do_traces: bool,
+    log: Rc<RefCell<Vec<String>>>,
+}
+
+impl Trace {
+    /// Creates a sink for module `name`. `do_prints` echoes messages to
+    /// stderr as they happen; `do_traces` enables the (lazier, more
+    /// verbose) trace channel.
+    pub fn new(name: &'static str, do_prints: bool, do_traces: bool) -> Self {
+        Trace { name, do_prints, do_traces, log: Rc::new(RefCell::new(Vec::new())) }
+    }
+
+    /// A silent sink.
+    pub fn silent(name: &'static str) -> Self {
+        Trace::new(name, false, false)
+    }
+
+    /// True if the verbose trace channel is on.
+    pub fn tracing(&self) -> bool {
+        self.do_traces
+    }
+
+    /// Records `msg` on the print channel.
+    pub fn print(&self, msg: &str) {
+        let line = format!("{}: {}", self.name, msg);
+        if self.do_prints {
+            eprintln!("{line}");
+        }
+        self.log.borrow_mut().push(line);
+    }
+
+    /// Records a trace message; `f` runs only if tracing is enabled.
+    pub fn trace(&self, f: impl FnOnce() -> String) {
+        if self.do_traces {
+            let line = format!("{}: {}", self.name, f());
+            if self.do_prints {
+                eprintln!("{line}");
+            }
+            self.log.borrow_mut().push(line);
+        }
+    }
+
+    /// Everything recorded so far (across all clones of this sink).
+    pub fn messages(&self) -> Vec<String> {
+        self.log.borrow().clone()
+    }
+
+    /// Clears the log.
+    pub fn clear(&self) {
+        self.log.borrow_mut().clear();
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Trace({}, prints={}, traces={}, {} messages)",
+            self.name,
+            self.do_prints,
+            self.do_traces,
+            self.log.borrow().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_is_always_logged() {
+        let t = Trace::new("tcp", false, false);
+        t.print("hello");
+        assert_eq!(t.messages(), vec!["tcp: hello"]);
+    }
+
+    #[test]
+    fn trace_is_lazy_and_gated() {
+        let off = Trace::new("m", false, false);
+        let mut evaluated = false;
+        off.trace(|| {
+            evaluated = true;
+            "x".into()
+        });
+        assert!(!evaluated);
+        assert!(off.messages().is_empty());
+
+        let on = Trace::new("m", false, true);
+        on.trace(|| "deep detail".into());
+        assert_eq!(on.messages(), vec!["m: deep detail"]);
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let a = Trace::silent("shared");
+        let b = a.clone();
+        a.print("one");
+        b.print("two");
+        assert_eq!(a.messages().len(), 2);
+        b.clear();
+        assert!(a.messages().is_empty());
+    }
+}

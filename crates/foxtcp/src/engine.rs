@@ -1,0 +1,1696 @@
+//! The Main and Action modules: the quasi-synchronous executor, segment
+//! externalization/internalization, timers, and the user-facing
+//! operations.
+//!
+//! "The control structure of our TCP is therefore very simple: executing
+//! an operation computes the corresponding actions and queues them onto
+//! the connection's to_do queue. ... in the current implementation, the
+//! thread executing an operation then executes actions, one at a time,
+//! until at least those actions it placed on the queue have completed
+//! execution." (paper §4)
+//!
+//! [`Tcp<L, A>`] is the TCP functor of the paper's Fig. 4. Its type
+//! parameters are the functor's structure parameters — the lower
+//! protocol and the auxiliary structure — and the `where` bounds are the
+//! `sharing type` constraints, checked by the compiler exactly as the
+//! paper advertises. [`crate::TcpConfig`] carries the value parameters.
+
+use crate::action::{TcpAction, TimerKind};
+use crate::receive::{self, ListenVerdict};
+use crate::send;
+use crate::state;
+use crate::tcb::TcpState;
+use crate::{ConnCore, TcpConfig};
+use fox_scheduler::{SchedHandle, TimerHandle};
+use foxbasis::fifo::Fifo;
+use foxbasis::seq::Seq;
+use foxbasis::time::{VirtualDuration, VirtualTime};
+use foxbasis::trace::Trace;
+use foxproto::aux::IpAux;
+use foxproto::{Handler, ProtoError, Protocol};
+use foxwire::tcp::TcpSegment;
+use simnet::HostHandle;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A TCP connection handle.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TcpConnId(pub u32);
+
+/// What `open` matches: the paper's `address` (active) or
+/// `address_pattern` (passive).
+#[derive(Clone, Debug)]
+pub enum TcpPattern<P> {
+    /// Active open to `remote:remote_port`; `local_port` 0 means pick an
+    /// ephemeral port.
+    Active {
+        /// Peer address at the lower layer.
+        remote: P,
+        /// Peer TCP port.
+        remote_port: u16,
+        /// Our port (0 = ephemeral).
+        local_port: u16,
+    },
+    /// Passive open on `local_port`.
+    Passive {
+        /// The port to listen on.
+        local_port: u16,
+    },
+}
+
+/// Events delivered to a connection's upcall handler.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TcpEvent {
+    /// The three-way handshake completed.
+    Established,
+    /// In-order payload.
+    Data(Vec<u8>),
+    /// The peer sent FIN: no more data will arrive.
+    PeerClosed,
+    /// The connection is fully closed.
+    Closed,
+    /// The peer reset the connection.
+    Reset,
+    /// The user timeout (or retransmission give-up) fired.
+    TimedOut,
+    /// (Listeners only) a new connection arrived; adopt it with
+    /// [`Tcp::set_handler`].
+    NewConnection(TcpConnId),
+    /// The peer signalled urgent data up to the given stream offset
+    /// (relative to the connection's initial receive sequence number).
+    Urgent(u32),
+}
+
+/// Aggregate statistics (several of the benchmark tables read these).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Segments transmitted (including retransmissions).
+    pub segments_sent: u64,
+    /// Segments received and processed.
+    pub segments_received: u64,
+    /// Payload bytes transmitted (including retransmissions).
+    pub bytes_sent: u64,
+    /// Payload bytes delivered to users.
+    pub bytes_delivered: u64,
+    /// Segments retransmitted.
+    pub retransmits: u64,
+    /// Segments the §4 fast path fully handled.
+    pub fastpath_hits: u64,
+    /// Segments that fell through to the full DAG.
+    pub fastpath_misses: u64,
+    /// Segments dropped for bad checksums.
+    pub checksum_failures: u64,
+    /// RSTs transmitted.
+    pub rsts_sent: u64,
+    /// Segments that arrived out of order.
+    pub out_of_order: u64,
+    /// Pure ACKs transmitted.
+    pub acks_sent: u64,
+    /// Actions executed through to_do queues.
+    pub actions_executed: u64,
+    /// Timers armed.
+    pub timers_set: u64,
+}
+
+struct Conn<P> {
+    id: u32,
+    core: ConnCore<P>,
+    handler: Option<Handler<TcpEvent>>,
+    pending_events: Vec<TcpEvent>,
+    timers: [Option<TimerHandle>; 5],
+    /// The listener that spawned this connection, if any.
+    parent: Option<u32>,
+    /// Set once a terminal event (Closed/Reset/TimedOut) was delivered.
+    finished: bool,
+}
+
+fn timer_index(kind: TimerKind) -> usize {
+    match kind {
+        TimerKind::Resend => 0,
+        TimerKind::DelayedAck => 1,
+        TimerKind::Persist => 2,
+        TimerKind::TimeWait => 3,
+        TimerKind::UserTimeout => 4,
+    }
+}
+
+/// The TCP functor (paper Fig. 4).
+///
+/// ```text
+/// functor Tcp
+///   (structure Lower: PROTOCOL            -- L
+///    structure Aux: IP_AUX                -- A
+///    sharing type Lower.address = Aux.address      -- A::Address = L::Peer
+///    and type Lower.incoming_message = Aux.incoming_message
+///    val initial_window / compute_checksums / ...  -- TcpConfig
+///    structure Scheduler: COROUTINE       -- SchedHandle
+///    structure B: FOX_BASIS               -- HostHandle + Trace
+///    ...): TCP_PROTOCOL
+/// ```
+pub struct Tcp<L, A>
+where
+    L: Protocol,
+    A: IpAux<Address = L::Peer, Incoming = L::Incoming>,
+{
+    lower: L,
+    aux: A,
+    cfg: TcpConfig,
+    sched: SchedHandle,
+    host: HostHandle,
+    trace: Trace,
+    lower_pattern: L::Pattern,
+    lower_conn: Option<L::ConnId>,
+    rx: Rc<RefCell<Fifo<L::Incoming>>>,
+    conns: Vec<Conn<L::Peer>>,
+    next_id: u32,
+    next_ephemeral: u16,
+    stats: TcpStats,
+}
+
+impl<L, A> Tcp<L, A>
+where
+    L: Protocol,
+    A: IpAux<Address = L::Peer, Incoming = L::Incoming>,
+{
+    /// Instantiates the functor.
+    pub fn new(
+        lower: L,
+        aux: A,
+        lower_pattern: L::Pattern,
+        cfg: TcpConfig,
+        sched: SchedHandle,
+        host: HostHandle,
+    ) -> Tcp<L, A> {
+        let trace = Trace::new("tcp", cfg.do_prints, cfg.do_traces);
+        Tcp {
+            lower,
+            aux,
+            cfg,
+            sched,
+            host,
+            trace,
+            lower_pattern,
+            lower_conn: None,
+            rx: Rc::new(RefCell::new(Fifo::new())),
+            conns: Vec::new(),
+            next_id: 0,
+            next_ephemeral: 49152,
+            stats: TcpStats::default(),
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> TcpStats {
+        self.stats
+    }
+
+    /// The `do_prints`/`do_traces` log collected so far (paper Fig. 4's
+    /// debugging parameters).
+    pub fn trace_log(&self) -> Vec<String> {
+        self.trace.messages()
+    }
+
+    /// The connection's current state, if it still exists.
+    pub fn state_of(&self, conn: TcpConnId) -> Option<TcpState> {
+        self.conn_index(conn).map(|i| self.conns[i].core.state.clone())
+    }
+
+    /// Free space in the connection's send buffer.
+    pub fn send_capacity(&self, conn: TcpConnId) -> usize {
+        self.conn_index(conn).map_or(0, |i| self.conns[i].core.tcb.send_buf.free())
+    }
+
+    /// Installs (or replaces) the upcall handler; buffered events are
+    /// flushed to it immediately. This is how a listener's user adopts a
+    /// [`TcpEvent::NewConnection`] child.
+    pub fn set_handler(&mut self, conn: TcpConnId, mut handler: Handler<TcpEvent>) -> Result<(), ProtoError> {
+        let i = self.conn_index(conn).ok_or(ProtoError::NotOpen)?;
+        for ev in self.conns[i].pending_events.drain(..) {
+            handler(ev);
+        }
+        self.conns[i].handler = Some(handler);
+        Ok(())
+    }
+
+    /// Accepts as much of `data` as fits the send buffer; returns the
+    /// number of bytes taken (0 means flow control pushed back).
+    pub fn send_data(&mut self, conn: TcpConnId, data: &[u8]) -> Result<usize, ProtoError> {
+        let i = self.conn_index(conn).ok_or(ProtoError::NotOpen)?;
+        {
+            let core = &mut self.conns[i].core;
+            match core.state {
+                TcpState::Closed => return Err(ProtoError::NotOpen),
+                TcpState::Listen { .. } => return Err(ProtoError::Invalid("send on listener")),
+                ref s if !s.can_send() && !matches!(s, TcpState::SynSent { .. } | TcpState::SynActive | TcpState::SynPassive { .. }) => {
+                    return Err(ProtoError::Closing)
+                }
+                _ => {}
+            }
+        }
+        let now = self.sched.now();
+        let taken = {
+            let core = &mut self.conns[i].core;
+            send::user_send(&self.cfg, core, data, now)
+        };
+        self.run_actions(conn.0);
+        Ok(taken)
+    }
+
+    // ----- internals -----
+
+    fn conn_index(&self, conn: TcpConnId) -> Option<usize> {
+        self.conns.iter().position(|c| c.id == conn.0)
+    }
+
+    fn index_of_id(&self, id: u32) -> Option<usize> {
+        self.conns.iter().position(|c| c.id == id)
+    }
+
+    fn ensure_lower_open(&mut self) -> Result<(), ProtoError> {
+        if self.lower_conn.is_none() {
+            let q = self.rx.clone();
+            self.lower_conn = Some(
+                self.lower
+                    .open(self.lower_pattern.clone(), Box::new(move |m| q.borrow_mut().add(m)))?,
+            );
+        }
+        Ok(())
+    }
+
+    /// RFC 793-style clock-driven initial sequence number, made unique
+    /// per connection id. Deterministic under the virtual clock.
+    fn new_iss(&self) -> Seq {
+        let clock = (self.sched.now().as_micros() / 4) as u32;
+        Seq(clock.wrapping_add(self.next_id.wrapping_mul(65_536)).wrapping_add(1))
+    }
+
+    fn alloc_ephemeral(&mut self) -> u16 {
+        loop {
+            let p = self.next_ephemeral;
+            self.next_ephemeral = if p == u16::MAX { 49152 } else { p + 1 };
+            let in_use = self.conns.iter().any(|c| c.core.local_port == p);
+            if !in_use {
+                return p;
+            }
+        }
+    }
+
+    fn new_conn(&mut self, local_port: u16, remote: Option<(L::Peer, u16)>, parent: Option<u32>) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let iss = self.new_iss();
+        let mut core = ConnCore::new(&self.cfg, local_port, iss, self.aux.mtu() as u32 - 20);
+        core.remote = remote;
+        core.tcb.mss = (self.aux.mtu() as u32).saturating_sub(20).max(1);
+        self.conns.push(Conn {
+            id,
+            core,
+            handler: None,
+            pending_events: Vec::new(),
+            timers: Default::default(),
+            parent,
+            finished: false,
+        });
+        id
+    }
+
+    fn deliver(&mut self, idx: usize, event: TcpEvent) {
+        if matches!(event, TcpEvent::Closed | TcpEvent::Reset | TcpEvent::TimedOut) {
+            self.conns[idx].finished = true;
+        }
+        match &mut self.conns[idx].handler {
+            Some(h) => h(event),
+            None => self.conns[idx].pending_events.push(event),
+        }
+    }
+
+    /// Externalizes and transmits a segment for connection `idx` (the
+    /// Action module's send half).
+    fn transmit(&mut self, idx: usize, seg: TcpSegment) {
+        let to = match &self.conns[idx].core.remote {
+            Some((peer, _)) => peer.clone(),
+            None => return, // cannot address: drop (listener RSTs go via transmit_to)
+        };
+        self.transmit_to(seg, to);
+    }
+
+    /// Transmits a segment to an explicit peer (RST replies for unknown
+    /// connections have no connection record).
+    fn transmit_to(&mut self, seg: TcpSegment, to: L::Peer) {
+        let total = seg.header.header_len() + seg.payload.len();
+        let pseudo = if self.cfg.compute_checksums { self.aux.check(&to, total) } else { None };
+        if pseudo.is_some() {
+            self.host.charge_checksum(total);
+        }
+        self.host.charge_tcp_segment_sized(seg.payload.len());
+        self.host.with(|h| h.alloc_segment(seg.payload.len()));
+        // Remember what window the peer will believe after this segment.
+        if seg.header.flags.ack {
+            if let Some(idx) = self.conns.iter().position(|c| {
+                c.core.local_port == seg.header.src_port
+                    && c.core.remote.as_ref().map_or(false, |(a, p)| {
+                        A::eq(a, &to) && *p == seg.header.dst_port
+                    })
+            }) {
+                self.conns[idx].core.tcb.last_adv_wnd = u32::from(seg.header.window);
+            }
+        }
+        let bytes = match seg.encode(pseudo) {
+            Ok(b) => b,
+            Err(e) => {
+                self.trace.print(&format!("encode failed: {e}"));
+                return;
+            }
+        };
+        self.stats.segments_sent += 1;
+        self.stats.bytes_sent += seg.payload.len() as u64;
+        self.trace.trace(|| {
+            format!(
+                "tx seq={} ack={} len={} {:?} wnd={}",
+                seg.header.seq,
+                seg.header.ack,
+                seg.payload.len(),
+                seg.header.flags,
+                seg.header.window
+            )
+        });
+        if seg.payload.is_empty() && !seg.header.flags.syn && !seg.header.flags.fin {
+            self.stats.acks_sent += 1;
+        }
+        if seg.header.flags.rst {
+            self.stats.rsts_sent += 1;
+        }
+        let conn = match self.lower_conn {
+            Some(c) => c,
+            None => return,
+        };
+        let _ = self.lower.send(conn, to, bytes);
+    }
+
+    /// Arms the Fig. 11 timer for `kind` on connection `idx`. The timer
+    /// handler captures only the connection's to_do queue — asynchronous
+    /// events synchronize by enqueueing, never by touching state.
+    fn set_timer(&mut self, idx: usize, kind: TimerKind, ms: u64) {
+        self.clear_timer(idx, kind);
+        self.stats.timers_set += 1;
+        self.host.charge_thread_op();
+        let todo = self.conns[idx].core.tcb.to_do.clone();
+        let handle = self.sched.start_timer(
+            VirtualDuration::from_millis(ms),
+            Box::new(move |_s| {
+                todo.borrow_mut().add(TcpAction::TimerExpiration(kind));
+            }),
+        );
+        self.conns[idx].timers[timer_index(kind)] = Some(handle);
+    }
+
+    fn clear_timer(&mut self, idx: usize, kind: TimerKind) {
+        if let Some(h) = self.conns[idx].timers[timer_index(kind)].take() {
+            h.clear();
+        }
+    }
+
+    /// Drains a connection's to_do queue, executing actions one at a
+    /// time — the heart of the quasi-synchronous control structure
+    /// (paper Fig. 7).
+    fn run_actions(&mut self, conn_id: u32) {
+        loop {
+            let idx = match self.index_of_id(conn_id) {
+                Some(i) => i,
+                None => return,
+            };
+            let action = {
+                let todo = self.conns[idx].core.tcb.to_do.clone();
+                let mut q = todo.borrow_mut();
+                // The paper's §4 priority extension: serve the actions
+                // that affect packet latency (outbound segments) first.
+                let a = if self.cfg.latency_priority {
+                    q.take_first_match(|a| matches!(a, TcpAction::SendSegment(_)))
+                        .or_else(|| q.next())
+                } else {
+                    q.next()
+                };
+                a
+            };
+            let Some(action) = action else { return };
+            self.stats.actions_executed += 1;
+            let now = self.sched.now();
+            match action {
+                TcpAction::ProcessData(seg, _src) => {
+                    self.trace.trace(|| {
+                        format!(
+                            "rx seq={} ack={} len={} {:?} state={:?}",
+                            seg.header.seq,
+                            seg.header.ack,
+                            seg.payload.len(),
+                            seg.header.flags,
+                            self.conns[idx].core.state
+                        )
+                    });
+                    self.host.charge_tcp_segment_sized(seg.payload.len());
+                    self.host.with(|h| h.alloc_segment(seg.payload.len()));
+                    let mut handled_fast = false;
+                    if self.cfg.fast_path {
+                        let core = &mut self.conns[idx].core;
+                        handled_fast = crate::fastpath::try_fast(&self.cfg, core, &seg, now);
+                    }
+                    if handled_fast {
+                        self.stats.fastpath_hits += 1;
+                    } else {
+                        self.stats.fastpath_misses += 1;
+                        if seg.header.seq != self.conns[idx].core.tcb.rcv_nxt && !seg.payload.is_empty() {
+                            self.stats.out_of_order += 1;
+                        }
+                        let disposition = {
+                            let core = &mut self.conns[idx].core;
+                            receive::segment_arrives(&self.cfg, core, seg, now)
+                        };
+                        if let Some(reply) = disposition.reply {
+                            self.transmit(idx, reply);
+                        }
+                    }
+                }
+                TcpAction::SendSegment(seg) => {
+                    self.transmit(idx, seg);
+                }
+                TcpAction::UserData(data) => {
+                    // The user copy happens here — the one the paper
+                    // says is "not reflected in the benchmarks".
+                    self.conns[idx].core.tcb.recv_buf.skip(data.len());
+                    self.stats.bytes_delivered += data.len() as u64;
+                    // BSD window-update rule: consuming data may have
+                    // grown the window well past what the peer last saw;
+                    // tell it, or a zero-window peer stays stuck.
+                    {
+                        let core = &mut self.conns[idx].core;
+                        let wnd = core.tcb.rcv_wnd();
+                        let grew = wnd.saturating_sub(core.tcb.last_adv_wnd);
+                        let half = (core.tcb.recv_buf.capacity() as u32 / 2).max(1);
+                        if core.state == TcpState::Estab
+                            && (grew >= 2 * core.tcb.mss || grew >= half)
+                        {
+                            send::queue_ack(core);
+                        }
+                    }
+                    if !data.is_empty() {
+                        self.deliver(idx, TcpEvent::Data(data));
+                    }
+                }
+                TcpAction::SetTimer(kind, ms) => self.set_timer(idx, kind, ms),
+                TcpAction::ClearTimer(kind) => self.clear_timer(idx, kind),
+                TcpAction::TimerExpiration(kind) => {
+                    if kind == TimerKind::Resend {
+                        let had_flight = !self.conns[idx].core.tcb.resend_queue.is_empty();
+                        if had_flight {
+                            self.stats.retransmits += 1;
+                        }
+                    }
+                    let core = &mut self.conns[idx].core;
+                    state::timer_expired(&self.cfg, core, kind, now);
+                }
+                TcpAction::CompleteOpen => self.deliver(idx, TcpEvent::Established),
+                TcpAction::CompleteClose => self.deliver(idx, TcpEvent::Closed),
+                TcpAction::PeerClose => self.deliver(idx, TcpEvent::PeerClosed),
+                TcpAction::PeerReset => self.deliver(idx, TcpEvent::Reset),
+                TcpAction::UserTimeoutFired => self.deliver(idx, TcpEvent::TimedOut),
+                TcpAction::NewConnection(child) => {
+                    self.deliver(idx, TcpEvent::NewConnection(TcpConnId(child)))
+                }
+                TcpAction::UrgentData(up) => {
+                    let offset = up.since(self.conns[idx].core.tcb.irs);
+                    self.deliver(idx, TcpEvent::Urgent(offset));
+                }
+                TcpAction::AckedTo(_) => {}
+            }
+        }
+    }
+
+    /// Internalizes one lower-layer message (the Action module's receive
+    /// half): verify the checksum, decode, demultiplex, enqueue a
+    /// `Process_Data` action, then drain that connection's queue.
+    fn internalize(&mut self, msg: L::Incoming) {
+        let (src, seg) = {
+            let info = self.aux.info(&msg);
+            let pseudo = if self.cfg.compute_checksums {
+                self.aux.check(&info.src, info.data.len())
+            } else {
+                None
+            };
+            if pseudo.is_some() {
+                self.host.charge_checksum(info.data.len());
+            }
+            match TcpSegment::decode(info.data, pseudo) {
+                Ok(seg) => (info.src.clone(), seg),
+                Err(foxwire::WireError::BadChecksum(_)) => {
+                    self.stats.checksum_failures += 1;
+                    return;
+                }
+                Err(_) => return,
+            }
+        };
+        self.stats.segments_received += 1;
+
+        // Demultiplex: exact (remote, ports) match first.
+        let exact = self.conns.iter().position(|c| {
+            c.core.local_port == seg.header.dst_port
+                && c.core
+                    .remote
+                    .as_ref()
+                    .map_or(false, |(a, p)| A::eq(a, &src) && *p == seg.header.src_port)
+                && c.core.state != TcpState::Closed
+        });
+        if let Some(idx) = exact {
+            let id = self.conns[idx].id;
+            self.conns[idx].core.tcb.push_action(TcpAction::ProcessData(seg, src));
+            self.run_actions(id);
+            return;
+        }
+
+        // A listener on the port?
+        let listener = self.conns.iter().position(|c| {
+            c.core.local_port == seg.header.dst_port && matches!(c.core.state, TcpState::Listen { .. })
+        });
+        if let Some(lidx) = listener {
+            let lid = self.conns[lidx].id;
+            match receive::on_listen_segment(seg.header.dst_port, &seg) {
+                ListenVerdict::Ignore => {}
+                ListenVerdict::Reply(rst) => self.transmit_to(rst, src),
+                ListenVerdict::Spawn => {
+                    let backlog = match self.conns[lidx].core.state {
+                        TcpState::Listen { backlog } => backlog,
+                        _ => unreachable!("listener checked above"),
+                    };
+                    let embryonic = self
+                        .conns
+                        .iter()
+                        .filter(|c| c.parent == Some(lid) && c.core.state.is_syn_received())
+                        .count();
+                    if embryonic >= backlog {
+                        self.trace.trace(|| "SYN dropped: backlog full".into());
+                        return;
+                    }
+                    let child = self.new_conn(
+                        seg.header.dst_port,
+                        Some((src.clone(), seg.header.src_port)),
+                        Some(lid),
+                    );
+                    let cidx = self.index_of_id(child).expect("just created");
+                    self.conns[cidx].core.state = TcpState::Listen { backlog: 0 };
+                    self.conns[cidx].core.tcb.push_action(TcpAction::ProcessData(seg, src));
+                    self.run_actions(child);
+                    // Tell the listener's user about the child.
+                    if let Some(lidx) = self.index_of_id(lid) {
+                        let lid2 = self.conns[lidx].id;
+                        self.conns[lidx].core.tcb.push_action(TcpAction::NewConnection(child));
+                        self.run_actions(lid2);
+                    }
+                }
+            }
+            return;
+        }
+
+        // No connection at all: RFC 793 p. 36.
+        if let Some(rst) = receive::on_closed_segment(&self.cfg, seg.header.dst_port, &seg) {
+            self.transmit_to(rst, src);
+        }
+    }
+
+    /// Removes connections that are fully closed, drained, and whose
+    /// user has seen the end.
+    fn reap(&mut self) {
+        self.conns.retain(|c| {
+            let done = c.core.state == TcpState::Closed
+                && c.core.tcb.to_do.borrow().is_empty()
+                && c.pending_events.is_empty()
+                && (c.finished || c.parent.is_some());
+            !done
+        });
+    }
+}
+
+impl<L, A> Protocol for Tcp<L, A>
+where
+    L: Protocol,
+    A: IpAux<Address = L::Peer, Incoming = L::Incoming>,
+{
+    type Pattern = TcpPattern<L::Peer>;
+    type Peer = ();
+    type Incoming = TcpEvent;
+    type ConnId = TcpConnId;
+
+    fn open(
+        &mut self,
+        pattern: TcpPattern<L::Peer>,
+        handler: Handler<TcpEvent>,
+    ) -> Result<TcpConnId, ProtoError> {
+        self.ensure_lower_open()?;
+        match pattern {
+            TcpPattern::Active { remote, remote_port, local_port } => {
+                let local_port = if local_port == 0 { self.alloc_ephemeral() } else { local_port };
+                let clash = self.conns.iter().any(|c| {
+                    c.core.local_port == local_port
+                        && c.core.remote.as_ref().map_or(true, |(a, p)| {
+                            A::eq(a, &remote) && *p == remote_port
+                        })
+                        && c.core.state != TcpState::Closed
+                });
+                if clash {
+                    return Err(ProtoError::AlreadyOpen);
+                }
+                let id = self.new_conn(local_port, Some((remote, remote_port)), None);
+                let idx = self.index_of_id(id).expect("created");
+                self.conns[idx].handler = Some(handler);
+                let now = self.sched.now();
+                {
+                    let core = &mut self.conns[idx].core;
+                    state::active_open(&self.cfg, core, now)?;
+                }
+                self.run_actions(id);
+                Ok(TcpConnId(id))
+            }
+            TcpPattern::Passive { local_port } => {
+                if local_port == 0 {
+                    return Err(ProtoError::Invalid("listen port 0"));
+                }
+                let clash = self.conns.iter().any(|c| {
+                    c.core.local_port == local_port && matches!(c.core.state, TcpState::Listen { .. })
+                });
+                if clash {
+                    return Err(ProtoError::AlreadyOpen);
+                }
+                let id = self.new_conn(local_port, None, None);
+                let idx = self.index_of_id(id).expect("created");
+                self.conns[idx].handler = Some(handler);
+                let core = &mut self.conns[idx].core;
+                state::passive_open(&self.cfg, core)?;
+                Ok(TcpConnId(id))
+            }
+        }
+    }
+
+    /// Sends all of `payload` or nothing ([`ProtoError::WouldBlock`] if
+    /// the send buffer cannot take it); use [`Tcp::send_data`] for
+    /// partial writes.
+    fn send(&mut self, conn: TcpConnId, _to: (), payload: Vec<u8>) -> Result<(), ProtoError> {
+        if self.send_capacity(conn) < payload.len() {
+            // Distinguish "no such connection" from pushback.
+            self.conn_index(conn).ok_or(ProtoError::NotOpen)?;
+            return Err(ProtoError::WouldBlock);
+        }
+        let n = self.send_data(conn, &payload)?;
+        debug_assert_eq!(n, payload.len());
+        Ok(())
+    }
+
+    fn close(&mut self, conn: TcpConnId) -> Result<(), ProtoError> {
+        let i = self.conn_index(conn).ok_or(ProtoError::NotOpen)?;
+        let now = self.sched.now();
+        let res = {
+            let core = &mut self.conns[i].core;
+            state::close(&self.cfg, core, now)
+        };
+        self.run_actions(conn.0);
+        res
+    }
+
+    fn abort(&mut self, conn: TcpConnId) -> Result<(), ProtoError> {
+        let i = self.conn_index(conn).ok_or(ProtoError::NotOpen)?;
+        let res = {
+            let core = &mut self.conns[i].core;
+            state::abort(&self.cfg, core)
+        };
+        self.run_actions(conn.0);
+        res
+    }
+
+    fn step(&mut self, now: VirtualTime) -> bool {
+        // 0. A host answers (RSTs) even before any user open: make sure
+        //    we are attached below.
+        let _ = self.ensure_lower_open();
+        // 1. Let the clock catch up: due timers enqueue
+        //    Timer_Expiration actions.
+        if self.sched.now() < now {
+            self.sched.advance_to(now);
+        }
+        // 2. Pull from below.
+        let mut progress = self.lower.step(now);
+        // 3. Internalize and process arrivals.
+        loop {
+            let msg = match self.rx.borrow_mut().next() {
+                Some(m) => m,
+                None => break,
+            };
+            progress = true;
+            self.internalize(msg);
+        }
+        // 4. Drain queues filled by timer expirations.
+        let ids: Vec<u32> = self.conns.iter().map(|c| c.id).collect();
+        for id in ids {
+            if let Some(idx) = self.index_of_id(id) {
+                if !self.conns[idx].core.tcb.to_do.borrow().is_empty() {
+                    progress = true;
+                    self.run_actions(id);
+                }
+            }
+        }
+        self.reap();
+        progress
+    }
+}
+
+impl<L, A> fmt::Debug for Tcp<L, A>
+where
+    L: Protocol + fmt::Debug,
+    A: IpAux<Address = L::Peer, Incoming = L::Incoming>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tcp(conns={}, over {:?})", self.conns.len(), self.lower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testlink::{LinkPair, TestAux, TestLower};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type Engine = Tcp<TestLower, TestAux>;
+
+    struct Host {
+        tcp: Engine,
+        #[allow(dead_code)]
+        sched: SchedHandle,
+        events: Rc<RefCell<Vec<(TcpConnId, TcpEvent)>>>,
+    }
+
+    impl Host {
+        fn new(link: &LinkPair, side: u8, cfg: TcpConfig) -> Host {
+            let sched = SchedHandle::new();
+            let tcp = Tcp::new(
+                link.endpoint(side),
+                TestAux,
+                (),
+                cfg,
+                sched.clone(),
+                HostHandle::free(),
+            );
+            Host { tcp, sched, events: Rc::new(RefCell::new(Vec::new())) }
+        }
+
+        fn recorder(&self, id_hint: u32) -> Handler<TcpEvent> {
+            let ev = self.events.clone();
+            Box::new(move |e| ev.borrow_mut().push((TcpConnId(id_hint), e)))
+        }
+
+        /// Adopt a connection with a recording handler tagged by its id.
+        fn adopt(&mut self, conn: TcpConnId) {
+            let ev = self.events.clone();
+            self.tcp
+                .set_handler(
+                    conn,
+                    Box::new(move |e| ev.borrow_mut().push((conn, e))),
+                )
+                .unwrap();
+        }
+
+        fn events_of(&self, conn: TcpConnId) -> Vec<TcpEvent> {
+            self.events
+                .borrow()
+                .iter()
+                .filter(|(c, _)| *c == conn)
+                .map(|(_, e)| e.clone())
+                .collect()
+        }
+
+        fn received_bytes(&self, conn: TcpConnId) -> Vec<u8> {
+            self.events_of(conn)
+                .into_iter()
+                .filter_map(|e| match e {
+                    TcpEvent::Data(d) => Some(d),
+                    _ => None,
+                })
+                .flatten()
+                .collect()
+        }
+    }
+
+    /// Step both hosts at `now` until neither makes progress.
+    fn settle(a: &mut Host, b: &mut Host, now: VirtualTime) {
+        for _ in 0..500 {
+            let pa = a.tcp.step(now);
+            let pb = b.tcp.step(now);
+            if !pa && !pb {
+                return;
+            }
+        }
+        panic!("did not settle");
+    }
+
+    /// Advance both hosts through virtual time in `tick_ms` steps.
+    fn run_for(a: &mut Host, b: &mut Host, from: VirtualTime, ms: u64, tick_ms: u64) -> VirtualTime {
+        let mut now = from;
+        let end = from + VirtualDuration::from_millis(ms);
+        while now < end {
+            now = (now + VirtualDuration::from_millis(tick_ms)).min(end);
+            settle(a, b, now);
+        }
+        end
+    }
+
+    fn open_pair(a: &mut Host, b: &mut Host) -> (TcpConnId, TcpConnId) {
+        let _listener = b.tcp.open(TcpPattern::Passive { local_port: 80 }, b.recorder(999)).unwrap();
+        let ev = a.events.clone();
+        let client = a
+            .tcp
+            .open(
+                TcpPattern::Active { remote: 1, remote_port: 80, local_port: 0 },
+                Box::new(move |e| ev.borrow_mut().push((TcpConnId(u32::MAX), e))),
+            )
+            .unwrap();
+        settle(a, b, VirtualTime::ZERO);
+        // The listener got a NewConnection event (recorded under tag 999).
+        let child = b
+            .events_of(TcpConnId(999))
+            .into_iter()
+            .find_map(|e| match e {
+                TcpEvent::NewConnection(c) => Some(c),
+                _ => None,
+            })
+            .expect("listener should see the child");
+        b.adopt(child);
+        (client, child)
+    }
+
+    #[test]
+    fn three_way_handshake_establishes_both_sides() {
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig::default());
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        let (client, child) = open_pair(&mut a, &mut b);
+        assert_eq!(a.tcp.state_of(client), Some(TcpState::Estab));
+        assert_eq!(b.tcp.state_of(child), Some(TcpState::Estab));
+        assert!(a
+            .events
+            .borrow()
+            .iter()
+            .any(|(_, e)| *e == TcpEvent::Established));
+        assert!(b.events_of(child).contains(&TcpEvent::Established));
+    }
+
+    #[test]
+    fn data_flows_client_to_server() {
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig { nagle: false, ..TcpConfig::default() });
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        let (client, child) = open_pair(&mut a, &mut b);
+        a.tcp.send(client, (), b"hello from the fox".to_vec()).unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        assert_eq!(b.received_bytes(child), b"hello from the fox");
+    }
+
+    #[test]
+    fn data_flows_both_directions() {
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig { nagle: false, ..TcpConfig::default() });
+        let mut b = Host::new(&link, 1, TcpConfig { nagle: false, ..TcpConfig::default() });
+        let (client, child) = open_pair(&mut a, &mut b);
+        a.tcp.send(client, (), b"ping".to_vec()).unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        b.tcp.send(child, (), b"pong".to_vec()).unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        assert_eq!(b.received_bytes(child), b"ping");
+        assert_eq!(a.received_bytes(TcpConnId(u32::MAX)), b"pong");
+    }
+
+    #[test]
+    fn bulk_transfer_with_flow_control() {
+        // 100 KB through a 4096-byte window: many round trips, windows
+        // opening and closing, delayed ACKs, the works.
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig { nagle: false, ..TcpConfig::default() });
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        let (client, child) = open_pair(&mut a, &mut b);
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let mut sent = 0;
+        let mut now = VirtualTime::ZERO;
+        let mut spins = 0;
+        while sent < payload.len() {
+            let n = a.tcp.send_data(client, &payload[sent..]).unwrap();
+            sent += n;
+            now = run_for(&mut a, &mut b, now, 50, 10);
+            spins += 1;
+            assert!(spins < 10_000, "transfer wedged at {sent} bytes");
+        }
+        now = run_for(&mut a, &mut b, now, 2000, 50);
+        let got = b.received_bytes(child);
+        assert_eq!(got.len(), payload.len());
+        assert_eq!(got, payload);
+        let _ = now;
+    }
+
+    #[test]
+    fn graceful_close_sequence() {
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig::default());
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        let (client, child) = open_pair(&mut a, &mut b);
+
+        a.tcp.close(client).unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        // Peer saw our FIN.
+        assert!(b.events_of(child).contains(&TcpEvent::PeerClosed));
+        assert_eq!(b.tcp.state_of(child), Some(TcpState::CloseWait));
+        assert_eq!(a.tcp.state_of(client), Some(TcpState::FinWait2));
+
+        b.tcp.close(child).unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        assert!(a.events_of(TcpConnId(u32::MAX)).contains(&TcpEvent::PeerClosed));
+        // b's side is fully closed (reaped after Closed event).
+        assert!(b.events_of(child).contains(&TcpEvent::Closed));
+        // a lingers in TIME-WAIT.
+        assert_eq!(a.tcp.state_of(client), Some(TcpState::TimeWait));
+        // ... and completes after 2MSL.
+        run_for(&mut a, &mut b, VirtualTime::ZERO, 61_000, 1000);
+        assert!(a.events_of(TcpConnId(u32::MAX)).contains(&TcpEvent::Closed));
+        assert_eq!(a.tcp.state_of(client), None, "reaped after close");
+    }
+
+    #[test]
+    fn connect_to_closed_port_is_reset() {
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig::default());
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        let ev = a.events.clone();
+        let client = a
+            .tcp
+            .open(
+                TcpPattern::Active { remote: 1, remote_port: 4444, local_port: 0 },
+                Box::new(move |e| ev.borrow_mut().push((TcpConnId(7), e))),
+            )
+            .unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        assert!(a.events_of(TcpConnId(7)).contains(&TcpEvent::Reset));
+        assert_eq!(a.tcp.state_of(client), None, "connection reaped after reset");
+        assert_eq!(b.tcp.stats().rsts_sent, 1);
+    }
+
+    #[test]
+    fn transfer_survives_packet_loss() {
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig { nagle: false, ..TcpConfig::default() });
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        let (client, child) = open_pair(&mut a, &mut b);
+        // Drop every 5th frame toward the server.
+        let counter = Rc::new(RefCell::new(0u32));
+        let c = counter.clone();
+        link.set_filter_toward(1, Box::new(move |_| {
+            *c.borrow_mut() += 1;
+            *c.borrow() % 5 != 0
+        }));
+        let payload: Vec<u8> = (0..30_000u32).map(|i| (i % 241) as u8).collect();
+        let mut sent = 0;
+        let mut now = VirtualTime::ZERO;
+        let mut spins = 0;
+        while sent < payload.len() {
+            sent += a.tcp.send_data(client, &payload[sent..]).unwrap();
+            now = run_for(&mut a, &mut b, now, 200, 50);
+            spins += 1;
+            assert!(spins < 5000, "lossy transfer wedged at {sent}");
+        }
+        run_for(&mut a, &mut b, now, 30_000, 250);
+        let got = b.received_bytes(child);
+        assert_eq!(got.len(), payload.len(), "all bytes despite loss");
+        assert_eq!(got, payload);
+        assert!(a.tcp.stats().retransmits > 0, "loss must cause retransmissions");
+        assert!(link.dropped() > 0);
+    }
+
+    #[test]
+    fn syn_retransmits_then_gives_up() {
+        let link = LinkPair::new();
+        let mut a = Host::new(
+            &link,
+            0,
+            TcpConfig { syn_retries: 2, user_timeout_ms: 600_000, ..TcpConfig::default() },
+        );
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        // Black-hole everything toward b.
+        link.set_filter_toward(1, Box::new(|_| false));
+        let ev = a.events.clone();
+        let client = a
+            .tcp
+            .open(
+                TcpPattern::Active { remote: 1, remote_port: 80, local_port: 0 },
+                Box::new(move |e| ev.borrow_mut().push((TcpConnId(7), e))),
+            )
+            .unwrap();
+        run_for(&mut a, &mut b, VirtualTime::ZERO, 120_000, 500);
+        assert!(a.events_of(TcpConnId(7)).contains(&TcpEvent::TimedOut), "{:?}", a.events);
+        assert_eq!(a.tcp.state_of(client), None);
+        assert!(link.dropped() >= 3, "initial SYN plus at least 2 retries");
+    }
+
+    #[test]
+    fn zero_window_then_reopen_via_probe() {
+        // Server app stops consuming (we emulate by a tiny window),
+        // then the client's persist probe keeps the connection alive.
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig { nagle: false, ..TcpConfig::default() });
+        // Server with a 512-byte window.
+        let mut b = Host::new(&link, 1, TcpConfig { initial_window: 512, ..TcpConfig::default() });
+        let (client, child) = open_pair(&mut a, &mut b);
+        let payload = vec![0x5a_u8; 4000];
+        let mut sent = 0;
+        let mut now = VirtualTime::ZERO;
+        let mut spins = 0;
+        while sent < payload.len() {
+            sent += a.tcp.send_data(client, &payload[sent..]).unwrap();
+            now = run_for(&mut a, &mut b, now, 400, 100);
+            spins += 1;
+            assert!(spins < 3000, "zero-window transfer wedged at {sent}");
+        }
+        run_for(&mut a, &mut b, now, 20_000, 250);
+        assert_eq!(b.received_bytes(child).len(), payload.len());
+    }
+
+    #[test]
+    fn listener_backlog_bounds_embryonic_connections() {
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig::default());
+        let mut b = Host::new(&link, 1, TcpConfig { backlog: 1, ..TcpConfig::default() });
+        let _listener = b.tcp.open(TcpPattern::Passive { local_port: 80 }, b.recorder(999)).unwrap();
+        // Stop SYN+ACKs from reaching client so children stay embryonic.
+        link.set_filter_toward(0, Box::new(|_| false));
+        for i in 0..3 {
+            let _ = a.tcp.open(
+                TcpPattern::Active { remote: 1, remote_port: 80, local_port: 10_000 + i },
+                Box::new(|_| {}),
+            );
+        }
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        let embryonic = (0..200u32)
+            .filter_map(|i| b.tcp.state_of(TcpConnId(i)))
+            .filter(|s| s.is_syn_received())
+            .count();
+        assert_eq!(embryonic, 1, "backlog 1 admits a single embryonic child");
+    }
+
+    #[test]
+    fn abort_sends_rst_peer_sees_reset() {
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig::default());
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        let (client, child) = open_pair(&mut a, &mut b);
+        a.tcp.abort(client).unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        assert!(b.events_of(child).contains(&TcpEvent::Reset));
+        assert!(a.events_of(TcpConnId(u32::MAX)).contains(&TcpEvent::Closed));
+    }
+
+    #[test]
+    fn send_on_unknown_connection_errors() {
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig::default());
+        assert_eq!(
+            a.tcp.send(TcpConnId(42), (), b"x".to_vec()),
+            Err(ProtoError::NotOpen)
+        );
+        assert_eq!(a.tcp.close(TcpConnId(42)), Err(ProtoError::NotOpen));
+    }
+
+    #[test]
+    fn send_pushback_when_buffer_full() {
+        let link = LinkPair::new();
+        let mut a = Host::new(
+            &link,
+            0,
+            TcpConfig { send_buffer: 1000, nagle: false, ..TcpConfig::default() },
+        );
+        let mut b = Host::new(&link, 1, TcpConfig { initial_window: 256, ..TcpConfig::default() });
+        let (client, _child) = open_pair(&mut a, &mut b);
+        // Fill beyond window + buffer.
+        let r = a.tcp.send(client, (), vec![0; 5000]);
+        assert_eq!(r, Err(ProtoError::WouldBlock));
+        let n = a.tcp.send_data(client, &vec![0; 5000]).unwrap();
+        assert!(n > 0 && n <= 1000);
+    }
+
+    #[test]
+    fn duplicate_active_open_rejected() {
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig::default());
+        a.tcp
+            .open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 5000 }, Box::new(|_| {}))
+            .unwrap();
+        let again = a.tcp.open(
+            TcpPattern::Active { remote: 1, remote_port: 80, local_port: 5000 },
+            Box::new(|_| {}),
+        );
+        assert_eq!(again.unwrap_err(), ProtoError::AlreadyOpen);
+    }
+
+    #[test]
+    fn duplicate_listen_rejected() {
+        let link = LinkPair::new();
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        b.tcp.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap();
+        assert_eq!(
+            b.tcp.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap_err(),
+            ProtoError::AlreadyOpen
+        );
+    }
+
+    #[test]
+    fn server_close_first_client_second() {
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig::default());
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        let (client, child) = open_pair(&mut a, &mut b);
+        b.tcp.close(child).unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        assert_eq!(a.tcp.state_of(client), Some(TcpState::CloseWait));
+        a.tcp.close(client).unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        assert!(a.events_of(TcpConnId(u32::MAX)).contains(&TcpEvent::Closed));
+        // Server side lingers in TIME-WAIT, then finishes.
+        assert_eq!(b.tcp.state_of(child), Some(TcpState::TimeWait));
+        run_for(&mut a, &mut b, VirtualTime::ZERO, 61_000, 1000);
+        assert!(b.events_of(child).contains(&TcpEvent::Closed));
+        assert_eq!(b.tcp.state_of(child), None);
+    }
+
+    #[test]
+    fn data_before_close_is_delivered_with_fin() {
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig { nagle: false, ..TcpConfig::default() });
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        let (client, child) = open_pair(&mut a, &mut b);
+        a.tcp.send(client, (), b"last words".to_vec()).unwrap();
+        a.tcp.close(client).unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        let evs = b.events_of(child);
+        assert_eq!(b.received_bytes(child), b"last words");
+        let data_pos = evs.iter().position(|e| matches!(e, TcpEvent::Data(_))).unwrap();
+        let fin_pos = evs.iter().position(|e| *e == TcpEvent::PeerClosed).unwrap();
+        assert!(data_pos < fin_pos, "data precedes the close notice: {evs:?}");
+    }
+
+    #[test]
+    fn determinism_same_run_same_stats() {
+        let run = || {
+            let link = LinkPair::new();
+            let mut a = Host::new(&link, 0, TcpConfig { nagle: false, ..TcpConfig::default() });
+            let mut b = Host::new(&link, 1, TcpConfig::default());
+            let (client, child) = open_pair(&mut a, &mut b);
+            let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 7) as u8).collect();
+            let mut sent = 0;
+            let mut now = VirtualTime::ZERO;
+            while sent < payload.len() {
+                sent += a.tcp.send_data(client, &payload[sent..]).unwrap();
+                now = run_for(&mut a, &mut b, now, 50, 10);
+            }
+            run_for(&mut a, &mut b, now, 1000, 50);
+            let _ = child;
+            (a.tcp.stats(), b.tcp.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fast_path_dominates_bulk_transfer() {
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig { nagle: false, ..TcpConfig::default() });
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        let (client, _child) = open_pair(&mut a, &mut b);
+        let payload = vec![3u8; 50_000];
+        let mut sent = 0;
+        let mut now = VirtualTime::ZERO;
+        while sent < payload.len() {
+            sent += a.tcp.send_data(client, &payload[sent..]).unwrap();
+            now = run_for(&mut a, &mut b, now, 50, 10);
+        }
+        run_for(&mut a, &mut b, now, 1000, 50);
+        let b_stats = b.tcp.stats();
+        assert!(
+            b_stats.fastpath_hits > b_stats.fastpath_misses,
+            "receiver fast path should dominate: {b_stats:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod priority_tests {
+    //! The §4 scheduling extension: with `latency_priority` on, queued
+    //! outbound segments are executed ahead of other actions.
+
+    use super::*;
+    use crate::testlink::{LinkPair, TestAux};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn send_segments_jump_the_queue() {
+        let cfg = TcpConfig { latency_priority: true, nagle: false, delayed_ack_ms: None, ..TcpConfig::default() };
+        let link = LinkPair::new();
+        let sched = SchedHandle::new();
+        let mut a = Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), sched.clone(), HostHandle::free());
+        let mut b = Tcp::new(link.endpoint(1), TestAux, (), cfg, SchedHandle::new(), HostHandle::free());
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        b.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap();
+        let conn = a
+            .open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 0 }, Box::new(|_| {}))
+            .unwrap();
+        for _ in 0..50 {
+            a.step(VirtualTime::ZERO);
+            b.step(VirtualTime::ZERO);
+        }
+        assert_eq!(a.state_of(conn), Some(TcpState::Estab));
+        // Adopt the child so its data lands somewhere.
+        let child = TcpConnId(1);
+        b.set_handler(
+            child,
+            Box::new(move |ev| {
+                if let TcpEvent::Data(d) = ev {
+                    g.borrow_mut().extend_from_slice(&d);
+                }
+            }),
+        )
+        .unwrap();
+        a.send(conn, (), b"priority-scheduled".to_vec()).unwrap();
+        for _ in 0..50 {
+            a.step(VirtualTime::ZERO);
+            b.step(VirtualTime::ZERO);
+        }
+        assert_eq!(&got.borrow()[..], b"priority-scheduled", "correctness unchanged under priority scheduling");
+    }
+
+    #[test]
+    fn priority_and_fifo_deliver_identical_streams() {
+        let run = |priority: bool| {
+            let cfg = TcpConfig { latency_priority: priority, nagle: false, delayed_ack_ms: None, ..TcpConfig::default() };
+            let link = LinkPair::new();
+            let mut a = Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), SchedHandle::new(), HostHandle::free());
+            let mut b = Tcp::new(link.endpoint(1), TestAux, (), cfg, SchedHandle::new(), HostHandle::free());
+            let got = Rc::new(RefCell::new(Vec::new()));
+            let g = got.clone();
+            b.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap();
+            let conn = a
+                .open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 0 }, Box::new(|_| {}))
+                .unwrap();
+            let payload: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+            let mut sent = 0;
+            let mut now = VirtualTime::ZERO;
+            let mut adopted = false;
+            for _ in 0..100_000 {
+                now = now + VirtualDuration::from_millis(1);
+                if sent < payload.len() {
+                    sent += a.send_data(conn, &payload[sent..]).unwrap_or(0);
+                }
+                a.step(now);
+                b.step(now);
+                if !adopted {
+                    let g2 = g.clone();
+                    adopted = b
+                        .set_handler(
+                            TcpConnId(1),
+                            Box::new(move |ev| {
+                                if let TcpEvent::Data(d) = ev {
+                                    g2.borrow_mut().extend_from_slice(&d);
+                                }
+                            }),
+                        )
+                        .is_ok();
+                }
+                if got.borrow().len() >= payload.len() {
+                    break;
+                }
+            }
+            assert_eq!(got.borrow().len(), payload.len(), "priority={priority}");
+            let out = got.borrow().clone();
+            (out, payload)
+        };
+        let (fifo_stream, payload) = run(false);
+        let (prio_stream, _) = run(true);
+        assert_eq!(fifo_stream, payload);
+        assert_eq!(prio_stream, payload, "byte stream identical under either scheduler");
+    }
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+    use crate::testlink::{LinkPair, TestAux};
+    use foxwire::tcp::{TcpFlags, TcpHeader, TcpSegment};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn engine(link: &LinkPair, side: u8, cfg: TcpConfig) -> Tcp<crate::testlink::TestLower, TestAux> {
+        Tcp::new(link.endpoint(side), TestAux, (), cfg, SchedHandle::new(), HostHandle::free())
+    }
+
+    fn spin(a: &mut Tcp<crate::testlink::TestLower, TestAux>, b: &mut Tcp<crate::testlink::TestLower, TestAux>) {
+        for _ in 0..200 {
+            let p = a.step(VirtualTime::ZERO);
+            let q = b.step(VirtualTime::ZERO);
+            if !p && !q {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn simultaneous_open_establishes_both_sides() {
+        // Both ends actively open to each other with fixed ports: the
+        // SYNs cross, each side enters Syn_Active (the paper's
+        // active-open SYN-RECEIVED variant), and both establish.
+        let link = LinkPair::new();
+        let cfg = TcpConfig::default();
+        let mut a = engine(&link, 0, cfg.clone());
+        let mut b = engine(&link, 1, cfg);
+        let ev_a = Rc::new(RefCell::new(Vec::new()));
+        let ev_b = Rc::new(RefCell::new(Vec::new()));
+        let (ea, eb) = (ev_a.clone(), ev_b.clone());
+        let ca = a
+            .open(
+                TcpPattern::Active { remote: 1, remote_port: 2000, local_port: 1000 },
+                Box::new(move |e| ea.borrow_mut().push(e)),
+            )
+            .unwrap();
+        let cb = b
+            .open(
+                TcpPattern::Active { remote: 0, remote_port: 1000, local_port: 2000 },
+                Box::new(move |e| eb.borrow_mut().push(e)),
+            )
+            .unwrap();
+        spin(&mut a, &mut b);
+        assert_eq!(a.state_of(ca), Some(TcpState::Estab), "events: {:?}", ev_a.borrow());
+        assert_eq!(b.state_of(cb), Some(TcpState::Estab), "events: {:?}", ev_b.borrow());
+        assert!(ev_a.borrow().contains(&TcpEvent::Established));
+        assert!(ev_b.borrow().contains(&TcpEvent::Established));
+    }
+
+    #[test]
+    fn urgent_pointer_signalled_once_per_region() {
+        let link = LinkPair::new();
+        // Immediate ACKs and no Nagle: the test spins at a frozen clock,
+        // so nothing timer-driven can fire.
+        let cfg = TcpConfig { nagle: false, delayed_ack_ms: None, ..TcpConfig::default() };
+        let mut a = engine(&link, 0, cfg.clone());
+        let mut b = engine(&link, 1, cfg);
+        let ev = Rc::new(RefCell::new(Vec::new()));
+        let e2 = ev.clone();
+        b.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap();
+        let ca = a
+            .open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 5000 }, Box::new(|_| {}))
+            .unwrap();
+        spin(&mut a, &mut b);
+        assert_eq!(a.state_of(ca), Some(TcpState::Estab));
+        b.set_handler(TcpConnId(1), Box::new(move |e| e2.borrow_mut().push(e))).unwrap();
+        // Craft an URG segment from a's side by sending data with the
+        // URG flag through the raw link: simplest is to use a's engine
+        // send and then rewrite... instead, push a hand-built segment
+        // into b via the link from endpoint 0's address.
+        // a's engine state gives us the right seq numbers:
+        a.send(ca, (), b"urgent!".to_vec()).unwrap();
+        // Rewrite in flight: set URG + urgent pointer on the data frame.
+        // (The test link carries raw TCP bytes; decode, set, re-encode.)
+        let pair_filter_installed = Rc::new(RefCell::new(0));
+        let n = pair_filter_installed.clone();
+        link.set_filter_toward(
+            1,
+            Box::new(move |bytes| {
+                if let Ok(mut seg) = TcpSegment::decode(bytes, None) {
+                    if !seg.payload.is_empty() {
+                        seg.header.flags.urg = true;
+                        seg.header.urgent = seg.payload.len() as u16;
+                        *bytes = seg.encode(None).unwrap();
+                        *n.borrow_mut() += 1;
+                    }
+                }
+                true
+            }),
+        );
+        // Retransmit will carry the URG flag after the filter mutates it;
+        // force one round trip.
+        spin(&mut a, &mut b);
+        let urgents: Vec<_> = ev
+            .borrow()
+            .iter()
+            .filter(|e| matches!(e, TcpEvent::Urgent(_)))
+            .cloned()
+            .collect();
+        // The data already flowed before the filter was installed in
+        // this spin; send one more urgent-marked chunk.
+        a.send(ca, (), b"more".to_vec()).unwrap();
+        spin(&mut a, &mut b);
+        let urgents_after: Vec<_> = ev
+            .borrow()
+            .iter()
+            .filter(|e| matches!(e, TcpEvent::Urgent(_)))
+            .cloned()
+            .collect();
+        assert!(
+            urgents_after.len() > urgents.len(),
+            "urgent event delivered: {:?}",
+            ev.borrow()
+        );
+        // Data itself still arrives in order.
+        let data: Vec<u8> = ev
+            .borrow()
+            .iter()
+            .filter_map(|e| match e {
+                TcpEvent::Data(d) => Some(d.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(data, b"urgent!more");
+    }
+
+    #[test]
+    fn traces_record_segment_flow_when_enabled() {
+        let link = LinkPair::new();
+        let cfg = TcpConfig { do_traces: true, ..TcpConfig::default() };
+        let mut a = engine(&link, 0, cfg.clone());
+        let mut b = engine(&link, 1, TcpConfig::default());
+        b.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap();
+        a.open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 5000 }, Box::new(|_| {}))
+            .unwrap();
+        spin(&mut a, &mut b);
+        let log = a.trace_log();
+        assert!(log.iter().any(|l| l.contains("tx") && l.contains("SYN")), "{log:?}");
+        assert!(log.iter().any(|l| l.contains("rx") && l.contains("SYN+ACK")), "{log:?}");
+        // Tracing off: silent.
+        assert!(b.trace_log().is_empty());
+    }
+
+    #[test]
+    fn urgent_test_filter_decodes_what_engine_encodes() {
+        // Sanity for the filter trick above: decode(encode(x)) == x with
+        // checksums off (the TestAux configuration).
+        let mut h = TcpHeader::new(1, 2);
+        h.flags = TcpFlags::ACK;
+        let seg = TcpSegment { header: h, payload: b"xyz".to_vec() };
+        let bytes = seg.encode(None).unwrap();
+        assert_eq!(TcpSegment::decode(&bytes, None).unwrap(), seg);
+    }
+}
+
+#[cfg(test)]
+mod half_close_tests {
+    //! TCP's half-close semantics: after the peer FINs, our side may
+    //! keep sending (CLOSE-WAIT is a sending state).
+
+    use super::*;
+    use crate::testlink::{LinkPair, TestAux};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn data_flows_from_close_wait() {
+        let cfg = TcpConfig { nagle: false, delayed_ack_ms: None, ..TcpConfig::default() };
+        let link = LinkPair::new();
+        let mut a = Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), SchedHandle::new(), HostHandle::free());
+        let mut b = Tcp::new(link.endpoint(1), TestAux, (), cfg, SchedHandle::new(), HostHandle::free());
+        let a_events = Rc::new(RefCell::new(Vec::new()));
+        let ae = a_events.clone();
+        b.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap();
+        let ca = a
+            .open(
+                TcpPattern::Active { remote: 1, remote_port: 80, local_port: 5000 },
+                Box::new(move |e| ae.borrow_mut().push(e)),
+            )
+            .unwrap();
+        let spin = |a: &mut Tcp<_, _>, b: &mut Tcp<_, _>| {
+            for _ in 0..200 {
+                let p = a.step(VirtualTime::ZERO);
+                let q = b.step(VirtualTime::ZERO);
+                if !p && !q {
+                    break;
+                }
+            }
+        };
+        spin(&mut a, &mut b);
+        let cb = TcpConnId(1);
+        b.set_handler(cb, Box::new(|_| {})).unwrap();
+
+        // a closes first: a -> FIN-WAIT, b -> CLOSE-WAIT.
+        a.close(ca).unwrap();
+        spin(&mut a, &mut b);
+        assert_eq!(b.state_of(cb), Some(TcpState::CloseWait));
+        assert_eq!(a.state_of(ca), Some(TcpState::FinWait2));
+
+        // b keeps talking on the half-open connection.
+        b.send(cb, (), b"parting data".to_vec()).unwrap();
+        spin(&mut a, &mut b);
+        let data: Vec<u8> = a_events
+            .borrow()
+            .iter()
+            .filter_map(|e| match e {
+                TcpEvent::Data(d) => Some(d.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(data, b"parting data", "CLOSE-WAIT can still send");
+
+        // And finally closes: full teardown, a through TIME-WAIT.
+        b.close(cb).unwrap();
+        spin(&mut a, &mut b);
+        assert_eq!(a.state_of(ca), Some(TcpState::TimeWait));
+        assert!(a_events.borrow().contains(&TcpEvent::PeerClosed));
+    }
+}
+
+#[cfg(test)]
+mod golden_trace_tests {
+    //! "Once the actions have been placed on the queue the behavior of
+    //! TCP is completely deterministic and testable" — pinned as a
+    //! golden trace: the exact segment sequence of a canonical
+    //! handshake + exchange + close, captured via `do_traces`.
+
+    use super::*;
+    use crate::testlink::{LinkPair, TestAux};
+
+    #[test]
+    fn canonical_session_trace_is_stable() {
+        let run = || {
+            let cfg = TcpConfig {
+                nagle: false,
+                delayed_ack_ms: None,
+                do_traces: true,
+                ..TcpConfig::default()
+            };
+            let link = LinkPair::new();
+            let mut a = Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), SchedHandle::new(), HostHandle::free());
+            let mut b = Tcp::new(link.endpoint(1), TestAux, (), cfg, SchedHandle::new(), HostHandle::free());
+            b.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap();
+            let ca = a
+                .open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 9000 }, Box::new(|_| {}))
+                .unwrap();
+            let spin = |a: &mut Tcp<_, _>, b: &mut Tcp<_, _>| {
+                for _ in 0..300 {
+                    let p = a.step(VirtualTime::ZERO);
+                    let q = b.step(VirtualTime::ZERO);
+                    if !p && !q {
+                        break;
+                    }
+                }
+            };
+            spin(&mut a, &mut b);
+            b.set_handler(TcpConnId(1), Box::new(|_| {})).unwrap();
+            a.send(ca, (), b"abc".to_vec()).unwrap();
+            spin(&mut a, &mut b);
+            a.close(ca).unwrap();
+            spin(&mut a, &mut b);
+            a.trace_log()
+        };
+        let t1 = run();
+        let t2 = run();
+        assert_eq!(t1, t2, "byte-identical traces across runs");
+
+        // The flag sequence of a's transmissions is the textbook session.
+        let tx_flags: Vec<String> = t1
+            .iter()
+            .filter(|l| l.contains("tx"))
+            .map(|l| {
+                l.split_whitespace()
+                    .find(|w| w.contains("SYN") || w.contains("ACK") || w.contains("FIN") || w.contains("<none>"))
+                    .unwrap_or("?")
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(
+            tx_flags,
+            vec!["SYN", "ACK", "PSH+ACK", "FIN+ACK"],
+            "full log:\n{}",
+            t1.join("\n")
+        );
+    }
+}
+
+#[cfg(test)]
+mod wraparound_tests {
+    //! Sequence-number wraparound: a transfer that crosses 2^32 in the
+    //! middle of the stream must be seamless — the reason `ubyte4`
+    //! arithmetic (our [`foxbasis::seq::Seq`]) exists at all.
+
+    use super::*;
+    use crate::testlink::{LinkPair, TestAux};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn stream_crosses_sequence_space_wrap() {
+        // Start the virtual clock so the clock-derived ISS sits just
+        // below 2^32; a 200 KB transfer then wraps mid-stream.
+        let start = VirtualTime::from_micros(((u32::MAX as u64) - 60_000) * 4);
+        let cfg = TcpConfig { nagle: false, delayed_ack_ms: None, ..TcpConfig::default() };
+        let link = LinkPair::new();
+        let sched_a = SchedHandle::from_scheduler(fox_scheduler::Scheduler::starting_at(start));
+        let sched_b = SchedHandle::from_scheduler(fox_scheduler::Scheduler::starting_at(start));
+        let mut a = Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), sched_a, HostHandle::free());
+        let mut b = Tcp::new(link.endpoint(1), TestAux, (), cfg, sched_b, HostHandle::free());
+
+        let got = Rc::new(RefCell::new(Vec::new()));
+        b.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap();
+        let conn = a
+            .open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 0 }, Box::new(|_| {}))
+            .unwrap();
+
+        let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 249) as u8).collect();
+        let mut sent = 0;
+        let mut now = start;
+        let mut adopted = false;
+        for _ in 0..100_000 {
+            now = now + VirtualDuration::from_millis(1);
+            if sent < payload.len() {
+                sent += a.send_data(conn, &payload[sent..]).unwrap_or(0);
+            }
+            a.step(now);
+            b.step(now);
+            if !adopted {
+                let g = got.clone();
+                adopted = b
+                    .set_handler(
+                        TcpConnId(1),
+                        Box::new(move |ev| {
+                            if let TcpEvent::Data(d) = ev {
+                                g.borrow_mut().extend_from_slice(&d);
+                            }
+                        }),
+                    )
+                    .is_ok();
+            }
+            if got.borrow().len() >= payload.len() {
+                break;
+            }
+        }
+        assert_eq!(got.borrow().len(), payload.len(), "transfer wedged at the wrap");
+        assert_eq!(&got.borrow()[..], &payload[..]);
+        assert_eq!(a.stats().retransmits, 0, "clean link: the wrap alone must not confuse RTT/resend");
+    }
+}

@@ -1,0 +1,204 @@
+//! The fast path (paper §4): "We have however implemented fast-path
+//! receive and send routines which handle the normal cases quickly, and
+//! defer to the full code for the less common cases."
+//!
+//! This is Van Jacobson's header prediction, specialized to the two
+//! common cases of an established bulk connection:
+//!
+//! 1. a pure in-sequence ACK of new data with no window change — the
+//!    sender's steady state;
+//! 2. a pure in-sequence data segment with nothing new in its ACK field
+//!    — the receiver's steady state.
+//!
+//! Anything else returns `false` and falls through to the Receive
+//! module's full SEGMENT-ARRIVES DAG.
+
+use crate::action::{TcpAction, TimerKind};
+use crate::resend;
+use crate::send;
+use crate::tcb::TcpState;
+use crate::{ConnCore, TcpConfig};
+use foxbasis::time::VirtualTime;
+use foxwire::tcp::TcpSegment;
+use std::fmt::Debug;
+
+/// Attempts fast-path processing; returns `true` if the segment was
+/// fully handled.
+pub fn try_fast<P: Clone + PartialEq + Debug>(
+    cfg: &TcpConfig,
+    core: &mut ConnCore<P>,
+    seg: &TcpSegment,
+    now: VirtualTime,
+) -> bool {
+    if core.state != TcpState::Estab {
+        return false;
+    }
+    let h = &seg.header;
+    // Header prediction: flags must be exactly ACK, sequence must be
+    // exactly what we expect, and the window must not change.
+    if h.flags.syn || h.flags.fin || h.flags.rst || h.flags.urg || !h.flags.ack {
+        return false;
+    }
+    if h.seq != core.tcb.rcv_nxt {
+        return false;
+    }
+    if u32::from(h.window) != core.tcb.snd_wnd {
+        return false;
+    }
+
+    if seg.payload.is_empty() {
+        // Case 1: pure ACK of new data.
+        if h.ack.in_open_closed(core.tcb.snd_una, core.tcb.snd_nxt) {
+            resend::process_ack(cfg, core, h.ack, now);
+            send::maybe_send(cfg, core, now);
+            return true;
+        }
+        false
+    } else {
+        // Case 2: pure in-order data, nothing new acknowledged, and the
+        // whole payload fits our buffer.
+        if h.ack != core.tcb.snd_una {
+            return false;
+        }
+        if core.tcb.recv_buf.free() < seg.payload.len() {
+            return false;
+        }
+        if !core.tcb.out_of_order.is_empty() {
+            return false; // let the full path manage reassembly
+        }
+        let tcb = &mut core.tcb;
+        let took = tcb.recv_buf.write(&seg.payload);
+        debug_assert_eq!(took, seg.payload.len());
+        tcb.rcv_nxt += took as u32;
+        tcb.bytes_since_ack += took as u32;
+        tcb.segs_since_ack += 1;
+        tcb.push_action(TcpAction::UserData(seg.payload.clone()));
+        match cfg.delayed_ack_ms {
+            Some(ms) if tcb.segs_since_ack < 2 && tcb.bytes_since_ack < 2 * tcb.mss => {
+                tcb.ack_pending = true;
+                tcb.push_action(TcpAction::SetTimer(TimerKind::DelayedAck, ms));
+            }
+            _ => {
+                send::queue_ack(core);
+                core.tcb.push_action(TcpAction::ClearTimer(TimerKind::DelayedAck));
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foxbasis::seq::Seq;
+    use foxwire::tcp::{TcpFlags, TcpHeader};
+
+    fn cfg() -> TcpConfig {
+        TcpConfig::default()
+    }
+
+    fn estab() -> ConnCore<u32> {
+        let mut core: ConnCore<u32> = ConnCore::new(&cfg(), 1000, Seq(100), 1460);
+        core.remote = Some((7, 2000));
+        core.state = TcpState::Estab;
+        core.tcb.mss = 1000;
+        core.tcb.snd_wnd = 4096;
+        core.tcb.rcv_nxt = Seq(5000);
+        core.tcb.snd_una = Seq(100);
+        core.tcb.snd_nxt = Seq(100);
+        core
+    }
+
+    fn seg(seq: u32, ack: u32, window: u16, payload: &[u8]) -> TcpSegment {
+        let mut h = TcpHeader::new(2000, 1000);
+        h.seq = Seq(seq);
+        h.ack = Seq(ack);
+        h.flags = TcpFlags::ACK;
+        h.window = window;
+        TcpSegment { header: h, payload: payload.to_vec() }
+    }
+
+    #[test]
+    fn pure_ack_taken_fast() {
+        let mut core = estab();
+        // One outstanding segment.
+        core.tcb.send_buf.write(&[1; 500]);
+        core.tcb.snd_nxt = Seq(600);
+        core.tcb.resend_queue.push_back(crate::tcb::SentSegment {
+            seq: Seq(100),
+            len: 500,
+            syn: false,
+            fin: false,
+        });
+        assert!(try_fast(&cfg(), &mut core, &seg(5000, 600, 4096, b""), VirtualTime::ZERO));
+        assert_eq!(core.tcb.snd_una, Seq(600));
+        assert!(core.tcb.resend_queue.is_empty());
+    }
+
+    #[test]
+    fn pure_data_taken_fast() {
+        let mut core = estab();
+        let payload = vec![9u8; 700];
+        assert!(try_fast(&cfg(), &mut core, &seg(5000, 100, 4096, &payload), VirtualTime::ZERO));
+        assert_eq!(core.tcb.rcv_nxt, Seq(5700));
+        let tags: Vec<_> =
+            core.tcb.to_do.borrow_mut().drain_all().iter().map(|a| a.tag()).collect();
+        assert!(tags.contains(&"User_Data"));
+    }
+
+    #[test]
+    fn rejects_non_estab() {
+        let mut core = estab();
+        core.state = TcpState::FinWait1 { fin_acked: false };
+        assert!(!try_fast(&cfg(), &mut core, &seg(5000, 100, 4096, b"x"), VirtualTime::ZERO));
+    }
+
+    #[test]
+    fn rejects_flag_anomalies() {
+        let mut core = estab();
+        let mut s = seg(5000, 100, 4096, b"");
+        s.header.flags.fin = true;
+        assert!(!try_fast(&cfg(), &mut core, &s, VirtualTime::ZERO));
+        let mut s = seg(5000, 100, 4096, b"");
+        s.header.flags.syn = true;
+        assert!(!try_fast(&cfg(), &mut core, &s, VirtualTime::ZERO));
+        let mut s = seg(5000, 100, 4096, b"");
+        s.header.flags.ack = false;
+        assert!(!try_fast(&cfg(), &mut core, &s, VirtualTime::ZERO));
+    }
+
+    #[test]
+    fn rejects_out_of_sequence() {
+        let mut core = estab();
+        assert!(!try_fast(&cfg(), &mut core, &seg(5001, 100, 4096, b"late"), VirtualTime::ZERO));
+    }
+
+    #[test]
+    fn rejects_window_change() {
+        let mut core = estab();
+        assert!(!try_fast(&cfg(), &mut core, &seg(5000, 100, 2048, b""), VirtualTime::ZERO));
+    }
+
+    #[test]
+    fn rejects_old_ack_as_pure_ack() {
+        let mut core = estab();
+        core.tcb.snd_una = Seq(200);
+        core.tcb.snd_nxt = Seq(600);
+        assert!(!try_fast(&cfg(), &mut core, &seg(5000, 200, 4096, b""), VirtualTime::ZERO));
+    }
+
+    #[test]
+    fn rejects_data_when_reassembly_pending() {
+        let mut core = estab();
+        core.tcb.insert_out_of_order(Seq(6000), vec![1; 10], false);
+        assert!(!try_fast(&cfg(), &mut core, &seg(5000, 100, 4096, b"abc"), VirtualTime::ZERO));
+    }
+
+    #[test]
+    fn rejects_data_when_buffer_tight() {
+        let mut core = estab();
+        let fill = core.tcb.recv_buf.capacity() - 10;
+        core.tcb.recv_buf.write(&vec![0u8; fill]);
+        assert!(!try_fast(&cfg(), &mut core, &seg(5000, 100, 4096, &[1u8; 20]), VirtualTime::ZERO));
+    }
+}

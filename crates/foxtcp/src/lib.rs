@@ -1,0 +1,155 @@
+//! # The structured TCP — the paper's core contribution
+//!
+//! "We designed the TCP implementation to have the same structure as the
+//! TCP standard" (§4). The module decomposition here is the paper's
+//! Fig. 9, one Rust module per SML module:
+//!
+//! | paper module | here          | job |
+//! |--------------|---------------|-----|
+//! | `Tcb`        | [`tcb`]       | the TCB record and `tcp_state` datatype (Fig. 6) |
+//! | `Main`       | [`engine`]    | the quasi-synchronous executor and user operations |
+//! | `State`      | [`state`]     | open/close/abort and timer-expiration state manipulations |
+//! | `Receive`    | [`receive`]   | RFC 793 SEGMENT-ARRIVES, branch for branch, functions as merge points |
+//! | `Resend`     | [`resend`]    | the retransmit queue and the Karn/Jacobson round-trip computations |
+//! | `Send`       | [`send`]      | segmenting outgoing data into `Send_Segment` actions |
+//! | `Action`     | [`engine`] + [`action`] | timers, segment externalization/internalization |
+//! |  (§4)        | [`fastpath`]  | "fast-path receive and send routines which handle the normal cases quickly" |
+//!
+//! The control structure is the paper's Fig. 7: timer expirations and
+//! message receptions are asynchronous, but each merely *enqueues* a
+//! [`action::TcpAction`] on the connection's `to_do` queue; the thread
+//! that executes an operation then drains the queue. Everything after
+//! enqueue is totally ordered and deterministic.
+//!
+//! The TCP functor itself is [`engine::Tcp<L, A>`], whose parameters are
+//! the paper's Fig. 4: the lower protocol `L`, the auxiliary structure
+//! `A` (with the `sharing` constraints as associated-type bounds), and
+//! the value parameters collected in [`TcpConfig`].
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod engine;
+pub mod fastpath;
+pub mod receive;
+pub mod resend;
+pub mod send;
+pub mod state;
+pub mod tcb;
+pub mod testlink;
+
+pub use action::{TcpAction, TimerKind};
+pub use engine::{Tcp, TcpConnId, TcpEvent, TcpPattern, TcpStats};
+pub use tcb::{Tcb, TcpState};
+
+use foxbasis::seq::Seq;
+use tcb::Tcb as TcbT;
+
+/// The value parameters of the TCP functor (paper Fig. 4).
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// `val initial_window: int` — the receive-buffer/window size. The
+    /// paper's benchmark standardizes it to 4096 bytes.
+    pub initial_window: usize,
+    /// `val compute_checksums: bool` — `false` only for compositions
+    /// where the layer below guarantees integrity (`Special_Tcp` over
+    /// Ethernet with its CRC).
+    pub compute_checksums: bool,
+    /// `val abort_unknown_connections: bool` — whether segments for
+    /// unknown connections are answered with RST. "Set to false when we
+    /// wish to run ... on a workstation without disturbing connections
+    /// that were set up by the resident operating system."
+    pub abort_unknown_connections: bool,
+    /// `val user_timeout: int` (ms) — "the length of time before hung
+    /// operations fail".
+    pub user_timeout_ms: u64,
+    /// Send-buffer size in bytes.
+    pub send_buffer: usize,
+    /// Milliseconds to delay ACKs waiting for a piggyback opportunity;
+    /// `None` acknowledges immediately.
+    pub delayed_ack_ms: Option<u64>,
+    /// Nagle's small-segment coalescing.
+    pub nagle: bool,
+    /// Use the §4 fast-path receive routine for common-case segments.
+    pub fast_path: bool,
+    /// The paper's proposed scheduling extension: "By replacing the
+    /// current FIFO with a priority queue, we could specify that
+    /// particular actions, e.g., actions which affect the packet
+    /// latency, be executed with higher priority." When set, the action
+    /// executor serves `Send_Segment` actions (the latency-affecting
+    /// ones) ahead of anything else in the connection's to_do queue.
+    pub latency_priority: bool,
+    /// Slow start and congestion avoidance (RFC 1122 requires them; an
+    /// ablation switch here).
+    pub congestion_control: bool,
+    /// The 2MSL TIME-WAIT hold time, in ms.
+    pub time_wait_ms: u64,
+    /// Maximum retransmissions of one segment before giving up.
+    pub max_retransmits: u32,
+    /// SYN (and SYN+ACK) retries.
+    pub syn_retries: u32,
+    /// Default backlog for passive opens.
+    pub backlog: usize,
+    /// `val do_prints: bool`.
+    pub do_prints: bool,
+    /// `val do_traces: bool`.
+    pub do_traces: bool,
+}
+
+impl Default for TcpConfig {
+    /// The paper's benchmark configuration: 4096-byte window, checksums
+    /// on, immediate aborts of unknown connections, 2-minute user
+    /// timeout.
+    fn default() -> Self {
+        TcpConfig {
+            initial_window: 4096,
+            compute_checksums: true,
+            abort_unknown_connections: true,
+            user_timeout_ms: 120_000,
+            send_buffer: 8192,
+            delayed_ack_ms: Some(200),
+            nagle: true,
+            fast_path: true,
+            latency_priority: false,
+            congestion_control: true,
+            time_wait_ms: 2 * 30_000, // 2 × MSL, scaled for the simulated LAN
+            max_retransmits: 12,
+            syn_retries: 5,
+            backlog: 8,
+            do_prints: false,
+            do_traces: false,
+        }
+    }
+}
+
+/// The per-connection core the State/Receive/Send/Resend modules operate
+/// on: everything about a connection *except* the engine-side plumbing
+/// (user handler, timer handles). Module-level tests construct one of
+/// these, apply one operation, and compare the TCB against the standard
+/// — the paper's test structure.
+pub struct ConnCore<P> {
+    /// Our port.
+    pub local_port: u16,
+    /// Peer address and port (`None` while listening).
+    pub remote: Option<(P, u16)>,
+    /// The connection state.
+    pub state: TcpState,
+    /// The transmission control block.
+    pub tcb: TcbT<P>,
+    /// The MSS we advertise on SYNs (from the aux structure's MTU).
+    pub our_mss: u32,
+}
+
+impl<P: Clone + PartialEq + std::fmt::Debug> ConnCore<P> {
+    /// A fresh closed connection core.
+    pub fn new(cfg: &TcpConfig, local_port: u16, iss: Seq, our_mss: u32) -> ConnCore<P> {
+        ConnCore {
+            local_port,
+            remote: None,
+            state: TcpState::Closed,
+            tcb: TcbT::new(iss, cfg.send_buffer, cfg.initial_window),
+            our_mss,
+        }
+    }
+}

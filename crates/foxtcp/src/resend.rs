@@ -1,0 +1,468 @@
+//! The Resend module: the retransmission queue and the round-trip time
+//! computations "developed by Karn and Jacobson" (paper §4), plus the
+//! Jacobson congestion windows RFC 1122 requires.
+//!
+//! Responsibilities, exactly as the paper assigns them: implement the
+//! RTT estimation, and "remove acknowledged segments from the retransmit
+//! queue".
+
+use crate::action::{TcpAction, TimerKind};
+use crate::tcb::{RttEstimator, SentSegment, TcpState, MAX_RTO, MIN_RTO};
+use crate::{ConnCore, TcpConfig};
+use foxbasis::seq::Seq;
+use foxbasis::time::{VirtualDuration, VirtualTime};
+use foxwire::tcp::{TcpFlags, TcpHeader, TcpSegment};
+use std::fmt::Debug;
+
+/// Jacobson's estimator update: `rttvar = 3/4 rttvar + 1/4 |srtt - m|`,
+/// `srtt = 7/8 srtt + 1/8 m`, `rto = srtt + 4 rttvar`, clamped.
+pub fn update_rtt(est: &mut RttEstimator, sample: VirtualDuration) {
+    match est.srtt {
+        None => {
+            est.srtt = Some(sample);
+            est.rttvar = sample / 2;
+        }
+        Some(srtt) => {
+            let err = if srtt > sample { srtt - sample } else { sample - srtt };
+            est.rttvar = (est.rttvar * 3) / 4 + err / 4;
+            est.srtt = Some((srtt * 7) / 8 + sample / 8);
+        }
+    }
+    let srtt = est.srtt.expect("just set");
+    est.rto = (srtt + est.rttvar * 4).max(MIN_RTO).min(MAX_RTO);
+}
+
+/// Outcome of processing an acceptable ACK.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct AckOutcome {
+    /// Payload bytes newly acknowledged.
+    pub bytes_acked: u32,
+    /// Our SYN was acknowledged.
+    pub syn_acked: bool,
+    /// Our FIN was acknowledged.
+    pub fin_acked: bool,
+}
+
+/// Processes an ACK that satisfies `SND.UNA < SEG.ACK =< SND.NXT`:
+/// removes acknowledged segments from the retransmit queue, advances
+/// `snd_una`, releases send-buffer bytes, takes the RTT sample (Karn),
+/// opens the congestion window, and re-arms or clears the retransmit
+/// timer.
+pub fn process_ack<P: Clone + PartialEq + Debug>(
+    cfg: &TcpConfig,
+    core: &mut ConnCore<P>,
+    ack: Seq,
+    now: VirtualTime,
+) -> AckOutcome {
+    let tcb = &mut core.tcb;
+    let mut out = AckOutcome::default();
+
+    // Remove acknowledged segments from the retransmit queue.
+    while let Some(front) = tcb.resend_queue.front() {
+        if front.end().le(ack) {
+            let seg = tcb.resend_queue.pop_front().expect("front");
+            out.bytes_acked += seg.len;
+            out.syn_acked |= seg.syn;
+            out.fin_acked |= seg.fin;
+        } else {
+            break;
+        }
+    }
+    // Partial ACK inside the front segment: trim it.
+    if let Some(front) = tcb.resend_queue.front_mut() {
+        if front.seq.lt(ack) && ack.lt(front.end()) {
+            let cut = ack.since(front.seq);
+            let data_cut = cut - u32::from(front.syn && front.seq.lt(ack));
+            front.len -= data_cut.min(front.len);
+            if front.syn {
+                front.syn = false; // the SYN octet is first, so it is covered
+                out.syn_acked = true;
+            }
+            front.seq = ack;
+            out.bytes_acked += data_cut;
+        }
+    }
+
+    // Karn: only sample if the timed sequence number is covered and no
+    // retransmission intervened (timing is cleared on retransmit).
+    if let Some((timed_seq, sent_at)) = tcb.rtt.timing {
+        if timed_seq.le(ack) {
+            update_rtt(&mut tcb.rtt, now.saturating_since(sent_at));
+            tcb.rtt.timing = None;
+        }
+    }
+
+    // The ACK of new data resets backoff and the give-up counter.
+    tcb.rtt.backoff = 0;
+    tcb.retransmits_left = cfg.max_retransmits;
+    tcb.dup_acks = 0;
+
+    // Release acknowledged bytes from the send buffer. (snd_una tracks
+    // the buffer head; SYN/FIN octets occupy sequence space but no
+    // buffer bytes.)
+    tcb.send_buf.skip(out.bytes_acked as usize);
+    tcb.snd_una = ack;
+
+    // Congestion window growth (Jacobson): slow start below ssthresh,
+    // linear above.
+    if cfg.congestion_control && tcb.cwnd > 0 && out.bytes_acked > 0 {
+        if tcb.cwnd < tcb.ssthresh {
+            tcb.cwnd = tcb.cwnd.saturating_add(tcb.mss);
+        } else {
+            tcb.cwnd = tcb.cwnd.saturating_add((tcb.mss * tcb.mss / tcb.cwnd).max(1));
+        }
+    }
+
+    // Retransmit timer: clear when everything is acknowledged, restart
+    // when something is still outstanding.
+    if tcb.resend_queue.is_empty() {
+        tcb.push_action(TcpAction::ClearTimer(TimerKind::Resend));
+    } else {
+        tcb.push_action(TcpAction::SetTimer(TimerKind::Resend, tcb.rtt.timeout().as_millis()));
+    }
+    tcb.push_action(TcpAction::AckedTo(ack));
+    out
+}
+
+/// A duplicate ACK (`SEG.ACK == SND.UNA` with nothing else of interest).
+/// Three in a row trigger fast retransmit (Reno's first half).
+pub fn duplicate_ack<P: Clone + PartialEq + Debug>(
+    cfg: &TcpConfig,
+    core: &mut ConnCore<P>,
+    now: VirtualTime,
+) {
+    if core.tcb.resend_queue.is_empty() {
+        return;
+    }
+    core.tcb.dup_acks += 1;
+    if core.tcb.dup_acks == 3 && cfg.congestion_control {
+        // Fast retransmit: resend the first unacknowledged segment
+        // without waiting for the timer, halve the window.
+        let tcb = &mut core.tcb;
+        let flight = tcb.flight_size();
+        tcb.ssthresh = (flight / 2).max(2 * tcb.mss);
+        if tcb.cwnd > 0 {
+            tcb.cwnd = tcb.ssthresh;
+        }
+        tcb.rtt.timing = None; // Karn
+        retransmit_front(core, now);
+    }
+}
+
+/// Rebuilds and queues the first unacknowledged segment for
+/// transmission. Payload bytes are re-read from the send buffer at
+/// offset `seq - snd_una`.
+pub fn retransmit_front<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, _now: VirtualTime) {
+    let tcb = &mut core.tcb;
+    let front = match tcb.resend_queue.front() {
+        Some(s) => s.clone(),
+        None => return,
+    };
+    let mut payload = vec![0u8; front.len as usize];
+    // Buffer bytes start at snd_una, except that an unacknowledged SYN
+    // octet occupies the first sequence number without a buffer byte.
+    let syn_outstanding = tcb.resend_queue.iter().any(|s| s.syn);
+    let raw = front.seq.since(tcb.snd_una) as usize;
+    let offset = raw.saturating_sub(usize::from(syn_outstanding && !front.syn));
+    let got = tcb.send_buf.peek_at(offset, &mut payload);
+    payload.truncate(got);
+    let mut header = TcpHeader::new(core.local_port, core.remote.as_ref().map(|(_, p)| *p).unwrap_or(0));
+    header.seq = front.seq;
+    header.ack = tcb.rcv_nxt;
+    header.flags = TcpFlags {
+        syn: front.syn,
+        fin: front.fin,
+        ack: core.state.is_synchronized() || !front.syn,
+        psh: front.len > 0,
+        ..TcpFlags::default()
+    };
+    if front.syn {
+        header.options.push(foxwire::tcp::TcpOption::MaxSegmentSize(core.our_mss.min(65535) as u16));
+        header.flags.ack = core.state.is_syn_received();
+    }
+    header.window = tcb.rcv_wnd().min(65535) as u16;
+    tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload }));
+}
+
+/// The retransmission timer fired: back off, resend the front segment,
+/// shrink the congestion window, and give up (signalling the user
+/// timeout) when the retry budget is exhausted. Returns `true` if the
+/// connection gave up and was reset.
+pub fn retransmit_timeout<P: Clone + PartialEq + Debug>(
+    cfg: &TcpConfig,
+    core: &mut ConnCore<P>,
+    now: VirtualTime,
+) -> bool {
+    if core.tcb.resend_queue.is_empty() {
+        return false;
+    }
+    if core.tcb.retransmits_left == 0 {
+        // Hung operation: fail it (the paper's user timeout).
+        core.state = TcpState::Closed;
+        let tcb = &mut core.tcb;
+        for kind in TimerKind::ALL {
+            tcb.push_action(TcpAction::ClearTimer(kind));
+        }
+        tcb.push_action(TcpAction::UserTimeoutFired);
+        return true;
+    }
+    {
+        let tcb = &mut core.tcb;
+        tcb.retransmits_left -= 1;
+        tcb.rtt.backoff += 1;
+        tcb.rtt.timing = None; // Karn: never time a retransmitted segment
+        if cfg.congestion_control {
+            let flight = tcb.flight_size();
+            tcb.ssthresh = (flight / 2).max(2 * tcb.mss);
+            if tcb.cwnd > 0 {
+                tcb.cwnd = tcb.mss; // back to slow start
+            }
+            tcb.dup_acks = 0;
+        }
+        // SYN-state retry accounting lives in the state, mirroring the
+        // paper's `Syn_Sent of tcp_tcb * int`.
+        match &mut core.state {
+            TcpState::SynSent { retries_left } | TcpState::SynPassive { retries_left } => {
+                if *retries_left == 0 {
+                    core.state = TcpState::Closed;
+                    let tcb = &mut core.tcb;
+                    for kind in TimerKind::ALL {
+                        tcb.push_action(TcpAction::ClearTimer(kind));
+                    }
+                    tcb.push_action(TcpAction::UserTimeoutFired);
+                    return true;
+                }
+                *retries_left -= 1;
+            }
+            _ => {}
+        }
+    }
+    retransmit_front(core, now);
+    let timeout = core.tcb.rtt.timeout().as_millis();
+    core.tcb.push_action(TcpAction::SetTimer(TimerKind::Resend, timeout));
+    false
+}
+
+/// Records a freshly transmitted segment in the retransmission queue and
+/// starts the RTT clock if idle.
+pub fn record_sent<P>(tcb: &mut crate::tcb::Tcb<P>, seg: SentSegment, now: VirtualTime) {
+    if tcb.rtt.timing.is_none() && seg.seq_len() > 0 {
+        tcb.rtt.timing = Some((seg.end(), now));
+    }
+    let was_empty = tcb.resend_queue.is_empty();
+    tcb.resend_queue.push_back(seg);
+    if was_empty {
+        tcb.push_action(TcpAction::SetTimer(TimerKind::Resend, tcb.rtt.timeout().as_millis()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcb::INITIAL_RTO;
+
+    fn cfg() -> TcpConfig {
+        TcpConfig::default()
+    }
+
+    fn core_with_flight() -> ConnCore<u32> {
+        let mut core: ConnCore<u32> = ConnCore::new(&cfg(), 1000, Seq(100), 1460);
+        core.remote = Some((9, 2000));
+        core.state = TcpState::Estab;
+        core.tcb.mss = 1000;
+        core.tcb.snd_wnd = 8000;
+        // 3000 bytes in the buffer, all sent as three 1000-byte segments.
+        core.tcb.send_buf.write(&[0xAA; 3000]);
+        for i in 0..3u32 {
+            core.tcb.resend_queue.push_back(SentSegment {
+                seq: Seq(100 + i * 1000),
+                len: 1000,
+                syn: false,
+                fin: false,
+            });
+        }
+        core.tcb.snd_nxt = Seq(3100);
+        core
+    }
+
+    fn drain(core: &ConnCore<u32>) -> Vec<String> {
+        core.tcb
+            .to_do
+            .borrow_mut()
+            .drain_all()
+            .into_iter()
+            .map(|a| format!("{a:?}"))
+            .collect()
+    }
+
+    #[test]
+    fn jacobson_first_sample_initializes() {
+        let mut est = RttEstimator::default();
+        update_rtt(&mut est, VirtualDuration::from_millis(100));
+        assert_eq!(est.srtt, Some(VirtualDuration::from_millis(100)));
+        assert_eq!(est.rttvar, VirtualDuration::from_millis(50));
+        // srtt + 4·rttvar = 300 ms, floored at the BSD 1 s minimum.
+        assert_eq!(est.rto, MIN_RTO);
+        // A slow path's first sample escapes the floor.
+        let mut est = RttEstimator::default();
+        update_rtt(&mut est, VirtualDuration::from_millis(600));
+        assert_eq!(est.rto, VirtualDuration::from_millis(600 + 4 * 300));
+    }
+
+    #[test]
+    fn jacobson_converges_on_steady_rtt() {
+        let mut est = RttEstimator::default();
+        for _ in 0..50 {
+            update_rtt(&mut est, VirtualDuration::from_millis(80));
+        }
+        let srtt = est.srtt.unwrap().as_millis();
+        assert!((78..=82).contains(&srtt), "srtt={srtt}");
+        // Variance decays toward zero, so RTO falls to the floor.
+        assert_eq!(est.rto, MIN_RTO);
+    }
+
+    #[test]
+    fn jacobson_spike_inflates_rto() {
+        let mut est = RttEstimator::default();
+        for _ in 0..10 {
+            update_rtt(&mut est, VirtualDuration::from_millis(500));
+        }
+        let calm = est.rto;
+        update_rtt(&mut est, VirtualDuration::from_millis(5000));
+        assert!(est.rto > calm, "a spike must raise the RTO: {:?} vs {calm:?}", est.rto);
+    }
+
+    #[test]
+    fn ack_removes_covered_segments() {
+        let mut core = core_with_flight();
+        let out = process_ack(&cfg(), &mut core, Seq(2100), VirtualTime::from_millis(50));
+        assert_eq!(out.bytes_acked, 2000);
+        assert_eq!(core.tcb.snd_una, Seq(2100));
+        assert_eq!(core.tcb.resend_queue.len(), 1);
+        assert_eq!(core.tcb.send_buf.len(), 1000, "acked bytes released");
+        let acts = drain(&core);
+        assert!(acts.iter().any(|a| a.starts_with("Set_Timer(Resend")), "timer restarts: {acts:?}");
+    }
+
+    #[test]
+    fn full_ack_clears_resend_timer() {
+        let mut core = core_with_flight();
+        process_ack(&cfg(), &mut core, Seq(3100), VirtualTime::from_millis(50));
+        assert!(core.tcb.resend_queue.is_empty());
+        let acts = drain(&core);
+        assert!(acts.iter().any(|a| a.starts_with("Clear_Timer(Resend")), "{acts:?}");
+    }
+
+    #[test]
+    fn partial_ack_trims_front_segment() {
+        let mut core = core_with_flight();
+        let out = process_ack(&cfg(), &mut core, Seq(600), VirtualTime::from_millis(10));
+        assert_eq!(out.bytes_acked, 500);
+        let front = core.tcb.resend_queue.front().unwrap();
+        assert_eq!(front.seq, Seq(600));
+        assert_eq!(front.len, 500);
+    }
+
+    #[test]
+    fn rtt_sample_taken_only_when_timed_seq_covered() {
+        let mut core = core_with_flight();
+        core.tcb.rtt.timing = Some((Seq(2100), VirtualTime::from_millis(0)));
+        process_ack(&cfg(), &mut core, Seq(1100), VirtualTime::from_millis(90));
+        assert!(core.tcb.rtt.timing.is_some(), "not covered yet");
+        assert!(core.tcb.rtt.srtt.is_none());
+        process_ack(&cfg(), &mut core, Seq(2100), VirtualTime::from_millis(120));
+        assert_eq!(core.tcb.rtt.srtt, Some(VirtualDuration::from_millis(120)));
+        assert!(core.tcb.rtt.timing.is_none());
+    }
+
+    #[test]
+    fn karn_no_sample_after_retransmit() {
+        let mut core = core_with_flight();
+        core.tcb.rtt.timing = Some((Seq(1100), VirtualTime::from_millis(0)));
+        retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(1000));
+        assert!(core.tcb.rtt.timing.is_none(), "Karn clears the timer");
+        process_ack(&cfg(), &mut core, Seq(1100), VirtualTime::from_millis(1500));
+        assert!(core.tcb.rtt.srtt.is_none(), "no sample from a retransmitted segment");
+    }
+
+    #[test]
+    fn backoff_doubles_and_ack_resets() {
+        let mut core = core_with_flight();
+        let t0 = core.tcb.rtt.timeout();
+        assert_eq!(t0, INITIAL_RTO);
+        retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(1000));
+        assert_eq!(core.tcb.rtt.backoff, 1);
+        assert_eq!(core.tcb.rtt.timeout(), INITIAL_RTO * 2);
+        retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(3000));
+        assert_eq!(core.tcb.rtt.timeout(), INITIAL_RTO * 4);
+        process_ack(&cfg(), &mut core, Seq(1100), VirtualTime::from_millis(3500));
+        assert_eq!(core.tcb.rtt.backoff, 0, "new data acked resets backoff");
+    }
+
+    #[test]
+    fn retransmit_rebuilds_payload_from_buffer() {
+        let mut core = core_with_flight();
+        retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(1000));
+        let acts = core.tcb.to_do.borrow_mut().drain_all();
+        let seg = acts
+            .iter()
+            .find_map(|a| match a {
+                TcpAction::SendSegment(s) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("a retransmitted segment");
+        assert_eq!(seg.header.seq, Seq(100));
+        assert_eq!(seg.payload, vec![0xAA; 1000]);
+    }
+
+    #[test]
+    fn timeout_shrinks_congestion_window() {
+        let mut core = core_with_flight();
+        core.tcb.cwnd = 8000;
+        core.tcb.ssthresh = u32::MAX;
+        retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(1000));
+        assert_eq!(core.tcb.cwnd, 1000, "back to one MSS");
+        assert_eq!(core.tcb.ssthresh, 2000, "half the flight, floored at 2·MSS");
+    }
+
+    #[test]
+    fn giving_up_signals_user_timeout() {
+        let mut core = core_with_flight();
+        core.tcb.retransmits_left = 0;
+        let gave_up = retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(1000));
+        assert!(gave_up);
+        assert_eq!(core.state, TcpState::Closed);
+        let acts = drain(&core);
+        assert!(acts.iter().any(|a| a == "User_Timeout"), "{acts:?}");
+    }
+
+    #[test]
+    fn three_duplicate_acks_fast_retransmit() {
+        let mut core = core_with_flight();
+        core.tcb.cwnd = 6000;
+        core.tcb.ssthresh = u32::MAX;
+        let now = VirtualTime::from_millis(10);
+        duplicate_ack(&cfg(), &mut core, now);
+        duplicate_ack(&cfg(), &mut core, now);
+        assert!(drain(&core).iter().all(|a| !a.starts_with("Send_Segment")));
+        duplicate_ack(&cfg(), &mut core, now);
+        let acts = drain(&core);
+        assert!(
+            acts.iter().any(|a| a.starts_with("Send_Segment(seq=100")),
+            "fast retransmit of the first segment: {acts:?}"
+        );
+        assert_eq!(core.tcb.ssthresh, 2000);
+    }
+
+    #[test]
+    fn record_sent_arms_timer_once() {
+        let mut core = core_with_flight();
+        core.tcb.resend_queue.clear();
+        let now = VirtualTime::from_millis(5);
+        record_sent(&mut core.tcb, SentSegment { seq: Seq(100), len: 10, syn: false, fin: false }, now);
+        record_sent(&mut core.tcb, SentSegment { seq: Seq(110), len: 10, syn: false, fin: false }, now);
+        let acts = drain(&core);
+        assert_eq!(acts.iter().filter(|a| a.starts_with("Set_Timer(Resend")).count(), 1);
+        assert_eq!(core.tcb.rtt.timing, Some((Seq(110), now)), "first segment timed");
+    }
+}

@@ -1,0 +1,324 @@
+//! The State module: "the main state manipulations required on
+//! connection open, close, or abort, and also when a timer expires"
+//! (paper §4).
+
+use crate::action::{TcpAction, TimerKind};
+use crate::resend;
+use crate::send;
+use crate::tcb::TcpState;
+use crate::{ConnCore, TcpConfig};
+use foxbasis::time::VirtualTime;
+use foxproto::ProtoError;
+use foxwire::tcp::TcpFlags;
+use std::fmt::Debug;
+
+/// Active open (RFC 793 OPEN with a specified foreign socket): send a
+/// SYN, arm the user timeout, enter SYN-SENT.
+pub fn active_open<P: Clone + PartialEq + Debug>(
+    cfg: &TcpConfig,
+    core: &mut ConnCore<P>,
+    now: VirtualTime,
+) -> Result<(), ProtoError> {
+    if core.state != TcpState::Closed {
+        return Err(ProtoError::AlreadyOpen);
+    }
+    if core.remote.is_none() {
+        return Err(ProtoError::Invalid("active open requires a remote"));
+    }
+    core.state = TcpState::SynSent { retries_left: cfg.syn_retries };
+    send::queue_syn(core, false, now);
+    core.tcb.push_action(TcpAction::SetTimer(TimerKind::UserTimeout, cfg.user_timeout_ms));
+    Ok(())
+}
+
+/// Passive open (RFC 793 OPEN with an unspecified foreign socket).
+pub fn passive_open<P: Clone + PartialEq + Debug>(
+    cfg: &TcpConfig,
+    core: &mut ConnCore<P>,
+) -> Result<(), ProtoError> {
+    if core.state != TcpState::Closed {
+        return Err(ProtoError::AlreadyOpen);
+    }
+    core.state = TcpState::Listen { backlog: cfg.backlog };
+    Ok(())
+}
+
+/// CLOSE (RFC 793 p. 60): graceful shutdown of our direction.
+pub fn close<P: Clone + PartialEq + Debug>(
+    cfg: &TcpConfig,
+    core: &mut ConnCore<P>,
+    now: VirtualTime,
+) -> Result<(), ProtoError> {
+    match core.state.clone() {
+        TcpState::Closed => Err(ProtoError::NotOpen),
+        TcpState::Listen { .. } | TcpState::SynSent { .. } => {
+            // "Any outstanding RECEIVEs are returned ... delete the TCB."
+            core.state = TcpState::Closed;
+            for kind in TimerKind::ALL {
+                core.tcb.push_action(TcpAction::ClearTimer(kind));
+            }
+            core.tcb.push_action(TcpAction::CompleteClose);
+            Ok(())
+        }
+        TcpState::SynActive | TcpState::SynPassive { .. } | TcpState::Estab => {
+            // "Queue this until all preceding SENDs have been segmentized,
+            // then form a FIN segment and send it" — fin_pending does the
+            // queueing; the Send module emits the FIN after the data.
+            core.tcb.fin_pending = true;
+            core.state = TcpState::FinWait1 { fin_acked: false };
+            send::maybe_send(cfg, core, now);
+            Ok(())
+        }
+        TcpState::CloseWait => {
+            core.tcb.fin_pending = true;
+            core.state = TcpState::LastAck;
+            send::maybe_send(cfg, core, now);
+            Ok(())
+        }
+        TcpState::FinWait1 { .. }
+        | TcpState::FinWait2
+        | TcpState::Closing
+        | TcpState::LastAck
+        | TcpState::TimeWait => Err(ProtoError::Closing),
+    }
+}
+
+/// ABORT (RFC 793 p. 62): RST out (if synchronized), flush, close.
+pub fn abort<P: Clone + PartialEq + Debug>(
+    _cfg: &TcpConfig,
+    core: &mut ConnCore<P>,
+) -> Result<(), ProtoError> {
+    let was = core.state.clone();
+    if was == TcpState::Closed {
+        return Err(ProtoError::NotOpen);
+    }
+    if core.state.is_synchronized() && was != TcpState::TimeWait {
+        let header = send::make_header(core, TcpFlags::RST_ACK, core.tcb.snd_nxt);
+        core.tcb.push_action(TcpAction::SendSegment(foxwire::tcp::TcpSegment {
+            header,
+            payload: Vec::new(),
+        }));
+    }
+    core.state = TcpState::Closed;
+    core.tcb.resend_queue.clear();
+    core.tcb.send_buf.clear();
+    core.tcb.out_of_order.clear();
+    for kind in TimerKind::ALL {
+        core.tcb.push_action(TcpAction::ClearTimer(kind));
+    }
+    core.tcb.push_action(TcpAction::CompleteClose);
+    Ok(())
+}
+
+/// Timer expirations (the `Timer_Expiration` action): dispatch to the
+/// responsible module.
+pub fn timer_expired<P: Clone + PartialEq + Debug>(
+    cfg: &TcpConfig,
+    core: &mut ConnCore<P>,
+    kind: TimerKind,
+    now: VirtualTime,
+) {
+    if core.state == TcpState::Closed {
+        return;
+    }
+    match kind {
+        TimerKind::Resend => {
+            resend::retransmit_timeout(cfg, core, now);
+        }
+        TimerKind::DelayedAck => {
+            if core.tcb.ack_pending {
+                send::queue_ack(core);
+            }
+        }
+        TimerKind::Persist => {
+            send::window_probe(cfg, core, now);
+        }
+        TimerKind::TimeWait => {
+            if core.state == TcpState::TimeWait {
+                core.state = TcpState::Closed;
+                for k in TimerKind::ALL {
+                    core.tcb.push_action(TcpAction::ClearTimer(k));
+                }
+                core.tcb.push_action(TcpAction::CompleteClose);
+            }
+        }
+        TimerKind::UserTimeout => {
+            // A hung operation (usually the handshake) fails.
+            if !matches!(core.state, TcpState::Estab) {
+                core.state = TcpState::Closed;
+                core.tcb.resend_queue.clear();
+                core.tcb.send_buf.clear();
+                for k in TimerKind::ALL {
+                    core.tcb.push_action(TcpAction::ClearTimer(k));
+                }
+                core.tcb.push_action(TcpAction::UserTimeoutFired);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foxbasis::seq::Seq;
+
+    fn cfg() -> TcpConfig {
+        TcpConfig::default()
+    }
+
+    fn fresh() -> ConnCore<u32> {
+        let mut c: ConnCore<u32> = ConnCore::new(&cfg(), 1000, Seq(100), 1460);
+        c.remote = Some((7, 2000));
+        c
+    }
+
+    fn tags(core: &ConnCore<u32>) -> Vec<&'static str> {
+        core.tcb.to_do.borrow_mut().drain_all().iter().map(|a| a.tag()).collect()
+    }
+
+    #[test]
+    fn active_open_sends_syn_and_arms_user_timer() {
+        let mut core = fresh();
+        active_open(&cfg(), &mut core, VirtualTime::ZERO).unwrap();
+        assert_eq!(core.state, TcpState::SynSent { retries_left: 5 });
+        let t = tags(&core);
+        assert!(t.contains(&"Send_Segment"));
+        assert!(t.contains(&"Set_Timer"));
+        assert_eq!(core.tcb.snd_nxt, Seq(101));
+        // Double open fails.
+        assert_eq!(active_open(&cfg(), &mut core, VirtualTime::ZERO), Err(ProtoError::AlreadyOpen));
+    }
+
+    #[test]
+    fn active_open_requires_remote() {
+        let mut core: ConnCore<u32> = ConnCore::new(&cfg(), 1, Seq(0), 1460);
+        assert!(matches!(
+            active_open(&cfg(), &mut core, VirtualTime::ZERO),
+            Err(ProtoError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn passive_open_listens() {
+        let mut core = fresh();
+        passive_open(&cfg(), &mut core).unwrap();
+        assert_eq!(core.state, TcpState::Listen { backlog: 8 });
+        assert_eq!(passive_open(&cfg(), &mut core), Err(ProtoError::AlreadyOpen));
+    }
+
+    #[test]
+    fn close_from_estab_sends_fin_enters_finwait1() {
+        let mut core = fresh();
+        core.state = TcpState::Estab;
+        core.tcb.snd_wnd = 4096;
+        close(&cfg(), &mut core, VirtualTime::ZERO).unwrap();
+        assert_eq!(core.state, TcpState::FinWait1 { fin_acked: false });
+        assert!(core.tcb.fin_pending);
+        assert!(core.tcb.fin_seq.is_some(), "FIN actually staged");
+        let t = tags(&core);
+        assert!(t.contains(&"Send_Segment"));
+    }
+
+    #[test]
+    fn close_from_close_wait_enters_last_ack() {
+        let mut core = fresh();
+        core.state = TcpState::CloseWait;
+        core.tcb.snd_wnd = 4096;
+        close(&cfg(), &mut core, VirtualTime::ZERO).unwrap();
+        assert_eq!(core.state, TcpState::LastAck);
+    }
+
+    #[test]
+    fn close_from_listen_or_synsent_just_closes() {
+        let mut core = fresh();
+        core.state = TcpState::Listen { backlog: 4 };
+        close(&cfg(), &mut core, VirtualTime::ZERO).unwrap();
+        assert_eq!(core.state, TcpState::Closed);
+        assert!(tags(&core).contains(&"Complete_Close"));
+
+        let mut core = fresh();
+        core.state = TcpState::SynSent { retries_left: 3 };
+        close(&cfg(), &mut core, VirtualTime::ZERO).unwrap();
+        assert_eq!(core.state, TcpState::Closed);
+    }
+
+    #[test]
+    fn double_close_is_an_error() {
+        let mut core = fresh();
+        core.state = TcpState::FinWait2;
+        assert_eq!(close(&cfg(), &mut core, VirtualTime::ZERO), Err(ProtoError::Closing));
+        core.state = TcpState::Closed;
+        assert_eq!(close(&cfg(), &mut core, VirtualTime::ZERO), Err(ProtoError::NotOpen));
+    }
+
+    #[test]
+    fn abort_sends_rst_and_flushes() {
+        let mut core = fresh();
+        core.state = TcpState::Estab;
+        core.tcb.send_buf.write(&[1; 100]);
+        abort(&cfg(), &mut core).unwrap();
+        assert_eq!(core.state, TcpState::Closed);
+        assert_eq!(core.tcb.send_buf.len(), 0);
+        let acts: Vec<String> =
+            core.tcb.to_do.borrow_mut().drain_all().iter().map(|a| format!("{a:?}")).collect();
+        assert!(acts.iter().any(|a| a.contains("RST")), "{acts:?}");
+        assert!(acts.iter().any(|a| a == "Complete_Close"));
+    }
+
+    #[test]
+    fn abort_from_syn_sent_sends_no_rst() {
+        let mut core = fresh();
+        core.state = TcpState::SynSent { retries_left: 1 };
+        abort(&cfg(), &mut core).unwrap();
+        let acts: Vec<String> =
+            core.tcb.to_do.borrow_mut().drain_all().iter().map(|a| format!("{a:?}")).collect();
+        assert!(!acts.iter().any(|a| a.contains("RST")), "{acts:?}");
+    }
+
+    #[test]
+    fn time_wait_timer_completes_close() {
+        let mut core = fresh();
+        core.state = TcpState::TimeWait;
+        timer_expired(&cfg(), &mut core, TimerKind::TimeWait, VirtualTime::from_millis(60_000));
+        assert_eq!(core.state, TcpState::Closed);
+        assert!(tags(&core).contains(&"Complete_Close"));
+    }
+
+    #[test]
+    fn user_timeout_fails_a_hung_handshake() {
+        let mut core = fresh();
+        core.state = TcpState::SynSent { retries_left: 2 };
+        timer_expired(&cfg(), &mut core, TimerKind::UserTimeout, VirtualTime::from_millis(1));
+        assert_eq!(core.state, TcpState::Closed);
+        assert!(tags(&core).contains(&"User_Timeout"));
+    }
+
+    #[test]
+    fn user_timeout_ignores_established() {
+        let mut core = fresh();
+        core.state = TcpState::Estab;
+        timer_expired(&cfg(), &mut core, TimerKind::UserTimeout, VirtualTime::from_millis(1));
+        assert_eq!(core.state, TcpState::Estab);
+    }
+
+    #[test]
+    fn delayed_ack_timer_acks_only_when_pending() {
+        let mut core = fresh();
+        core.state = TcpState::Estab;
+        timer_expired(&cfg(), &mut core, TimerKind::DelayedAck, VirtualTime::from_millis(1));
+        assert!(tags(&core).is_empty());
+        core.tcb.ack_pending = true;
+        timer_expired(&cfg(), &mut core, TimerKind::DelayedAck, VirtualTime::from_millis(2));
+        assert!(tags(&core).contains(&"Send_Segment"));
+        assert!(!core.tcb.ack_pending);
+    }
+
+    #[test]
+    fn timers_on_closed_connection_are_inert() {
+        let mut core = fresh();
+        for kind in TimerKind::ALL {
+            timer_expired(&cfg(), &mut core, kind, VirtualTime::from_millis(1));
+        }
+        assert!(tags(&core).is_empty());
+    }
+}

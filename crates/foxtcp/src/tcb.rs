@@ -1,0 +1,538 @@
+//! The Tcb module (paper Fig. 6): "the types with which these data
+//! structures are represented and some basic operations on values of
+//! these types".
+//!
+//! Field correspondence with the paper's `tcp_tcb` record:
+//!
+//! | paper field      | here                                           |
+//! |------------------|------------------------------------------------|
+//! | `iss`            | [`Tcb::iss`]                                   |
+//! | `snd_una` …      | [`Tcb::snd_una`] and the other RFC 793 vars    |
+//! | `queued`         | the unsent tail of [`Tcb::send_buf`] (bytes past `snd_nxt`) — the deque of not-yet-sent packets, adapted to a byte-stream store so retransmission can re-segment |
+//! | `out_of_order`   | [`Tcb::out_of_order`]                          |
+//! | `to_do`          | [`Tcb::to_do`] — the action queue at the heart of the quasi-synchronous control structure |
+//!
+//! The `tcp_state` datatype is [`TcpState`], with the paper's twelve
+//! variants including the `Syn_Active` / `Syn_Passive` split of RFC 793's
+//! single SYN-RECEIVED state (the paper keeps them separate because the
+//! completion action differs: an active opener must also complete the
+//! user's `open`).
+
+use crate::action::TcpAction;
+use foxbasis::fifo::Fifo;
+use foxbasis::ring::RingBuffer;
+use foxbasis::seq::Seq;
+use foxbasis::time::{VirtualDuration, VirtualTime};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// The shared, queue-only handle to a connection's `to_do` queue.
+///
+/// Timer closures capture exactly this (never the engine or the TCB), so
+/// an expiration can only *enqueue* — the paper's rule that asynchronous
+/// events are synchronized by queuing actions.
+pub type ToDo<P> = Rc<RefCell<Fifo<TcpAction<P>>>>;
+
+/// The connection state (paper Fig. 6 `tcp_state`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TcpState {
+    /// No connection. (The paper's `Closed of tcp_action Q.T ref` keeps
+    /// the to_do queue so queued actions can still drain; ours lives in
+    /// the connection record.)
+    Closed,
+    /// Passive open, awaiting SYNs; the payload is the paper's `int`
+    /// (bounding concurrent embryonic connections).
+    Listen {
+        /// Maximum embryonic (SYN-received) children.
+        backlog: usize,
+    },
+    /// Active open, SYN sent; the `int` counts remaining retries.
+    SynSent {
+        /// SYN retransmissions left before giving up.
+        retries_left: u32,
+    },
+    /// SYN-RECEIVED reached from an active open (simultaneous open).
+    SynActive,
+    /// SYN-RECEIVED reached from a passive open; the `int` counts
+    /// retries of our SYN+ACK.
+    SynPassive {
+        /// SYN+ACK retransmissions left.
+        retries_left: u32,
+    },
+    /// Connection established.
+    Estab,
+    /// We closed first; the `bool` is the paper's "our FIN has been
+    /// acknowledged" flag.
+    FinWait1 {
+        /// True once the peer has ACKed our FIN.
+        fin_acked: bool,
+    },
+    /// Our FIN acknowledged, awaiting the peer's.
+    FinWait2,
+    /// Peer closed first; we may still send.
+    CloseWait,
+    /// Simultaneous close: FINs crossed.
+    Closing,
+    /// Peer closed, we closed, awaiting the ACK of our FIN.
+    LastAck,
+    /// Both closed; lingering 2MSL to absorb stray segments.
+    TimeWait,
+}
+
+impl TcpState {
+    /// True in states where user data may still be sent.
+    pub fn can_send(&self) -> bool {
+        matches!(self, TcpState::Estab | TcpState::CloseWait)
+    }
+
+    /// True in states where incoming segment text is accepted.
+    pub fn can_receive(&self) -> bool {
+        matches!(self, TcpState::Estab | TcpState::FinWait1 { .. } | TcpState::FinWait2)
+    }
+
+    /// True for the two SYN-RECEIVED flavors.
+    pub fn is_syn_received(&self) -> bool {
+        matches!(self, TcpState::SynActive | TcpState::SynPassive { .. })
+    }
+
+    /// True once the connection is past the three-way handshake.
+    pub fn is_synchronized(&self) -> bool {
+        !matches!(
+            self,
+            TcpState::Closed | TcpState::Listen { .. } | TcpState::SynSent { .. }
+        )
+    }
+}
+
+/// Jacobson/Karn round-trip estimation state (the Resend module's data).
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    /// Smoothed RTT in µs (None until the first sample).
+    pub srtt: Option<VirtualDuration>,
+    /// RTT variation in µs.
+    pub rttvar: VirtualDuration,
+    /// Current retransmission timeout.
+    pub rto: VirtualDuration,
+    /// Exponential backoff multiplier exponent (0 = no backoff).
+    pub backoff: u32,
+    /// The segment being timed: (sequence number whose ACK completes the
+    /// sample, send time). Karn's algorithm: cleared on retransmission.
+    pub timing: Option<(Seq, VirtualTime)>,
+}
+
+/// RFC 1122's initial RTO.
+pub const INITIAL_RTO: VirtualDuration = VirtualDuration::from_millis(1000);
+/// Lower bound on the RTO. BSD's classic floor of one second: the floor
+/// must comfortably exceed the peer's delayed-ACK hold time (200 ms) or
+/// every window tail spuriously retransmits.
+pub const MIN_RTO: VirtualDuration = VirtualDuration::from_millis(1000);
+/// Upper bound on the RTO.
+pub const MAX_RTO: VirtualDuration = VirtualDuration::from_secs(64);
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: VirtualDuration::ZERO,
+            rto: INITIAL_RTO,
+            backoff: 0,
+            timing: None,
+        }
+    }
+}
+
+impl RttEstimator {
+    /// The timeout to arm the retransmit timer with (RTO with backoff).
+    pub fn timeout(&self) -> VirtualDuration {
+        self.rto.saturating_mul(1u64 << self.backoff.min(6)).min(MAX_RTO)
+    }
+}
+
+/// An entry in the retransmission queue: a sent, unacknowledged segment.
+/// Payload bytes are *not* stored — they are re-read from `send_buf` at
+/// retransmission time (the single-copy discipline).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SentSegment {
+    /// First sequence number of the segment.
+    pub seq: Seq,
+    /// Bytes of payload.
+    pub len: u32,
+    /// Whether the segment carried SYN.
+    pub syn: bool,
+    /// Whether the segment carried FIN.
+    pub fin: bool,
+}
+
+impl SentSegment {
+    /// Sequence space consumed.
+    pub fn seq_len(&self) -> u32 {
+        self.len + u32::from(self.syn) + u32::from(self.fin)
+    }
+
+    /// One past the last sequence number.
+    pub fn end(&self) -> Seq {
+        self.seq + self.seq_len()
+    }
+}
+
+/// The transmission control block (paper Fig. 6 `tcp_tcb`).
+pub struct Tcb<P> {
+    // --- RFC 793 send sequence variables ---
+    /// Initial send sequence number.
+    pub iss: Seq,
+    /// Oldest unacknowledged sequence number.
+    pub snd_una: Seq,
+    /// Next sequence number to send.
+    pub snd_nxt: Seq,
+    /// Peer-advertised send window.
+    pub snd_wnd: u32,
+    /// Segment seq used for the last window update.
+    pub snd_wl1: Seq,
+    /// Segment ack used for the last window update.
+    pub snd_wl2: Seq,
+    /// Send urgent pointer (Fig. 6 lists it; we track it for
+    /// completeness — the paper's stack, like ours, never generates
+    /// urgent data).
+    pub snd_up: Seq,
+
+    // --- RFC 793 receive sequence variables ---
+    /// Initial receive sequence number.
+    pub irs: Seq,
+    /// Next sequence number expected.
+    pub rcv_nxt: Seq,
+    /// Receive urgent pointer (RFC 793 p. 73: `RCV.UP <- max(RCV.UP,
+    /// SEG.SEQ + SEG.UP)`); tracked, signalled to the user, but — per
+    /// the consensus the paper inherited — not used to expedite
+    /// delivery.
+    pub rcv_up: Seq,
+
+    // --- negotiated parameters ---
+    /// Effective maximum segment size for sending.
+    pub mss: u32,
+
+    // --- data buffers ---
+    /// Outgoing byte store: `snd_una .. snd_una + send_buf.len()`.
+    /// The prefix up to `snd_nxt` is sent-but-unacked (the retransmit
+    /// store); the tail is the paper's `queued` — staged, unsent data.
+    pub send_buf: RingBuffer,
+    /// True once the user has called `close` — a FIN follows the last
+    /// byte of `send_buf`.
+    pub fin_pending: bool,
+    /// Sequence number our FIN occupies once sent.
+    pub fin_seq: Option<Seq>,
+    /// In-order received data awaiting delivery actions are cut from.
+    pub recv_buf: RingBuffer,
+    /// Out-of-order segments (paper: `out_of_order: tcp_in Q.T ref`),
+    /// kept sorted by sequence number; `bool` marks a FIN carried by the
+    /// segment.
+    pub out_of_order: Vec<(Seq, Vec<u8>, bool)>,
+
+    // --- retransmission (the Resend module's queue) ---
+    /// Sent, unacknowledged segments, oldest first.
+    pub resend_queue: foxbasis::deq::Deq<SentSegment>,
+    /// RTT estimation.
+    pub rtt: RttEstimator,
+    /// Retransmissions remaining before the connection gives up.
+    pub retransmits_left: u32,
+
+    // --- congestion control (RFC 1122 / Jacobson) ---
+    /// Congestion window.
+    pub cwnd: u32,
+    /// Slow-start threshold.
+    pub ssthresh: u32,
+    /// Consecutive duplicate ACKs seen.
+    pub dup_acks: u32,
+
+    // --- delayed-ack bookkeeping ---
+    /// True if an ACK is owed but deferred behind the ack timer.
+    pub ack_pending: bool,
+    /// Bytes received since the last ACK we sent.
+    pub bytes_since_ack: u32,
+    /// Data segments received since the last ACK we sent (BSD's
+    /// ack-every-other-segment policy).
+    pub segs_since_ack: u32,
+    /// The receive window we most recently advertised on the wire. When
+    /// the application consumes data and the real window exceeds this by
+    /// two segments (or half the buffer), a window-update ACK goes out —
+    /// BSD's rule, and the thing that un-sticks a peer that saw zero.
+    pub last_adv_wnd: u32,
+
+    // --- the control structure ---
+    /// The to_do action queue (paper: `to_do: tcp_action Q.T ref`).
+    pub to_do: ToDo<P>,
+}
+
+/// Maximum out-of-order segments held (smoltcp's upper configuration).
+pub const MAX_OUT_OF_ORDER: usize = 32;
+
+impl<P> Tcb<P> {
+    /// A TCB for a connection with the given buffer sizes and initial
+    /// send sequence number.
+    pub fn new(iss: Seq, send_buffer: usize, recv_buffer: usize) -> Tcb<P> {
+        Tcb {
+            iss,
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_wnd: 0,
+            snd_wl1: Seq(0),
+            snd_wl2: Seq(0),
+            snd_up: iss,
+            irs: Seq(0),
+            rcv_nxt: Seq(0),
+            rcv_up: Seq(0),
+            mss: 536,
+            send_buf: RingBuffer::new(send_buffer.max(1)),
+            fin_pending: false,
+            fin_seq: None,
+            recv_buf: RingBuffer::new(recv_buffer.max(1)),
+            out_of_order: Vec::new(),
+            resend_queue: foxbasis::deq::Deq::new(),
+            rtt: RttEstimator::default(),
+            retransmits_left: 12,
+            cwnd: 0,
+            ssthresh: u32::MAX,
+            dup_acks: 0,
+            ack_pending: false,
+            bytes_since_ack: 0,
+            segs_since_ack: 0,
+            last_adv_wnd: recv_buffer.max(1).min(65535) as u32,
+            to_do: Rc::new(RefCell::new(Fifo::new())),
+        }
+    }
+
+    /// The receive window we advertise: free space in the receive
+    /// buffer, capped at the 16-bit field.
+    pub fn rcv_wnd(&self) -> u32 {
+        (self.recv_buf.free() as u32).min(65535)
+    }
+
+    /// Bytes in flight (sent, unacknowledged).
+    pub fn flight_size(&self) -> u32 {
+        self.snd_nxt.since(self.snd_una)
+    }
+
+    /// The usable send window: how many more bytes the peer (and the
+    /// congestion window, if active) will accept.
+    pub fn usable_window(&self) -> u32 {
+        let wnd = if self.cwnd > 0 { self.snd_wnd.min(self.cwnd) } else { self.snd_wnd };
+        wnd.saturating_sub(self.flight_size())
+    }
+
+    /// Unsent bytes staged in the send buffer (the paper's `queued`).
+    pub fn unsent(&self) -> u32 {
+        (self.send_buf.len() as u32).saturating_sub(self.flight_size())
+    }
+
+    /// Pushes an action onto the to_do queue (the only way anything is
+    /// ever scheduled against a connection).
+    pub fn push_action(&self, action: TcpAction<P>) {
+        self.to_do.borrow_mut().add(action);
+    }
+
+    /// Inserts an out-of-order segment, keeping the queue sorted and
+    /// bounded. Exact duplicates are dropped.
+    pub fn insert_out_of_order(&mut self, seq: Seq, data: Vec<u8>, fin: bool) {
+        if self.out_of_order.len() >= MAX_OUT_OF_ORDER {
+            return;
+        }
+        if self.out_of_order.iter().any(|(s, d, _)| *s == seq && d.len() == data.len()) {
+            return;
+        }
+        let at = self
+            .out_of_order
+            .binary_search_by(|(s, _, _)| {
+                if *s == seq {
+                    std::cmp::Ordering::Equal
+                } else if s.lt(seq) {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            })
+            .unwrap_or_else(|e| e);
+        self.out_of_order.insert(at, (seq, data, fin));
+    }
+
+    /// Drains out-of-order segments that are now in order, appending
+    /// their data to `recv_buf`. Returns (delivered bytes, fin seen).
+    pub fn drain_out_of_order(&mut self) -> (Vec<u8>, bool) {
+        let mut delivered = Vec::new();
+        let mut fin = false;
+        while !fin {
+            // Find a segment starting at or below rcv_nxt.
+            let idx = self.out_of_order.iter().position(|(s, _, _)| s.le(self.rcv_nxt));
+            let (s, d, f) = match idx {
+                Some(i) => self.out_of_order.remove(i),
+                None => break,
+            };
+            let skip = self.rcv_nxt.since(s) as usize;
+            if skip > d.len() {
+                continue; // wholly stale duplicate
+            }
+            let fresh = &d[skip..];
+            let took = self.recv_buf.write(fresh);
+            delivered.extend_from_slice(&fresh[..took]);
+            self.rcv_nxt += took as u32;
+            if took < fresh.len() {
+                // Receive buffer full: keep the remainder for later.
+                self.insert_out_of_order(self.rcv_nxt, fresh[took..].to_vec(), f);
+                break;
+            }
+            if f {
+                fin = true; // all of the segment's data consumed: FIN is next
+            }
+        }
+        (delivered, fin)
+    }
+}
+
+impl<P> fmt::Debug for Tcb<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tcb(una={}, nxt={}, wnd={}, rcv_nxt={}, rcv_wnd={}, flight={}, unsent={}, ooo={}, todo={})",
+            self.snd_una,
+            self.snd_nxt,
+            self.snd_wnd,
+            self.rcv_nxt,
+            self.rcv_wnd(),
+            self.flight_size(),
+            self.unsent(),
+            self.out_of_order.len(),
+            self.to_do.borrow().size(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcb() -> Tcb<()> {
+        Tcb::new(Seq(1000), 4096, 4096)
+    }
+
+    #[test]
+    fn fresh_tcb_invariants() {
+        let t = tcb();
+        assert_eq!(t.snd_una, Seq(1000));
+        assert_eq!(t.snd_nxt, Seq(1000));
+        assert_eq!(t.flight_size(), 0);
+        assert_eq!(t.unsent(), 0);
+        assert_eq!(t.rcv_wnd(), 4096);
+        assert!(t.to_do.borrow().is_empty());
+    }
+
+    #[test]
+    fn windows_and_flight() {
+        let mut t = tcb();
+        t.snd_wnd = 4096;
+        t.send_buf.write(&[0; 1000]);
+        assert_eq!(t.unsent(), 1000);
+        t.snd_nxt = t.snd_una + 600;
+        assert_eq!(t.flight_size(), 600);
+        assert_eq!(t.unsent(), 400);
+        assert_eq!(t.usable_window(), 4096 - 600);
+        t.cwnd = 800;
+        assert_eq!(t.usable_window(), 200, "cwnd caps the window");
+    }
+
+    #[test]
+    fn rcv_wnd_tracks_buffer_and_caps() {
+        let mut t: Tcb<()> = Tcb::new(Seq(0), 16, 100_000);
+        assert_eq!(t.rcv_wnd(), 65535, "capped at the 16-bit field");
+        t.recv_buf.write(&[0; 50]);
+        assert_eq!(t.rcv_wnd(), 65535.min((100_000 - 50) as u32));
+    }
+
+    #[test]
+    fn out_of_order_sorted_insert_and_drain() {
+        let mut t = tcb();
+        t.rcv_nxt = Seq(100);
+        t.insert_out_of_order(Seq(120), vec![2; 10], false);
+        t.insert_out_of_order(Seq(100), vec![1; 20], false);
+        let (data, fin) = t.drain_out_of_order();
+        assert_eq!(data.len(), 30);
+        assert!(!fin);
+        assert_eq!(t.rcv_nxt, Seq(130));
+        assert!(t.out_of_order.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_with_gap_waits() {
+        let mut t = tcb();
+        t.rcv_nxt = Seq(100);
+        t.insert_out_of_order(Seq(130), vec![3; 10], false);
+        let (data, _) = t.drain_out_of_order();
+        assert!(data.is_empty());
+        assert_eq!(t.out_of_order.len(), 1);
+        // The gap fills:
+        t.insert_out_of_order(Seq(100), vec![1; 30], false);
+        let (data, _) = t.drain_out_of_order();
+        assert_eq!(data.len(), 40);
+        assert_eq!(t.rcv_nxt, Seq(140));
+    }
+
+    #[test]
+    fn overlapping_out_of_order_deduplicated() {
+        let mut t = tcb();
+        t.rcv_nxt = Seq(100);
+        t.insert_out_of_order(Seq(100), vec![1; 20], false);
+        t.insert_out_of_order(Seq(110), vec![2; 10], false); // wholly contained
+        let (data, _) = t.drain_out_of_order();
+        assert_eq!(data.len(), 20);
+        assert_eq!(t.rcv_nxt, Seq(120));
+        assert!(t.out_of_order.is_empty(), "contained segment discarded");
+    }
+
+    #[test]
+    fn out_of_order_fin_reported() {
+        let mut t = tcb();
+        t.rcv_nxt = Seq(100);
+        t.insert_out_of_order(Seq(100), vec![9; 5], true);
+        let (data, fin) = t.drain_out_of_order();
+        assert_eq!(data.len(), 5);
+        assert!(fin);
+    }
+
+    #[test]
+    fn out_of_order_bounded() {
+        let mut t = tcb();
+        t.rcv_nxt = Seq(0);
+        for i in 0..(MAX_OUT_OF_ORDER + 10) {
+            t.insert_out_of_order(Seq(1000 + 10 * i as u32), vec![0; 5], false);
+        }
+        assert_eq!(t.out_of_order.len(), MAX_OUT_OF_ORDER);
+    }
+
+    #[test]
+    fn rtt_timeout_backoff() {
+        let mut r = RttEstimator::default();
+        assert_eq!(r.timeout(), INITIAL_RTO);
+        r.backoff = 3;
+        assert_eq!(r.timeout(), VirtualDuration::from_millis(8000));
+        r.backoff = 40; // clamped
+        assert_eq!(r.timeout(), MAX_RTO);
+    }
+
+    #[test]
+    fn sent_segment_accounting() {
+        let s = SentSegment { seq: Seq(10), len: 100, syn: false, fin: true };
+        assert_eq!(s.seq_len(), 101);
+        assert_eq!(s.end(), Seq(111));
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(TcpState::Estab.can_send());
+        assert!(TcpState::CloseWait.can_send());
+        assert!(!TcpState::FinWait1 { fin_acked: false }.can_send());
+        assert!(TcpState::FinWait2.can_receive());
+        assert!(!TcpState::CloseWait.can_receive());
+        assert!(TcpState::SynActive.is_syn_received());
+        assert!(TcpState::SynPassive { retries_left: 1 }.is_syn_received());
+        assert!(!TcpState::SynSent { retries_left: 1 }.is_synchronized());
+        assert!(TcpState::TimeWait.is_synchronized());
+    }
+}

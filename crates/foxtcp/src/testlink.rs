@@ -1,0 +1,225 @@
+//! An in-memory lower protocol for testing TCP in isolation.
+//!
+//! The paper's test structure runs each module against the standard
+//! without a live network; [`LinkPair`] extends that to whole-engine
+//! tests: two [`TestLower`] endpoints joined by loss-free (or
+//! deterministically lossy) in-memory queues, with addresses that are
+//! plain `u8`s. No IP, no Ethernet, no simulator — every test failure is
+//! a TCP bug.
+//!
+//! The companion [`TestAux`] satisfies `IP_AUX` with checksums disabled
+//! (the in-memory link never corrupts), so the full engine runs over it
+//! unchanged — the same genericity that lets `Special_Tcp` run over raw
+//! Ethernet.
+
+use foxbasis::time::VirtualTime;
+use foxproto::aux::{AuxInfo, IpAux};
+use foxproto::{Handler, ProtoError, Protocol};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A message on the test link: (source address, bytes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestMsg {
+    /// Sender's link address.
+    pub src: u8,
+    /// Segment bytes.
+    pub data: Vec<u8>,
+}
+
+/// Policy hook: inspect/modify/drop frames in transit.
+/// Returns `false` to drop the frame.
+pub type Filter = Box<dyn FnMut(&mut Vec<u8>) -> bool>;
+
+struct Wire {
+    /// Frames in flight toward endpoint 0 / 1.
+    toward: [VecDeque<TestMsg>; 2],
+    filters: [Option<Filter>; 2],
+    /// Frames dropped by filters.
+    pub dropped: u64,
+}
+
+/// A pair of connected test endpoints.
+pub struct LinkPair {
+    wire: Rc<RefCell<Wire>>,
+}
+
+impl LinkPair {
+    /// A fresh, loss-free pair. Endpoint addresses are 0 and 1.
+    pub fn new() -> LinkPair {
+        LinkPair {
+            wire: Rc::new(RefCell::new(Wire {
+                toward: [VecDeque::new(), VecDeque::new()],
+                filters: [None, None],
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// The endpoint with address `side` (0 or 1).
+    pub fn endpoint(&self, side: u8) -> TestLower {
+        assert!(side < 2);
+        TestLower { wire: self.wire.clone(), side, handler: None, opened: false }
+    }
+
+    /// Installs a filter on frames *toward* `side`.
+    pub fn set_filter_toward(&self, side: u8, filter: Filter) {
+        self.wire.borrow_mut().filters[usize::from(side)] = Some(filter);
+    }
+
+    /// Frames dropped by filters so far.
+    pub fn dropped(&self) -> u64 {
+        self.wire.borrow().dropped
+    }
+
+    /// Frames currently in flight toward `side`.
+    pub fn in_flight_toward(&self, side: u8) -> usize {
+        self.wire.borrow().toward[usize::from(side)].len()
+    }
+}
+
+impl Default for LinkPair {
+    fn default() -> Self {
+        LinkPair::new()
+    }
+}
+
+/// One endpoint of a [`LinkPair`].
+pub struct TestLower {
+    wire: Rc<RefCell<Wire>>,
+    side: u8,
+    handler: Option<Handler<TestMsg>>,
+    opened: bool,
+}
+
+impl Protocol for TestLower {
+    type Pattern = ();
+    type Peer = u8;
+    type Incoming = TestMsg;
+    type ConnId = u8;
+
+    fn open(&mut self, _p: (), handler: Handler<TestMsg>) -> Result<u8, ProtoError> {
+        if self.opened {
+            return Err(ProtoError::AlreadyOpen);
+        }
+        self.opened = true;
+        self.handler = Some(handler);
+        Ok(self.side)
+    }
+
+    fn send(&mut self, _conn: u8, to: u8, payload: Vec<u8>) -> Result<(), ProtoError> {
+        if to > 1 {
+            return Err(ProtoError::Unreachable);
+        }
+        let mut wire = self.wire.borrow_mut();
+        let mut payload = payload;
+        let keep = match &mut wire.filters[usize::from(to)] {
+            Some(f) => f(&mut payload),
+            None => true,
+        };
+        if keep {
+            let src = self.side;
+            wire.toward[usize::from(to)].push_back(TestMsg { src, data: payload });
+        } else {
+            wire.dropped += 1;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self, _conn: u8) -> Result<(), ProtoError> {
+        self.opened = false;
+        self.handler = None;
+        Ok(())
+    }
+
+    fn step(&mut self, _now: VirtualTime) -> bool {
+        let mut progress = false;
+        loop {
+            let msg = self.wire.borrow_mut().toward[usize::from(self.side)].pop_front();
+            match msg {
+                Some(m) => {
+                    progress = true;
+                    if let Some(h) = &mut self.handler {
+                        h(m);
+                    }
+                }
+                None => break,
+            }
+        }
+        progress
+    }
+}
+
+/// `IP_AUX` for the test link: no checksums, a generous MTU.
+#[derive(Clone, Debug, Default)]
+pub struct TestAux;
+
+impl IpAux for TestAux {
+    type Address = u8;
+    type Incoming = TestMsg;
+
+    fn hash(addr: &u8) -> u64 {
+        u64::from(*addr)
+    }
+
+    fn makestring(addr: &u8) -> String {
+        format!("host{addr}")
+    }
+
+    fn info<'a>(&self, msg: &'a TestMsg) -> AuxInfo<'a, u8> {
+        AuxInfo { src: msg.src, data: &msg.data }
+    }
+
+    fn check(&self, _remote: &u8, _len: usize) -> Option<u16> {
+        None
+    }
+
+    fn mtu(&self) -> usize {
+        1480
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn frames_cross_the_link() {
+        let pair = LinkPair::new();
+        let mut a = pair.endpoint(0);
+        let mut b = pair.endpoint(1);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        b.open((), Box::new(move |m| g.borrow_mut().push(m))).unwrap();
+        a.open((), Box::new(|_| {})).unwrap();
+        a.send(0, 1, b"hello".to_vec()).unwrap();
+        assert!(b.step(VirtualTime::ZERO));
+        assert_eq!(got.borrow().len(), 1);
+        assert_eq!(got.borrow()[0], TestMsg { src: 0, data: b"hello".to_vec() });
+    }
+
+    #[test]
+    fn filters_drop_frames() {
+        let pair = LinkPair::new();
+        let mut a = pair.endpoint(0);
+        let mut b = pair.endpoint(1);
+        b.open((), Box::new(|_| {})).unwrap();
+        a.open((), Box::new(|_| {})).unwrap();
+        let count = Rc::new(RefCell::new(0));
+        let c = count.clone();
+        pair.set_filter_toward(
+            1,
+            Box::new(move |_| {
+                *c.borrow_mut() += 1;
+                *c.borrow() % 2 == 0 // drop every odd frame
+            }),
+        );
+        for _ in 0..4 {
+            a.send(0, 1, vec![0]).unwrap();
+        }
+        b.step(VirtualTime::ZERO);
+        assert_eq!(pair.dropped(), 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! Property-based adversarial tests: arbitrary segments against the
+//! Receive module, and whole-engine transfers over randomly failing
+//! links. The quasi-synchronous design's promise is determinism and
+//! testability; these properties pin down the safety side — no input
+//! sequence may panic the stack or corrupt its invariants.
+
+use foxbasis::seq::Seq;
+use foxbasis::time::{VirtualDuration, VirtualTime};
+use foxproto::Protocol;
+use foxtcp::receive;
+use foxtcp::tcb::{TcpState, MAX_OUT_OF_ORDER};
+use foxtcp::testlink::{LinkPair, TestAux};
+use foxtcp::{ConnCore, Tcp, TcpConfig, TcpConnId, TcpEvent, TcpPattern};
+use fox_scheduler::SchedHandle;
+use foxwire::tcp::{TcpFlags, TcpHeader, TcpSegment};
+use proptest::prelude::*;
+use simnet::HostHandle;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Debug, Clone)]
+struct ArbSegment {
+    seq: u32,
+    ack: u32,
+    flags: u8,
+    window: u16,
+    payload_len: usize,
+}
+
+fn arb_segment() -> impl Strategy<Value = ArbSegment> {
+    (any::<u32>(), any::<u32>(), 0u8..64, any::<u16>(), 0usize..2000).prop_map(
+        |(seq, ack, flags, window, payload_len)| ArbSegment { seq, ack, flags, window, payload_len },
+    )
+}
+
+/// Segments biased toward the connection's live window, where the
+/// interesting branches are.
+fn biased_segment(base_seq: u32, base_ack: u32) -> impl Strategy<Value = ArbSegment> {
+    (
+        -20_000i64..20_000,
+        -20_000i64..20_000,
+        0u8..64,
+        any::<u16>(),
+        0usize..1600,
+    )
+        .prop_map(move |(dseq, dack, flags, window, payload_len)| ArbSegment {
+            seq: (base_seq as i64).wrapping_add(dseq) as u32,
+            ack: (base_ack as i64).wrapping_add(dack) as u32,
+            flags,
+            window,
+            payload_len,
+        })
+}
+
+fn to_segment(a: &ArbSegment) -> TcpSegment {
+    let mut h = TcpHeader::new(4000, 80);
+    h.seq = Seq(a.seq);
+    h.ack = Seq(a.ack);
+    h.flags = TcpFlags::from_u8(a.flags);
+    h.window = a.window;
+    TcpSegment { header: h, payload: vec![0x7u8; a.payload_len] }
+}
+
+fn estab_core() -> ConnCore<u8> {
+    let cfg = TcpConfig::default();
+    let mut core: ConnCore<u8> = ConnCore::new(&cfg, 80, Seq(1_000_000), 1460);
+    core.remote = Some((9, 4000));
+    core.state = TcpState::Estab;
+    core.tcb.mss = 1000;
+    core.tcb.snd_una = Seq(1_000_001);
+    core.tcb.snd_nxt = Seq(1_000_001);
+    core.tcb.irs = Seq(5_000_000);
+    core.tcb.rcv_nxt = Seq(5_000_001);
+    core.tcb.snd_wnd = 4096;
+    core
+}
+
+fn check_invariants(core: &ConnCore<u8>, context: &str) {
+    let tcb = &core.tcb;
+    // Circular ordering of the send-side variables.
+    assert!(tcb.snd_una.le(tcb.snd_nxt), "{context}: snd_una must not pass snd_nxt");
+    // In-flight data never exceeds what the buffers can back.
+    assert!(
+        tcb.flight_size() as usize <= tcb.send_buf.capacity() + 2,
+        "{context}: flight {} vs buffer {}",
+        tcb.flight_size(),
+        tcb.send_buf.capacity()
+    );
+    // Advertised window is bounded by the receive buffer.
+    assert!(tcb.rcv_wnd() as usize <= tcb.recv_buf.capacity(), "{context}: window over capacity");
+    // The reassembly queue is bounded.
+    assert!(tcb.out_of_order.len() <= MAX_OUT_OF_ORDER, "{context}: ooo unbounded");
+    // Retransmission queue entries are ordered and within flight.
+    let mut prev: Option<Seq> = None;
+    for s in tcb.resend_queue.iter() {
+        if let Some(p) = prev {
+            assert!(p.le(s.seq), "{context}: resend queue out of order");
+        }
+        prev = Some(s.end());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// No arbitrary segment sequence can panic SEGMENT-ARRIVES or break
+    /// the TCB invariants, from ESTABLISHED.
+    #[test]
+    fn receive_dag_is_total_from_estab(
+        segs in proptest::collection::vec(arb_segment(), 1..40),
+    ) {
+        let cfg = TcpConfig::default();
+        let mut core = estab_core();
+        for (i, a) in segs.iter().enumerate() {
+            let _ = receive::segment_arrives(&cfg, &mut core, to_segment(a), VirtualTime::from_millis(i as u64));
+            core.tcb.to_do.borrow_mut().clear();
+            check_invariants(&core, "estab-fuzz");
+            if core.state == TcpState::Closed {
+                break;
+            }
+        }
+    }
+
+    /// Same, with segments biased into the live window (deeper branches).
+    #[test]
+    fn receive_dag_is_total_near_window(
+        segs in proptest::collection::vec(biased_segment(5_000_001, 1_000_001), 1..40),
+    ) {
+        let cfg = TcpConfig::default();
+        let mut core = estab_core();
+        for (i, a) in segs.iter().enumerate() {
+            let _ = receive::segment_arrives(&cfg, &mut core, to_segment(a), VirtualTime::from_millis(i as u64));
+            core.tcb.to_do.borrow_mut().clear();
+            check_invariants(&core, "window-fuzz");
+            if core.state == TcpState::Closed {
+                break;
+            }
+        }
+    }
+
+    /// Every non-listen state survives arbitrary segments.
+    #[test]
+    fn receive_dag_is_total_in_all_states(
+        state_ix in 0usize..9,
+        segs in proptest::collection::vec(biased_segment(5_000_001, 1_000_001), 1..25),
+    ) {
+        let states = [
+            TcpState::SynSent { retries_left: 3 },
+            TcpState::SynActive,
+            TcpState::SynPassive { retries_left: 3 },
+            TcpState::Estab,
+            TcpState::FinWait1 { fin_acked: false },
+            TcpState::FinWait2,
+            TcpState::CloseWait,
+            TcpState::Closing,
+            TcpState::TimeWait,
+        ];
+        let cfg = TcpConfig::default();
+        let mut core = estab_core();
+        core.state = states[state_ix].clone();
+        if matches!(core.state, TcpState::FinWait1 { .. } | TcpState::Closing) {
+            core.tcb.fin_seq = Some(core.tcb.snd_nxt);
+            core.tcb.snd_nxt = core.tcb.snd_nxt + 1;
+        }
+        for (i, a) in segs.iter().enumerate() {
+            let _ = receive::segment_arrives(&cfg, &mut core, to_segment(a), VirtualTime::from_millis(i as u64));
+            core.tcb.to_do.borrow_mut().clear();
+            check_invariants(&core, "state-fuzz");
+            if core.state == TcpState::Closed {
+                break;
+            }
+        }
+    }
+}
+
+// Whole-engine property: under an arbitrary drop pattern, a transfer
+// either completes with a byte-exact stream or makes no false delivery
+// — the received bytes are always a prefix of what was sent.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_stream_is_always_an_exact_prefix(
+        drop_mask in proptest::collection::vec(any::<bool>(), 64),
+        payload_len in 1usize..20_000,
+    ) {
+        let cfg = TcpConfig { nagle: false, delayed_ack_ms: None, ..TcpConfig::default() };
+        let link = LinkPair::new();
+        let mut a = Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), SchedHandle::new(), HostHandle::free());
+        let mut b = Tcp::new(link.endpoint(1), TestAux, (), cfg, SchedHandle::new(), HostHandle::free());
+
+        // Drop frames toward the server according to the mask, cycling.
+        let mask = drop_mask.clone();
+        let idx = Rc::new(RefCell::new(0usize));
+        let i2 = idx.clone();
+        link.set_filter_toward(1, Box::new(move |_| {
+            let mut i = i2.borrow_mut();
+            let keep = !mask[*i % mask.len()];
+            *i += 1;
+            keep
+        }));
+
+        let got = Rc::new(RefCell::new(Vec::new()));
+        b.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap();
+        let conn = a
+            .open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 0 }, Box::new(|_| {}))
+            .unwrap();
+        let payload: Vec<u8> = (0..payload_len as u32).map(|i| (i % 251) as u8).collect();
+
+        let mut now = VirtualTime::ZERO;
+        let mut sent = 0;
+        let mut adopted = false;
+        for _ in 0..4_000 {
+            now = now + VirtualDuration::from_millis(100);
+            if sent < payload.len() {
+                sent += a.send_data(conn, &payload[sent..]).unwrap_or(0);
+            }
+            a.step(now);
+            b.step(now);
+            if !adopted {
+                let g = got.clone();
+                adopted = b
+                    .set_handler(
+                        TcpConnId(1),
+                        Box::new(move |ev| {
+                            if let TcpEvent::Data(d) = ev {
+                                g.borrow_mut().extend_from_slice(&d);
+                            }
+                        }),
+                    )
+                    .is_ok();
+            }
+            if got.borrow().len() >= payload.len() {
+                break;
+            }
+        }
+        let received = got.borrow().clone();
+        // The received stream must be an exact prefix — never reordered,
+        // never duplicated, never corrupted.
+        prop_assert!(received.len() <= payload.len());
+        prop_assert_eq!(&received[..], &payload[..received.len()]);
+        // Completion can only be demanded when the adversary's drop
+        // runs are short: a long run is indistinguishable from a dead
+        // link, where giving up (the user timeout) is the *correct*
+        // behavior. Bound the cyclic run length at 3.
+        let doubled: Vec<bool> = drop_mask.iter().chain(drop_mask.iter()).copied().collect();
+        let max_run = doubled
+            .split(|d| !*d)
+            .map(|run| run.len())
+            .max()
+            .unwrap_or(0);
+        if max_run <= 3 {
+            prop_assert_eq!(received.len(), payload.len(), "transfer wedged (max drop run {})", max_run);
+        }
+    }
+}

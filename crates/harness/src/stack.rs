@@ -1,0 +1,445 @@
+//! Stack assembly — the paper's Fig. 3, as code:
+//!
+//! ```text
+//! structure Device = ...
+//! structure Eth = Eth (structure Lower = Device ...)
+//! structure Ip  = Ip  (structure Lower = Eth ...)
+//! structure Standard_Tcp = Tcp (structure Lower = Ip,  val do_checksums = true  ...)
+//! structure Special_Tcp  = Tcp (structure Lower = Eth, val do_checksums = false ...)
+//! ```
+//!
+//! Here the instantiations are generic-type applications; the compiler
+//! checks every sharing constraint. The same device/Ethernet/IP substrate
+//! also carries the x-kernel baseline, so the Table 1 comparison holds
+//! everything but the TCP implementation (and its cost model) equal.
+
+use crate::station::{ConnHandle, Station, StationStats};
+use foxbasis::time::VirtualTime;
+use foxproto::aux::IpAux;
+use foxproto::dev::Dev;
+use foxproto::eth::Eth;
+use foxproto::ip::{Ip, IpConfig};
+use foxproto::vp::SizedPayload;
+use foxproto::{EthAux, IpAuxImpl, Protocol};
+use foxtcp::{Tcp, TcpConfig, TcpConnId, TcpEvent, TcpPattern};
+use fox_scheduler::SchedHandle;
+use foxwire::ether::{EthAddr, EtherType};
+use foxwire::ipv4::{IpProtocol, Ipv4Addr};
+use simnet::{CostModel, Host, HostHandle, SimNet};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use xktcp::{XkConfig, XkEvent, XkTcp};
+
+/// Which stack to build for an experiment.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum StackKind {
+    /// `Standard_Tcp`: the structured TCP over IP over Ethernet.
+    FoxStandard,
+    /// `Special_Tcp`: the structured TCP directly over Ethernet,
+    /// checksums off (Fig. 3's non-standard composition).
+    FoxSpecial,
+    /// The x-kernel/Berkeley-style baseline over IP over Ethernet.
+    XKernel,
+}
+
+impl StackKind {
+    /// Builds a station of this kind attached to `net`.
+    ///
+    /// `id` numbers the host (MAC `02:...:id`, IP `10.0.0.id`); the
+    /// station's peer is host `peer_id` (two-host experiments). `cost`
+    /// is the machine model; `profiled` enables the Table 2 counters.
+    pub fn build(
+        self,
+        net: &SimNet,
+        id: u8,
+        peer_id: u8,
+        cost: CostModel,
+        profiled: bool,
+        tcp_cfg: TcpConfig,
+    ) -> Box<dyn Station> {
+        match self {
+            StackKind::FoxStandard => standard_station(net, id, peer_id, cost, profiled, tcp_cfg),
+            StackKind::FoxSpecial => special_station(net, id, peer_id, cost, profiled, tcp_cfg),
+            StackKind::XKernel => xk_station(net, id, peer_id, cost, profiled, &tcp_cfg),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StackKind::FoxStandard => "Fox Net",
+            StackKind::FoxSpecial => "Fox Net (TCP/Eth)",
+            StackKind::XKernel => "x-kernel",
+        }
+    }
+}
+
+fn host_handle(id: u8, cost: CostModel, profiled: bool) -> HostHandle {
+    let name: &'static str = match id {
+        1 => "host1",
+        2 => "host2",
+        _ => "host",
+    };
+    HostHandle::new(Host::new(name, cost, profiled))
+}
+
+/// `Standard_Tcp = Tcp (structure Lower = Ip ...)`.
+pub fn standard_station(
+    net: &SimNet,
+    id: u8,
+    peer_id: u8,
+    cost: CostModel,
+    profiled: bool,
+    tcp_cfg: TcpConfig,
+) -> Box<dyn Station> {
+    let host = host_handle(id, cost, profiled);
+    let sched = SchedHandle::new();
+    let mac = EthAddr::host(id);
+    let local = Ipv4Addr::new(10, 0, 0, id);
+    let eth = Eth::new(Dev::new(net.attach(mac), host.clone()), mac, host.clone());
+    let ip = Ip::new(eth, mac, IpConfig::isolated(local), host.clone());
+    let mtu = ip.mtu();
+    let aux = IpAuxImpl::new(local, IpProtocol::Tcp, mtu);
+    let tcp = Tcp::new(ip, aux, IpProtocol::Tcp, tcp_cfg, sched.clone(), host.clone());
+    Box::new(FoxStation {
+        tcp,
+        _sched: sched,
+        host,
+        peer: Ipv4Addr::new(10, 0, 0, peer_id),
+        kind: "Fox Net",
+        bufs: HashMap::new(),
+        accepted: Rc::new(RefCell::new(VecDeque::new())),
+    })
+}
+
+/// `Special_Tcp = Tcp (structure Lower = Eth ...)` — with the
+/// `SizedPayload` virtual protocol delimiting segments, and TCP
+/// checksums off (the Ethernet FCS carries integrity).
+pub fn special_station(
+    net: &SimNet,
+    id: u8,
+    peer_id: u8,
+    cost: CostModel,
+    profiled: bool,
+    mut tcp_cfg: TcpConfig,
+) -> Box<dyn Station> {
+    tcp_cfg.compute_checksums = false; // val do_checksums = false
+    let host = host_handle(id, cost, profiled);
+    let sched = SchedHandle::new();
+    let mac = EthAddr::host(id);
+    let eth = SizedPayload::new(Eth::new(Dev::new(net.attach(mac), host.clone()), mac, host.clone()));
+    let tcp = Tcp::new(eth, EthAux::new(), EtherType::TcpDirect, tcp_cfg, sched.clone(), host.clone());
+    Box::new(FoxStation {
+        tcp,
+        _sched: sched,
+        host,
+        peer: EthAddr::host(peer_id),
+        kind: "Fox Net (TCP/Eth)",
+        bufs: HashMap::new(),
+        accepted: Rc::new(RefCell::new(VecDeque::new())),
+    })
+}
+
+/// The x-kernel baseline over the standard substrate.
+pub fn xk_station(
+    net: &SimNet,
+    id: u8,
+    peer_id: u8,
+    cost: CostModel,
+    profiled: bool,
+    tcp_cfg: &TcpConfig,
+) -> Box<dyn Station> {
+    let host = host_handle(id, cost, profiled);
+    let mac = EthAddr::host(id);
+    let local = Ipv4Addr::new(10, 0, 0, id);
+    let eth = Eth::new(Dev::new(net.attach(mac), host.clone()), mac, host.clone());
+    let ip = Ip::new(eth, mac, IpConfig::isolated(local), host.clone());
+    let mtu = ip.mtu();
+    let aux = IpAuxImpl::new(local, IpProtocol::Tcp, mtu);
+    let cfg = XkConfig {
+        window: tcp_cfg.initial_window,
+        send_buffer: tcp_cfg.send_buffer,
+        checksums: tcp_cfg.compute_checksums,
+        delayed_ack_ms: tcp_cfg.delayed_ack_ms,
+        time_wait_ms: tcp_cfg.time_wait_ms,
+        max_retransmits: tcp_cfg.max_retransmits,
+    };
+    let tcp = XkTcp::new(ip, aux, IpProtocol::Tcp, cfg, host.clone());
+    Box::new(XkStation {
+        tcp,
+        host,
+        peer: Ipv4Addr::new(10, 0, 0, peer_id),
+        conns: Vec::new(),
+        listener: None,
+        accepted: VecDeque::new(),
+        state: HashMap::new(),
+    })
+}
+
+// ----- Fox station -----
+
+#[derive(Default)]
+struct ConnBuf {
+    established: bool,
+    peer_closed: bool,
+    finished: bool,
+    data: Vec<u8>,
+}
+
+struct FoxStation<L, A>
+where
+    L: Protocol,
+    A: IpAux<Address = L::Peer, Incoming = L::Incoming>,
+{
+    tcp: Tcp<L, A>,
+    _sched: SchedHandle,
+    host: HostHandle,
+    peer: L::Peer,
+    kind: &'static str,
+    bufs: HashMap<u32, Rc<RefCell<ConnBuf>>>,
+    accepted: Rc<RefCell<VecDeque<TcpConnId>>>,
+}
+
+fn buf_handler(buf: Rc<RefCell<ConnBuf>>) -> foxproto::Handler<TcpEvent> {
+    Box::new(move |ev| {
+        let mut b = buf.borrow_mut();
+        match ev {
+            TcpEvent::Established => b.established = true,
+            TcpEvent::Data(d) => b.data.extend_from_slice(&d),
+            TcpEvent::PeerClosed => b.peer_closed = true,
+            TcpEvent::Closed | TcpEvent::Reset | TcpEvent::TimedOut => b.finished = true,
+            TcpEvent::NewConnection(_) | TcpEvent::Urgent(_) => {}
+        }
+    })
+}
+
+impl<L, A> Station for FoxStation<L, A>
+where
+    L: Protocol,
+    A: IpAux<Address = L::Peer, Incoming = L::Incoming>,
+{
+    fn connect(&mut self, remote_port: u16) -> ConnHandle {
+        let buf = Rc::new(RefCell::new(ConnBuf::default()));
+        let conn = self
+            .tcp
+            .open(
+                TcpPattern::Active { remote: self.peer.clone(), remote_port, local_port: 0 },
+                buf_handler(buf.clone()),
+            )
+            .expect("active open");
+        self.bufs.insert(conn.0, buf);
+        conn.0
+    }
+
+    fn listen(&mut self, local_port: u16) {
+        let acc = self.accepted.clone();
+        self.tcp
+            .open(
+                TcpPattern::Passive { local_port },
+                Box::new(move |ev| {
+                    if let TcpEvent::NewConnection(c) = ev {
+                        acc.borrow_mut().push_back(c);
+                    }
+                }),
+            )
+            .expect("listen");
+    }
+
+    fn accept(&mut self) -> Option<ConnHandle> {
+        let child = self.accepted.borrow_mut().pop_front()?;
+        let buf = Rc::new(RefCell::new(ConnBuf::default()));
+        self.tcp.set_handler(child, buf_handler(buf.clone())).ok()?;
+        self.bufs.insert(child.0, buf);
+        Some(child.0)
+    }
+
+    fn send(&mut self, conn: ConnHandle, data: &[u8]) -> usize {
+        self.tcp.send_data(TcpConnId(conn), data).unwrap_or(0)
+    }
+
+    fn recv(&mut self, conn: ConnHandle) -> Vec<u8> {
+        self.bufs.get(&conn).map_or(Vec::new(), |b| std::mem::take(&mut b.borrow_mut().data))
+    }
+
+    fn received_len(&self, conn: ConnHandle) -> usize {
+        self.bufs.get(&conn).map_or(0, |b| b.borrow().data.len())
+    }
+
+    fn established(&self, conn: ConnHandle) -> bool {
+        self.bufs.get(&conn).is_some_and(|b| b.borrow().established)
+    }
+
+    fn peer_closed(&self, conn: ConnHandle) -> bool {
+        self.bufs.get(&conn).is_some_and(|b| b.borrow().peer_closed)
+    }
+
+    fn finished(&self, conn: ConnHandle) -> bool {
+        self.bufs.get(&conn).is_some_and(|b| b.borrow().finished)
+    }
+
+    fn close(&mut self, conn: ConnHandle) {
+        let _ = self.tcp.close(TcpConnId(conn));
+    }
+
+    fn step(&mut self, now: VirtualTime) -> bool {
+        self.tcp.step(now)
+    }
+
+    fn host(&self) -> HostHandle {
+        self.host.clone()
+    }
+
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn stats(&self) -> StationStats {
+        let s = self.tcp.stats();
+        StationStats {
+            segments_sent: s.segments_sent,
+            segments_received: s.segments_received,
+            retransmits: s.retransmits,
+            bytes_sent: s.bytes_sent,
+            fastpath_hits: s.fastpath_hits,
+            checksum_failures: s.checksum_failures,
+        }
+    }
+}
+
+// ----- x-kernel station -----
+
+struct XkStation<L, A>
+where
+    L: Protocol,
+    A: IpAux<Address = L::Peer, Incoming = L::Incoming>,
+{
+    tcp: XkTcp<L, A>,
+    host: HostHandle,
+    peer: L::Peer,
+    conns: Vec<xktcp::SockId>,
+    listener: Option<xktcp::SockId>,
+    accepted: VecDeque<xktcp::SockId>,
+    state: HashMap<u32, ConnBuf>,
+}
+
+impl<L, A> XkStation<L, A>
+where
+    L: Protocol,
+    A: IpAux<Address = L::Peer, Incoming = L::Incoming>,
+{
+    fn pump(&mut self) {
+        // Drain events and receive buffers into our ConnBufs.
+        if let Some(l) = self.listener {
+            while let Some(ev) = self.tcp.poll_event(l) {
+                if let XkEvent::Accepted(c) = ev {
+                    self.accepted.push_back(c);
+                    self.conns.push(c);
+                    self.state.entry(c.0).or_default();
+                }
+            }
+        }
+        for &c in self.conns.clone().iter() {
+            while let Some(ev) = self.tcp.poll_event(c) {
+                let b = self.state.entry(c.0).or_default();
+                match ev {
+                    XkEvent::Connected => b.established = true,
+                    XkEvent::PeerClosed => b.peer_closed = true,
+                    XkEvent::Closed | XkEvent::Reset | XkEvent::TimedOut => b.finished = true,
+                    XkEvent::Accepted(_) => {}
+                }
+            }
+            let mut tmp = [0u8; 4096];
+            loop {
+                let n = self.tcp.recv(c, &mut tmp).unwrap_or(0);
+                if n == 0 {
+                    break;
+                }
+                self.state.entry(c.0).or_default().data.extend_from_slice(&tmp[..n]);
+            }
+        }
+    }
+}
+
+impl<L, A> Station for XkStation<L, A>
+where
+    L: Protocol,
+    A: IpAux<Address = L::Peer, Incoming = L::Incoming>,
+{
+    fn connect(&mut self, remote_port: u16) -> ConnHandle {
+        let c = self.tcp.connect(self.peer.clone(), remote_port, 0).expect("connect");
+        self.conns.push(c);
+        self.state.insert(c.0, ConnBuf::default());
+        c.0
+    }
+
+    fn listen(&mut self, local_port: u16) {
+        self.listener = Some(self.tcp.listen(local_port).expect("listen"));
+    }
+
+    fn accept(&mut self) -> Option<ConnHandle> {
+        self.accepted.pop_front().map(|c| c.0)
+    }
+
+    fn send(&mut self, conn: ConnHandle, data: &[u8]) -> usize {
+        self.tcp.send(xktcp::SockId(conn), data).unwrap_or(0)
+    }
+
+    fn recv(&mut self, conn: ConnHandle) -> Vec<u8> {
+        self.state.get_mut(&conn).map_or(Vec::new(), |b| std::mem::take(&mut b.data))
+    }
+
+    fn received_len(&self, conn: ConnHandle) -> usize {
+        self.state.get(&conn).map_or(0, |b| b.data.len())
+    }
+
+    fn established(&self, conn: ConnHandle) -> bool {
+        self.state.get(&conn).is_some_and(|b| b.established)
+    }
+
+    fn peer_closed(&self, conn: ConnHandle) -> bool {
+        self.state.get(&conn).is_some_and(|b| b.peer_closed)
+    }
+
+    fn finished(&self, conn: ConnHandle) -> bool {
+        self.state.get(&conn).is_some_and(|b| b.finished)
+    }
+
+    fn close(&mut self, conn: ConnHandle) {
+        let _ = self.tcp.close(xktcp::SockId(conn));
+    }
+
+    fn step(&mut self, now: VirtualTime) -> bool {
+        let p = self.tcp.step(now);
+        self.pump();
+        p
+    }
+
+    fn host(&self) -> HostHandle {
+        self.host.clone()
+    }
+
+    fn kind(&self) -> &'static str {
+        "x-kernel"
+    }
+
+    fn stats(&self) -> StationStats {
+        let s = self.tcp.stats();
+        StationStats {
+            segments_sent: s.segments_sent,
+            segments_received: s.segments_received,
+            retransmits: s.retransmits,
+            bytes_sent: s.bytes_sent,
+            fastpath_hits: 0,
+            checksum_failures: s.checksum_failures,
+        }
+    }
+
+    fn debug_line(&self) -> String {
+        self.conns
+            .iter()
+            .filter_map(|c| self.tcp.debug_of(*c))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}

@@ -1,0 +1,75 @@
+//! A uniform face over the two TCP implementations, so one workload
+//! drives both sides of Table 1.
+
+use foxbasis::time::VirtualTime;
+use simnet::HostHandle;
+
+/// An opaque per-station connection handle.
+pub type ConnHandle = u32;
+
+/// Stats every station can report (the union the tables need).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StationStats {
+    /// Segments sent (with retransmissions).
+    pub segments_sent: u64,
+    /// Segments received.
+    pub segments_received: u64,
+    /// Retransmissions.
+    pub retransmits: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Fast-path hits (zero for the baseline, which has no fast path).
+    pub fastpath_hits: u64,
+    /// Checksum failures.
+    pub checksum_failures: u64,
+}
+
+/// One host's TCP endpoint, as the workloads see it.
+pub trait Station {
+    /// Begins an active open; the handle becomes established later.
+    fn connect(&mut self, remote_port: u16) -> ConnHandle;
+
+    /// Listens on a port.
+    fn listen(&mut self, local_port: u16);
+
+    /// A newly accepted connection, if any arrived.
+    fn accept(&mut self) -> Option<ConnHandle>;
+
+    /// Queues data; returns bytes accepted (flow control may push back).
+    fn send(&mut self, conn: ConnHandle, data: &[u8]) -> usize;
+
+    /// Takes everything received so far.
+    fn recv(&mut self, conn: ConnHandle) -> Vec<u8>;
+
+    /// Bytes received so far without taking them.
+    fn received_len(&self, conn: ConnHandle) -> usize;
+
+    /// True once the handshake completed.
+    fn established(&self, conn: ConnHandle) -> bool;
+
+    /// True once the peer closed its direction.
+    fn peer_closed(&self, conn: ConnHandle) -> bool;
+
+    /// True once fully closed (or reset / timed out).
+    fn finished(&self, conn: ConnHandle) -> bool;
+
+    /// Starts a graceful close.
+    fn close(&mut self, conn: ConnHandle);
+
+    /// Drives the stack.
+    fn step(&mut self, now: VirtualTime) -> bool;
+
+    /// The simulated machine the station runs on.
+    fn host(&self) -> HostHandle;
+
+    /// Implementation name for reports.
+    fn kind(&self) -> &'static str;
+
+    /// Statistics.
+    fn stats(&self) -> StationStats;
+
+    /// Implementation-specific diagnostic line (for debugging harnesses).
+    fn debug_line(&self) -> String {
+        String::new()
+    }
+}

@@ -1,0 +1,271 @@
+//! The paper's workloads.
+//!
+//! §5: "To benchmark the throughput of the protocol stack, we have
+//! written a program which tries to send large amounts of data in one
+//! direction as fast as possible, letting TCP's flow control mechanisms
+//! regulate the speed at which data is delivered. We standardize the TCP
+//! window size to 4096 bytes ... The test consists of sending 10^6 bytes
+//! of data between a designated sender and a designated receiver on an
+//! isolated 10Mb/s ethernet. The receiver starts a timer, sends the
+//! designated sender a small packet specifying the amount of data
+//! desired, and stops the timer after all the specified data has been
+//! received. The received data is discarded when it is received at the
+//! application level."
+
+use crate::sim::drive;
+use crate::station::{Station, StationStats};
+use foxbasis::profile::Account;
+use foxbasis::time::{VirtualDuration, VirtualTime};
+use simnet::{GcStats, NetStats, SimNet};
+
+/// Result of one bulk-transfer run.
+#[derive(Clone, Debug)]
+pub struct BulkResult {
+    /// Bytes the receiver asked for and got.
+    pub bytes: usize,
+    /// Receiver-measured elapsed time (request sent → last byte).
+    pub elapsed: VirtualDuration,
+    /// Payload throughput in Mb/s.
+    pub throughput_mbps: f64,
+    /// Sender TCP stats.
+    pub sender: StationStats,
+    /// Receiver TCP stats.
+    pub receiver: StationStats,
+    /// Sender-side Table 2 percentages (when profiled).
+    pub sender_profile: Vec<(Account, f64)>,
+    /// Receiver-side Table 2 percentages (when profiled).
+    pub receiver_profile: Vec<(Account, f64)>,
+    /// Sender GC statistics (when the cost model has a collector).
+    pub sender_gc: Option<GcStats>,
+    /// Network statistics.
+    pub net: NetStats,
+}
+
+/// Runs the paper's throughput benchmark: the *receiver* connects,
+/// requests `bytes` with a small packet, and times until all data has
+/// arrived (data discarded at application level, as in the paper).
+///
+/// `sender` must already be listening on port 2000 — this function sets
+/// that up itself; pass freshly-built stations.
+pub fn bulk_transfer(
+    net: &SimNet,
+    sender: &mut Box<dyn Station>,
+    receiver: &mut Box<dyn Station>,
+    bytes: usize,
+    deadline: VirtualTime,
+) -> BulkResult {
+    sender.listen(2000);
+    let rconn = receiver.connect(2000);
+
+    // Establish.
+    let mut sconn = None;
+    drive(
+        net,
+        &mut [&mut *sender, &mut *receiver],
+        |st| {
+            if sconn.is_none() {
+                sconn = st[0].accept();
+            }
+            sconn.is_some() && st[1].established(rconn)
+        },
+        VirtualDuration::from_millis(1),
+        deadline,
+    );
+    let sconn = sconn.expect("sender accepted the receiver's connection");
+
+    // Receiver starts its timer and sends the request.
+    let t0 = net.now();
+    let request = (bytes as u64).to_be_bytes();
+    assert_eq!(receiver.send(rconn, &request), 8, "request fits any window");
+
+    // Sender: on request, pump `bytes` of data. We model the sender app
+    // inline here (read request, then keep the send buffer full).
+    let mut produced = 0usize;
+    let mut request_seen = false;
+    let mut received = 0usize;
+    let payload_chunk: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+
+    let end = drive(
+        net,
+        &mut [&mut *sender, &mut *receiver],
+        |st| {
+            // Sender application.
+            if !request_seen && st[0].received_len(sconn) >= 8 {
+                let req = st[0].recv(sconn);
+                let want = u64::from_be_bytes(req[..8].try_into().expect("8-byte request")) as usize;
+                debug_assert_eq!(want, bytes);
+                request_seen = true;
+            }
+            if request_seen && produced < bytes {
+                let left = bytes - produced;
+                let chunk = payload_chunk.len().min(left);
+                produced += st[0].send(sconn, &payload_chunk[..chunk]);
+            }
+            // Receiver application: discard on delivery.
+            let fresh = st[1].recv(rconn).len();
+            received += fresh;
+            received >= bytes
+        },
+        VirtualDuration::from_millis(1),
+        deadline,
+    );
+
+    let elapsed = end.saturating_since(t0);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let profile = |s: &Box<dyn Station>| {
+        s.host().with(|h| {
+            if h.profiler().is_enabled() {
+                h.profiler().percentages(elapsed)
+            } else {
+                Vec::new()
+            }
+        })
+    };
+    let sender_profile = profile(sender);
+    let receiver_profile = profile(receiver);
+    let sender_gc = sender.host().with(|h| h.gc_stats().cloned());
+
+    BulkResult {
+        bytes: received.min(bytes),
+        elapsed,
+        throughput_mbps: (bytes as f64 * 8.0) / secs / 1e6,
+        sender: sender.stats(),
+        receiver: receiver.stats(),
+        sender_profile,
+        receiver_profile,
+        sender_gc,
+        net: net.stats(),
+    }
+}
+
+/// Result of a round-trip (ping-pong) run.
+#[derive(Clone, Debug)]
+pub struct PingResult {
+    /// Round trips completed.
+    pub rounds: usize,
+    /// Mean round-trip time.
+    pub mean_rtt: VirtualDuration,
+    /// Smallest observed RTT.
+    pub min_rtt: VirtualDuration,
+    /// Largest observed RTT.
+    pub max_rtt: VirtualDuration,
+}
+
+/// Measures application-level round-trip time over an established
+/// connection: the client sends a small message, the server echoes it,
+/// `rounds` times. This is the Table 1 "Round-Trip" number.
+pub fn ping_pong(
+    net: &SimNet,
+    server: &mut Box<dyn Station>,
+    client: &mut Box<dyn Station>,
+    rounds: usize,
+    msg_len: usize,
+    deadline: VirtualTime,
+) -> PingResult {
+    server.listen(2001);
+    let cconn = client.connect(2001);
+    let mut sconn = None;
+    drive(
+        net,
+        &mut [&mut *server, &mut *client],
+        |st| {
+            if sconn.is_none() {
+                sconn = st[0].accept();
+            }
+            sconn.is_some() && st[1].established(cconn)
+        },
+        VirtualDuration::from_millis(1),
+        deadline,
+    );
+    let sconn = sconn.expect("server accepted");
+
+    let msg = vec![0x42u8; msg_len.max(1)];
+    let mut rtts = Vec::with_capacity(rounds);
+    let mut echoed = 0usize; // bytes the server has echoed back so far
+    for _ in 0..rounds {
+        let t0 = net.now();
+        assert_eq!(client.send(cconn, &msg), msg.len());
+        let want = echoed + msg.len();
+        let mut unanswered = 0usize;
+        drive(
+            net,
+            &mut [&mut *server, &mut *client],
+            |st| {
+                // Server application: echo whatever arrives.
+                let inbound = st[0].recv(sconn);
+                if !inbound.is_empty() {
+                    unanswered += inbound.len();
+                }
+                if unanswered > 0 {
+                    let n = st[0].send(sconn, &vec![0x42u8; unanswered]);
+                    unanswered -= n;
+                }
+                // Client application: count echo bytes.
+                echoed += st[1].recv(cconn).len();
+                echoed >= want
+            },
+            VirtualDuration::from_millis(1),
+            deadline,
+        );
+        rtts.push(net.now().saturating_since(t0));
+    }
+    let sum: u64 = rtts.iter().map(|d| d.as_micros()).sum();
+    PingResult {
+        rounds,
+        mean_rtt: VirtualDuration::from_micros(sum / rtts.len().max(1) as u64),
+        min_rtt: rtts.iter().copied().min().unwrap_or(VirtualDuration::ZERO),
+        max_rtt: rtts.iter().copied().max().unwrap_or(VirtualDuration::ZERO),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::StackKind;
+    use foxtcp::TcpConfig;
+    use simnet::{CostModel, SimNet};
+
+    fn pair(kind: StackKind, cost: fn() -> CostModel) -> (SimNet, Box<dyn Station>, Box<dyn Station>) {
+        let net = SimNet::ethernet_10mbps(77);
+        let a = kind.build(&net, 1, 2, cost(), false, TcpConfig::default());
+        let b = kind.build(&net, 2, 1, cost(), false, TcpConfig::default());
+        (net, a, b)
+    }
+
+    #[test]
+    fn bulk_transfer_fox_modern_cost() {
+        let (net, mut sender, mut receiver) = pair(StackKind::FoxStandard, CostModel::modern);
+        let r = bulk_transfer(&net, &mut sender, &mut receiver, 200_000, VirtualTime::from_millis(600_000));
+        assert_eq!(r.bytes, 200_000);
+        // With zero CPU cost the 10 Mb/s wire is the only limit; with a
+        // 4096-byte window and ~2.5 ms RTT-ish, expect a few Mb/s.
+        assert!(r.throughput_mbps > 1.0, "got {} Mb/s", r.throughput_mbps);
+        assert!(r.throughput_mbps < 10.0, "can't beat the wire: {}", r.throughput_mbps);
+        assert_eq!(r.sender.retransmits, 0, "clean link");
+    }
+
+    #[test]
+    fn bulk_transfer_xk_modern_cost() {
+        let (net, mut sender, mut receiver) = pair(StackKind::XKernel, CostModel::modern);
+        let r = bulk_transfer(&net, &mut sender, &mut receiver, 100_000, VirtualTime::from_millis(600_000));
+        assert_eq!(r.bytes, 100_000);
+        assert!(r.throughput_mbps > 0.5, "got {} Mb/s", r.throughput_mbps);
+    }
+
+    #[test]
+    fn bulk_transfer_special_stack() {
+        let (net, mut sender, mut receiver) = pair(StackKind::FoxSpecial, CostModel::modern);
+        let r = bulk_transfer(&net, &mut sender, &mut receiver, 100_000, VirtualTime::from_millis(600_000));
+        assert_eq!(r.bytes, 100_000);
+        assert_eq!(r.sender.checksum_failures, 0);
+    }
+
+    #[test]
+    fn ping_pong_reports_rtts() {
+        let (net, mut server, mut client) = pair(StackKind::FoxStandard, CostModel::modern);
+        let r = ping_pong(&net, &mut server, &mut client, 10, 1, VirtualTime::from_millis(600_000));
+        assert_eq!(r.rounds, 10);
+        assert!(r.mean_rtt > VirtualDuration::ZERO);
+        assert!(r.min_rtt <= r.mean_rtt && r.mean_rtt <= r.max_rtt);
+    }
+}

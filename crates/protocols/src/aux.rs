@@ -1,0 +1,216 @@
+//! The `IP_AUX` signature (paper Fig. 5) and its implementations.
+//!
+//! TCP needs things from its lower layer that the generic `PROTOCOL`
+//! signature does not promise — the source address of an incoming
+//! message, address hashing and printing, the pseudo-header checksum
+//! (which covers IP-header values), and the MTU. The paper factors these
+//! into an auxiliary structure:
+//!
+//! > "Note that with this structure, any change in the definition of IP
+//! > (for example, from IP version 4 to version 7) will affect the IP
+//! > implementation and the Auxiliary structure, but not TCP."
+//!
+//! [`IpAux`] is that signature; [`IpAuxImpl`] is the IPv4 instance used
+//! by `Standard_Tcp`, and [`EthAux`] is the raw-Ethernet instance used by
+//! `Special_Tcp` (Fig. 3), whose `check` returns `None` — TCP checksums
+//! are off, the Ethernet CRC carries the integrity burden.
+
+use crate::eth::EthIncoming;
+use crate::ip::IpIncoming;
+use foxwire::ether::EthAddr;
+use foxwire::ipv4::{IpProtocol, Ipv4Addr};
+use foxwire::pseudo;
+use std::fmt;
+
+/// The source and payload view of a lower-layer incoming message
+/// (the paper's `info: incoming_message -> {src, checksum, data}`).
+pub struct AuxInfo<'a, A> {
+    /// Who sent it.
+    pub src: A,
+    /// The transport-layer bytes.
+    pub data: &'a [u8],
+}
+
+/// The auxiliary structure TCP and UDP require alongside their lower
+/// protocol (paper Fig. 5). The `Address`/`Incoming` associated types
+/// carry the paper's `sharing` constraints: a `Tcp<L, A>` instantiation
+/// requires `A::Address = L::Peer` and `A::Incoming = L::Incoming`.
+pub trait IpAux {
+    /// Lower-layer address type.
+    type Address: Clone + PartialEq + fmt::Debug;
+    /// Lower-layer incoming message type.
+    type Incoming;
+
+    /// `val hash: address -> int`.
+    fn hash(addr: &Self::Address) -> u64;
+
+    /// `val eq: address * address -> bool`.
+    fn eq(a: &Self::Address, b: &Self::Address) -> bool {
+        a == b
+    }
+
+    /// `val makestring: address -> string`.
+    fn makestring(addr: &Self::Address) -> String;
+
+    /// `val info: incoming_message -> {src, ..., data}`.
+    fn info<'a>(&self, msg: &'a Self::Incoming) -> AuxInfo<'a, Self::Address>;
+
+    /// `val check: address -> ubyte2` — the pseudo-header partial sum
+    /// (including the transport length field) for a segment of
+    /// `transport_len` bytes exchanged with `remote`. `None` means the
+    /// lower layer has no pseudo-header and the transport checksum
+    /// should not be computed.
+    fn check(&self, remote: &Self::Address, transport_len: usize) -> Option<u16>;
+
+    /// `val mtu: connection -> int` — the largest transport segment the
+    /// lower layer carries.
+    fn mtu(&self) -> usize;
+}
+
+/// `IP_AUX` over IPv4 — the `Standard_Tcp` auxiliary.
+#[derive(Clone, Debug)]
+pub struct IpAuxImpl {
+    local: Ipv4Addr,
+    proto: IpProtocol,
+    mtu: usize,
+}
+
+impl IpAuxImpl {
+    /// For a transport `proto` endpoint at `local` whose IP layer offers
+    /// `mtu` (usually [`crate::ip::Ip::mtu`]).
+    pub fn new(local: Ipv4Addr, proto: IpProtocol, mtu: usize) -> IpAuxImpl {
+        IpAuxImpl { local, proto, mtu }
+    }
+
+    /// Our address.
+    pub fn local(&self) -> Ipv4Addr {
+        self.local
+    }
+}
+
+impl IpAux for IpAuxImpl {
+    type Address = Ipv4Addr;
+    type Incoming = IpIncoming;
+
+    fn hash(addr: &Ipv4Addr) -> u64 {
+        addr.hash()
+    }
+
+    fn makestring(addr: &Ipv4Addr) -> String {
+        addr.makestring()
+    }
+
+    fn info<'a>(&self, msg: &'a IpIncoming) -> AuxInfo<'a, Ipv4Addr> {
+        AuxInfo { src: msg.src, data: &msg.payload }
+    }
+
+    fn check(&self, remote: &Ipv4Addr, transport_len: usize) -> Option<u16> {
+        // The sum is commutative in (src, dst), so one function serves
+        // both directions.
+        Some(pseudo::v4_sum(self.local, *remote, self.proto, transport_len))
+    }
+
+    fn mtu(&self) -> usize {
+        self.mtu
+    }
+}
+
+/// `IP_AUX` over raw Ethernet — the `Special_Tcp` auxiliary.
+///
+/// The paper's footnote: this composition is only sound "if there is
+/// specific knowledge that the Ethernet implementation implements the
+/// CRC correctly" — which our simulated Ethernet does (`foxwire::ether`
+/// verifies the FCS on every receive).
+#[derive(Clone, Debug)]
+pub struct EthAux {
+    mtu: usize,
+}
+
+impl EthAux {
+    /// Over a standard Ethernet (1500-byte payload MTU, minus the
+    /// 2-byte length framing the `SizedPayload` adapter adds).
+    pub fn new() -> EthAux {
+        EthAux { mtu: foxwire::ether::MTU - 2 }
+    }
+}
+
+impl Default for EthAux {
+    fn default() -> Self {
+        EthAux::new()
+    }
+}
+
+impl IpAux for EthAux {
+    type Address = EthAddr;
+    type Incoming = EthIncoming;
+
+    fn hash(addr: &EthAddr) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in addr.0 {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    fn makestring(addr: &EthAddr) -> String {
+        format!("{addr}")
+    }
+
+    fn info<'a>(&self, msg: &'a EthIncoming) -> AuxInfo<'a, EthAddr> {
+        AuxInfo { src: msg.src, data: &msg.payload }
+    }
+
+    fn check(&self, _remote: &EthAddr, _transport_len: usize) -> Option<u16> {
+        None // no pseudo-header; the Ethernet CRC protects the segment
+    }
+
+    fn mtu(&self) -> usize {
+        self.mtu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_aux_pseudo_sum_is_direction_symmetric() {
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 0, 0, 2);
+        let at_a = IpAuxImpl::new(a, IpProtocol::Tcp, 1480);
+        let at_b = IpAuxImpl::new(b, IpProtocol::Tcp, 1480);
+        assert_eq!(at_a.check(&b, 100), at_b.check(&a, 100));
+    }
+
+    #[test]
+    fn ip_aux_strings_and_hash() {
+        let a = Ipv4Addr::new(1, 2, 3, 4);
+        assert_eq!(IpAuxImpl::makestring(&a), "1.2.3.4");
+        assert_ne!(IpAuxImpl::hash(&a), IpAuxImpl::hash(&Ipv4Addr::new(1, 2, 3, 5)));
+        assert!(IpAuxImpl::eq(&a, &a));
+    }
+
+    #[test]
+    fn ip_aux_info_views_payload() {
+        let aux = IpAuxImpl::new(Ipv4Addr::new(9, 9, 9, 9), IpProtocol::Tcp, 1480);
+        let msg = IpIncoming {
+            src: Ipv4Addr::new(1, 1, 1, 1),
+            dst: Ipv4Addr::new(9, 9, 9, 9),
+            proto: IpProtocol::Tcp,
+            payload: b"segment".to_vec(),
+        };
+        let info = aux.info(&msg);
+        assert_eq!(info.src, Ipv4Addr::new(1, 1, 1, 1));
+        assert_eq!(info.data, b"segment");
+    }
+
+    #[test]
+    fn eth_aux_disables_checksums() {
+        let aux = EthAux::new();
+        assert_eq!(aux.check(&EthAddr::host(2), 500), None);
+        assert_eq!(aux.mtu(), 1498);
+        assert_ne!(EthAux::hash(&EthAddr::host(1)), EthAux::hash(&EthAddr::host(2)));
+        assert_eq!(EthAux::makestring(&EthAddr::host(1)), "02:00:00:00:00:01");
+    }
+}

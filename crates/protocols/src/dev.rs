@@ -1,0 +1,164 @@
+//! The device protocol: the bottom of the stack.
+//!
+//! In the Fox Net this layer talked Mach IPC to the Ethernet driver
+//! ("Our implementation ... uses the Mach Interprocess Communication
+//! mechanism to send and receive packets"). Here it fronts a
+//! [`simnet::Port`]: sends charge the `Mach send` and `copy` accounts
+//! (the one data copy the paper's stack performs — "our protocols copy
+//! data only once, when delivering a segment to the micro-kernel"),
+//! receives charge `packet wait`, and frames appear on the simulated
+//! segment at the instant the simulated CPU actually finished producing
+//! them.
+
+use crate::{Handler, ProtoError, Protocol};
+use foxbasis::time::VirtualTime;
+use simnet::{HostHandle, Port};
+use std::fmt;
+
+/// The device protocol.
+pub struct Dev {
+    port: Port,
+    host: HostHandle,
+    handler: Option<Handler<Vec<u8>>>,
+    opened: bool,
+    frames_sent: u64,
+    frames_received: u64,
+}
+
+/// `Dev` has exactly one connection: the wire.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct DevConn;
+
+impl Dev {
+    /// A device on `port`, charging costs to `host`.
+    pub fn new(port: Port, host: HostHandle) -> Dev {
+        Dev { port, host, handler: None, opened: false, frames_sent: 0, frames_received: 0 }
+    }
+
+    /// The port's MAC address.
+    pub fn mac(&self) -> foxwire::ether::EthAddr {
+        self.port.addr()
+    }
+
+    /// Frames sent / received so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.frames_sent, self.frames_received)
+    }
+}
+
+impl Protocol for Dev {
+    type Pattern = ();
+    type Peer = ();
+    type Incoming = Vec<u8>;
+    type ConnId = DevConn;
+
+    fn open(&mut self, _pattern: (), handler: Handler<Vec<u8>>) -> Result<DevConn, ProtoError> {
+        if self.opened {
+            return Err(ProtoError::AlreadyOpen);
+        }
+        self.opened = true;
+        self.handler = Some(handler);
+        Ok(DevConn)
+    }
+
+    fn send(&mut self, _conn: DevConn, _to: (), frame: Vec<u8>) -> Result<(), ProtoError> {
+        // The single data copy of the send path, into the "kernel",
+        // plus buffer management and the Mach IPC send.
+        self.host.charge_copy(frame.len());
+        self.host.charge_misc_packet();
+        self.host.charge_mach_send();
+        self.frames_sent += 1;
+        // The frame reaches the wire when the CPU is done with
+        // everything charged so far in this episode.
+        let at = self.host.with(|h| h.now_busy());
+        self.port.send_at(at, frame);
+        Ok(())
+    }
+
+    fn close(&mut self, _conn: DevConn) -> Result<(), ProtoError> {
+        if !self.opened {
+            return Err(ProtoError::NotOpen);
+        }
+        self.opened = false;
+        self.handler = None;
+        Ok(())
+    }
+
+    fn step(&mut self, _now: VirtualTime) -> bool {
+        let mut progress = false;
+        while let Some(frame) = self.port.recv() {
+            progress = true;
+            self.frames_received += 1;
+            self.host.charge_packet_wait();
+            self.host.charge_misc_packet();
+            self.host.charge_copy(frame.len());
+            if let Some(handler) = &mut self.handler {
+                handler(frame);
+            }
+            // No handler: the frame is dropped, as a real driver drops
+            // frames nobody has opened the device for.
+        }
+        progress
+    }
+}
+
+impl fmt::Debug for Dev {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dev({:?}, sent={}, recv={})", self.port.addr(), self.frames_sent, self.frames_received)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foxwire::ether::EthAddr;
+    use simnet::SimNet;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn pair() -> (SimNet, Dev, Dev) {
+        let net = SimNet::ethernet_10mbps(3);
+        let a = Dev::new(net.attach(EthAddr::host(1)), HostHandle::free());
+        let b = Dev::new(net.attach(EthAddr::host(2)), HostHandle::free());
+        (net, a, b)
+    }
+
+    fn frame(dst: EthAddr, n: usize) -> Vec<u8> {
+        foxwire::ether::Frame::new(dst, EthAddr::host(1), foxwire::ether::EtherType::Ipv4, vec![1; n])
+            .encode()
+            .unwrap()
+    }
+
+    #[test]
+    fn send_and_receive_through_the_wire() {
+        let (net, mut a, mut b) = pair();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        b.open((), Box::new(move |f| g.borrow_mut().push(f))).unwrap();
+        a.send(DevConn, (), frame(EthAddr::host(2), 100)).unwrap();
+        net.advance_to(foxbasis::time::VirtualTime::from_millis(10));
+        assert!(b.step(net.now()));
+        assert_eq!(got.borrow().len(), 1);
+        assert_eq!(a.counters(), (1, 0));
+        assert_eq!(b.counters(), (0, 1));
+    }
+
+    #[test]
+    fn double_open_rejected_and_close_reopens() {
+        let (_net, mut a, _b) = pair();
+        a.open((), Box::new(|_| {})).unwrap();
+        assert_eq!(a.open((), Box::new(|_| {})), Err(ProtoError::AlreadyOpen));
+        a.close(DevConn).unwrap();
+        assert_eq!(a.close(DevConn), Err(ProtoError::NotOpen));
+        a.open((), Box::new(|_| {})).unwrap();
+    }
+
+    #[test]
+    fn frames_without_handler_are_dropped() {
+        let (net, mut a, mut b) = pair();
+        a.send(DevConn, (), frame(EthAddr::host(2), 50)).unwrap();
+        net.advance_to(foxbasis::time::VirtualTime::from_millis(10));
+        assert!(b.step(net.now())); // progress: a frame was consumed
+        assert!(!b.step(net.now()));
+    }
+}

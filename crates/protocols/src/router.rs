@@ -1,0 +1,380 @@
+//! A multi-interface IP router.
+//!
+//! The paper's benchmark ran on one isolated segment ("in the absence of
+//! routers", as §3's Special_Tcp discussion notes), but the Ip layer's
+//! gateway configuration implies one — so here it is: a store-and-
+//! forward IPv4 router joining any number of simulated segments, with
+//! per-interface ARP, TTL decrement, and the RFC 1624 *incremental*
+//! header-checksum update (`foxbasis::checksum::incremental_update`)
+//! on the forwarding fast path, exactly as real routers avoid re-summing
+//! the whole header.
+
+use crate::arp::{ArpCache, ArpEffect};
+use crate::dev::Dev;
+use crate::eth::{Eth, EthIncoming};
+use crate::{Protocol, ProtoError};
+use foxbasis::checksum::incremental_update;
+use foxbasis::fifo::Fifo;
+use foxbasis::time::VirtualTime;
+use foxwire::arp::ArpPacket;
+use foxwire::ether::{EthAddr, EtherType};
+use foxwire::ipv4::Ipv4Addr;
+use simnet::{HostHandle, SimNet};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Forwarding statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Packets forwarded between interfaces.
+    pub forwarded: u64,
+    /// Packets dropped because TTL reached zero.
+    pub ttl_expired: u64,
+    /// Packets with no route (no interface owns the destination subnet).
+    pub no_route: u64,
+    /// Packets addressed to the router itself (absorbed).
+    pub for_router: u64,
+    /// Undecodable packets.
+    pub bad: u64,
+}
+
+struct Iface {
+    eth: Eth<Dev>,
+    ipv4_conn: crate::eth::EthConn,
+    arp_conn: crate::eth::EthConn,
+    rx: Rc<RefCell<Fifo<EthIncoming>>>,
+    arp: ArpCache,
+    addr: Ipv4Addr,
+    prefix_len: u8,
+}
+
+impl Iface {
+    fn subnet(&self, a: Ipv4Addr) -> u32 {
+        let mask = if self.prefix_len == 0 { 0 } else { !0u32 << (32 - self.prefix_len) };
+        a.to_u32() & mask
+    }
+
+    fn owns(&self, a: Ipv4Addr) -> bool {
+        self.subnet(a) == self.subnet(self.addr)
+    }
+}
+
+/// The router.
+pub struct Router {
+    ifs: Vec<Iface>,
+    stats: RouterStats,
+}
+
+impl Router {
+    /// A router with no interfaces yet.
+    pub fn new() -> Router {
+        Router { ifs: Vec::new(), stats: RouterStats::default() }
+    }
+
+    /// Attaches an interface to `net` with the given link and IP
+    /// identity.
+    pub fn add_interface(
+        &mut self,
+        net: &SimNet,
+        mac: EthAddr,
+        addr: Ipv4Addr,
+        prefix_len: u8,
+        host: HostHandle,
+    ) -> Result<(), ProtoError> {
+        let mut eth = Eth::new(Dev::new(net.attach(mac), host.clone()), mac, host);
+        let rx = Rc::new(RefCell::new(Fifo::new()));
+        let q = rx.clone();
+        let ipv4_conn = eth.open(EtherType::Ipv4, Box::new(move |m| q.borrow_mut().add(m)))?;
+        let q = rx.clone();
+        let arp_conn = eth.open(EtherType::Arp, Box::new(move |m| q.borrow_mut().add(m)))?;
+        self.ifs.push(Iface {
+            eth,
+            ipv4_conn,
+            arp_conn,
+            rx,
+            arp: ArpCache::new(mac, addr),
+            addr,
+            prefix_len,
+        });
+        Ok(())
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Drives the router.
+    pub fn step(&mut self, now: VirtualTime) -> bool {
+        let mut progress = false;
+        for i in 0..self.ifs.len() {
+            progress |= self.ifs[i].eth.step(now);
+            loop {
+                let msg = match self.ifs[i].rx.borrow_mut().next() {
+                    Some(m) => m,
+                    None => break,
+                };
+                progress = true;
+                match msg.ethertype {
+                    EtherType::Arp => self.handle_arp(i, now, &msg),
+                    EtherType::Ipv4 => self.handle_ipv4(i, now, msg.payload),
+                    _ => self.stats.bad += 1,
+                }
+            }
+        }
+        progress
+    }
+
+    fn handle_arp(&mut self, i: usize, now: VirtualTime, msg: &EthIncoming) {
+        let pkt = match ArpPacket::decode(&msg.payload) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.bad += 1;
+                return;
+            }
+        };
+        let effects = self.ifs[i].arp.input(now, &pkt);
+        self.apply_arp_effects(i, effects);
+    }
+
+    fn apply_arp_effects(&mut self, i: usize, effects: Vec<ArpEffect>) {
+        for e in effects {
+            match e {
+                ArpEffect::Transmit(arp_pkt, dst) => {
+                    let conn = self.ifs[i].arp_conn;
+                    let _ = self.ifs[i].eth.send(conn, dst, arp_pkt.encode());
+                }
+                ArpEffect::Release(packets, dst) => {
+                    let conn = self.ifs[i].ipv4_conn;
+                    for p in packets {
+                        let _ = self.ifs[i].eth.send(conn, dst, p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The forwarding path. Works on raw header bytes so the checksum
+    /// can be updated incrementally.
+    fn handle_ipv4(&mut self, from: usize, now: VirtualTime, mut bytes: Vec<u8>) {
+        // Minimal header sanity; full validation happens at end hosts.
+        if bytes.len() < foxwire::ipv4::HEADER_LEN || bytes[0] >> 4 != 4 {
+            self.stats.bad += 1;
+            return;
+        }
+        let dst = Ipv4Addr([bytes[16], bytes[17], bytes[18], bytes[19]]);
+        if self.ifs.iter().any(|f| f.addr == dst) {
+            self.stats.for_router += 1;
+            return; // the router offers no services of its own
+        }
+        // Route: the interface owning the destination subnet.
+        let out = match self.ifs.iter().position(|f| f.owns(dst)) {
+            Some(i) => i,
+            None => {
+                self.stats.no_route += 1;
+                return;
+            }
+        };
+        // TTL and the incremental checksum update (RFC 1624): the
+        // TTL/protocol 16-bit word loses 0x0100.
+        let ttl = bytes[8];
+        if ttl <= 1 {
+            self.stats.ttl_expired += 1;
+            return;
+        }
+        let old_word = u16::from_be_bytes([bytes[8], bytes[9]]);
+        bytes[8] = ttl - 1;
+        let new_word = u16::from_be_bytes([bytes[8], bytes[9]]);
+        let old_check = u16::from_be_bytes([bytes[10], bytes[11]]);
+        let new_check = incremental_update(old_check, old_word, new_word);
+        bytes[10..12].copy_from_slice(&new_check.to_be_bytes());
+
+        self.stats.forwarded += 1;
+        let _ = from;
+        let effects = self.ifs[out].arp.resolve(now, dst, bytes);
+        self.apply_arp_effects(out, effects);
+    }
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Router::new()
+    }
+}
+
+impl fmt::Debug for Router {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Router({} interfaces, {:?})", self.ifs.len(), self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::{Ip, IpConfig, IpIncoming};
+    use foxwire::ipv4::IpProtocol;
+
+    fn host_station(
+        net: &SimNet,
+        mac_id: u8,
+        addr: Ipv4Addr,
+        gateway: Ipv4Addr,
+    ) -> (Ip<Eth<Dev>>, crate::ip::IpConn, Rc<RefCell<Vec<IpIncoming>>>) {
+        let host = HostHandle::free();
+        let mac = EthAddr::host(mac_id);
+        let eth = Eth::new(Dev::new(net.attach(mac), host.clone()), mac, host.clone());
+        let mut ip = Ip::new(
+            eth,
+            mac,
+            IpConfig { local: addr, prefix_len: 24, gateway: Some(gateway), ttl: 64 },
+            host,
+        );
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        let conn = ip.open(IpProtocol::Udp, Box::new(move |m| g.borrow_mut().push(m))).unwrap();
+        (ip, conn, got)
+    }
+
+    fn settle(nets: &[&SimNet], mut f: impl FnMut(VirtualTime) -> bool) {
+        for _ in 0..400 {
+            let mut progress = false;
+            let now = nets.iter().map(|n| n.now()).max().unwrap();
+            for n in nets {
+                if let Some(t) = n.next_delivery() {
+                    if t <= now || progress == false {
+                        n.advance_to(t.max(n.now()));
+                        progress = true;
+                    }
+                }
+            }
+            let now = nets.iter().map(|n| n.now()).max().unwrap();
+            for n in nets {
+                if n.now() < now {
+                    n.advance_to(now);
+                }
+            }
+            progress |= f(now);
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn forwards_between_segments_with_ttl_decrement() {
+        // Segment 1: 10.0.0.0/24, segment 2: 10.0.1.0/24; the router is
+        // .254 on both. Host A sends a UDP-proto datagram to host B
+        // across it.
+        let net1 = SimNet::ethernet_10mbps(1);
+        let net2 = SimNet::ethernet_10mbps(2);
+        let (mut a, _a_udp, _) = host_station(&net1, 1, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 254));
+        let (mut b, _b_udp, got_b) = host_station(&net2, 2, Ipv4Addr::new(10, 0, 1, 2), Ipv4Addr::new(10, 0, 1, 254));
+        let mut router = Router::new();
+        router
+            .add_interface(&net1, EthAddr::host(101), Ipv4Addr::new(10, 0, 0, 254), 24, HostHandle::free())
+            .unwrap();
+        router
+            .add_interface(&net2, EthAddr::host(102), Ipv4Addr::new(10, 0, 1, 254), 24, HostHandle::free())
+            .unwrap();
+
+        let conn = a.open(IpProtocol::Icmp, Box::new(|_| {})).unwrap();
+        a.send(conn, Ipv4Addr::new(10, 0, 1, 2), b"across the router".to_vec()).unwrap();
+
+        settle(&[&net1, &net2], |now| {
+            let p1 = a.step(now);
+            let p2 = b.step(now);
+            let p3 = router.step(now);
+            p1 || p2 || p3
+        });
+        // A sent on its Icmp conn, so the IP proto is Icmp and B (which
+        // listens on Udp) won't deliver it — but the router must have
+        // forwarded it all the same.
+        assert_eq!(router.stats().forwarded, 1, "{:?}", router.stats());
+
+        let conn_udp = _a_udp;
+        a.send(conn_udp, Ipv4Addr::new(10, 0, 1, 2), b"across the router".to_vec()).unwrap();
+        settle(&[&net1, &net2], |now| {
+            let p1 = a.step(now);
+            let p2 = b.step(now);
+            let p3 = router.step(now);
+            p1 || p2 || p3
+        });
+        assert_eq!(got_b.borrow().len(), 1);
+        assert_eq!(got_b.borrow()[0].payload, b"across the router");
+        assert_eq!(got_b.borrow()[0].src, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(router.stats().forwarded, 2);
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        let net1 = SimNet::ethernet_10mbps(1);
+        let net2 = SimNet::ethernet_10mbps(2);
+        let host = HostHandle::free();
+        let mac = EthAddr::host(1);
+        let eth = Eth::new(Dev::new(net1.attach(mac), host.clone()), mac, host.clone());
+        let mut a = Ip::new(
+            eth,
+            mac,
+            IpConfig {
+                local: Ipv4Addr::new(10, 0, 0, 1),
+                prefix_len: 24,
+                gateway: Some(Ipv4Addr::new(10, 0, 0, 254)),
+                ttl: 1, // expires at the first hop
+            },
+            host,
+        );
+        a.open(IpProtocol::Udp, Box::new(|_| {})).unwrap();
+        let (mut b, _b_udp, got_b) = host_station(&net2, 2, Ipv4Addr::new(10, 0, 1, 2), Ipv4Addr::new(10, 0, 1, 254));
+        let mut router = Router::new();
+        router
+            .add_interface(&net1, EthAddr::host(101), Ipv4Addr::new(10, 0, 0, 254), 24, HostHandle::free())
+            .unwrap();
+        router
+            .add_interface(&net2, EthAddr::host(102), Ipv4Addr::new(10, 0, 1, 254), 24, HostHandle::free())
+            .unwrap();
+        let conn = a.open(IpProtocol::Icmp, Box::new(|_| {})).unwrap();
+        a.send(conn, Ipv4Addr::new(10, 0, 1, 2), b"too far".to_vec()).unwrap();
+        settle(&[&net1, &net2], |now| {
+            a.step(now) | b.step(now) | router.step(now)
+        });
+        assert_eq!(router.stats().ttl_expired, 1);
+        assert!(got_b.borrow().is_empty());
+    }
+
+    #[test]
+    fn unroutable_destination_counted() {
+        let net1 = SimNet::ethernet_10mbps(1);
+        let (mut a, a_udp, _) = host_station(&net1, 1, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 254));
+        let mut router = Router::new();
+        router
+            .add_interface(&net1, EthAddr::host(101), Ipv4Addr::new(10, 0, 0, 254), 24, HostHandle::free())
+            .unwrap();
+        a.send(a_udp, Ipv4Addr::new(172, 16, 0, 9), b"nowhere".to_vec()).unwrap();
+        settle(&[&net1], |now| a.step(now) | router.step(now));
+        assert_eq!(router.stats().no_route, 1);
+    }
+
+    /// The forwarded packet's header checksum stays valid — the
+    /// incremental update really works (end hosts verify it on decode,
+    /// so the first test implies this; here we check the byte-level
+    /// property directly).
+    #[test]
+    fn incremental_checksum_stays_valid() {
+        use foxwire::ipv4::{Ipv4Header, Ipv4Packet};
+        let pkt = Ipv4Packet {
+            header: Ipv4Header::new(IpProtocol::Udp, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 1, 2)),
+            payload: b"check me".to_vec(),
+        };
+        let mut bytes = pkt.encode().unwrap();
+        // Simulate the router's in-place mutation.
+        let old_word = u16::from_be_bytes([bytes[8], bytes[9]]);
+        bytes[8] -= 1;
+        let new_word = u16::from_be_bytes([bytes[8], bytes[9]]);
+        let old_check = u16::from_be_bytes([bytes[10], bytes[11]]);
+        let new_check = incremental_update(old_check, old_word, new_word);
+        bytes[10..12].copy_from_slice(&new_check.to_be_bytes());
+        let decoded = Ipv4Packet::decode(&bytes).expect("checksum must verify after update");
+        assert_eq!(decoded.header.ttl, 63);
+    }
+}

@@ -1,0 +1,278 @@
+//! CML-style typed channels — the paper's §6/§7 outlook, implemented.
+//!
+//! "One example that we may want to imitate or re-implement is CML
+//! (Concurrent ML), described by Reppy. CML provides typed channels and
+//! lightweight threads integrated into a parallel programming
+//! environment."
+//!
+//! [`Channel<T>`] is a synchronous (rendezvous) typed channel over the
+//! coroutine scheduler, in the same continuation-passing style as the
+//! rest of the crate: `recv` takes the continuation that receives the
+//! value; `send` takes the continuation that resumes once a receiver has
+//! taken it. When no partner is waiting, the operation parks its
+//! continuation on the channel; when one is, the rendezvous completes
+//! by forking the partner's continuation — so a channel operation costs
+//! the paper's "thread switch = a few function calls", never a busy
+//! wait.
+
+use crate::{Scheduler, Task};
+use foxbasis::fifo::Fifo;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// The continuation a receiver parks: give it the value.
+pub type Receiver<T> = Box<dyn FnOnce(&mut Scheduler, T)>;
+
+enum Waiting<T> {
+    /// Senders queued with (value, resume-sender continuation).
+    Senders(Fifo<(T, Task)>),
+    /// Receivers queued with their value continuations.
+    Receivers(Fifo<Receiver<T>>),
+    /// Nobody parked.
+    Empty,
+}
+
+struct Core<T> {
+    waiting: Waiting<T>,
+    /// Completed rendezvous (for stats/tests).
+    exchanges: u64,
+}
+
+/// A synchronous typed channel (CML's `chan`).
+///
+/// ```
+/// use fox_scheduler::{Channel, Scheduler};
+/// use std::{cell::Cell, rc::Rc};
+/// let mut s = Scheduler::new();
+/// let ch: Channel<i32> = Channel::new();
+/// let got = Rc::new(Cell::new(0));
+/// let g = got.clone();
+/// ch.recv(&mut s, Box::new(move |_s, v| g.set(v)));
+/// ch.send(&mut s, 7, Box::new(|_s| {}));
+/// s.run_ready();
+/// assert_eq!(got.get(), 7);
+/// ```
+pub struct Channel<T> {
+    core: Rc<RefCell<Core<T>>>,
+}
+
+impl<T> Clone for Channel<T> {
+    fn clone(&self) -> Self {
+        Channel { core: self.core.clone() }
+    }
+}
+
+impl<T: 'static> Channel<T> {
+    /// A fresh channel.
+    pub fn new() -> Channel<T> {
+        Channel { core: Rc::new(RefCell::new(Core { waiting: Waiting::Empty, exchanges: 0 })) }
+    }
+
+    /// Sends `value`; `cont` resumes (as a forked task) once a receiver
+    /// has taken the value. If a receiver is already parked, the
+    /// rendezvous completes immediately: the receiver's continuation is
+    /// forked with the value and `cont` is forked after it.
+    pub fn send(&self, s: &mut Scheduler, value: T, cont: Task) {
+        let mut core = self.core.borrow_mut();
+        match &mut core.waiting {
+            Waiting::Receivers(q) => {
+                let recv = q.next().expect("non-empty receiver queue");
+                if q.is_empty() {
+                    core.waiting = Waiting::Empty;
+                }
+                core.exchanges += 1;
+                drop(core);
+                s.fork(Box::new(move |s| recv(s, value)));
+                s.fork(cont);
+            }
+            Waiting::Senders(q) => {
+                q.add((value, cont));
+            }
+            Waiting::Empty => {
+                let mut q = Fifo::new();
+                q.add((value, cont));
+                core.waiting = Waiting::Senders(q);
+            }
+        }
+    }
+
+    /// Receives a value; `cont` runs (as a forked task) with it. If a
+    /// sender is parked, the rendezvous completes immediately and the
+    /// sender's continuation is forked too.
+    pub fn recv(&self, s: &mut Scheduler, cont: Receiver<T>) {
+        let mut core = self.core.borrow_mut();
+        match &mut core.waiting {
+            Waiting::Senders(q) => {
+                let (value, sender_cont) = q.next().expect("non-empty sender queue");
+                if q.is_empty() {
+                    core.waiting = Waiting::Empty;
+                }
+                core.exchanges += 1;
+                drop(core);
+                s.fork(Box::new(move |s| cont(s, value)));
+                s.fork(sender_cont);
+            }
+            Waiting::Receivers(q) => {
+                q.add(cont);
+            }
+            Waiting::Empty => {
+                let mut q = Fifo::new();
+                q.add(cont);
+                core.waiting = Waiting::Receivers(q);
+            }
+        }
+    }
+
+    /// Rendezvous completed so far.
+    pub fn exchanges(&self) -> u64 {
+        self.core.borrow().exchanges
+    }
+
+    /// Parked senders and receivers (at most one side is nonzero).
+    pub fn parked(&self) -> (usize, usize) {
+        match &self.core.borrow().waiting {
+            Waiting::Senders(q) => (q.size(), 0),
+            Waiting::Receivers(q) => (0, q.size()),
+            Waiting::Empty => (0, 0),
+        }
+    }
+}
+
+impl<T: 'static> Default for Channel<T> {
+    fn default() -> Self {
+        Channel::new()
+    }
+}
+
+impl<T> fmt::Debug for Channel<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (s, r) = match &self.core.borrow().waiting {
+            Waiting::Senders(q) => (q.size(), 0),
+            Waiting::Receivers(q) => (0, q.size()),
+            Waiting::Empty => (0, 0),
+        };
+        write!(f, "Channel(senders={s}, receivers={r})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn receiver_first_rendezvous() {
+        let mut s = Scheduler::new();
+        let ch: Channel<i32> = Channel::new();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        ch.recv(&mut s, Box::new(move |_s, v| g.borrow_mut().push(v)));
+        assert_eq!(ch.parked(), (0, 1));
+        let sent = Rc::new(RefCell::new(false));
+        let s2 = sent.clone();
+        ch.send(&mut s, 42, Box::new(move |_| *s2.borrow_mut() = true));
+        s.run_ready();
+        assert_eq!(*got.borrow(), vec![42]);
+        assert!(*sent.borrow(), "sender resumed after rendezvous");
+        assert_eq!(ch.exchanges(), 1);
+        assert_eq!(ch.parked(), (0, 0));
+    }
+
+    #[test]
+    fn sender_first_rendezvous() {
+        let mut s = Scheduler::new();
+        let ch: Channel<&'static str> = Channel::new();
+        ch.send(&mut s, "hello", Box::new(|_| {}));
+        assert_eq!(ch.parked(), (1, 0));
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        ch.recv(&mut s, Box::new(move |_s, v| *g.borrow_mut() = Some(v)));
+        s.run_ready();
+        assert_eq!(*got.borrow(), Some("hello"));
+    }
+
+    #[test]
+    fn values_arrive_in_send_order() {
+        let mut s = Scheduler::new();
+        let ch: Channel<i32> = Channel::new();
+        for i in 0..5 {
+            ch.send(&mut s, i, Box::new(|_| {}));
+        }
+        let got = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..5 {
+            let g = got.clone();
+            ch.recv(&mut s, Box::new(move |_s, v| g.borrow_mut().push(v)));
+        }
+        s.run_ready();
+        assert_eq!(*got.borrow(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(ch.exchanges(), 5);
+    }
+
+    #[test]
+    fn producer_consumer_pipeline() {
+        // A CML-flavored pipeline: producer -> doubler -> collector,
+        // each a coroutine chained through channels in CPS.
+        let mut s = Scheduler::new();
+        let a: Channel<u32> = Channel::new();
+        let b: Channel<u32> = Channel::new();
+        let out = Rc::new(RefCell::new(Vec::new()));
+
+        // Producer: send 1..=4 on a.
+        fn produce(s: &mut Scheduler, ch: Channel<u32>, i: u32) {
+            if i <= 4 {
+                let ch2 = ch.clone();
+                ch.send(s, i, Box::new(move |s| produce(s, ch2, i + 1)));
+            }
+        }
+        // Doubler: recv from a, send double on b, loop.
+        fn double(s: &mut Scheduler, a: Channel<u32>, b: Channel<u32>) {
+            let (a2, b2) = (a.clone(), b.clone());
+            a.recv(
+                s,
+                Box::new(move |s, v| {
+                    let (a3, b3) = (a2.clone(), b2.clone());
+                    b2.send(s, v * 2, Box::new(move |s| double(s, a3, b3)));
+                }),
+            );
+        }
+        // Collector: recv from b into out, loop.
+        fn collect(s: &mut Scheduler, b: Channel<u32>, out: Rc<RefCell<Vec<u32>>>) {
+            let b2 = b.clone();
+            let o2 = out.clone();
+            b.recv(
+                s,
+                Box::new(move |s, v| {
+                    o2.borrow_mut().push(v);
+                    collect(s, b2, o2.clone());
+                }),
+            );
+        }
+
+        produce(&mut s, a.clone(), 1);
+        double(&mut s, a.clone(), b.clone());
+        collect(&mut s, b.clone(), out.clone());
+        s.run_until_idle();
+        assert_eq!(*out.borrow(), vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn rendezvous_integrates_with_timers() {
+        // A sender that fires from a timer: channels and Fig. 11 timers
+        // share the same scheduler.
+        let mut s = Scheduler::new();
+        let ch: Channel<&'static str> = Channel::new();
+        let got = Rc::new(RefCell::new(None));
+        let g = got.clone();
+        ch.recv(&mut s, Box::new(move |_s, v| *g.borrow_mut() = Some(v)));
+        let ch2 = ch.clone();
+        crate::timer::start_ms(
+            &mut s,
+            25,
+            Box::new(move |s| ch2.send(s, "from the timer", Box::new(|_| {}))),
+        );
+        s.run_until_idle();
+        assert_eq!(*got.borrow(), Some("from the timer"));
+        assert_eq!(s.now(), foxbasis::time::VirtualTime::from_millis(25));
+    }
+}

@@ -1,0 +1,143 @@
+//! A shared, cloneable handle to a [`Scheduler`].
+//!
+//! The paper passes the scheduler *structure* to every functor that needs
+//! timers. In Rust the equivalent is a cheap handle that several protocol
+//! layers of one host can hold simultaneously; it is a thin
+//! `Rc<RefCell<Scheduler>>` whose methods take and release the borrow
+//! around each call, so protocol code can never deadlock on it as long as
+//! tasks themselves use the `&mut Scheduler` they are handed (which the
+//! [`crate::Task`] signature enforces).
+
+use crate::timer::TimerHandle;
+use crate::{Scheduler, SchedStats, Task};
+use foxbasis::time::{VirtualDuration, VirtualTime};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Cloneable shared handle to one host's scheduler.
+#[derive(Clone)]
+pub struct SchedHandle {
+    inner: Rc<RefCell<Scheduler>>,
+}
+
+impl SchedHandle {
+    /// Wraps a fresh scheduler starting at the epoch.
+    pub fn new() -> Self {
+        SchedHandle { inner: Rc::new(RefCell::new(Scheduler::new())) }
+    }
+
+    /// Wraps an existing scheduler.
+    pub fn from_scheduler(s: Scheduler) -> Self {
+        SchedHandle { inner: Rc::new(RefCell::new(s)) }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.inner.borrow().now()
+    }
+
+    /// Forks a normal task.
+    pub fn fork(&self, task: Task) {
+        self.inner.borrow_mut().fork(task);
+    }
+
+    /// Schedules `cont` after `dur`.
+    pub fn sleep(&self, dur: VirtualDuration, cont: Task) {
+        self.inner.borrow_mut().sleep(dur, cont);
+    }
+
+    /// Starts a Fig. 11 timer.
+    pub fn start_timer(&self, dur: VirtualDuration, handler: Task) -> TimerHandle {
+        crate::timer::start(&mut self.inner.borrow_mut(), dur, handler)
+    }
+
+    /// Starts a Fig. 11 timer measured in milliseconds.
+    pub fn start_timer_ms(&self, ms: u64, handler: Task) -> TimerHandle {
+        crate::timer::start_ms(&mut self.inner.borrow_mut(), ms, handler)
+    }
+
+    /// Runs every task that is ready at the current time.
+    pub fn run_ready(&self) {
+        self.inner.borrow_mut().run_ready();
+    }
+
+    /// Advances the clock, firing due sleepers.
+    pub fn advance_to(&self, t: VirtualTime) {
+        self.inner.borrow_mut().advance_to(t);
+    }
+
+    /// Earliest pending deadline.
+    pub fn next_deadline(&self) -> Option<VirtualTime> {
+        self.inner.borrow().next_deadline()
+    }
+
+    /// True if nothing is ready or sleeping.
+    pub fn is_idle(&self) -> bool {
+        self.inner.borrow().is_idle()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SchedStats {
+        self.inner.borrow().stats()
+    }
+}
+
+impl Default for SchedHandle {
+    fn default() -> Self {
+        SchedHandle::new()
+    }
+}
+
+impl fmt::Debug for SchedHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.inner.borrow())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn handle_clones_share_one_scheduler() {
+        let a = SchedHandle::new();
+        let b = a.clone();
+        let hits = Rc::new(Cell::new(0));
+        let h = hits.clone();
+        a.sleep(VirtualDuration::from_millis(5), Box::new(move |_| h.set(h.get() + 1)));
+        b.advance_to(VirtualTime::from_millis(5));
+        assert_eq!(hits.get(), 1);
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn timer_through_handle() {
+        let s = SchedHandle::new();
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        let t = s.start_timer_ms(7, Box::new(move |_| f.set(true)));
+        assert_eq!(s.next_deadline(), None); // the Fig. 11 thread hasn't slept yet
+        s.run_ready(); // run the forked thread: it goes to sleep
+        assert_eq!(s.next_deadline(), Some(VirtualTime::from_millis(7)));
+        t.clear();
+        s.advance_to(VirtualTime::from_millis(10));
+        assert!(!fired.get());
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn tasks_can_use_the_scheduler_argument_inside_handle_runs() {
+        let s = SchedHandle::new();
+        let done = Rc::new(Cell::new(false));
+        let d = done.clone();
+        s.fork(Box::new(move |inner| {
+            // Inside a task the handle is borrowed; the task must use the
+            // &mut Scheduler it receives, which works fine:
+            inner.sleep(VirtualDuration::from_millis(1), Box::new(move |_| d.set(true)));
+        }));
+        s.advance_to(VirtualTime::from_millis(1));
+        assert!(done.get());
+    }
+}

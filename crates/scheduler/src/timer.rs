@@ -1,0 +1,187 @@
+//! The paper's Fig. 11 timer, transcribed.
+//!
+//! ```sml
+//! fun start (handler, ms) =
+//!     let val cleared = ref false
+//!         fun sleep () =
+//!             (Scheduler.sleep (ms);
+//!              if ! cleared then ()
+//!              else handler ())
+//!         val thread = Scheduler.Normal sleep
+//!     in Scheduler.fork (thread);
+//!        cleared
+//!     end
+//! fun clear cleared = cleared := true
+//! ```
+//!
+//! "The implementation of `start` allocates from the heap a new updatable
+//! boolean cell and creates a new closure for the function `sleep` ...
+//! The newly created boolean is returned to the caller and can be changed
+//! to clear the timer." The Rust version is the same shape: the updatable
+//! cell is an `Rc<Cell<bool>>`, the closure is the forked task, and
+//! `clear` "is not pure, that is, works by changing the value of a
+//! variable."
+
+use crate::{Scheduler, Task};
+use foxbasis::time::VirtualDuration;
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// The cleared-flag returned by [`start`]; dropping it does **not** clear
+/// the timer (just as dropping the `bool ref` didn't in SML).
+#[derive(Clone)]
+pub struct TimerHandle {
+    cleared: Rc<Cell<bool>>,
+}
+
+impl TimerHandle {
+    /// Clears the timer: when the sleep expires, the handler is not run.
+    pub fn clear(&self) {
+        self.cleared.set(true);
+    }
+
+    /// True if [`clear`](Self::clear) has been called.
+    pub fn is_cleared(&self) -> bool {
+        self.cleared.get()
+    }
+}
+
+impl fmt::Debug for TimerHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TimerHandle(cleared={})", self.cleared.get())
+    }
+}
+
+/// Starts a timer: after `dur`, `handler` runs unless the returned handle
+/// has been cleared.
+///
+/// ```
+/// use fox_scheduler::{timer, Scheduler};
+/// use foxbasis::time::VirtualTime;
+/// use std::{cell::Cell, rc::Rc};
+/// let mut s = Scheduler::new();
+/// let fired = Rc::new(Cell::new(false));
+/// let f = fired.clone();
+/// let handle = timer::start_ms(&mut s, 50, Box::new(move |_| f.set(true)));
+/// s.advance_to(VirtualTime::from_millis(40));
+/// handle.clear();                       // the ACK arrived in time
+/// s.advance_to(VirtualTime::from_millis(100));
+/// assert!(!fired.get());                // so the handler never ran
+/// ```
+pub fn start(sched: &mut Scheduler, dur: VirtualDuration, handler: Task) -> TimerHandle {
+    let cleared = Rc::new(Cell::new(false));
+    let flag = cleared.clone();
+    // fun sleep () = (Scheduler.sleep ms; if !cleared then () else handler())
+    let sleep: Task = Box::new(move |s: &mut Scheduler| {
+        s.sleep(
+            dur,
+            Box::new(move |s: &mut Scheduler| {
+                if !flag.get() {
+                    handler(s);
+                }
+            }),
+        );
+    });
+    // Scheduler.fork (Scheduler.Normal sleep)
+    sched.fork(sleep);
+    TimerHandle { cleared }
+}
+
+/// Starts a timer measured in milliseconds, the unit the paper's TCP
+/// uses throughout.
+pub fn start_ms(sched: &mut Scheduler, ms: u64, handler: Task) -> TimerHandle {
+    start(sched, VirtualDuration::from_millis(ms), handler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foxbasis::time::VirtualTime;
+    use std::cell::RefCell;
+
+    #[test]
+    fn timer_fires_after_duration() {
+        let mut s = Scheduler::new();
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        start_ms(&mut s, 50, Box::new(move |_| f.set(true)));
+        s.advance_to(VirtualTime::from_millis(49));
+        assert!(!fired.get());
+        s.advance_to(VirtualTime::from_millis(50));
+        assert!(fired.get());
+    }
+
+    #[test]
+    fn cleared_timer_does_not_fire() {
+        let mut s = Scheduler::new();
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        let h = start_ms(&mut s, 50, Box::new(move |_| f.set(true)));
+        s.advance_to(VirtualTime::from_millis(10));
+        h.clear();
+        assert!(h.is_cleared());
+        s.advance_to(VirtualTime::from_millis(100));
+        assert!(!fired.get());
+    }
+
+    #[test]
+    fn clear_after_expiry_is_harmless() {
+        let mut s = Scheduler::new();
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        let h = start_ms(&mut s, 5, Box::new(move |_| f.set(true)));
+        s.advance_to(VirtualTime::from_millis(10));
+        assert!(fired.get());
+        h.clear(); // no effect, no panic
+    }
+
+    #[test]
+    fn handler_can_restart_the_timer() {
+        // Periodic-timer idiom: the handler starts the next round.
+        let mut s = Scheduler::new();
+        let count = Rc::new(Cell::new(0u32));
+        fn arm(s: &mut Scheduler, count: Rc<Cell<u32>>) -> TimerHandle {
+            let c = count.clone();
+            start_ms(
+                s,
+                10,
+                Box::new(move |s| {
+                    c.set(c.get() + 1);
+                    if c.get() < 3 {
+                        arm(s, c.clone());
+                    }
+                }),
+            )
+        }
+        arm(&mut s, count.clone());
+        s.run_until_idle();
+        assert_eq!(count.get(), 3);
+        assert_eq!(s.now(), VirtualTime::from_millis(30));
+    }
+
+    #[test]
+    fn many_timers_fire_in_order() {
+        let mut s = Scheduler::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for ms in [30u64, 10, 20] {
+            let o = order.clone();
+            start_ms(&mut s, ms, Box::new(move |_| o.borrow_mut().push(ms)));
+        }
+        s.run_until_idle();
+        assert_eq!(*order.borrow(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn handle_clones_share_the_flag() {
+        let mut s = Scheduler::new();
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        let h = start_ms(&mut s, 5, Box::new(move |_| f.set(true)));
+        let h2 = h.clone();
+        h2.clear();
+        assert!(h.is_cleared());
+        s.run_until_idle();
+        assert!(!fired.get());
+    }
+}

@@ -1,0 +1,100 @@
+//! Scheduler properties: every forked task runs exactly once; sleepers
+//! wake in deadline-then-FIFO order; the clock never observes a task
+//! before its deadline; slicing time differently never changes behavior.
+
+use fox_scheduler::Scheduler;
+use foxbasis::time::{VirtualDuration, VirtualTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_task_runs_exactly_once(
+        delays in proptest::collection::vec(0u64..10_000, 1..80),
+    ) {
+        let mut s = Scheduler::new();
+        let runs = Rc::new(RefCell::new(vec![0u32; delays.len()]));
+        for (i, &d) in delays.iter().enumerate() {
+            let r = runs.clone();
+            if d == 0 {
+                s.fork(Box::new(move |_| r.borrow_mut()[i] += 1));
+            } else {
+                s.sleep(VirtualDuration::from_micros(d), Box::new(move |_| r.borrow_mut()[i] += 1));
+            }
+        }
+        s.run_until_idle();
+        prop_assert!(runs.borrow().iter().all(|&c| c == 1), "{:?}", runs.borrow());
+        prop_assert!(s.is_idle());
+    }
+
+    #[test]
+    fn wake_order_is_deadline_then_fifo(
+        delays in proptest::collection::vec(1u64..1_000, 1..60),
+    ) {
+        let mut s = Scheduler::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let o = order.clone();
+            s.sleep(VirtualDuration::from_micros(d), Box::new(move |_| o.borrow_mut().push(i)));
+        }
+        s.run_until_idle();
+        let order = order.borrow();
+        prop_assert_eq!(order.len(), delays.len());
+        for w in order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            prop_assert!(
+                delays[a] < delays[b] || (delays[a] == delays[b] && a < b),
+                "task {} (d={}) woke before task {} (d={})",
+                a, delays[a], b, delays[b]
+            );
+        }
+    }
+
+    #[test]
+    fn no_task_observes_time_before_its_deadline(
+        delays in proptest::collection::vec(1u64..5_000, 1..40),
+    ) {
+        let mut s = Scheduler::new();
+        let violations = Rc::new(RefCell::new(0u32));
+        for &d in &delays {
+            let v = violations.clone();
+            let deadline = VirtualTime::from_micros(d);
+            s.sleep(VirtualDuration::from_micros(d), Box::new(move |s| {
+                if s.now() < deadline {
+                    *v.borrow_mut() += 1;
+                }
+            }));
+        }
+        s.run_until_idle();
+        prop_assert_eq!(*violations.borrow(), 0);
+    }
+
+    #[test]
+    fn advance_in_arbitrary_increments_is_equivalent(
+        delays in proptest::collection::vec(1u64..2_000, 1..30),
+        steps in proptest::collection::vec(1u64..700, 1..20),
+    ) {
+        let run = |increments: &[u64]| {
+            let mut s = Scheduler::new();
+            let order = Rc::new(RefCell::new(Vec::new()));
+            for (i, &d) in delays.iter().enumerate() {
+                let o = order.clone();
+                s.sleep(VirtualDuration::from_micros(d), Box::new(move |_| o.borrow_mut().push(i)));
+            }
+            let mut t = 0;
+            for &inc in increments {
+                t += inc;
+                s.advance_to(VirtualTime::from_micros(t));
+            }
+            s.run_until_idle();
+            let v = order.borrow().clone();
+            v
+        };
+        let one_shot = run(&[10_000]);
+        let sliced: Vec<u64> = steps.iter().copied().chain(std::iter::once(10_000)).collect();
+        prop_assert_eq!(one_shot, run(&sliced));
+    }
+}

@@ -1,0 +1,575 @@
+//! The host cost model: a virtual DECstation 5000/125.
+//!
+//! The paper's absolute numbers belong to a 1994 machine: a 25 MHz MIPS
+//! DECstation running Mach 3.0, with SML/NJ-compiled protocol code.
+//! [`CostModel`] captures those costs as constants, most of them straight
+//! out of the paper's own text:
+//!
+//! * copy: 300 µs/KB (SML) vs 61 µs/KB (`bcopy`);
+//! * checksum: 343 µs/KB (Fig. 10 algorithm) vs 375 µs/KB (x-kernel);
+//! * thread fork+switch: 30 µs; empty function call: 1.2 µs;
+//! * profiling counter update: 15 µs;
+//!
+//! plus per-packet processing constants for the TCP, IP and
+//! Ethernet/Mach-interface layers fitted so that the Table 1 and
+//! Table 2 results emerge from the simulation (the fit is documented in
+//! EXPERIMENTS.md).
+//!
+//! A [`Host`] owns one simulated CPU: protocol code runs inside a
+//! *processing episode* (`begin` … `end`), charging accounts as it goes;
+//! the episode's total determines when the CPU is free again and when
+//! any frames produced during the episode actually reach the wire.
+
+use crate::gcmodel::{GcConfig, GcStats, SmlRuntime};
+use foxbasis::profile::{Account, Profiler, PAPER_COUNTER_UPDATE_COST};
+use foxbasis::time::{VirtualDuration, VirtualTime};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Per-operation virtual CPU costs.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// TCP protocol processing per data segment handled (send or
+    /// receive).
+    pub tcp_per_segment: VirtualDuration,
+    /// TCP protocol processing per header-only (pure ACK) segment —
+    /// cheaper, as header prediction makes it in real stacks.
+    pub tcp_per_ack: VirtualDuration,
+    /// IP processing per packet.
+    pub ip_per_packet: VirtualDuration,
+    /// Ethernet encapsulation plus Mach device interface, per packet.
+    pub eth_interface_per_packet: VirtualDuration,
+    /// Mach IPC send, per packet.
+    pub mach_send_per_packet: VirtualDuration,
+    /// Mach IPC receive path ("packet wait"), per packet received.
+    pub packet_wait_per_packet: VirtualDuration,
+    /// Buffer management, reading the clock, and other utilities, per
+    /// packet.
+    pub misc_per_packet: VirtualDuration,
+    /// Data copy cost per kilobyte.
+    pub copy_per_kb: VirtualDuration,
+    /// Fixed per-packet buffer-management share of the copy path.
+    pub copy_per_packet: VirtualDuration,
+    /// Checksum cost per kilobyte.
+    pub checksum_per_kb: VirtualDuration,
+    /// Fixed per-packet setup share of the checksum path.
+    pub checksum_per_packet: VirtualDuration,
+    /// Coroutine fork + switch (the paper: ~30 µs).
+    pub thread_op: VirtualDuration,
+    /// An empty function call (the paper: ~1.2 µs).
+    pub function_call: VirtualDuration,
+    /// Heap bytes allocated per segment beyond its payload (closures,
+    /// actions, headers). Zero disables allocation modeling.
+    pub alloc_overhead_per_segment: usize,
+    /// How many hardware-counter updates one accounted operation stands
+    /// for (the paper instrumented far more sites than our coarse
+    /// accounts; each update costs 15 µs).
+    pub counter_updates_per_charge: u64,
+    /// The modeled garbage collector, if any.
+    pub gc: Option<GcConfig>,
+}
+
+impl CostModel {
+    /// The Fox Net on the paper's DECstation: SML/NJ costs.
+    pub fn decstation_sml() -> CostModel {
+        CostModel {
+            tcp_per_segment: VirtualDuration::from_micros(4000),
+            tcp_per_ack: VirtualDuration::from_micros(1500),
+            ip_per_packet: VirtualDuration::from_micros(750),
+            eth_interface_per_packet: VirtualDuration::from_micros(1050),
+            mach_send_per_packet: VirtualDuration::from_micros(1390),
+            packet_wait_per_packet: VirtualDuration::from_micros(2000),
+            misc_per_packet: VirtualDuration::from_micros(450),
+            copy_per_kb: VirtualDuration::from_micros(300),
+            copy_per_packet: VirtualDuration::from_micros(1400),
+            checksum_per_kb: VirtualDuration::from_micros(343),
+            checksum_per_packet: VirtualDuration::from_micros(420),
+            thread_op: VirtualDuration::from_micros(30),
+            function_call: VirtualDuration::from_micros(1),
+            alloc_overhead_per_segment: 2048,
+            counter_updates_per_charge: 4,
+            gc: Some(GcConfig::smlnj_1994()),
+        }
+    }
+
+    /// The Fox Net machine with the paper's §7 future-work collector:
+    /// "we will implement and use an incremental garbage collector with
+    /// bounded pauses." Identical to [`CostModel::decstation_sml`] but
+    /// with collection work bounded to 5 ms per pause.
+    pub fn decstation_sml_incremental() -> CostModel {
+        CostModel {
+            gc: Some(GcConfig::incremental_1995(VirtualDuration::from_millis(5))),
+            ..CostModel::decstation_sml()
+        }
+    }
+
+    /// The x-kernel on the same DECstation: Berkeley-derived C code.
+    pub fn decstation_c() -> CostModel {
+        CostModel {
+            tcp_per_segment: VirtualDuration::from_micros(450),
+            tcp_per_ack: VirtualDuration::from_micros(180),
+            ip_per_packet: VirtualDuration::from_micros(150),
+            eth_interface_per_packet: VirtualDuration::from_micros(280),
+            mach_send_per_packet: VirtualDuration::from_micros(300),
+            packet_wait_per_packet: VirtualDuration::from_micros(350),
+            misc_per_packet: VirtualDuration::from_micros(80),
+            copy_per_kb: VirtualDuration::from_micros(61),
+            copy_per_packet: VirtualDuration::ZERO,
+            checksum_per_kb: VirtualDuration::from_micros(375),
+            checksum_per_packet: VirtualDuration::ZERO,
+            thread_op: VirtualDuration::from_micros(10),
+            function_call: VirtualDuration::from_micros(1),
+            alloc_overhead_per_segment: 0,
+            counter_updates_per_charge: 1,
+            gc: None,
+        }
+    }
+
+    /// No modeled costs at all: the protocol code runs "for free", so
+    /// simulated results reflect only the network. Use this preset when
+    /// measuring the real Rust implementation with Criterion.
+    pub fn modern() -> CostModel {
+        CostModel {
+            tcp_per_segment: VirtualDuration::ZERO,
+            tcp_per_ack: VirtualDuration::ZERO,
+            ip_per_packet: VirtualDuration::ZERO,
+            eth_interface_per_packet: VirtualDuration::ZERO,
+            mach_send_per_packet: VirtualDuration::ZERO,
+            packet_wait_per_packet: VirtualDuration::ZERO,
+            misc_per_packet: VirtualDuration::ZERO,
+            copy_per_kb: VirtualDuration::ZERO,
+            copy_per_packet: VirtualDuration::ZERO,
+            checksum_per_kb: VirtualDuration::ZERO,
+            checksum_per_packet: VirtualDuration::ZERO,
+            thread_op: VirtualDuration::ZERO,
+            function_call: VirtualDuration::ZERO,
+            alloc_overhead_per_segment: 0,
+            counter_updates_per_charge: 1,
+            gc: None,
+        }
+    }
+
+    fn per_kb(rate: VirtualDuration, bytes: usize) -> VirtualDuration {
+        VirtualDuration::from_micros(rate.as_micros() * bytes as u64 / 1024)
+    }
+}
+
+/// One simulated machine.
+pub struct Host {
+    name: &'static str,
+    cost: CostModel,
+    profiler: Profiler,
+    gc: Option<SmlRuntime>,
+    cpu_free_at: VirtualTime,
+    episode_start: Option<VirtualTime>,
+    episode_accum: VirtualDuration,
+    total_busy: VirtualDuration,
+}
+
+impl Host {
+    /// A host with the given cost model. `profiled` turns the Table 2
+    /// counters on, *including their 15 µs perturbation*.
+    pub fn new(name: &'static str, cost: CostModel, profiled: bool) -> Host {
+        let profiler = if profiled {
+            Profiler::with_update_cost(PAPER_COUNTER_UPDATE_COST)
+        } else {
+            Profiler::disabled()
+        };
+        let gc = cost.gc.clone().map(SmlRuntime::new);
+        Host {
+            name,
+            cost,
+            profiler,
+            gc,
+            cpu_free_at: VirtualTime::ZERO,
+            episode_start: None,
+            episode_accum: VirtualDuration::ZERO,
+            total_busy: VirtualDuration::ZERO,
+        }
+    }
+
+    /// The host's name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// When the CPU becomes free.
+    pub fn cpu_free_at(&self) -> VirtualTime {
+        self.cpu_free_at
+    }
+
+    /// The CPU's current position: inside an episode, the episode start
+    /// plus everything charged so far; otherwise the free instant. This
+    /// is "now" as the simulated machine experiences it — the moment a
+    /// frame built during an episode actually reaches the device.
+    pub fn now_busy(&self) -> VirtualTime {
+        match self.episode_start {
+            Some(s) => s + self.episode_accum,
+            None => self.cpu_free_at,
+        }
+    }
+
+    /// Starts a processing episode for an event arriving at `arrival`;
+    /// returns the episode's start time (the CPU may still be busy with
+    /// earlier work).
+    pub fn begin(&mut self, arrival: VirtualTime) -> VirtualTime {
+        assert!(self.episode_start.is_none(), "nested host episode");
+        let start = arrival.max(self.cpu_free_at);
+        self.episode_start = Some(start);
+        self.episode_accum = VirtualDuration::ZERO;
+        start
+    }
+
+    /// Ends the episode; the CPU is busy until the returned instant.
+    pub fn end(&mut self) -> VirtualTime {
+        let start = self.episode_start.take().expect("end without begin");
+        self.cpu_free_at = start + self.episode_accum;
+        self.cpu_free_at
+    }
+
+    /// Charges `dur` to `account` within the current episode (or, if no
+    /// episode is open, extends the CPU busy time directly).
+    pub fn charge(&mut self, account: Account, dur: VirtualDuration) {
+        let mut overhead = self.profiler.charge(account, dur);
+        // The paper's instrumentation updated several counters per
+        // protocol operation; model the extra perturbation.
+        for _ in 1..self.cost.counter_updates_per_charge.max(1) {
+            overhead += self.profiler.charge(Account::Counters, VirtualDuration::ZERO);
+        }
+        let total = dur + overhead;
+        self.total_busy += total;
+        if self.episode_start.is_some() {
+            self.episode_accum += total;
+        } else {
+            self.cpu_free_at = self.cpu_free_at + total;
+        }
+    }
+
+    /// Total CPU time consumed so far (all charges plus measurement
+    /// overhead). `elapsed - total_busy` is the machine's idle time,
+    /// which the paper's profile books as "packet wait".
+    pub fn total_busy(&self) -> VirtualDuration {
+        self.total_busy
+    }
+
+    /// Models a heap allocation of `bytes`; any GC pause is charged to
+    /// the `g. c.` account.
+    pub fn alloc(&mut self, bytes: usize) {
+        if let Some(gc) = &mut self.gc {
+            let pause = gc.alloc(bytes);
+            if !pause.is_zero() {
+                self.charge(Account::Gc, pause);
+            }
+        }
+    }
+
+    /// GC statistics, if a collector is modeled.
+    pub fn gc_stats(&self) -> Option<&GcStats> {
+        self.gc.as_ref().map(|g| g.stats())
+    }
+
+    /// The profiler (for Table 2 extraction).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    // ----- cost-model shorthands used by the protocol layers -----
+
+    /// TCP protocol processing for one segment. `payload_bytes` selects
+    /// the data-segment or pure-ACK cost.
+    pub fn charge_tcp_segment_sized(&mut self, payload_bytes: usize) {
+        let dur = if payload_bytes == 0 { self.cost.tcp_per_ack } else { self.cost.tcp_per_segment };
+        self.charge(Account::Tcp, dur);
+    }
+
+    /// TCP protocol processing for one data segment.
+    pub fn charge_tcp_segment(&mut self) {
+        self.charge(Account::Tcp, self.cost.tcp_per_segment);
+    }
+
+    /// IP processing for one packet.
+    pub fn charge_ip_packet(&mut self) {
+        self.charge(Account::Ip, self.cost.ip_per_packet);
+    }
+
+    /// Ethernet + device interface processing for one frame.
+    pub fn charge_eth_packet(&mut self) {
+        self.charge(Account::EthMachInterface, self.cost.eth_interface_per_packet);
+    }
+
+    /// Mach IPC send for one frame.
+    pub fn charge_mach_send(&mut self) {
+        self.charge(Account::MachSend, self.cost.mach_send_per_packet);
+    }
+
+    /// Mach IPC receive ("packet wait") for one frame.
+    pub fn charge_packet_wait(&mut self) {
+        self.charge(Account::PacketWait, self.cost.packet_wait_per_packet);
+    }
+
+    /// Miscellaneous per-packet utilities.
+    pub fn charge_misc_packet(&mut self) {
+        self.charge(Account::Misc, self.cost.misc_per_packet);
+    }
+
+    /// A data copy of `bytes` (per-KB motion plus fixed buffer setup;
+    /// header-only packets skip the buffer-chain surcharge).
+    pub fn charge_copy(&mut self, bytes: usize) {
+        let surcharge =
+            if bytes > 256 { self.cost.copy_per_packet } else { VirtualDuration::ZERO };
+        let dur = CostModel::per_kb(self.cost.copy_per_kb, bytes) + surcharge;
+        self.charge(Account::Copy, dur);
+    }
+
+    /// A checksum over `bytes` (per-KB summing plus fixed setup;
+    /// header-only packets skip the setup surcharge).
+    pub fn charge_checksum(&mut self, bytes: usize) {
+        let surcharge =
+            if bytes > 256 { self.cost.checksum_per_packet } else { VirtualDuration::ZERO };
+        let dur = CostModel::per_kb(self.cost.checksum_per_kb, bytes) + surcharge;
+        self.charge(Account::Checksum, dur);
+    }
+
+    /// A coroutine fork/switch (timers, the to_do drain thread).
+    pub fn charge_thread_op(&mut self) {
+        self.charge(Account::Scheduler, self.cost.thread_op);
+    }
+
+    /// Allocation for one segment of `payload` bytes (buffer + fixed
+    /// overhead).
+    pub fn alloc_segment(&mut self, payload: usize) {
+        let bytes = payload + self.cost.alloc_overhead_per_segment;
+        if self.gc.is_some() {
+            self.alloc(bytes);
+        }
+    }
+}
+
+impl fmt::Debug for Host {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Host({}, cpu_free_at={:?})", self.name, self.cpu_free_at)
+    }
+}
+
+/// Cloneable shared handle to a host, in the role of the paper's
+/// `FOX_BASIS` functor parameter: the utilities (timing, profiling,
+/// allocation accounting) every protocol layer receives.
+#[derive(Clone)]
+pub struct HostHandle {
+    inner: Rc<RefCell<Host>>,
+}
+
+impl HostHandle {
+    /// Wraps a host.
+    pub fn new(host: Host) -> HostHandle {
+        HostHandle { inner: Rc::new(RefCell::new(host)) }
+    }
+
+    /// A zero-cost host (for unit tests and modern measurements).
+    pub fn free() -> HostHandle {
+        HostHandle::new(Host::new("free", CostModel::modern(), false))
+    }
+
+    /// Runs `f` with the host borrowed mutably.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Host) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+
+    /// See [`Host::begin`].
+    pub fn begin(&self, arrival: VirtualTime) -> VirtualTime {
+        self.inner.borrow_mut().begin(arrival)
+    }
+
+    /// See [`Host::end`].
+    pub fn end(&self) -> VirtualTime {
+        self.inner.borrow_mut().end()
+    }
+
+    /// See [`Host::charge`].
+    pub fn charge(&self, account: Account, dur: VirtualDuration) {
+        self.inner.borrow_mut().charge(account, dur);
+    }
+
+    /// See [`Host::charge_tcp_segment`].
+    pub fn charge_tcp_segment(&self) {
+        self.inner.borrow_mut().charge_tcp_segment();
+    }
+
+    /// See [`Host::charge_tcp_segment_sized`].
+    pub fn charge_tcp_segment_sized(&self, payload_bytes: usize) {
+        self.inner.borrow_mut().charge_tcp_segment_sized(payload_bytes);
+    }
+
+    /// See [`Host::charge_ip_packet`].
+    pub fn charge_ip_packet(&self) {
+        self.inner.borrow_mut().charge_ip_packet();
+    }
+
+    /// See [`Host::charge_eth_packet`].
+    pub fn charge_eth_packet(&self) {
+        self.inner.borrow_mut().charge_eth_packet();
+    }
+
+    /// See [`Host::charge_mach_send`].
+    pub fn charge_mach_send(&self) {
+        self.inner.borrow_mut().charge_mach_send();
+    }
+
+    /// See [`Host::charge_packet_wait`].
+    pub fn charge_packet_wait(&self) {
+        self.inner.borrow_mut().charge_packet_wait();
+    }
+
+    /// See [`Host::charge_misc_packet`].
+    pub fn charge_misc_packet(&self) {
+        self.inner.borrow_mut().charge_misc_packet();
+    }
+
+    /// See [`Host::charge_copy`].
+    pub fn charge_copy(&self, bytes: usize) {
+        self.inner.borrow_mut().charge_copy(bytes);
+    }
+
+    /// See [`Host::charge_checksum`].
+    pub fn charge_checksum(&self, bytes: usize) {
+        self.inner.borrow_mut().charge_checksum(bytes);
+    }
+
+    /// See [`Host::charge_thread_op`].
+    pub fn charge_thread_op(&self) {
+        self.inner.borrow_mut().charge_thread_op();
+    }
+
+    /// See [`Host::alloc_segment`].
+    pub fn alloc_segment(&self, payload: usize) {
+        self.inner.borrow_mut().alloc_segment(payload);
+    }
+
+    /// When the host CPU becomes free.
+    pub fn cpu_free_at(&self) -> VirtualTime {
+        self.inner.borrow().cpu_free_at()
+    }
+}
+
+impl fmt::Debug for HostHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.inner.borrow())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_accumulates_and_serializes() {
+        let mut h = Host::new("t", CostModel::decstation_sml(), false);
+        let start = h.begin(VirtualTime::from_millis(10));
+        assert_eq!(start, VirtualTime::from_millis(10));
+        h.charge(Account::Tcp, VirtualDuration::from_millis(2));
+        h.charge(Account::Ip, VirtualDuration::from_millis(1));
+        let done = h.end();
+        assert_eq!(done, VirtualTime::from_millis(13));
+        // A second event arriving during the busy period starts late.
+        let start2 = h.begin(VirtualTime::from_millis(11));
+        assert_eq!(start2, VirtualTime::from_millis(13));
+        let done2 = h.end();
+        assert_eq!(done2, VirtualTime::from_millis(13));
+    }
+
+    #[test]
+    fn profiled_host_pays_counter_overhead() {
+        // The 1994 preset models 4 counter updates per accounted
+        // operation, 15 µs each.
+        let mut h = Host::new("t", CostModel::decstation_sml(), true);
+        h.begin(VirtualTime::ZERO);
+        h.charge(Account::Tcp, VirtualDuration::from_micros(100));
+        let done = h.end();
+        assert_eq!(done, VirtualTime::from_micros(100 + 4 * 15));
+        assert_eq!(h.profiler().total(Account::Counters).as_micros(), 4 * 15);
+        assert_eq!(h.total_busy().as_micros(), 160);
+    }
+
+    #[test]
+    fn unprofiled_host_pays_none() {
+        let mut h = Host::new("t", CostModel::decstation_sml(), false);
+        h.begin(VirtualTime::ZERO);
+        h.charge(Account::Tcp, VirtualDuration::from_micros(100));
+        assert_eq!(h.end(), VirtualTime::from_micros(100));
+    }
+
+    #[test]
+    fn per_kb_charges_scale() {
+        let mut h = Host::new("t", CostModel::decstation_sml(), false);
+        h.begin(VirtualTime::ZERO);
+        h.charge_copy(1024); // 300/KB + 1400 buffer surcharge
+        h.charge_checksum(2048); // 2×343 + 420 setup surcharge
+        let done = h.end();
+        assert_eq!(done.as_micros(), (300 + 1400) + (2 * 343 + 420));
+        assert_eq!(h.profiler().total(Account::Copy).as_micros(), 1700);
+        assert_eq!(h.profiler().total(Account::Checksum).as_micros(), 1106);
+        // Header-sized packets skip the surcharges.
+        let t1 = VirtualTime::from_millis(1_000);
+        h.begin(t1);
+        h.charge_copy(64);
+        h.charge_checksum(64);
+        let d2 = h.end() - t1;
+        assert_eq!(d2.as_micros(), (300 * 64 / 1024) + (343 * 64 / 1024));
+    }
+
+    #[test]
+    fn allocation_drives_gc_charges() {
+        let mut h = Host::new("t", CostModel::decstation_sml(), false);
+        h.begin(VirtualTime::ZERO);
+        // Allocate several nurseries' worth.
+        for _ in 0..1200 {
+            h.alloc_segment(1460);
+        }
+        let done = h.end();
+        let gc = h.gc_stats().unwrap();
+        assert!(gc.minors > 0);
+        assert_eq!(h.profiler().total(Account::Gc), gc.total_pause);
+        assert!(done.as_micros() > 0);
+    }
+
+    #[test]
+    fn charges_outside_episode_extend_cpu_directly() {
+        let mut h = Host::new("t", CostModel::modern(), false);
+        h.charge(Account::Misc, VirtualDuration::from_micros(7));
+        assert_eq!(h.cpu_free_at(), VirtualTime::from_micros(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "nested host episode")]
+    fn nested_episodes_panic() {
+        let mut h = Host::new("t", CostModel::modern(), false);
+        h.begin(VirtualTime::ZERO);
+        h.begin(VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn modern_preset_is_free() {
+        let mut h = Host::new("t", CostModel::modern(), false);
+        h.begin(VirtualTime::ZERO);
+        h.charge_tcp_segment();
+        h.charge_ip_packet();
+        h.charge_copy(100_000);
+        h.alloc_segment(100_000);
+        assert_eq!(h.end(), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn handle_shares_host() {
+        let h = HostHandle::new(Host::new("t", CostModel::decstation_c(), false));
+        let h2 = h.clone();
+        h.begin(VirtualTime::ZERO);
+        h2.charge_tcp_segment();
+        assert_eq!(h.end().as_micros(), 450);
+    }
+}

@@ -1,0 +1,264 @@
+//! Ethernet II framing with the IEEE 802.3 CRC-32 frame check sequence.
+//!
+//! The simulated network carries real frames: destination and source
+//! MAC addresses, an ethertype, payload padded to the 46-byte minimum,
+//! and a trailing FCS. Verifying the FCS on receive is what justifies the
+//! paper's `Special_Tcp` composition (TCP over raw Ethernet with TCP
+//! checksums disabled): corruption injected by the fault model is caught
+//! here, below TCP.
+
+use crate::{need, WireError};
+use std::fmt;
+
+/// A 48-bit IEEE MAC address.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EthAddr(pub [u8; 6]);
+
+impl EthAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: EthAddr = EthAddr([0xff; 6]);
+
+    /// A locally-administered unicast address derived from a small host
+    /// id — the convention the examples use (`02:00:00:00:00:<id>`).
+    pub const fn host(id: u8) -> EthAddr {
+        EthAddr([0x02, 0, 0, 0, 0, id])
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == EthAddr::BROADCAST
+    }
+
+    /// True if the group (multicast) bit is set.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 1 == 1
+    }
+}
+
+impl fmt::Debug for EthAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl fmt::Display for EthAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The ethertypes the stack understands.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum EtherType {
+    /// 0x0800.
+    Ipv4,
+    /// 0x0806.
+    Arp,
+    /// 0x88B5 (IEEE local experimental) — used by the paper's
+    /// `Special_Tcp` stack, which runs TCP directly over Ethernet.
+    TcpDirect,
+    /// Anything else, carried through unparsed.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The 16-bit wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::TcpDirect => 0x88b5,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Parses the 16-bit wire value.
+    pub fn from_u16(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x88b5 => EtherType::TcpDirect,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// Minimum Ethernet payload (frames are padded up to this).
+pub const MIN_PAYLOAD: usize = 46;
+/// Maximum Ethernet payload — the MTU the IP layer sees.
+pub const MTU: usize = 1500;
+/// Header bytes: dst(6) + src(6) + ethertype(2).
+pub const HEADER_LEN: usize = 14;
+/// Trailer bytes: FCS(4).
+pub const FCS_LEN: usize = 4;
+
+/// A decoded Ethernet frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Frame {
+    /// Destination MAC.
+    pub dst: EthAddr,
+    /// Source MAC.
+    pub src: EthAddr,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+    /// Payload, excluding padding is *not* recoverable at this layer —
+    /// receivers get the padded payload and upper layers use their own
+    /// length fields, exactly as on real Ethernet.
+    pub payload: Vec<u8>,
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xedb8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+impl Frame {
+    /// Builds a frame.
+    pub fn new(dst: EthAddr, src: EthAddr, ethertype: EtherType, payload: Vec<u8>) -> Frame {
+        Frame { dst, src, ethertype, payload }
+    }
+
+    /// Externalizes the frame: header, payload padded to the minimum,
+    /// and the FCS.
+    ///
+    /// # Errors
+    /// Fails with [`WireError::Malformed`] if the payload exceeds the
+    /// MTU.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        if self.payload.len() > MTU {
+            return Err(WireError::Malformed("ethernet payload exceeds MTU"));
+        }
+        let padded = self.payload.len().max(MIN_PAYLOAD);
+        let mut out = Vec::with_capacity(HEADER_LEN + padded + FCS_LEN);
+        out.extend_from_slice(&self.dst.0);
+        out.extend_from_slice(&self.src.0);
+        out.extend_from_slice(&self.ethertype.to_u16().to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out.resize(HEADER_LEN + padded, 0);
+        let fcs = crc32(&out);
+        out.extend_from_slice(&fcs.to_be_bytes());
+        Ok(out)
+    }
+
+    /// Internalizes a frame, verifying the FCS.
+    pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+        need("ethernet frame", buf, HEADER_LEN + MIN_PAYLOAD + FCS_LEN)?;
+        let body_len = buf.len() - FCS_LEN;
+        let fcs = u32::from_be_bytes([buf[body_len], buf[body_len + 1], buf[body_len + 2], buf[body_len + 3]]);
+        if crc32(&buf[..body_len]) != fcs {
+            return Err(WireError::BadChecksum("ethernet FCS"));
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]]));
+        Ok(Frame { dst: EthAddr(dst), src: EthAddr(src), ethertype, payload: buf[HEADER_LEN..body_len].to_vec() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical check value: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_with_padding() {
+        let f = Frame::new(EthAddr::host(1), EthAddr::host(2), EtherType::Ipv4, b"short".to_vec());
+        let bytes = f.encode().unwrap();
+        assert_eq!(bytes.len(), HEADER_LEN + MIN_PAYLOAD + FCS_LEN);
+        let g = Frame::decode(&bytes).unwrap();
+        assert_eq!(g.dst, f.dst);
+        assert_eq!(g.src, f.src);
+        assert_eq!(g.ethertype, EtherType::Ipv4);
+        assert_eq!(&g.payload[..5], b"short");
+        assert!(g.payload[5..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn corruption_is_detected_by_fcs() {
+        let f = Frame::new(EthAddr::host(1), EthAddr::host(2), EtherType::Arp, vec![7; 100]);
+        let mut bytes = f.encode().unwrap();
+        bytes[40] ^= 0x20;
+        assert_eq!(Frame::decode(&bytes), Err(WireError::BadChecksum("ethernet FCS")));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let f = Frame::new(EthAddr::host(1), EthAddr::host(2), EtherType::Ipv4, vec![0; MTU + 1]);
+        assert!(matches!(f.encode(), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn runt_frame_rejected() {
+        assert!(matches!(Frame::decode(&[0u8; 30]), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn address_predicates() {
+        assert!(EthAddr::BROADCAST.is_broadcast());
+        assert!(EthAddr::BROADCAST.is_multicast());
+        assert!(!EthAddr::host(3).is_broadcast());
+        assert!(!EthAddr::host(3).is_multicast());
+        assert_eq!(format!("{}", EthAddr::host(0xab)), "02:00:00:00:00:ab");
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        for et in [EtherType::Ipv4, EtherType::Arp, EtherType::TcpDirect, EtherType::Other(0x1234)] {
+            assert_eq!(EtherType::from_u16(et.to_u16()), et);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_payload(
+            dst in any::<[u8; 6]>(),
+            src in any::<[u8; 6]>(),
+            ethertype: u16,
+            payload in proptest::collection::vec(any::<u8>(), 0..=MTU),
+        ) {
+            let f = Frame::new(EthAddr(dst), EthAddr(src), EtherType::from_u16(ethertype), payload.clone());
+            let bytes = f.encode().unwrap();
+            let g = Frame::decode(&bytes).unwrap();
+            prop_assert_eq!(g.dst, f.dst);
+            prop_assert_eq!(g.src, f.src);
+            prop_assert_eq!(g.ethertype.to_u16(), ethertype);
+            prop_assert_eq!(&g.payload[..payload.len()], &payload[..]);
+        }
+
+        #[test]
+        fn single_bit_flips_always_detected(
+            payload in proptest::collection::vec(any::<u8>(), 0..200),
+            bit in 0usize..512,
+        ) {
+            let f = Frame::new(EthAddr::host(1), EthAddr::host(2), EtherType::Ipv4, payload);
+            let mut bytes = f.encode().unwrap();
+            let bit = bit % (bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(Frame::decode(&bytes).is_err());
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! The TCP header (RFC 793 §3.1) — segment externalization and
+//! internalization, the job of the paper's Action module.
+
+use crate::ipv4::{IpProtocol, Ipv4Addr};
+use crate::{need, pseudo, WireError};
+use foxbasis::seq::Seq;
+use std::fmt;
+
+/// Length of the option-free TCP header.
+pub const HEADER_LEN: usize = 20;
+
+/// The TCP control flags.
+#[derive(Copy, Clone, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// Urgent pointer significant.
+    pub urg: bool,
+    /// Acknowledgment field significant.
+    pub ack: bool,
+    /// Push function.
+    pub psh: bool,
+    /// Reset the connection.
+    pub rst: bool,
+    /// Synchronize sequence numbers.
+    pub syn: bool,
+    /// No more data from sender.
+    pub fin: bool,
+}
+
+impl TcpFlags {
+    /// A pure ACK.
+    pub const ACK: TcpFlags = TcpFlags { urg: false, ack: true, psh: false, rst: false, syn: false, fin: false };
+    /// A SYN.
+    pub const SYN: TcpFlags = TcpFlags { urg: false, ack: false, psh: false, rst: false, syn: true, fin: false };
+    /// A SYN+ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags { urg: false, ack: true, psh: false, rst: false, syn: true, fin: false };
+    /// An RST.
+    pub const RST: TcpFlags = TcpFlags { urg: false, ack: false, psh: false, rst: true, syn: false, fin: false };
+    /// An RST+ACK.
+    pub const RST_ACK: TcpFlags = TcpFlags { urg: false, ack: true, psh: false, rst: true, syn: false, fin: false };
+    /// A FIN+ACK.
+    pub const FIN_ACK: TcpFlags = TcpFlags { urg: false, ack: true, psh: false, rst: false, syn: false, fin: true };
+
+    /// Wire encoding (low 6 bits of byte 13).
+    pub fn to_u8(self) -> u8 {
+        u8::from(self.fin)
+            | u8::from(self.syn) << 1
+            | u8::from(self.rst) << 2
+            | u8::from(self.psh) << 3
+            | u8::from(self.ack) << 4
+            | u8::from(self.urg) << 5
+    }
+
+    /// From the wire byte.
+    pub fn from_u8(v: u8) -> TcpFlags {
+        TcpFlags {
+            fin: v & 0x01 != 0,
+            syn: v & 0x02 != 0,
+            rst: v & 0x04 != 0,
+            psh: v & 0x08 != 0,
+            ack: v & 0x10 != 0,
+            urg: v & 0x20 != 0,
+        }
+    }
+}
+
+impl fmt::Debug for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        if self.syn {
+            names.push("SYN");
+        }
+        if self.fin {
+            names.push("FIN");
+        }
+        if self.rst {
+            names.push("RST");
+        }
+        if self.psh {
+            names.push("PSH");
+        }
+        if self.ack {
+            names.push("ACK");
+        }
+        if self.urg {
+            names.push("URG");
+        }
+        if names.is_empty() {
+            write!(f, "<none>")
+        } else {
+            write!(f, "{}", names.join("+"))
+        }
+    }
+}
+
+/// TCP options the stack understands. Unknown options are preserved
+/// as raw kind/bytes so they survive a decode/encode round trip.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TcpOption {
+    /// Kind 2: maximum segment size (only legal on SYN segments).
+    MaxSegmentSize(u16),
+    /// Kind 1: no-operation padding.
+    NoOp,
+    /// Any other option, carried as (kind, payload).
+    Unknown(u8, Vec<u8>),
+}
+
+/// A decoded TCP header.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte (or of the SYN/FIN).
+    pub seq: Seq,
+    /// Acknowledgment number (valid iff `flags.ack`).
+    pub ack: Seq,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window.
+    pub window: u16,
+    /// Urgent pointer (valid iff `flags.urg`).
+    pub urgent: u16,
+    /// Options.
+    pub options: Vec<TcpOption>,
+}
+
+impl TcpHeader {
+    /// A header with the given ports and everything else zeroed.
+    pub fn new(src_port: u16, dst_port: u16) -> TcpHeader {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq: Seq(0),
+            ack: Seq(0),
+            flags: TcpFlags::default(),
+            window: 0,
+            urgent: 0,
+            options: Vec::new(),
+        }
+    }
+
+    /// The MSS advertised in the options, if any.
+    pub fn mss(&self) -> Option<u16> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::MaxSegmentSize(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    fn options_wire_len(&self) -> usize {
+        let raw: usize = self
+            .options
+            .iter()
+            .map(|o| match o {
+                TcpOption::MaxSegmentSize(_) => 4,
+                TcpOption::NoOp => 1,
+                TcpOption::Unknown(_, data) => 2 + data.len(),
+            })
+            .sum();
+        (raw + 3) & !3 // padded to a 32-bit boundary
+    }
+
+    /// Header length in bytes, including options and padding.
+    pub fn header_len(&self) -> usize {
+        HEADER_LEN + self.options_wire_len()
+    }
+}
+
+/// A TCP segment: header plus payload. This is the `Send_Packet.T` /
+/// incoming-message currency between TCP and IP.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TcpSegment {
+    /// The header.
+    pub header: TcpHeader,
+    /// The payload.
+    pub payload: Vec<u8>,
+}
+
+impl TcpSegment {
+    /// Bytes of sequence space this segment occupies (payload plus one
+    /// for SYN and one for FIN).
+    pub fn seq_len(&self) -> u32 {
+        self.payload.len() as u32
+            + u32::from(self.header.flags.syn)
+            + u32::from(self.header.flags.fin)
+    }
+
+    /// Externalizes the segment. `pseudo_sum`, if present, is the folded
+    /// ones-complement partial sum of the pseudo-header *including the
+    /// transport length* — the value the paper's `IP_AUX.check` supplies
+    /// — and the checksum is computed over it plus the segment. With
+    /// `None` the checksum field is left zero (the paper's
+    /// `compute_checksums = false` configuration for `Special_Tcp`).
+    pub fn encode(&self, pseudo_sum: Option<u16>) -> Result<Vec<u8>, WireError> {
+        let h = &self.header;
+        let opt_len = h.options_wire_len();
+        if HEADER_LEN + opt_len > 60 {
+            return Err(WireError::Malformed("tcp options too long"));
+        }
+        let total = HEADER_LEN + opt_len + self.payload.len();
+        if total > 65535 {
+            return Err(WireError::Malformed("tcp segment too long"));
+        }
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&h.src_port.to_be_bytes());
+        out.extend_from_slice(&h.dst_port.to_be_bytes());
+        out.extend_from_slice(&h.seq.raw().to_be_bytes());
+        out.extend_from_slice(&h.ack.raw().to_be_bytes());
+        let data_offset = ((HEADER_LEN + opt_len) / 4) as u8;
+        out.push(data_offset << 4);
+        out.push(h.flags.to_u8());
+        out.extend_from_slice(&h.window.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&h.urgent.to_be_bytes());
+        for opt in &h.options {
+            match opt {
+                TcpOption::MaxSegmentSize(v) => {
+                    out.push(2);
+                    out.push(4);
+                    out.extend_from_slice(&v.to_be_bytes());
+                }
+                TcpOption::NoOp => out.push(1),
+                TcpOption::Unknown(kind, data) => {
+                    out.push(*kind);
+                    out.push((2 + data.len()) as u8);
+                    out.extend_from_slice(data);
+                }
+            }
+        }
+        out.resize(HEADER_LEN + opt_len, 0); // pad options with End-of-List
+        out.extend_from_slice(&self.payload);
+        if let Some(pseudo) = pseudo_sum {
+            let mut acc = foxbasis::checksum::ChecksumAccum::new();
+            acc.add_word(pseudo).add_bytes(&out);
+            let csum = acc.finish();
+            out[16..18].copy_from_slice(&csum.to_be_bytes());
+        }
+        Ok(out)
+    }
+
+    /// [`encode`](Self::encode) with the standard IPv4 pseudo-header.
+    pub fn encode_v4(&self, checksum_over: Option<(Ipv4Addr, Ipv4Addr)>) -> Result<Vec<u8>, WireError> {
+        let pseudo = checksum_over.map(|(src, dst)| {
+            pseudo::v4_sum(src, dst, IpProtocol::Tcp, self.header_len_plus_payload())
+        });
+        self.encode(pseudo)
+    }
+
+    fn header_len_plus_payload(&self) -> usize {
+        self.header.header_len() + self.payload.len()
+    }
+
+    /// Internalizes a segment. With `pseudo_sum = Some(..)` (the partial
+    /// sum over the pseudo-header including length) the checksum is
+    /// verified first; with `None` the checksum field is ignored.
+    pub fn decode(buf: &[u8], pseudo_sum: Option<u16>) -> Result<TcpSegment, WireError> {
+        need("tcp header", buf, HEADER_LEN)?;
+        if let Some(pseudo) = pseudo_sum {
+            let mut acc = foxbasis::checksum::ChecksumAccum::new();
+            acc.add_word(pseudo).add_bytes(buf);
+            if acc.sum() != 0xffff {
+                return Err(WireError::BadChecksum("tcp"));
+            }
+        }
+        let data_offset = usize::from(buf[12] >> 4) * 4;
+        if data_offset < HEADER_LEN {
+            return Err(WireError::Malformed("tcp data offset"));
+        }
+        need("tcp options", buf, data_offset)?;
+        let mut options = Vec::new();
+        let mut i = HEADER_LEN;
+        while i < data_offset {
+            match buf[i] {
+                0 => break, // end of option list
+                1 => {
+                    options.push(TcpOption::NoOp);
+                    i += 1;
+                }
+                kind => {
+                    if i + 1 >= data_offset {
+                        return Err(WireError::Malformed("tcp option truncated"));
+                    }
+                    let len = usize::from(buf[i + 1]);
+                    if len < 2 || i + len > data_offset {
+                        return Err(WireError::Malformed("tcp option length"));
+                    }
+                    let body = &buf[i + 2..i + len];
+                    if kind == 2 {
+                        if len != 4 {
+                            return Err(WireError::Malformed("tcp MSS option length"));
+                        }
+                        options.push(TcpOption::MaxSegmentSize(u16::from_be_bytes([body[0], body[1]])));
+                    } else {
+                        options.push(TcpOption::Unknown(kind, body.to_vec()));
+                    }
+                    i += len;
+                }
+            }
+        }
+        let header = TcpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: Seq(u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]])),
+            ack: Seq(u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]])),
+            flags: TcpFlags::from_u8(buf[13]),
+            window: u16::from_be_bytes([buf[14], buf[15]]),
+            urgent: u16::from_be_bytes([buf[18], buf[19]]),
+            options,
+        };
+        Ok(TcpSegment { header, payload: buf[data_offset..].to_vec() })
+    }
+
+    /// [`decode`](Self::decode) with the standard IPv4 pseudo-header.
+    pub fn decode_v4(buf: &[u8], checksum_over: Option<(Ipv4Addr, Ipv4Addr)>) -> Result<TcpSegment, WireError> {
+        let pseudo =
+            checksum_over.map(|(src, dst)| pseudo::v4_sum(src, dst, IpProtocol::Tcp, buf.len()));
+        TcpSegment::decode(buf, pseudo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn syn_segment() -> TcpSegment {
+        let mut h = TcpHeader::new(4000, 80);
+        h.seq = Seq(12345);
+        h.flags = TcpFlags::SYN;
+        h.window = 4096;
+        h.options = vec![TcpOption::MaxSegmentSize(1460)];
+        TcpSegment { header: h, payload: Vec::new() }
+    }
+
+    #[test]
+    fn roundtrip_with_checksum() {
+        let s = syn_segment();
+        let bytes = s.encode_v4(Some((A, B))).unwrap();
+        let t = TcpSegment::decode_v4(&bytes, Some((A, B))).unwrap();
+        assert_eq!(t, s);
+        assert_eq!(t.header.mss(), Some(1460));
+    }
+
+    #[test]
+    fn roundtrip_without_checksum() {
+        let mut s = syn_segment();
+        s.payload = b"data".to_vec();
+        let bytes = s.encode(None).unwrap();
+        assert_eq!(&bytes[16..18], &[0, 0]); // checksum left zero
+        let t = TcpSegment::decode(&bytes, None).unwrap();
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn checksum_detects_payload_corruption() {
+        let mut s = syn_segment();
+        s.payload = b"important".to_vec();
+        let mut bytes = s.encode_v4(Some((A, B))).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xff;
+        assert_eq!(TcpSegment::decode_v4(&bytes, Some((A, B))), Err(WireError::BadChecksum("tcp")));
+    }
+
+    #[test]
+    fn checksum_covers_pseudo_header() {
+        // The same bytes validated against the wrong addresses must fail:
+        // that's the point of the pseudo-header.
+        let s = syn_segment();
+        let bytes = s.encode_v4(Some((A, B))).unwrap();
+        let wrong = Ipv4Addr::new(10, 0, 0, 3);
+        assert!(TcpSegment::decode_v4(&bytes, Some((A, wrong))).is_err());
+    }
+
+    #[test]
+    fn seq_len_counts_syn_and_fin() {
+        let mut s = syn_segment();
+        assert_eq!(s.seq_len(), 1); // SYN
+        s.header.flags = TcpFlags::FIN_ACK;
+        s.payload = vec![0; 10];
+        assert_eq!(s.seq_len(), 11); // data + FIN
+        s.header.flags = TcpFlags::ACK;
+        assert_eq!(s.seq_len(), 10);
+    }
+
+    #[test]
+    fn flags_wire_mapping() {
+        for v in 0..64u8 {
+            assert_eq!(TcpFlags::from_u8(v).to_u8(), v);
+        }
+        assert_eq!(format!("{:?}", TcpFlags::SYN_ACK), "SYN+ACK");
+        assert_eq!(format!("{:?}", TcpFlags::default()), "<none>");
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let s = syn_segment();
+        let mut bytes = s.encode(None).unwrap();
+        bytes[12] = 0x30; // data offset 12 bytes < 20
+        assert!(matches!(TcpSegment::decode(&bytes, None), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn malformed_options_rejected() {
+        let s = syn_segment();
+        let mut bytes = s.encode(None).unwrap();
+        // Option kind 2 with a bogus length of 0.
+        bytes[20] = 2;
+        bytes[21] = 0;
+        assert!(matches!(TcpSegment::decode(&bytes, None), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn unknown_options_roundtrip() {
+        let mut s = syn_segment();
+        s.header.options = vec![
+            TcpOption::NoOp,
+            TcpOption::Unknown(254, vec![0xde, 0xad]),
+            TcpOption::MaxSegmentSize(536),
+        ];
+        let bytes = s.encode(None).unwrap();
+        let t = TcpSegment::decode(&bytes, None).unwrap();
+        assert_eq!(t.header.options, s.header.options);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(
+            src_port: u16, dst_port: u16, seq: u32, ack: u32,
+            flags in 0u8..64, window: u16, urgent: u16,
+            mss in proptest::option::of(536u16..9000),
+            payload in proptest::collection::vec(any::<u8>(), 0..1460),
+        ) {
+            let mut h = TcpHeader::new(src_port, dst_port);
+            h.seq = Seq(seq);
+            h.ack = Seq(ack);
+            h.flags = TcpFlags::from_u8(flags);
+            h.window = window;
+            h.urgent = urgent;
+            if let Some(m) = mss { h.options.push(TcpOption::MaxSegmentSize(m)); }
+            let s = TcpSegment { header: h, payload };
+            let bytes = s.encode_v4(Some((A, B))).unwrap();
+            let t = TcpSegment::decode_v4(&bytes, Some((A, B))).unwrap();
+            prop_assert_eq!(t, s);
+        }
+
+        #[test]
+        fn corruption_detected_with_checksum(
+            payload in proptest::collection::vec(any::<u8>(), 1..300),
+            at in 0usize..320,
+            flip in 1u8..=255,
+        ) {
+            let mut s = syn_segment();
+            s.payload = payload;
+            let mut bytes = s.encode_v4(Some((A, B))).unwrap();
+            let at = at % bytes.len();
+            bytes[at] ^= flip;
+            match TcpSegment::decode_v4(&bytes, Some((A, B))) {
+                Err(_) => {}
+                Ok(t) => prop_assert_eq!(t, s, "corruption silently accepted"),
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The UDP header (RFC 768).
+//!
+//! The paper notes that a structure satisfying `IP_AUX` "must be supplied
+//! as a parameter to the UDP functor as well" — UDP shares TCP's need for
+//! the pseudo-header checksum.
+
+use crate::ipv4::{IpProtocol, Ipv4Addr};
+use crate::{need, pseudo, WireError};
+
+/// Length of the UDP header.
+pub const HEADER_LEN: usize = 8;
+
+/// A UDP datagram.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload.
+    pub payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    /// Externalizes the datagram; `pseudo_sum` is the partial sum over
+    /// the pseudo-header including length (see `TcpSegment::encode`).
+    /// Per RFC 768, a computed checksum of zero is transmitted as 0xFFFF,
+    /// and a transmitted zero means "no checksum".
+    pub fn encode(&self, pseudo_sum: Option<u16>) -> Result<Vec<u8>, WireError> {
+        let total = HEADER_LEN + self.payload.len();
+        if total > 65535 {
+            return Err(WireError::Malformed("udp datagram too long"));
+        }
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&(total as u16).to_be_bytes());
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(&self.payload);
+        if let Some(p) = pseudo_sum {
+            let mut acc = foxbasis::checksum::ChecksumAccum::new();
+            acc.add_word(p).add_bytes(&out);
+            let mut csum = acc.finish();
+            if csum == 0 {
+                csum = 0xffff;
+            }
+            out[6..8].copy_from_slice(&csum.to_be_bytes());
+        }
+        Ok(out)
+    }
+
+    /// Internalizes a datagram; verifies the checksum when a pseudo-sum
+    /// is supplied and the sender computed one.
+    pub fn decode(buf: &[u8], pseudo_sum: Option<u16>) -> Result<UdpDatagram, WireError> {
+        need("udp header", buf, HEADER_LEN)?;
+        let length = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
+        if length < HEADER_LEN {
+            return Err(WireError::Malformed("udp length"));
+        }
+        need("udp payload", buf, length)?;
+        let wire_checksum = u16::from_be_bytes([buf[6], buf[7]]);
+        if let Some(p) = pseudo_sum {
+            if wire_checksum != 0 {
+                let mut acc = foxbasis::checksum::ChecksumAccum::new();
+                acc.add_word(p).add_bytes(&buf[..length]);
+                if acc.sum() != 0xffff {
+                    return Err(WireError::BadChecksum("udp"));
+                }
+            }
+        }
+        Ok(UdpDatagram {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            payload: buf[HEADER_LEN..length].to_vec(),
+        })
+    }
+
+    /// [`encode`](Self::encode) with the standard IPv4 pseudo-header.
+    pub fn encode_v4(&self, checksum_over: Option<(Ipv4Addr, Ipv4Addr)>) -> Result<Vec<u8>, WireError> {
+        let pseudo = checksum_over
+            .map(|(src, dst)| pseudo::v4_sum(src, dst, IpProtocol::Udp, HEADER_LEN + self.payload.len()));
+        self.encode(pseudo)
+    }
+
+    /// [`decode`](Self::decode) with the standard IPv4 pseudo-header.
+    pub fn decode_v4(buf: &[u8], checksum_over: Option<(Ipv4Addr, Ipv4Addr)>) -> Result<UdpDatagram, WireError> {
+        // The pseudo-header length field is the UDP length, which for a
+        // valid datagram equals the length field in the header itself;
+        // use the claimed length so padding does not disturb the sum.
+        let claimed = if buf.len() >= 6 { usize::from(u16::from_be_bytes([buf[4], buf[5]])) } else { buf.len() };
+        let pseudo =
+            checksum_over.map(|(src, dst)| pseudo::v4_sum(src, dst, IpProtocol::Udp, claimed));
+        UdpDatagram::decode(buf, pseudo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(192, 168, 69, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(192, 168, 69, 2);
+
+    #[test]
+    fn roundtrip() {
+        let d = UdpDatagram { src_port: 6969, dst_port: 53, payload: b"query".to_vec() };
+        let bytes = d.encode_v4(Some((A, B))).unwrap();
+        assert_eq!(UdpDatagram::decode_v4(&bytes, Some((A, B))).unwrap(), d);
+    }
+
+    #[test]
+    fn zero_checksum_means_unchecked() {
+        let d = UdpDatagram { src_port: 1, dst_port: 2, payload: b"x".to_vec() };
+        let mut bytes = d.encode(None).unwrap();
+        assert_eq!(&bytes[6..8], &[0, 0]);
+        // Corrupt the payload: decode still succeeds because checksum 0
+        // means the sender didn't compute one.
+        bytes[8] ^= 0xff;
+        assert!(UdpDatagram::decode_v4(&bytes, Some((A, B))).is_ok());
+    }
+
+    #[test]
+    fn corruption_detected_when_checksummed() {
+        let d = UdpDatagram { src_port: 1, dst_port: 2, payload: b"pay".to_vec() };
+        let mut bytes = d.encode_v4(Some((A, B))).unwrap();
+        bytes[9] ^= 0x01;
+        assert_eq!(UdpDatagram::decode_v4(&bytes, Some((A, B))), Err(WireError::BadChecksum("udp")));
+    }
+
+    #[test]
+    fn trailing_padding_discarded() {
+        let d = UdpDatagram { src_port: 9, dst_port: 10, payload: b"ab".to_vec() };
+        let mut bytes = d.encode_v4(Some((A, B))).unwrap();
+        bytes.extend_from_slice(&[0; 20]); // Ethernet padding
+        assert_eq!(UdpDatagram::decode_v4(&bytes, Some((A, B))).unwrap(), d);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let d = UdpDatagram { src_port: 9, dst_port: 10, payload: Vec::new() };
+        let mut bytes = d.encode(None).unwrap();
+        bytes[5] = 4; // length 4 < header
+        assert!(matches!(UdpDatagram::decode(&bytes, None), Err(WireError::Malformed(_))));
+        bytes[5] = 200; // length beyond buffer
+        assert!(matches!(UdpDatagram::decode(&bytes, None), Err(WireError::Truncated { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(
+            src_port: u16, dst_port: u16,
+            payload in proptest::collection::vec(any::<u8>(), 0..2000),
+        ) {
+            let d = UdpDatagram { src_port, dst_port, payload };
+            let bytes = d.encode_v4(Some((A, B))).unwrap();
+            prop_assert_eq!(UdpDatagram::decode_v4(&bytes, Some((A, B))).unwrap(), d);
+        }
+    }
+}

@@ -1,0 +1,1246 @@
+//! # The x-kernel-style baseline TCP
+//!
+//! The paper's Table 1 compares the Fox Net against "the x-kernel
+//! version 3.2", whose TCP "is derived from the Berkeley code, which is
+//! highly optimized". This crate is that comparator, rebuilt in the
+//! Berkeley style the x-kernel inherited:
+//!
+//! * **monolithic**: one module, one big `process_segment` with inline
+//!   state switches — no Tcb/State/Receive/Send/Resend decomposition;
+//! * **direct-call**: packet arrival is processed synchronously to
+//!   completion; there is no `to_do` queue and no total ordering of
+//!   actions — the control structure the paper's design replaces;
+//! * **poll-based**: no upcalls; users call `recv` against a receive
+//!   buffer, as with sockets;
+//! * **deadline timers**: retransmission and delayed-ACK deadlines are
+//!   plain fields checked on every `step`, not scheduler threads.
+//!
+//! It speaks the same wire format (`foxwire::tcp`), so it interoperates
+//! with `foxtcp` — the integration suite connects the two — and it runs
+//! over the same `Protocol`/`IpAux` substrate, so Table 1 really does
+//! hold everything equal except the implementation and its cost model,
+//! just as the paper arranged ("both the advantages and the
+//! disadvantages of running in user mode on top of the Mach 3.0
+//! microkernel are factored out").
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use foxbasis::ring::RingBuffer;
+use foxbasis::seq::Seq;
+use foxbasis::time::{VirtualDuration, VirtualTime};
+use foxproto::aux::IpAux;
+use foxproto::{ProtoError, Protocol};
+use foxwire::tcp::{TcpFlags, TcpHeader, TcpOption, TcpSegment};
+use simnet::HostHandle;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+/// Socket handle.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub struct SockId(pub u32);
+
+/// Connection states (the classic eleven; no Syn_Active/Passive split —
+/// that refinement is the Fox design's).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum XkState {
+    Closed,
+    Listen,
+    SynSent,
+    SynReceived,
+    Established,
+    FinWait1,
+    FinWait2,
+    CloseWait,
+    Closing,
+    LastAck,
+    TimeWait,
+}
+
+/// Configuration.
+#[derive(Clone, Debug)]
+pub struct XkConfig {
+    /// Receive window / buffer (Table 1 standardizes 4096).
+    pub window: usize,
+    /// Send buffer.
+    pub send_buffer: usize,
+    /// Compute/verify checksums.
+    pub checksums: bool,
+    /// Delayed-ACK flush interval (BSD's 200 ms), `None` = immediate.
+    pub delayed_ack_ms: Option<u64>,
+    /// 2MSL.
+    pub time_wait_ms: u64,
+    /// Give up after this many retransmissions.
+    pub max_retransmits: u32,
+}
+
+impl Default for XkConfig {
+    fn default() -> Self {
+        XkConfig {
+            window: 4096,
+            send_buffer: 8192,
+            checksums: true,
+            delayed_ack_ms: Some(200),
+            time_wait_ms: 60_000,
+            max_retransmits: 12,
+        }
+    }
+}
+
+/// Events a user can poll for.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum XkEvent {
+    /// Handshake done.
+    Connected,
+    /// New child socket on a listener.
+    Accepted(SockId),
+    /// Peer sent FIN.
+    PeerClosed,
+    /// Fully closed.
+    Closed,
+    /// Reset by peer.
+    Reset,
+    /// Gave up retransmitting.
+    TimedOut,
+}
+
+/// Statistics for the benchmark harness.
+#[derive(Copy, Clone, Default, Debug, PartialEq, Eq)]
+pub struct XkStats {
+    /// Segments sent (with retransmissions).
+    pub segments_sent: u64,
+    /// Segments processed.
+    pub segments_received: u64,
+    /// Retransmissions.
+    pub retransmits: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Payload bytes received in order.
+    pub bytes_received: u64,
+    /// Checksum drops.
+    pub checksum_failures: u64,
+}
+
+struct Socket<P> {
+    id: u32,
+    local_port: u16,
+    remote: Option<(P, u16)>,
+    state: XkState,
+    parent: Option<u32>,
+
+    iss: Seq,
+    snd_una: Seq,
+    snd_nxt: Seq,
+    snd_wnd: u32,
+    snd_wl1: Seq,
+    snd_wl2: Seq,
+    rcv_nxt: Seq,
+    mss: u32,
+
+    send_buf: RingBuffer,
+    recv_buf: RingBuffer,
+    fin_pending: bool,
+    fin_seq: Option<Seq>,
+
+    // BSD-style single retransmit deadline + counters.
+    rto: VirtualDuration,
+    backoff: u32,
+    retransmit_at: Option<VirtualTime>,
+    retransmits_left: u32,
+    srtt: Option<VirtualDuration>,
+    rttvar: VirtualDuration,
+    timing: Option<(Seq, VirtualTime)>,
+
+    ack_deadline: Option<VirtualTime>,
+    ack_owed: bool,
+    time_wait_at: Option<VirtualTime>,
+    /// Zero-window probe deadline (BSD's persist timer).
+    probe_at: Option<VirtualTime>,
+
+    events: VecDeque<XkEvent>,
+}
+
+impl<P> Socket<P> {
+    fn flight(&self) -> u32 {
+        self.snd_nxt.since(self.snd_una)
+    }
+
+    fn push_event(&mut self, e: XkEvent) {
+        self.events.push_back(e);
+    }
+}
+
+/// The baseline TCP over a lower protocol and aux structure.
+pub struct XkTcp<L, A>
+where
+    L: Protocol,
+    A: IpAux<Address = L::Peer, Incoming = L::Incoming>,
+{
+    lower: L,
+    aux: A,
+    cfg: XkConfig,
+    host: HostHandle,
+    lower_pattern: L::Pattern,
+    lower_conn: Option<L::ConnId>,
+    rx: Rc<RefCell<VecDeque<L::Incoming>>>,
+    socks: Vec<Socket<L::Peer>>,
+    next_id: u32,
+    next_port: u16,
+    stats: XkStats,
+    now: VirtualTime,
+}
+
+impl<L, A> XkTcp<L, A>
+where
+    L: Protocol,
+    A: IpAux<Address = L::Peer, Incoming = L::Incoming>,
+{
+    /// Builds the stack.
+    pub fn new(lower: L, aux: A, lower_pattern: L::Pattern, cfg: XkConfig, host: HostHandle) -> Self {
+        XkTcp {
+            lower,
+            aux,
+            cfg,
+            host,
+            lower_pattern,
+            lower_conn: None,
+            rx: Rc::new(RefCell::new(VecDeque::new())),
+            socks: Vec::new(),
+            next_id: 0,
+            next_port: 48000,
+            stats: XkStats::default(),
+            now: VirtualTime::ZERO,
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> XkStats {
+        self.stats
+    }
+
+    fn attach(&mut self) -> Result<(), ProtoError> {
+        if self.lower_conn.is_none() {
+            let q = self.rx.clone();
+            self.lower_conn = Some(
+                self.lower
+                    .open(self.lower_pattern.clone(), Box::new(move |m| q.borrow_mut().push_back(m)))?,
+            );
+        }
+        Ok(())
+    }
+
+    fn new_socket(&mut self, local_port: u16, remote: Option<(L::Peer, u16)>) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let iss = Seq(((self.now.as_micros() / 4) as u32).wrapping_add(id.wrapping_mul(64021)));
+        self.socks.push(Socket {
+            id,
+            local_port,
+            remote,
+            state: XkState::Closed,
+            parent: None,
+            iss,
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_wnd: 0,
+            snd_wl1: Seq(0),
+            snd_wl2: Seq(0),
+            rcv_nxt: Seq(0),
+            mss: (self.aux.mtu() as u32).saturating_sub(20).max(536),
+            send_buf: RingBuffer::new(self.cfg.send_buffer.max(1)),
+            recv_buf: RingBuffer::new(self.cfg.window.max(1)),
+            fin_pending: false,
+            fin_seq: None,
+            rto: VirtualDuration::from_millis(1000),
+            backoff: 0,
+            retransmit_at: None,
+            retransmits_left: self.cfg.max_retransmits,
+            srtt: None,
+            rttvar: VirtualDuration::ZERO,
+            timing: None,
+            ack_deadline: None,
+            ack_owed: false,
+            time_wait_at: None,
+            probe_at: None,
+            events: VecDeque::new(),
+        });
+        id
+    }
+
+    fn idx(&self, id: SockId) -> Option<usize> {
+        self.socks.iter().position(|s| s.id == id.0)
+    }
+
+    // ----- user API -----
+
+    /// Active open.
+    pub fn connect(&mut self, remote: L::Peer, remote_port: u16, local_port: u16) -> Result<SockId, ProtoError> {
+        self.attach()?;
+        let local_port = if local_port == 0 {
+            let p = self.next_port;
+            self.next_port = self.next_port.wrapping_add(1).max(48000);
+            p
+        } else {
+            local_port
+        };
+        let id = self.new_socket(local_port, Some((remote, remote_port)));
+        let i = self.idx(SockId(id)).expect("created");
+        self.socks[i].state = XkState::SynSent;
+        self.send_syn(i, false);
+        Ok(SockId(id))
+    }
+
+    /// Passive open.
+    pub fn listen(&mut self, local_port: u16) -> Result<SockId, ProtoError> {
+        self.attach()?;
+        if self
+            .socks
+            .iter()
+            .any(|s| s.local_port == local_port && s.state == XkState::Listen)
+        {
+            return Err(ProtoError::AlreadyOpen);
+        }
+        let id = self.new_socket(local_port, None);
+        let i = self.idx(SockId(id)).expect("created");
+        self.socks[i].state = XkState::Listen;
+        Ok(SockId(id))
+    }
+
+    /// Queues data; returns bytes accepted.
+    pub fn send(&mut self, sock: SockId, data: &[u8]) -> Result<usize, ProtoError> {
+        let i = self.idx(sock).ok_or(ProtoError::NotOpen)?;
+        match self.socks[i].state {
+            XkState::Established | XkState::CloseWait | XkState::SynSent | XkState::SynReceived => {}
+            XkState::Closed => return Err(ProtoError::NotOpen),
+            _ => return Err(ProtoError::Closing),
+        }
+        if self.socks[i].fin_pending {
+            return Err(ProtoError::Closing);
+        }
+        let n = self.socks[i].send_buf.write(data);
+        self.output(i);
+        Ok(n)
+    }
+
+    /// Reads buffered in-order data.
+    pub fn recv(&mut self, sock: SockId, buf: &mut [u8]) -> Result<usize, ProtoError> {
+        let i = self.idx(sock).ok_or(ProtoError::NotOpen)?;
+        let n = self.socks[i].recv_buf.read(buf);
+        if n > 0 {
+            // Window opened: let the peer know if it was pinched.
+            self.socks[i].ack_owed = true;
+            if self.socks[i].ack_deadline.is_none() {
+                self.socks[i].ack_deadline = Some(self.now);
+            }
+        }
+        Ok(n)
+    }
+
+    /// Bytes waiting in the receive buffer.
+    pub fn available(&self, sock: SockId) -> usize {
+        self.idx(sock).map_or(0, |i| self.socks[i].recv_buf.len())
+    }
+
+    /// Next queued event.
+    pub fn poll_event(&mut self, sock: SockId) -> Option<XkEvent> {
+        let i = self.idx(sock)?;
+        self.socks[i].events.pop_front()
+    }
+
+    /// Graceful close.
+    pub fn close(&mut self, sock: SockId) -> Result<(), ProtoError> {
+        let i = self.idx(sock).ok_or(ProtoError::NotOpen)?;
+        match self.socks[i].state {
+            XkState::Closed => return Err(ProtoError::NotOpen),
+            XkState::Listen | XkState::SynSent => {
+                self.socks[i].state = XkState::Closed;
+                self.socks[i].push_event(XkEvent::Closed);
+                return Ok(());
+            }
+            XkState::Established | XkState::SynReceived => {
+                self.socks[i].fin_pending = true;
+                self.socks[i].state = XkState::FinWait1;
+            }
+            XkState::CloseWait => {
+                self.socks[i].fin_pending = true;
+                self.socks[i].state = XkState::LastAck;
+            }
+            _ => return Err(ProtoError::Closing),
+        }
+        self.output(i);
+        Ok(())
+    }
+
+    /// Current state (None once reaped).
+    pub fn state_of(&self, sock: SockId) -> Option<XkState> {
+        self.idx(sock).map(|i| self.socks[i].state)
+    }
+
+    /// Diagnostic snapshot: (state, snd_una, snd_nxt, snd_wnd, flight,
+    /// buffered, retransmit_at, backoff).
+    pub fn debug_of(&self, sock: SockId) -> Option<String> {
+        self.idx(sock).map(|i| {
+            let s = &self.socks[i];
+            format!(
+                "{:?} una={} nxt={} wnd={} flight={} buf={} rexmit_at={:?} backoff={} left={}",
+                s.state, s.snd_una, s.snd_nxt, s.snd_wnd, s.flight(),
+                s.send_buf.len(), s.retransmit_at, s.backoff, s.retransmits_left
+            )
+        })
+    }
+
+    /// Drives the stack.
+    pub fn step(&mut self, now: VirtualTime) -> bool {
+        self.now = self.now.max(now);
+        let _ = self.attach();
+        let mut progress = self.lower.step(now);
+        loop {
+            let msg = match self.rx.borrow_mut().pop_front() {
+                Some(m) => m,
+                None => break,
+            };
+            progress = true;
+            self.input(msg);
+        }
+        progress |= self.run_timers();
+        self.socks.retain(|s| {
+            !(s.state == XkState::Closed && s.events.is_empty() && s.parent.is_some())
+        });
+        progress
+    }
+
+    // ----- output path -----
+
+    fn transmit(&mut self, i: usize, seg: TcpSegment) {
+        let to = match &self.socks[i].remote {
+            Some((p, _)) => p.clone(),
+            None => return,
+        };
+        self.transmit_to(seg, to);
+    }
+
+    fn transmit_to(&mut self, seg: TcpSegment, to: L::Peer) {
+        let total = seg.header.header_len() + seg.payload.len();
+        let pseudo = if self.cfg.checksums { self.aux.check(&to, total) } else { None };
+        if pseudo.is_some() {
+            self.host.charge_checksum(total);
+        }
+        self.host.charge_tcp_segment_sized(seg.payload.len());
+        self.stats.segments_sent += 1;
+        self.stats.bytes_sent += seg.payload.len() as u64;
+        if let (Some(conn), Ok(bytes)) = (self.lower_conn, seg.encode(pseudo)) {
+            let _ = self.lower.send(conn, to, bytes);
+        }
+    }
+
+    fn header_for(&self, i: usize, flags: TcpFlags, seq: Seq) -> TcpHeader {
+        let s = &self.socks[i];
+        let mut h = TcpHeader::new(s.local_port, s.remote.as_ref().map(|(_, p)| *p).unwrap_or(0));
+        h.seq = seq;
+        h.ack = if flags.ack { s.rcv_nxt } else { Seq(0) };
+        h.flags = flags;
+        h.window = (s.recv_buf.free() as u32).min(65535) as u16;
+        h
+    }
+
+    fn send_syn(&mut self, i: usize, with_ack: bool) {
+        let flags = if with_ack { TcpFlags::SYN_ACK } else { TcpFlags::SYN };
+        let iss = self.socks[i].iss;
+        let mut h = self.header_for(i, flags, iss);
+        h.options.push(TcpOption::MaxSegmentSize(self.socks[i].mss.min(65535) as u16));
+        if self.socks[i].snd_nxt == iss {
+            self.socks[i].snd_nxt = iss + 1;
+        }
+        self.arm_retransmit(i);
+        self.transmit(i, TcpSegment { header: h, payload: Vec::new() });
+    }
+
+    fn send_ack(&mut self, i: usize) {
+        let seq = self.socks[i].snd_nxt;
+        let h = self.header_for(i, TcpFlags::ACK, seq);
+        self.socks[i].ack_owed = false;
+        self.socks[i].ack_deadline = None;
+        self.transmit(i, TcpSegment { header: h, payload: Vec::new() });
+    }
+
+    /// The output routine: push whatever the windows allow, inline.
+    fn output(&mut self, i: usize) {
+        loop {
+            let (take, fin_now, seq) = {
+                let s = &self.socks[i];
+                if !matches!(
+                    s.state,
+                    XkState::Established | XkState::CloseWait | XkState::FinWait1 | XkState::LastAck | XkState::Closing
+                ) {
+                    return;
+                }
+                if s.fin_seq.map_or(false, |f| s.snd_nxt.gt(f)) {
+                    return;
+                }
+                let unsent = (s.send_buf.len() as u32).saturating_sub(s.flight());
+                let usable = s.snd_wnd.saturating_sub(s.flight());
+                let take = unsent.min(usable).min(s.mss);
+                let fin_now = s.fin_pending && s.fin_seq.is_none() && take == unsent;
+                if take == 0 && !fin_now {
+                    // Zero window with data pending: arm the persist
+                    // timer so a lost window update cannot wedge us.
+                    let stalled = unsent > 0 && s.snd_wnd == 0 && s.flight() == 0;
+                    if stalled {
+                        let s = &mut self.socks[i];
+                        if s.probe_at.is_none() {
+                            s.probe_at = Some(self.now + s.rto);
+                        }
+                    }
+                    return;
+                }
+                (take, fin_now, s.snd_nxt)
+            };
+            let mut payload = vec![0u8; take as usize];
+            {
+                let s = &mut self.socks[i];
+                let off = s.flight() as usize;
+                // The SYN octet never coexists with buffered data here:
+                // output only runs in synchronized states.
+                let got = s.send_buf.peek_at(off, &mut payload);
+                payload.truncate(got);
+                s.snd_nxt = seq + take + u32::from(fin_now);
+                if fin_now {
+                    s.fin_seq = Some(seq + take);
+                }
+                if s.timing.is_none() && (take > 0 || fin_now) {
+                    s.timing = Some((seq + take + u32::from(fin_now), self.now));
+                }
+            }
+            let flags = TcpFlags { ack: true, psh: take > 0, fin: fin_now, ..TcpFlags::default() };
+            let h = self.header_for(i, flags, seq);
+            self.arm_retransmit(i);
+            self.socks[i].ack_owed = false;
+            self.socks[i].ack_deadline = None;
+            self.transmit(i, TcpSegment { header: h, payload });
+            if fin_now {
+                return;
+            }
+        }
+    }
+
+    fn arm_retransmit(&mut self, i: usize) {
+        let s = &mut self.socks[i];
+        if s.retransmit_at.is_none() {
+            let t = s.rto.saturating_mul(1 << s.backoff.min(6));
+            s.retransmit_at = Some(self.now + t);
+        }
+    }
+
+    // ----- timers -----
+
+    fn run_timers(&mut self) -> bool {
+        let mut progress = false;
+        for i in 0..self.socks.len() {
+            // Delayed ACK flush.
+            if self.socks[i].ack_deadline.map_or(false, |t| t <= self.now) && self.socks[i].ack_owed {
+                progress = true;
+                self.send_ack(i);
+            }
+            // TIME-WAIT expiry.
+            if self.socks[i].time_wait_at.map_or(false, |t| t <= self.now)
+                && self.socks[i].state == XkState::TimeWait
+            {
+                progress = true;
+                self.socks[i].state = XkState::Closed;
+                self.socks[i].time_wait_at = None;
+                self.socks[i].push_event(XkEvent::Closed);
+            }
+            // Retransmission.
+            if self.socks[i].retransmit_at.map_or(false, |t| t <= self.now) {
+                progress = true;
+                self.retransmit(i);
+            }
+            // Zero-window probe.
+            if self.socks[i].probe_at.map_or(false, |t| t <= self.now) {
+                progress = true;
+                self.window_probe(i);
+            }
+        }
+        progress
+    }
+
+    /// Persist: send one byte beyond the window to solicit a window
+    /// update, and re-arm with backoff.
+    fn window_probe(&mut self, i: usize) {
+        let (send_probe, seq) = {
+            let s = &mut self.socks[i];
+            s.probe_at = None;
+            let unsent = (s.send_buf.len() as u32).saturating_sub(s.flight());
+            if s.snd_wnd > 0 || unsent == 0 {
+                (false, Seq(0))
+            } else {
+                (true, s.snd_nxt)
+            }
+        };
+        if !send_probe {
+            return;
+        }
+        let mut payload = vec![0u8; 1];
+        {
+            let s = &mut self.socks[i];
+            let off = s.flight() as usize;
+            let got = s.send_buf.peek_at(off, &mut payload);
+            if got == 0 {
+                return;
+            }
+            s.snd_nxt = seq + 1;
+            s.backoff = (s.backoff + 1).min(6);
+            let b = s.backoff;
+            s.probe_at = Some(self.now + s.rto.saturating_mul(1 << b));
+        }
+        let flags = TcpFlags { ack: true, psh: true, ..TcpFlags::default() };
+        let h = self.header_for(i, flags, seq);
+        self.arm_retransmit(i);
+        self.transmit(i, TcpSegment { header: h, payload });
+    }
+
+    fn retransmit(&mut self, i: usize) {
+        {
+            let s = &mut self.socks[i];
+            s.retransmit_at = None;
+            let has_unacked = s.flight() > 0;
+            if !has_unacked {
+                return;
+            }
+            if s.retransmits_left == 0 {
+                s.state = XkState::Closed;
+                s.push_event(XkEvent::TimedOut);
+                return;
+            }
+            s.retransmits_left -= 1;
+            s.backoff += 1;
+            s.timing = None; // Karn
+        }
+        self.stats.retransmits += 1;
+        // Go-back-N from snd_una.
+        let (state, una, iss) = {
+            let s = &self.socks[i];
+            (s.state, s.snd_una, s.iss)
+        };
+        match state {
+            XkState::SynSent => {
+                let h = {
+                    let mut h = self.header_for(i, TcpFlags::SYN, iss);
+                    h.options.push(TcpOption::MaxSegmentSize(self.socks[i].mss.min(65535) as u16));
+                    h
+                };
+                self.arm_retransmit(i);
+                self.transmit(i, TcpSegment { header: h, payload: Vec::new() });
+            }
+            XkState::SynReceived => {
+                let h = {
+                    let mut h = self.header_for(i, TcpFlags::SYN_ACK, iss);
+                    h.options.push(TcpOption::MaxSegmentSize(self.socks[i].mss.min(65535) as u16));
+                    h
+                };
+                self.arm_retransmit(i);
+                self.transmit(i, TcpSegment { header: h, payload: Vec::new() });
+            }
+            _ => {
+                // Resend one MSS from snd_una (and the FIN if it is the
+                // front of the unacked region).
+                let (take, fin, payload) = {
+                    let s = &mut self.socks[i];
+                    let infl = s.flight();
+                    let fin_at_front = s.fin_seq == Some(una);
+                    let data = infl
+                        .saturating_sub(u32::from(s.fin_seq.map_or(false, |f| f.lt(s.snd_nxt))))
+                        .min(s.mss);
+                    let mut payload = vec![0u8; data as usize];
+                    let got = s.send_buf.peek_at(0, &mut payload);
+                    payload.truncate(got);
+                    let fin = fin_at_front
+                        || (s.fin_seq == Some(una + got as u32) && (got as u32) < s.mss.max(1));
+                    (got, fin, payload)
+                };
+                let flags = TcpFlags { ack: true, psh: take > 0, fin, ..TcpFlags::default() };
+                let h = self.header_for(i, flags, una);
+                self.arm_retransmit(i);
+                self.transmit(i, TcpSegment { header: h, payload });
+            }
+        }
+    }
+
+    // ----- input path: one big switch, BSD style -----
+
+    fn input(&mut self, msg: L::Incoming) {
+        let (src, seg) = {
+            let info = self.aux.info(&msg);
+            let pseudo = if self.cfg.checksums { self.aux.check(&info.src, info.data.len()) } else { None };
+            if pseudo.is_some() {
+                self.host.charge_checksum(info.data.len());
+            }
+            match TcpSegment::decode(info.data, pseudo) {
+                Ok(seg) => (info.src.clone(), seg),
+                Err(foxwire::WireError::BadChecksum(_)) => {
+                    self.stats.checksum_failures += 1;
+                    return;
+                }
+                Err(_) => return,
+            }
+        };
+        self.host.charge_tcp_segment_sized(seg.payload.len());
+        self.stats.segments_received += 1;
+        let h = seg.header.clone();
+
+        // Demux.
+        let exact = self.socks.iter().position(|s| {
+            s.local_port == h.dst_port
+                && s.remote.as_ref().map_or(false, |(a, p)| A::eq(a, &src) && *p == h.src_port)
+                && s.state != XkState::Closed
+        });
+        let i = match exact {
+            Some(i) => i,
+            None => {
+                let listener = self
+                    .socks
+                    .iter()
+                    .position(|s| s.local_port == h.dst_port && s.state == XkState::Listen);
+                match listener {
+                    Some(li) if h.flags.syn && !h.flags.ack && !h.flags.rst => {
+                        // Spawn a child in SYN-RECEIVED.
+                        let lid = self.socks[li].id;
+                        let port = self.socks[li].local_port;
+                        let child = self.new_socket(port, Some((src.clone(), h.src_port)));
+                        let ci = self.idx(SockId(child)).expect("child");
+                        self.socks[ci].parent = Some(lid);
+                        self.socks[ci].state = XkState::SynReceived;
+                        self.socks[ci].rcv_nxt = h.seq + 1;
+                        self.socks[ci].snd_wnd = u32::from(h.window);
+                        if let Some(mss) = h.mss() {
+                            self.socks[ci].mss = self.socks[ci].mss.min(u32::from(mss)).max(1);
+                        }
+                        self.send_syn(ci, true);
+                        if let Some(li) = self.socks.iter().position(|s| s.id == lid) {
+                            let ev = XkEvent::Accepted(SockId(child));
+                            self.socks[li].push_event(ev);
+                        }
+                        return;
+                    }
+                    Some(_) if h.flags.rst => return,
+                    _ => {
+                        // RST for anything else.
+                        if !h.flags.rst {
+                            let rst = reset_for(h.dst_port, &seg);
+                            self.transmit_to(rst, src);
+                        }
+                        return;
+                    }
+                }
+            }
+        };
+
+        self.process_segment(i, seg);
+    }
+
+    fn process_segment(&mut self, i: usize, seg: TcpSegment) {
+        let h = seg.header.clone();
+        let state = self.socks[i].state;
+
+        if state == XkState::SynSent {
+            if h.flags.ack && (h.ack.le(self.socks[i].iss) || h.ack.gt(self.socks[i].snd_nxt)) {
+                if !h.flags.rst {
+                    let rst = reset_for(self.socks[i].local_port, &seg);
+                    self.transmit(i, rst);
+                }
+                return;
+            }
+            if h.flags.rst {
+                if h.flags.ack {
+                    self.socks[i].state = XkState::Closed;
+                    self.socks[i].push_event(XkEvent::Reset);
+                }
+                return;
+            }
+            if h.flags.syn {
+                let s = &mut self.socks[i];
+                s.rcv_nxt = h.seq + 1;
+                if let Some(mss) = h.mss() {
+                    s.mss = s.mss.min(u32::from(mss)).max(1);
+                }
+                if h.flags.ack {
+                    s.snd_una = h.ack;
+                    s.snd_wnd = u32::from(h.window);
+                    s.snd_wl1 = h.seq;
+                    s.snd_wl2 = h.ack;
+                    s.state = XkState::Established;
+                    s.retransmit_at = None;
+                    s.backoff = 0;
+                    s.push_event(XkEvent::Connected);
+                    self.send_ack(i);
+                    self.output(i);
+                } else {
+                    s.state = XkState::SynReceived;
+                    self.send_syn(i, true);
+                }
+            }
+            return;
+        }
+
+        // Sequence acceptability (abbreviated BSD check).
+        let wnd = (self.socks[i].recv_buf.free() as u32).min(65535);
+        let seq_ok = {
+            let s = &self.socks[i];
+            let slen = seg.seq_len();
+            match (slen, wnd) {
+                (0, 0) => h.seq == s.rcv_nxt,
+                (0, w) => h.seq.in_window(s.rcv_nxt, w),
+                (_, 0) => false,
+                (l, w) => h.seq.in_window(s.rcv_nxt, w) || (h.seq + (l - 1)).in_window(s.rcv_nxt, w),
+            }
+        };
+        if !seq_ok {
+            if !h.flags.rst {
+                self.send_ack(i);
+            }
+            return;
+        }
+        if h.flags.rst {
+            let s = &mut self.socks[i];
+            s.state = XkState::Closed;
+            s.push_event(XkEvent::Reset);
+            return;
+        }
+        if h.flags.syn {
+            let rst = reset_for(self.socks[i].local_port, &seg);
+            self.transmit(i, rst);
+            let s = &mut self.socks[i];
+            s.state = XkState::Closed;
+            s.push_event(XkEvent::Reset);
+            return;
+        }
+        if !h.flags.ack {
+            return;
+        }
+
+        // ACK processing.
+        if state == XkState::SynReceived {
+            if h.ack.in_open_closed(self.socks[i].snd_una - 1, self.socks[i].snd_nxt) {
+                let s = &mut self.socks[i];
+                s.snd_una = h.ack;
+                s.snd_wnd = u32::from(h.window);
+                s.snd_wl1 = h.seq;
+                s.snd_wl2 = h.ack;
+                s.state = XkState::Established;
+                s.retransmit_at = None;
+                s.backoff = 0;
+                s.push_event(XkEvent::Connected);
+            } else {
+                let rst = reset_for(self.socks[i].local_port, &seg);
+                self.transmit(i, rst);
+                return;
+            }
+        } else if h.ack.in_open_closed(self.socks[i].snd_una, self.socks[i].snd_nxt) {
+            let s = &mut self.socks[i];
+            let mut acked = h.ack.since(s.snd_una);
+            // SYN/FIN octets occupy no buffer bytes.
+            if s.fin_seq.map_or(false, |f| f.lt(h.ack)) {
+                acked = acked.saturating_sub(1);
+            }
+            s.send_buf.skip(acked as usize);
+            s.snd_una = h.ack;
+            s.backoff = 0;
+            s.retransmits_left = self.cfg.max_retransmits;
+            if let Some((timed, at)) = s.timing {
+                if timed.le(h.ack) {
+                    let sample = self.now.saturating_since(at);
+                    match s.srtt {
+                        None => {
+                            s.srtt = Some(sample);
+                            s.rttvar = sample / 2;
+                        }
+                        Some(sr) => {
+                            let err = if sr > sample { sr - sample } else { sample - sr };
+                            s.rttvar = (s.rttvar * 3) / 4 + err / 4;
+                            s.srtt = Some((sr * 7) / 8 + sample / 8);
+                        }
+                    }
+                    // BSD's one-second RTO floor (must exceed the
+                    // peer's delayed-ACK hold time).
+                    s.rto = (s.srtt.unwrap() + s.rttvar * 4)
+                        .max(VirtualDuration::from_millis(1000))
+                        .min(VirtualDuration::from_secs(64));
+                    s.timing = None;
+                }
+            }
+            s.retransmit_at = if s.flight() > 0 {
+                Some(self.now + s.rto.saturating_mul(1 << s.backoff.min(6)))
+            } else {
+                None
+            };
+        }
+        // Window update.
+        {
+            let s = &mut self.socks[i];
+            if s.snd_wl1.lt(h.seq) || (s.snd_wl1 == h.seq && s.snd_wl2.le(h.ack)) {
+                s.snd_wnd = u32::from(h.window);
+                s.snd_wl1 = h.seq;
+                s.snd_wl2 = h.ack;
+                if s.snd_wnd > 0 {
+                    s.probe_at = None;
+                }
+            }
+        }
+        // Closing-state ACK transitions.
+        let fin_acked = self.socks[i].fin_seq.map_or(false, |f| (f + 1).le(self.socks[i].snd_una));
+        match self.socks[i].state {
+            XkState::FinWait1 if fin_acked => self.socks[i].state = XkState::FinWait2,
+            XkState::Closing if fin_acked => {
+                self.socks[i].state = XkState::TimeWait;
+                self.socks[i].time_wait_at = Some(self.now + VirtualDuration::from_millis(self.cfg.time_wait_ms));
+            }
+            XkState::LastAck if fin_acked => {
+                self.socks[i].state = XkState::Closed;
+                self.socks[i].push_event(XkEvent::Closed);
+                return;
+            }
+            _ => {}
+        }
+
+        // Text.
+        let mut consumed_fin = false;
+        if !seg.payload.is_empty()
+            && matches!(self.socks[i].state, XkState::Established | XkState::FinWait1 | XkState::FinWait2)
+        {
+            let s = &mut self.socks[i];
+            if h.seq == s.rcv_nxt {
+                let took = s.recv_buf.write(&seg.payload);
+                s.rcv_nxt += took as u32;
+                self.stats.bytes_received += took as u64;
+                s.ack_owed = true;
+                if s.ack_deadline.is_none() {
+                    let delay = self.cfg.delayed_ack_ms.unwrap_or(0);
+                    s.ack_deadline = Some(self.now + VirtualDuration::from_millis(delay));
+                }
+                // Ack every second full segment immediately (BSD).
+                if seg.payload.len() as u32 >= s.mss {
+                    self.send_ack(i);
+                }
+            } else if h.seq.gt(s.rcv_nxt) {
+                // No reassembly queue in the baseline: drop and dup-ACK
+                // (the original BSD did have one; our baseline's loss
+                // recovery is therefore a bit weaker, which only hurts
+                // the baseline on lossy links — Table 1's link is clean).
+                self.send_ack(i);
+            } else {
+                // Overlap: take the fresh tail.
+                let skip = s.rcv_nxt.since(h.seq) as usize;
+                if skip < seg.payload.len() {
+                    let took = s.recv_buf.write(&seg.payload[skip..]);
+                    s.rcv_nxt += took as u32;
+                    self.stats.bytes_received += took as u64;
+                }
+                self.send_ack(i);
+            }
+        }
+        // FIN.
+        if h.flags.fin {
+            let fin_at = h.seq + seg.payload.len() as u32;
+            if self.socks[i].rcv_nxt == fin_at {
+                self.socks[i].rcv_nxt += 1;
+                consumed_fin = true;
+            }
+        }
+        if consumed_fin {
+            self.send_ack(i);
+            self.socks[i].push_event(XkEvent::PeerClosed);
+            let fin_acked = self.socks[i].fin_seq.map_or(false, |f| (f + 1).le(self.socks[i].snd_una));
+            let tw = self.now + VirtualDuration::from_millis(self.cfg.time_wait_ms);
+            match self.socks[i].state {
+                XkState::Established | XkState::SynReceived => self.socks[i].state = XkState::CloseWait,
+                XkState::FinWait1 if fin_acked => {
+                    self.socks[i].state = XkState::TimeWait;
+                    self.socks[i].time_wait_at = Some(tw);
+                }
+                XkState::FinWait1 => self.socks[i].state = XkState::Closing,
+                XkState::FinWait2 => {
+                    self.socks[i].state = XkState::TimeWait;
+                    self.socks[i].time_wait_at = Some(tw);
+                }
+                XkState::TimeWait => self.socks[i].time_wait_at = Some(tw),
+                _ => {}
+            }
+        }
+
+        self.output(i);
+        // Flush a pending immediate ACK policy.
+        if self.socks[i].ack_owed && self.cfg.delayed_ack_ms.is_none() {
+            self.send_ack(i);
+        }
+    }
+}
+
+fn reset_for(local_port: u16, seg: &TcpSegment) -> TcpSegment {
+    let mut h = TcpHeader::new(local_port, seg.header.src_port);
+    if seg.header.flags.ack {
+        h.seq = seg.header.ack;
+        h.flags = TcpFlags::RST;
+    } else {
+        h.seq = Seq(0);
+        h.ack = seg.header.seq + seg.seq_len();
+        h.flags = TcpFlags::RST_ACK;
+    }
+    TcpSegment { header: h, payload: Vec::new() }
+}
+
+impl<L, A> fmt::Debug for XkTcp<L, A>
+where
+    L: Protocol + fmt::Debug,
+    A: IpAux<Address = L::Peer, Incoming = L::Incoming>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XkTcp(socks={}, over {:?})", self.socks.len(), self.lower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foxtcp::testlink::{LinkPair, TestAux, TestLower};
+
+    type Stack = XkTcp<TestLower, TestAux>;
+
+    fn pair() -> (LinkPair, Stack, Stack) {
+        let link = LinkPair::new();
+        let a = XkTcp::new(link.endpoint(0), TestAux, (), XkConfig::default(), HostHandle::free());
+        let b = XkTcp::new(link.endpoint(1), TestAux, (), XkConfig::default(), HostHandle::free());
+        (link, a, b)
+    }
+
+    fn settle(a: &mut Stack, b: &mut Stack, now: VirtualTime) {
+        for _ in 0..500 {
+            let p = a.step(now) | b.step(now);
+            if !p {
+                return;
+            }
+        }
+        panic!("did not settle");
+    }
+
+    fn run_for(a: &mut Stack, b: &mut Stack, from: VirtualTime, ms: u64, tick: u64) -> VirtualTime {
+        let mut now = from;
+        let end = from + VirtualDuration::from_millis(ms);
+        while now < end {
+            now = (now + VirtualDuration::from_millis(tick)).min(end);
+            settle(a, b, now);
+        }
+        end
+    }
+
+    fn open(a: &mut Stack, b: &mut Stack) -> (SockId, SockId) {
+        let listener = b.listen(80).unwrap();
+        let client = a.connect(1, 80, 0).unwrap();
+        settle(a, b, VirtualTime::ZERO);
+        let child = match b.poll_event(listener) {
+            Some(XkEvent::Accepted(c)) => c,
+            other => panic!("expected Accepted, got {other:?}"),
+        };
+        assert_eq!(a.poll_event(client), Some(XkEvent::Connected));
+        assert_eq!(b.poll_event(child), Some(XkEvent::Connected));
+        (client, child)
+    }
+
+    #[test]
+    fn handshake() {
+        let (_l, mut a, mut b) = pair();
+        let (client, child) = open(&mut a, &mut b);
+        assert_eq!(a.state_of(client), Some(XkState::Established));
+        assert_eq!(b.state_of(child), Some(XkState::Established));
+    }
+
+    #[test]
+    fn bulk_transfer() {
+        let (_l, mut a, mut b) = pair();
+        let (client, child) = open(&mut a, &mut b);
+        let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 239) as u8).collect();
+        let mut sent = 0;
+        let mut got = Vec::new();
+        let mut now = VirtualTime::ZERO;
+        let mut spins = 0;
+        while got.len() < payload.len() {
+            if sent < payload.len() {
+                sent += a.send(client, &payload[sent..]).unwrap();
+            }
+            now = run_for(&mut a, &mut b, now, 250, 50);
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = b.recv(child, &mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            spins += 1;
+            assert!(spins < 5000, "wedged at sent={sent} got={}", got.len());
+        }
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn close_sequence() {
+        let (_l, mut a, mut b) = pair();
+        let (client, child) = open(&mut a, &mut b);
+        a.close(client).unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        assert_eq!(b.poll_event(child), Some(XkEvent::PeerClosed));
+        assert_eq!(b.state_of(child), Some(XkState::CloseWait));
+        b.close(child).unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        assert_eq!(a.poll_event(client), Some(XkEvent::PeerClosed));
+        assert_eq!(b.poll_event(child), Some(XkEvent::Closed));
+        assert_eq!(a.state_of(client), Some(XkState::TimeWait));
+        run_for(&mut a, &mut b, VirtualTime::ZERO, 61_000, 1000);
+        assert_eq!(a.poll_event(client), Some(XkEvent::Closed));
+    }
+
+    #[test]
+    fn retransmission_recovers_loss() {
+        let (link, mut a, mut b) = pair();
+        let (client, child) = open(&mut a, &mut b);
+        // Drop every 4th frame toward b.
+        let n = std::rc::Rc::new(std::cell::RefCell::new(0u32));
+        let n2 = n.clone();
+        link.set_filter_toward(1, Box::new(move |_| {
+            *n2.borrow_mut() += 1;
+            *n2.borrow() % 4 != 0
+        }));
+        let payload = vec![0xabu8; 20_000];
+        let mut sent = 0;
+        let mut got = Vec::new();
+        let mut now = VirtualTime::ZERO;
+        let mut spins = 0;
+        while got.len() < payload.len() {
+            if sent < payload.len() {
+                sent += a.send(client, &payload[sent..]).unwrap();
+            }
+            now = run_for(&mut a, &mut b, now, 1000, 100);
+            let mut buf = [0u8; 4096];
+            loop {
+                let k = b.recv(child, &mut buf).unwrap();
+                if k == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..k]);
+            }
+            spins += 1;
+            assert!(spins < 5000, "wedged: got {}", got.len());
+        }
+        assert_eq!(got, payload);
+        assert!(a.stats().retransmits > 0);
+    }
+
+    #[test]
+    fn connect_to_dead_port_resets() {
+        let (_l, mut a, mut b) = pair();
+        let client = a.connect(1, 9999, 0).unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        assert_eq!(a.poll_event(client), Some(XkEvent::Reset));
+        assert_eq!(a.state_of(client), Some(XkState::Closed));
+    }
+
+    #[test]
+    fn give_up_after_max_retransmits() {
+        let (link, _unused, mut b) = pair();
+        let cfgd = XkConfig { max_retransmits: 2, ..XkConfig::default() };
+        let mut a = XkTcp::new(link.endpoint(0), TestAux, (), cfgd, HostHandle::free());
+        link.set_filter_toward(1, Box::new(|_| false));
+        let client = a.connect(1, 80, 0).unwrap();
+        let mut now = VirtualTime::ZERO;
+        for _ in 0..300 {
+            now = now + VirtualDuration::from_millis(1000);
+            a.step(now);
+            b.step(now);
+            if a.poll_event(client) == Some(XkEvent::TimedOut) {
+                return;
+            }
+        }
+        panic!("never timed out");
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+    use foxtcp::testlink::{LinkPair, TestAux};
+
+    #[test]
+    fn zero_window_probe_unwedges_lost_window_update() {
+        // The scenario that motivated the persist timer: the receiver's
+        // window-opening ACK is lost; without probing, the sender waits
+        // forever.
+        let link = LinkPair::new();
+        let mut a = XkTcp::new(link.endpoint(0), TestAux, (), XkConfig::default(), HostHandle::free());
+        let mut b = XkTcp::new(
+            link.endpoint(1),
+            TestAux,
+            (),
+            XkConfig { window: 512, ..XkConfig::default() },
+            HostHandle::free(),
+        );
+        let listener = b.listen(80).unwrap();
+        let client = a.connect(1, 80, 0).unwrap();
+        let mut now = VirtualTime::ZERO;
+        for _ in 0..50 {
+            a.step(now);
+            b.step(now);
+        }
+        let child = match b.poll_event(listener) {
+            Some(XkEvent::Accepted(c)) => c,
+            other => panic!("expected accept, got {other:?}"),
+        };
+        // Fill b's tiny window so it advertises zero, then drop exactly
+        // the window-update ACK that b sends after the app drains.
+        assert!(a.send(client, &[9u8; 2000]).unwrap() > 0);
+        for _ in 0..50 {
+            a.step(now);
+            b.step(now);
+        }
+        // b's buffer (512) is now full; drain it while suppressing the
+        // very next frame toward a (the window update).
+        let drop_next = std::rc::Rc::new(std::cell::RefCell::new(1u32));
+        let d = drop_next.clone();
+        link.set_filter_toward(0, Box::new(move |_| {
+            let mut n = d.borrow_mut();
+            if *n > 0 {
+                *n -= 1;
+                false
+            } else {
+                true
+            }
+        }));
+        let mut buf = [0u8; 4096];
+        let _ = b.recv(child, &mut buf).unwrap();
+        for _ in 0..20 {
+            a.step(now);
+            b.step(now);
+        }
+        // Let virtual time pass: the persist probe must fire, solicit a
+        // window update, and the transfer must finish.
+        let mut got = 0usize;
+        for _ in 0..200 {
+            now = now + VirtualDuration::from_millis(500);
+            a.step(now);
+            b.step(now);
+            loop {
+                let n = b.recv(child, &mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                got += n;
+            }
+            if got >= 1488 {
+                break; // the rest of the 2000 minus the first drain
+            }
+        }
+        let total = 512 + got;
+        assert!(total >= 2000, "persist probe must unwedge the transfer: got {total}");
+    }
+}

@@ -1,0 +1,81 @@
+//! The paper's closing thought, made runnable: "we may want to imitate
+//! or re-implement ... CML (Concurrent ML) ... typed channels and
+//! lightweight threads" (§6), on exactly the coroutine scheduler that
+//! runs the TCP timers.
+//!
+//! A tiny sliding-window "protocol" built from channels: a producer
+//! coroutine, a bounded-window forwarder, and a consumer, all rendezvous
+//! over typed channels while Fig. 11 timers tick on the same scheduler.
+//!
+//! Run with: `cargo run --example channels`
+
+use fox_scheduler::channel::Channel;
+use fox_scheduler::{timer, Scheduler};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    let mut s = Scheduler::new();
+    let upstream: Channel<u32> = Channel::new();
+    let downstream: Channel<u32> = Channel::new();
+    let received = Rc::new(RefCell::new(Vec::new()));
+
+    // Producer: sends 1..=10 upstream, each send a rendezvous.
+    fn produce(s: &mut Scheduler, ch: Channel<u32>, i: u32) {
+        if i <= 10 {
+            let next = ch.clone();
+            println!("producer: offering {i}");
+            ch.send(s, i, Box::new(move |s| produce(s, next, i + 1)));
+        }
+    }
+
+    // Forwarder: receives upstream, "transmits" downstream after a
+    // 5 ms serialization timer — channels and timers interleaving on
+    // one scheduler, the CML programming model.
+    fn forward(s: &mut Scheduler, up: Channel<u32>, down: Channel<u32>) {
+        let (u2, d2) = (up.clone(), down.clone());
+        up.recv(
+            s,
+            Box::new(move |s, v| {
+                let (u3, d3) = (u2.clone(), d2.clone());
+                timer::start_ms(
+                    s,
+                    5,
+                    Box::new(move |s| {
+                        let (u4, d4) = (u3.clone(), d3.clone());
+                        d3.send(s, v * v, Box::new(move |s| forward(s, u4, d4)));
+                    }),
+                );
+            }),
+        );
+    }
+
+    // Consumer: collects squares.
+    fn consume(s: &mut Scheduler, ch: Channel<u32>, out: Rc<RefCell<Vec<u32>>>) {
+        let c2 = ch.clone();
+        let o2 = out.clone();
+        ch.recv(
+            s,
+            Box::new(move |s, v| {
+                println!("consumer: got {v} at t = {}", s.now());
+                o2.borrow_mut().push(v);
+                consume(s, c2, o2.clone());
+            }),
+        );
+    }
+
+    produce(&mut s, upstream.clone(), 1);
+    forward(&mut s, upstream.clone(), downstream.clone());
+    consume(&mut s, downstream.clone(), received.clone());
+    s.run_until_idle();
+
+    println!();
+    println!("received: {:?}", received.borrow());
+    println!(
+        "scheduler: {} forks, {} switches, finished at t = {}",
+        s.stats().forks,
+        s.stats().switches,
+        s.now()
+    );
+    assert_eq!(*received.borrow(), (1..=10u32).map(|i| i * i).collect::<Vec<_>>());
+}

@@ -1,0 +1,33 @@
+//! Regenerates the paper's Table 2: the execution profile of the Fox Net
+//! TCP/IP stack during the 10^6-byte transfer, measured with the
+//! simulated free-running hardware counters (15 µs per update, which —
+//! as in 1994 — perturbs the run it measures and shows up as the
+//! "counters (est.)" row).
+//!
+//! Run with: `cargo run --release --example profile`
+
+use foxharness::experiments::{render_table1, render_table2, table1, table2};
+
+fn main() {
+    println!("running the Table 1 speed comparison (two 10^6-byte transfers + RTT runs)...");
+    let t1 = table1(42);
+    println!();
+    println!("{}", render_table1(&t1));
+    println!(
+        "fox sender: {} segments, {} retransmits; xk sender: {} segments",
+        t1.fox.bulk.sender.segments_sent,
+        t1.fox.bulk.sender.retransmits,
+        t1.xk.bulk.sender.segments_sent,
+    );
+    println!();
+    println!("running the Table 2 profiled transfer (counters on)...");
+    let t2 = table2(42);
+    println!();
+    println!("{}", render_table2(&t2));
+    if let Some(gc) = &t2.bulk.sender_gc {
+        println!(
+            "sender GC during the profiled run: {} minors, {} majors, max pause {}",
+            gc.minors, gc.majors, gc.max_pause
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # FoxNet-RS
+//!
+//! A Rust reproduction of *A Structured TCP in Standard ML*
+//! (Edoardo S. Biagioni, SIGCOMM '94 / CMU-CS-94-171): the Fox Project's
+//! structured TCP/IP stack, its coroutine scheduler, its x-kernel-style
+//! composable protocol architecture, the simulated 1994 environment it
+//! was measured in (DECstation 5000/125 + Mach 3.0 + SML/NJ runtime),
+//! and the x-kernel baseline it was compared against.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`foxbasis`] — the Fox Basis utility substrate (queues, buffers,
+//!   checksums, copies, virtual time, profiling counters);
+//! * [`fox_scheduler`] — the non-preemptive coroutine scheduler and the
+//!   paper's Fig. 11 timers;
+//! * [`foxwire`] — wire formats (Ethernet + CRC, ARP, IPv4, ICMP, UDP,
+//!   TCP);
+//! * [`simnet`] — the simulated 10 Mb/s Ethernet, host cost models, and
+//!   the SML/NJ GC model;
+//! * [`foxproto`] — the generic `PROTOCOL` signature and the stack below
+//!   TCP (Dev, Eth, Arp, Ip, Icmp, Udp) plus the `IP_AUX` structures;
+//! * [`foxtcp`] — **the paper's core contribution**: the structured TCP
+//!   with its Tcb/State/Receive/Send/Resend/Action decomposition and
+//!   quasi-synchronous `to_do`-queue control structure;
+//! * [`xktcp`] — the monolithic x-kernel/Berkeley-style baseline;
+//! * [`foxharness`] — stack assembly (the paper's Fig. 3), workloads,
+//!   and the experiments regenerating every table in §5.
+//!
+//! Start with `examples/quickstart.rs`; DESIGN.md maps the paper to the
+//! code and EXPERIMENTS.md records paper-vs-measured numbers.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fox_scheduler;
+pub use foxbasis;
+pub use foxharness;
+pub use foxproto;
+pub use foxtcp;
+pub use foxwire;
+pub use simnet;
+pub use xktcp;

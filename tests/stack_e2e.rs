@@ -1,0 +1,156 @@
+//! Whole-system end-to-end properties: determinism at system scale (the
+//! paper's central testability claim), data integrity under arbitrary
+//! network abuse, and the behavior of the full stack's substrate
+//! features (ARP, fragmentation, ICMP) under the same roof as TCP.
+
+use foxbasis::time::{VirtualDuration, VirtualTime};
+use foxharness::sim::drive;
+use foxharness::stack::StackKind;
+use foxharness::workload::{bulk_transfer, ping_pong};
+use foxtcp::TcpConfig;
+use simnet::{CostModel, FaultConfig, NetConfig, SimNet};
+
+fn cfg() -> TcpConfig {
+    TcpConfig { delayed_ack_ms: None, ..TcpConfig::default() }
+}
+
+/// "Once the actions have been placed on the queue the behavior of TCP
+/// is completely deterministic and testable" — at whole-system scale:
+/// identical seeds must give bit-identical statistics even on a hostile
+/// network, and different seeds must diverge.
+#[test]
+fn system_scale_determinism() {
+    let run = |seed: u64| {
+        let mut netcfg = NetConfig::default();
+        netcfg.faults = FaultConfig {
+            drop_chance: 0.05,
+            corrupt_chance: 0.02,
+            duplicate_chance: 0.02,
+            jitter: VirtualDuration::from_millis(1),
+        };
+        let net = SimNet::new(netcfg, seed);
+        let mut s = StackKind::FoxStandard.build(&net, 1, 2, CostModel::decstation_sml(), false, cfg());
+        let mut r = StackKind::FoxStandard.build(&net, 2, 1, CostModel::decstation_sml(), false, cfg());
+        let res = bulk_transfer(&net, &mut s, &mut r, 100_000, VirtualTime::from_micros(u64::MAX / 2));
+        (res.elapsed, res.sender, res.receiver, net.stats())
+    };
+    let a = run(12345);
+    let b = run(12345);
+    assert_eq!(a, b, "same seed, same everything");
+    let c = run(54321);
+    assert_ne!(a.3, c.3, "different seed, different network history");
+}
+
+/// Data integrity across every fault class at once, all three stacks.
+#[test]
+fn integrity_under_abuse_all_stacks() {
+    for kind in [StackKind::FoxStandard, StackKind::FoxSpecial, StackKind::XKernel] {
+        let mut netcfg = NetConfig::default();
+        netcfg.faults = FaultConfig {
+            drop_chance: 0.04,
+            corrupt_chance: 0.02,
+            duplicate_chance: 0.02,
+            jitter: VirtualDuration::from_micros(800),
+        };
+        let net = SimNet::new(netcfg, 777);
+        let mut s = kind.build(&net, 1, 2, CostModel::modern(), false, cfg());
+        let mut r = kind.build(&net, 2, 1, CostModel::modern(), false, cfg());
+        let res = bulk_transfer(&net, &mut s, &mut r, 60_000, VirtualTime::from_micros(u64::MAX / 2));
+        assert_eq!(res.bytes, 60_000, "{}: incomplete", kind.name());
+        assert!(res.sender.retransmits > 0, "{}: loss must have caused retransmits", kind.name());
+    }
+}
+
+/// The receive-queue bound (the 24 KB "Mach buffer"): a sender that
+/// bursts more than the receiver's queue drops frames at the buffer and
+/// TCP recovers — no wedge, no corruption.
+#[test]
+fn kernel_buffer_overflow_recovers() {
+    let mut netcfg = NetConfig::default();
+    netcfg.rx_capacity = 4096; // a tiny kernel buffer
+    let net = SimNet::new(netcfg, 31);
+    let mut s = StackKind::FoxStandard.build(&net, 1, 2, CostModel::modern(), false, cfg());
+    let mut r = StackKind::FoxStandard.build(&net, 2, 1, CostModel::modern(), false, cfg());
+    let res = bulk_transfer(&net, &mut s, &mut r, 80_000, VirtualTime::from_micros(u64::MAX / 2));
+    assert_eq!(res.bytes, 80_000);
+}
+
+/// RTT through the full stack is sane: more than the wire time, far less
+/// than a timer artifact, and the mean sits between min and max.
+#[test]
+fn rtt_through_full_stack() {
+    let net = SimNet::ethernet_10mbps(5);
+    let mut server = StackKind::FoxStandard.build(&net, 1, 2, CostModel::modern(), false, cfg());
+    let mut client = StackKind::FoxStandard.build(&net, 2, 1, CostModel::modern(), false, cfg());
+    let r = ping_pong(&net, &mut server, &mut client, 25, 64, VirtualTime::from_micros(u64::MAX / 2));
+    assert_eq!(r.rounds, 25);
+    // Wire time for a small frame is ~120 µs round trip.
+    assert!(r.mean_rtt >= VirtualDuration::from_micros(100), "{:?}", r.mean_rtt);
+    assert!(r.mean_rtt <= VirtualDuration::from_millis(50), "{:?}", r.mean_rtt);
+    assert!(r.min_rtt <= r.mean_rtt && r.mean_rtt <= r.max_rtt);
+}
+
+/// The 1994 machine model must reproduce the paper's headline relation:
+/// Fox Net markedly slower than the x-kernel, both far below the wire.
+#[test]
+fn paper_speed_relation_holds() {
+    let bytes = 200_000; // smaller than Table 1's 10^6 to keep tests fast
+    let run = |kind: StackKind, cost: fn() -> CostModel| {
+        let net = SimNet::ethernet_10mbps(42);
+        let mut s = kind.build(&net, 1, 2, cost(), false, foxharness::experiments::paper_tcp_config());
+        let mut r = kind.build(&net, 2, 1, cost(), false, foxharness::experiments::paper_tcp_config());
+        bulk_transfer(&net, &mut s, &mut r, bytes, VirtualTime::from_micros(u64::MAX / 2)).throughput_mbps
+    };
+    let fox = run(StackKind::FoxStandard, CostModel::decstation_sml);
+    let xk = run(StackKind::XKernel, CostModel::decstation_c);
+    assert!(fox < xk, "fox {fox} must be slower than xk {xk}");
+    let ratio = fox / xk;
+    assert!(
+        (0.1..=0.5).contains(&ratio),
+        "throughput ratio {ratio:.2} should bracket the paper's 0.24"
+    );
+    assert!(xk < 10.0, "nobody beats the wire");
+}
+
+/// A drive over a long silent period does not spin or wedge (timers and
+/// idle detection cooperate).
+#[test]
+fn quiescent_stack_stays_quiescent() {
+    let net = SimNet::ethernet_10mbps(1);
+    let mut a = StackKind::FoxStandard.build(&net, 1, 2, CostModel::modern(), false, cfg());
+    let mut b = StackKind::FoxStandard.build(&net, 2, 1, CostModel::modern(), false, cfg());
+    b.listen(1);
+    let conn = a.connect(1);
+    drive(
+        &net,
+        &mut [&mut a, &mut b],
+        |st| st[0].established(conn),
+        VirtualDuration::from_millis(1),
+        VirtualTime::from_millis(2_000),
+    );
+    // Ten idle virtual minutes.
+    drive(
+        &net,
+        &mut [&mut a, &mut b],
+        |_| false,
+        VirtualDuration::from_millis(100),
+        VirtualTime::from_millis(600_000),
+    );
+    assert!(a.established(conn), "connection survives idleness");
+    let before = a.stats().segments_sent;
+    a.send(conn, b"still alive");
+    let mut bc = None;
+    drive(
+        &net,
+        &mut [&mut a, &mut b],
+        |st| {
+            if bc.is_none() {
+                bc = st[1].accept();
+            }
+            bc.map_or(false, |c| st[1].received_len(c) > 0)
+        },
+        VirtualDuration::from_millis(1),
+        VirtualTime::from_millis(660_000),
+    );
+    assert!(a.stats().segments_sent > before);
+}
