@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local CI gate. Run from the repository root.
+#
+#   ./ci.sh
+#
+# Three stages, all must pass:
+#   1. release build of every crate and target
+#   2. the whole workspace test suite
+#   3. clippy with warnings promoted to errors
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test (workspace) =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
+echo "CI OK"

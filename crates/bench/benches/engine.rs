@@ -54,7 +54,7 @@ fn transfer(bytes: usize, fast_path: bool) -> u64 {
     // Children buffer their events until adopted; adopt eagerly.
     let mut adopted = false;
     while *received.borrow() < bytes {
-        now = now + VirtualDuration::from_millis(1);
+        now += VirtualDuration::from_millis(1);
         if sent < bytes {
             sent += a.send_data(conn, &payload[..payload.len().min(bytes - sent)]).unwrap_or(0);
         }
@@ -84,15 +84,14 @@ fn transfer(bytes: usize, fast_path: bool) -> u64 {
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine");
     group.sample_size(20);
-    for &bytes in &[262_144usize] {
-        group.throughput(Throughput::Bytes(bytes as u64));
-        group.bench_with_input(BenchmarkId::new("bulk_fastpath_on", bytes), &bytes, |b, &n| {
-            b.iter(|| black_box(transfer(n, true)))
-        });
-        group.bench_with_input(BenchmarkId::new("bulk_fastpath_off", bytes), &bytes, |b, &n| {
-            b.iter(|| black_box(transfer(n, false)))
-        });
-    }
+    let bytes = 262_144usize;
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_with_input(BenchmarkId::new("bulk_fastpath_on", bytes), &bytes, |b, &n| {
+        b.iter(|| black_box(transfer(n, true)))
+    });
+    group.bench_with_input(BenchmarkId::new("bulk_fastpath_off", bytes), &bytes, |b, &n| {
+        b.iter(|| black_box(transfer(n, false)))
+    });
     group.finish();
 }
 

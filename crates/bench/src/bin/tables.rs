@@ -4,7 +4,8 @@
 //!   cargo run --release -p foxbench --bin tables             # everything
 //!   cargo run --release -p foxbench --bin tables -- table1   # one item
 //!
-//! Items: table1, table2, gc, gcpause, ablations, matrix, loss, micro
+//! Items: table1, table2, gc, gcpause, ablations, matrix, loss,
+//! lossmatrix, micro
 
 use foxbasis::time::VirtualDuration;
 use foxharness::experiments as exp;
@@ -58,6 +59,12 @@ fn main() {
         println!("running the loss sweep...\n");
         let rows = exp::loss_sweep(200_000, seed);
         println!("{}", exp::render_loss_sweep(&rows));
+    }
+
+    if want(&args, "lossmatrix") {
+        println!("running the loss matrix (each cell twice, checking determinism)...\n");
+        let cells = exp::loss_matrix(200_000, seed);
+        println!("{}", exp::render_loss_matrix(&cells));
     }
 
     if want(&args, "micro") {

@@ -38,7 +38,9 @@ impl<T> Fifo<T> {
     }
 
     /// Removes and returns the item at the head of the queue, or `None`
-    /// if the queue is empty.
+    /// if the queue is empty. Named after the paper's `Q.next`, not the
+    /// `Iterator` method.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<T> {
         self.items.pop_front()
     }
@@ -90,7 +92,7 @@ impl<T> Fifo<T> {
     /// the hook that turns the FIFO into the priority queue the paper
     /// proposes for latency-sensitive actions (§4).
     pub fn take_first_match(&mut self, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
-        let at = self.items.iter().position(|x| pred(x))?;
+        let at = self.items.iter().position(&mut pred)?;
         self.items.remove(at)
     }
 }

@@ -87,7 +87,7 @@ impl WordArray {
     }
 
     fn check(&self, offset: usize, width: usize) -> Result<(), Bounds> {
-        if offset.checked_add(width).map_or(true, |end| end > self.bytes.len()) {
+        if offset.checked_add(width).is_none_or(|end| end > self.bytes.len()) {
             Err(Bounds { offset, width, len: self.bytes.len() })
         } else {
             Ok(())

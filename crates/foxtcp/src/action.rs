@@ -44,6 +44,28 @@ impl TimerKind {
     ];
 }
 
+/// A loss-recovery event, threaded through the to_do queue so the
+/// engine's statistics (and tests reading the queue or trace) can
+/// observe *how* a transfer recovered, not just that the bytes arrived.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LossEvent {
+    /// Three duplicate ACKs retransmitted the front segment without
+    /// waiting for the timer.
+    FastRetransmit,
+    /// Fast recovery was entered (Reno: cwnd inflating on further
+    /// duplicate ACKs until the recovery point is acknowledged).
+    RecoveryEntered,
+    /// The recovery point was acknowledged; cwnd deflated to ssthresh.
+    RecoveryExited,
+    /// A partial ACK during recovery (NewReno): the next hole was
+    /// retransmitted immediately, recovery continues.
+    PartialAck,
+    /// The retransmission timer fired with data outstanding.
+    Rto,
+    /// The persist timer sent a zero-window probe.
+    Probe,
+}
+
 /// One action on a connection's to_do queue (paper Fig. 8).
 /// `P` is the lower-layer peer address type (IPv4 address for
 /// `Standard_Tcp`, Ethernet address for `Special_Tcp`).
@@ -83,6 +105,10 @@ pub enum TcpAction<P> {
     /// given sequence number (used by module-level tests to observe the
     /// Resend module; the engine treats it as a no-op).
     AckedTo(Seq),
+    /// Loss-recovery bookkeeping: the Resend/Send modules report how
+    /// they are recovering; the engine counts these into its statistics
+    /// and trace.
+    Loss(LossEvent),
 }
 
 impl<P: fmt::Debug> fmt::Debug for TcpAction<P> {
@@ -116,6 +142,7 @@ impl<P: fmt::Debug> fmt::Debug for TcpAction<P> {
             TcpAction::NewConnection(id) => write!(f, "New_Connection({id})"),
             TcpAction::UrgentData(up) => write!(f, "Urgent_Data(up to {up})"),
             TcpAction::AckedTo(seq) => write!(f, "Acked_To({seq})"),
+            TcpAction::Loss(ev) => write!(f, "Loss({ev:?})"),
         }
     }
 }
@@ -138,6 +165,7 @@ impl<P> TcpAction<P> {
             TcpAction::NewConnection(..) => "New_Connection",
             TcpAction::UrgentData(..) => "Urgent_Data",
             TcpAction::AckedTo(..) => "Acked_To",
+            TcpAction::Loss(..) => "Loss",
         }
     }
 }

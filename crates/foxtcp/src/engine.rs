@@ -15,7 +15,7 @@
 //! `sharing type` constraints, checked by the compiler exactly as the
 //! paper advertises. [`crate::TcpConfig`] carries the value parameters.
 
-use crate::action::{TcpAction, TimerKind};
+use crate::action::{LossEvent, TcpAction, TimerKind};
 use crate::receive::{self, ListenVerdict};
 use crate::send;
 use crate::state;
@@ -111,6 +111,14 @@ pub struct TcpStats {
     pub actions_executed: u64,
     /// Timers armed.
     pub timers_set: u64,
+    /// Fast retransmissions (three duplicate ACKs, no timer).
+    pub fast_retransmits: u64,
+    /// Fast-recovery episodes entered (Reno/NewReno).
+    pub recoveries: u64,
+    /// Retransmission timer expirations that actually retransmitted.
+    pub rto_fires: u64,
+    /// Zero-window probes sent by the persist timer.
+    pub probe_fires: u64,
 }
 
 struct Conn<P> {
@@ -349,7 +357,7 @@ where
         if seg.header.flags.ack {
             if let Some(idx) = self.conns.iter().position(|c| {
                 c.core.local_port == seg.header.src_port
-                    && c.core.remote.as_ref().map_or(false, |(a, p)| {
+                    && c.core.remote.as_ref().is_some_and(|(a, p)| {
                         A::eq(a, &to) && *p == seg.header.dst_port
                     })
             }) {
@@ -425,13 +433,12 @@ where
                 let mut q = todo.borrow_mut();
                 // The paper's §4 priority extension: serve the actions
                 // that affect packet latency (outbound segments) first.
-                let a = if self.cfg.latency_priority {
+                if self.cfg.latency_priority {
                     q.take_first_match(|a| matches!(a, TcpAction::SendSegment(_)))
                         .or_else(|| q.next())
                 } else {
                     q.next()
-                };
-                a
+                }
             };
             let Some(action) = action else { return };
             self.stats.actions_executed += 1;
@@ -522,6 +529,24 @@ where
                     self.deliver(idx, TcpEvent::Urgent(offset));
                 }
                 TcpAction::AckedTo(_) => {}
+                TcpAction::Loss(ev) => {
+                    match ev {
+                        LossEvent::FastRetransmit => {
+                            self.stats.fast_retransmits += 1;
+                            self.stats.retransmits += 1;
+                        }
+                        LossEvent::RecoveryEntered => self.stats.recoveries += 1,
+                        LossEvent::RecoveryExited => {}
+                        // The hole retransmitted on a partial ACK is a
+                        // retransmission the Resend timer never saw.
+                        LossEvent::PartialAck => self.stats.retransmits += 1,
+                        // `retransmits` itself is counted when the
+                        // Resend timer expires with data outstanding.
+                        LossEvent::Rto => self.stats.rto_fires += 1,
+                        LossEvent::Probe => self.stats.probe_fires += 1,
+                    }
+                    self.trace.trace(|| format!("conn {}: loss event {ev:?}", self.conns[idx].id));
+                }
             }
         }
     }
@@ -557,7 +582,7 @@ where
                 && c.core
                     .remote
                     .as_ref()
-                    .map_or(false, |(a, p)| A::eq(a, &src) && *p == seg.header.src_port)
+                    .is_some_and(|(a, p)| A::eq(a, &src) && *p == seg.header.src_port)
                 && c.core.state != TcpState::Closed
         });
         if let Some(idx) = exact {
@@ -650,7 +675,7 @@ where
                 let local_port = if local_port == 0 { self.alloc_ephemeral() } else { local_port };
                 let clash = self.conns.iter().any(|c| {
                     c.core.local_port == local_port
-                        && c.core.remote.as_ref().map_or(true, |(a, p)| {
+                        && c.core.remote.as_ref().is_none_or(|(a, p)| {
                             A::eq(a, &remote) && *p == remote_port
                         })
                         && c.core.state != TcpState::Closed
@@ -1007,7 +1032,7 @@ mod tests {
         let c = counter.clone();
         link.set_filter_toward(1, Box::new(move |_| {
             *c.borrow_mut() += 1;
-            *c.borrow() % 5 != 0
+            !(*c.borrow()).is_multiple_of(5)
         }));
         let payload: Vec<u8> = (0..30_000u32).map(|i| (i % 241) as u8).collect();
         let mut sent = 0;
@@ -1305,7 +1330,7 @@ mod priority_tests {
             let mut now = VirtualTime::ZERO;
             let mut adopted = false;
             for _ in 0..100_000 {
-                now = now + VirtualDuration::from_millis(1);
+                now += VirtualDuration::from_millis(1);
                 if sent < payload.len() {
                     sent += a.send_data(conn, &payload[sent..]).unwrap_or(0);
                 }
@@ -1666,7 +1691,7 @@ mod wraparound_tests {
         let mut now = start;
         let mut adopted = false;
         for _ in 0..100_000 {
-            now = now + VirtualDuration::from_millis(1);
+            now += VirtualDuration::from_millis(1);
             if sent < payload.len() {
                 sent += a.send_data(conn, &payload[sent..]).unwrap_or(0);
             }

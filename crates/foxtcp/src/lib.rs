@@ -39,7 +39,7 @@ pub mod state;
 pub mod tcb;
 pub mod testlink;
 
-pub use action::{TcpAction, TimerKind};
+pub use action::{LossEvent, TcpAction, TimerKind};
 pub use engine::{Tcp, TcpConnId, TcpEvent, TcpPattern, TcpStats};
 pub use tcb::{Tcb, TcpState};
 

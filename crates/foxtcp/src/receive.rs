@@ -339,6 +339,7 @@ fn update_send_window<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, seg:
         tcb.snd_wl1 = h.seq;
         tcb.snd_wl2 = h.ack;
         if tcb.snd_wnd > 0 && was_zero {
+            tcb.persist_backoff = 0;
             tcb.push_action(TcpAction::ClearTimer(TimerKind::Persist));
         }
     }
@@ -351,7 +352,7 @@ fn after_ack_transitions<P: Clone + PartialEq + Debug>(
     fin_acked_now: bool,
 ) {
     let our_fin_acked = fin_acked_now
-        || core.tcb.fin_seq.map_or(false, |f| (f + 1).le(core.tcb.snd_una));
+        || core.tcb.fin_seq.is_some_and(|f| (f + 1).le(core.tcb.snd_una));
     match core.state {
         TcpState::FinWait1 { .. } if our_fin_acked => {
             core.state = TcpState::FinWait2;
@@ -493,7 +494,7 @@ fn check_fin<P: Clone + PartialEq + Debug>(
             core.state = TcpState::CloseWait;
         }
         TcpState::FinWait1 { fin_acked } => {
-            if fin_acked || core.tcb.fin_seq.map_or(false, |f| (f + 1).le(core.tcb.snd_una)) {
+            if fin_acked || core.tcb.fin_seq.is_some_and(|f| (f + 1).le(core.tcb.snd_una)) {
                 core.state = TcpState::TimeWait;
                 core.tcb.push_action(TcpAction::SetTimer(TimerKind::TimeWait, cfg.time_wait_ms));
             } else {

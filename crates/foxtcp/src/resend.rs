@@ -6,7 +6,7 @@
 //! RTT estimation, and "remove acknowledged segments from the retransmit
 //! queue".
 
-use crate::action::{TcpAction, TimerKind};
+use crate::action::{LossEvent, TcpAction, TimerKind};
 use crate::tcb::{RttEstimator, SentSegment, TcpState, MAX_RTO, MIN_RTO};
 use crate::{ConnCore, TcpConfig};
 use foxbasis::seq::Seq;
@@ -103,9 +103,41 @@ pub fn process_ack<P: Clone + PartialEq + Debug>(
     tcb.send_buf.skip(out.bytes_acked as usize);
     tcb.snd_una = ack;
 
+    // Fast-recovery ACK processing (NewReno, RFC 6582). An ACK covering
+    // the recovery point ends recovery and deflates cwnd to ssthresh; an
+    // ACK below it acknowledges only part of the lost window, so the
+    // next hole is retransmitted immediately and recovery continues with
+    // cwnd deflated by the amount acknowledged (plus one MSS back, so
+    // the pipe stays as full as it was).
+    let was_in_recovery = tcb.recover.is_some();
+    let mut partial_ack = false;
+    if cfg.congestion_control {
+        if let Some(rp) = tcb.recover {
+            if ack.ge(rp) {
+                if tcb.cwnd > 0 {
+                    tcb.cwnd = tcb.ssthresh.max(tcb.mss);
+                }
+                tcb.recover = None;
+                tcb.push_action(TcpAction::Loss(LossEvent::RecoveryExited));
+            } else {
+                if tcb.cwnd > 0 {
+                    tcb.cwnd = tcb
+                        .cwnd
+                        .saturating_sub(out.bytes_acked)
+                        .saturating_add(tcb.mss)
+                        .max(tcb.mss);
+                }
+                tcb.rtt.timing = None; // Karn: the hole is retransmitted below
+                partial_ack = true;
+                tcb.push_action(TcpAction::Loss(LossEvent::PartialAck));
+            }
+        }
+    }
+
     // Congestion window growth (Jacobson): slow start below ssthresh,
-    // linear above.
-    if cfg.congestion_control && tcb.cwnd > 0 && out.bytes_acked > 0 {
+    // linear above. Suspended while recovering — inflation/deflation
+    // own the window until the recovery point is acknowledged.
+    if cfg.congestion_control && tcb.cwnd > 0 && out.bytes_acked > 0 && !was_in_recovery {
         if tcb.cwnd < tcb.ssthresh {
             tcb.cwnd = tcb.cwnd.saturating_add(tcb.mss);
         } else {
@@ -121,11 +153,19 @@ pub fn process_ack<P: Clone + PartialEq + Debug>(
         tcb.push_action(TcpAction::SetTimer(TimerKind::Resend, tcb.rtt.timeout().as_millis()));
     }
     tcb.push_action(TcpAction::AckedTo(ack));
+    if partial_ack {
+        retransmit_front(core, now);
+    }
     out
 }
 
 /// A duplicate ACK (`SEG.ACK == SND.UNA` with nothing else of interest).
-/// Three in a row trigger fast retransmit (Reno's first half).
+/// Three trigger fast retransmit and enter fast recovery (Reno); while
+/// recovering, every further duplicate ACK inflates the congestion
+/// window by one MSS — each one means a segment left the network — and
+/// new data is transmitted when the inflated window allows. Recovery
+/// ends (and the window deflates) in [`process_ack`] when the recovery
+/// point is acknowledged.
 pub fn duplicate_ack<P: Clone + PartialEq + Debug>(
     cfg: &TcpConfig,
     core: &mut ConnCore<P>,
@@ -135,16 +175,34 @@ pub fn duplicate_ack<P: Clone + PartialEq + Debug>(
         return;
     }
     core.tcb.dup_acks += 1;
-    if core.tcb.dup_acks == 3 && cfg.congestion_control {
-        // Fast retransmit: resend the first unacknowledged segment
-        // without waiting for the timer, halve the window.
+    if !cfg.congestion_control {
+        return;
+    }
+    if core.tcb.recover.is_some() {
+        // In recovery: inflate and try to keep the pipe full.
+        let tcb = &mut core.tcb;
+        if tcb.cwnd > 0 {
+            tcb.cwnd = tcb.cwnd.saturating_add(tcb.mss);
+        }
+        crate::send::maybe_send(cfg, core, now);
+    } else if core.tcb.dup_acks >= 3 {
+        // Enter fast recovery: retransmit the first unacknowledged
+        // segment without waiting for the timer, halve the window, and
+        // remember where recovery ends. (`>=` rather than `==`: if the
+        // third duplicate arrives while something else defers entry —
+        // e.g. recovery just exited on a partial window — the next
+        // duplicate still re-arms it.)
         let tcb = &mut core.tcb;
         let flight = tcb.flight_size();
         tcb.ssthresh = (flight / 2).max(2 * tcb.mss);
         if tcb.cwnd > 0 {
-            tcb.cwnd = tcb.ssthresh;
+            // ssthresh plus the three segments the duplicates ACKed.
+            tcb.cwnd = tcb.ssthresh.saturating_add(3 * tcb.mss);
         }
+        tcb.recover = Some(tcb.snd_nxt);
         tcb.rtt.timing = None; // Karn
+        tcb.push_action(TcpAction::Loss(LossEvent::RecoveryEntered));
+        tcb.push_action(TcpAction::Loss(LossEvent::FastRetransmit));
         retransmit_front(core, now);
     }
 }
@@ -211,6 +269,7 @@ pub fn retransmit_timeout<P: Clone + PartialEq + Debug>(
         tcb.retransmits_left -= 1;
         tcb.rtt.backoff += 1;
         tcb.rtt.timing = None; // Karn: never time a retransmitted segment
+        tcb.push_action(TcpAction::Loss(LossEvent::Rto));
         if cfg.congestion_control {
             let flight = tcb.flight_size();
             tcb.ssthresh = (flight / 2).max(2 * tcb.mss);
@@ -218,6 +277,9 @@ pub fn retransmit_timeout<P: Clone + PartialEq + Debug>(
                 tcb.cwnd = tcb.mss; // back to slow start
             }
             tcb.dup_acks = 0;
+            // An RTO abandons any fast recovery in progress — slow start
+            // owns the window again.
+            tcb.recover = None;
         }
         // SYN-state retry accounting lives in the state, mirroring the
         // paper's `Syn_Sent of tcp_tcb * int`.
@@ -452,6 +514,141 @@ mod tests {
             "fast retransmit of the first segment: {acts:?}"
         );
         assert_eq!(core.tcb.ssthresh, 2000);
+    }
+
+    #[test]
+    fn fast_recovery_entry_inflates_cwnd_by_three() {
+        let mut core = core_with_flight();
+        core.tcb.cwnd = 6000;
+        core.tcb.ssthresh = u32::MAX;
+        let now = VirtualTime::from_millis(10);
+        for _ in 0..3 {
+            duplicate_ack(&cfg(), &mut core, now);
+        }
+        // flight 3000 → ssthresh 2000; cwnd = ssthresh + 3·MSS.
+        assert_eq!(core.tcb.ssthresh, 2000);
+        assert_eq!(core.tcb.cwnd, 5000);
+        assert_eq!(core.tcb.recover, Some(Seq(3100)), "recovery point is snd_nxt");
+        let acts = drain(&core);
+        assert!(acts.iter().any(|a| a == "Loss(RecoveryEntered)"), "{acts:?}");
+        assert!(acts.iter().any(|a| a == "Loss(FastRetransmit)"), "{acts:?}");
+    }
+
+    #[test]
+    fn further_duplicates_inflate_and_send_new_data() {
+        let mut core = core_with_flight();
+        core.tcb.cwnd = 6000;
+        core.tcb.ssthresh = u32::MAX;
+        // 2000 more bytes staged but unsent.
+        core.tcb.send_buf.write(&[0xBB; 2000]);
+        let now = VirtualTime::from_millis(10);
+        for _ in 0..3 {
+            duplicate_ack(&cfg(), &mut core, now);
+        }
+        core.tcb.to_do.borrow_mut().clear();
+        // Fourth duplicate: inflate one MSS (5000 → 6000). The usable
+        // window (min(snd_wnd, cwnd) − flight = 3000) now admits the
+        // staged data.
+        duplicate_ack(&cfg(), &mut core, now);
+        assert_eq!(core.tcb.cwnd, 6000);
+        let acts = drain(&core);
+        assert!(
+            acts.iter().any(|a| a.starts_with("Send_Segment(seq=3100")),
+            "new data transmitted under the inflated window: {acts:?}"
+        );
+        assert_eq!(core.tcb.snd_nxt, Seq(5100), "both staged segments went out");
+    }
+
+    #[test]
+    fn full_recovery_ack_deflates_to_ssthresh() {
+        let mut core = core_with_flight();
+        core.tcb.cwnd = 6000;
+        core.tcb.ssthresh = u32::MAX;
+        let now = VirtualTime::from_millis(10);
+        for _ in 0..4 {
+            duplicate_ack(&cfg(), &mut core, now);
+        }
+        core.tcb.to_do.borrow_mut().clear();
+        // ACK covering the recovery point (3100) ends recovery.
+        process_ack(&cfg(), &mut core, Seq(3100), VirtualTime::from_millis(50));
+        assert_eq!(core.tcb.recover, None);
+        assert_eq!(core.tcb.cwnd, 2000, "deflated to ssthresh, not left inflated");
+        let acts = drain(&core);
+        assert!(acts.iter().any(|a| a == "Loss(RecoveryExited)"), "{acts:?}");
+    }
+
+    #[test]
+    fn partial_ack_retransmits_next_hole_and_stays_in_recovery() {
+        let mut core = core_with_flight();
+        core.tcb.cwnd = 6000;
+        core.tcb.ssthresh = u32::MAX;
+        let now = VirtualTime::from_millis(10);
+        for _ in 0..3 {
+            duplicate_ack(&cfg(), &mut core, now);
+        }
+        core.tcb.to_do.borrow_mut().clear();
+        // ACK of only the first segment: below the recovery point.
+        process_ack(&cfg(), &mut core, Seq(1100), VirtualTime::from_millis(50));
+        assert_eq!(core.tcb.recover, Some(Seq(3100)), "partial ACK keeps recovery open");
+        // Deflate by the 1000 acked, add one MSS back: 5000 net.
+        assert_eq!(core.tcb.cwnd, 5000);
+        let acts = drain(&core);
+        assert!(acts.iter().any(|a| a == "Loss(PartialAck)"), "{acts:?}");
+        assert!(
+            acts.iter().any(|a| a.starts_with("Send_Segment(seq=1100")),
+            "the next hole is retransmitted immediately: {acts:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_rearms_after_exit() {
+        let mut core = core_with_flight();
+        core.tcb.cwnd = 6000;
+        core.tcb.ssthresh = u32::MAX;
+        let now = VirtualTime::from_millis(10);
+        for _ in 0..5 {
+            duplicate_ack(&cfg(), &mut core, now); // well past three
+        }
+        process_ack(&cfg(), &mut core, Seq(3100), VirtualTime::from_millis(50));
+        assert_eq!(core.tcb.recover, None);
+        assert_eq!(core.tcb.dup_acks, 0, "exit resets the duplicate count");
+        // A second loss episode: new flight, three fresh duplicates must
+        // re-enter recovery (the old `== 3` trigger would never re-fire
+        // if the count passed three while the first episode was open).
+        core.tcb.send_buf.write(&[0xCC; 2000]);
+        for i in 0..2u32 {
+            core.tcb.resend_queue.push_back(SentSegment {
+                seq: Seq(3100 + i * 1000),
+                len: 1000,
+                syn: false,
+                fin: false,
+            });
+        }
+        core.tcb.snd_nxt = Seq(5100);
+        core.tcb.to_do.borrow_mut().clear();
+        for _ in 0..3 {
+            duplicate_ack(&cfg(), &mut core, now);
+        }
+        assert_eq!(core.tcb.recover, Some(Seq(5100)), "second episode entered");
+        let acts = drain(&core);
+        assert!(acts.iter().any(|a| a == "Loss(RecoveryEntered)"), "{acts:?}");
+    }
+
+    #[test]
+    fn rto_abandons_recovery() {
+        let mut core = core_with_flight();
+        core.tcb.cwnd = 6000;
+        core.tcb.ssthresh = u32::MAX;
+        let now = VirtualTime::from_millis(10);
+        for _ in 0..3 {
+            duplicate_ack(&cfg(), &mut core, now);
+        }
+        assert!(core.tcb.recover.is_some());
+        retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(2000));
+        assert_eq!(core.tcb.recover, None, "slow start owns the window after an RTO");
+        assert_eq!(core.tcb.cwnd, 1000);
+        let acts = drain(&core);
+        assert!(acts.iter().any(|a| a == "Loss(Rto)"), "{acts:?}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! given the peer's window, the congestion window, MSS, and Nagle's
 //! algorithm, and stages the segments.
 
-use crate::action::{TcpAction, TimerKind};
+use crate::action::{LossEvent, TcpAction, TimerKind};
 use crate::resend;
 use crate::tcb::SentSegment;
 use crate::{ConnCore, TcpConfig};
@@ -61,7 +61,7 @@ pub fn queue_syn<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, with_ack:
 pub fn maybe_send<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut ConnCore<P>, now: VirtualTime) {
     loop {
         let tcb = &core.tcb;
-        if core.tcb.fin_seq.map_or(false, |f| core.tcb.snd_nxt.gt(f)) {
+        if core.tcb.fin_seq.is_some_and(|f| core.tcb.snd_nxt.gt(f)) {
             return; // FIN already sent: sequence space exhausted
         }
         let unsent = tcb.unsent();
@@ -76,7 +76,7 @@ pub fn maybe_send<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut Conn
             // Nothing sendable. If data is stuck behind a closed window,
             // make sure the persist machinery is armed.
             if unsent > 0 && usable == 0 && core.tcb.flight_size() == 0 {
-                let probe_in = core.tcb.rtt.timeout().as_millis();
+                let probe_in = core.tcb.persist_timeout().as_millis();
                 core.tcb.push_action(TcpAction::SetTimer(TimerKind::Persist, probe_in));
             }
             return;
@@ -164,8 +164,14 @@ pub fn window_probe<P: Clone + PartialEq + Debug>(_cfg: &TcpConfig, core: &mut C
     core.tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload }));
     core.tcb.snd_nxt = seq + 1;
     resend::record_sent(&mut core.tcb, SentSegment { seq, len: 1, syn: false, fin: false }, now);
-    core.tcb.rtt.backoff = (core.tcb.rtt.backoff + 1).min(6);
-    let next = core.tcb.rtt.timeout().as_millis();
+    // Back off the *persist* exponent, not the RTT one: the peer will
+    // ACK the probe byte, and that ACK resets `rtt.backoff` in
+    // `process_ack` — which used to pin the probe interval at its base
+    // value forever. The persist exponent only resets when the window
+    // actually opens (`receive::update_send_window`).
+    core.tcb.persist_backoff = (core.tcb.persist_backoff + 1).min(6);
+    core.tcb.push_action(TcpAction::Loss(LossEvent::Probe));
+    let next = core.tcb.persist_timeout().as_millis();
     core.tcb.push_action(TcpAction::SetTimer(TimerKind::Persist, next));
 }
 
@@ -302,6 +308,57 @@ mod tests {
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].payload, b"p");
         assert_eq!(core.tcb.snd_nxt, Seq(101));
+    }
+
+    #[test]
+    fn persist_backoff_survives_probe_acks() {
+        // Regression: the probe interval used to ride on `rtt.backoff`,
+        // which the ACK of each probe byte resets — so probes re-fired
+        // at a constant interval forever. The persist exponent must keep
+        // growing across answered probes until the window opens.
+        let cfg = TcpConfig { nagle: false, ..TcpConfig::default() };
+        let mut core = estab_core(0);
+        user_send(&cfg, &mut core, &[7u8; 100], VirtualTime::ZERO);
+        core.tcb.to_do.borrow_mut().clear();
+        let mut intervals = Vec::new();
+        let mut now = VirtualTime::ZERO;
+        for _ in 0..4 {
+            window_probe(&cfg, &mut core, now);
+            // The peer ACKs the probe byte but still advertises zero.
+            let ack = core.tcb.snd_nxt;
+            crate::resend::process_ack(&cfg, &mut core, ack, now);
+            assert_eq!(core.tcb.rtt.backoff, 0, "the probe ACK resets the RTT backoff");
+            let acts: Vec<String> = core
+                .tcb
+                .to_do
+                .borrow_mut()
+                .drain_all()
+                .iter()
+                .map(|a| format!("{a:?}"))
+                .collect();
+            let ms: u64 = acts
+                .iter()
+                .filter_map(|a| a.strip_prefix("Set_Timer(Persist, "))
+                .map(|rest| rest.trim_end_matches("ms)").parse().unwrap())
+                .next_back()
+                .expect("probe re-arms the persist timer");
+            intervals.push(ms);
+            now += foxbasis::time::VirtualDuration::from_millis(ms);
+        }
+        assert_eq!(intervals, vec![2000, 4000, 8000, 16000], "intervals must double");
+    }
+
+    #[test]
+    fn window_opening_resets_persist_backoff() {
+        let cfg = TcpConfig { nagle: false, ..TcpConfig::default() };
+        let mut core = estab_core(0);
+        user_send(&cfg, &mut core, &[7u8; 100], VirtualTime::ZERO);
+        for _ in 0..3 {
+            window_probe(&cfg, &mut core, VirtualTime::from_millis(500));
+        }
+        assert_eq!(core.tcb.persist_backoff, 3);
+        core.tcb.persist_backoff = 0; // what receive::update_send_window does
+        assert_eq!(core.tcb.persist_timeout(), core.tcb.rtt.rto, "back to the base interval");
     }
 
     #[test]

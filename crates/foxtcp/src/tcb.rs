@@ -243,6 +243,16 @@ pub struct Tcb<P> {
     pub ssthresh: u32,
     /// Consecutive duplicate ACKs seen.
     pub dup_acks: u32,
+    /// Fast-recovery state (Reno/NewReno): when `Some`, the connection
+    /// is in fast recovery and the value is the recovery point —
+    /// `snd_nxt` at entry. An ACK covering it ends recovery; an ACK
+    /// below it is a partial ACK and retransmits the next hole.
+    pub recover: Option<Seq>,
+    /// Zero-window probe backoff exponent. Separate from
+    /// [`RttEstimator::backoff`] because every *answered* probe resets
+    /// the RTT backoff (the probe byte is new data being acked) while
+    /// the persist interval must keep growing until the window opens.
+    pub persist_backoff: u32,
 
     // --- delayed-ack bookkeeping ---
     /// True if an ACK is owed but deferred behind the ack timer.
@@ -293,10 +303,12 @@ impl<P> Tcb<P> {
             cwnd: 0,
             ssthresh: u32::MAX,
             dup_acks: 0,
+            recover: None,
+            persist_backoff: 0,
             ack_pending: false,
             bytes_since_ack: 0,
             segs_since_ack: 0,
-            last_adv_wnd: recv_buffer.max(1).min(65535) as u32,
+            last_adv_wnd: recv_buffer.clamp(1, 65535) as u32,
             to_do: Rc::new(RefCell::new(Fifo::new())),
         }
     }
@@ -317,6 +329,18 @@ impl<P> Tcb<P> {
     pub fn usable_window(&self) -> u32 {
         let wnd = if self.cwnd > 0 { self.snd_wnd.min(self.cwnd) } else { self.snd_wnd };
         wnd.saturating_sub(self.flight_size())
+    }
+
+    /// The interval to arm the persist (zero-window probe) timer with:
+    /// the current RTO scaled by the probe backoff, capped like the
+    /// retransmit timeout. Uses [`Tcb::persist_backoff`], not the RTT
+    /// backoff, so an answered probe (which resets the RTT backoff)
+    /// cannot stop the probe interval from growing.
+    pub fn persist_timeout(&self) -> VirtualDuration {
+        self.rtt
+            .rto
+            .saturating_mul(1u64 << self.persist_backoff.min(6))
+            .min(MAX_RTO)
     }
 
     /// Unsent bytes staged in the send buffer (the paper's `queued`).

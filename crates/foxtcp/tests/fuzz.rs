@@ -160,7 +160,7 @@ proptest! {
         core.state = states[state_ix].clone();
         if matches!(core.state, TcpState::FinWait1 { .. } | TcpState::Closing) {
             core.tcb.fin_seq = Some(core.tcb.snd_nxt);
-            core.tcb.snd_nxt = core.tcb.snd_nxt + 1;
+            core.tcb.snd_nxt += 1;
         }
         for (i, a) in segs.iter().enumerate() {
             let _ = receive::segment_arrives(&cfg, &mut core, to_segment(a), VirtualTime::from_millis(i as u64));
@@ -176,6 +176,81 @@ proptest! {
 // Whole-engine property: under an arbitrary drop pattern, a transfer
 // either completes with a byte-exact stream or makes no false delivery
 // — the received bytes are always a prefix of what was sent.
+//
+// The body lives in `stream_prefix_property` so the checked-in
+// regression case (see fuzz.proptest-regressions) can be replayed as an
+// explicit test below, independent of the fuzzer's seed decoding.
+fn stream_prefix_property(drop_mask: &[bool], payload_len: usize) {
+    let cfg = TcpConfig { nagle: false, delayed_ack_ms: None, ..TcpConfig::default() };
+    let link = LinkPair::new();
+    let mut a = Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), SchedHandle::new(), HostHandle::free());
+    let mut b = Tcp::new(link.endpoint(1), TestAux, (), cfg, SchedHandle::new(), HostHandle::free());
+
+    // Drop frames toward the server according to the mask, cycling.
+    let mask = drop_mask.to_vec();
+    let idx = Rc::new(RefCell::new(0usize));
+    let i2 = idx.clone();
+    link.set_filter_toward(1, Box::new(move |_| {
+        let mut i = i2.borrow_mut();
+        let keep = !mask[*i % mask.len()];
+        *i += 1;
+        keep
+    }));
+
+    let got = Rc::new(RefCell::new(Vec::new()));
+    b.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap();
+    let conn = a
+        .open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 0 }, Box::new(|_| {}))
+        .unwrap();
+    let payload: Vec<u8> = (0..payload_len as u32).map(|i| (i % 251) as u8).collect();
+
+    let mut now = VirtualTime::ZERO;
+    let mut sent = 0;
+    let mut adopted = false;
+    for _ in 0..4_000 {
+        now += VirtualDuration::from_millis(100);
+        if sent < payload.len() {
+            sent += a.send_data(conn, &payload[sent..]).unwrap_or(0);
+        }
+        a.step(now);
+        b.step(now);
+        if !adopted {
+            let g = got.clone();
+            adopted = b
+                .set_handler(
+                    TcpConnId(1),
+                    Box::new(move |ev| {
+                        if let TcpEvent::Data(d) = ev {
+                            g.borrow_mut().extend_from_slice(&d);
+                        }
+                    }),
+                )
+                .is_ok();
+        }
+        if got.borrow().len() >= payload.len() {
+            break;
+        }
+    }
+    let received = got.borrow().clone();
+    // The received stream must be an exact prefix — never reordered,
+    // never duplicated, never corrupted.
+    assert!(received.len() <= payload.len());
+    assert_eq!(&received[..], &payload[..received.len()]);
+    // Completion can only be demanded when the adversary's drop
+    // runs are short: a long run is indistinguishable from a dead
+    // link, where giving up (the user timeout) is the *correct*
+    // behavior. Bound the cyclic run length at 3.
+    let doubled: Vec<bool> = drop_mask.iter().chain(drop_mask.iter()).copied().collect();
+    let max_run = doubled
+        .split(|d| !*d)
+        .map(|run| run.len())
+        .max()
+        .unwrap_or(0);
+    if max_run <= 3 {
+        assert_eq!(received.len(), payload.len(), "transfer wedged (max drop run {max_run})");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -184,73 +259,21 @@ proptest! {
         drop_mask in proptest::collection::vec(any::<bool>(), 64),
         payload_len in 1usize..20_000,
     ) {
-        let cfg = TcpConfig { nagle: false, delayed_ack_ms: None, ..TcpConfig::default() };
-        let link = LinkPair::new();
-        let mut a = Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), SchedHandle::new(), HostHandle::free());
-        let mut b = Tcp::new(link.endpoint(1), TestAux, (), cfg, SchedHandle::new(), HostHandle::free());
-
-        // Drop frames toward the server according to the mask, cycling.
-        let mask = drop_mask.clone();
-        let idx = Rc::new(RefCell::new(0usize));
-        let i2 = idx.clone();
-        link.set_filter_toward(1, Box::new(move |_| {
-            let mut i = i2.borrow_mut();
-            let keep = !mask[*i % mask.len()];
-            *i += 1;
-            keep
-        }));
-
-        let got = Rc::new(RefCell::new(Vec::new()));
-        b.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap();
-        let conn = a
-            .open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 0 }, Box::new(|_| {}))
-            .unwrap();
-        let payload: Vec<u8> = (0..payload_len as u32).map(|i| (i % 251) as u8).collect();
-
-        let mut now = VirtualTime::ZERO;
-        let mut sent = 0;
-        let mut adopted = false;
-        for _ in 0..4_000 {
-            now = now + VirtualDuration::from_millis(100);
-            if sent < payload.len() {
-                sent += a.send_data(conn, &payload[sent..]).unwrap_or(0);
-            }
-            a.step(now);
-            b.step(now);
-            if !adopted {
-                let g = got.clone();
-                adopted = b
-                    .set_handler(
-                        TcpConnId(1),
-                        Box::new(move |ev| {
-                            if let TcpEvent::Data(d) = ev {
-                                g.borrow_mut().extend_from_slice(&d);
-                            }
-                        }),
-                    )
-                    .is_ok();
-            }
-            if got.borrow().len() >= payload.len() {
-                break;
-            }
-        }
-        let received = got.borrow().clone();
-        // The received stream must be an exact prefix — never reordered,
-        // never duplicated, never corrupted.
-        prop_assert!(received.len() <= payload.len());
-        prop_assert_eq!(&received[..], &payload[..received.len()]);
-        // Completion can only be demanded when the adversary's drop
-        // runs are short: a long run is indistinguishable from a dead
-        // link, where giving up (the user timeout) is the *correct*
-        // behavior. Bound the cyclic run length at 3.
-        let doubled: Vec<bool> = drop_mask.iter().chain(drop_mask.iter()).copied().collect();
-        let max_run = doubled
-            .split(|d| !*d)
-            .map(|run| run.len())
-            .max()
-            .unwrap_or(0);
-        if max_run <= 3 {
-            prop_assert_eq!(received.len(), payload.len(), "transfer wedged (max drop run {})", max_run);
-        }
+        stream_prefix_property(&drop_mask, payload_len);
     }
+}
+
+/// The checked-in shrunk counterexample from fuzz.proptest-regressions:
+/// two six-frame drop bursts (indices 5–10 and 14–19 of the cyclic
+/// mask) against an 8193-byte transfer. Before fast recovery handled
+/// partial ACKs, this pattern wedged the transfer into repeated
+/// timeouts past the driver's iteration budget. Replayed explicitly so
+/// the pin survives even if the fuzzer's seed format changes.
+#[test]
+fn regression_burst_drops_payload_8193() {
+    let mut drop_mask = vec![false; 64];
+    for i in (5..=10).chain(14..=19) {
+        drop_mask[i] = true;
+    }
+    stream_prefix_property(&drop_mask, 8193);
 }

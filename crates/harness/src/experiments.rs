@@ -4,11 +4,12 @@
 
 use crate::report::{f1, f2, Table};
 use crate::stack::StackKind;
+use crate::station::StationStats;
 use crate::workload::{bulk_transfer, ping_pong, BulkResult, PingResult};
 use foxbasis::profile::Account;
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxtcp::TcpConfig;
-use simnet::{CostModel, NetConfig, SimNet};
+use simnet::{CostModel, FaultConfig, NetConfig, NetStats, SimNet};
 
 /// The paper's benchmark configuration: 4096-byte window, immediate
 /// ACKs. (With a 4096-byte window — 2.8 MSS — holding ACKs back for
@@ -130,14 +131,14 @@ pub fn table2(seed: u64) -> Table2 {
     // The paper's "packet wait" is the time spent blocked in Mach
     // waiting for a packet; in the simulation that is exactly the
     // machine's idle time, so fold it into the charged account.
-    let idle_pct = |st: &Box<dyn crate::station::Station>| {
+    let idle_pct = |st: &dyn crate::station::Station| {
         st.host().with(|h| {
             let idle = bulk.elapsed.saturating_sub(h.total_busy());
             100.0 * idle.as_micros() as f64 / bulk.elapsed.as_micros().max(1) as f64
         })
     };
-    let sender_idle = idle_pct(&sender);
-    let receiver_idle = idle_pct(&receiver);
+    let sender_idle = idle_pct(&*sender);
+    let receiver_idle = idle_pct(&*receiver);
 
     let mut rows = Vec::new();
     let mut totals = (0.0, 0.0);
@@ -296,8 +297,8 @@ fn run_ablation(name: &str, cfg: TcpConfig, cost: fn() -> CostModel, bytes: usiz
 /// The design-choice ablations DESIGN.md §4 lists.
 pub fn ablations(bytes: usize, seed: u64) -> Vec<AblationRow> {
     let base = paper_tcp_config;
-    let mut rows = Vec::new();
-    rows.push(run_ablation("baseline (paper config)", base(), CostModel::decstation_sml, bytes, seed));
+    let mut rows =
+        vec![run_ablation("baseline (paper config)", base(), CostModel::decstation_sml, bytes, seed)];
     rows.push(run_ablation(
         "fast path off",
         TcpConfig { fast_path: false, ..base() },
@@ -461,6 +462,122 @@ pub fn render_interop_matrix(rows: &[(String, f64)]) -> Table {
     );
     for (name, mbps) in rows {
         tab.row(&[name.clone(), f2(*mbps)]);
+    }
+    tab
+}
+
+/// One cell of the deterministic fault matrix.
+#[derive(Clone, Debug)]
+pub struct LossCell {
+    /// Fault profile name.
+    pub profile: &'static str,
+    /// Implementation name.
+    pub stack: &'static str,
+    /// Throughput, Mb/s.
+    pub throughput_mbps: f64,
+    /// Sender retransmissions (all causes).
+    pub retransmits: u64,
+    /// Sender fast retransmissions.
+    pub fast_retransmits: u64,
+    /// Fast-recovery episodes on the sender.
+    pub recoveries: u64,
+    /// Retransmission-timer retransmits on the sender.
+    pub rto_fires: u64,
+}
+
+/// The fault profiles of the loss matrix: one fault class per row, each
+/// strong enough to provoke recovery but survivable by both stacks.
+pub fn loss_matrix_profiles() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        ("drop 5%", FaultConfig { drop_chance: 0.05, ..FaultConfig::default() }),
+        // Gilbert–Elliott: mean burst of 3 frames dropping 90%, entered
+        // once per ~50 frames — short clustered losses that take out part
+        // of a window, the regime fast recovery (and its NewReno
+        // partial-ACK path) exists for. Longer bursts kill whole windows
+        // and degenerate into pure RTO grind.
+        ("burst (GE)", FaultConfig::bursty(1.0 / 50.0, 1.0 / 3.0, 0.9)),
+        ("corrupt 3%", FaultConfig { corrupt_chance: 0.03, ..FaultConfig::default() }),
+        ("duplicate 5%", FaultConfig { duplicate_chance: 0.05, ..FaultConfig::default() }),
+        (
+            "reorder (1 ms jitter)",
+            FaultConfig { jitter: VirtualDuration::from_millis(1), ..FaultConfig::default() },
+        ),
+    ]
+}
+
+/// A window wide enough (≥ 11 MSS) that three duplicate ACKs can
+/// actually accumulate behind a hole; the paper's 4096-byte window is
+/// under three segments and would mask fast retransmit entirely.
+fn loss_matrix_config() -> TcpConfig {
+    TcpConfig {
+        initial_window: 16384,
+        send_buffer: 32768,
+        delayed_ack_ms: None,
+        ..TcpConfig::default()
+    }
+}
+
+/// Everything observable about one cell run, for exact-equality
+/// comparison of same-seed reruns.
+fn loss_cell_run(
+    kind: StackKind,
+    faults: &FaultConfig,
+    bytes: usize,
+    seed: u64,
+) -> (usize, f64, VirtualDuration, StationStats, StationStats, NetStats) {
+    let netcfg = NetConfig { faults: faults.clone(), ..NetConfig::default() };
+    let net = SimNet::new(netcfg, seed);
+    let mut s = kind.build(&net, 1, 2, CostModel::modern(), false, loss_matrix_config());
+    let mut r = kind.build(&net, 2, 1, CostModel::modern(), false, loss_matrix_config());
+    // A finite deadline (ten virtual minutes): a wedged cell must fail
+    // the delivery assert, not grind the harness forever.
+    let res = bulk_transfer(&net, &mut s, &mut r, bytes, VirtualTime::from_millis(600_000));
+    (res.bytes, res.throughput_mbps, res.elapsed, res.sender, res.receiver, net.stats())
+}
+
+/// The loss matrix: {drop, burst, corrupt, duplicate, reorder} × {Fox
+/// Net, x-kernel} on fixed seeds. Every cell must deliver every byte,
+/// and every cell is run twice to assert that identical seeds give
+/// bit-identical outcomes — the paper's determinism claim extended to
+/// the fault harness itself.
+pub fn loss_matrix(bytes: usize, seed: u64) -> Vec<LossCell> {
+    let mut cells = Vec::new();
+    for (profile, faults) in loss_matrix_profiles() {
+        for kind in [StackKind::FoxStandard, StackKind::XKernel] {
+            let a = loss_cell_run(kind, &faults, bytes, seed);
+            let b = loss_cell_run(kind, &faults, bytes, seed);
+            assert_eq!(a, b, "{profile}/{}: same seed must replay bit-identically", kind.name());
+            assert_eq!(a.0, bytes, "{profile}/{}: transfer must complete", kind.name());
+            cells.push(LossCell {
+                profile,
+                stack: kind.name(),
+                throughput_mbps: a.1,
+                retransmits: a.3.retransmits,
+                fast_retransmits: a.3.fast_retransmits,
+                recoveries: a.3.recoveries,
+                rto_fires: a.3.rto_fires,
+            });
+        }
+    }
+    cells
+}
+
+/// Renders the loss matrix.
+pub fn render_loss_matrix(cells: &[LossCell]) -> Table {
+    let mut tab = Table::new(
+        "Loss matrix (every cell delivered all bytes; identical seeds replay bit-identically)",
+        &["profile", "stack", "Mb/s", "retx", "fast retx", "recoveries", "RTO"],
+    );
+    for c in cells {
+        tab.row(&[
+            c.profile.into(),
+            c.stack.into(),
+            f2(c.throughput_mbps),
+            c.retransmits.to_string(),
+            c.fast_retransmits.to_string(),
+            c.recoveries.to_string(),
+            c.rto_fires.to_string(),
+        ]);
     }
     tab
 }

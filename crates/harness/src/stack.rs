@@ -303,6 +303,10 @@ where
             bytes_sent: s.bytes_sent,
             fastpath_hits: s.fastpath_hits,
             checksum_failures: s.checksum_failures,
+            fast_retransmits: s.fast_retransmits,
+            recoveries: s.recoveries,
+            rto_fires: s.rto_fires,
+            probe_fires: s.probe_fires,
         }
     }
 }
@@ -432,6 +436,7 @@ where
             bytes_sent: s.bytes_sent,
             fastpath_hits: 0,
             checksum_failures: s.checksum_failures,
+            ..StationStats::default()
         }
     }
 

@@ -22,6 +22,16 @@ pub struct StationStats {
     pub fastpath_hits: u64,
     /// Checksum failures.
     pub checksum_failures: u64,
+    /// Fast retransmissions (zero for the baseline, which has no fast
+    /// retransmit).
+    pub fast_retransmits: u64,
+    /// Fast-recovery episodes entered (zero for the baseline).
+    pub recoveries: u64,
+    /// Retransmission-timer fires that retransmitted (zero for the
+    /// baseline, which does not separate them from `retransmits`).
+    pub rto_fires: u64,
+    /// Zero-window probes sent (zero for the baseline).
+    pub probe_fires: u64,
 }
 
 /// One host's TCP endpoint, as the workloads see it.

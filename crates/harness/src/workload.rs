@@ -112,7 +112,7 @@ pub fn bulk_transfer(
 
     let elapsed = end.saturating_since(t0);
     let secs = elapsed.as_secs_f64().max(1e-9);
-    let profile = |s: &Box<dyn Station>| {
+    let profile = |s: &dyn Station| {
         s.host().with(|h| {
             if h.profiler().is_enabled() {
                 h.profiler().percentages(elapsed)
@@ -121,8 +121,8 @@ pub fn bulk_transfer(
             }
         })
     };
-    let sender_profile = profile(sender);
-    let receiver_profile = profile(receiver);
+    let sender_profile = profile(&**sender);
+    let receiver_profile = profile(&**receiver);
     let sender_gc = sender.host().with(|h| h.gc_stats().cloned());
 
     BulkResult {

@@ -141,12 +141,9 @@ impl<L: Protocol<Pattern = IpProtocol, Peer = Ipv4Addr, Incoming = IpIncoming>> 
                     self.stats.requests_answered += 1;
                 }
             } else {
-                match self.sessions.iter_mut().find(|s| s.ident == echo.ident) {
-                    Some(sess) => {
-                        self.stats.replies_delivered += 1;
-                        (sess.handler)(EchoReply { from: msg.src, seq: echo.seq, payload: echo.payload });
-                    }
-                    None => {}
+                if let Some(sess) = self.sessions.iter_mut().find(|s| s.ident == echo.ident) {
+                    self.stats.replies_delivered += 1;
+                    (sess.handler)(EchoReply { from: msg.src, seq: echo.seq, payload: echo.payload });
                 }
             }
         }

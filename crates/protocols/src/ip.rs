@@ -117,8 +117,8 @@ impl Reassembly {
         let total = self.total?;
         let mut have = vec![false; total];
         for (o, d) in &self.chunks {
-            for i in *o..(*o + d.len()).min(total) {
-                have[i] = true;
+            for h in &mut have[*o..(*o + d.len()).min(total)] {
+                *h = true;
             }
         }
         if !have.iter().all(|&b| b) {

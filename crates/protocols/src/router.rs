@@ -215,12 +215,14 @@ mod tests {
     use crate::ip::{Ip, IpConfig, IpIncoming};
     use foxwire::ipv4::IpProtocol;
 
+    type HostStation = (Ip<Eth<Dev>>, crate::ip::IpConn, Rc<RefCell<Vec<IpIncoming>>>);
+
     fn host_station(
         net: &SimNet,
         mac_id: u8,
         addr: Ipv4Addr,
         gateway: Ipv4Addr,
-    ) -> (Ip<Eth<Dev>>, crate::ip::IpConn, Rc<RefCell<Vec<IpIncoming>>>) {
+    ) -> HostStation {
         let host = HostHandle::free();
         let mac = EthAddr::host(mac_id);
         let eth = Eth::new(Dev::new(net.attach(mac), host.clone()), mac, host.clone());
@@ -242,7 +244,7 @@ mod tests {
             let now = nets.iter().map(|n| n.now()).max().unwrap();
             for n in nets {
                 if let Some(t) = n.next_delivery() {
-                    if t <= now || progress == false {
+                    if t <= now || !progress {
                         n.advance_to(t.max(n.now()));
                         progress = true;
                     }

@@ -311,7 +311,7 @@ mod tests {
         let _ = got_a;
         a.send(sock_a, (Ipv4Addr::new(10, 0, 0, 2), 7), b"ping".to_vec()).unwrap();
         settle(&net, &mut [&mut a, &mut b]);
-        let src = got_b.borrow()[0].src.clone();
+        let src = got_b.borrow()[0].src;
         // Echo back to wherever it came from — but to a's bound port.
         let sock_b = b.open(7000, Box::new(|_| {})).unwrap();
         b.send(sock_b, (src.0, 5001), b"pong".to_vec()).unwrap();

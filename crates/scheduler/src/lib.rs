@@ -238,7 +238,7 @@ impl Scheduler {
             self.now = self.now.max(deadline);
             // Wake every sleeper due at this instant before running, so
             // same-deadline sleepers run FIFO even if one forks.
-            while self.next_deadline().map_or(false, |d| d <= self.now) {
+            while self.next_deadline().is_some_and(|d| d <= self.now) {
                 let sleeper = self.sleeping.pop().expect("deadline peeked");
                 self.stats.wakeups += 1;
                 self.ready.add(sleeper.task);

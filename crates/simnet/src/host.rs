@@ -247,7 +247,7 @@ impl Host {
         if self.episode_start.is_some() {
             self.episode_accum += total;
         } else {
-            self.cpu_free_at = self.cpu_free_at + total;
+            self.cpu_free_at += total;
         }
     }
 

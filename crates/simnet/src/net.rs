@@ -62,12 +62,34 @@ pub struct FaultConfig {
     /// Maximum extra, random, per-frame delivery delay (causes
     /// reordering when nonzero).
     pub jitter: VirtualDuration,
+    /// Gilbert–Elliott burst loss, good→bad transition: chance per
+    /// frame of entering the bursty state. Zero disables the chain.
+    pub burst_enter_chance: f64,
+    /// Gilbert–Elliott bad→good transition: chance per frame of
+    /// leaving the bursty state (so the mean burst length in frames is
+    /// `1 / burst_exit_chance`).
+    pub burst_exit_chance: f64,
+    /// Drop chance while in the bursty state; the good state drops with
+    /// the independent `drop_chance`.
+    pub burst_loss_chance: f64,
 }
 
 impl FaultConfig {
     /// A lossy profile: `p` chance each of drop and corruption.
     pub fn lossy(p: f64) -> FaultConfig {
         FaultConfig { drop_chance: p, corrupt_chance: p, ..FaultConfig::default() }
+    }
+
+    /// A Gilbert–Elliott burst-loss profile: enter the bad state with
+    /// chance `enter` per frame, leave it with chance `exit`, and drop
+    /// each frame seen in the bad state with chance `loss`.
+    pub fn bursty(enter: f64, exit: f64, loss: f64) -> FaultConfig {
+        FaultConfig {
+            burst_enter_chance: enter,
+            burst_exit_chance: exit,
+            burst_loss_chance: loss,
+            ..FaultConfig::default()
+        }
     }
 }
 
@@ -134,6 +156,9 @@ struct NetCore {
     rng: StdRng,
     stats: NetStats,
     capture: Option<PcapSink>,
+    /// Gilbert–Elliott channel state: `true` while in the bursty (bad)
+    /// state. The chain advances one step per transmitted frame.
+    burst_bad: bool,
 }
 
 impl NetCore {
@@ -150,16 +175,30 @@ impl NetCore {
         self.medium_free_at = end;
 
         // Medium-level faults: one roll per frame, shared by all
-        // receivers (it is one wire).
-        if self.rng.gen_bool(self.config.faults.drop_chance) {
+        // receivers (it is one wire). The Gilbert–Elliott chain steps
+        // first; in the bad state the burst loss chance replaces the
+        // independent one.
+        if self.burst_bad {
+            if self.rng.gen_bool(self.config.faults.burst_exit_chance) {
+                self.burst_bad = false;
+            }
+        } else if self.rng.gen_bool(self.config.faults.burst_enter_chance) {
+            self.burst_bad = true;
+        }
+        let drop_p = if self.burst_bad {
+            self.config.faults.burst_loss_chance
+        } else {
+            self.config.faults.drop_chance
+        };
+        if self.rng.gen_bool(drop_p) {
             self.stats.frames_dropped_fault += 1;
             return;
         }
         let mut frame = frame;
         if self.rng.gen_bool(self.config.faults.corrupt_chance) && !frame.is_empty() {
             let at = self.rng.gen_range(0..frame.len());
-            let bit = self.rng.gen_range(0..8);
-            frame[at] ^= 1 << bit;
+            let bit = self.rng.gen_range(0u32..8);
+            frame[at] ^= 1u8 << bit;
             self.stats.frames_corrupted += 1;
         }
         // Record what actually went on the wire (post-corruption), like
@@ -188,7 +227,7 @@ impl NetCore {
                 let matches = p.promiscuous
                     || dst == Some(p.addr)
                     || dst == Some(EthAddr::BROADCAST)
-                    || dst.map_or(false, |d| d.is_multicast());
+                    || dst.is_some_and(|d| d.is_multicast());
                 if matches {
                     let seq = self.next_seq;
                     self.next_seq += 1;
@@ -249,6 +288,7 @@ impl SimNet {
                 rng: StdRng::seed_from_u64(seed),
                 stats: NetStats::default(),
                 capture: None,
+                burst_bad: false,
             })),
         }
     }
@@ -454,8 +494,7 @@ mod tests {
 
     #[test]
     fn rx_queue_overflow_drops_and_counts() {
-        let mut cfg = NetConfig::default();
-        cfg.rx_capacity = 200; // tiny "Mach buffer"
+        let cfg = NetConfig { rx_capacity: 200, ..NetConfig::default() }; // tiny "Mach buffer"
         let net = SimNet::new(cfg, 1);
         let a = net.attach(EthAddr::host(1));
         let b = net.attach(EthAddr::host(2));
@@ -472,8 +511,7 @@ mod tests {
 
     #[test]
     fn draining_rx_frees_capacity() {
-        let mut cfg = NetConfig::default();
-        cfg.rx_capacity = 130;
+        let cfg = NetConfig { rx_capacity: 130, ..NetConfig::default() };
         let net = SimNet::new(cfg, 1);
         let a = net.attach(EthAddr::host(1));
         let b = net.attach(EthAddr::host(2));
@@ -527,11 +565,90 @@ mod tests {
     }
 
     #[test]
+    fn burst_loss_clusters_drops() {
+        // Pinned chain: once entered, the bad state drops everything
+        // until exit. enter=1 ⇒ the first frame already steps into the
+        // bad state; exit=0 ⇒ it never leaves.
+        let cfg = NetConfig { faults: FaultConfig::bursty(1.0, 0.0, 1.0), ..NetConfig::default() };
+        let net = SimNet::new(cfg, 3);
+        let a = net.attach(EthAddr::host(1));
+        let b = net.attach(EthAddr::host(2));
+        for _ in 0..10 {
+            a.send(frame_to(EthAddr::host(2), EthAddr::host(1), 64));
+        }
+        net.advance_to(VirtualTime::from_millis(100));
+        assert_eq!(net.stats().frames_dropped_fault, 10, "all frames fall in the burst");
+        assert!(!b.has_rx());
+    }
+
+    #[test]
+    fn burst_loss_spares_good_state() {
+        // enter=0 ⇒ the chain never leaves the good state; the burst
+        // loss chance must then be irrelevant.
+        let cfg = NetConfig { faults: FaultConfig::bursty(0.0, 0.5, 1.0), ..NetConfig::default() };
+        let net = SimNet::new(cfg, 3);
+        let a = net.attach(EthAddr::host(1));
+        let b = net.attach(EthAddr::host(2));
+        for _ in 0..10 {
+            a.send(frame_to(EthAddr::host(2), EthAddr::host(1), 64));
+        }
+        net.advance_to(VirtualTime::from_millis(100));
+        assert_eq!(net.stats().frames_dropped_fault, 0);
+        let mut got = 0;
+        while b.recv().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 10);
+    }
+
+    #[test]
+    fn burst_runs_are_longer_than_independent_runs() {
+        // With the same long-run loss rate (~25%), the Gilbert–Elliott
+        // chain must produce a longer maximum run of consecutive drops
+        // than independent losses do. Drop/delivery order is recovered
+        // from the per-frame fate: one frame per advance, checked right
+        // after.
+        let run_lengths = |faults: FaultConfig| {
+            let cfg = NetConfig { faults, ..NetConfig::default() };
+            let net = SimNet::new(cfg, 11);
+            let a = net.attach(EthAddr::host(1));
+            let b = net.attach(EthAddr::host(2));
+            let mut max_run = 0u32;
+            let mut run = 0u32;
+            let mut t = VirtualTime::ZERO;
+            for _ in 0..400 {
+                a.send(frame_to(EthAddr::host(2), EthAddr::host(1), 64));
+                t += VirtualDuration::from_millis(1);
+                net.advance_to(t);
+                if b.recv().is_some() {
+                    run = 0;
+                } else {
+                    run += 1;
+                    max_run = max_run.max(run);
+                }
+            }
+            max_run
+        };
+        // Stationary loss of bursty(1/30, 1/10, 1.0): bad-state share
+        // = enter/(enter+exit) = 0.25, dropping everything while bad.
+        let bursty = run_lengths(FaultConfig::bursty(1.0 / 30.0, 0.1, 1.0));
+        let independent = run_lengths(FaultConfig { drop_chance: 0.25, ..FaultConfig::default() });
+        assert!(
+            bursty > independent,
+            "burst max run {bursty} should exceed independent max run {independent}"
+        );
+    }
+
+    #[test]
     fn determinism_same_seed_same_outcome() {
         let run = |seed| {
-            let mut cfg = NetConfig::default();
-            cfg.faults = FaultConfig::lossy(0.3);
-            cfg.faults.jitter = VirtualDuration::from_micros(500);
+            let cfg = NetConfig {
+                faults: FaultConfig {
+                    jitter: VirtualDuration::from_micros(500),
+                    ..FaultConfig::lossy(0.3)
+                },
+                ..NetConfig::default()
+            };
             let net = SimNet::new(cfg, seed);
             let a = net.attach(EthAddr::host(1));
             let b = net.attach(EthAddr::host(2));

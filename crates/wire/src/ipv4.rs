@@ -170,7 +170,7 @@ impl Ipv4Packet {
     /// total length exceeds 65535.
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let h = &self.header;
-        if h.options.len() % 4 != 0 || h.options.len() > 40 {
+        if !h.options.len().is_multiple_of(4) || h.options.len() > 40 {
             return Err(WireError::Malformed("ipv4 options length"));
         }
         let total_len = h.header_len() + self.payload.len();

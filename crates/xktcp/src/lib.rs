@@ -477,7 +477,7 @@ where
                 ) {
                     return;
                 }
-                if s.fin_seq.map_or(false, |f| s.snd_nxt.gt(f)) {
+                if s.fin_seq.is_some_and(|f| s.snd_nxt.gt(f)) {
                     return;
                 }
                 let unsent = (s.send_buf.len() as u32).saturating_sub(s.flight());
@@ -540,12 +540,12 @@ where
         let mut progress = false;
         for i in 0..self.socks.len() {
             // Delayed ACK flush.
-            if self.socks[i].ack_deadline.map_or(false, |t| t <= self.now) && self.socks[i].ack_owed {
+            if self.socks[i].ack_deadline.is_some_and(|t| t <= self.now) && self.socks[i].ack_owed {
                 progress = true;
                 self.send_ack(i);
             }
             // TIME-WAIT expiry.
-            if self.socks[i].time_wait_at.map_or(false, |t| t <= self.now)
+            if self.socks[i].time_wait_at.is_some_and(|t| t <= self.now)
                 && self.socks[i].state == XkState::TimeWait
             {
                 progress = true;
@@ -554,12 +554,12 @@ where
                 self.socks[i].push_event(XkEvent::Closed);
             }
             // Retransmission.
-            if self.socks[i].retransmit_at.map_or(false, |t| t <= self.now) {
+            if self.socks[i].retransmit_at.is_some_and(|t| t <= self.now) {
                 progress = true;
                 self.retransmit(i);
             }
             // Zero-window probe.
-            if self.socks[i].probe_at.map_or(false, |t| t <= self.now) {
+            if self.socks[i].probe_at.is_some_and(|t| t <= self.now) {
                 progress = true;
                 self.window_probe(i);
             }
@@ -652,7 +652,7 @@ where
                     let infl = s.flight();
                     let fin_at_front = s.fin_seq == Some(una);
                     let data = infl
-                        .saturating_sub(u32::from(s.fin_seq.map_or(false, |f| f.lt(s.snd_nxt))))
+                        .saturating_sub(u32::from(s.fin_seq.is_some_and(|f| f.lt(s.snd_nxt))))
                         .min(s.mss);
                     let mut payload = vec![0u8; data as usize];
                     let got = s.send_buf.peek_at(0, &mut payload);
@@ -694,7 +694,7 @@ where
         // Demux.
         let exact = self.socks.iter().position(|s| {
             s.local_port == h.dst_port
-                && s.remote.as_ref().map_or(false, |(a, p)| A::eq(a, &src) && *p == h.src_port)
+                && s.remote.as_ref().is_some_and(|(a, p)| A::eq(a, &src) && *p == h.src_port)
                 && s.state != XkState::Closed
         });
         let i = match exact {
@@ -842,7 +842,7 @@ where
             let s = &mut self.socks[i];
             let mut acked = h.ack.since(s.snd_una);
             // SYN/FIN octets occupy no buffer bytes.
-            if s.fin_seq.map_or(false, |f| f.lt(h.ack)) {
+            if s.fin_seq.is_some_and(|f| f.lt(h.ack)) {
                 acked = acked.saturating_sub(1);
             }
             s.send_buf.skip(acked as usize);
@@ -890,7 +890,7 @@ where
             }
         }
         // Closing-state ACK transitions.
-        let fin_acked = self.socks[i].fin_seq.map_or(false, |f| (f + 1).le(self.socks[i].snd_una));
+        let fin_acked = self.socks[i].fin_seq.is_some_and(|f| (f + 1).le(self.socks[i].snd_una));
         match self.socks[i].state {
             XkState::FinWait1 if fin_acked => self.socks[i].state = XkState::FinWait2,
             XkState::Closing if fin_acked => {
@@ -952,7 +952,7 @@ where
         if consumed_fin {
             self.send_ack(i);
             self.socks[i].push_event(XkEvent::PeerClosed);
-            let fin_acked = self.socks[i].fin_seq.map_or(false, |f| (f + 1).le(self.socks[i].snd_una));
+            let fin_acked = self.socks[i].fin_seq.is_some_and(|f| (f + 1).le(self.socks[i].snd_una));
             let tw = self.now + VirtualDuration::from_millis(self.cfg.time_wait_ms);
             match self.socks[i].state {
                 XkState::Established | XkState::SynReceived => self.socks[i].state = XkState::CloseWait,
@@ -1110,7 +1110,7 @@ mod tests {
         let n2 = n.clone();
         link.set_filter_toward(1, Box::new(move |_| {
             *n2.borrow_mut() += 1;
-            *n2.borrow() % 4 != 0
+            !(*n2.borrow()).is_multiple_of(4)
         }));
         let payload = vec![0xabu8; 20_000];
         let mut sent = 0;
@@ -1155,7 +1155,7 @@ mod tests {
         let client = a.connect(1, 80, 0).unwrap();
         let mut now = VirtualTime::ZERO;
         for _ in 0..300 {
-            now = now + VirtualDuration::from_millis(1000);
+            now += VirtualDuration::from_millis(1000);
             a.step(now);
             b.step(now);
             if a.poll_event(client) == Some(XkEvent::TimedOut) {
@@ -1226,7 +1226,7 @@ mod persist_tests {
         // window update, and the transfer must finish.
         let mut got = 0usize;
         for _ in 0..200 {
-            now = now + VirtualDuration::from_millis(500);
+            now += VirtualDuration::from_millis(500);
             a.step(now);
             b.step(now);
             loop {

@@ -52,6 +52,7 @@ fn main() {
             corrupt_chance: 0.03,
             duplicate_chance: 0.03,
             jitter: VirtualDuration::from_millis(1),
+            ..FaultConfig::default()
         },
     );
     println!();

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example routed`
 
-use foxbasis::time::{VirtualDuration, VirtualTime};
+use foxbasis::time::VirtualDuration;
 use foxproto::aux::IpAuxImpl;
 use foxproto::dev::Dev;
 use foxproto::eth::Eth;
@@ -65,7 +65,7 @@ fn main() {
         )
         .unwrap();
 
-    let mut drive = |client: &mut Stack, server: &mut Stack, router: &mut Router, ms: u64| {
+    let drive = |client: &mut Stack, server: &mut Stack, router: &mut Router, ms: u64| {
         let mut now = net1.now().max(net2.now());
         let end = now + VirtualDuration::from_millis(ms);
         while now < end {

@@ -67,7 +67,7 @@ fn tcp_session_through_the_router() {
         .unwrap();
 
     // Drive both segments and all three boxes on one logical clock.
-    let mut drive = |client: &mut Stack, server: &mut Stack, router: &mut Router, until_ms: u64| {
+    let drive = |client: &mut Stack, server: &mut Stack, router: &mut Router, until_ms: u64| {
         let mut now = net1.now().max(net2.now());
         let end = VirtualTime::from_millis(until_ms);
         while now < end {

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supplies the API shape the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, `Throughput`, and
+//! the `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! calibrated-loop timer instead of criterion's statistical machinery.
+//! Each benchmark reports a mean per-iteration time (and throughput when
+//! configured); there are no plots, baselines, or outlier analysis.
+
+// Vendored stand-in: exempt from the workspace lint bar.
+#![allow(clippy::all)]
+
+#![deny(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Throughput configuration for a benchmark group.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Something usable as a benchmark id: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+pub struct Bencher {
+    /// Mean per-iteration time measured by the last `iter` call.
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up and calibrating an iteration
+    /// count so the measured window is long enough to be stable.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration: find how many iterations fit ~20 ms.
+        let mut n: u64 = 1;
+        let per = loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(20) || n >= 1 << 30 {
+                break dt / (n as u32).max(1);
+            }
+            n = n.saturating_mul(4);
+        };
+        // Measurement: three windows at the calibrated count, keep the best.
+        let mut best = per;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed() / (n as u32).max(1);
+            if dt < best {
+                best = dt;
+            }
+        }
+        self.per_iter = best;
+    }
+}
+
+fn report(id: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    let mut line = format!("{id:<48} {:>12.3?}/iter", per_iter);
+    if let Some(t) = throughput {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Bytes(b) => {
+                let _ = write!(line, "  {:>10.1} MiB/s", b as f64 / secs / (1024.0 * 1024.0));
+            }
+            Throughput::Elements(e) => {
+                let _ = write!(line, "  {:>10.1} Melem/s", e as f64 / secs / 1e6);
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for reporting rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the
+    /// stand-in sizes its own measurement windows).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { per_iter: Duration::ZERO };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into_id()), b.per_iter, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { per_iter: Duration::ZERO };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _parent: self }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { per_iter: Duration::ZERO };
+        f(&mut b);
+        report(&id.into_id(), b.per_iter, None);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { per_iter: Duration::ZERO };
+        f(&mut b, input);
+        report(&id.id, b.per_iter, None);
+        self
+    }
+}
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, as upstream does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

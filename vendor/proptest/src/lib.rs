@@ -1,0 +1,455 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest this workspace uses: the
+//! `proptest!` macro, `ProptestConfig::with_cases`, `any::<T>()`,
+//! integer-range / tuple / `collection::vec` / `option::of` strategies,
+//! `prop_map`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, on purpose:
+//! * Generation is **deterministic**: the case RNG is seeded from the
+//!   test's module path and name plus the case index, so every run of
+//!   the suite explores the same inputs. A failure therefore reproduces
+//!   by just re-running the test.
+//! * There is **no shrinking**; a failing case panics with the values
+//!   printed by the test's own assert message.
+//! * `proptest-regressions` files are not consumed (the seed format is
+//!   upstream-internal). Known regressions should be pinned as explicit
+//!   `#[test]`s replaying the recorded values — see
+//!   `crates/foxtcp/tests/fuzz.rs` for the pattern.
+
+// Vendored stand-in: exempt from the workspace lint bar.
+#![allow(clippy::all)]
+
+#![deny(unsafe_code)]
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// The subset of upstream's `ProptestConfig` the workspace uses.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-case generator (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from an explicit seed.
+        pub fn from_seed(state: u64) -> Self {
+            TestRng { state }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Stable seed for `(test name, case index)`: FNV-1a over the name,
+    /// mixed with the index.
+    pub fn seed_for(test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^ ((case as u64).wrapping_mul(0x2545_f491_4f6c_dd1d))
+    }
+}
+
+/// Strategies: how values are generated.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// The strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    sample_int(self.start as i128, self.end as i128 - 1, rng) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    sample_int(*self.start() as i128, *self.end() as i128, rng) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    fn sample_int(lo: i128, hi: i128, rng: &mut TestRng) -> i128 {
+        let span = (hi - lo) as u128 + 1;
+        lo + ((rng.next_u64() as u128) % span) as i128
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+}
+
+/// `any::<T>()` and friends.
+pub mod arbitrary {
+    use crate::strategy::{Any, Arbitrary};
+    use core::marker::PhantomData;
+
+    /// A strategy generating unconstrained values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A length specification for [`vec`]: an exact length or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates a `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Upstream defaults to 3:1 in favour of Some.
+            if rng.next_u64() % 4 != 0 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Generates `Some` of the inner strategy's value, or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// The property-test macro: runs each body `config.cases` times with
+/// freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal item muncher for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $crate::__proptest_fn! { ($cfg) [$(#[$meta])*] $name [] ($($params)*) $body }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal parameter muncher: normalizes both `pat in strategy` and
+/// `ident: Type` (sugar for `any::<Type>()`) parameter forms into
+/// `(pattern, strategy)` pairs, then emits the test fn. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fn {
+    // All parameters consumed: emit the test function.
+    (($cfg:expr) [$($meta:tt)*] $name:ident
+     [$(($arg:pat, $strat:expr))+] () $body:block) => {
+        $($meta)*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __strats = ($($strat,)+);
+            for __case in 0..__cfg.cases {
+                let __seed = $crate::test_runner::seed_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strats, &mut __rng);
+                $body
+            }
+        }
+    };
+    // `pat in strategy`, followed by more parameters.
+    (($cfg:expr) [$($meta:tt)*] $name:ident [$($acc:tt)*]
+     ($arg:pat in $strat:expr, $($more:tt)*) $body:block) => {
+        $crate::__proptest_fn! {
+            ($cfg) [$($meta)*] $name [$($acc)* ($arg, $strat)] ($($more)*) $body
+        }
+    };
+    // `pat in strategy`, last parameter.
+    (($cfg:expr) [$($meta:tt)*] $name:ident [$($acc:tt)*]
+     ($arg:pat in $strat:expr) $body:block) => {
+        $crate::__proptest_fn! {
+            ($cfg) [$($meta)*] $name [$($acc)* ($arg, $strat)] () $body
+        }
+    };
+    // `ident: Type`, followed by more parameters.
+    (($cfg:expr) [$($meta:tt)*] $name:ident [$($acc:tt)*]
+     ($arg:ident : $ty:ty, $($more:tt)*) $body:block) => {
+        $crate::__proptest_fn! {
+            ($cfg) [$($meta)*] $name
+            [$($acc)* ($arg, $crate::arbitrary::any::<$ty>())] ($($more)*) $body
+        }
+    };
+    // `ident: Type`, last parameter.
+    (($cfg:expr) [$($meta:tt)*] $name:ident [$($acc:tt)*]
+     ($arg:ident : $ty:ty) $body:block) => {
+        $crate::__proptest_fn! {
+            ($cfg) [$($meta)*] $name
+            [$($acc)* ($arg, $crate::arbitrary::any::<$ty>())] () $body
+        }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_and_tuples(a in 0u8..10, b in -5i64..5, v in crate::collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn prop_map_applies(x in (0u32..100, 0u32..100).prop_map(|(a, b)| a + b)) {
+            prop_assert!(x < 199);
+        }
+
+        #[test]
+        fn option_of_mixes(m in crate::option::of(1u16..10)) {
+            if let Some(v) = m {
+                prop_assert!((1..10).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(any::<u32>(), 0..16);
+        let seed = crate::test_runner::seed_for("x", 3);
+        let a = strat.generate(&mut crate::test_runner::TestRng::from_seed(seed));
+        let b = strat.generate(&mut crate::test_runner::TestRng::from_seed(seed));
+        assert_eq!(a, b);
+    }
+}
