@@ -3,12 +3,16 @@
 #
 #   ./ci.sh
 #
-# Three stages, all must pass:
-#   1. release build of every crate and target
-#   2. the whole workspace test suite
-#   3. clippy with warnings promoted to errors
+# Four stages, all must pass:
+#   1. formatting (fails fast, before anything compiles)
+#   2. release build of every crate and target
+#   3. the whole workspace test suite
+#   4. clippy over every target (benches and bins too), warnings as errors
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "== fmt (check) =="
+cargo fmt --check
 
 echo "== build (release) =="
 cargo build --release
@@ -16,7 +20,7 @@ cargo build --release
 echo "== test (workspace) =="
 cargo test -q --workspace
 
-echo "== clippy (deny warnings) =="
-cargo clippy --workspace -- -D warnings
+echo "== clippy (all targets, deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "CI OK"

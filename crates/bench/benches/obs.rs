@@ -1,16 +1,17 @@
-//! The TCP engine itself, on today's hardware: what does the
-//! quasi-synchronous structured implementation cost per segment in real
-//! Rust, fast path on and off?
+//! What does the event layer cost? Two answers:
 //!
-//! The paper could not yet answer "is the structured design as fast as C"
-//! ("the maturity of our current implementation is as yet insufficient
-//! to demonstrate this"); this bench answers it for the Rust rendering
-//! by driving whole bulk transfers through two engines over an in-memory
-//! link with zero modeled cost — every nanosecond measured is real
-//! protocol processing.
+//! * `emit`: the raw per-call price of `EventSink::emit` with the sink
+//!   off (a single branch; the closure never runs) and with it
+//!   recording into the bounded ring.
+//! * `transfer`: a whole 256 KB bulk transfer through two TCP engines
+//!   over the in-memory test link, traced vs untraced — the end-to-end
+//!   overhead a `tables --trace` run pays. Off-path overhead must be
+//!   negligible: the untraced transfer carries the sink field but never
+//!   touches a ring.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fox_scheduler::SchedHandle;
+use foxbasis::obs::{Event, EventSink};
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxproto::Protocol;
 use foxtcp::testlink::{LinkPair, TestAux};
@@ -20,11 +21,10 @@ use std::cell::RefCell;
 use std::hint::black_box;
 use std::rc::Rc;
 
-fn transfer(bytes: usize, fast_path: bool) -> u64 {
+fn transfer(bytes: usize, sink: EventSink) -> usize {
     let cfg = TcpConfig {
         nagle: false,
         delayed_ack_ms: None,
-        fast_path,
         initial_window: 65_535,
         send_buffer: 65_535,
         ..TcpConfig::default()
@@ -32,6 +32,8 @@ fn transfer(bytes: usize, fast_path: bool) -> u64 {
     let link = LinkPair::new();
     let mut a = Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), SchedHandle::new(), HostHandle::free());
     let mut b = Tcp::new(link.endpoint(1), TestAux, (), cfg, SchedHandle::new(), HostHandle::free());
+    a.set_obs(sink.for_host(0));
+    b.set_obs(sink.for_host(1));
 
     let received = Rc::new(RefCell::new(0usize));
     let r2 = received.clone();
@@ -60,8 +62,6 @@ fn transfer(bytes: usize, fast_path: bool) -> u64 {
         a.step(now);
         b.step(now);
         if !adopted {
-            // The listener handler above receives Data directly only
-            // after the child is adopted; adopt the first child.
             let r3 = received.clone();
             if b.set_handler(
                 foxtcp::TcpConnId(1),
@@ -77,22 +77,41 @@ fn transfer(bytes: usize, fast_path: bool) -> u64 {
             }
         }
     }
-    a.stats().segments_sent + b.stats().segments_sent
+    let got = *received.borrow();
+    got
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    group.sample_size(20);
-    let bytes = 262_144usize;
-    group.throughput(Throughput::Bytes(bytes as u64));
-    group.bench_with_input(BenchmarkId::new("bulk_fastpath_on", bytes), &bytes, |b, &n| {
-        b.iter(|| black_box(transfer(n, true)))
+fn bench_emit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs-emit");
+    g.throughput(Throughput::Elements(1));
+    let off = EventSink::off();
+    g.bench_function(BenchmarkId::new("emit", "off"), |b| {
+        b.iter(|| {
+            off.emit(VirtualTime::ZERO, 0, || Event::Action { tag: black_box("Process_Data") });
+        })
     });
-    group.bench_with_input(BenchmarkId::new("bulk_fastpath_off", bytes), &bytes, |b, &n| {
-        b.iter(|| black_box(transfer(n, false)))
+    let on = EventSink::recording(4096);
+    g.bench_function(BenchmarkId::new("emit", "recording"), |b| {
+        b.iter(|| {
+            on.emit(VirtualTime::ZERO, 0, || Event::Action { tag: black_box("Process_Data") });
+        })
     });
-    group.finish();
+    g.finish();
 }
 
-criterion_group!(benches, bench_engine);
+fn bench_transfer(c: &mut Criterion) {
+    let bytes = 256 * 1024;
+    let mut g = c.benchmark_group("obs-transfer");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("256KiB", "untraced"), |b| {
+        b.iter(|| black_box(transfer(bytes, EventSink::off())))
+    });
+    g.bench_function(BenchmarkId::new("256KiB", "traced"), |b| {
+        b.iter(|| black_box(transfer(bytes, EventSink::recording(foxbasis::obs::DEFAULT_RING_CAPACITY))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_emit, bench_transfer);
 criterion_main!(benches);

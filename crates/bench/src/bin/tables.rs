@@ -6,18 +6,76 @@
 //!
 //! Items: table1, table2, gc, gcpause, ablations, matrix, loss,
 //! lossmatrix, micro
+//!
+//! Flags:
+//!   --trace <file>   record the Table 1 bulk run's typed event stream;
+//!                    `.jsonl` writes one JSON object per event, any
+//!                    other extension writes chrome://tracing JSON
+//!                    (open it in Perfetto)
+//!   --pcap <file>    write the same run's wire capture, Wireshark-ready
 
 use foxbasis::time::VirtualDuration;
 use foxharness::experiments as exp;
+use foxharness::stack::StackKind;
+use simnet::CostModel;
 use std::time::Instant;
 
 fn want(args: &[String], name: &str) -> bool {
     args.is_empty() || args.iter().any(|a| a == name)
 }
 
+/// Pulls `--name value` out of the argument list, if present.
+fn take_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        eprintln!("{name} needs a file argument");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let seed = 42;
+
+    let trace_path = take_flag(&mut args, "--trace");
+    let pcap_path = take_flag(&mut args, "--pcap");
+    if trace_path.is_some() || pcap_path.is_some() {
+        println!("running the traced Table 1 bulk transfer (10^6 bytes, 1994 cost model)...");
+        let t = exp::traced_table1_bulk(StackKind::FoxStandard, CostModel::decstation_sml, 1_000_000, seed);
+        println!(
+            "  {} events recorded ({} overwritten), {} frames captured, {:.1} Mb/s",
+            t.events.len(),
+            t.dropped,
+            t.pcap.frame_count(),
+            t.bulk.throughput_mbps
+        );
+        if let Some(path) = trace_path {
+            let text = if path.ends_with(".jsonl") {
+                foxbasis::obs::to_jsonl(&t.events)
+            } else {
+                foxbasis::obs::to_chrome_trace(&t.events)
+            };
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("  trace written to {path}");
+        }
+        if let Some(path) = pcap_path {
+            if let Err(e) = t.pcap.write_to_file(&path) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("  pcap written to {path}");
+        }
+        println!();
+        if args.is_empty() {
+            return; // flags alone: don't also grind through every table
+        }
+    }
 
     if want(&args, "table1") {
         println!("running Table 1 (two 10^6-byte transfers + RTT runs)...\n");

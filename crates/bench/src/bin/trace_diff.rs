@@ -1,0 +1,45 @@
+//! Compares two JSONL event streams (as written by `tables --trace
+//! x.jsonl`) and reports the first divergence.
+//!
+//! Usage:
+//!   cargo run -p foxbench --bin trace-diff -- a.jsonl b.jsonl
+//!
+//! Exit status: 0 when the streams are identical, 1 at the first
+//! differing (or missing) event, 2 on usage or I/O errors.
+//!
+//! The comparison is line-by-line on the serialized form — the same
+//! equality `foxbasis::obs::first_divergence` computes on the in-memory
+//! streams, because `to_jsonl` is deterministic.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [a_path, b_path] = match args.as_slice() {
+        [a, b] => [a.clone(), b.clone()],
+        _ => {
+            eprintln!("usage: trace-diff <a.jsonl> <b.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let read = |path: &str| -> Vec<String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text.lines().map(str::to_owned).collect(),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let a = read(&a_path);
+    let b = read(&b_path);
+
+    for i in 0..a.len().max(b.len()) {
+        let (l, r) = (a.get(i), b.get(i));
+        if l != r {
+            println!("streams diverge at event {i}:");
+            println!("  {}: {}", a_path, l.map_or("<ended>", String::as_str));
+            println!("  {}: {}", b_path, r.map_or("<ended>", String::as_str));
+            std::process::exit(1);
+        }
+    }
+    println!("streams identical ({} events)", a.len());
+}

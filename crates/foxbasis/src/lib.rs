@@ -27,7 +27,11 @@
 //!   paper's memory-mapped hardware counters (15 µs per update), which
 //!   generates Table 2;
 //! * [`trace`] — the `do_prints` / `do_traces` debug hooks every functor
-//!   in the paper accepts.
+//!   in the paper accepts;
+//! * [`obs`] — the typed, bounded, zero-cost-when-off event layer
+//!   (state transitions, actions, timers, segments, wire faults, GC
+//!   pauses) with JSONL / chrome://tracing exporters and a stream
+//!   differ that turns the determinism claim into a debugging tool.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +40,7 @@ pub mod checksum;
 pub mod copy;
 pub mod deq;
 pub mod fifo;
+pub mod obs;
 pub mod profile;
 pub mod ring;
 pub mod seq;
@@ -46,6 +51,7 @@ pub mod wordarray;
 pub use checksum::{checksum, ones_complement_sum, ChecksumAccum};
 pub use deq::Deq;
 pub use fifo::Fifo;
+pub use obs::{ConnMetrics, Event, EventRing, EventSink, Stamped, NO_CONN};
 pub use profile::{Account, Profiler};
 pub use ring::RingBuffer;
 pub use seq::Seq;

@@ -169,10 +169,7 @@ impl Profiler {
     /// sums inexact, and ours are also not forced to 100.
     pub fn percentages(&self, wall: VirtualDuration) -> Vec<(Account, f64)> {
         let denom = wall.as_micros().max(1) as f64;
-        Account::ALL
-            .iter()
-            .map(|&a| (a, 100.0 * self.total(a).as_micros() as f64 / denom))
-            .collect()
+        Account::ALL.iter().map(|&a| (a, 100.0 * self.total(a).as_micros() as f64 / denom)).collect()
     }
 
     /// Resets every account.

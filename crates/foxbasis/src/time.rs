@@ -156,11 +156,7 @@ impl AddAssign<VirtualDuration> for VirtualTime {
 impl Sub<VirtualTime> for VirtualTime {
     type Output = VirtualDuration;
     fn sub(self, earlier: VirtualTime) -> VirtualDuration {
-        VirtualDuration(
-            self.0
-                .checked_sub(earlier.0)
-                .expect("virtual time subtraction underflow"),
-        )
+        VirtualDuration(self.0.checked_sub(earlier.0).expect("virtual time subtraction underflow"))
     }
 }
 
@@ -180,11 +176,7 @@ impl AddAssign for VirtualDuration {
 impl Sub for VirtualDuration {
     type Output = VirtualDuration;
     fn sub(self, o: VirtualDuration) -> VirtualDuration {
-        VirtualDuration(
-            self.0
-                .checked_sub(o.0)
-                .expect("virtual duration subtraction underflow"),
-        )
+        VirtualDuration(self.0.checked_sub(o.0).expect("virtual duration subtraction underflow"))
     }
 }
 
@@ -278,10 +270,7 @@ mod tests {
         assert_eq!(late.saturating_since(early).as_micros(), 10);
         let d = VirtualDuration::from_micros(5);
         assert_eq!(d.saturating_sub(VirtualDuration::from_micros(9)), VirtualDuration::ZERO);
-        assert_eq!(
-            VirtualDuration::from_micros(u64::MAX).saturating_mul(2).as_micros(),
-            u64::MAX
-        );
+        assert_eq!(VirtualDuration::from_micros(u64::MAX).saturating_mul(2).as_micros(), u64::MAX);
     }
 
     #[test]

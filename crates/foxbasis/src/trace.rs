@@ -6,10 +6,35 @@
 //! tests can assert on them) and optionally echoes to stderr. The closure
 //! taken by [`Trace::trace`] is only evaluated when tracing is on, the
 //! same staging trick the paper uses higher-order functions for.
+//!
+//! The log is collected only while at least one channel is enabled, and
+//! it is bounded: once `capacity` lines are held the oldest is evicted
+//! and counted, so a long-running stack with tracing on cannot grow
+//! memory without limit. A fully silent sink stores nothing at all.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
+
+/// Default bound on retained log lines.
+pub const DEFAULT_LOG_CAPACITY: usize = 4096;
+
+struct Log {
+    lines: VecDeque<String>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Log {
+    fn push(&mut self, line: String) {
+        if self.lines.len() >= self.capacity {
+            self.lines.pop_front();
+            self.dropped += 1;
+        }
+        self.lines.push_back(line);
+    }
+}
 
 /// A named print/trace sink.
 #[derive(Clone)]
@@ -17,18 +42,30 @@ pub struct Trace {
     name: &'static str,
     do_prints: bool,
     do_traces: bool,
-    log: Rc<RefCell<Vec<String>>>,
+    log: Rc<RefCell<Log>>,
 }
 
 impl Trace {
     /// Creates a sink for module `name`. `do_prints` echoes messages to
     /// stderr as they happen; `do_traces` enables the (lazier, more
-    /// verbose) trace channel.
+    /// verbose) trace channel. Messages are logged only while at least
+    /// one channel is on, and at most [`DEFAULT_LOG_CAPACITY`] lines are
+    /// retained.
     pub fn new(name: &'static str, do_prints: bool, do_traces: bool) -> Self {
-        Trace { name, do_prints, do_traces, log: Rc::new(RefCell::new(Vec::new())) }
+        Trace::with_capacity(name, do_prints, do_traces, DEFAULT_LOG_CAPACITY)
     }
 
-    /// A silent sink.
+    /// Like [`Trace::new`] with an explicit bound on retained lines.
+    pub fn with_capacity(name: &'static str, do_prints: bool, do_traces: bool, capacity: usize) -> Self {
+        Trace {
+            name,
+            do_prints,
+            do_traces,
+            log: Rc::new(RefCell::new(Log { lines: VecDeque::new(), capacity: capacity.max(1), dropped: 0 })),
+        }
+    }
+
+    /// A silent sink: no channel enabled, nothing ever logged.
     pub fn silent(name: &'static str) -> Self {
         Trace::new(name, false, false)
     }
@@ -38,8 +75,17 @@ impl Trace {
         self.do_traces
     }
 
-    /// Records `msg` on the print channel.
+    /// True if any channel is enabled (i.e. messages are collected).
+    pub fn enabled(&self) -> bool {
+        self.do_prints || self.do_traces
+    }
+
+    /// Records `msg` on the print channel. A fully silent sink discards
+    /// the message without formatting or storing it.
     pub fn print(&self, msg: &str) {
+        if !self.enabled() {
+            return;
+        }
         let line = format!("{}: {}", self.name, msg);
         if self.do_prints {
             eprintln!("{line}");
@@ -58,14 +104,25 @@ impl Trace {
         }
     }
 
-    /// Everything recorded so far (across all clones of this sink).
+    /// Everything retained so far (across all clones of this sink),
+    /// oldest first.
     pub fn messages(&self) -> Vec<String> {
-        self.log.borrow().clone()
+        self.log.borrow().lines.iter().cloned().collect()
+    }
+
+    /// Lines evicted because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.log.borrow().dropped
+    }
+
+    /// Maximum lines retained.
+    pub fn capacity(&self) -> usize {
+        self.log.borrow().capacity
     }
 
     /// Clears the log.
     pub fn clear(&self) {
-        self.log.borrow_mut().clear();
+        self.log.borrow_mut().lines.clear();
     }
 }
 
@@ -77,7 +134,7 @@ impl fmt::Debug for Trace {
             self.name,
             self.do_prints,
             self.do_traces,
-            self.log.borrow().len()
+            self.log.borrow().lines.len()
         )
     }
 }
@@ -87,8 +144,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn print_is_always_logged() {
-        let t = Trace::new("tcp", false, false);
+    fn silent_sink_stays_empty() {
+        let t = Trace::silent("tcp");
+        t.print("hello");
+        t.trace(|| "detail".into());
+        assert!(t.messages().is_empty(), "a silent sink must not retain anything");
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn print_is_logged_when_a_channel_is_on() {
+        let t = Trace::new("tcp", false, true);
         t.print("hello");
         assert_eq!(t.messages(), vec!["tcp: hello"]);
     }
@@ -110,8 +176,20 @@ mod tests {
     }
 
     #[test]
+    fn bounded_log_caps_memory_and_counts_drops() {
+        let t = Trace::with_capacity("m", false, true, 3);
+        for i in 0..10 {
+            t.trace(|| format!("line {i}"));
+        }
+        assert_eq!(t.messages().len(), 3, "log must stay at its bound");
+        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.messages(), vec!["m: line 7", "m: line 8", "m: line 9"]);
+        assert_eq!(t.capacity(), 3);
+    }
+
+    #[test]
     fn clones_share_the_log() {
-        let a = Trace::silent("shared");
+        let a = Trace::new("shared", false, true);
         let b = a.clone();
         a.print("one");
         b.print("two");

@@ -42,6 +42,17 @@ impl TimerKind {
         TimerKind::TimeWait,
         TimerKind::UserTimeout,
     ];
+
+    /// The timer's name, as event exports use it.
+    pub fn name(self) -> &'static str {
+        match self {
+            TimerKind::Resend => "Resend",
+            TimerKind::DelayedAck => "DelayedAck",
+            TimerKind::Persist => "Persist",
+            TimerKind::TimeWait => "TimeWait",
+            TimerKind::UserTimeout => "UserTimeout",
+        }
+    }
 }
 
 /// A loss-recovery event, threaded through the to_do queue so the
@@ -64,6 +75,20 @@ pub enum LossEvent {
     Rto,
     /// The persist timer sent a zero-window probe.
     Probe,
+}
+
+impl LossEvent {
+    /// The event's name, as event exports use it.
+    pub fn name(self) -> &'static str {
+        match self {
+            LossEvent::FastRetransmit => "FastRetransmit",
+            LossEvent::RecoveryEntered => "RecoveryEntered",
+            LossEvent::RecoveryExited => "RecoveryExited",
+            LossEvent::PartialAck => "PartialAck",
+            LossEvent::Rto => "Rto",
+            LossEvent::Probe => "Probe",
+        }
+    }
 }
 
 /// One action on a connection's to_do queue (paper Fig. 8).

@@ -23,6 +23,7 @@ use crate::tcb::TcpState;
 use crate::{ConnCore, TcpConfig};
 use fox_scheduler::{SchedHandle, TimerHandle};
 use foxbasis::fifo::Fifo;
+use foxbasis::obs::{ConnMetrics, Event, EventSink};
 use foxbasis::seq::Seq;
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxbasis::trace::Trace;
@@ -174,6 +175,32 @@ where
     next_id: u32,
     next_ephemeral: u16,
     stats: TcpStats,
+    obs: EventSink,
+}
+
+/// Renders wire flags as the event layer's bitmask.
+fn obs_flags(f: &foxwire::tcp::TcpFlags) -> u8 {
+    use foxbasis::obs::flags;
+    let mut bits = 0;
+    if f.fin {
+        bits |= flags::FIN;
+    }
+    if f.syn {
+        bits |= flags::SYN;
+    }
+    if f.rst {
+        bits |= flags::RST;
+    }
+    if f.psh {
+        bits |= flags::PSH;
+    }
+    if f.ack {
+        bits |= flags::ACK;
+    }
+    if f.urg {
+        bits |= flags::URG;
+    }
+    bits
 }
 
 impl<L, A> Tcp<L, A>
@@ -205,12 +232,47 @@ where
             next_id: 0,
             next_ephemeral: 49152,
             stats: TcpStats::default(),
+            obs: EventSink::off(),
         }
+    }
+
+    /// Installs an event sink; the default ([`EventSink::off`]) records
+    /// nothing and costs one branch per emit site.
+    pub fn set_obs(&mut self, sink: EventSink) {
+        self.obs = sink;
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> TcpStats {
         self.stats
+    }
+
+    /// A unified per-connection metrics snapshot: the TCB's live
+    /// estimator/window state plus the engine's counters (the engine
+    /// counts across connections; single-connection hosts — every
+    /// harness station — read them as per-connection).
+    pub fn metrics_of(&self, conn: TcpConnId) -> Option<ConnMetrics> {
+        let i = self.conn_index(conn)?;
+        let tcb = &self.conns[i].core.tcb;
+        Some(ConnMetrics {
+            srtt_us: tcb.rtt.srtt.map(|d| d.as_micros()),
+            rto_us: tcb.rtt.rto.as_micros(),
+            cwnd: tcb.cwnd,
+            ssthresh: tcb.ssthresh,
+            snd_wnd: tcb.snd_wnd,
+            bytes_in_flight: tcb.flight_size(),
+            fastpath_hits: self.stats.fastpath_hits,
+            fastpath_misses: self.stats.fastpath_misses,
+            retransmits: self.stats.retransmits,
+            fast_retransmits: self.stats.fast_retransmits,
+            recoveries: self.stats.recoveries,
+            rto_fires: self.stats.rto_fires,
+            probe_fires: self.stats.probe_fires,
+            segments_sent: self.stats.segments_sent,
+            segments_received: self.stats.segments_received,
+            bytes_sent: self.stats.bytes_sent,
+            bytes_delivered: self.stats.bytes_delivered,
+        })
     }
 
     /// The `do_prints`/`do_traces` log collected so far (paper Fig. 4's
@@ -250,7 +312,13 @@ where
             match core.state {
                 TcpState::Closed => return Err(ProtoError::NotOpen),
                 TcpState::Listen { .. } => return Err(ProtoError::Invalid("send on listener")),
-                ref s if !s.can_send() && !matches!(s, TcpState::SynSent { .. } | TcpState::SynActive | TcpState::SynPassive { .. }) => {
+                ref s
+                    if !s.can_send()
+                        && !matches!(
+                            s,
+                            TcpState::SynSent { .. } | TcpState::SynActive | TcpState::SynPassive { .. }
+                        ) =>
+                {
                     return Err(ProtoError::Closing)
                 }
                 _ => {}
@@ -278,10 +346,8 @@ where
     fn ensure_lower_open(&mut self) -> Result<(), ProtoError> {
         if self.lower_conn.is_none() {
             let q = self.rx.clone();
-            self.lower_conn = Some(
-                self.lower
-                    .open(self.lower_pattern.clone(), Box::new(move |m| q.borrow_mut().add(m)))?,
-            );
+            self.lower_conn =
+                Some(self.lower.open(self.lower_pattern.clone(), Box::new(move |m| q.borrow_mut().add(m)))?);
         }
         Ok(())
     }
@@ -357,9 +423,7 @@ where
         if seg.header.flags.ack {
             if let Some(idx) = self.conns.iter().position(|c| {
                 c.core.local_port == seg.header.src_port
-                    && c.core.remote.as_ref().is_some_and(|(a, p)| {
-                        A::eq(a, &to) && *p == seg.header.dst_port
-                    })
+                    && c.core.remote.as_ref().is_some_and(|(a, p)| A::eq(a, &to) && *p == seg.header.dst_port)
             }) {
                 self.conns[idx].core.tcb.last_adv_wnd = u32::from(seg.header.window);
             }
@@ -373,6 +437,26 @@ where
         };
         self.stats.segments_sent += 1;
         self.stats.bytes_sent += seg.payload.len() as u64;
+        if self.obs.is_on() {
+            let conn = self
+                .conns
+                .iter()
+                .find(|c| {
+                    c.core.local_port == seg.header.src_port
+                        && c.core
+                            .remote
+                            .as_ref()
+                            .is_some_and(|(a, p)| A::eq(a, &to) && *p == seg.header.dst_port)
+                })
+                .map_or(foxbasis::obs::NO_CONN, |c| c.id);
+            self.obs.emit(self.sched.now(), conn, || Event::SegTx {
+                seq: seg.header.seq.0,
+                ack: seg.header.ack.0,
+                len: seg.payload.len() as u32,
+                flags: obs_flags(&seg.header.flags),
+                wnd: u32::from(seg.header.window),
+            });
+        }
         self.trace.trace(|| {
             format!(
                 "tx seq={} ack={} len={} {:?} wnd={}",
@@ -402,6 +486,10 @@ where
     fn set_timer(&mut self, idx: usize, kind: TimerKind, ms: u64) {
         self.clear_timer(idx, kind);
         self.stats.timers_set += 1;
+        self.obs.emit(self.sched.now(), self.conns[idx].id, || Event::TimerSet {
+            timer: kind.name(),
+            after_ms: ms,
+        });
         self.host.charge_thread_op();
         let todo = self.conns[idx].core.tcb.to_do.clone();
         let handle = self.sched.start_timer(
@@ -416,6 +504,7 @@ where
     fn clear_timer(&mut self, idx: usize, kind: TimerKind) {
         if let Some(h) = self.conns[idx].timers[timer_index(kind)].take() {
             h.clear();
+            self.obs.emit(self.sched.now(), self.conns[idx].id, || Event::TimerClear { timer: kind.name() });
         }
     }
 
@@ -434,8 +523,7 @@ where
                 // The paper's §4 priority extension: serve the actions
                 // that affect packet latency (outbound segments) first.
                 if self.cfg.latency_priority {
-                    q.take_first_match(|a| matches!(a, TcpAction::SendSegment(_)))
-                        .or_else(|| q.next())
+                    q.take_first_match(|a| matches!(a, TcpAction::SendSegment(_))).or_else(|| q.next())
                 } else {
                     q.next()
                 }
@@ -443,8 +531,22 @@ where
             let Some(action) = action else { return };
             self.stats.actions_executed += 1;
             let now = self.sched.now();
+            let conn_obs_id = self.conns[idx].id;
+            let state_before = if self.obs.is_on() {
+                self.obs.emit(now, conn_obs_id, || Event::Action { tag: action.tag() });
+                Some(self.conns[idx].core.state.name())
+            } else {
+                None
+            };
             match action {
                 TcpAction::ProcessData(seg, _src) => {
+                    self.obs.emit(now, conn_obs_id, || Event::SegRx {
+                        seq: seg.header.seq.0,
+                        ack: seg.header.ack.0,
+                        len: seg.payload.len() as u32,
+                        flags: obs_flags(&seg.header.flags),
+                        wnd: u32::from(seg.header.window),
+                    });
                     self.trace.trace(|| {
                         format!(
                             "rx seq={} ack={} len={} {:?} state={:?}",
@@ -494,9 +596,7 @@ where
                         let wnd = core.tcb.rcv_wnd();
                         let grew = wnd.saturating_sub(core.tcb.last_adv_wnd);
                         let half = (core.tcb.recv_buf.capacity() as u32 / 2).max(1);
-                        if core.state == TcpState::Estab
-                            && (grew >= 2 * core.tcb.mss || grew >= half)
-                        {
+                        if core.state == TcpState::Estab && (grew >= 2 * core.tcb.mss || grew >= half) {
                             send::queue_ack(core);
                         }
                     }
@@ -507,6 +607,7 @@ where
                 TcpAction::SetTimer(kind, ms) => self.set_timer(idx, kind, ms),
                 TcpAction::ClearTimer(kind) => self.clear_timer(idx, kind),
                 TcpAction::TimerExpiration(kind) => {
+                    self.obs.emit(now, conn_obs_id, || Event::TimerFire { timer: kind.name() });
                     if kind == TimerKind::Resend {
                         let had_flight = !self.conns[idx].core.tcb.resend_queue.is_empty();
                         if had_flight {
@@ -530,6 +631,7 @@ where
                 }
                 TcpAction::AckedTo(_) => {}
                 TcpAction::Loss(ev) => {
+                    self.obs.emit(now, conn_obs_id, || Event::Loss { kind: ev.name() });
                     match ev {
                         LossEvent::FastRetransmit => {
                             self.stats.fast_retransmits += 1;
@@ -548,6 +650,15 @@ where
                     self.trace.trace(|| format!("conn {}: loss event {ev:?}", self.conns[idx].id));
                 }
             }
+            if let Some(before) = state_before {
+                if let Some(i2) = self.index_of_id(conn_id) {
+                    let after = self.conns[i2].core.state.name();
+                    if before != after {
+                        self.obs
+                            .emit(now, conn_obs_id, || Event::StateTransition { from: before, to: after });
+                    }
+                }
+            }
         }
     }
 
@@ -557,11 +668,8 @@ where
     fn internalize(&mut self, msg: L::Incoming) {
         let (src, seg) = {
             let info = self.aux.info(&msg);
-            let pseudo = if self.cfg.compute_checksums {
-                self.aux.check(&info.src, info.data.len())
-            } else {
-                None
-            };
+            let pseudo =
+                if self.cfg.compute_checksums { self.aux.check(&info.src, info.data.len()) } else { None };
             if pseudo.is_some() {
                 self.host.charge_checksum(info.data.len());
             }
@@ -579,10 +687,7 @@ where
         // Demultiplex: exact (remote, ports) match first.
         let exact = self.conns.iter().position(|c| {
             c.core.local_port == seg.header.dst_port
-                && c.core
-                    .remote
-                    .as_ref()
-                    .is_some_and(|(a, p)| A::eq(a, &src) && *p == seg.header.src_port)
+                && c.core.remote.as_ref().is_some_and(|(a, p)| A::eq(a, &src) && *p == seg.header.src_port)
                 && c.core.state != TcpState::Closed
         });
         if let Some(idx) = exact {
@@ -675,9 +780,7 @@ where
                 let local_port = if local_port == 0 { self.alloc_ephemeral() } else { local_port };
                 let clash = self.conns.iter().any(|c| {
                     c.core.local_port == local_port
-                        && c.core.remote.as_ref().is_none_or(|(a, p)| {
-                            A::eq(a, &remote) && *p == remote_port
-                        })
+                        && c.core.remote.as_ref().is_none_or(|(a, p)| A::eq(a, &remote) && *p == remote_port)
                         && c.core.state != TcpState::Closed
                 });
                 if clash {
@@ -691,6 +794,10 @@ where
                     let core = &mut self.conns[idx].core;
                     state::active_open(&self.cfg, core, now)?;
                 }
+                self.obs.emit(now, id, || Event::StateTransition {
+                    from: "Closed",
+                    to: self.conns[idx].core.state.name(),
+                });
                 self.run_actions(id);
                 Ok(TcpConnId(id))
             }
@@ -707,8 +814,14 @@ where
                 let id = self.new_conn(local_port, None, None);
                 let idx = self.index_of_id(id).expect("created");
                 self.conns[idx].handler = Some(handler);
-                let core = &mut self.conns[idx].core;
-                state::passive_open(&self.cfg, core)?;
+                {
+                    let core = &mut self.conns[idx].core;
+                    state::passive_open(&self.cfg, core)?;
+                }
+                self.obs.emit(self.sched.now(), id, || Event::StateTransition {
+                    from: "Closed",
+                    to: self.conns[idx].core.state.name(),
+                });
                 Ok(TcpConnId(id))
             }
         }
@@ -731,20 +844,30 @@ where
     fn close(&mut self, conn: TcpConnId) -> Result<(), ProtoError> {
         let i = self.conn_index(conn).ok_or(ProtoError::NotOpen)?;
         let now = self.sched.now();
+        let before = self.conns[i].core.state.name();
         let res = {
             let core = &mut self.conns[i].core;
             state::close(&self.cfg, core, now)
         };
+        let after = self.conns[i].core.state.name();
+        if before != after {
+            self.obs.emit(now, conn.0, || Event::StateTransition { from: before, to: after });
+        }
         self.run_actions(conn.0);
         res
     }
 
     fn abort(&mut self, conn: TcpConnId) -> Result<(), ProtoError> {
         let i = self.conn_index(conn).ok_or(ProtoError::NotOpen)?;
+        let before = self.conns[i].core.state.name();
         let res = {
             let core = &mut self.conns[i].core;
             state::abort(&self.cfg, core)
         };
+        let after = self.conns[i].core.state.name();
+        if before != after {
+            self.obs.emit(self.sched.now(), conn.0, || Event::StateTransition { from: before, to: after });
+        }
         self.run_actions(conn.0);
         res
     }
@@ -812,15 +935,12 @@ mod tests {
 
     impl Host {
         fn new(link: &LinkPair, side: u8, cfg: TcpConfig) -> Host {
+            Host::with_host(link, side, cfg, HostHandle::free())
+        }
+
+        fn with_host(link: &LinkPair, side: u8, cfg: TcpConfig, hh: HostHandle) -> Host {
             let sched = SchedHandle::new();
-            let tcp = Tcp::new(
-                link.endpoint(side),
-                TestAux,
-                (),
-                cfg,
-                sched.clone(),
-                HostHandle::free(),
-            );
+            let tcp = Tcp::new(link.endpoint(side), TestAux, (), cfg, sched.clone(), hh);
             Host { tcp, sched, events: Rc::new(RefCell::new(Vec::new())) }
         }
 
@@ -832,21 +952,11 @@ mod tests {
         /// Adopt a connection with a recording handler tagged by its id.
         fn adopt(&mut self, conn: TcpConnId) {
             let ev = self.events.clone();
-            self.tcp
-                .set_handler(
-                    conn,
-                    Box::new(move |e| ev.borrow_mut().push((conn, e))),
-                )
-                .unwrap();
+            self.tcp.set_handler(conn, Box::new(move |e| ev.borrow_mut().push((conn, e)))).unwrap();
         }
 
         fn events_of(&self, conn: TcpConnId) -> Vec<TcpEvent> {
-            self.events
-                .borrow()
-                .iter()
-                .filter(|(c, _)| *c == conn)
-                .map(|(_, e)| e.clone())
-                .collect()
+            self.events.borrow().iter().filter(|(c, _)| *c == conn).map(|(_, e)| e.clone()).collect()
         }
 
         fn received_bytes(&self, conn: TcpConnId) -> Vec<u8> {
@@ -916,11 +1026,7 @@ mod tests {
         let (client, child) = open_pair(&mut a, &mut b);
         assert_eq!(a.tcp.state_of(client), Some(TcpState::Estab));
         assert_eq!(b.tcp.state_of(child), Some(TcpState::Estab));
-        assert!(a
-            .events
-            .borrow()
-            .iter()
-            .any(|(_, e)| *e == TcpEvent::Established));
+        assert!(a.events.borrow().iter().any(|(_, e)| *e == TcpEvent::Established));
         assert!(b.events_of(child).contains(&TcpEvent::Established));
     }
 
@@ -973,6 +1079,101 @@ mod tests {
         assert_eq!(got.len(), payload.len());
         assert_eq!(got, payload);
         let _ = now;
+    }
+
+    /// Satellite regression: segments the fast path fully handles must
+    /// charge exactly the accounts (and update exactly the stats) the
+    /// full SEGMENT-ARRIVES DAG would.
+    #[test]
+    fn fast_and_slow_path_charge_the_same_accounts() {
+        use foxbasis::profile::Account;
+        use simnet::{CostModel, Host as SimHost};
+
+        fn run(fast_path: bool) -> (Vec<(u64, u64)>, TcpStats, TcpStats) {
+            let link = LinkPair::new();
+            let cfg = TcpConfig { nagle: false, fast_path, ..TcpConfig::default() };
+            let ha = HostHandle::new(SimHost::new("a", CostModel::decstation_sml(), true));
+            let hb = HostHandle::new(SimHost::new("b", CostModel::decstation_sml(), true));
+            let mut a = Host::with_host(&link, 0, cfg.clone(), ha.clone());
+            let mut b = Host::with_host(&link, 1, cfg, hb.clone());
+            let (client, child) = open_pair(&mut a, &mut b);
+            // Bidirectional bulk: exercises both fast-path cases (pure
+            // ACK of new data, pure in-order data) on both hosts.
+            let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 241) as u8).collect();
+            let (mut sa, mut sb) = (0, 0);
+            let mut now = VirtualTime::ZERO;
+            while sa < payload.len() || sb < payload.len() {
+                if sa < payload.len() {
+                    sa += a.tcp.send_data(client, &payload[sa..]).unwrap();
+                }
+                if sb < payload.len() {
+                    sb += b.tcp.send_data(child, &payload[sb..]).unwrap();
+                }
+                now = run_for(&mut a, &mut b, now, 50, 10);
+            }
+            run_for(&mut a, &mut b, now, 1000, 50);
+            assert_eq!(b.received_bytes(child).len(), payload.len());
+            assert_eq!(a.received_bytes(TcpConnId(u32::MAX)).len(), payload.len());
+            let accounts = Account::ALL
+                .iter()
+                .map(|&acc| {
+                    (
+                        ha.with(|h| h.profiler().total(acc)).as_micros(),
+                        hb.with(|h| h.profiler().total(acc)).as_micros(),
+                    )
+                })
+                .collect();
+            (accounts, a.tcp.stats(), b.tcp.stats())
+        }
+
+        let (acc_fast, a_fast, b_fast) = run(true);
+        let (acc_slow, a_slow, b_slow) = run(false);
+        assert!(a_fast.fastpath_hits > 0, "fast run must actually take the fast path");
+        assert_eq!(a_slow.fastpath_hits, 0);
+        assert_eq!(acc_fast, acc_slow, "fast and slow path must charge the same accounts");
+        // Same stats, except the hit/miss split that defines the paths.
+        let neutral = |mut s: TcpStats| {
+            s.fastpath_hits = 0;
+            s.fastpath_misses = 0;
+            s
+        };
+        assert_eq!(neutral(a_fast), neutral(a_slow));
+        assert_eq!(neutral(b_fast), neutral(b_slow));
+    }
+
+    /// The obs layer sees the whole life of a connection: transitions,
+    /// actions, timers, segments — and metrics summarize it.
+    #[test]
+    fn obs_records_typed_events_and_metrics() {
+        use foxbasis::obs::{flags, EventSink};
+
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig { nagle: false, ..TcpConfig::default() });
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        let sink = EventSink::recording(4096);
+        a.tcp.set_obs(sink.for_host(0));
+        b.tcp.set_obs(sink.for_host(1));
+        let (client, child) = open_pair(&mut a, &mut b);
+        a.tcp.send(client, (), b"observable".to_vec()).unwrap();
+        settle(&mut a, &mut b, VirtualTime::ZERO);
+        let m = b.tcp.metrics_of(child).expect("child metrics");
+        assert!(m.segments_received > 0);
+        assert_eq!(m.bytes_delivered, 10);
+        a.tcp.close(client).unwrap();
+        b.tcp.close(child).unwrap();
+        run_for(&mut a, &mut b, VirtualTime::ZERO, 120_000, 5_000);
+
+        let evs = sink.events();
+        let has = |f: &dyn Fn(&Event) -> bool| evs.iter().any(|e| f(&e.event));
+        assert!(has(&|e| matches!(e, Event::StateTransition { to: "Estab", .. })));
+        assert!(has(&|e| matches!(e, Event::StateTransition { to: "TimeWait", .. })));
+        assert!(has(&|e| matches!(e, Event::SegTx { flags: f, .. } if *f == flags::SYN)));
+        assert!(has(&|e| matches!(e, Event::SegRx { flags: f, .. } if *f == flags::SYN | flags::ACK)));
+        assert!(has(&|e| matches!(e, Event::Action { tag: "Process_Data" })));
+        assert!(has(&|e| matches!(e, Event::TimerSet { timer: "Resend", .. })));
+        assert!(has(&|e| matches!(e, Event::TimerFire { timer: "TimeWait" })));
+        assert!(evs.iter().any(|e| e.host == 0) && evs.iter().any(|e| e.host == 1));
+        assert_eq!(sink.dropped(), 0);
     }
 
     #[test]
@@ -1030,10 +1231,13 @@ mod tests {
         // Drop every 5th frame toward the server.
         let counter = Rc::new(RefCell::new(0u32));
         let c = counter.clone();
-        link.set_filter_toward(1, Box::new(move |_| {
-            *c.borrow_mut() += 1;
-            !(*c.borrow()).is_multiple_of(5)
-        }));
+        link.set_filter_toward(
+            1,
+            Box::new(move |_| {
+                *c.borrow_mut() += 1;
+                !(*c.borrow()).is_multiple_of(5)
+            }),
+        );
         let payload: Vec<u8> = (0..30_000u32).map(|i| (i % 241) as u8).collect();
         let mut sent = 0;
         let mut now = VirtualTime::ZERO;
@@ -1115,10 +1319,8 @@ mod tests {
             );
         }
         settle(&mut a, &mut b, VirtualTime::ZERO);
-        let embryonic = (0..200u32)
-            .filter_map(|i| b.tcp.state_of(TcpConnId(i)))
-            .filter(|s| s.is_syn_received())
-            .count();
+        let embryonic =
+            (0..200u32).filter_map(|i| b.tcp.state_of(TcpConnId(i))).filter(|s| s.is_syn_received()).count();
         assert_eq!(embryonic, 1, "backlog 1 admits a single embryonic child");
     }
 
@@ -1138,21 +1340,15 @@ mod tests {
     fn send_on_unknown_connection_errors() {
         let link = LinkPair::new();
         let mut a = Host::new(&link, 0, TcpConfig::default());
-        assert_eq!(
-            a.tcp.send(TcpConnId(42), (), b"x".to_vec()),
-            Err(ProtoError::NotOpen)
-        );
+        assert_eq!(a.tcp.send(TcpConnId(42), (), b"x".to_vec()), Err(ProtoError::NotOpen));
         assert_eq!(a.tcp.close(TcpConnId(42)), Err(ProtoError::NotOpen));
     }
 
     #[test]
     fn send_pushback_when_buffer_full() {
         let link = LinkPair::new();
-        let mut a = Host::new(
-            &link,
-            0,
-            TcpConfig { send_buffer: 1000, nagle: false, ..TcpConfig::default() },
-        );
+        let mut a =
+            Host::new(&link, 0, TcpConfig { send_buffer: 1000, nagle: false, ..TcpConfig::default() });
         let mut b = Host::new(&link, 1, TcpConfig { initial_window: 256, ..TcpConfig::default() });
         let (client, _child) = open_pair(&mut a, &mut b);
         // Fill beyond window + buffer.
@@ -1169,10 +1365,8 @@ mod tests {
         a.tcp
             .open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 5000 }, Box::new(|_| {}))
             .unwrap();
-        let again = a.tcp.open(
-            TcpPattern::Active { remote: 1, remote_port: 80, local_port: 5000 },
-            Box::new(|_| {}),
-        );
+        let again =
+            a.tcp.open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 5000 }, Box::new(|_| {}));
         assert_eq!(again.unwrap_err(), ProtoError::AlreadyOpen);
     }
 
@@ -1277,7 +1471,8 @@ mod priority_tests {
 
     #[test]
     fn send_segments_jump_the_queue() {
-        let cfg = TcpConfig { latency_priority: true, nagle: false, delayed_ack_ms: None, ..TcpConfig::default() };
+        let cfg =
+            TcpConfig { latency_priority: true, nagle: false, delayed_ack_ms: None, ..TcpConfig::default() };
         let link = LinkPair::new();
         let sched = SchedHandle::new();
         let mut a = Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), sched.clone(), HostHandle::free());
@@ -1309,15 +1504,25 @@ mod priority_tests {
             a.step(VirtualTime::ZERO);
             b.step(VirtualTime::ZERO);
         }
-        assert_eq!(&got.borrow()[..], b"priority-scheduled", "correctness unchanged under priority scheduling");
+        assert_eq!(
+            &got.borrow()[..],
+            b"priority-scheduled",
+            "correctness unchanged under priority scheduling"
+        );
     }
 
     #[test]
     fn priority_and_fifo_deliver_identical_streams() {
         let run = |priority: bool| {
-            let cfg = TcpConfig { latency_priority: priority, nagle: false, delayed_ack_ms: None, ..TcpConfig::default() };
+            let cfg = TcpConfig {
+                latency_priority: priority,
+                nagle: false,
+                delayed_ack_ms: None,
+                ..TcpConfig::default()
+            };
             let link = LinkPair::new();
-            let mut a = Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), SchedHandle::new(), HostHandle::free());
+            let mut a =
+                Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), SchedHandle::new(), HostHandle::free());
             let mut b = Tcp::new(link.endpoint(1), TestAux, (), cfg, SchedHandle::new(), HostHandle::free());
             let got = Rc::new(RefCell::new(Vec::new()));
             let g = got.clone();
@@ -1376,7 +1581,10 @@ mod extended_tests {
         Tcp::new(link.endpoint(side), TestAux, (), cfg, SchedHandle::new(), HostHandle::free())
     }
 
-    fn spin(a: &mut Tcp<crate::testlink::TestLower, TestAux>, b: &mut Tcp<crate::testlink::TestLower, TestAux>) {
+    fn spin(
+        a: &mut Tcp<crate::testlink::TestLower, TestAux>,
+        b: &mut Tcp<crate::testlink::TestLower, TestAux>,
+    ) {
         for _ in 0..200 {
             let p = a.step(VirtualTime::ZERO);
             let q = b.step(VirtualTime::ZERO);
@@ -1461,27 +1669,15 @@ mod extended_tests {
         // Retransmit will carry the URG flag after the filter mutates it;
         // force one round trip.
         spin(&mut a, &mut b);
-        let urgents: Vec<_> = ev
-            .borrow()
-            .iter()
-            .filter(|e| matches!(e, TcpEvent::Urgent(_)))
-            .cloned()
-            .collect();
+        let urgents: Vec<_> =
+            ev.borrow().iter().filter(|e| matches!(e, TcpEvent::Urgent(_))).cloned().collect();
         // The data already flowed before the filter was installed in
         // this spin; send one more urgent-marked chunk.
         a.send(ca, (), b"more".to_vec()).unwrap();
         spin(&mut a, &mut b);
-        let urgents_after: Vec<_> = ev
-            .borrow()
-            .iter()
-            .filter(|e| matches!(e, TcpEvent::Urgent(_)))
-            .cloned()
-            .collect();
-        assert!(
-            urgents_after.len() > urgents.len(),
-            "urgent event delivered: {:?}",
-            ev.borrow()
-        );
+        let urgents_after: Vec<_> =
+            ev.borrow().iter().filter(|e| matches!(e, TcpEvent::Urgent(_))).cloned().collect();
+        assert!(urgents_after.len() > urgents.len(), "urgent event delivered: {:?}", ev.borrow());
         // Data itself still arrives in order.
         let data: Vec<u8> = ev
             .borrow()
@@ -1538,7 +1734,8 @@ mod half_close_tests {
     fn data_flows_from_close_wait() {
         let cfg = TcpConfig { nagle: false, delayed_ack_ms: None, ..TcpConfig::default() };
         let link = LinkPair::new();
-        let mut a = Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), SchedHandle::new(), HostHandle::free());
+        let mut a =
+            Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), SchedHandle::new(), HostHandle::free());
         let mut b = Tcp::new(link.endpoint(1), TestAux, (), cfg, SchedHandle::new(), HostHandle::free());
         let a_events = Rc::new(RefCell::new(Vec::new()));
         let ae = a_events.clone();
@@ -1603,14 +1800,11 @@ mod golden_trace_tests {
     #[test]
     fn canonical_session_trace_is_stable() {
         let run = || {
-            let cfg = TcpConfig {
-                nagle: false,
-                delayed_ack_ms: None,
-                do_traces: true,
-                ..TcpConfig::default()
-            };
+            let cfg =
+                TcpConfig { nagle: false, delayed_ack_ms: None, do_traces: true, ..TcpConfig::default() };
             let link = LinkPair::new();
-            let mut a = Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), SchedHandle::new(), HostHandle::free());
+            let mut a =
+                Tcp::new(link.endpoint(0), TestAux, (), cfg.clone(), SchedHandle::new(), HostHandle::free());
             let mut b = Tcp::new(link.endpoint(1), TestAux, (), cfg, SchedHandle::new(), HostHandle::free());
             b.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap();
             let ca = a
@@ -1643,17 +1837,14 @@ mod golden_trace_tests {
             .filter(|l| l.contains("tx"))
             .map(|l| {
                 l.split_whitespace()
-                    .find(|w| w.contains("SYN") || w.contains("ACK") || w.contains("FIN") || w.contains("<none>"))
+                    .find(|w| {
+                        w.contains("SYN") || w.contains("ACK") || w.contains("FIN") || w.contains("<none>")
+                    })
                     .unwrap_or("?")
                     .to_string()
             })
             .collect();
-        assert_eq!(
-            tx_flags,
-            vec!["SYN", "ACK", "PSH+ACK", "FIN+ACK"],
-            "full log:\n{}",
-            t1.join("\n")
-        );
+        assert_eq!(tx_flags, vec!["SYN", "ACK", "PSH+ACK", "FIN+ACK"], "full log:\n{}", t1.join("\n"));
     }
 }
 

@@ -50,6 +50,14 @@ pub fn try_fast<P: Clone + PartialEq + Debug>(
         // Case 1: pure ACK of new data.
         if h.ack.in_open_closed(core.tcb.snd_una, core.tcb.snd_nxt) {
             resend::process_ack(cfg, core, h.ack, now);
+            // The slow path runs update_send_window on every acceptable
+            // ACK. The window is unchanged here (predicate above), but
+            // WL1/WL2 must still advance or they go stale: once rcv_nxt
+            // outruns a stale snd_wl1 by 2^31, the wrapping comparison
+            // in the WL rules inverts and a legitimate later window
+            // update is rejected.
+            core.tcb.snd_wl1 = h.seq;
+            core.tcb.snd_wl2 = h.ack;
             send::maybe_send(cfg, core, now);
             return true;
         }
@@ -72,6 +80,10 @@ pub fn try_fast<P: Clone + PartialEq + Debug>(
         tcb.rcv_nxt += took as u32;
         tcb.bytes_since_ack += took as u32;
         tcb.segs_since_ack += 1;
+        // Keep WL1/WL2 fresh exactly as the slow path's
+        // update_send_window would (window unchanged by predicate).
+        tcb.snd_wl1 = h.seq;
+        tcb.snd_wl2 = h.ack;
         tcb.push_action(TcpAction::UserData(seg.payload.clone()));
         match cfg.delayed_ack_ms {
             Some(ms) if tcb.segs_since_ack < 2 && tcb.bytes_since_ack < 2 * tcb.mss => {
@@ -83,6 +95,10 @@ pub fn try_fast<P: Clone + PartialEq + Debug>(
                 core.tcb.push_action(TcpAction::ClearTimer(TimerKind::DelayedAck));
             }
         }
+        // The slow path ends every non-duplicate segment with a send
+        // attempt; without it, data queued while this (bidirectional)
+        // segment was processed would sit until the next timer.
+        send::maybe_send(cfg, core, now);
         true
     }
 }
@@ -141,8 +157,7 @@ mod tests {
         let payload = vec![9u8; 700];
         assert!(try_fast(&cfg(), &mut core, &seg(5000, 100, 4096, &payload), VirtualTime::ZERO));
         assert_eq!(core.tcb.rcv_nxt, Seq(5700));
-        let tags: Vec<_> =
-            core.tcb.to_do.borrow_mut().drain_all().iter().map(|a| a.tag()).collect();
+        let tags: Vec<_> = core.tcb.to_do.borrow_mut().drain_all().iter().map(|a| a.tag()).collect();
         assert!(tags.contains(&"User_Data"));
     }
 
@@ -192,6 +207,77 @@ mod tests {
         let mut core = estab();
         core.tcb.insert_out_of_order(Seq(6000), vec![1; 10], false);
         assert!(!try_fast(&cfg(), &mut core, &seg(5000, 100, 4096, b"abc"), VirtualTime::ZERO));
+    }
+
+    #[test]
+    fn fast_path_advances_wl_state() {
+        // Both fast-path cases must leave snd_wl1/snd_wl2 exactly where
+        // the slow path's update_send_window would.
+        let mut core = estab();
+        core.tcb.send_buf.write(&[1; 500]);
+        core.tcb.snd_nxt = Seq(600);
+        core.tcb.resend_queue.push_back(crate::tcb::SentSegment {
+            seq: Seq(100),
+            len: 500,
+            syn: false,
+            fin: false,
+        });
+        assert!(try_fast(&cfg(), &mut core, &seg(5000, 600, 4096, b""), VirtualTime::ZERO));
+        assert_eq!(core.tcb.snd_wl1, Seq(5000), "case 1 must advance WL1");
+        assert_eq!(core.tcb.snd_wl2, Seq(600), "case 1 must advance WL2");
+
+        let mut core = estab();
+        assert!(try_fast(&cfg(), &mut core, &seg(5000, 100, 4096, &[9u8; 700]), VirtualTime::ZERO));
+        assert_eq!(core.tcb.snd_wl1, Seq(5000), "case 2 must advance WL1");
+        assert_eq!(core.tcb.snd_wl2, Seq(100), "case 2 must advance WL2");
+    }
+
+    #[test]
+    fn window_update_accepted_after_long_fast_path_run() {
+        // Regression: header prediction never advanced snd_wl1, so once
+        // rcv_nxt outran the stale value by >= 2^31 the wrapping WL
+        // comparison inverted and a legitimate window update from the
+        // peer was silently refused.
+        let mut core = estab();
+        core.tcb.snd_wl1 = Seq(5000u32.wrapping_sub(0x8000_0001));
+        core.tcb.snd_wl2 = Seq(100);
+        // The stale WL1 now compares "ahead of" the current sequence.
+        assert!(!core.tcb.snd_wl1.lt(Seq(5000)));
+
+        // A fast-path data segment (what a long bulk receive is made of).
+        assert!(try_fast(&cfg(), &mut core, &seg(5000, 100, 4096, &[7u8; 100]), VirtualTime::ZERO));
+
+        // The peer opens its window: a pure ACK with a new window. The
+        // fast path refuses it (window change) and the full DAG must
+        // accept the update.
+        let upd = seg(5100, 100, 8192, b"");
+        let _ = crate::receive::segment_arrives(&cfg(), &mut core, upd, VirtualTime::ZERO);
+        assert_eq!(
+            core.tcb.snd_wnd, 8192,
+            "a legitimate window update must not be rejected by stale WL state"
+        );
+    }
+
+    #[test]
+    fn fast_path_data_segment_flushes_queued_sends_like_slow_path() {
+        // The slow path ends every acceptable segment with maybe_send;
+        // the fast path's data case skipped it, stranding queued data on
+        // bidirectional connections until the next timer or ACK.
+        let mut core = estab();
+        let taken = send::user_send(&cfg(), &mut core, &[5u8; 300], VirtualTime::ZERO);
+        assert_eq!(taken, 300);
+        // user_send itself sent what the window allowed; drop those
+        // actions and pretend the window just kept us from sending more.
+        core.tcb.to_do.borrow_mut().drain_all();
+        core.tcb.snd_nxt = core.tcb.snd_una; // nothing in flight yet
+        core.tcb.resend_queue.clear();
+
+        assert!(try_fast(&cfg(), &mut core, &seg(5000, 100, 4096, &[9u8; 200]), VirtualTime::ZERO));
+        let tags: Vec<_> = core.tcb.to_do.borrow_mut().drain_all().iter().map(|a| a.tag()).collect();
+        assert!(
+            tags.contains(&"Send_Segment"),
+            "fast path must attempt to send queued data like the slow path, got {tags:?}"
+        );
     }
 
     #[test]

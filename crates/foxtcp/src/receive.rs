@@ -310,9 +310,8 @@ fn check_ack<P: Clone + PartialEq + Debug>(
         send::maybe_send(cfg, core, now);
     } else if ack == core.tcb.snd_una {
         // Duplicate. Window updates may still ride on it.
-        let pure_dup = seg.payload.is_empty()
-            && u32::from(h.window) == core.tcb.snd_wnd
-            && !seg.header.flags.fin;
+        let pure_dup =
+            seg.payload.is_empty() && u32::from(h.window) == core.tcb.snd_wnd && !seg.header.flags.fin;
         update_send_window(core, seg);
         if pure_dup {
             resend::duplicate_ack(cfg, core, now);
@@ -351,8 +350,7 @@ fn after_ack_transitions<P: Clone + PartialEq + Debug>(
     core: &mut ConnCore<P>,
     fin_acked_now: bool,
 ) {
-    let our_fin_acked = fin_acked_now
-        || core.tcb.fin_seq.is_some_and(|f| (f + 1).le(core.tcb.snd_una));
+    let our_fin_acked = fin_acked_now || core.tcb.fin_seq.is_some_and(|f| (f + 1).le(core.tcb.snd_una));
     match core.state {
         TcpState::FinWait1 { .. } if our_fin_acked => {
             core.state = TcpState::FinWait2;
@@ -417,9 +415,7 @@ fn process_text<P: Clone + PartialEq + Debug>(
         // after 2·MSS of bytes; otherwise delayed ("else a Set_Timer for
         // the ack timer if the ack is to be delayed").
         match cfg.delayed_ack_ms {
-            Some(ms)
-                if tcb.segs_since_ack < 2 && tcb.bytes_since_ack < 2 * tcb.mss && !fin =>
-            {
+            Some(ms) if tcb.segs_since_ack < 2 && tcb.bytes_since_ack < 2 * tcb.mss && !fin => {
                 tcb.ack_pending = true;
                 tcb.push_action(TcpAction::SetTimer(TimerKind::DelayedAck, ms));
             }
@@ -893,8 +889,10 @@ mod tests {
         assert_eq!(core.tcb.rcv_nxt, Seq(5001), "gap remains");
         assert_eq!(core.tcb.out_of_order.len(), 1);
         let actions = drain_actions(&core);
-        assert!(actions.iter().any(|a| matches!(a, TcpAction::SendSegment(s) if s.header.ack == Seq(5001))),
-            "duplicate ACK points at the gap");
+        assert!(
+            actions.iter().any(|a| matches!(a, TcpAction::SendSegment(s) if s.header.ack == Seq(5001))),
+            "duplicate ACK points at the gap"
+        );
     }
 
     #[test]
@@ -1025,8 +1023,10 @@ mod tests {
         let s = seg(5001, TcpFlags::FIN_ACK, b"");
         segment_arrives(&cfg(), &mut core, s, VirtualTime::ZERO);
         let actions = drain_actions(&core);
-        assert!(actions.iter().any(|a| matches!(a, TcpAction::SetTimer(TimerKind::TimeWait, _))),
-            "2MSL restarted: {actions:?}");
+        assert!(
+            actions.iter().any(|a| matches!(a, TcpAction::SetTimer(TimerKind::TimeWait, _))),
+            "2MSL restarted: {actions:?}"
+        );
         assert!(actions.iter().any(|a| matches!(a, TcpAction::SendSegment(_))), "FIN re-ACKed");
     }
 

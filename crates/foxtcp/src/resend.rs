@@ -121,11 +121,7 @@ pub fn process_ack<P: Clone + PartialEq + Debug>(
                 tcb.push_action(TcpAction::Loss(LossEvent::RecoveryExited));
             } else {
                 if tcb.cwnd > 0 {
-                    tcb.cwnd = tcb
-                        .cwnd
-                        .saturating_sub(out.bytes_acked)
-                        .saturating_add(tcb.mss)
-                        .max(tcb.mss);
+                    tcb.cwnd = tcb.cwnd.saturating_sub(out.bytes_acked).saturating_add(tcb.mss).max(tcb.mss);
                 }
                 tcb.rtt.timing = None; // Karn: the hole is retransmitted below
                 partial_ack = true;
@@ -348,13 +344,7 @@ mod tests {
     }
 
     fn drain(core: &ConnCore<u32>) -> Vec<String> {
-        core.tcb
-            .to_do
-            .borrow_mut()
-            .drain_all()
-            .into_iter()
-            .map(|a| format!("{a:?}"))
-            .collect()
+        core.tcb.to_do.borrow_mut().drain_all().into_iter().map(|a| format!("{a:?}")).collect()
     }
 
     #[test]

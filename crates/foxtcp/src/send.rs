@@ -47,11 +47,7 @@ pub fn queue_syn<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, with_ack:
     if core.tcb.snd_nxt == core.tcb.iss {
         let iss = core.tcb.iss;
         core.tcb.snd_nxt = iss + 1;
-        resend::record_sent(
-            &mut core.tcb,
-            SentSegment { seq: iss, len: 0, syn: true, fin: false },
-            now,
-        );
+        resend::record_sent(&mut core.tcb, SentSegment { seq: iss, len: 0, syn: true, fin: false }, now);
     }
 }
 
@@ -68,9 +64,7 @@ pub fn maybe_send<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut Conn
         let usable = tcb.usable_window();
         let take = unsent.min(usable).min(core.tcb.mss);
 
-        let fin_now = core.tcb.fin_pending
-            && core.tcb.fin_seq.is_none()
-            && unsent == take; // this segment (possibly empty) drains the buffer
+        let fin_now = core.tcb.fin_pending && core.tcb.fin_seq.is_none() && unsent == take; // this segment (possibly empty) drains the buffer
 
         if take == 0 && !fin_now {
             // Nothing sendable. If data is stuck behind a closed window,
@@ -83,20 +77,14 @@ pub fn maybe_send<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut Conn
         }
 
         // Nagle: hold small segments while anything is in flight.
-        if cfg.nagle
-            && !fin_now
-            && take < core.tcb.mss
-            && core.tcb.flight_size() > 0
-            && take == unsent
-        {
+        if cfg.nagle && !fin_now && take < core.tcb.mss && core.tcb.flight_size() > 0 && take == unsent {
             return;
         }
 
         // Read the payload out of the staged region of the send buffer.
         let mut payload = vec![0u8; take as usize];
         let syn_outstanding = core.tcb.resend_queue.iter().any(|s| s.syn);
-        let offset =
-            (core.tcb.flight_size() as usize).saturating_sub(usize::from(syn_outstanding));
+        let offset = (core.tcb.flight_size() as usize).saturating_sub(usize::from(syn_outstanding));
         let got = core.tcb.send_buf.peek_at(offset, &mut payload);
         payload.truncate(got);
         debug_assert_eq!(got as u32, take, "staged bytes must be present");
@@ -114,11 +102,7 @@ pub fn maybe_send<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut Conn
         core.tcb.bytes_since_ack = 0;
         core.tcb.segs_since_ack = 0;
         core.tcb.push_action(TcpAction::ClearTimer(TimerKind::DelayedAck));
-        resend::record_sent(
-            &mut core.tcb,
-            SentSegment { seq, len: take, syn: false, fin: fin_now },
-            now,
-        );
+        resend::record_sent(&mut core.tcb, SentSegment { seq, len: take, syn: false, fin: fin_now }, now);
         if fin_now {
             return;
         }
@@ -147,7 +131,11 @@ pub fn user_send<P: Clone + PartialEq + Debug>(
 /// The persist (zero-window probe) timer fired: send one byte beyond
 /// the window to force the peer to re-advertise, and re-arm with
 /// backoff.
-pub fn window_probe<P: Clone + PartialEq + Debug>(_cfg: &TcpConfig, core: &mut ConnCore<P>, now: VirtualTime) {
+pub fn window_probe<P: Clone + PartialEq + Debug>(
+    _cfg: &TcpConfig,
+    core: &mut ConnCore<P>,
+    now: VirtualTime,
+) {
     let tcb = &core.tcb;
     if tcb.snd_wnd > 0 || tcb.unsent() == 0 {
         return; // window opened meanwhile, or nothing to probe with
@@ -328,14 +316,8 @@ mod tests {
             let ack = core.tcb.snd_nxt;
             crate::resend::process_ack(&cfg, &mut core, ack, now);
             assert_eq!(core.tcb.rtt.backoff, 0, "the probe ACK resets the RTT backoff");
-            let acts: Vec<String> = core
-                .tcb
-                .to_do
-                .borrow_mut()
-                .drain_all()
-                .iter()
-                .map(|a| format!("{a:?}"))
-                .collect();
+            let acts: Vec<String> =
+                core.tcb.to_do.borrow_mut().drain_all().iter().map(|a| format!("{a:?}")).collect();
             let ms: u64 = acts
                 .iter()
                 .filter_map(|a| a.strip_prefix("Set_Timer(Persist, "))
@@ -443,10 +425,7 @@ mod tests {
     #[test]
     fn rst_reply_rules() {
         // With ACK: RST takes its sequence from the ACK field.
-        let mut seg = TcpSegment {
-            header: TcpHeader::new(5555, 80),
-            payload: b"x".to_vec(),
-        };
+        let mut seg = TcpSegment { header: TcpHeader::new(5555, 80), payload: b"x".to_vec() };
         seg.header.flags = TcpFlags::ACK;
         seg.header.ack = Seq(777);
         let rst = reset_for(80, &seg);

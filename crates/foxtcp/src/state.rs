@@ -94,10 +94,8 @@ pub fn abort<P: Clone + PartialEq + Debug>(
     }
     if core.state.is_synchronized() && was != TcpState::TimeWait {
         let header = send::make_header(core, TcpFlags::RST_ACK, core.tcb.snd_nxt);
-        core.tcb.push_action(TcpAction::SendSegment(foxwire::tcp::TcpSegment {
-            header,
-            payload: Vec::new(),
-        }));
+        core.tcb
+            .push_action(TcpAction::SendSegment(foxwire::tcp::TcpSegment { header, payload: Vec::new() }));
     }
     core.state = TcpState::Closed;
     core.tcb.resend_queue.clear();
@@ -192,10 +190,7 @@ mod tests {
     #[test]
     fn active_open_requires_remote() {
         let mut core: ConnCore<u32> = ConnCore::new(&cfg(), 1, Seq(0), 1460);
-        assert!(matches!(
-            active_open(&cfg(), &mut core, VirtualTime::ZERO),
-            Err(ProtoError::Invalid(_))
-        ));
+        assert!(matches!(active_open(&cfg(), &mut core, VirtualTime::ZERO), Err(ProtoError::Invalid(_))));
     }
 
     #[test]

@@ -98,10 +98,25 @@ impl TcpState {
 
     /// True once the connection is past the three-way handshake.
     pub fn is_synchronized(&self) -> bool {
-        !matches!(
-            self,
-            TcpState::Closed | TcpState::Listen { .. } | TcpState::SynSent { .. }
-        )
+        !matches!(self, TcpState::Closed | TcpState::Listen { .. } | TcpState::SynSent { .. })
+    }
+
+    /// The RFC 793 state name, as event exports use it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TcpState::Closed => "Closed",
+            TcpState::Listen { .. } => "Listen",
+            TcpState::SynSent { .. } => "SynSent",
+            TcpState::SynActive => "SynActive",
+            TcpState::SynPassive { .. } => "SynPassive",
+            TcpState::Estab => "Estab",
+            TcpState::FinWait1 { .. } => "FinWait1",
+            TcpState::FinWait2 => "FinWait2",
+            TcpState::CloseWait => "CloseWait",
+            TcpState::Closing => "Closing",
+            TcpState::LastAck => "LastAck",
+            TcpState::TimeWait => "TimeWait",
+        }
     }
 }
 
@@ -132,13 +147,7 @@ pub const MAX_RTO: VirtualDuration = VirtualDuration::from_secs(64);
 
 impl Default for RttEstimator {
     fn default() -> Self {
-        RttEstimator {
-            srtt: None,
-            rttvar: VirtualDuration::ZERO,
-            rto: INITIAL_RTO,
-            backoff: 0,
-            timing: None,
-        }
+        RttEstimator { srtt: None, rttvar: VirtualDuration::ZERO, rto: INITIAL_RTO, backoff: 0, timing: None }
     }
 }
 
@@ -337,10 +346,7 @@ impl<P> Tcb<P> {
     /// backoff, so an answered probe (which resets the RTT backoff)
     /// cannot stop the probe interval from growing.
     pub fn persist_timeout(&self) -> VirtualDuration {
-        self.rtt
-            .rto
-            .saturating_mul(1u64 << self.persist_backoff.min(6))
-            .min(MAX_RTO)
+        self.rtt.rto.saturating_mul(1u64 << self.persist_backoff.min(6)).min(MAX_RTO)
     }
 
     /// Unsent bytes staged in the send buffer (the paper's `queued`).

@@ -4,6 +4,7 @@
 //! testability; these properties pin down the safety side — no input
 //! sequence may panic the stack or corrupt its invariants.
 
+use fox_scheduler::SchedHandle;
 use foxbasis::seq::Seq;
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxproto::Protocol;
@@ -11,7 +12,6 @@ use foxtcp::receive;
 use foxtcp::tcb::{TcpState, MAX_OUT_OF_ORDER};
 use foxtcp::testlink::{LinkPair, TestAux};
 use foxtcp::{ConnCore, Tcp, TcpConfig, TcpConnId, TcpEvent, TcpPattern};
-use fox_scheduler::SchedHandle;
 use foxwire::tcp::{TcpFlags, TcpHeader, TcpSegment};
 use proptest::prelude::*;
 use simnet::HostHandle;
@@ -36,20 +36,15 @@ fn arb_segment() -> impl Strategy<Value = ArbSegment> {
 /// Segments biased toward the connection's live window, where the
 /// interesting branches are.
 fn biased_segment(base_seq: u32, base_ack: u32) -> impl Strategy<Value = ArbSegment> {
-    (
-        -20_000i64..20_000,
-        -20_000i64..20_000,
-        0u8..64,
-        any::<u16>(),
-        0usize..1600,
-    )
-        .prop_map(move |(dseq, dack, flags, window, payload_len)| ArbSegment {
+    (-20_000i64..20_000, -20_000i64..20_000, 0u8..64, any::<u16>(), 0usize..1600).prop_map(
+        move |(dseq, dack, flags, window, payload_len)| ArbSegment {
             seq: (base_seq as i64).wrapping_add(dseq) as u32,
             ack: (base_ack as i64).wrapping_add(dack) as u32,
             flags,
             window,
             payload_len,
-        })
+        },
+    )
 }
 
 fn to_segment(a: &ArbSegment) -> TcpSegment {
@@ -190,18 +185,20 @@ fn stream_prefix_property(drop_mask: &[bool], payload_len: usize) {
     let mask = drop_mask.to_vec();
     let idx = Rc::new(RefCell::new(0usize));
     let i2 = idx.clone();
-    link.set_filter_toward(1, Box::new(move |_| {
-        let mut i = i2.borrow_mut();
-        let keep = !mask[*i % mask.len()];
-        *i += 1;
-        keep
-    }));
+    link.set_filter_toward(
+        1,
+        Box::new(move |_| {
+            let mut i = i2.borrow_mut();
+            let keep = !mask[*i % mask.len()];
+            *i += 1;
+            keep
+        }),
+    );
 
     let got = Rc::new(RefCell::new(Vec::new()));
     b.open(TcpPattern::Passive { local_port: 80 }, Box::new(|_| {})).unwrap();
-    let conn = a
-        .open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 0 }, Box::new(|_| {}))
-        .unwrap();
+    let conn =
+        a.open(TcpPattern::Active { remote: 1, remote_port: 80, local_port: 0 }, Box::new(|_| {})).unwrap();
     let payload: Vec<u8> = (0..payload_len as u32).map(|i| (i % 251) as u8).collect();
 
     let mut now = VirtualTime::ZERO;
@@ -241,11 +238,7 @@ fn stream_prefix_property(drop_mask: &[bool], payload_len: usize) {
     // link, where giving up (the user timeout) is the *correct*
     // behavior. Bound the cyclic run length at 3.
     let doubled: Vec<bool> = drop_mask.iter().chain(drop_mask.iter()).copied().collect();
-    let max_run = doubled
-        .split(|d| !*d)
-        .map(|run| run.len())
-        .max()
-        .unwrap_or(0);
+    let max_run = doubled.split(|d| !*d).map(|run| run.len()).max().unwrap_or(0);
     if max_run <= 3 {
         assert_eq!(received.len(), payload.len(), "transfer wedged (max drop run {max_run})");
     }

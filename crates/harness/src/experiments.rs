@@ -6,10 +6,11 @@ use crate::report::{f1, f2, Table};
 use crate::stack::StackKind;
 use crate::station::StationStats;
 use crate::workload::{bulk_transfer, ping_pong, BulkResult, PingResult};
+use foxbasis::obs::{EventSink, Stamped, DEFAULT_RING_CAPACITY};
 use foxbasis::profile::Account;
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxtcp::TcpConfig;
-use simnet::{CostModel, FaultConfig, NetConfig, NetStats, SimNet};
+use simnet::{CostModel, FaultConfig, NetConfig, NetStats, PcapSink, SimNet};
 
 /// The paper's benchmark configuration: 4096-byte window, immediate
 /// ACKs. (With a 4096-byte window — 2.8 MSS — holding ACKs back for
@@ -18,12 +19,7 @@ use simnet::{CostModel, FaultConfig, NetConfig, NetStats, SimNet};
 /// throughput is only reachable with prompt ACKs. Delayed ACKs remain
 /// available and are measured in the ablation table.)
 pub fn paper_tcp_config() -> TcpConfig {
-    TcpConfig {
-        initial_window: 4096,
-        send_buffer: 8192,
-        delayed_ack_ms: None,
-        ..TcpConfig::default()
-    }
+    TcpConfig { initial_window: 4096, send_buffer: 8192, delayed_ack_ms: None, ..TcpConfig::default() }
 }
 
 fn fresh_net(seed: u64) -> SimNet {
@@ -99,12 +95,7 @@ pub fn render_table1(t: &Table1) -> Table {
         f1(t.xk.throughput_mbps),
         f2(t.fox.throughput_mbps / t.xk.throughput_mbps),
     ]);
-    tab.row(&[
-        "Round-Trip (ms)".into(),
-        f1(t.fox.rtt_ms),
-        f1(t.xk.rtt_ms),
-        f2(t.fox.rtt_ms / t.xk.rtt_ms),
-    ]);
+    tab.row(&["Round-Trip (ms)".into(), f1(t.fox.rtt_ms), f1(t.xk.rtt_ms), f2(t.fox.rtt_ms / t.xk.rtt_ms)]);
     tab
 }
 
@@ -124,9 +115,12 @@ pub struct Table2 {
 /// Runs the profiled 10^6-byte transfer.
 pub fn table2(seed: u64) -> Table2 {
     let net = fresh_net(seed);
-    let mut sender = StackKind::FoxStandard.build(&net, 1, 2, CostModel::decstation_sml(), true, paper_tcp_config());
-    let mut receiver = StackKind::FoxStandard.build(&net, 2, 1, CostModel::decstation_sml(), true, paper_tcp_config());
-    let bulk = bulk_transfer(&net, &mut sender, &mut receiver, 1_000_000, VirtualTime::from_micros(u64::MAX / 2));
+    let mut sender =
+        StackKind::FoxStandard.build(&net, 1, 2, CostModel::decstation_sml(), true, paper_tcp_config());
+    let mut receiver =
+        StackKind::FoxStandard.build(&net, 2, 1, CostModel::decstation_sml(), true, paper_tcp_config());
+    let bulk =
+        bulk_transfer(&net, &mut sender, &mut receiver, 1_000_000, VirtualTime::from_micros(u64::MAX / 2));
 
     // The paper's "packet wait" is the time spent blocked in Mach
     // waiting for a packet; in the simulation that is exactly the
@@ -146,23 +140,10 @@ pub fn table2(seed: u64) -> Table2 {
         if account == Account::Scheduler {
             continue; // the paper leaves the scheduler unprofiled
         }
-        let s = bulk
-            .sender_profile
-            .iter()
-            .find(|(a, _)| *a == account)
-            .map(|(_, p)| *p)
-            .unwrap_or(0.0);
-        let r = bulk
-            .receiver_profile
-            .iter()
-            .find(|(a, _)| *a == account)
-            .map(|(_, p)| *p)
-            .unwrap_or(0.0);
-        let (s, r) = if account == Account::PacketWait {
-            (s + sender_idle, r + receiver_idle)
-        } else {
-            (s, r)
-        };
+        let s = bulk.sender_profile.iter().find(|(a, _)| *a == account).map(|(_, p)| *p).unwrap_or(0.0);
+        let r = bulk.receiver_profile.iter().find(|(a, _)| *a == account).map(|(_, p)| *p).unwrap_or(0.0);
+        let (s, r) =
+            if account == Account::PacketWait { (s + sender_idle, r + receiver_idle) } else { (s, r) };
         totals.0 += s;
         totals.1 += r;
         rows.push((account, s, r));
@@ -226,11 +207,29 @@ pub fn gc_study(sizes: &[usize], seed: u64) -> Vec<GcRow> {
         .iter()
         .map(|&bytes| {
             let net = fresh_net(seed);
-            let mut sender =
-                StackKind::FoxStandard.build(&net, 1, 2, CostModel::decstation_sml(), false, paper_tcp_config());
-            let mut receiver =
-                StackKind::FoxStandard.build(&net, 2, 1, CostModel::decstation_sml(), false, paper_tcp_config());
-            let r = bulk_transfer(&net, &mut sender, &mut receiver, bytes, VirtualTime::from_micros(u64::MAX / 2));
+            let mut sender = StackKind::FoxStandard.build(
+                &net,
+                1,
+                2,
+                CostModel::decstation_sml(),
+                false,
+                paper_tcp_config(),
+            );
+            let mut receiver = StackKind::FoxStandard.build(
+                &net,
+                2,
+                1,
+                CostModel::decstation_sml(),
+                false,
+                paper_tcp_config(),
+            );
+            let r = bulk_transfer(
+                &net,
+                &mut sender,
+                &mut receiver,
+                bytes,
+                VirtualTime::from_micros(u64::MAX / 2),
+            );
             let gc = r.sender_gc.clone().unwrap_or_default();
             GcRow {
                 bytes,
@@ -348,10 +347,8 @@ pub fn ablations(bytes: usize, seed: u64) -> Vec<AblationRow> {
 
 /// Renders the ablations.
 pub fn render_ablations(rows: &[AblationRow]) -> Table {
-    let mut tab = Table::new(
-        "Ablations (Fox Net, 1994 cost model)",
-        &["variant", "Mb/s", "segments", "fastpath"],
-    );
+    let mut tab =
+        Table::new("Ablations (Fox Net, 1994 cost model)", &["variant", "Mb/s", "segments", "fastpath"]);
     for r in rows {
         tab.row(&[
             r.name.clone(),
@@ -387,7 +384,8 @@ pub fn gc_pause_study(rounds: usize, seed: u64) -> GcPauseStudy {
         let mut server = StackKind::FoxStandard.build(&net, 1, 2, cost(), false, cfg.clone());
         let mut client = StackKind::FoxStandard.build(&net, 2, 1, cost(), false, cfg);
         // 512-byte echoes allocate enough to keep the collector busy.
-        let r = ping_pong(&net, &mut server, &mut client, rounds, 512, VirtualTime::from_micros(u64::MAX / 2));
+        let r =
+            ping_pong(&net, &mut server, &mut client, rounds, 512, VirtualTime::from_micros(u64::MAX / 2));
         let gc = server.host().with(|h| h.gc_stats().cloned()).unwrap_or_default();
         rows.push((name, r.mean_rtt, r.max_rtt, gc.total_pause, gc.max_pause));
     }
@@ -426,7 +424,13 @@ pub fn loss_sweep(bytes: usize, seed: u64) -> Vec<(f64, f64, u64)> {
                 StackKind::FoxStandard.build(&net, 1, 2, CostModel::modern(), false, paper_tcp_config());
             let mut receiver =
                 StackKind::FoxStandard.build(&net, 2, 1, CostModel::modern(), false, paper_tcp_config());
-            let r = bulk_transfer(&net, &mut sender, &mut receiver, bytes, VirtualTime::from_micros(u64::MAX / 2));
+            let r = bulk_transfer(
+                &net,
+                &mut sender,
+                &mut receiver,
+                bytes,
+                VirtualTime::from_micros(u64::MAX / 2),
+            );
             assert_eq!(r.bytes, bytes, "transfer completes even at {p} loss");
             (p, r.throughput_mbps, r.sender.retransmits)
         })
@@ -456,10 +460,8 @@ pub fn interop_matrix(bytes: usize, seed: u64) -> Vec<(String, f64)> {
 
 /// Renders the interop matrix.
 pub fn render_interop_matrix(rows: &[(String, f64)]) -> Table {
-    let mut tab = Table::new(
-        "Interoperation matrix (sender -> receiver, free CPU, Mb/s)",
-        &["pairing", "Mb/s"],
-    );
+    let mut tab =
+        Table::new("Interoperation matrix (sender -> receiver, free CPU, Mb/s)", &["pairing", "Mb/s"]);
     for (name, mbps) in rows {
         tab.row(&[name.clone(), f2(*mbps)]);
     }
@@ -509,12 +511,7 @@ pub fn loss_matrix_profiles() -> Vec<(&'static str, FaultConfig)> {
 /// actually accumulate behind a hole; the paper's 4096-byte window is
 /// under three segments and would mask fast retransmit entirely.
 fn loss_matrix_config() -> TcpConfig {
-    TcpConfig {
-        initial_window: 16384,
-        send_buffer: 32768,
-        delayed_ack_ms: None,
-        ..TcpConfig::default()
-    }
+    TcpConfig { initial_window: 16384, send_buffer: 32768, delayed_ack_ms: None, ..TcpConfig::default() }
 }
 
 /// Everything observable about one cell run, for exact-equality
@@ -580,6 +577,69 @@ pub fn render_loss_matrix(cells: &[LossCell]) -> Table {
         ]);
     }
     tab
+}
+
+// ----- traced runs (DESIGN.md §5.5: the typed event layer) -----
+
+/// A run with the event layer on: the typed stream, its drop counter,
+/// the wire capture of the same run, and the workload result.
+pub struct TracedBulk {
+    /// The recorded events, in emission order.
+    pub events: Vec<Stamped>,
+    /// Events the bounded ring overwrote (0 in a healthy run).
+    pub dropped: u64,
+    /// Every frame that crossed the medium, libpcap-framed.
+    pub pcap: PcapSink,
+    /// The workload result.
+    pub bulk: BulkResult,
+}
+
+fn run_traced(
+    net: SimNet,
+    kind: StackKind,
+    cost: fn() -> CostModel,
+    cfg: TcpConfig,
+    bytes: usize,
+    deadline: VirtualTime,
+) -> TracedBulk {
+    let sink = EventSink::recording(DEFAULT_RING_CAPACITY);
+    net.set_obs(sink.clone());
+    let pcap = net.capture();
+    let mut s = kind.build_traced(&net, 1, 2, cost(), false, cfg.clone(), sink.clone());
+    let mut r = kind.build_traced(&net, 2, 1, cost(), false, cfg, sink.clone());
+    let bulk = bulk_transfer(&net, &mut s, &mut r, bytes, deadline);
+    TracedBulk { events: sink.events(), dropped: sink.dropped(), pcap, bulk }
+}
+
+/// The Table 1 bulk transfer with the event layer recording: the same
+/// run `measure_speed` times, but returning the full typed timeline
+/// (TCP state machine, timers, segments, frames, GC) next to the pcap.
+/// Two calls with the same seed must produce byte-identical streams —
+/// `foxbasis::obs::first_divergence` of the pair is `None`.
+pub fn traced_table1_bulk(kind: StackKind, cost: fn() -> CostModel, bytes: usize, seed: u64) -> TracedBulk {
+    run_traced(fresh_net(seed), kind, cost, paper_tcp_config(), bytes, VirtualTime::from_micros(u64::MAX / 2))
+}
+
+/// One loss-matrix cell with the event layer recording. Unlike the
+/// fault-free Table 1 run — whose event stream does not depend on the
+/// seed at all — a lossy cell consumes the fault dice, so different
+/// seeds diverge and `first_divergence` names the first differing
+/// event.
+pub fn traced_loss_cell(kind: StackKind, profile: &str, bytes: usize, seed: u64) -> TracedBulk {
+    let faults = loss_matrix_profiles()
+        .into_iter()
+        .find(|(name, _)| *name == profile)
+        .unwrap_or_else(|| panic!("unknown fault profile {profile:?}"))
+        .1;
+    let netcfg = NetConfig { faults, ..NetConfig::default() };
+    run_traced(
+        SimNet::new(netcfg, seed),
+        kind,
+        CostModel::modern,
+        loss_matrix_config(),
+        bytes,
+        VirtualTime::from_millis(600_000),
+    )
 }
 
 /// Renders the loss sweep.

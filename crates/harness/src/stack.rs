@@ -14,6 +14,8 @@
 //! everything but the TCP implementation (and its cost model) equal.
 
 use crate::station::{ConnHandle, Station, StationStats};
+use fox_scheduler::SchedHandle;
+use foxbasis::obs::{ConnMetrics, EventSink};
 use foxbasis::time::VirtualTime;
 use foxproto::aux::IpAux;
 use foxproto::dev::Dev;
@@ -22,7 +24,6 @@ use foxproto::ip::{Ip, IpConfig};
 use foxproto::vp::SizedPayload;
 use foxproto::{EthAux, IpAuxImpl, Protocol};
 use foxtcp::{Tcp, TcpConfig, TcpConnId, TcpEvent, TcpPattern};
-use fox_scheduler::SchedHandle;
 use foxwire::ether::{EthAddr, EtherType};
 use foxwire::ipv4::{IpProtocol, Ipv4Addr};
 use simnet::{CostModel, Host, HostHandle, SimNet};
@@ -58,10 +59,28 @@ impl StackKind {
         profiled: bool,
         tcp_cfg: TcpConfig,
     ) -> Box<dyn Station> {
+        self.build_traced(net, id, peer_id, cost, profiled, tcp_cfg, EventSink::off())
+    }
+
+    /// Like [`StackKind::build`], but with an event sink installed in
+    /// every layer (device, host GC, TCP engine), stamped with the
+    /// station's wire-side host id so device and wire views of one
+    /// frame line up.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_traced(
+        self,
+        net: &SimNet,
+        id: u8,
+        peer_id: u8,
+        cost: CostModel,
+        profiled: bool,
+        tcp_cfg: TcpConfig,
+        sink: EventSink,
+    ) -> Box<dyn Station> {
         match self {
-            StackKind::FoxStandard => standard_station(net, id, peer_id, cost, profiled, tcp_cfg),
-            StackKind::FoxSpecial => special_station(net, id, peer_id, cost, profiled, tcp_cfg),
-            StackKind::XKernel => xk_station(net, id, peer_id, cost, profiled, &tcp_cfg),
+            StackKind::FoxStandard => standard_station(net, id, peer_id, cost, profiled, tcp_cfg, sink),
+            StackKind::FoxSpecial => special_station(net, id, peer_id, cost, profiled, tcp_cfg, sink),
+            StackKind::XKernel => xk_station(net, id, peer_id, cost, profiled, &tcp_cfg, sink),
         }
     }
 
@@ -84,6 +103,13 @@ fn host_handle(id: u8, cost: CostModel, profiled: bool) -> HostHandle {
     HostHandle::new(Host::new(name, cost, profiled))
 }
 
+/// Stations attach ports in build order, so station `id` (1-based) sits
+/// on wire port `id - 1`; stamping events with the port number keeps the
+/// device-side and wire-side views of one frame under the same host id.
+fn stamp(sink: &EventSink, id: u8) -> EventSink {
+    sink.for_host(u32::from(id.saturating_sub(1)))
+}
+
 /// `Standard_Tcp = Tcp (structure Lower = Ip ...)`.
 pub fn standard_station(
     net: &SimNet,
@@ -92,16 +118,22 @@ pub fn standard_station(
     cost: CostModel,
     profiled: bool,
     tcp_cfg: TcpConfig,
+    sink: EventSink,
 ) -> Box<dyn Station> {
+    let stamped = stamp(&sink, id);
     let host = host_handle(id, cost, profiled);
+    host.set_obs(stamped.clone());
     let sched = SchedHandle::new();
     let mac = EthAddr::host(id);
     let local = Ipv4Addr::new(10, 0, 0, id);
-    let eth = Eth::new(Dev::new(net.attach(mac), host.clone()), mac, host.clone());
+    let mut dev = Dev::new(net.attach(mac), host.clone());
+    dev.set_obs(stamped.clone());
+    let eth = Eth::new(dev, mac, host.clone());
     let ip = Ip::new(eth, mac, IpConfig::isolated(local), host.clone());
     let mtu = ip.mtu();
     let aux = IpAuxImpl::new(local, IpProtocol::Tcp, mtu);
-    let tcp = Tcp::new(ip, aux, IpProtocol::Tcp, tcp_cfg, sched.clone(), host.clone());
+    let mut tcp = Tcp::new(ip, aux, IpProtocol::Tcp, tcp_cfg, sched.clone(), host.clone());
+    tcp.set_obs(stamped);
     Box::new(FoxStation {
         tcp,
         _sched: sched,
@@ -123,13 +155,19 @@ pub fn special_station(
     cost: CostModel,
     profiled: bool,
     mut tcp_cfg: TcpConfig,
+    sink: EventSink,
 ) -> Box<dyn Station> {
     tcp_cfg.compute_checksums = false; // val do_checksums = false
+    let stamped = stamp(&sink, id);
     let host = host_handle(id, cost, profiled);
+    host.set_obs(stamped.clone());
     let sched = SchedHandle::new();
     let mac = EthAddr::host(id);
-    let eth = SizedPayload::new(Eth::new(Dev::new(net.attach(mac), host.clone()), mac, host.clone()));
-    let tcp = Tcp::new(eth, EthAux::new(), EtherType::TcpDirect, tcp_cfg, sched.clone(), host.clone());
+    let mut dev = Dev::new(net.attach(mac), host.clone());
+    dev.set_obs(stamped.clone());
+    let eth = SizedPayload::new(Eth::new(dev, mac, host.clone()));
+    let mut tcp = Tcp::new(eth, EthAux::new(), EtherType::TcpDirect, tcp_cfg, sched.clone(), host.clone());
+    tcp.set_obs(stamped);
     Box::new(FoxStation {
         tcp,
         _sched: sched,
@@ -149,11 +187,16 @@ pub fn xk_station(
     cost: CostModel,
     profiled: bool,
     tcp_cfg: &TcpConfig,
+    sink: EventSink,
 ) -> Box<dyn Station> {
+    let stamped = stamp(&sink, id);
     let host = host_handle(id, cost, profiled);
+    host.set_obs(stamped.clone());
     let mac = EthAddr::host(id);
     let local = Ipv4Addr::new(10, 0, 0, id);
-    let eth = Eth::new(Dev::new(net.attach(mac), host.clone()), mac, host.clone());
+    let mut dev = Dev::new(net.attach(mac), host.clone());
+    dev.set_obs(stamped.clone());
+    let eth = Eth::new(dev, mac, host.clone());
     let ip = Ip::new(eth, mac, IpConfig::isolated(local), host.clone());
     let mtu = ip.mtu();
     let aux = IpAuxImpl::new(local, IpProtocol::Tcp, mtu);
@@ -165,7 +208,8 @@ pub fn xk_station(
         time_wait_ms: tcp_cfg.time_wait_ms,
         max_retransmits: tcp_cfg.max_retransmits,
     };
-    let tcp = XkTcp::new(ip, aux, IpProtocol::Tcp, cfg, host.clone());
+    let mut tcp = XkTcp::new(ip, aux, IpProtocol::Tcp, cfg, host.clone());
+    tcp.set_obs(stamped);
     Box::new(XkStation {
         tcp,
         host,
@@ -309,6 +353,14 @@ where
             probe_fires: s.probe_fires,
         }
     }
+
+    fn set_obs(&mut self, sink: EventSink) {
+        self.tcp.set_obs(sink);
+    }
+
+    fn metrics(&self, conn: ConnHandle) -> Option<ConnMetrics> {
+        self.tcp.metrics_of(TcpConnId(conn))
+    }
 }
 
 // ----- x-kernel station -----
@@ -440,11 +492,15 @@ where
         }
     }
 
+    fn set_obs(&mut self, sink: EventSink) {
+        self.tcp.set_obs(sink);
+    }
+
+    fn metrics(&self, conn: ConnHandle) -> Option<ConnMetrics> {
+        self.tcp.metrics_of(xktcp::SockId(conn))
+    }
+
     fn debug_line(&self) -> String {
-        self.conns
-            .iter()
-            .filter_map(|c| self.tcp.debug_of(*c))
-            .collect::<Vec<_>>()
-            .join(" | ")
+        self.conns.iter().filter_map(|c| self.tcp.debug_of(*c)).collect::<Vec<_>>().join(" | ")
     }
 }

@@ -78,6 +78,16 @@ pub trait Station {
     /// Statistics.
     fn stats(&self) -> StationStats;
 
+    /// Installs an event sink; the station's layers record typed events
+    /// into it. The default station records nothing.
+    fn set_obs(&mut self, _sink: foxbasis::obs::EventSink) {}
+
+    /// Per-connection metrics snapshot (`None` once the connection is
+    /// reaped, or for stations that keep no such bookkeeping).
+    fn metrics(&self, _conn: ConnHandle) -> Option<foxbasis::obs::ConnMetrics> {
+        None
+    }
+
     /// Implementation-specific diagnostic line (for debugging harnesses).
     fn debug_line(&self) -> String {
         String::new()

@@ -112,15 +112,16 @@ pub fn bulk_transfer(
 
     let elapsed = end.saturating_since(t0);
     let secs = elapsed.as_secs_f64().max(1e-9);
-    let profile = |s: &dyn Station| {
-        s.host().with(|h| {
-            if h.profiler().is_enabled() {
-                h.profiler().percentages(elapsed)
-            } else {
-                Vec::new()
-            }
-        })
-    };
+    let profile =
+        |s: &dyn Station| {
+            s.host().with(|h| {
+                if h.profiler().is_enabled() {
+                    h.profiler().percentages(elapsed)
+                } else {
+                    Vec::new()
+                }
+            })
+        };
     let sender_profile = profile(&**sender);
     let receiver_profile = profile(&**receiver);
     let sender_gc = sender.host().with(|h| h.gc_stats().cloned());

@@ -1,0 +1,275 @@
+//! End-to-end checks of the event layer against whole experiment runs:
+//! determinism (same seed → byte-identical streams), divergence
+//! reporting (different seeds on a lossy link → a named first
+//! difference), and a schema check that the chrome://tracing export of
+//! a loss-matrix cell is well-formed JSON of the expected shape.
+
+use foxbasis::obs::{first_divergence, to_chrome_trace, to_jsonl, Event};
+use foxharness::experiments as exp;
+use foxharness::stack::StackKind;
+use simnet::CostModel;
+
+#[test]
+fn same_seed_table1_runs_diff_to_zero() {
+    let a = exp::traced_table1_bulk(StackKind::FoxStandard, CostModel::modern, 50_000, 7);
+    let b = exp::traced_table1_bulk(StackKind::FoxStandard, CostModel::modern, 50_000, 7);
+    assert!(!a.events.is_empty(), "a traced run must record events");
+    assert_eq!(a.dropped, 0, "the default ring must hold a 50 KB run");
+    assert_eq!(a.bulk.bytes, 50_000);
+    let d = first_divergence(&a.events, &b.events);
+    assert!(d.is_none(), "identical seeds must replay identically, diverged at {d:?}");
+    assert_eq!(to_jsonl(&a.events), to_jsonl(&b.events));
+    assert!(a.pcap.frame_count() > 0, "the pcap tap rides along");
+}
+
+#[test]
+fn traced_run_covers_every_layer() {
+    // 300 KB: enough to fill the 1994 model's nursery at least once,
+    // so the GC layer shows up in the stream.
+    let t = exp::traced_table1_bulk(StackKind::FoxStandard, CostModel::decstation_sml, 300_000, 7);
+    let has = |f: &dyn Fn(&Event) -> bool| t.events.iter().any(|e| f(&e.event));
+    assert!(has(&|e| matches!(e, Event::StateTransition { to: "Estab", .. })), "TCP layer");
+    assert!(has(&|e| matches!(e, Event::Action { .. })), "action queue");
+    assert!(has(&|e| matches!(e, Event::TimerSet { .. })), "timers");
+    assert!(has(&|e| matches!(e, Event::SegTx { .. })), "segments out");
+    assert!(has(&|e| matches!(e, Event::SegRx { .. })), "segments in");
+    assert!(has(&|e| matches!(e, Event::FrameTx { .. })), "device layer");
+    assert!(has(&|e| matches!(e, Event::FrameDeliver { .. })), "wire layer");
+    assert!(has(&|e| matches!(e, Event::GcPause { .. })), "collector");
+    assert!(
+        t.events.iter().any(|e| e.host == 0) && t.events.iter().any(|e| e.host == 1),
+        "both hosts are stamped"
+    );
+}
+
+#[test]
+fn xkernel_stack_is_traced_too() {
+    let t = exp::traced_table1_bulk(StackKind::XKernel, CostModel::modern, 30_000, 7);
+    let has = |f: &dyn Fn(&Event) -> bool| t.events.iter().any(|e| f(&e.event));
+    assert!(has(&|e| matches!(e, Event::StateTransition { to: "Estab", .. })));
+    assert!(has(&|e| matches!(e, Event::SegTx { .. })));
+    assert!(has(&|e| matches!(e, Event::SegRx { .. })));
+}
+
+#[test]
+fn different_seed_lossy_cell_reports_first_divergence() {
+    let a = exp::traced_loss_cell(StackKind::FoxStandard, "drop 5%", 30_000, 7);
+    let b = exp::traced_loss_cell(StackKind::FoxStandard, "drop 5%", 30_000, 8);
+    let d = first_divergence(&a.events, &b.events).expect("different fault dice must diverge somewhere");
+    assert!(d.index <= a.events.len().max(b.events.len()));
+    assert!(d.left.is_some() || d.right.is_some(), "a divergence names at least one side's event");
+    // And the same lossy seed still replays exactly.
+    let a2 = exp::traced_loss_cell(StackKind::FoxStandard, "drop 5%", 30_000, 7);
+    assert!(first_divergence(&a.events, &a2.events).is_none());
+}
+
+#[test]
+fn chrome_export_of_a_lossmatrix_cell_is_valid_json() {
+    let t = exp::traced_loss_cell(StackKind::FoxStandard, "drop 5%", 20_000, 7);
+    let json = to_chrome_trace(&t.events);
+    let value = json::parse(&json).expect("export must be syntactically valid JSON");
+    let obj = match value {
+        json::Value::Object(pairs) => pairs,
+        other => panic!("top level must be an object, got {other:?}"),
+    };
+    let events = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .expect("top level must carry traceEvents");
+    let arr = match events {
+        json::Value::Array(items) => items,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    assert!(!arr.is_empty());
+    for item in arr {
+        let fields = match item {
+            json::Value::Object(pairs) => pairs,
+            other => panic!("each trace event must be an object, got {other:?}"),
+        };
+        for key in ["name", "ph", "ts", "pid", "tid", "args"] {
+            assert!(fields.iter().any(|(k, _)| k == key), "trace event missing {key:?}");
+        }
+        let ph = fields.iter().find(|(k, _)| k == "ph").map(|(_, v)| v).unwrap();
+        assert_eq!(ph, &json::Value::String("i".into()), "instant events only");
+    }
+}
+
+/// A minimal recursive-descent JSON reader — just enough to prove the
+/// exporters emit well-formed JSON without pulling in a parser crate.
+mod json {
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at {}", c as char, pos))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::String(string(b, pos)?)),
+            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => literal(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at {pos}"))
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("bad number at {start}"))
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at {pos}"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at {pos}")),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) if c >= 0x20 => {
+                    // Multi-byte UTF-8 passes through untouched.
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = b
+                        .get(*pos..*pos + len)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| format!("bad utf8 at {pos}"))?;
+                    out.push_str(chunk);
+                    *pos += len;
+                }
+                _ => return Err(format!("unterminated string at {pos}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected , or ] at {pos}")),
+            }
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut pairs = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            pairs.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(format!("expected , or }} at {pos}")),
+            }
+        }
+    }
+}

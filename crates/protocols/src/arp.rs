@@ -104,10 +104,7 @@ impl ArpCache {
         let mut effects = Vec::new();
         // Learn the sender (both from requests and replies — including
         // gratuitous ones).
-        self.entries.insert(
-            packet.sender_ip,
-            Entry { mac: packet.sender_eth, expires: now + ENTRY_TTL },
-        );
+        self.entries.insert(packet.sender_ip, Entry { mac: packet.sender_eth, expires: now + ENTRY_TTL });
         if let Some(slot) = self.pending.remove(&packet.sender_ip) {
             if !slot.packets.is_empty() {
                 effects.push(ArpEffect::Release(slot.packets, packet.sender_eth));

@@ -11,6 +11,7 @@
 //! them.
 
 use crate::{Handler, ProtoError, Protocol};
+use foxbasis::obs::{Event, EventSink, NO_CONN};
 use foxbasis::time::VirtualTime;
 use simnet::{HostHandle, Port};
 use std::fmt;
@@ -23,6 +24,7 @@ pub struct Dev {
     opened: bool,
     frames_sent: u64,
     frames_received: u64,
+    obs: EventSink,
 }
 
 /// `Dev` has exactly one connection: the wire.
@@ -32,7 +34,21 @@ pub struct DevConn;
 impl Dev {
     /// A device on `port`, charging costs to `host`.
     pub fn new(port: Port, host: HostHandle) -> Dev {
-        Dev { port, host, handler: None, opened: false, frames_sent: 0, frames_received: 0 }
+        Dev {
+            port,
+            host,
+            handler: None,
+            opened: false,
+            frames_sent: 0,
+            frames_received: 0,
+            obs: EventSink::off(),
+        }
+    }
+
+    /// Installs an event sink; frames handed to (and pulled from) the
+    /// wire are recorded from this host's point of view.
+    pub fn set_obs(&mut self, sink: EventSink) {
+        self.obs = sink;
     }
 
     /// The port's MAC address.
@@ -71,6 +87,7 @@ impl Protocol for Dev {
         // The frame reaches the wire when the CPU is done with
         // everything charged so far in this episode.
         let at = self.host.with(|h| h.now_busy());
+        self.obs.emit(at, NO_CONN, || Event::FrameTx { bytes: frame.len() as u32 });
         self.port.send_at(at, frame);
         Ok(())
     }
@@ -151,6 +168,22 @@ mod tests {
         a.close(DevConn).unwrap();
         assert_eq!(a.close(DevConn), Err(ProtoError::NotOpen));
         a.open((), Box::new(|_| {})).unwrap();
+    }
+
+    #[test]
+    fn obs_sees_frames_hit_the_wire() {
+        let (net, mut a, _b) = pair();
+        let sink = foxbasis::obs::EventSink::recording(16);
+        a.set_obs(sink.for_host(0));
+        net.set_obs(sink.clone());
+        a.send(DevConn, (), frame(EthAddr::host(2), 100)).unwrap();
+        net.advance_to(foxbasis::time::VirtualTime::from_millis(10));
+        let evs = sink.events();
+        assert!(evs.iter().any(|e| matches!(e.event, Event::FrameTx { bytes } if bytes > 100)));
+        assert!(
+            evs.iter().any(|e| matches!(e.event, Event::FrameDeliver { .. }) && e.host == 1),
+            "the wire must attribute delivery to the receiving port: {evs:?}"
+        );
     }
 
     #[test]

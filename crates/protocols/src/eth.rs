@@ -122,16 +122,11 @@ impl<L: Protocol<Pattern = (), Peer = (), Incoming = Vec<u8>, ConnId = DevConn>>
     }
 
     fn send(&mut self, conn: EthConn, to: EthAddr, payload: Vec<u8>) -> Result<(), ProtoError> {
-        let ethertype = self
-            .conns
-            .iter()
-            .find(|c| c.id == conn)
-            .map(|c| c.ethertype)
-            .ok_or(ProtoError::NotOpen)?;
+        let ethertype =
+            self.conns.iter().find(|c| c.id == conn).map(|c| c.ethertype).ok_or(ProtoError::NotOpen)?;
         self.host.charge_eth_packet();
-        let frame = Frame::new(to, self.local, ethertype, payload)
-            .encode()
-            .map_err(|_| ProtoError::TooBig)?;
+        let frame =
+            Frame::new(to, self.local, ethertype, payload).encode().map_err(|_| ProtoError::TooBig)?;
         self.stats.sent += 1;
         self.lower.send(DevConn, (), frame)
     }
@@ -274,10 +269,7 @@ mod tests {
         let net = SimNet::ethernet_10mbps(1);
         let mut a = station(&net, 1);
         a.open(EtherType::Ipv4, Box::new(|_| {})).unwrap();
-        assert_eq!(
-            a.open(EtherType::Ipv4, Box::new(|_| {})).unwrap_err(),
-            ProtoError::AlreadyOpen
-        );
+        assert_eq!(a.open(EtherType::Ipv4, Box::new(|_| {})).unwrap_err(), ProtoError::AlreadyOpen);
     }
 
     #[test]

@@ -60,7 +60,14 @@ pub struct Icmp<L: Protocol<Pattern = IpProtocol, Peer = Ipv4Addr, Incoming = Ip
 impl<L: Protocol<Pattern = IpProtocol, Peer = Ipv4Addr, Incoming = IpIncoming>> Icmp<L> {
     /// An echo layer over `lower`.
     pub fn new(lower: L, host: HostHandle) -> Icmp<L> {
-        Icmp { lower, host, conn: None, rx: Rc::new(RefCell::new(Fifo::new())), sessions: Vec::new(), stats: IcmpStats::default() }
+        Icmp {
+            lower,
+            host,
+            conn: None,
+            rx: Rc::new(RefCell::new(Fifo::new())),
+            sessions: Vec::new(),
+            stats: IcmpStats::default(),
+        }
     }
 
     /// Statistics.
@@ -71,8 +78,7 @@ impl<L: Protocol<Pattern = IpProtocol, Peer = Ipv4Addr, Incoming = IpIncoming>> 
     fn ensure_lower_open(&mut self) -> Result<(), ProtoError> {
         if self.conn.is_none() {
             let q = self.rx.clone();
-            self.conn =
-                Some(self.lower.open(IpProtocol::Icmp, Box::new(move |m| q.borrow_mut().add(m)))?);
+            self.conn = Some(self.lower.open(IpProtocol::Icmp, Box::new(move |m| q.borrow_mut().add(m)))?);
         }
         Ok(())
     }
@@ -216,7 +222,10 @@ impl Ping {
 
     /// Round-trip times of answered probes, as (seq, rtt) pairs computed
     /// at `now` for replies received so far.
-    pub fn rtts(&self, now_received: &dyn Fn(u16) -> Option<VirtualTime>) -> Vec<(u16, foxbasis::time::VirtualDuration)> {
+    pub fn rtts(
+        &self,
+        now_received: &dyn Fn(u16) -> Option<VirtualTime>,
+    ) -> Vec<(u16, foxbasis::time::VirtualDuration)> {
         self.sent
             .iter()
             .filter_map(|(seq, t0)| now_received(*seq).map(|t1| (*seq, t1.saturating_since(*t0))))

@@ -239,8 +239,7 @@ impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> I
             self.ipv4_conn =
                 Some(self.lower.open(EtherType::Ipv4, Box::new(move |m| q.borrow_mut().add(m)))?);
             let q = self.rx.clone();
-            self.arp_conn =
-                Some(self.lower.open(EtherType::Arp, Box::new(move |m| q.borrow_mut().add(m)))?);
+            self.arp_conn = Some(self.lower.open(EtherType::Arp, Box::new(move |m| q.borrow_mut().add(m)))?);
         }
         Ok(())
     }
@@ -255,7 +254,8 @@ impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> I
             return true;
         }
         let host_bits = 32 - u32::from(self.config.prefix_len);
-        let subnet_broadcast = self.subnet_of(self.config.local) | ((1u64 << host_bits) as u32).wrapping_sub(1);
+        let subnet_broadcast =
+            self.subnet_of(self.config.local) | ((1u64 << host_bits) as u32).wrapping_sub(1);
         dst.to_u32() == subnet_broadcast
     }
 
@@ -328,12 +328,7 @@ impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> P
     }
 
     fn send(&mut self, conn: IpConn, to: Ipv4Addr, payload: Vec<u8>) -> Result<(), ProtoError> {
-        let proto = self
-            .conns
-            .iter()
-            .find(|c| c.id == conn)
-            .map(|c| c.proto)
-            .ok_or(ProtoError::NotOpen)?;
+        let proto = self.conns.iter().find(|c| c.id == conn).map(|c| c.proto).ok_or(ProtoError::NotOpen)?;
         self.host.charge_ip_packet();
         let now = self.host.with(|h| h.now_busy());
         let mtu = self.mtu();
@@ -341,11 +336,8 @@ impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> P
         self.next_ident = self.next_ident.wrapping_add(1);
 
         if payload.len() <= mtu {
-            let header = Ipv4Header {
-                ident,
-                ttl: self.config.ttl,
-                ..Ipv4Header::new(proto, self.config.local, to)
-            };
+            let header =
+                Ipv4Header { ident, ttl: self.config.ttl, ..Ipv4Header::new(proto, self.config.local, to) };
             let bytes = Ipv4Packet { header, payload }.encode().map_err(|_| ProtoError::TooBig)?;
             return self.transmit_packet(now, bytes, to);
         }
@@ -541,10 +533,7 @@ mod tests {
         let net = SimNet::ethernet_10mbps(5);
         let mut a = station(&net, 1);
         let conn = a.open(IpProtocol::Udp, Box::new(|_| {})).unwrap();
-        assert_eq!(
-            a.send(conn, Ipv4Addr::new(99, 9, 9, 9), b"far".to_vec()),
-            Err(ProtoError::Unreachable)
-        );
+        assert_eq!(a.send(conn, Ipv4Addr::new(99, 9, 9, 9), b"far".to_vec()), Err(ProtoError::Unreachable));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::arp::{ArpCache, ArpEffect};
 use crate::dev::Dev;
 use crate::eth::{Eth, EthIncoming};
-use crate::{Protocol, ProtoError};
+use crate::{ProtoError, Protocol};
 use foxbasis::checksum::incremental_update;
 use foxbasis::fifo::Fifo;
 use foxbasis::time::VirtualTime;
@@ -217,12 +217,7 @@ mod tests {
 
     type HostStation = (Ip<Eth<Dev>>, crate::ip::IpConn, Rc<RefCell<Vec<IpIncoming>>>);
 
-    fn host_station(
-        net: &SimNet,
-        mac_id: u8,
-        addr: Ipv4Addr,
-        gateway: Ipv4Addr,
-    ) -> HostStation {
+    fn host_station(net: &SimNet, mac_id: u8, addr: Ipv4Addr, gateway: Ipv4Addr) -> HostStation {
         let host = HostHandle::free();
         let mac = EthAddr::host(mac_id);
         let eth = Eth::new(Dev::new(net.attach(mac), host.clone()), mac, host.clone());
@@ -270,8 +265,10 @@ mod tests {
         // across it.
         let net1 = SimNet::ethernet_10mbps(1);
         let net2 = SimNet::ethernet_10mbps(2);
-        let (mut a, _a_udp, _) = host_station(&net1, 1, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 254));
-        let (mut b, _b_udp, got_b) = host_station(&net2, 2, Ipv4Addr::new(10, 0, 1, 2), Ipv4Addr::new(10, 0, 1, 254));
+        let (mut a, _a_udp, _) =
+            host_station(&net1, 1, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 254));
+        let (mut b, _b_udp, got_b) =
+            host_station(&net2, 2, Ipv4Addr::new(10, 0, 1, 2), Ipv4Addr::new(10, 0, 1, 254));
         let mut router = Router::new();
         router
             .add_interface(&net1, EthAddr::host(101), Ipv4Addr::new(10, 0, 0, 254), 24, HostHandle::free())
@@ -327,7 +324,8 @@ mod tests {
             host,
         );
         a.open(IpProtocol::Udp, Box::new(|_| {})).unwrap();
-        let (mut b, _b_udp, got_b) = host_station(&net2, 2, Ipv4Addr::new(10, 0, 1, 2), Ipv4Addr::new(10, 0, 1, 254));
+        let (mut b, _b_udp, got_b) =
+            host_station(&net2, 2, Ipv4Addr::new(10, 0, 1, 2), Ipv4Addr::new(10, 0, 1, 254));
         let mut router = Router::new();
         router
             .add_interface(&net1, EthAddr::host(101), Ipv4Addr::new(10, 0, 0, 254), 24, HostHandle::free())
@@ -337,9 +335,7 @@ mod tests {
             .unwrap();
         let conn = a.open(IpProtocol::Icmp, Box::new(|_| {})).unwrap();
         a.send(conn, Ipv4Addr::new(10, 0, 1, 2), b"too far".to_vec()).unwrap();
-        settle(&[&net1, &net2], |now| {
-            a.step(now) | b.step(now) | router.step(now)
-        });
+        settle(&[&net1, &net2], |now| a.step(now) | b.step(now) | router.step(now));
         assert_eq!(router.stats().ttl_expired, 1);
         assert!(got_b.borrow().is_empty());
     }
@@ -347,7 +343,8 @@ mod tests {
     #[test]
     fn unroutable_destination_counted() {
         let net1 = SimNet::ethernet_10mbps(1);
-        let (mut a, a_udp, _) = host_station(&net1, 1, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 254));
+        let (mut a, a_udp, _) =
+            host_station(&net1, 1, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 254));
         let mut router = Router::new();
         router
             .add_interface(&net1, EthAddr::host(101), Ipv4Addr::new(10, 0, 0, 254), 24, HostHandle::free())

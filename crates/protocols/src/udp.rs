@@ -109,10 +109,8 @@ where
     fn ensure_lower_open(&mut self) -> Result<(), ProtoError> {
         if self.lower_conn.is_none() {
             let q = self.rx.clone();
-            self.lower_conn = Some(
-                self.lower
-                    .open(self.lower_pattern.clone(), Box::new(move |m| q.borrow_mut().add(m)))?,
-            );
+            self.lower_conn =
+                Some(self.lower.open(self.lower_pattern.clone(), Box::new(move |m| q.borrow_mut().add(m)))?);
         }
         Ok(())
     }
@@ -142,12 +140,8 @@ where
     }
 
     fn send(&mut self, conn: UdpConn, to: Self::Peer, payload: Vec<u8>) -> Result<(), ProtoError> {
-        let local_port = self
-            .sockets
-            .iter()
-            .find(|s| s.id == conn)
-            .map(|s| s.local_port)
-            .ok_or(ProtoError::NotOpen)?;
+        let local_port =
+            self.sockets.iter().find(|s| s.id == conn).map(|s| s.local_port).ok_or(ProtoError::NotOpen)?;
         let (addr, port) = to;
         let d = UdpDatagram { src_port: local_port, dst_port: port, payload };
         if d.payload.len() + foxwire::udp::HEADER_LEN > self.aux.mtu() {

@@ -34,9 +34,7 @@ impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> S
     }
 }
 
-impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> Protocol
-    for SizedPayload<L>
-{
+impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> Protocol for SizedPayload<L> {
     type Pattern = EtherType;
     type Peer = EthAddr;
     type Incoming = EthIncoming;

@@ -35,11 +35,7 @@ fn fragments_of(payload: &[u8], chunk: usize) -> Vec<Ipv4Packet> {
                 ident: 99,
                 more_frags: end < payload.len(),
                 frag_offset: (off / 8) as u16,
-                ..Ipv4Header::new(
-                    IpProtocol::Udp,
-                    Ipv4Addr::new(10, 0, 0, 1),
-                    Ipv4Addr::new(10, 0, 0, 2),
-                )
+                ..Ipv4Header::new(IpProtocol::Udp, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
             },
             payload: payload[off..end].to_vec(),
         });

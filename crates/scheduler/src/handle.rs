@@ -9,7 +9,7 @@
 //! [`crate::Task`] signature enforces).
 
 use crate::timer::TimerHandle;
-use crate::{Scheduler, SchedStats, Task};
+use crate::{SchedStats, Scheduler, Task};
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use std::cell::RefCell;
 use std::fmt;

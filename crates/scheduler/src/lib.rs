@@ -86,10 +86,7 @@ impl Ord for Sleeper {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest deadline (and
         // then the earliest insertion) is the maximum.
-        other
-            .deadline
-            .cmp(&self.deadline)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.deadline.cmp(&self.deadline).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

@@ -101,7 +101,13 @@ pub struct SmlRuntime {
 impl SmlRuntime {
     /// A fresh heap.
     pub fn new(config: GcConfig) -> SmlRuntime {
-        SmlRuntime { config, nursery_used: 0, old_gen: 0, debt: VirtualDuration::ZERO, stats: GcStats::default() }
+        SmlRuntime {
+            config,
+            nursery_used: 0,
+            old_gen: 0,
+            debt: VirtualDuration::ZERO,
+            stats: GcStats::default(),
+        }
     }
 
     /// Models allocating `bytes`; returns the GC pause the allocation
@@ -239,10 +245,7 @@ mod tests {
         assert!(total >= VirtualDuration::from_millis(100));
         assert_eq!(rt.stats().total_pause, total);
         assert_eq!(rt.stats().max_pause, VirtualDuration::from_millis(100));
-        assert_eq!(
-            rt.stats().pauses.len() as u64,
-            rt.stats().minors + rt.stats().majors
-        );
+        assert_eq!(rt.stats().pauses.len() as u64, rt.stats().minors + rt.stats().majors);
     }
 
     #[test]
@@ -267,7 +270,12 @@ mod tests {
         for _ in 0..(5_000_000 / 1460) {
             per_segment(&mut rt);
         }
-        assert!(rt.stats().majors >= 1, "5 MB run: {:?} minors, {:?} majors", rt.stats().minors, rt.stats().majors);
+        assert!(
+            rt.stats().majors >= 1,
+            "5 MB run: {:?} minors, {:?} majors",
+            rt.stats().minors,
+            rt.stats().majors
+        );
         // And a 1 MB transfer should not major-collect.
         let mut rt = SmlRuntime::new(GcConfig::smlnj_1994());
         for _ in 0..(1_000_000 / 1460) {

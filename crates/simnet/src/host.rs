@@ -21,6 +21,7 @@
 //! any frames produced during the episode actually reach the wire.
 
 use crate::gcmodel::{GcConfig, GcStats, SmlRuntime};
+use foxbasis::obs::{Event, EventSink, NO_CONN};
 use foxbasis::profile::{Account, Profiler, PAPER_COUNTER_UPDATE_COST};
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use std::cell::RefCell;
@@ -165,6 +166,7 @@ pub struct Host {
     episode_start: Option<VirtualTime>,
     episode_accum: VirtualDuration,
     total_busy: VirtualDuration,
+    obs: EventSink,
 }
 
 impl Host {
@@ -186,7 +188,14 @@ impl Host {
             episode_start: None,
             episode_accum: VirtualDuration::ZERO,
             total_busy: VirtualDuration::ZERO,
+            obs: EventSink::off(),
         }
+    }
+
+    /// Installs an event sink; GC pauses are recorded through it. The
+    /// default sink is off and records nothing.
+    pub fn set_obs(&mut self, sink: EventSink) {
+        self.obs = sink;
     }
 
     /// The host's name (for reports).
@@ -264,6 +273,7 @@ impl Host {
         if let Some(gc) = &mut self.gc {
             let pause = gc.alloc(bytes);
             if !pause.is_zero() {
+                self.obs.emit(self.now_busy(), NO_CONN, || Event::GcPause { micros: pause.as_micros() });
                 self.charge(Account::Gc, pause);
             }
         }
@@ -321,8 +331,7 @@ impl Host {
     /// A data copy of `bytes` (per-KB motion plus fixed buffer setup;
     /// header-only packets skip the buffer-chain surcharge).
     pub fn charge_copy(&mut self, bytes: usize) {
-        let surcharge =
-            if bytes > 256 { self.cost.copy_per_packet } else { VirtualDuration::ZERO };
+        let surcharge = if bytes > 256 { self.cost.copy_per_packet } else { VirtualDuration::ZERO };
         let dur = CostModel::per_kb(self.cost.copy_per_kb, bytes) + surcharge;
         self.charge(Account::Copy, dur);
     }
@@ -330,8 +339,7 @@ impl Host {
     /// A checksum over `bytes` (per-KB summing plus fixed setup;
     /// header-only packets skip the setup surcharge).
     pub fn charge_checksum(&mut self, bytes: usize) {
-        let surcharge =
-            if bytes > 256 { self.cost.checksum_per_packet } else { VirtualDuration::ZERO };
+        let surcharge = if bytes > 256 { self.cost.checksum_per_packet } else { VirtualDuration::ZERO };
         let dur = CostModel::per_kb(self.cost.checksum_per_kb, bytes) + surcharge;
         self.charge(Account::Checksum, dur);
     }
@@ -369,6 +377,11 @@ impl HostHandle {
     /// Wraps a host.
     pub fn new(host: Host) -> HostHandle {
         HostHandle { inner: Rc::new(RefCell::new(host)) }
+    }
+
+    /// Installs an event sink on the wrapped host.
+    pub fn set_obs(&self, sink: EventSink) {
+        self.inner.borrow_mut().set_obs(sink);
     }
 
     /// A zero-cost host (for unit tests and modern measurements).

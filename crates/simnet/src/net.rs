@@ -14,6 +14,7 @@
 //! all drawn from one seeded RNG so runs are repeatable.
 
 use crate::pcap::PcapSink;
+use foxbasis::obs::{Event, EventSink, NO_CONN};
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxwire::ether::EthAddr;
 use rand::rngs::StdRng;
@@ -156,6 +157,7 @@ struct NetCore {
     rng: StdRng,
     stats: NetStats,
     capture: Option<PcapSink>,
+    obs: EventSink,
     /// Gilbert–Elliott channel state: `true` while in the bursty (bad)
     /// state. The chain advances one step per transmitted frame.
     burst_bad: bool,
@@ -192,6 +194,7 @@ impl NetCore {
         };
         if self.rng.gen_bool(drop_p) {
             self.stats.frames_dropped_fault += 1;
+            self.obs.emit_for(end, from as u32, NO_CONN, || Event::FrameDrop { reason: "fault" });
             return;
         }
         let mut frame = frame;
@@ -200,6 +203,7 @@ impl NetCore {
             let bit = self.rng.gen_range(0u32..8);
             frame[at] ^= 1u8 << bit;
             self.stats.frames_corrupted += 1;
+            self.obs.emit_for(end, from as u32, NO_CONN, || Event::FrameCorrupt);
         }
         // Record what actually went on the wire (post-corruption), like
         // a passive tap would see it.
@@ -249,10 +253,13 @@ impl NetCore {
             if p.rx_bytes + d.frame.len() > p.rx_capacity {
                 p.overflow_drops += 1;
                 self.stats.frames_dropped_overflow += 1;
+                self.obs.emit_for(d.at, d.port as u32, NO_CONN, || Event::FrameDrop { reason: "overflow" });
             } else {
                 p.rx_bytes += d.frame.len();
+                let bytes = d.frame.len() as u32;
                 p.rx.push_back(d.frame);
                 self.stats.frames_delivered += 1;
+                self.obs.emit_for(d.at, d.port as u32, NO_CONN, || Event::FrameDeliver { bytes });
             }
         }
         self.now = t;
@@ -288,6 +295,7 @@ impl SimNet {
                 rng: StdRng::seed_from_u64(seed),
                 stats: NetStats::default(),
                 capture: None,
+                obs: EventSink::off(),
                 burst_bad: false,
             })),
         }
@@ -340,6 +348,15 @@ impl SimNet {
         let sink = PcapSink::new();
         self.core.borrow_mut().capture = Some(sink.clone());
         sink
+    }
+
+    /// Installs an event sink: frame drop/corrupt/deliver events are
+    /// recorded, attributed to the port (= host id) concerned (frame
+    /// *transmission* is emitted by the device layer, which knows when
+    /// the host's CPU actually finished the frame). The default sink is
+    /// off and records nothing.
+    pub fn set_obs(&self, sink: EventSink) {
+        self.core.borrow_mut().obs = sink;
     }
 }
 
@@ -643,10 +660,7 @@ mod tests {
     fn determinism_same_seed_same_outcome() {
         let run = |seed| {
             let cfg = NetConfig {
-                faults: FaultConfig {
-                    jitter: VirtualDuration::from_micros(500),
-                    ..FaultConfig::lossy(0.3)
-                },
+                faults: FaultConfig { jitter: VirtualDuration::from_micros(500), ..FaultConfig::lossy(0.3) },
                 ..NetConfig::default()
             };
             let net = SimNet::new(cfg, seed);
@@ -686,9 +700,8 @@ mod pcap_tests {
         let cap = net.capture();
         let a = net.attach(EthAddr::host(1));
         let _b = net.attach(EthAddr::host(2));
-        let frame = Frame::new(EthAddr::host(2), EthAddr::host(1), EtherType::Ipv4, vec![9; 64])
-            .encode()
-            .unwrap();
+        let frame =
+            Frame::new(EthAddr::host(2), EthAddr::host(1), EtherType::Ipv4, vec![9; 64]).encode().unwrap();
         a.send(frame.clone());
         net.advance_to(VirtualTime::from_millis(5));
         assert_eq!(cap.frame_count(), 1);

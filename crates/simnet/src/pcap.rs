@@ -65,6 +65,12 @@ impl PcapSink {
     pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
         std::fs::write(path, self.buf.borrow().as_slice())
     }
+
+    /// Writes the capture to a file, taking anything path-like — the
+    /// one-liner CLI tools (`tables --pcap <file>`) want.
+    pub fn write_to_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.write_to(path.as_ref())
+    }
 }
 
 impl Default for PcapSink {
@@ -85,6 +91,34 @@ mod tests {
         assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), MAGIC);
         assert_eq!(u16::from_le_bytes(bytes[4..6].try_into().unwrap()), 2);
         assert_eq!(u32::from_le_bytes(bytes[20..24].try_into().unwrap()), LINKTYPE);
+    }
+
+    #[test]
+    fn global_header_golden_bytes() {
+        // The exact 24 bytes every classic libpcap reader expects:
+        // magic a1b2c3d4 LE, version 2.4, thiszone 0, sigfigs 0,
+        // snaplen 65535, LINKTYPE_ETHERNET (1).
+        let expected: [u8; 24] = [
+            0xd4, 0xc3, 0xb2, 0xa1, // magic, little-endian
+            0x02, 0x00, // version major = 2
+            0x04, 0x00, // version minor = 4
+            0x00, 0x00, 0x00, 0x00, // thiszone
+            0x00, 0x00, 0x00, 0x00, // sigfigs
+            0xff, 0xff, 0x00, 0x00, // snaplen = 65535
+            0x01, 0x00, 0x00, 0x00, // LINKTYPE_ETHERNET
+        ];
+        assert_eq!(PcapSink::new().bytes(), expected);
+    }
+
+    #[test]
+    fn write_to_file_round_trips() {
+        let sink = PcapSink::new();
+        sink.record(VirtualTime::from_micros(42), &[0xAB; 60]);
+        let path = std::env::temp_dir().join("foxnet_pcap_write_test.pcap");
+        sink.write_to_file(&path).unwrap();
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk, sink.bytes());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

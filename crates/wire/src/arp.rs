@@ -101,13 +101,7 @@ impl ArpPacket {
             EthAddr(a)
         };
         let ip = |at: usize| Ipv4Addr([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]]);
-        Ok(ArpPacket {
-            op,
-            sender_eth: eth(8),
-            sender_ip: ip(14),
-            target_eth: eth(18),
-            target_ip: ip(24),
-        })
+        Ok(ArpPacket { op, sender_eth: eth(8), sender_ip: ip(14), target_eth: eth(18), target_ip: ip(24) })
     }
 }
 
@@ -118,7 +112,8 @@ mod tests {
 
     #[test]
     fn request_reply_roundtrip() {
-        let req = ArpPacket::request(EthAddr::host(1), Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        let req =
+            ArpPacket::request(EthAddr::host(1), Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
         let bytes = req.encode();
         assert_eq!(bytes.len(), PACKET_LEN);
         assert_eq!(ArpPacket::decode(&bytes).unwrap(), req);

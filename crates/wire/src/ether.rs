@@ -159,7 +159,8 @@ impl Frame {
     pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
         need("ethernet frame", buf, HEADER_LEN + MIN_PAYLOAD + FCS_LEN)?;
         let body_len = buf.len() - FCS_LEN;
-        let fcs = u32::from_be_bytes([buf[body_len], buf[body_len + 1], buf[body_len + 2], buf[body_len + 3]]);
+        let fcs =
+            u32::from_be_bytes([buf[body_len], buf[body_len + 1], buf[body_len + 2], buf[body_len + 3]]);
         if crc32(&buf[..body_len]) != fcs {
             return Err(WireError::BadChecksum("ethernet FCS"));
         }
@@ -168,7 +169,12 @@ impl Frame {
         dst.copy_from_slice(&buf[0..6]);
         src.copy_from_slice(&buf[6..12]);
         let ethertype = EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]]));
-        Ok(Frame { dst: EthAddr(dst), src: EthAddr(src), ethertype, payload: buf[HEADER_LEN..body_len].to_vec() })
+        Ok(Frame {
+            dst: EthAddr(dst),
+            src: EthAddr(src),
+            ethertype,
+            payload: buf[HEADER_LEN..body_len].to_vec(),
+        })
     }
 }
 

@@ -249,11 +249,7 @@ mod tests {
 
     fn sample() -> Ipv4Packet {
         Ipv4Packet {
-            header: Ipv4Header::new(
-                IpProtocol::Tcp,
-                Ipv4Addr::new(10, 0, 0, 1),
-                Ipv4Addr::new(10, 0, 0, 2),
-            ),
+            header: Ipv4Header::new(IpProtocol::Tcp, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)),
             payload: b"payload bytes".to_vec(),
         }
     }

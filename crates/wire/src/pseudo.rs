@@ -44,9 +44,7 @@ mod tests {
         // Pseudo-header: 10.0.0.1 | 10.0.0.2 | 0x00 0x06 | len 20
         let src = Ipv4Addr::new(10, 0, 0, 1);
         let dst = Ipv4Addr::new(10, 0, 0, 2);
-        let manual = foxbasis::checksum::ones_complement_sum(&[
-            10, 0, 0, 1, 10, 0, 0, 2, 0, 6, 0, 20,
-        ]);
+        let manual = foxbasis::checksum::ones_complement_sum(&[10, 0, 0, 1, 10, 0, 0, 2, 0, 6, 0, 20]);
         assert_eq!(v4_sum(src, dst, IpProtocol::Tcp, 20), manual);
     }
 

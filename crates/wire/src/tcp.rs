@@ -28,17 +28,23 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// A pure ACK.
-    pub const ACK: TcpFlags = TcpFlags { urg: false, ack: true, psh: false, rst: false, syn: false, fin: false };
+    pub const ACK: TcpFlags =
+        TcpFlags { urg: false, ack: true, psh: false, rst: false, syn: false, fin: false };
     /// A SYN.
-    pub const SYN: TcpFlags = TcpFlags { urg: false, ack: false, psh: false, rst: false, syn: true, fin: false };
+    pub const SYN: TcpFlags =
+        TcpFlags { urg: false, ack: false, psh: false, rst: false, syn: true, fin: false };
     /// A SYN+ACK.
-    pub const SYN_ACK: TcpFlags = TcpFlags { urg: false, ack: true, psh: false, rst: false, syn: true, fin: false };
+    pub const SYN_ACK: TcpFlags =
+        TcpFlags { urg: false, ack: true, psh: false, rst: false, syn: true, fin: false };
     /// An RST.
-    pub const RST: TcpFlags = TcpFlags { urg: false, ack: false, psh: false, rst: true, syn: false, fin: false };
+    pub const RST: TcpFlags =
+        TcpFlags { urg: false, ack: false, psh: false, rst: true, syn: false, fin: false };
     /// An RST+ACK.
-    pub const RST_ACK: TcpFlags = TcpFlags { urg: false, ack: true, psh: false, rst: true, syn: false, fin: false };
+    pub const RST_ACK: TcpFlags =
+        TcpFlags { urg: false, ack: true, psh: false, rst: true, syn: false, fin: false };
     /// A FIN+ACK.
-    pub const FIN_ACK: TcpFlags = TcpFlags { urg: false, ack: true, psh: false, rst: false, syn: false, fin: true };
+    pub const FIN_ACK: TcpFlags =
+        TcpFlags { urg: false, ack: true, psh: false, rst: false, syn: false, fin: true };
 
     /// Wire encoding (low 6 bits of byte 13).
     pub fn to_u8(self) -> u8 {
@@ -181,9 +187,7 @@ impl TcpSegment {
     /// Bytes of sequence space this segment occupies (payload plus one
     /// for SYN and one for FIN).
     pub fn seq_len(&self) -> u32 {
-        self.payload.len() as u32
-            + u32::from(self.header.flags.syn)
-            + u32::from(self.header.flags.fin)
+        self.payload.len() as u32 + u32::from(self.header.flags.syn) + u32::from(self.header.flags.fin)
     }
 
     /// Externalizes the segment. `pseudo_sum`, if present, is the folded
@@ -241,9 +245,8 @@ impl TcpSegment {
 
     /// [`encode`](Self::encode) with the standard IPv4 pseudo-header.
     pub fn encode_v4(&self, checksum_over: Option<(Ipv4Addr, Ipv4Addr)>) -> Result<Vec<u8>, WireError> {
-        let pseudo = checksum_over.map(|(src, dst)| {
-            pseudo::v4_sum(src, dst, IpProtocol::Tcp, self.header_len_plus_payload())
-        });
+        let pseudo = checksum_over
+            .map(|(src, dst)| pseudo::v4_sum(src, dst, IpProtocol::Tcp, self.header_len_plus_payload()));
         self.encode(pseudo)
     }
 
@@ -312,9 +315,11 @@ impl TcpSegment {
     }
 
     /// [`decode`](Self::decode) with the standard IPv4 pseudo-header.
-    pub fn decode_v4(buf: &[u8], checksum_over: Option<(Ipv4Addr, Ipv4Addr)>) -> Result<TcpSegment, WireError> {
-        let pseudo =
-            checksum_over.map(|(src, dst)| pseudo::v4_sum(src, dst, IpProtocol::Tcp, buf.len()));
+    pub fn decode_v4(
+        buf: &[u8],
+        checksum_over: Option<(Ipv4Addr, Ipv4Addr)>,
+    ) -> Result<TcpSegment, WireError> {
+        let pseudo = checksum_over.map(|(src, dst)| pseudo::v4_sum(src, dst, IpProtocol::Tcp, buf.len()));
         TcpSegment::decode(buf, pseudo)
     }
 }
@@ -415,11 +420,8 @@ mod tests {
     #[test]
     fn unknown_options_roundtrip() {
         let mut s = syn_segment();
-        s.header.options = vec![
-            TcpOption::NoOp,
-            TcpOption::Unknown(254, vec![0xde, 0xad]),
-            TcpOption::MaxSegmentSize(536),
-        ];
+        s.header.options =
+            vec![TcpOption::NoOp, TcpOption::Unknown(254, vec![0xde, 0xad]), TcpOption::MaxSegmentSize(536)];
         let bytes = s.encode(None).unwrap();
         let t = TcpSegment::decode(&bytes, None).unwrap();
         assert_eq!(t.header.options, s.header.options);

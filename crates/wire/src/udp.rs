@@ -83,13 +83,16 @@ impl UdpDatagram {
     }
 
     /// [`decode`](Self::decode) with the standard IPv4 pseudo-header.
-    pub fn decode_v4(buf: &[u8], checksum_over: Option<(Ipv4Addr, Ipv4Addr)>) -> Result<UdpDatagram, WireError> {
+    pub fn decode_v4(
+        buf: &[u8],
+        checksum_over: Option<(Ipv4Addr, Ipv4Addr)>,
+    ) -> Result<UdpDatagram, WireError> {
         // The pseudo-header length field is the UDP length, which for a
         // valid datagram equals the length field in the header itself;
         // use the claimed length so padding does not disturb the sum.
-        let claimed = if buf.len() >= 6 { usize::from(u16::from_be_bytes([buf[4], buf[5]])) } else { buf.len() };
-        let pseudo =
-            checksum_over.map(|(src, dst)| pseudo::v4_sum(src, dst, IpProtocol::Udp, claimed));
+        let claimed =
+            if buf.len() >= 6 { usize::from(u16::from_be_bytes([buf[4], buf[5]])) } else { buf.len() };
+        let pseudo = checksum_over.map(|(src, dst)| pseudo::v4_sum(src, dst, IpProtocol::Udp, claimed));
         UdpDatagram::decode(buf, pseudo)
     }
 }

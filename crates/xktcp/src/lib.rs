@@ -26,6 +26,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+use foxbasis::obs::{ConnMetrics, Event, EventSink};
 use foxbasis::ring::RingBuffer;
 use foxbasis::seq::Seq;
 use foxbasis::time::{VirtualDuration, VirtualTime};
@@ -58,6 +59,26 @@ pub enum XkState {
     Closing,
     LastAck,
     TimeWait,
+}
+
+impl XkState {
+    /// Short stable name for traces; the same vocabulary a reader of
+    /// the `foxtcp` stream sees where the two state machines overlap.
+    pub fn name(self) -> &'static str {
+        match self {
+            XkState::Closed => "Closed",
+            XkState::Listen => "Listen",
+            XkState::SynSent => "SynSent",
+            XkState::SynReceived => "SynReceived",
+            XkState::Established => "Estab",
+            XkState::FinWait1 => "FinWait1",
+            XkState::FinWait2 => "FinWait2",
+            XkState::CloseWait => "CloseWait",
+            XkState::Closing => "Closing",
+            XkState::LastAck => "LastAck",
+            XkState::TimeWait => "TimeWait",
+        }
+    }
 }
 
 /// Configuration.
@@ -191,6 +212,7 @@ where
     next_port: u16,
     stats: XkStats,
     now: VirtualTime,
+    obs: EventSink,
 }
 
 impl<L, A> XkTcp<L, A>
@@ -213,12 +235,61 @@ where
             next_port: 48000,
             stats: XkStats::default(),
             now: VirtualTime::ZERO,
+            obs: EventSink::off(),
         }
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> XkStats {
         self.stats
+    }
+
+    /// Installs an event sink; segments, timers, and state transitions
+    /// are recorded with the socket id as the connection stamp.
+    pub fn set_obs(&mut self, sink: EventSink) {
+        self.obs = sink;
+    }
+
+    /// Per-connection metrics snapshot (None once reaped). The baseline
+    /// has no congestion window, so `cwnd`/`ssthresh` read zero and the
+    /// fast-path counters stay empty; segment and byte counters are the
+    /// stack-wide totals, as BSD kept them.
+    pub fn metrics_of(&self, sock: SockId) -> Option<ConnMetrics> {
+        let i = self.idx(sock)?;
+        let s = &self.socks[i];
+        Some(ConnMetrics {
+            srtt_us: s.srtt.map(|d| d.as_micros()),
+            rto_us: s.rto.as_micros(),
+            cwnd: 0,
+            ssthresh: 0,
+            snd_wnd: s.snd_wnd,
+            bytes_in_flight: s.flight(),
+            fastpath_hits: 0,
+            fastpath_misses: 0,
+            retransmits: self.stats.retransmits,
+            fast_retransmits: 0,
+            recoveries: 0,
+            rto_fires: self.stats.retransmits,
+            probe_fires: 0,
+            segments_sent: self.stats.segments_sent,
+            segments_received: self.stats.segments_received,
+            bytes_sent: self.stats.bytes_sent,
+            bytes_delivered: self.stats.bytes_received,
+        })
+    }
+
+    /// Emits a state transition if `before` is no longer the state of
+    /// socket `i` (callers snapshot before mutating).
+    fn note_transition(&mut self, i: usize, before: XkState) {
+        if !self.obs.is_on() {
+            return;
+        }
+        let after = self.socks[i].state;
+        if before as u32 != after as u32 {
+            let conn = self.socks[i].id;
+            self.obs
+                .emit(self.now, conn, || Event::StateTransition { from: before.name(), to: after.name() });
+        }
     }
 
     fn attach(&mut self) -> Result<(), ProtoError> {
@@ -277,7 +348,12 @@ where
     // ----- user API -----
 
     /// Active open.
-    pub fn connect(&mut self, remote: L::Peer, remote_port: u16, local_port: u16) -> Result<SockId, ProtoError> {
+    pub fn connect(
+        &mut self,
+        remote: L::Peer,
+        remote_port: u16,
+        local_port: u16,
+    ) -> Result<SockId, ProtoError> {
         self.attach()?;
         let local_port = if local_port == 0 {
             let p = self.next_port;
@@ -289,6 +365,7 @@ where
         let id = self.new_socket(local_port, Some((remote, remote_port)));
         let i = self.idx(SockId(id)).expect("created");
         self.socks[i].state = XkState::SynSent;
+        self.note_transition(i, XkState::Closed);
         self.send_syn(i, false);
         Ok(SockId(id))
     }
@@ -296,16 +373,13 @@ where
     /// Passive open.
     pub fn listen(&mut self, local_port: u16) -> Result<SockId, ProtoError> {
         self.attach()?;
-        if self
-            .socks
-            .iter()
-            .any(|s| s.local_port == local_port && s.state == XkState::Listen)
-        {
+        if self.socks.iter().any(|s| s.local_port == local_port && s.state == XkState::Listen) {
             return Err(ProtoError::AlreadyOpen);
         }
         let id = self.new_socket(local_port, None);
         let i = self.idx(SockId(id)).expect("created");
         self.socks[i].state = XkState::Listen;
+        self.note_transition(i, XkState::Closed);
         Ok(SockId(id))
     }
 
@@ -353,11 +427,13 @@ where
     /// Graceful close.
     pub fn close(&mut self, sock: SockId) -> Result<(), ProtoError> {
         let i = self.idx(sock).ok_or(ProtoError::NotOpen)?;
+        let before = self.socks[i].state;
         match self.socks[i].state {
             XkState::Closed => return Err(ProtoError::NotOpen),
             XkState::Listen | XkState::SynSent => {
                 self.socks[i].state = XkState::Closed;
                 self.socks[i].push_event(XkEvent::Closed);
+                self.note_transition(i, before);
                 return Ok(());
             }
             XkState::Established | XkState::SynReceived => {
@@ -370,6 +446,7 @@ where
             }
             _ => return Err(ProtoError::Closing),
         }
+        self.note_transition(i, before);
         self.output(i);
         Ok(())
     }
@@ -386,8 +463,15 @@ where
             let s = &self.socks[i];
             format!(
                 "{:?} una={} nxt={} wnd={} flight={} buf={} rexmit_at={:?} backoff={} left={}",
-                s.state, s.snd_una, s.snd_nxt, s.snd_wnd, s.flight(),
-                s.send_buf.len(), s.retransmit_at, s.backoff, s.retransmits_left
+                s.state,
+                s.snd_una,
+                s.snd_nxt,
+                s.snd_wnd,
+                s.flight(),
+                s.send_buf.len(),
+                s.retransmit_at,
+                s.backoff,
+                s.retransmits_left
             )
         })
     }
@@ -406,9 +490,7 @@ where
             self.input(msg);
         }
         progress |= self.run_timers();
-        self.socks.retain(|s| {
-            !(s.state == XkState::Closed && s.events.is_empty() && s.parent.is_some())
-        });
+        self.socks.retain(|s| !(s.state == XkState::Closed && s.events.is_empty() && s.parent.is_some()));
         progress
     }
 
@@ -431,6 +513,23 @@ where
         self.host.charge_tcp_segment_sized(seg.payload.len());
         self.stats.segments_sent += 1;
         self.stats.bytes_sent += seg.payload.len() as u64;
+        if self.obs.is_on() {
+            let conn = self
+                .socks
+                .iter()
+                .find(|s| {
+                    s.local_port == seg.header.src_port
+                        && s.remote.as_ref().is_some_and(|(a, p)| A::eq(a, &to) && *p == seg.header.dst_port)
+                })
+                .map_or(foxbasis::obs::NO_CONN, |s| s.id);
+            self.obs.emit(self.now, conn, || Event::SegTx {
+                seq: seg.header.seq.0,
+                ack: seg.header.ack.0,
+                len: seg.payload.len() as u32,
+                flags: obs_flags(&seg.header.flags),
+                wnd: u32::from(seg.header.window),
+            });
+        }
         if let (Some(conn), Ok(bytes)) = (self.lower_conn, seg.encode(pseudo)) {
             let _ = self.lower.send(conn, to, bytes);
         }
@@ -473,7 +572,11 @@ where
                 let s = &self.socks[i];
                 if !matches!(
                     s.state,
-                    XkState::Established | XkState::CloseWait | XkState::FinWait1 | XkState::LastAck | XkState::Closing
+                    XkState::Established
+                        | XkState::CloseWait
+                        | XkState::FinWait1
+                        | XkState::LastAck
+                        | XkState::Closing
                 ) {
                     return;
                 }
@@ -542,6 +645,8 @@ where
             // Delayed ACK flush.
             if self.socks[i].ack_deadline.is_some_and(|t| t <= self.now) && self.socks[i].ack_owed {
                 progress = true;
+                let conn = self.socks[i].id;
+                self.obs.emit(self.now, conn, || Event::TimerFire { timer: "DelayedAck" });
                 self.send_ack(i);
             }
             // TIME-WAIT expiry.
@@ -549,18 +654,27 @@ where
                 && self.socks[i].state == XkState::TimeWait
             {
                 progress = true;
+                let conn = self.socks[i].id;
+                self.obs.emit(self.now, conn, || Event::TimerFire { timer: "TimeWait" });
                 self.socks[i].state = XkState::Closed;
                 self.socks[i].time_wait_at = None;
                 self.socks[i].push_event(XkEvent::Closed);
+                self.note_transition(i, XkState::TimeWait);
             }
             // Retransmission.
             if self.socks[i].retransmit_at.is_some_and(|t| t <= self.now) {
                 progress = true;
+                let conn = self.socks[i].id;
+                self.obs.emit(self.now, conn, || Event::TimerFire { timer: "Resend" });
+                let before = self.socks[i].state;
                 self.retransmit(i);
+                self.note_transition(i, before);
             }
             // Zero-window probe.
             if self.socks[i].probe_at.is_some_and(|t| t <= self.now) {
                 progress = true;
+                let conn = self.socks[i].id;
+                self.obs.emit(self.now, conn, || Event::TimerFire { timer: "Persist" });
                 self.window_probe(i);
             }
         }
@@ -596,6 +710,10 @@ where
             let b = s.backoff;
             s.probe_at = Some(self.now + s.rto.saturating_mul(1 << b));
         }
+        {
+            let conn = self.socks[i].id;
+            self.obs.emit(self.now, conn, || Event::Loss { kind: "Probe" });
+        }
         let flags = TcpFlags { ack: true, psh: true, ..TcpFlags::default() };
         let h = self.header_for(i, flags, seq);
         self.arm_retransmit(i);
@@ -620,6 +738,10 @@ where
             s.timing = None; // Karn
         }
         self.stats.retransmits += 1;
+        {
+            let conn = self.socks[i].id;
+            self.obs.emit(self.now, conn, || Event::Loss { kind: "Rto" });
+        }
         // Go-back-N from snd_una.
         let (state, una, iss) = {
             let s = &self.socks[i];
@@ -651,14 +773,13 @@ where
                     let s = &mut self.socks[i];
                     let infl = s.flight();
                     let fin_at_front = s.fin_seq == Some(una);
-                    let data = infl
-                        .saturating_sub(u32::from(s.fin_seq.is_some_and(|f| f.lt(s.snd_nxt))))
-                        .min(s.mss);
+                    let data =
+                        infl.saturating_sub(u32::from(s.fin_seq.is_some_and(|f| f.lt(s.snd_nxt)))).min(s.mss);
                     let mut payload = vec![0u8; data as usize];
                     let got = s.send_buf.peek_at(0, &mut payload);
                     payload.truncate(got);
-                    let fin = fin_at_front
-                        || (s.fin_seq == Some(una + got as u32) && (got as u32) < s.mss.max(1));
+                    let fin =
+                        fin_at_front || (s.fin_seq == Some(una + got as u32) && (got as u32) < s.mss.max(1));
                     (got, fin, payload)
                 };
                 let flags = TcpFlags { ack: true, psh: take > 0, fin, ..TcpFlags::default() };
@@ -700,10 +821,8 @@ where
         let i = match exact {
             Some(i) => i,
             None => {
-                let listener = self
-                    .socks
-                    .iter()
-                    .position(|s| s.local_port == h.dst_port && s.state == XkState::Listen);
+                let listener =
+                    self.socks.iter().position(|s| s.local_port == h.dst_port && s.state == XkState::Listen);
                 match listener {
                     Some(li) if h.flags.syn && !h.flags.ack && !h.flags.rst => {
                         // Spawn a child in SYN-RECEIVED.
@@ -713,6 +832,20 @@ where
                         let ci = self.idx(SockId(child)).expect("child");
                         self.socks[ci].parent = Some(lid);
                         self.socks[ci].state = XkState::SynReceived;
+                        if self.obs.is_on() {
+                            let conn = self.socks[ci].id;
+                            self.obs.emit(self.now, conn, || Event::SegRx {
+                                seq: h.seq.0,
+                                ack: h.ack.0,
+                                len: 0,
+                                flags: obs_flags(&h.flags),
+                                wnd: u32::from(h.window),
+                            });
+                            self.obs.emit(self.now, conn, || Event::StateTransition {
+                                from: XkState::Closed.name(),
+                                to: XkState::SynReceived.name(),
+                            });
+                        }
                         self.socks[ci].rcv_nxt = h.seq + 1;
                         self.socks[ci].snd_wnd = u32::from(h.window);
                         if let Some(mss) = h.mss() {
@@ -738,7 +871,21 @@ where
             }
         };
 
+        if self.obs.is_on() {
+            let conn = self.socks[i].id;
+            self.obs.emit(self.now, conn, || Event::SegRx {
+                seq: h.seq.0,
+                ack: h.ack.0,
+                len: seg.payload.len() as u32,
+                flags: obs_flags(&h.flags),
+                wnd: u32::from(h.window),
+            });
+        }
+        let before = self.socks[i].state;
         self.process_segment(i, seg);
+        // `process_segment` never removes sockets (reaping happens in
+        // `step`), so index `i` still names the same socket here.
+        self.note_transition(i, before);
     }
 
     fn process_segment(&mut self, i: usize, seg: TcpSegment) {
@@ -895,7 +1042,8 @@ where
             XkState::FinWait1 if fin_acked => self.socks[i].state = XkState::FinWait2,
             XkState::Closing if fin_acked => {
                 self.socks[i].state = XkState::TimeWait;
-                self.socks[i].time_wait_at = Some(self.now + VirtualDuration::from_millis(self.cfg.time_wait_ms));
+                self.socks[i].time_wait_at =
+                    Some(self.now + VirtualDuration::from_millis(self.cfg.time_wait_ms));
             }
             XkState::LastAck if fin_acked => {
                 self.socks[i].state = XkState::Closed;
@@ -976,6 +1124,31 @@ where
             self.send_ack(i);
         }
     }
+}
+
+/// Renders wire flags as the event layer's bitmask.
+fn obs_flags(f: &TcpFlags) -> u8 {
+    use foxbasis::obs::flags;
+    let mut bits = 0;
+    if f.fin {
+        bits |= flags::FIN;
+    }
+    if f.syn {
+        bits |= flags::SYN;
+    }
+    if f.rst {
+        bits |= flags::RST;
+    }
+    if f.psh {
+        bits |= flags::PSH;
+    }
+    if f.ack {
+        bits |= flags::ACK;
+    }
+    if f.urg {
+        bits |= flags::URG;
+    }
+    bits
 }
 
 fn reset_for(local_port: u16, seg: &TcpSegment) -> TcpSegment {
@@ -1108,10 +1281,13 @@ mod tests {
         // Drop every 4th frame toward b.
         let n = std::rc::Rc::new(std::cell::RefCell::new(0u32));
         let n2 = n.clone();
-        link.set_filter_toward(1, Box::new(move |_| {
-            *n2.borrow_mut() += 1;
-            !(*n2.borrow()).is_multiple_of(4)
-        }));
+        link.set_filter_toward(
+            1,
+            Box::new(move |_| {
+                *n2.borrow_mut() += 1;
+                !(*n2.borrow()).is_multiple_of(4)
+            }),
+        );
         let payload = vec![0xabu8; 20_000];
         let mut sent = 0;
         let mut got = Vec::new();
@@ -1207,15 +1383,18 @@ mod persist_tests {
         // very next frame toward a (the window update).
         let drop_next = std::rc::Rc::new(std::cell::RefCell::new(1u32));
         let d = drop_next.clone();
-        link.set_filter_toward(0, Box::new(move |_| {
-            let mut n = d.borrow_mut();
-            if *n > 0 {
-                *n -= 1;
-                false
-            } else {
-                true
-            }
-        }));
+        link.set_filter_toward(
+            0,
+            Box::new(move |_| {
+                let mut n = d.borrow_mut();
+                if *n > 0 {
+                    *n -= 1;
+                    false
+                } else {
+                    true
+                }
+            }),
+        );
         let mut buf = [0u8; 4096];
         let _ = b.recv(child, &mut buf).unwrap();
         for _ in 0..20 {

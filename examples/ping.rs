@@ -70,11 +70,7 @@ fn main() {
         let seq = ping.probe(&mut a.icmp, Ipv4Addr::new(192, 168, 69, 2), t0).unwrap();
         settle(&net, &mut [&mut a, &mut b]);
         let got = ping.replies().iter().any(|r| r.seq == seq);
-        println!(
-            "   icmp_seq={seq} {} t={}",
-            if got { "reply received" } else { "timed out" },
-            net.now()
-        );
+        println!("   icmp_seq={seq} {} t={}", if got { "reply received" } else { "timed out" }, net.now());
     }
     println!("   {} requests answered by the remote responder", b.icmp.stats().requests_answered);
 

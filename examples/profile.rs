@@ -15,9 +15,7 @@ fn main() {
     println!("{}", render_table1(&t1));
     println!(
         "fox sender: {} segments, {} retransmits; xk sender: {} segments",
-        t1.fox.bulk.sender.segments_sent,
-        t1.fox.bulk.sender.retransmits,
-        t1.xk.bulk.sender.segments_sent,
+        t1.fox.bulk.sender.segments_sent, t1.fox.bulk.sender.retransmits, t1.xk.bulk.sender.segments_sent,
     );
     println!();
     println!("running the Table 2 profiled transfer (counters on)...");

@@ -20,7 +20,8 @@ fn main() {
     // Two stations: MAC 02:...:01 / IP 10.0.0.1 and 02:...:02 / 10.0.0.2.
     // `CostModel::modern()` runs the protocol code "for free"; swap in
     // `CostModel::decstation_sml()` to feel 1994.
-    let mut alice = StackKind::FoxStandard.build(&net, 1, 2, CostModel::modern(), false, TcpConfig::default());
+    let mut alice =
+        StackKind::FoxStandard.build(&net, 1, 2, CostModel::modern(), false, TcpConfig::default());
     let mut bob = StackKind::FoxStandard.build(&net, 2, 1, CostModel::modern(), false, TcpConfig::default());
 
     println!("== passive open: bob listens on port 7777");

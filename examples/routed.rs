@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --release --example routed`
 
+use fox_scheduler::SchedHandle;
 use foxbasis::time::VirtualDuration;
 use foxproto::aux::IpAuxImpl;
 use foxproto::dev::Dev;
@@ -15,7 +16,6 @@ use foxproto::ip::{Ip, IpConfig};
 use foxproto::router::Router;
 use foxproto::Protocol;
 use foxtcp::{Tcp, TcpConfig, TcpConnId, TcpEvent, TcpPattern};
-use fox_scheduler::SchedHandle;
 use foxwire::ether::EthAddr;
 use foxwire::ipv4::{IpProtocol, Ipv4Addr};
 use simnet::{HostHandle, SimNet};

@@ -26,10 +26,7 @@ fn transfer(kind: StackKind, corrupt: f64, label: &str) {
     let r = bulk_transfer(&net, &mut sender, &mut receiver, 300_000, VirtualTime::from_micros(u64::MAX / 2));
     println!(
         "{label:<38} {:>6.2} Mb/s  retransmits={:<3} corrupted-frames={:<3} tcp-checksum-drops={}",
-        r.throughput_mbps,
-        r.sender.retransmits,
-        r.net.frames_corrupted,
-        r.receiver.checksum_failures,
+        r.throughput_mbps, r.sender.retransmits, r.net.frames_corrupted, r.receiver.checksum_failures,
     );
     assert_eq!(r.bytes, 300_000, "transfer must complete intact");
 }

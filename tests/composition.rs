@@ -68,8 +68,7 @@ fn udp_directly_over_ethernet() {
     let mk = |id: u8| {
         let host = HostHandle::free();
         let mac = EthAddr::host(id);
-        let eth =
-            SizedPayload::new(Eth::new(Dev::new(net.attach(mac), host.clone()), mac, host.clone()));
+        let eth = SizedPayload::new(Eth::new(Dev::new(net.attach(mac), host.clone()), mac, host.clone()));
         Udp::new(eth, EthAux::new(), EtherType::TcpDirect, false, host)
     };
     let mut a = mk(1);

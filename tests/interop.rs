@@ -15,7 +15,12 @@ fn cfg() -> TcpConfig {
     TcpConfig { delayed_ack_ms: None, ..TcpConfig::default() }
 }
 
-fn pair(client: StackKind, server: StackKind, seed: u64, faults: FaultConfig) -> (SimNet, Box<dyn Station>, Box<dyn Station>) {
+fn pair(
+    client: StackKind,
+    server: StackKind,
+    seed: u64,
+    faults: FaultConfig,
+) -> (SimNet, Box<dyn Station>, Box<dyn Station>) {
     let net = SimNet::new(NetConfig { faults, ..NetConfig::default() }, seed);
     let c = client.build(&net, 1, 2, CostModel::modern(), false, cfg());
     let s = server.build(&net, 2, 1, CostModel::modern(), false, cfg());
@@ -39,9 +44,7 @@ fn exchange(client_kind: StackKind, server_kind: StackKind, faults: FaultConfig,
         VirtualDuration::from_millis(1),
         VirtualTime::from_millis(120_000),
     );
-    let sc = sc.unwrap_or_else(|| {
-        panic!("{} -> {}: no handshake", client_kind.name(), server_kind.name())
-    });
+    let sc = sc.unwrap_or_else(|| panic!("{} -> {}: no handshake", client_kind.name(), server_kind.name()));
 
     // Client streams `bytes`; server echoes the total count at the end.
     let payload: Vec<u8> = (0..bytes as u32).map(|i| (i % 253) as u8).collect();

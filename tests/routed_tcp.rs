@@ -4,6 +4,7 @@
 //! full TCP session on top. The deepest composition the substrate
 //! supports, exercised end to end.
 
+use fox_scheduler::SchedHandle;
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxproto::aux::IpAuxImpl;
 use foxproto::dev::Dev;
@@ -12,7 +13,6 @@ use foxproto::ip::{Ip, IpConfig};
 use foxproto::router::Router;
 use foxproto::Protocol;
 use foxtcp::{Tcp, TcpConfig, TcpConnId, TcpEvent, TcpPattern};
-use fox_scheduler::SchedHandle;
 use foxwire::ether::EthAddr;
 use foxwire::ipv4::{IpProtocol, Ipv4Addr};
 use simnet::{HostHandle, SimNet};
@@ -57,11 +57,7 @@ fn tcp_session_through_the_router() {
     let ev = events.clone();
     let conn = client
         .open(
-            TcpPattern::Active {
-                remote: Ipv4Addr::new(10, 0, 1, 2),
-                remote_port: 80,
-                local_port: 0,
-            },
+            TcpPattern::Active { remote: Ipv4Addr::new(10, 0, 1, 2), remote_port: 80, local_port: 0 },
             Box::new(move |e| ev.borrow_mut().push(e)),
         )
         .unwrap();
@@ -142,9 +138,11 @@ fn tcp_session_through_the_router() {
     client.close(conn).unwrap();
     let base = net1.now().max(net2.now()).as_millis();
     drive(&mut client, &mut server, &mut router, base + 500);
-    assert!(events.borrow().iter().any(|e| matches!(e, TcpEvent::PeerClosed)) || {
-        // server closed nothing yet; client is in FIN-WAIT-2 once its
-        // FIN is acked — verify via state.
-        client.state_of(conn) == Some(foxtcp::TcpState::FinWait2)
-    });
+    assert!(
+        events.borrow().iter().any(|e| matches!(e, TcpEvent::PeerClosed)) || {
+            // server closed nothing yet; client is in FIN-WAIT-2 once its
+            // FIN is acked — verify via state.
+            client.state_of(conn) == Some(foxtcp::TcpState::FinWait2)
+        }
+    );
 }

@@ -71,14 +71,9 @@ fn integrity_under_abuse_all_stacks() {
 /// so three duplicates can actually accumulate.)
 #[test]
 fn burst_loss_recovers_without_rto() {
-    let tcp = TcpConfig {
-        initial_window: 16384,
-        send_buffer: 32768,
-        delayed_ack_ms: None,
-        ..TcpConfig::default()
-    };
-    let netcfg =
-        NetConfig { faults: FaultConfig::bursty(1.0 / 60.0, 0.5, 1.0), ..NetConfig::default() };
+    let tcp =
+        TcpConfig { initial_window: 16384, send_buffer: 32768, delayed_ack_ms: None, ..TcpConfig::default() };
+    let netcfg = NetConfig { faults: FaultConfig::bursty(1.0 / 60.0, 0.5, 1.0), ..NetConfig::default() };
     let net = SimNet::new(netcfg, 173);
     let mut s = StackKind::FoxStandard.build(&net, 1, 2, CostModel::modern(), false, tcp.clone());
     let mut r = StackKind::FoxStandard.build(&net, 2, 1, CostModel::modern(), false, tcp);
@@ -134,10 +129,7 @@ fn paper_speed_relation_holds() {
     let xk = run(StackKind::XKernel, CostModel::decstation_c);
     assert!(fox < xk, "fox {fox} must be slower than xk {xk}");
     let ratio = fox / xk;
-    assert!(
-        (0.1..=0.5).contains(&ratio),
-        "throughput ratio {ratio:.2} should bracket the paper's 0.24"
-    );
+    assert!((0.1..=0.5).contains(&ratio), "throughput ratio {ratio:.2} should bracket the paper's 0.24");
     assert!(xk < 10.0, "nobody beats the wire");
 }
 

@@ -9,7 +9,6 @@
 
 // Vendored stand-in: exempt from the workspace lint bar.
 #![allow(clippy::all)]
-
 #![deny(unsafe_code)]
 
 use std::fmt::Write as _;

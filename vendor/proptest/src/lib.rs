@@ -20,7 +20,6 @@
 
 // Vendored stand-in: exempt from the workspace lint bar.
 #![allow(clippy::all)]
-
 #![deny(unsafe_code)]
 
 /// Test-runner configuration.

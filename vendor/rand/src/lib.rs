@@ -11,7 +11,6 @@
 
 // Vendored stand-in: exempt from the workspace lint bar.
 #![allow(clippy::all)]
-
 #![deny(unsafe_code)]
 
 /// Core random-number source: a stream of `u64`s.
