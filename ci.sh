@@ -3,11 +3,12 @@
 #
 #   ./ci.sh
 #
-# Four stages, all must pass:
+# Five stages, all must pass:
 #   1. formatting (fails fast, before anything compiles)
 #   2. release build of every crate and target
 #   3. the whole workspace test suite
-#   4. clippy over every target (benches and bins too), warnings as errors
+#   4. the Criterion benches compile (not run; keeps them from rotting)
+#   5. clippy over every target (benches and bins too), warnings as errors
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,6 +20,9 @@ cargo build --release
 
 echo "== test (workspace) =="
 cargo test -q --workspace
+
+echo "== bench (compile only) =="
+cargo bench --workspace --no-run
 
 echo "== clippy (all targets, deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -5,7 +5,7 @@
 //!   cargo run --release -p foxbench --bin tables -- table1   # one item
 //!
 //! Items: table1, table2, gc, gcpause, ablations, matrix, loss,
-//! lossmatrix, micro
+//! lossmatrix, copies, micro
 //!
 //! Flags:
 //!   --trace <file>   record the Table 1 bulk run's typed event stream;
@@ -123,6 +123,12 @@ fn main() {
         println!("running the loss matrix (each cell twice, checking determinism)...\n");
         let cells = exp::loss_matrix(200_000, seed);
         println!("{}", exp::render_loss_matrix(&cells));
+    }
+
+    if want(&args, "copies") {
+        println!("running the copy comparison (Table 1 workload, copy counter on)...\n");
+        let rows = exp::copy_comparison(1_000_000, seed);
+        println!("{}", exp::render_copy_comparison(&rows));
     }
 
     if want(&args, "micro") {

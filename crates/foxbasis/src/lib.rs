@@ -7,6 +7,9 @@
 //!
 //! It contains:
 //!
+//! * [`buf`] — [`buf::PacketBuf`], the refcounted headroom buffer a
+//!   packet lives in from TCP payload to wire and back (one real copy
+//!   per direction, with the checksum folded into that pass);
 //! * [`fifo`] — the FIFO queue (`structure Q: FIFO` in Fig. 6), used for
 //!   the per-connection `to_do` action queue and the out-of-order queue;
 //! * [`deq`] — the double-ended queue (`structure D: DEQ` in Fig. 6),
@@ -36,6 +39,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod checksum;
 pub mod copy;
 pub mod deq;
@@ -48,6 +52,7 @@ pub mod time;
 pub mod trace;
 pub mod wordarray;
 
+pub use buf::PacketBuf;
 pub use checksum::{checksum, ones_complement_sum, ChecksumAccum};
 pub use deq::Deq;
 pub use fifo::Fifo;

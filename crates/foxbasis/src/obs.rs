@@ -160,6 +160,17 @@ pub enum Event {
         /// Pause length in microseconds.
         micros: u64,
     },
+    /// A real host memcpy of payload bytes — a [`crate::buf::PacketBuf`]
+    /// materialization or fallback reallocation. Purely observational:
+    /// the *virtual* cost model charges the paper's per-KB constants
+    /// independently of these.
+    BufCopy {
+        /// The layer that performed the copy (e.g. `tcp`, `ip_reasm`,
+        /// `wire`).
+        layer: &'static str,
+        /// Payload bytes memcpy'd.
+        bytes: u32,
+    },
 }
 
 impl Event {
@@ -179,6 +190,7 @@ impl Event {
             Event::FrameCorrupt => "frame_corrupt",
             Event::FrameDeliver { .. } => "frame_deliver",
             Event::GcPause { .. } => "gc_pause",
+            Event::BufCopy { .. } => "buf_copy",
         }
     }
 
@@ -220,6 +232,9 @@ impl Event {
             Event::FrameCorrupt => s.push_str("{}"),
             Event::GcPause { micros } => {
                 let _ = write!(s, "{{\"micros\":{micros}}}");
+            }
+            Event::BufCopy { layer, bytes } => {
+                let _ = write!(s, "{{\"layer\":\"{layer}\",\"bytes\":{bytes}}}");
             }
         }
         s
@@ -426,6 +441,11 @@ pub struct ConnMetrics {
     pub bytes_sent: u64,
     /// Payload bytes delivered to the user.
     pub bytes_delivered: u64,
+    /// Real host payload memcpys this connection caused (the
+    /// `Event::BufCopy` count; the modeled copy charge is separate).
+    pub buf_copies: u64,
+    /// Real payload bytes memcpy'd.
+    pub buf_copy_bytes: u64,
 }
 
 impl ConnMetrics {
@@ -439,6 +459,17 @@ impl ConnMetrics {
         }
     }
 
+    /// Real host payload copies per transmitted segment — the number the
+    /// zero-copy refactor drives toward 1.0 (the single send-buffer
+    /// read, with the checksum folded into the same pass).
+    pub fn copies_per_packet(&self) -> f64 {
+        if self.segments_sent == 0 {
+            0.0
+        } else {
+            self.buf_copies as f64 / self.segments_sent as f64
+        }
+    }
+
     /// A deterministic JSON rendering of the snapshot.
     pub fn to_json(&self) -> String {
         format!(
@@ -446,7 +477,8 @@ impl ConnMetrics {
              \"bytes_in_flight\":{},\"fastpath_hits\":{},\"fastpath_misses\":{},\
              \"fastpath_hit_ratio\":{:.4},\"retransmits\":{},\"fast_retransmits\":{},\
              \"recoveries\":{},\"rto_fires\":{},\"probe_fires\":{},\"segments_sent\":{},\
-             \"segments_received\":{},\"bytes_sent\":{},\"bytes_delivered\":{}}}",
+             \"segments_received\":{},\"bytes_sent\":{},\"bytes_delivered\":{},\
+             \"buf_copies\":{},\"buf_copy_bytes\":{},\"copies_per_packet\":{:.4}}}",
             self.srtt_us.map_or("null".to_string(), |v| v.to_string()),
             self.rto_us,
             self.cwnd,
@@ -465,6 +497,9 @@ impl ConnMetrics {
             self.segments_received,
             self.bytes_sent,
             self.bytes_delivered,
+            self.buf_copies,
+            self.buf_copy_bytes,
+            self.copies_per_packet(),
         )
     }
 }

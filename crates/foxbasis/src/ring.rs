@@ -106,6 +106,43 @@ impl RingBuffer {
         n
     }
 
+    /// Like [`RingBuffer::peek_at`], but also folds the RFC 1071
+    /// ones-complement sum of the copied bytes **in the same pass** —
+    /// the paper's Fig. 10 combined copy+checksum idea, used by the TCP
+    /// segment builder so the payload is touched exactly once on the
+    /// send side. Returns `(bytes copied, ones-complement sum)`.
+    pub fn peek_at_sum(&self, offset: usize, dst: &mut [u8]) -> (usize, u16) {
+        if offset >= self.len {
+            return (0, 0);
+        }
+        let n = dst.len().min(self.len - offset);
+        let cap = self.capacity();
+        let mut sum: u32 = 0;
+        let mut i = 0;
+        // Word-at-a-time with deferred carries, folding as the bytes
+        // land in `dst`.
+        while i + 1 < n {
+            let hi = self.data[(self.head + offset + i) % cap];
+            let lo = self.data[(self.head + offset + i + 1) % cap];
+            dst[i] = hi;
+            dst[i + 1] = lo;
+            sum += u32::from(u16::from_be_bytes([hi, lo]));
+            if sum >= 0xffff_0000 {
+                sum = (sum & 0xffff) + (sum >> 16);
+            }
+            i += 2;
+        }
+        if i < n {
+            let b = self.data[(self.head + offset + i) % cap];
+            dst[i] = b;
+            sum += u32::from(b) << 8;
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        (n, sum as u16)
+    }
+
     /// Discards up to `n` bytes from the front; returns the number
     /// discarded.
     pub fn skip(&mut self, n: usize) -> usize {
@@ -213,6 +250,25 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = RingBuffer::new(0);
+    }
+
+    #[test]
+    fn peek_at_sum_matches_separate_passes() {
+        let mut r = RingBuffer::new(64);
+        // Wrap the ring: fill, drain, refill so head is mid-buffer.
+        r.write(&[0u8; 40]);
+        r.skip(40);
+        let data: Vec<u8> = (0..50u8).map(|i| i.wrapping_mul(7)).collect();
+        r.write(&data);
+        for (offset, want) in [(0usize, 50usize), (3, 47), (49, 1), (50, 0)] {
+            let mut a = vec![0u8; want.max(1)];
+            let mut b = vec![0u8; want.max(1)];
+            let plain = r.peek_at(offset, &mut a);
+            let (n, sum) = r.peek_at_sum(offset, &mut b);
+            assert_eq!(n, plain);
+            assert_eq!(a[..n], b[..n]);
+            assert_eq!(sum, crate::checksum::word_check(&a[..n]), "offset {offset}");
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::state;
 use crate::tcb::TcpState;
 use crate::{ConnCore, TcpConfig};
 use fox_scheduler::{SchedHandle, TimerHandle};
+use foxbasis::buf::copy_mark;
 use foxbasis::fifo::Fifo;
 use foxbasis::obs::{ConnMetrics, Event, EventSink};
 use foxbasis::seq::Seq;
@@ -120,6 +121,13 @@ pub struct TcpStats {
     pub rto_fires: u64,
     /// Zero-window probes sent by the persist timer.
     pub probe_fires: u64,
+    /// Real buffer copies ([`foxbasis::buf`] copy counter deltas)
+    /// observed while externalizing/internalizing segments. Purely
+    /// observational: the virtual cost model charges the paper's per-KB
+    /// constants independently.
+    pub buf_copies: u64,
+    /// Bytes moved by those copies.
+    pub buf_copy_bytes: u64,
 }
 
 struct Conn<P> {
@@ -272,6 +280,8 @@ where
             segments_received: self.stats.segments_received,
             bytes_sent: self.stats.bytes_sent,
             bytes_delivered: self.stats.bytes_delivered,
+            buf_copies: self.stats.buf_copies,
+            buf_copy_bytes: self.stats.buf_copy_bytes,
         })
     }
 
@@ -428,13 +438,23 @@ where
                 self.conns[idx].core.tcb.last_adv_wnd = u32::from(seg.header.window);
             }
         }
-        let bytes = match seg.encode(pseudo) {
+        let mark = copy_mark();
+        let bytes = match seg.encode_buf(pseudo) {
             Ok(b) => b,
             Err(e) => {
                 self.trace.print(&format!("encode failed: {e}"));
                 return;
             }
         };
+        let delta = mark.delta();
+        if delta.bytes > 0 {
+            self.stats.buf_copies += delta.copies;
+            self.stats.buf_copy_bytes += delta.bytes;
+            self.obs.emit(self.sched.now(), foxbasis::obs::NO_CONN, || Event::BufCopy {
+                layer: "tcp_tx",
+                bytes: delta.bytes as u32,
+            });
+        }
         self.stats.segments_sent += 1;
         self.stats.bytes_sent += seg.payload.len() as u64;
         if self.obs.is_on() {
@@ -673,7 +693,18 @@ where
             if pseudo.is_some() {
                 self.host.charge_checksum(info.data.len());
             }
-            match TcpSegment::decode(info.data, pseudo) {
+            let mark = copy_mark();
+            let decoded = TcpSegment::decode_buf(info.data, pseudo);
+            let delta = mark.delta();
+            if delta.bytes > 0 {
+                self.stats.buf_copies += delta.copies;
+                self.stats.buf_copy_bytes += delta.bytes;
+                self.obs.emit(self.sched.now(), foxbasis::obs::NO_CONN, || Event::BufCopy {
+                    layer: "tcp_rx",
+                    bytes: delta.bytes as u32,
+                });
+            }
+            match decoded {
                 Ok(seg) => (info.src.clone(), seg),
                 Err(foxwire::WireError::BadChecksum(_)) => {
                     self.stats.checksum_failures += 1;
@@ -830,13 +861,19 @@ where
     /// Sends all of `payload` or nothing ([`ProtoError::WouldBlock`] if
     /// the send buffer cannot take it); use [`Tcp::send_data`] for
     /// partial writes.
-    fn send(&mut self, conn: TcpConnId, _to: (), payload: Vec<u8>) -> Result<(), ProtoError> {
+    fn send(
+        &mut self,
+        conn: TcpConnId,
+        _to: (),
+        payload: impl Into<foxbasis::buf::PacketBuf>,
+    ) -> Result<(), ProtoError> {
+        let payload = payload.into();
         if self.send_capacity(conn) < payload.len() {
             // Distinguish "no such connection" from pushback.
             self.conn_index(conn).ok_or(ProtoError::NotOpen)?;
             return Err(ProtoError::WouldBlock);
         }
-        let n = self.send_data(conn, &payload)?;
+        let n = self.send_data(conn, &payload.bytes())?;
         debug_assert_eq!(n, payload.len());
         Ok(())
     }
@@ -1655,11 +1692,11 @@ mod extended_tests {
         link.set_filter_toward(
             1,
             Box::new(move |bytes| {
-                if let Ok(mut seg) = TcpSegment::decode(bytes, None) {
+                if let Ok(mut seg) = TcpSegment::decode_buf(bytes, None) {
                     if !seg.payload.is_empty() {
                         seg.header.flags.urg = true;
                         seg.header.urgent = seg.payload.len() as u16;
-                        *bytes = seg.encode(None).unwrap();
+                        *bytes = seg.encode_buf(None).unwrap();
                         *n.borrow_mut() += 1;
                     }
                 }
@@ -1714,7 +1751,7 @@ mod extended_tests {
         // checksums off (the TestAux configuration).
         let mut h = TcpHeader::new(1, 2);
         h.flags = TcpFlags::ACK;
-        let seg = TcpSegment { header: h, payload: b"xyz".to_vec() };
+        let seg = TcpSegment { header: h, payload: b"xyz"[..].into() };
         let bytes = seg.encode(None).unwrap();
         assert_eq!(TcpSegment::decode(&bytes, None).unwrap(), seg);
     }

@@ -75,7 +75,7 @@ pub fn try_fast<P: Clone + PartialEq + Debug>(
             return false; // let the full path manage reassembly
         }
         let tcb = &mut core.tcb;
-        let took = tcb.recv_buf.write(&seg.payload);
+        let took = tcb.recv_buf.write(&seg.payload.bytes());
         debug_assert_eq!(took, seg.payload.len());
         tcb.rcv_nxt += took as u32;
         tcb.bytes_since_ack += took as u32;
@@ -84,7 +84,10 @@ pub fn try_fast<P: Clone + PartialEq + Debug>(
         // update_send_window would (window unchanged by predicate).
         tcb.snd_wl1 = h.seq;
         tcb.snd_wl2 = h.ack;
-        tcb.push_action(TcpAction::UserData(seg.payload.clone()));
+        // The copy into the user's vector — the same user-boundary copy
+        // the slow path pays. Deliberately outside the copy counter:
+        // the paper keeps the user copy out of its benchmarks.
+        tcb.push_action(TcpAction::UserData(seg.payload.bytes().to_vec()));
         match cfg.delayed_ack_ms {
             Some(ms) if tcb.segs_since_ack < 2 && tcb.bytes_since_ack < 2 * tcb.mss => {
                 tcb.ack_pending = true;
@@ -131,7 +134,7 @@ mod tests {
         h.ack = Seq(ack);
         h.flags = TcpFlags::ACK;
         h.window = window;
-        TcpSegment { header: h, payload: payload.to_vec() }
+        TcpSegment { header: h, payload: payload.into() }
     }
 
     #[test]
@@ -142,7 +145,7 @@ mod tests {
         core.tcb.snd_nxt = Seq(600);
         core.tcb.resend_queue.push_back(crate::tcb::SentSegment {
             seq: Seq(100),
-            len: 500,
+            payload: vec![1u8; 500].into(),
             syn: false,
             fin: false,
         });
@@ -218,7 +221,7 @@ mod tests {
         core.tcb.snd_nxt = Seq(600);
         core.tcb.resend_queue.push_back(crate::tcb::SentSegment {
             seq: Seq(100),
-            len: 500,
+            payload: vec![1u8; 500].into(),
             syn: false,
             fin: false,
         });

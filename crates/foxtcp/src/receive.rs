@@ -17,6 +17,7 @@ use crate::resend;
 use crate::send;
 use crate::tcb::TcpState;
 use crate::{ConnCore, TcpConfig};
+use foxbasis::buf::PacketBuf;
 use foxbasis::seq::Seq;
 use foxbasis::time::VirtualTime;
 use foxwire::tcp::TcpSegment;
@@ -394,10 +395,15 @@ fn process_text<P: Clone + PartialEq + Debug>(
 
     if seq == tcb.rcv_nxt {
         // The expected segment: append, deliver, maybe drain the
-        // out-of-order queue behind it.
-        let took = tcb.recv_buf.write(&seg.payload);
+        // out-of-order queue behind it. (The copy into the user's
+        // delivery vector is the one copy the paper's receive path also
+        // pays — the user boundary.)
+        let (took, mut delivered) = {
+            let bytes = seg.payload.bytes();
+            let took = tcb.recv_buf.write(&bytes);
+            (took, bytes[..took].to_vec())
+        };
         tcb.rcv_nxt += took as u32;
-        let mut delivered = seg.payload[..took].to_vec();
         if took < seg.payload.len() {
             // Receive buffer full: the rest stays unacknowledged; the
             // sender will retransmit into our advertised window.
@@ -437,11 +443,15 @@ fn process_text<P: Clone + PartialEq + Debug>(
         // new.
         let skip = tcb.rcv_nxt.since(seq) as usize;
         if skip < seg.payload.len() {
-            let fresh = &seg.payload[skip..];
-            let took = tcb.recv_buf.write(fresh);
+            let fresh_len = seg.payload.len() - skip;
+            let (took, mut delivered) = {
+                let bytes = seg.payload.bytes();
+                let fresh = &bytes[skip..];
+                let took = tcb.recv_buf.write(fresh);
+                (took, fresh[..took].to_vec())
+            };
             tcb.rcv_nxt += took as u32;
-            let mut delivered = fresh[..took].to_vec();
-            if took == fresh.len() {
+            if took == fresh_len {
                 let (more, _) = tcb.drain_out_of_order();
                 delivered.extend_from_slice(&more);
             }
@@ -470,7 +480,7 @@ fn check_fin<P: Clone + PartialEq + Debug>(
         // already sent tells the peer to retransmit.
         if fin_seq.gt(core.tcb.rcv_nxt) {
             if seg.payload.is_empty() {
-                core.tcb.insert_out_of_order(seg.header.seq, Vec::new(), true);
+                core.tcb.insert_out_of_order(seg.header.seq, PacketBuf::new(), true);
             }
             return;
         }
@@ -579,7 +589,7 @@ mod tests {
         h.ack = Seq(101);
         h.flags = flags;
         h.window = 4096;
-        TcpSegment { header: h, payload: payload.to_vec() }
+        TcpSegment { header: h, payload: payload.into() }
     }
 
     fn drain_tags(core: &ConnCore<u8>) -> Vec<&'static str> {
@@ -653,7 +663,7 @@ mod tests {
         core.tcb.snd_nxt = Seq(101);
         core.tcb.resend_queue.push_back(crate::tcb::SentSegment {
             seq: Seq(100),
-            len: 0,
+            payload: PacketBuf::new(),
             syn: true,
             fin: false,
         });
@@ -792,7 +802,7 @@ mod tests {
         core.tcb.snd_nxt = Seq(401);
         core.tcb.resend_queue.push_back(crate::tcb::SentSegment {
             seq: Seq(101),
-            len: 300,
+            payload: vec![1u8; 300].into(),
             syn: false,
             fin: false,
         });
@@ -985,7 +995,7 @@ mod tests {
         core.tcb.snd_nxt = Seq(102);
         core.tcb.resend_queue.push_back(crate::tcb::SentSegment {
             seq: Seq(101),
-            len: 0,
+            payload: PacketBuf::new(),
             syn: false,
             fin: true,
         });

@@ -61,7 +61,7 @@ pub fn process_ack<P: Clone + PartialEq + Debug>(
     while let Some(front) = tcb.resend_queue.front() {
         if front.end().le(ack) {
             let seg = tcb.resend_queue.pop_front().expect("front");
-            out.bytes_acked += seg.len;
+            out.bytes_acked += seg.len();
             out.syn_acked |= seg.syn;
             out.fin_acked |= seg.fin;
         } else {
@@ -73,7 +73,9 @@ pub fn process_ack<P: Clone + PartialEq + Debug>(
         if front.seq.lt(ack) && ack.lt(front.end()) {
             let cut = ack.since(front.seq);
             let data_cut = cut - u32::from(front.syn && front.seq.lt(ack));
-            front.len -= data_cut.min(front.len);
+            // Narrow the stored view — the storage (shared with the
+            // in-flight frame) is untouched.
+            front.payload.trim_front(data_cut.min(front.len()) as usize);
             if front.syn {
                 front.syn = false; // the SYN octet is first, so it is covered
                 out.syn_acked = true;
@@ -204,22 +206,16 @@ pub fn duplicate_ack<P: Clone + PartialEq + Debug>(
 }
 
 /// Rebuilds and queues the first unacknowledged segment for
-/// transmission. Payload bytes are re-read from the send buffer at
-/// offset `seq - snd_una`.
+/// transmission. The payload is *not* re-read from the send buffer: the
+/// queued [`foxbasis::buf::PacketBuf`] is re-referenced, so a pure
+/// retransmission memcpys nothing.
 pub fn retransmit_front<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, _now: VirtualTime) {
     let tcb = &mut core.tcb;
     let front = match tcb.resend_queue.front() {
         Some(s) => s.clone(),
         None => return,
     };
-    let mut payload = vec![0u8; front.len as usize];
-    // Buffer bytes start at snd_una, except that an unacknowledged SYN
-    // octet occupies the first sequence number without a buffer byte.
-    let syn_outstanding = tcb.resend_queue.iter().any(|s| s.syn);
-    let raw = front.seq.since(tcb.snd_una) as usize;
-    let offset = raw.saturating_sub(usize::from(syn_outstanding && !front.syn));
-    let got = tcb.send_buf.peek_at(offset, &mut payload);
-    payload.truncate(got);
+    let payload = front.payload.clone();
     let mut header = TcpHeader::new(core.local_port, core.remote.as_ref().map(|(_, p)| *p).unwrap_or(0));
     header.seq = front.seq;
     header.ack = tcb.rcv_nxt;
@@ -227,7 +223,7 @@ pub fn retransmit_front<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, _n
         syn: front.syn,
         fin: front.fin,
         ack: core.state.is_synchronized() || !front.syn,
-        psh: front.len > 0,
+        psh: !front.is_empty(),
         ..TcpFlags::default()
     };
     if front.syn {
@@ -334,7 +330,7 @@ mod tests {
         for i in 0..3u32 {
             core.tcb.resend_queue.push_back(SentSegment {
                 seq: Seq(100 + i * 1000),
-                len: 1000,
+                payload: vec![0xAA; 1000].into(),
                 syn: false,
                 fin: false,
             });
@@ -412,7 +408,7 @@ mod tests {
         assert_eq!(out.bytes_acked, 500);
         let front = core.tcb.resend_queue.front().unwrap();
         assert_eq!(front.seq, Seq(600));
-        assert_eq!(front.len, 500);
+        assert_eq!(front.len(), 500);
     }
 
     #[test]
@@ -452,7 +448,7 @@ mod tests {
     }
 
     #[test]
-    fn retransmit_rebuilds_payload_from_buffer() {
+    fn retransmit_reuses_queued_payload() {
         let mut core = core_with_flight();
         retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(1000));
         let acts = core.tcb.to_do.borrow_mut().drain_all();
@@ -609,7 +605,7 @@ mod tests {
         for i in 0..2u32 {
             core.tcb.resend_queue.push_back(SentSegment {
                 seq: Seq(3100 + i * 1000),
-                len: 1000,
+                payload: vec![0xCC; 1000].into(),
                 syn: false,
                 fin: false,
             });
@@ -646,8 +642,16 @@ mod tests {
         let mut core = core_with_flight();
         core.tcb.resend_queue.clear();
         let now = VirtualTime::from_millis(5);
-        record_sent(&mut core.tcb, SentSegment { seq: Seq(100), len: 10, syn: false, fin: false }, now);
-        record_sent(&mut core.tcb, SentSegment { seq: Seq(110), len: 10, syn: false, fin: false }, now);
+        record_sent(
+            &mut core.tcb,
+            SentSegment { seq: Seq(100), payload: vec![0; 10].into(), syn: false, fin: false },
+            now,
+        );
+        record_sent(
+            &mut core.tcb,
+            SentSegment { seq: Seq(110), payload: vec![0; 10].into(), syn: false, fin: false },
+            now,
+        );
         let acts = drain(&core);
         assert_eq!(acts.iter().filter(|a| a.starts_with("Set_Timer(Resend")).count(), 1);
         assert_eq!(core.tcb.rtt.timing, Some((Seq(110), now)), "first segment timed");

@@ -11,6 +11,7 @@ use crate::action::{LossEvent, TcpAction, TimerKind};
 use crate::resend;
 use crate::tcb::SentSegment;
 use crate::{ConnCore, TcpConfig};
+use foxbasis::buf::{PacketBuf, DEFAULT_HEADROOM};
 use foxbasis::seq::Seq;
 use foxbasis::time::VirtualTime;
 use foxwire::tcp::{TcpFlags, TcpHeader, TcpOption, TcpSegment};
@@ -33,7 +34,7 @@ pub fn queue_ack<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>) {
     core.tcb.ack_pending = false;
     core.tcb.bytes_since_ack = 0;
     core.tcb.segs_since_ack = 0;
-    core.tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload: Vec::new() }));
+    core.tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload: PacketBuf::new() }));
 }
 
 /// Stages our SYN (active open) or SYN+ACK (passive/simultaneous open).
@@ -43,11 +44,15 @@ pub fn queue_syn<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, with_ack:
     let flags = if with_ack { TcpFlags::SYN_ACK } else { TcpFlags::SYN };
     let mut header = make_header(core, flags, core.tcb.iss);
     header.options.push(TcpOption::MaxSegmentSize(core.our_mss.min(65535) as u16));
-    core.tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload: Vec::new() }));
+    core.tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload: PacketBuf::new() }));
     if core.tcb.snd_nxt == core.tcb.iss {
         let iss = core.tcb.iss;
         core.tcb.snd_nxt = iss + 1;
-        resend::record_sent(&mut core.tcb, SentSegment { seq: iss, len: 0, syn: true, fin: false }, now);
+        resend::record_sent(
+            &mut core.tcb,
+            SentSegment { seq: iss, payload: PacketBuf::new(), syn: true, fin: false },
+            now,
+        );
     }
 }
 
@@ -81,19 +86,25 @@ pub fn maybe_send<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut Conn
             return;
         }
 
-        // Read the payload out of the staged region of the send buffer.
-        let mut payload = vec![0u8; take as usize];
+        // Copy the staged bytes out of the send buffer exactly once,
+        // folding the checksum into the same pass (the paper's Fig. 10
+        // combined copy/checksum loop). The resulting buffer is the one
+        // the wire encoders prepend into, the one the engine hands down,
+        // and the one the retransmission queue re-references.
         let syn_outstanding = core.tcb.resend_queue.iter().any(|s| s.syn);
         let offset = (core.tcb.flight_size() as usize).saturating_sub(usize::from(syn_outstanding));
-        let got = core.tcb.send_buf.peek_at(offset, &mut payload);
-        payload.truncate(got);
-        debug_assert_eq!(got as u32, take, "staged bytes must be present");
+        let send_buf = &core.tcb.send_buf;
+        let payload = PacketBuf::build_summed(DEFAULT_HEADROOM, take as usize, |dst| {
+            let (got, sum) = send_buf.peek_at_sum(offset, dst);
+            debug_assert_eq!(got as u32, take, "staged bytes must be present");
+            sum
+        });
 
         let seq = core.tcb.snd_nxt;
         let push = take > 0 && take == unsent;
         let flags = TcpFlags { ack: true, psh: push, fin: fin_now, ..TcpFlags::default() };
         let header = make_header(core, flags, seq);
-        core.tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload }));
+        core.tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload: payload.clone() }));
         core.tcb.snd_nxt = seq + take + u32::from(fin_now);
         if fin_now {
             core.tcb.fin_seq = Some(seq + take);
@@ -102,7 +113,7 @@ pub fn maybe_send<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut Conn
         core.tcb.bytes_since_ack = 0;
         core.tcb.segs_since_ack = 0;
         core.tcb.push_action(TcpAction::ClearTimer(TimerKind::DelayedAck));
-        resend::record_sent(&mut core.tcb, SentSegment { seq, len: take, syn: false, fin: fin_now }, now);
+        resend::record_sent(&mut core.tcb, SentSegment { seq, payload, syn: false, fin: fin_now }, now);
         if fin_now {
             return;
         }
@@ -140,18 +151,23 @@ pub fn window_probe<P: Clone + PartialEq + Debug>(
     if tcb.snd_wnd > 0 || tcb.unsent() == 0 {
         return; // window opened meanwhile, or nothing to probe with
     }
-    let mut payload = vec![0u8; 1];
     let syn_outstanding = core.tcb.resend_queue.iter().any(|s| s.syn);
     let offset = (core.tcb.flight_size() as usize).saturating_sub(usize::from(syn_outstanding));
-    let got = core.tcb.send_buf.peek_at(offset, &mut payload);
+    let send_buf = &core.tcb.send_buf;
+    let mut got = 0;
+    let payload = PacketBuf::build_summed(DEFAULT_HEADROOM, 1, |dst| {
+        let (n, sum) = send_buf.peek_at_sum(offset, dst);
+        got = n;
+        sum
+    });
     if got == 0 {
         return;
     }
     let seq = core.tcb.snd_nxt;
     let header = make_header(core, TcpFlags { ack: true, psh: true, ..TcpFlags::default() }, seq);
-    core.tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload }));
+    core.tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload: payload.clone() }));
     core.tcb.snd_nxt = seq + 1;
-    resend::record_sent(&mut core.tcb, SentSegment { seq, len: 1, syn: false, fin: false }, now);
+    resend::record_sent(&mut core.tcb, SentSegment { seq, payload, syn: false, fin: false }, now);
     // Back off the *persist* exponent, not the RTT one: the peer will
     // ACK the probe byte, and that ACK resets `rtt.backoff` in
     // `process_ack` — which used to pin the probe interval at its base
@@ -176,7 +192,7 @@ pub fn reset_for(local_port: u16, seg: &TcpSegment) -> TcpSegment {
         h.ack = seg.header.seq + seg.seq_len();
         h.flags = TcpFlags::RST_ACK;
     }
-    TcpSegment { header: h, payload: Vec::new() }
+    TcpSegment { header: h, payload: PacketBuf::new() }
 }
 
 #[cfg(test)]
@@ -425,7 +441,7 @@ mod tests {
     #[test]
     fn rst_reply_rules() {
         // With ACK: RST takes its sequence from the ACK field.
-        let mut seg = TcpSegment { header: TcpHeader::new(5555, 80), payload: b"x".to_vec() };
+        let mut seg = TcpSegment { header: TcpHeader::new(5555, 80), payload: b"x"[..].into() };
         seg.header.flags = TcpFlags::ACK;
         seg.header.ack = Seq(777);
         let rst = reset_for(80, &seg);

@@ -94,8 +94,10 @@ pub fn abort<P: Clone + PartialEq + Debug>(
     }
     if core.state.is_synchronized() && was != TcpState::TimeWait {
         let header = send::make_header(core, TcpFlags::RST_ACK, core.tcb.snd_nxt);
-        core.tcb
-            .push_action(TcpAction::SendSegment(foxwire::tcp::TcpSegment { header, payload: Vec::new() }));
+        core.tcb.push_action(TcpAction::SendSegment(foxwire::tcp::TcpSegment {
+            header,
+            payload: foxbasis::buf::PacketBuf::new(),
+        }));
     }
     core.state = TcpState::Closed;
     core.tcb.resend_queue.clear();

@@ -19,6 +19,7 @@
 //! user's `open`).
 
 use crate::action::TcpAction;
+use foxbasis::buf::PacketBuf;
 use foxbasis::fifo::Fifo;
 use foxbasis::ring::RingBuffer;
 use foxbasis::seq::Seq;
@@ -159,14 +160,15 @@ impl RttEstimator {
 }
 
 /// An entry in the retransmission queue: a sent, unacknowledged segment.
-/// Payload bytes are *not* stored — they are re-read from `send_buf` at
-/// retransmission time (the single-copy discipline).
+/// The payload is the *same* [`PacketBuf`] that was handed down the
+/// stack — retransmission re-references it (a refcount bump), it never
+/// re-reads the send buffer (the zero-copy discipline).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SentSegment {
     /// First sequence number of the segment.
     pub seq: Seq,
-    /// Bytes of payload.
-    pub len: u32,
+    /// The segment's payload, shared with the frame that went out.
+    pub payload: PacketBuf,
     /// Whether the segment carried SYN.
     pub syn: bool,
     /// Whether the segment carried FIN.
@@ -174,9 +176,19 @@ pub struct SentSegment {
 }
 
 impl SentSegment {
+    /// Bytes of payload.
+    pub fn len(&self) -> u32 {
+        self.payload.len() as u32
+    }
+
+    /// True if the segment carried no payload bytes.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
     /// Sequence space consumed.
     pub fn seq_len(&self) -> u32 {
-        self.len + u32::from(self.syn) + u32::from(self.fin)
+        self.len() + u32::from(self.syn) + u32::from(self.fin)
     }
 
     /// One past the last sequence number.
@@ -234,8 +246,9 @@ pub struct Tcb<P> {
     pub recv_buf: RingBuffer,
     /// Out-of-order segments (paper: `out_of_order: tcp_in Q.T ref`),
     /// kept sorted by sequence number; `bool` marks a FIN carried by the
-    /// segment.
-    pub out_of_order: Vec<(Seq, Vec<u8>, bool)>,
+    /// segment. Entries hold the received [`PacketBuf`] itself, so
+    /// queueing a segment out of order costs a refcount bump, not a copy.
+    pub out_of_order: Vec<(Seq, PacketBuf, bool)>,
 
     // --- retransmission (the Resend module's queue) ---
     /// Sent, unacknowledged segments, oldest first.
@@ -362,7 +375,8 @@ impl<P> Tcb<P> {
 
     /// Inserts an out-of-order segment, keeping the queue sorted and
     /// bounded. Exact duplicates are dropped.
-    pub fn insert_out_of_order(&mut self, seq: Seq, data: Vec<u8>, fin: bool) {
+    pub fn insert_out_of_order(&mut self, seq: Seq, data: impl Into<PacketBuf>, fin: bool) {
+        let data = data.into();
         if self.out_of_order.len() >= MAX_OUT_OF_ORDER {
             return;
         }
@@ -400,13 +414,19 @@ impl<P> Tcb<P> {
             if skip > d.len() {
                 continue; // wholly stale duplicate
             }
-            let fresh = &d[skip..];
-            let took = self.recv_buf.write(fresh);
-            delivered.extend_from_slice(&fresh[..took]);
+            let fresh_len = d.len() - skip;
+            let took = {
+                let bytes = d.bytes();
+                let fresh = &bytes[skip..];
+                let took = self.recv_buf.write(fresh);
+                delivered.extend_from_slice(&fresh[..took]);
+                took
+            };
             self.rcv_nxt += took as u32;
-            if took < fresh.len() {
-                // Receive buffer full: keep the remainder for later.
-                self.insert_out_of_order(self.rcv_nxt, fresh[took..].to_vec(), f);
+            if took < fresh_len {
+                // Receive buffer full: keep the remainder for later —
+                // a zero-copy slice of the same storage.
+                self.insert_out_of_order(self.rcv_nxt, d.slice(skip + took, d.len()), f);
                 break;
             }
             if f {
@@ -548,7 +568,7 @@ mod tests {
 
     #[test]
     fn sent_segment_accounting() {
-        let s = SentSegment { seq: Seq(10), len: 100, syn: false, fin: true };
+        let s = SentSegment { seq: Seq(10), payload: vec![0u8; 100].into(), syn: false, fin: true };
         assert_eq!(s.seq_len(), 101);
         assert_eq!(s.end(), Seq(111));
     }

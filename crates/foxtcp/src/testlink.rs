@@ -12,6 +12,7 @@
 //! unchanged — the same genericity that lets `Special_Tcp` run over raw
 //! Ethernet.
 
+use foxbasis::buf::PacketBuf;
 use foxbasis::time::VirtualTime;
 use foxproto::aux::{AuxInfo, IpAux};
 use foxproto::{Handler, ProtoError, Protocol};
@@ -19,18 +20,20 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-/// A message on the test link: (source address, bytes).
+/// A message on the test link: (source address, bytes). The frame rides
+/// as the [`PacketBuf`] the sender handed down — delivery is a refcount
+/// bump, exactly like the simulator.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TestMsg {
     /// Sender's link address.
     pub src: u8,
     /// Segment bytes.
-    pub data: Vec<u8>,
+    pub data: PacketBuf,
 }
 
 /// Policy hook: inspect/modify/drop frames in transit.
 /// Returns `false` to drop the frame.
-pub type Filter = Box<dyn FnMut(&mut Vec<u8>) -> bool>;
+pub type Filter = Box<dyn FnMut(&mut PacketBuf) -> bool>;
 
 struct Wire {
     /// Frames in flight toward endpoint 0 / 1.
@@ -108,12 +111,12 @@ impl Protocol for TestLower {
         Ok(self.side)
     }
 
-    fn send(&mut self, _conn: u8, to: u8, payload: Vec<u8>) -> Result<(), ProtoError> {
+    fn send(&mut self, _conn: u8, to: u8, payload: impl Into<PacketBuf>) -> Result<(), ProtoError> {
         if to > 1 {
             return Err(ProtoError::Unreachable);
         }
         let mut wire = self.wire.borrow_mut();
-        let mut payload = payload;
+        let mut payload = payload.into();
         let keep = match &mut wire.filters[usize::from(to)] {
             Some(f) => f(&mut payload),
             None => true,
@@ -197,7 +200,7 @@ mod tests {
         a.send(0, 1, b"hello".to_vec()).unwrap();
         assert!(b.step(VirtualTime::ZERO));
         assert_eq!(got.borrow().len(), 1);
-        assert_eq!(got.borrow()[0], TestMsg { src: 0, data: b"hello".to_vec() });
+        assert_eq!(got.borrow()[0], TestMsg { src: 0, data: b"hello"[..].into() });
     }
 
     #[test]

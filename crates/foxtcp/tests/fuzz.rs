@@ -53,7 +53,7 @@ fn to_segment(a: &ArbSegment) -> TcpSegment {
     h.ack = Seq(a.ack);
     h.flags = TcpFlags::from_u8(a.flags);
     h.window = a.window;
-    TcpSegment { header: h, payload: vec![0x7u8; a.payload_len] }
+    TcpSegment { header: h, payload: vec![0x7u8; a.payload_len].into() }
 }
 
 fn estab_core() -> ConnCore<u8> {

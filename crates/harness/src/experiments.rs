@@ -579,6 +579,91 @@ pub fn render_loss_matrix(cells: &[LossCell]) -> Table {
     tab
 }
 
+// ----- copy accounting (DESIGN.md §5.6: the buffer architecture) -----
+
+/// One row of the copy comparison: real memcpy traffic through the
+/// packet-buffer layer during the Table 1 bulk workload. The counter is
+/// purely observational — the virtual cost model charges the paper's
+/// per-KB constants independently — so these numbers measure what the
+/// zero-copy buffer architecture actually saves, per stack.
+#[derive(Clone, Debug)]
+pub struct CopyRow {
+    /// Implementation name.
+    pub name: &'static str,
+    /// Counted buffer copies across both hosts.
+    pub copies: u64,
+    /// Bytes those copies moved.
+    pub bytes: u64,
+    /// Segments transmitted across both hosts.
+    pub segments: u64,
+}
+
+impl CopyRow {
+    /// Counted copies per transmitted segment.
+    pub fn copies_per_packet(&self) -> f64 {
+        if self.segments == 0 {
+            0.0
+        } else {
+            self.copies as f64 / self.segments as f64
+        }
+    }
+
+    /// Bytes memcpy'd per transmitted segment.
+    pub fn bytes_per_segment(&self) -> f64 {
+        if self.segments == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.segments as f64
+        }
+    }
+}
+
+/// Runs the Table 1 bulk transfer once per stack with the thread-local
+/// copy counter zeroed, and reports what each implementation memcpy'd.
+/// The Fox stack stages each segment once (ring -> [`PacketBuf`] with
+/// headroom, checksum folded into the same pass); the baseline stages
+/// headroom-free and pays again when the header is prepended.
+///
+/// [`PacketBuf`]: foxbasis::buf::PacketBuf
+pub fn copy_comparison(bytes: usize, seed: u64) -> Vec<CopyRow> {
+    use foxbasis::buf::{copy_stats, reset_copy_stats};
+    let runs: [(StackKind, fn() -> CostModel); 2] =
+        [(StackKind::FoxStandard, CostModel::decstation_sml), (StackKind::XKernel, CostModel::decstation_c)];
+    let mut rows = Vec::new();
+    for (kind, cost) in runs {
+        let net = fresh_net(seed);
+        let mut sender = kind.build(&net, 1, 2, cost(), false, paper_tcp_config());
+        let mut receiver = kind.build(&net, 2, 1, cost(), false, paper_tcp_config());
+        reset_copy_stats();
+        let bulk =
+            bulk_transfer(&net, &mut sender, &mut receiver, bytes, VirtualTime::from_micros(u64::MAX / 2));
+        let cs = copy_stats();
+        assert_eq!(bulk.bytes, bytes, "{}: transfer must complete", kind.name());
+        let segments = sender.stats().segments_sent + receiver.stats().segments_sent;
+        rows.push(CopyRow { name: kind.name(), copies: cs.copies, bytes: cs.bytes, segments });
+    }
+    rows
+}
+
+/// Renders the copy comparison.
+pub fn render_copy_comparison(rows: &[CopyRow]) -> Table {
+    let mut tab = Table::new(
+        "Buffer copies on the Table 1 bulk workload (both hosts, user copy excluded)",
+        &["stack", "copies", "bytes", "segments", "copies/pkt", "bytes/pkt"],
+    );
+    for r in rows {
+        tab.row(&[
+            r.name.into(),
+            r.copies.to_string(),
+            r.bytes.to_string(),
+            r.segments.to_string(),
+            f2(r.copies_per_packet()),
+            f1(r.bytes_per_segment()),
+        ]);
+    }
+    tab
+}
+
 // ----- traced runs (DESIGN.md §5.5: the typed event layer) -----
 
 /// A run with the event layer on: the typed stream, its drop counter,

@@ -5,6 +5,7 @@
 //! address are sent at most once per second, and packets awaiting
 //! resolution are queued (bounded) rather than dropped.
 
+use foxbasis::buf::PacketBuf;
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxwire::arp::{ArpOp, ArpPacket};
 use foxwire::ether::EthAddr;
@@ -24,7 +25,7 @@ struct Entry {
 }
 
 struct PendingSlot {
-    packets: Vec<Vec<u8>>,
+    packets: Vec<PacketBuf>,
     last_request: VirtualTime,
 }
 
@@ -35,7 +36,7 @@ pub enum ArpEffect {
     /// unicast for replies).
     Transmit(ArpPacket, EthAddr),
     /// These queued IP packets are now deliverable to the given MAC.
-    Release(Vec<Vec<u8>>, EthAddr),
+    Release(Vec<PacketBuf>, EthAddr),
 }
 
 /// The address-resolution cache.
@@ -65,7 +66,13 @@ impl ArpCache {
 
     /// Looks up `ip`; on a miss, queues `packet` and possibly emits a
     /// request. Returns the effects to perform.
-    pub fn resolve(&mut self, now: VirtualTime, ip: Ipv4Addr, packet: Vec<u8>) -> Vec<ArpEffect> {
+    pub fn resolve(
+        &mut self,
+        now: VirtualTime,
+        ip: Ipv4Addr,
+        packet: impl Into<PacketBuf>,
+    ) -> Vec<ArpEffect> {
+        let packet = packet.into();
         if let Some(e) = self.entries.get(&ip) {
             if e.expires > now {
                 return vec![ArpEffect::Release(vec![packet], e.mac)];

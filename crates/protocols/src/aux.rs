@@ -17,6 +17,7 @@
 
 use crate::eth::EthIncoming;
 use crate::ip::IpIncoming;
+use foxbasis::buf::PacketBuf;
 use foxwire::ether::EthAddr;
 use foxwire::ipv4::{IpProtocol, Ipv4Addr};
 use foxwire::pseudo;
@@ -27,8 +28,10 @@ use std::fmt;
 pub struct AuxInfo<'a, A> {
     /// Who sent it.
     pub src: A,
-    /// The transport-layer bytes.
-    pub data: &'a [u8],
+    /// The transport-layer bytes, still in the buffer they arrived in —
+    /// transports decode headers from it and slice the user payload out
+    /// without copying.
+    pub data: &'a PacketBuf,
 }
 
 /// The auxiliary structure TCP and UDP require alongside their lower
@@ -198,7 +201,7 @@ mod tests {
             src: Ipv4Addr::new(1, 1, 1, 1),
             dst: Ipv4Addr::new(9, 9, 9, 9),
             proto: IpProtocol::Tcp,
-            payload: b"segment".to_vec(),
+            payload: b"segment"[..].into(),
         };
         let info = aux.info(&msg);
         assert_eq!(info.src, Ipv4Addr::new(1, 1, 1, 1));

@@ -9,6 +9,7 @@
 
 use crate::dev::DevConn;
 use crate::{Handler, ProtoError, Protocol};
+use foxbasis::buf::PacketBuf;
 use foxbasis::fifo::Fifo;
 use foxbasis::time::VirtualTime;
 use foxwire::ether::{EthAddr, EtherType, Frame};
@@ -27,8 +28,9 @@ pub struct EthIncoming {
     /// The demuxed ethertype.
     pub ethertype: EtherType,
     /// Frame payload (may include Ethernet padding; upper layers carry
-    /// their own lengths).
-    pub payload: Vec<u8>,
+    /// their own lengths). A zero-copy slice of the received frame
+    /// buffer.
+    pub payload: PacketBuf,
 }
 
 /// Connection handle.
@@ -56,18 +58,18 @@ pub struct EthStats {
 
 /// The Ethernet layer over a device (`L` is [`crate::dev::Dev`] in real
 /// stacks; anything with the same signature in tests).
-pub struct Eth<L: Protocol<Pattern = (), Peer = (), Incoming = Vec<u8>, ConnId = DevConn>> {
+pub struct Eth<L: Protocol<Pattern = (), Peer = (), Incoming = PacketBuf, ConnId = DevConn>> {
     lower: L,
     local: EthAddr,
     host: HostHandle,
-    rx: Rc<RefCell<Fifo<Vec<u8>>>>,
+    rx: Rc<RefCell<Fifo<PacketBuf>>>,
     conns: Vec<Conn>,
     next_id: u32,
     stats: EthStats,
     opened_lower: bool,
 }
 
-impl<L: Protocol<Pattern = (), Peer = (), Incoming = Vec<u8>, ConnId = DevConn>> Eth<L> {
+impl<L: Protocol<Pattern = (), Peer = (), Incoming = PacketBuf, ConnId = DevConn>> Eth<L> {
     /// An Ethernet station with address `local` over `lower`.
     pub fn new(lower: L, local: EthAddr, host: HostHandle) -> Eth<L> {
         Eth {
@@ -104,7 +106,7 @@ impl<L: Protocol<Pattern = (), Peer = (), Incoming = Vec<u8>, ConnId = DevConn>>
     }
 }
 
-impl<L: Protocol<Pattern = (), Peer = (), Incoming = Vec<u8>, ConnId = DevConn>> Protocol for Eth<L> {
+impl<L: Protocol<Pattern = (), Peer = (), Incoming = PacketBuf, ConnId = DevConn>> Protocol for Eth<L> {
     type Pattern = EtherType;
     type Peer = EthAddr;
     type Incoming = EthIncoming;
@@ -121,12 +123,12 @@ impl<L: Protocol<Pattern = (), Peer = (), Incoming = Vec<u8>, ConnId = DevConn>>
         Ok(id)
     }
 
-    fn send(&mut self, conn: EthConn, to: EthAddr, payload: Vec<u8>) -> Result<(), ProtoError> {
+    fn send(&mut self, conn: EthConn, to: EthAddr, payload: impl Into<PacketBuf>) -> Result<(), ProtoError> {
         let ethertype =
             self.conns.iter().find(|c| c.id == conn).map(|c| c.ethertype).ok_or(ProtoError::NotOpen)?;
         self.host.charge_eth_packet();
         let frame =
-            Frame::new(to, self.local, ethertype, payload).encode().map_err(|_| ProtoError::TooBig)?;
+            Frame::new(to, self.local, ethertype, payload).encode_buf().map_err(|_| ProtoError::TooBig)?;
         self.stats.sent += 1;
         self.lower.send(DevConn, (), frame)
     }
@@ -149,7 +151,7 @@ impl<L: Protocol<Pattern = (), Peer = (), Incoming = Vec<u8>, ConnId = DevConn>>
             };
             progress = true;
             self.host.charge_eth_packet();
-            let frame = match Frame::decode(&raw) {
+            let frame = match Frame::decode_buf(&raw) {
                 Ok(f) => f,
                 Err(_) => {
                     self.stats.bad_fcs += 1;
@@ -176,7 +178,7 @@ impl<L: Protocol<Pattern = (), Peer = (), Incoming = Vec<u8>, ConnId = DevConn>>
     }
 }
 
-impl<L: Protocol<Pattern = (), Peer = (), Incoming = Vec<u8>, ConnId = DevConn> + fmt::Debug> fmt::Debug
+impl<L: Protocol<Pattern = (), Peer = (), Incoming = PacketBuf, ConnId = DevConn> + fmt::Debug> fmt::Debug
     for Eth<L>
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -218,7 +220,7 @@ mod tests {
         assert!(arp_rx.borrow().is_empty());
         let m = &ip_rx.borrow()[0];
         assert_eq!(m.src, EthAddr::host(1));
-        assert_eq!(&m.payload[..10], b"ip payload");
+        assert_eq!(&m.payload.bytes()[..10], b"ip payload");
     }
 
     #[test]

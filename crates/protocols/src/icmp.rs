@@ -7,6 +7,7 @@
 
 use crate::ip::IpIncoming;
 use crate::{Handler, ProtoError, Protocol};
+use foxbasis::buf::PacketBuf;
 use foxbasis::fifo::Fifo;
 use foxbasis::time::VirtualTime;
 use foxwire::icmp::IcmpEcho;
@@ -110,8 +111,13 @@ impl<L: Protocol<Pattern = IpProtocol, Peer = Ipv4Addr, Incoming = IpIncoming>> 
     /// `payload` are used as the sequence number if present... no —
     /// `send` uses an internal sequence of 0; use [`Ping`] for numbered
     /// probes.
-    fn send(&mut self, conn: IcmpConn, to: Ipv4Addr, payload: Vec<u8>) -> Result<(), ProtoError> {
-        self.send_request(conn, to, 0, payload)
+    fn send(
+        &mut self,
+        conn: IcmpConn,
+        to: Ipv4Addr,
+        payload: impl Into<PacketBuf>,
+    ) -> Result<(), ProtoError> {
+        self.send_request(conn, to, 0, payload.into().to_vec())
     }
 
     fn close(&mut self, conn: IcmpConn) -> Result<(), ProtoError> {
@@ -131,7 +137,7 @@ impl<L: Protocol<Pattern = IpProtocol, Peer = Ipv4Addr, Incoming = IpIncoming>> 
                 None => break,
             };
             progress = true;
-            let echo = match IcmpEcho::decode(&msg.payload) {
+            let echo = match IcmpEcho::decode(&msg.payload.bytes()) {
                 Ok(e) => e,
                 Err(_) => {
                     self.stats.bad += 1;

@@ -10,6 +10,7 @@
 use crate::arp::{ArpCache, ArpEffect};
 use crate::eth::EthIncoming;
 use crate::{Handler, ProtoError, Protocol};
+use foxbasis::buf::PacketBuf;
 use foxbasis::fifo::Fifo;
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxwire::arp::ArpPacket;
@@ -38,8 +39,9 @@ pub struct IpIncoming {
     pub dst: Ipv4Addr,
     /// Transport protocol.
     pub proto: IpProtocol,
-    /// Reassembled payload.
-    pub payload: Vec<u8>,
+    /// Reassembled payload (for unfragmented datagrams, a zero-copy
+    /// slice of the received frame).
+    pub payload: PacketBuf,
 }
 
 /// Connection handle.
@@ -93,7 +95,13 @@ struct Conn {
 }
 
 struct Reassembly {
-    chunks: Vec<(usize, Vec<u8>)>,
+    /// Disjoint fragments sorted by offset. The disjointness is an
+    /// invariant `insert` maintains: arrivals are clipped against what
+    /// is already held, so overlap resolution is deterministic
+    /// regardless of arrival order *within* the policy — bytes that
+    /// arrived first are never displaced (first-arrival wins; RFC 791
+    /// leaves overlap policy open).
+    chunks: Vec<(usize, PacketBuf)>,
     total: Option<usize>,
     started: VirtualTime,
     proto: IpProtocol,
@@ -102,36 +110,72 @@ struct Reassembly {
 }
 
 impl Reassembly {
-    fn insert(&mut self, offset: usize, data: Vec<u8>, last: bool) {
-        if last {
+    fn insert(&mut self, offset: usize, data: PacketBuf, last: bool) {
+        if last && self.total.is_none() {
+            // First final fragment fixes the datagram length; a
+            // conflicting later claim does not move it.
             self.total = Some(offset + data.len());
         }
-        // Exact duplicates are dropped; overlaps keep the first copy
-        // (RFC 791 leaves overlap policy open; first-wins is smoltcp's).
-        if !self.chunks.iter().any(|(o, d)| *o == offset && d.len() == data.len()) {
-            self.chunks.push((offset, data));
-        }
-    }
-
-    fn complete(&self) -> Option<Vec<u8>> {
-        let total = self.total?;
-        let mut have = vec![false; total];
+        // Clip the newcomer against every byte range already held,
+        // keeping only still-uncovered pieces as zero-copy slices.
+        // Exact duplicates and fully-covered arrivals vanish entirely.
+        let end = offset + data.len();
+        let mut from = offset;
+        let mut pieces = Vec::new();
         for (o, d) in &self.chunks {
-            for h in &mut have[*o..(*o + d.len()).min(total)] {
-                *h = true;
+            let (co, ce) = (*o, *o + d.len());
+            if ce <= from || co >= end {
+                continue;
+            }
+            if from < co {
+                pieces.push((from, data.slice(from - offset, co - offset)));
+            }
+            from = from.max(ce);
+            if from >= end {
+                break;
             }
         }
-        if !have.iter().all(|&b| b) {
+        if from < end {
+            pieces.push((from, data.slice(from - offset, end - offset)));
+        }
+        self.chunks.extend(pieces);
+        self.chunks.sort_by_key(|(o, _)| *o);
+    }
+
+    fn complete(&self) -> Option<PacketBuf> {
+        let total = self.total?;
+        // The chunks are disjoint and sorted, so coverage of [0, total)
+        // is a single monotone walk.
+        let mut covered = 0usize;
+        for (o, d) in &self.chunks {
+            if *o > covered {
+                return None; // hole
+            }
+            covered = covered.max(*o + d.len());
+            if covered >= total {
+                break;
+            }
+        }
+        if covered < total {
             return None;
         }
-        let mut out = vec![0u8; total];
-        let mut sorted: Vec<_> = self.chunks.iter().collect();
-        sorted.sort_by_key(|(o, _)| *o);
-        for (o, d) in sorted {
-            let end = (*o + d.len()).min(total);
-            out[*o..end].copy_from_slice(&d[..end - *o]);
+        if self.chunks.len() == 1 && self.chunks[0].0 == 0 {
+            // Single piece covering everything: hand it up zero-copy.
+            let mut buf = self.chunks[0].1.clone();
+            buf.truncate(total);
+            return Some(buf);
         }
-        Some(out)
+        // The one genuine reassembly copy, off the single-segment fast
+        // path: stitch the fragment slices into a fresh buffer.
+        Some(PacketBuf::build(0, total, |out| {
+            for (o, d) in &self.chunks {
+                if *o >= total {
+                    break;
+                }
+                let end = (*o + d.len()).min(total);
+                out[*o..end].copy_from_slice(&d.bytes()[..end - *o]);
+            }
+        }))
     }
 }
 
@@ -269,7 +313,12 @@ impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> I
         self.config.gateway.map(Some).ok_or(ProtoError::Unreachable)
     }
 
-    fn transmit_packet(&mut self, now: VirtualTime, bytes: Vec<u8>, dst: Ipv4Addr) -> Result<(), ProtoError> {
+    fn transmit_packet(
+        &mut self,
+        now: VirtualTime,
+        bytes: PacketBuf,
+        dst: Ipv4Addr,
+    ) -> Result<(), ProtoError> {
         let conn = self.ipv4_conn.expect("lower opened");
         self.stats.sent += 1;
         match self.next_hop(dst)? {
@@ -327,7 +376,8 @@ impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> P
         Ok(id)
     }
 
-    fn send(&mut self, conn: IpConn, to: Ipv4Addr, payload: Vec<u8>) -> Result<(), ProtoError> {
+    fn send(&mut self, conn: IpConn, to: Ipv4Addr, payload: impl Into<PacketBuf>) -> Result<(), ProtoError> {
+        let payload: PacketBuf = payload.into();
         let proto = self.conns.iter().find(|c| c.id == conn).map(|c| c.proto).ok_or(ProtoError::NotOpen)?;
         self.host.charge_ip_packet();
         let now = self.host.with(|h| h.now_busy());
@@ -338,7 +388,7 @@ impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> P
         if payload.len() <= mtu {
             let header =
                 Ipv4Header { ident, ttl: self.config.ttl, ..Ipv4Header::new(proto, self.config.local, to) };
-            let bytes = Ipv4Packet { header, payload }.encode().map_err(|_| ProtoError::TooBig)?;
+            let bytes = Ipv4Packet { header, payload }.encode_buf().map_err(|_| ProtoError::TooBig)?;
             return self.transmit_packet(now, bytes, to);
         }
 
@@ -358,8 +408,8 @@ impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> P
             if offset > 0 {
                 self.host.charge_ip_packet(); // each extra fragment costs
             }
-            let bytes = Ipv4Packet { header, payload: payload[offset..end].to_vec() }
-                .encode()
+            let bytes = Ipv4Packet { header, payload: payload.slice(offset, end) }
+                .encode_buf()
                 .map_err(|_| ProtoError::TooBig)?;
             self.transmit_packet(now, bytes, to)?;
             offset = end;
@@ -386,7 +436,7 @@ impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> P
             progress = true;
             match msg.ethertype {
                 EtherType::Arp => {
-                    if let Ok(pkt) = ArpPacket::decode(&msg.payload) {
+                    if let Ok(pkt) = ArpPacket::decode(&msg.payload.bytes()) {
                         let effects = self.arp.input(now, &pkt);
                         let _ = self.apply_arp_effects(effects);
                     } else {
@@ -395,7 +445,7 @@ impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> P
                 }
                 EtherType::Ipv4 => {
                     self.host.charge_ip_packet();
-                    let pkt = match Ipv4Packet::decode(&msg.payload) {
+                    let pkt = match Ipv4Packet::decode_buf(&msg.payload) {
                         Ok(p) => p,
                         Err(_) => {
                             self.stats.bad += 1;
@@ -563,7 +613,7 @@ mod tests {
         // Hand-craft a packet to 10.0.0.9 but send it to B's MAC.
         let pkt = Ipv4Packet {
             header: Ipv4Header::new(IpProtocol::Udp, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 9)),
-            payload: b"misdirected".to_vec(),
+            payload: b"misdirected"[..].into(),
         };
         let got = listen(&mut b, IpProtocol::Udp);
         // Use a's lower Eth directly through its Protocol interface by
@@ -611,7 +661,7 @@ mod tests {
             more_frags: true,
             ..Ipv4Header::new(IpProtocol::Udp, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
         };
-        let pkt = Ipv4Packet { header, payload: vec![0u8; 8] };
+        let pkt = Ipv4Packet { header, payload: vec![0u8; 8].into() };
         let host = HostHandle::free();
         let mac = EthAddr::host(7);
         let mut raw = Eth::new(Dev::new(net.attach(mac), host.clone()), mac, host);
@@ -641,7 +691,7 @@ mod tests {
                 more_frags: true,
                 ..Ipv4Header::new(IpProtocol::Udp, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
             };
-            let pkt = Ipv4Packet { header, payload: vec![0u8; 8] };
+            let pkt = Ipv4Packet { header, payload: vec![0u8; 8].into() };
             raw.send(rc, EthAddr::host(2), pkt.encode().unwrap()).unwrap();
         }
         for _ in 0..60 {

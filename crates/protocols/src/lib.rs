@@ -62,6 +62,7 @@ pub use shared::Shared;
 pub use udp::{Udp, UdpIncoming};
 pub use vp::SizedPayload;
 
+use foxbasis::buf::PacketBuf;
 use foxbasis::time::VirtualTime;
 use std::fmt;
 
@@ -144,7 +145,18 @@ pub trait Protocol {
     ) -> Result<Self::ConnId, ProtoError>;
 
     /// Sends `payload` to `to` on `conn`.
-    fn send(&mut self, conn: Self::ConnId, to: Self::Peer, payload: Vec<u8>) -> Result<(), ProtoError>;
+    ///
+    /// The payload travels as a [`PacketBuf`]: layers prepend their
+    /// headers into its headroom and hand the *same* buffer down, so a
+    /// segment is copied at most once on its way to the wire. `impl
+    /// Into<PacketBuf>` keeps `Vec<u8>` call sites working (adopting the
+    /// vector, not copying it).
+    fn send(
+        &mut self,
+        conn: Self::ConnId,
+        to: Self::Peer,
+        payload: impl Into<PacketBuf>,
+    ) -> Result<(), ProtoError>;
 
     /// Closes `conn` (graceful where the protocol has the notion).
     fn close(&mut self, conn: Self::ConnId) -> Result<(), ProtoError>;

@@ -13,6 +13,7 @@ use crate::arp::{ArpCache, ArpEffect};
 use crate::dev::Dev;
 use crate::eth::{Eth, EthIncoming};
 use crate::{ProtoError, Protocol};
+use foxbasis::buf::PacketBuf;
 use foxbasis::checksum::incremental_update;
 use foxbasis::fifo::Fifo;
 use foxbasis::time::VirtualTime;
@@ -127,7 +128,7 @@ impl Router {
     }
 
     fn handle_arp(&mut self, i: usize, now: VirtualTime, msg: &EthIncoming) {
-        let pkt = match ArpPacket::decode(&msg.payload) {
+        let pkt = match ArpPacket::decode(&msg.payload.bytes()) {
             Ok(p) => p,
             Err(_) => {
                 self.stats.bad += 1;
@@ -157,13 +158,16 @@ impl Router {
 
     /// The forwarding path. Works on raw header bytes so the checksum
     /// can be updated incrementally.
-    fn handle_ipv4(&mut self, from: usize, now: VirtualTime, mut bytes: Vec<u8>) {
-        // Minimal header sanity; full validation happens at end hosts.
-        if bytes.len() < foxwire::ipv4::HEADER_LEN || bytes[0] >> 4 != 4 {
-            self.stats.bad += 1;
-            return;
-        }
-        let dst = Ipv4Addr([bytes[16], bytes[17], bytes[18], bytes[19]]);
+    fn handle_ipv4(&mut self, from: usize, now: VirtualTime, buf: PacketBuf) {
+        let (dst, ttl) = {
+            let b = buf.bytes();
+            // Minimal header sanity; full validation happens at end hosts.
+            if b.len() < foxwire::ipv4::HEADER_LEN || b[0] >> 4 != 4 {
+                self.stats.bad += 1;
+                return;
+            }
+            (Ipv4Addr([b[16], b[17], b[18], b[19]]), b[8])
+        };
         if self.ifs.iter().any(|f| f.addr == dst) {
             self.stats.for_router += 1;
             return; // the router offers no services of its own
@@ -176,19 +180,29 @@ impl Router {
                 return;
             }
         };
-        // TTL and the incremental checksum update (RFC 1624): the
-        // TTL/protocol 16-bit word loses 0x0100.
-        let ttl = bytes[8];
         if ttl <= 1 {
             self.stats.ttl_expired += 1;
             return;
         }
-        let old_word = u16::from_be_bytes([bytes[8], bytes[9]]);
-        bytes[8] = ttl - 1;
-        let new_word = u16::from_be_bytes([bytes[8], bytes[9]]);
-        let old_check = u16::from_be_bytes([bytes[10], bytes[11]]);
-        let new_check = incremental_update(old_check, old_word, new_word);
-        bytes[10..12].copy_from_slice(&new_check.to_be_bytes());
+        // TTL and the incremental checksum update (RFC 1624): the
+        // TTL/protocol 16-bit word loses 0x0100. The mutation happens in
+        // place when this hop holds the only view of the buffer;
+        // otherwise (the sender still references it, e.g. from a
+        // retransmission queue on the same simulated machine) on a
+        // private copy — never on bytes another view can see.
+        let mut bytes = buf;
+        if bytes.bytes_mut().is_none() {
+            bytes = bytes.clone_owned();
+        }
+        {
+            let mut b = bytes.bytes_mut().expect("owned");
+            let old_word = u16::from_be_bytes([b[8], b[9]]);
+            b[8] = ttl - 1;
+            let new_word = u16::from_be_bytes([b[8], b[9]]);
+            let old_check = u16::from_be_bytes([b[10], b[11]]);
+            let new_check = incremental_update(old_check, old_word, new_word);
+            b[10..12].copy_from_slice(&new_check.to_be_bytes());
+        }
 
         self.stats.forwarded += 1;
         let _ = from;
@@ -363,7 +377,7 @@ mod tests {
         use foxwire::ipv4::{Ipv4Header, Ipv4Packet};
         let pkt = Ipv4Packet {
             header: Ipv4Header::new(IpProtocol::Udp, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 1, 2)),
-            payload: b"check me".to_vec(),
+            payload: b"check me"[..].into(),
         };
         let mut bytes = pkt.encode().unwrap();
         // Simulate the router's in-place mutation.

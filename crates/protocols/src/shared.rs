@@ -9,6 +9,7 @@
 //! (see the crate docs): no call path re-enters the same `RefCell`.
 
 use crate::{Handler, ProtoError, Protocol};
+use foxbasis::buf::PacketBuf;
 use foxbasis::time::VirtualTime;
 use std::cell::RefCell;
 use std::fmt;
@@ -51,7 +52,12 @@ impl<P: Protocol> Protocol for Shared<P> {
         self.inner.borrow_mut().open(pattern, handler)
     }
 
-    fn send(&mut self, conn: Self::ConnId, to: Self::Peer, payload: Vec<u8>) -> Result<(), ProtoError> {
+    fn send(
+        &mut self,
+        conn: Self::ConnId,
+        to: Self::Peer,
+        payload: impl Into<PacketBuf>,
+    ) -> Result<(), ProtoError> {
         self.inner.borrow_mut().send(conn, to, payload)
     }
 

@@ -9,6 +9,7 @@
 
 use crate::aux::IpAux;
 use crate::{Handler, ProtoError, Protocol};
+use foxbasis::buf::PacketBuf;
 use foxbasis::fifo::Fifo;
 use foxbasis::time::VirtualTime;
 use foxwire::udp::UdpDatagram;
@@ -24,8 +25,8 @@ pub struct UdpIncoming<A> {
     pub src: (A, u16),
     /// The local port it arrived on.
     pub dst_port: u16,
-    /// Payload.
-    pub payload: Vec<u8>,
+    /// Payload — a zero-copy slice of the arriving datagram.
+    pub payload: PacketBuf,
 }
 
 /// Connection handle.
@@ -139,11 +140,16 @@ where
         Ok(id)
     }
 
-    fn send(&mut self, conn: UdpConn, to: Self::Peer, payload: Vec<u8>) -> Result<(), ProtoError> {
+    fn send(
+        &mut self,
+        conn: UdpConn,
+        to: Self::Peer,
+        payload: impl Into<PacketBuf>,
+    ) -> Result<(), ProtoError> {
         let local_port =
             self.sockets.iter().find(|s| s.id == conn).map(|s| s.local_port).ok_or(ProtoError::NotOpen)?;
         let (addr, port) = to;
-        let d = UdpDatagram { src_port: local_port, dst_port: port, payload };
+        let d = UdpDatagram { src_port: local_port, dst_port: port, payload: payload.into() };
         if d.payload.len() + foxwire::udp::HEADER_LEN > self.aux.mtu() {
             // Leave IP fragmentation to callers that want it; a UDP
             // socket refusing over-MTU sends keeps the example apps
@@ -156,7 +162,7 @@ where
         if self.compute_checksums && pseudo.is_some() {
             self.host.charge_checksum(total);
         }
-        let bytes = d.encode(pseudo).map_err(|_| ProtoError::TooBig)?;
+        let bytes = d.encode_buf(pseudo).map_err(|_| ProtoError::TooBig)?;
         let lower_conn = self.lower_conn.ok_or(ProtoError::NotOpen)?;
         self.stats.sent += 1;
         self.lower.send(lower_conn, addr, bytes)
@@ -186,7 +192,8 @@ where
                     // header (see decode_v4's padding note); reconstruct
                     // the claimed length for the pseudo-sum.
                     let claimed = if info.data.len() >= 6 {
-                        usize::from(u16::from_be_bytes([info.data[4], info.data[5]]))
+                        let b = info.data.bytes();
+                        usize::from(u16::from_be_bytes([b[4], b[5]]))
                     } else {
                         info.data.len()
                     };
@@ -197,7 +204,7 @@ where
                 if pseudo.is_some() {
                     self.host.charge_checksum(info.data.len());
                 }
-                (info.src.clone(), UdpDatagram::decode(info.data, pseudo))
+                (info.src.clone(), UdpDatagram::decode_buf(info.data, pseudo))
             };
             let d = match datagram {
                 Ok(d) => d,

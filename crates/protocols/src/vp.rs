@@ -13,6 +13,7 @@
 
 use crate::eth::EthIncoming;
 use crate::{Handler, ProtoError, Protocol};
+use foxbasis::buf::PacketBuf;
 use foxbasis::time::VirtualTime;
 use foxwire::ether::{EthAddr, EtherType};
 use std::fmt;
@@ -48,28 +49,37 @@ impl<L: Protocol<Pattern = EtherType, Peer = EthAddr, Incoming = EthIncoming>> P
         self.lower.open(
             pattern,
             Box::new(move |mut msg: EthIncoming| {
-                // Strip the framing: 2-byte length, then that many bytes.
+                // Strip the framing: 2-byte length, then that many
+                // bytes — a zero-copy reslice of the arriving buffer.
                 if msg.payload.len() < 2 {
                     return; // runt: drop
                 }
-                let len = usize::from(u16::from_be_bytes([msg.payload[0], msg.payload[1]]));
+                let len = {
+                    let b = msg.payload.bytes();
+                    usize::from(u16::from_be_bytes([b[0], b[1]]))
+                };
                 if msg.payload.len() < 2 + len {
                     return; // inconsistent: drop
                 }
-                msg.payload.drain(..2);
-                msg.payload.truncate(len);
+                msg.payload = msg.payload.slice(2, 2 + len);
                 handler(msg);
             }),
         )
     }
 
-    fn send(&mut self, conn: Self::ConnId, to: EthAddr, payload: Vec<u8>) -> Result<(), ProtoError> {
-        if payload.len() > usize::from(u16::MAX) {
+    fn send(
+        &mut self,
+        conn: Self::ConnId,
+        to: EthAddr,
+        payload: impl Into<PacketBuf>,
+    ) -> Result<(), ProtoError> {
+        let mut framed = payload.into();
+        if framed.len() > usize::from(u16::MAX) {
             return Err(ProtoError::TooBig);
         }
-        let mut framed = Vec::with_capacity(payload.len() + 2);
-        framed.extend_from_slice(&(payload.len() as u16).to_be_bytes());
-        framed.extend_from_slice(&payload);
+        let len = framed.len() as u16;
+        // Into the headroom: no copy of the payload bytes.
+        framed.prepend_header(&len.to_be_bytes());
         self.lower.send(conn, to, framed)
     }
 

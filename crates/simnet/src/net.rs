@@ -14,6 +14,7 @@
 //! all drawn from one seeded RNG so runs are repeatable.
 
 use crate::pcap::PcapSink;
+use foxbasis::buf::PacketBuf;
 use foxbasis::obs::{Event, EventSink, NO_CONN};
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxwire::ether::EthAddr;
@@ -118,7 +119,7 @@ struct Delivery {
     at: VirtualTime,
     seq: u64,
     port: usize,
-    frame: Vec<u8>,
+    frame: PacketBuf,
 }
 
 impl PartialEq for Delivery {
@@ -141,7 +142,7 @@ impl Ord for Delivery {
 struct PortState {
     addr: EthAddr,
     promiscuous: bool,
-    rx: VecDeque<Vec<u8>>,
+    rx: VecDeque<PacketBuf>,
     rx_bytes: usize,
     rx_capacity: usize,
     overflow_drops: u64,
@@ -164,7 +165,7 @@ struct NetCore {
 }
 
 impl NetCore {
-    fn transmit(&mut self, from: usize, at: VirtualTime, frame: Vec<u8>) {
+    fn transmit(&mut self, from: usize, at: VirtualTime, frame: PacketBuf) {
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += frame.len() as u64;
         // FIFO arbitration for the shared medium. `at` lets a host hand
@@ -199,16 +200,24 @@ impl NetCore {
         }
         let mut frame = frame;
         if self.rng.gen_bool(self.config.faults.corrupt_chance) && !frame.is_empty() {
-            let at = self.rng.gen_range(0..frame.len());
+            // The sender may still reference this buffer (e.g. in a
+            // retransmission queue), so corruption works on a private
+            // deep copy — the only copy the wire ever makes.
+            let mut owned = frame.clone_owned();
+            let at = self.rng.gen_range(0..owned.len());
             let bit = self.rng.gen_range(0u32..8);
-            frame[at] ^= 1u8 << bit;
+            {
+                let mut b = owned.bytes_mut().expect("clone_owned is unique");
+                b[at] ^= 1u8 << bit;
+            }
+            frame = owned;
             self.stats.frames_corrupted += 1;
             self.obs.emit_for(end, from as u32, NO_CONN, || Event::FrameCorrupt);
         }
         // Record what actually went on the wire (post-corruption), like
         // a passive tap would see it.
         if let Some(cap) = &self.capture {
-            cap.record(end, &frame);
+            cap.record(end, &frame.bytes());
         }
         let copies = if self.rng.gen_bool(self.config.faults.duplicate_chance) {
             self.stats.frames_duplicated += 1;
@@ -266,12 +275,12 @@ impl NetCore {
     }
 }
 
-fn frame_dst(frame: &[u8]) -> Option<EthAddr> {
+fn frame_dst(frame: &PacketBuf) -> Option<EthAddr> {
     if frame.len() < 6 {
         return None;
     }
     let mut a = [0u8; 6];
-    a.copy_from_slice(&frame[..6]);
+    a.copy_from_slice(&frame.bytes()[..6]);
     Some(EthAddr(a))
 }
 
@@ -385,25 +394,28 @@ impl Port {
         self.net.borrow_mut().ports[self.id].promiscuous = on;
     }
 
-    /// Hands a frame to the medium at the current network time.
-    pub fn send(&self, frame: Vec<u8>) {
+    /// Hands a frame to the medium at the current network time. The
+    /// buffer is delivered to matching ports by reference-count bump —
+    /// the wire itself copies nothing (except under injected
+    /// corruption).
+    pub fn send(&self, frame: impl Into<PacketBuf>) {
         let mut core = self.net.borrow_mut();
         let id = self.id;
         let now = core.now;
-        core.transmit(id, now, frame);
+        core.transmit(id, now, frame.into());
     }
 
     /// Hands a frame to the medium at time `at` (which may be later than
     /// the network clock — the host's CPU finished building the frame
     /// then). `at` earlier than the network clock is clamped to now.
-    pub fn send_at(&self, at: VirtualTime, frame: Vec<u8>) {
+    pub fn send_at(&self, at: VirtualTime, frame: impl Into<PacketBuf>) {
         let mut core = self.net.borrow_mut();
         let id = self.id;
-        core.transmit(id, at, frame);
+        core.transmit(id, at, frame.into());
     }
 
     /// Takes the next received frame, if any.
-    pub fn recv(&self) -> Option<Vec<u8>> {
+    pub fn recv(&self) -> Option<PacketBuf> {
         let mut core = self.net.borrow_mut();
         let p = &mut core.ports[self.id];
         let frame = p.rx.pop_front();
@@ -451,7 +463,7 @@ mod tests {
         assert!(!c.has_rx());
         assert!(!a.has_rx(), "sender does not hear its own frame");
         let got = b.recv().unwrap();
-        assert!(Frame::decode(&got).is_ok());
+        assert!(Frame::decode(&got.bytes()).is_ok());
     }
 
     #[test]
@@ -563,7 +575,7 @@ mod tests {
         a.send(frame_to(EthAddr::host(2), EthAddr::host(1), 64));
         net.advance_to(VirtualTime::from_millis(10));
         let got = b.recv().unwrap();
-        assert!(Frame::decode(&got).is_err(), "FCS must catch wire corruption");
+        assert!(Frame::decode(&got.bytes()).is_err(), "FCS must catch wire corruption");
         assert_eq!(net.stats().frames_corrupted, 1);
     }
 

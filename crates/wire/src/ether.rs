@@ -8,6 +8,7 @@
 //! here, below TCP.
 
 use crate::{need, WireError};
+use foxbasis::buf::PacketBuf;
 use std::fmt;
 
 /// A 48-bit IEEE MAC address.
@@ -108,7 +109,7 @@ pub struct Frame {
     /// Payload, excluding padding is *not* recoverable at this layer —
     /// receivers get the padded payload and upper layers use their own
     /// length fields, exactly as on real Ethernet.
-    pub payload: Vec<u8>,
+    pub payload: PacketBuf,
 }
 
 /// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over `data`.
@@ -129,8 +130,8 @@ pub fn crc32(data: &[u8]) -> u32 {
 
 impl Frame {
     /// Builds a frame.
-    pub fn new(dst: EthAddr, src: EthAddr, ethertype: EtherType, payload: Vec<u8>) -> Frame {
-        Frame { dst, src, ethertype, payload }
+    pub fn new(dst: EthAddr, src: EthAddr, ethertype: EtherType, payload: impl Into<PacketBuf>) -> Frame {
+        Frame { dst, src, ethertype, payload: payload.into() }
     }
 
     /// Externalizes the frame: header, payload padded to the minimum,
@@ -148,15 +149,49 @@ impl Frame {
         out.extend_from_slice(&self.dst.0);
         out.extend_from_slice(&self.src.0);
         out.extend_from_slice(&self.ethertype.to_u16().to_be_bytes());
-        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&self.payload.bytes());
         out.resize(HEADER_LEN + padded, 0);
         let fcs = crc32(&out);
         out.extend_from_slice(&fcs.to_be_bytes());
         Ok(out)
     }
 
+    /// Externalizes the frame **in place**: header into the payload
+    /// buffer's headroom, minimum-payload padding and FCS into its
+    /// tailroom. The FCS pass reads the frame once (the link layer's
+    /// checksum cost, charged by the virtual model as before); the
+    /// payload bytes are not copied.
+    pub fn encode_buf(&self) -> Result<PacketBuf, WireError> {
+        if self.payload.len() > MTU {
+            return Err(WireError::Malformed("ethernet payload exceeds MTU"));
+        }
+        let mut header = [0u8; HEADER_LEN];
+        header[0..6].copy_from_slice(&self.dst.0);
+        header[6..12].copy_from_slice(&self.src.0);
+        header[12..14].copy_from_slice(&self.ethertype.to_u16().to_be_bytes());
+        let mut buf = self.payload.clone();
+        let pad = MIN_PAYLOAD.saturating_sub(buf.len());
+        buf.prepend_header(&header);
+        buf.append_zeros(pad);
+        let fcs = crc32(&buf.bytes());
+        buf.append(&fcs.to_be_bytes());
+        Ok(buf)
+    }
+
     /// Internalizes a frame, verifying the FCS.
     pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+        let (dst, src, ethertype, body_len) = Frame::parse(buf)?;
+        Ok(Frame { dst, src, ethertype, payload: PacketBuf::from_vec(buf[HEADER_LEN..body_len].to_vec()) })
+    }
+
+    /// Internalizes a frame from a [`PacketBuf`] view, slicing the
+    /// (padded) payload out of the same storage (zero-copy).
+    pub fn decode_buf(buf: &PacketBuf) -> Result<Frame, WireError> {
+        let (dst, src, ethertype, body_len) = Frame::parse(&buf.bytes())?;
+        Ok(Frame { dst, src, ethertype, payload: buf.slice(HEADER_LEN, body_len) })
+    }
+
+    fn parse(buf: &[u8]) -> Result<(EthAddr, EthAddr, EtherType, usize), WireError> {
         need("ethernet frame", buf, HEADER_LEN + MIN_PAYLOAD + FCS_LEN)?;
         let body_len = buf.len() - FCS_LEN;
         let fcs =
@@ -169,12 +204,7 @@ impl Frame {
         dst.copy_from_slice(&buf[0..6]);
         src.copy_from_slice(&buf[6..12]);
         let ethertype = EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]]));
-        Ok(Frame {
-            dst: EthAddr(dst),
-            src: EthAddr(src),
-            ethertype,
-            payload: buf[HEADER_LEN..body_len].to_vec(),
-        })
+        Ok((EthAddr(dst), EthAddr(src), ethertype, body_len))
     }
 }
 
@@ -199,8 +229,8 @@ mod tests {
         assert_eq!(g.dst, f.dst);
         assert_eq!(g.src, f.src);
         assert_eq!(g.ethertype, EtherType::Ipv4);
-        assert_eq!(&g.payload[..5], b"short");
-        assert!(g.payload[5..].iter().all(|&b| b == 0));
+        assert_eq!(&g.payload.bytes()[..5], b"short");
+        assert!(g.payload.bytes()[5..].iter().all(|&b| b == 0));
     }
 
     #[test]
@@ -252,7 +282,7 @@ mod tests {
             prop_assert_eq!(g.dst, f.dst);
             prop_assert_eq!(g.src, f.src);
             prop_assert_eq!(g.ethertype.to_u16(), ethertype);
-            prop_assert_eq!(&g.payload[..payload.len()], &payload[..]);
+            prop_assert_eq!(&g.payload.bytes()[..payload.len()], &payload[..]);
         }
 
         #[test]

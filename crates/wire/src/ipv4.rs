@@ -2,6 +2,7 @@
 //! layer's reassembly machinery uses.
 
 use crate::{need, WireError};
+use foxbasis::buf::PacketBuf;
 use foxbasis::checksum;
 use std::fmt;
 
@@ -153,13 +154,15 @@ impl Ipv4Header {
     }
 }
 
-/// A full IPv4 packet: header plus payload.
+/// A full IPv4 packet: header plus payload. The payload is a
+/// [`PacketBuf`] view of the same storage the transport layer built —
+/// encoding prepends the IP header into its headroom in place.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Ipv4Packet {
     /// The header.
     pub header: Ipv4Header,
     /// The payload bytes.
-    pub payload: Vec<u8>,
+    pub payload: PacketBuf,
 }
 
 impl Ipv4Packet {
@@ -169,6 +172,24 @@ impl Ipv4Packet {
     /// Fails if options are not 32-bit aligned or too long, or if the
     /// total length exceeds 65535.
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut out = self.encode_header()?;
+        out.extend_from_slice(&self.payload.bytes());
+        Ok(out)
+    }
+
+    /// Externalizes the packet **in place**: the checksummed header is
+    /// prepended into the payload buffer's headroom and the same storage
+    /// continues down the stack. The header checksum only touches the
+    /// 20–60 header bytes; the payload is not read.
+    pub fn encode_buf(&self) -> Result<PacketBuf, WireError> {
+        let header = self.encode_header()?;
+        let mut buf = self.payload.clone();
+        buf.prepend_header(&header);
+        Ok(buf)
+    }
+
+    /// Serializes the header, computing its checksum.
+    fn encode_header(&self) -> Result<Vec<u8>, WireError> {
         let h = &self.header;
         if !h.options.len().is_multiple_of(4) || h.options.len() > 40 {
             return Err(WireError::Malformed("ipv4 options length"));
@@ -177,7 +198,7 @@ impl Ipv4Packet {
         if total_len > 65535 {
             return Err(WireError::Malformed("ipv4 total length"));
         }
-        let mut out = Vec::with_capacity(total_len);
+        let mut out = Vec::with_capacity(h.header_len());
         let ihl = (h.header_len() / 4) as u8;
         out.push(0x40 | ihl);
         out.push(h.tos);
@@ -199,7 +220,6 @@ impl Ipv4Packet {
         out.extend_from_slice(&h.options);
         let csum = checksum::checksum(&out);
         out[10..12].copy_from_slice(&csum.to_be_bytes());
-        out.extend_from_slice(&self.payload);
         Ok(out)
     }
 
@@ -207,6 +227,18 @@ impl Ipv4Packet {
     /// checksum. Extra bytes after `total_length` (Ethernet padding) are
     /// discarded, which is why the length field exists.
     pub fn decode(buf: &[u8]) -> Result<Ipv4Packet, WireError> {
+        let (header, ihl, total_len) = Ipv4Packet::parse_header(buf)?;
+        Ok(Ipv4Packet { header, payload: PacketBuf::from_vec(buf[ihl..total_len].to_vec()) })
+    }
+
+    /// Internalizes a packet from a [`PacketBuf`] view, slicing the
+    /// payload out of the same storage (zero-copy).
+    pub fn decode_buf(buf: &PacketBuf) -> Result<Ipv4Packet, WireError> {
+        let (header, ihl, total_len) = Ipv4Packet::parse_header(&buf.bytes())?;
+        Ok(Ipv4Packet { header, payload: buf.slice(ihl, total_len) })
+    }
+
+    fn parse_header(buf: &[u8]) -> Result<(Ipv4Header, usize, usize), WireError> {
         need("ipv4 header", buf, HEADER_LEN)?;
         let version = buf[0] >> 4;
         if version != 4 {
@@ -238,7 +270,7 @@ impl Ipv4Packet {
             dst: Ipv4Addr([buf[16], buf[17], buf[18], buf[19]]),
             options: buf[HEADER_LEN..ihl].to_vec(),
         };
-        Ok(Ipv4Packet { header, payload: buf[ihl..total_len].to_vec() })
+        Ok((header, ihl, total_len))
     }
 }
 
@@ -250,7 +282,7 @@ mod tests {
     fn sample() -> Ipv4Packet {
         Ipv4Packet {
             header: Ipv4Header::new(IpProtocol::Tcp, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)),
-            payload: b"payload bytes".to_vec(),
+            payload: b"payload bytes".to_vec().into(),
         }
     }
 
@@ -351,7 +383,7 @@ mod tests {
                     src: Ipv4Addr(src), dst: Ipv4Addr(dst),
                     options: Vec::new(),
                 },
-                payload,
+                payload: payload.into(),
             };
             let bytes = p.encode().unwrap();
             prop_assert_eq!(Ipv4Packet::decode(&bytes).unwrap(), p);
@@ -365,7 +397,7 @@ mod tests {
         ) {
             let p = Ipv4Packet {
                 header: Ipv4Header::new(IpProtocol::Udp, Ipv4Addr::new(1,2,3,4), Ipv4Addr::new(5,6,7,8)),
-                payload,
+                payload: payload.into(),
             };
             let mut bytes = p.encode().unwrap();
             bytes[at] ^= flip;

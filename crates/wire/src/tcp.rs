@@ -3,6 +3,7 @@
 
 use crate::ipv4::{IpProtocol, Ipv4Addr};
 use crate::{need, pseudo, WireError};
+use foxbasis::buf::PacketBuf;
 use foxbasis::seq::Seq;
 use std::fmt;
 
@@ -174,13 +175,15 @@ impl TcpHeader {
 }
 
 /// A TCP segment: header plus payload. This is the `Send_Packet.T` /
-/// incoming-message currency between TCP and IP.
+/// incoming-message currency between TCP and IP. The payload is a
+/// [`PacketBuf`] view: the same storage the send buffer was read into
+/// (tx) or the wire delivered (rx), never a per-layer copy.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TcpSegment {
     /// The header.
     pub header: TcpHeader,
     /// The payload.
-    pub payload: Vec<u8>,
+    pub payload: PacketBuf,
 }
 
 impl TcpSegment {
@@ -197,16 +200,48 @@ impl TcpSegment {
     /// `None` the checksum field is left zero (the paper's
     /// `compute_checksums = false` configuration for `Special_Tcp`).
     pub fn encode(&self, pseudo_sum: Option<u16>) -> Result<Vec<u8>, WireError> {
+        let mut out = self.encode_header()?;
+        out.extend_from_slice(&self.payload.bytes());
+        if let Some(pseudo) = pseudo_sum {
+            let mut acc = foxbasis::checksum::ChecksumAccum::new();
+            acc.add_word(pseudo).add_bytes(&out);
+            let csum = acc.finish();
+            out[16..18].copy_from_slice(&csum.to_be_bytes());
+        }
+        Ok(out)
+    }
+
+    /// Externalizes the segment **in place**: the header (with the
+    /// checksum already computed) is prepended into the payload buffer's
+    /// headroom, and the same storage continues down the stack. The
+    /// payload's ones-complement sum comes from the buffer's memo (set
+    /// by the combined copy+checksum pass that filled it), so the
+    /// payload bytes are not re-read here.
+    pub fn encode_buf(&self, pseudo_sum: Option<u16>) -> Result<PacketBuf, WireError> {
+        let mut header = self.encode_header()?;
+        if let Some(pseudo) = pseudo_sum {
+            let mut acc = foxbasis::checksum::ChecksumAccum::new();
+            acc.add_word(pseudo).add_bytes(&header).add_word(self.payload.ones_sum());
+            let csum = acc.finish();
+            header[16..18].copy_from_slice(&csum.to_be_bytes());
+        }
+        let mut buf = self.payload.clone();
+        buf.prepend_header(&header);
+        Ok(buf)
+    }
+
+    /// Serializes the header (checksum field zero), options padded to a
+    /// 32-bit boundary with End-of-List.
+    fn encode_header(&self) -> Result<Vec<u8>, WireError> {
         let h = &self.header;
         let opt_len = h.options_wire_len();
         if HEADER_LEN + opt_len > 60 {
             return Err(WireError::Malformed("tcp options too long"));
         }
-        let total = HEADER_LEN + opt_len + self.payload.len();
-        if total > 65535 {
+        if HEADER_LEN + opt_len + self.payload.len() > 65535 {
             return Err(WireError::Malformed("tcp segment too long"));
         }
-        let mut out = Vec::with_capacity(total);
+        let mut out = Vec::with_capacity(HEADER_LEN + opt_len);
         out.extend_from_slice(&h.src_port.to_be_bytes());
         out.extend_from_slice(&h.dst_port.to_be_bytes());
         out.extend_from_slice(&h.seq.raw().to_be_bytes());
@@ -233,13 +268,6 @@ impl TcpSegment {
             }
         }
         out.resize(HEADER_LEN + opt_len, 0); // pad options with End-of-List
-        out.extend_from_slice(&self.payload);
-        if let Some(pseudo) = pseudo_sum {
-            let mut acc = foxbasis::checksum::ChecksumAccum::new();
-            acc.add_word(pseudo).add_bytes(&out);
-            let csum = acc.finish();
-            out[16..18].copy_from_slice(&csum.to_be_bytes());
-        }
         Ok(out)
     }
 
@@ -258,6 +286,19 @@ impl TcpSegment {
     /// sum over the pseudo-header including length) the checksum is
     /// verified first; with `None` the checksum field is ignored.
     pub fn decode(buf: &[u8], pseudo_sum: Option<u16>) -> Result<TcpSegment, WireError> {
+        let (header, data_offset) = TcpSegment::parse_header(buf, pseudo_sum)?;
+        Ok(TcpSegment { header, payload: PacketBuf::from_vec(buf[data_offset..].to_vec()) })
+    }
+
+    /// Internalizes a segment from a [`PacketBuf`] view, slicing the
+    /// payload out of the same storage (zero-copy). The checksum
+    /// verification (when requested) is the only pass over the bytes.
+    pub fn decode_buf(buf: &PacketBuf, pseudo_sum: Option<u16>) -> Result<TcpSegment, WireError> {
+        let (header, data_offset) = TcpSegment::parse_header(&buf.bytes(), pseudo_sum)?;
+        Ok(TcpSegment { header, payload: buf.slice(data_offset, buf.len()) })
+    }
+
+    fn parse_header(buf: &[u8], pseudo_sum: Option<u16>) -> Result<(TcpHeader, usize), WireError> {
         need("tcp header", buf, HEADER_LEN)?;
         if let Some(pseudo) = pseudo_sum {
             let mut acc = foxbasis::checksum::ChecksumAccum::new();
@@ -311,7 +352,7 @@ impl TcpSegment {
             urgent: u16::from_be_bytes([buf[18], buf[19]]),
             options,
         };
-        Ok(TcpSegment { header, payload: buf[data_offset..].to_vec() })
+        Ok((header, data_offset))
     }
 
     /// [`decode`](Self::decode) with the standard IPv4 pseudo-header.
@@ -338,7 +379,7 @@ mod tests {
         h.flags = TcpFlags::SYN;
         h.window = 4096;
         h.options = vec![TcpOption::MaxSegmentSize(1460)];
-        TcpSegment { header: h, payload: Vec::new() }
+        TcpSegment { header: h, payload: PacketBuf::new() }
     }
 
     #[test]
@@ -353,7 +394,7 @@ mod tests {
     #[test]
     fn roundtrip_without_checksum() {
         let mut s = syn_segment();
-        s.payload = b"data".to_vec();
+        s.payload = b"data".to_vec().into();
         let bytes = s.encode(None).unwrap();
         assert_eq!(&bytes[16..18], &[0, 0]); // checksum left zero
         let t = TcpSegment::decode(&bytes, None).unwrap();
@@ -363,7 +404,7 @@ mod tests {
     #[test]
     fn checksum_detects_payload_corruption() {
         let mut s = syn_segment();
-        s.payload = b"important".to_vec();
+        s.payload = b"important".to_vec().into();
         let mut bytes = s.encode_v4(Some((A, B))).unwrap();
         *bytes.last_mut().unwrap() ^= 0xff;
         assert_eq!(TcpSegment::decode_v4(&bytes, Some((A, B))), Err(WireError::BadChecksum("tcp")));
@@ -384,7 +425,7 @@ mod tests {
         let mut s = syn_segment();
         assert_eq!(s.seq_len(), 1); // SYN
         s.header.flags = TcpFlags::FIN_ACK;
-        s.payload = vec![0; 10];
+        s.payload = vec![0; 10].into();
         assert_eq!(s.seq_len(), 11); // data + FIN
         s.header.flags = TcpFlags::ACK;
         assert_eq!(s.seq_len(), 10);
@@ -442,7 +483,7 @@ mod tests {
             h.window = window;
             h.urgent = urgent;
             if let Some(m) = mss { h.options.push(TcpOption::MaxSegmentSize(m)); }
-            let s = TcpSegment { header: h, payload };
+            let s = TcpSegment { header: h, payload: payload.into() };
             let bytes = s.encode_v4(Some((A, B))).unwrap();
             let t = TcpSegment::decode_v4(&bytes, Some((A, B))).unwrap();
             prop_assert_eq!(t, s);
@@ -455,7 +496,7 @@ mod tests {
             flip in 1u8..=255,
         ) {
             let mut s = syn_segment();
-            s.payload = payload;
+            s.payload = payload.into();
             let mut bytes = s.encode_v4(Some((A, B))).unwrap();
             let at = at % bytes.len();
             bytes[at] ^= flip;

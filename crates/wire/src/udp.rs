@@ -6,6 +6,7 @@
 
 use crate::ipv4::{IpProtocol, Ipv4Addr};
 use crate::{need, pseudo, WireError};
+use foxbasis::buf::PacketBuf;
 
 /// Length of the UDP header.
 pub const HEADER_LEN: usize = 8;
@@ -18,35 +19,49 @@ pub struct UdpDatagram {
     /// Destination port.
     pub dst_port: u16,
     /// Payload.
-    pub payload: Vec<u8>,
+    pub payload: PacketBuf,
 }
 
 impl UdpDatagram {
+    fn header_bytes(&self, total: usize) -> [u8; HEADER_LEN] {
+        let mut h = [0u8; HEADER_LEN];
+        h[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        h[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        h[4..6].copy_from_slice(&(total as u16).to_be_bytes());
+        h
+    }
+
     /// Externalizes the datagram; `pseudo_sum` is the partial sum over
     /// the pseudo-header including length (see `TcpSegment::encode`).
     /// Per RFC 768, a computed checksum of zero is transmitted as 0xFFFF,
     /// and a transmitted zero means "no checksum".
     pub fn encode(&self, pseudo_sum: Option<u16>) -> Result<Vec<u8>, WireError> {
+        Ok(self.encode_buf(pseudo_sum)?.to_vec())
+    }
+
+    /// Like [`encode`](Self::encode), but writes the header into the
+    /// payload buffer's headroom in place: the payload bytes are not
+    /// touched (the checksum reuses the buffer's memoized ones-sum).
+    pub fn encode_buf(&self, pseudo_sum: Option<u16>) -> Result<PacketBuf, WireError> {
         let total = HEADER_LEN + self.payload.len();
         if total > 65535 {
             return Err(WireError::Malformed("udp datagram too long"));
         }
-        let mut out = Vec::with_capacity(total);
-        out.extend_from_slice(&self.src_port.to_be_bytes());
-        out.extend_from_slice(&self.dst_port.to_be_bytes());
-        out.extend_from_slice(&(total as u16).to_be_bytes());
-        out.extend_from_slice(&[0, 0]);
-        out.extend_from_slice(&self.payload);
+        let mut header = self.header_bytes(total);
         if let Some(p) = pseudo_sum {
             let mut acc = foxbasis::checksum::ChecksumAccum::new();
-            acc.add_word(p).add_bytes(&out);
+            // The header is an even number of bytes, so the payload's
+            // folded sum adds positionally correctly after it.
+            acc.add_word(p).add_bytes(&header).add_word(self.payload.ones_sum());
             let mut csum = acc.finish();
             if csum == 0 {
                 csum = 0xffff;
             }
-            out[6..8].copy_from_slice(&csum.to_be_bytes());
+            header[6..8].copy_from_slice(&csum.to_be_bytes());
         }
-        Ok(out)
+        let mut buf = self.payload.clone();
+        buf.prepend_header(&header);
+        Ok(buf)
     }
 
     /// Internalizes a datagram; verifies the checksum when a pseudo-sum
@@ -71,8 +86,34 @@ impl UdpDatagram {
         Ok(UdpDatagram {
             src_port: u16::from_be_bytes([buf[0], buf[1]]),
             dst_port: u16::from_be_bytes([buf[2], buf[3]]),
-            payload: buf[HEADER_LEN..length].to_vec(),
+            payload: PacketBuf::from_vec(buf[HEADER_LEN..length].to_vec()),
         })
+    }
+
+    /// Internalizes a datagram from a [`PacketBuf`], returning the
+    /// payload as a zero-copy slice of the same buffer.
+    pub fn decode_buf(buf: &PacketBuf, pseudo_sum: Option<u16>) -> Result<UdpDatagram, WireError> {
+        let (src_port, dst_port, length) = {
+            let b = buf.bytes();
+            need("udp header", &b, HEADER_LEN)?;
+            let length = usize::from(u16::from_be_bytes([b[4], b[5]]));
+            if length < HEADER_LEN {
+                return Err(WireError::Malformed("udp length"));
+            }
+            need("udp payload", &b, length)?;
+            let wire_checksum = u16::from_be_bytes([b[6], b[7]]);
+            if let Some(p) = pseudo_sum {
+                if wire_checksum != 0 {
+                    let mut acc = foxbasis::checksum::ChecksumAccum::new();
+                    acc.add_word(p).add_bytes(&b[..length]);
+                    if acc.sum() != 0xffff {
+                        return Err(WireError::BadChecksum("udp"));
+                    }
+                }
+            }
+            (u16::from_be_bytes([b[0], b[1]]), u16::from_be_bytes([b[2], b[3]]), length)
+        };
+        Ok(UdpDatagram { src_port, dst_port, payload: buf.slice(HEADER_LEN, length) })
     }
 
     /// [`encode`](Self::encode) with the standard IPv4 pseudo-header.
@@ -107,14 +148,14 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let d = UdpDatagram { src_port: 6969, dst_port: 53, payload: b"query".to_vec() };
+        let d = UdpDatagram { src_port: 6969, dst_port: 53, payload: b"query"[..].into() };
         let bytes = d.encode_v4(Some((A, B))).unwrap();
         assert_eq!(UdpDatagram::decode_v4(&bytes, Some((A, B))).unwrap(), d);
     }
 
     #[test]
     fn zero_checksum_means_unchecked() {
-        let d = UdpDatagram { src_port: 1, dst_port: 2, payload: b"x".to_vec() };
+        let d = UdpDatagram { src_port: 1, dst_port: 2, payload: b"x"[..].into() };
         let mut bytes = d.encode(None).unwrap();
         assert_eq!(&bytes[6..8], &[0, 0]);
         // Corrupt the payload: decode still succeeds because checksum 0
@@ -125,7 +166,7 @@ mod tests {
 
     #[test]
     fn corruption_detected_when_checksummed() {
-        let d = UdpDatagram { src_port: 1, dst_port: 2, payload: b"pay".to_vec() };
+        let d = UdpDatagram { src_port: 1, dst_port: 2, payload: b"pay"[..].into() };
         let mut bytes = d.encode_v4(Some((A, B))).unwrap();
         bytes[9] ^= 0x01;
         assert_eq!(UdpDatagram::decode_v4(&bytes, Some((A, B))), Err(WireError::BadChecksum("udp")));
@@ -133,7 +174,7 @@ mod tests {
 
     #[test]
     fn trailing_padding_discarded() {
-        let d = UdpDatagram { src_port: 9, dst_port: 10, payload: b"ab".to_vec() };
+        let d = UdpDatagram { src_port: 9, dst_port: 10, payload: b"ab"[..].into() };
         let mut bytes = d.encode_v4(Some((A, B))).unwrap();
         bytes.extend_from_slice(&[0; 20]); // Ethernet padding
         assert_eq!(UdpDatagram::decode_v4(&bytes, Some((A, B))).unwrap(), d);
@@ -141,7 +182,7 @@ mod tests {
 
     #[test]
     fn bad_length_rejected() {
-        let d = UdpDatagram { src_port: 9, dst_port: 10, payload: Vec::new() };
+        let d = UdpDatagram { src_port: 9, dst_port: 10, payload: PacketBuf::new() };
         let mut bytes = d.encode(None).unwrap();
         bytes[5] = 4; // length 4 < header
         assert!(matches!(UdpDatagram::decode(&bytes, None), Err(WireError::Malformed(_))));
@@ -155,7 +196,7 @@ mod tests {
             src_port: u16, dst_port: u16,
             payload in proptest::collection::vec(any::<u8>(), 0..2000),
         ) {
-            let d = UdpDatagram { src_port, dst_port, payload };
+            let d = UdpDatagram { src_port, dst_port, payload: payload.into() };
             let bytes = d.encode_v4(Some((A, B))).unwrap();
             prop_assert_eq!(UdpDatagram::decode_v4(&bytes, Some((A, B))).unwrap(), d);
         }

@@ -38,14 +38,14 @@ proptest! {
     ) {
         let mut h = foxwire::tcp::TcpHeader::new(1, 2);
         h.flags = foxwire::tcp::TcpFlags::ACK;
-        let seg = TcpSegment { header: h, payload: payload.clone() };
+        let seg = TcpSegment { header: h, payload: payload.clone().into() };
         let bytes = seg.encode_v4(Some((A, B))).unwrap();
         let cut = cut.min(bytes.len());
         let _ = TcpSegment::decode_v4(&bytes[..cut], Some((A, B)));
 
         let ip = Ipv4Packet {
             header: foxwire::ipv4::Ipv4Header::new(foxwire::ipv4::IpProtocol::Tcp, A, B),
-            payload,
+            payload: payload.into(),
         };
         let bytes = ip.encode().unwrap();
         let cut2 = cut.min(bytes.len());
@@ -66,10 +66,11 @@ proptest! {
         );
         let bytes = f.encode().unwrap();
         let decoded = Frame::decode(&bytes).unwrap();
-        if let Ok(ip) = Ipv4Packet::decode(&decoded.payload) {
-            let _ = TcpSegment::decode_v4(&ip.payload, Some((ip.header.src, ip.header.dst)));
-            let _ = UdpDatagram::decode_v4(&ip.payload, Some((ip.header.src, ip.header.dst)));
-            let _ = IcmpEcho::decode(&ip.payload);
+        if let Ok(ip) = Ipv4Packet::decode_buf(&decoded.payload) {
+            let _ = TcpSegment::decode_buf(&ip.payload, None);
+            let _ = TcpSegment::decode_v4(&ip.payload.bytes(), Some((ip.header.src, ip.header.dst)));
+            let _ = UdpDatagram::decode_v4(&ip.payload.bytes(), Some((ip.header.src, ip.header.dst)));
+            let _ = IcmpEcho::decode(&ip.payload.bytes());
         }
     }
 }

@@ -26,6 +26,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+use foxbasis::buf::{copy_mark, PacketBuf};
 use foxbasis::obs::{ConnMetrics, Event, EventSink};
 use foxbasis::ring::RingBuffer;
 use foxbasis::seq::Seq;
@@ -143,6 +144,13 @@ pub struct XkStats {
     pub bytes_received: u64,
     /// Checksum drops.
     pub checksum_failures: u64,
+    /// Real buffer copies while externalizing/internalizing segments.
+    /// The baseline stages payloads with no headroom, so every data
+    /// segment pays a counted copy when the header is prepended — the
+    /// per-layer copy the x-kernel inherited from Berkeley.
+    pub buf_copies: u64,
+    /// Bytes moved by those copies.
+    pub buf_copy_bytes: u64,
 }
 
 struct Socket<P> {
@@ -275,6 +283,8 @@ where
             segments_received: self.stats.segments_received,
             bytes_sent: self.stats.bytes_sent,
             bytes_delivered: self.stats.bytes_received,
+            buf_copies: self.stats.buf_copies,
+            buf_copy_bytes: self.stats.buf_copy_bytes,
         })
     }
 
@@ -530,7 +540,18 @@ where
                 wnd: u32::from(seg.header.window),
             });
         }
-        if let (Some(conn), Ok(bytes)) = (self.lower_conn, seg.encode(pseudo)) {
+        let mark = copy_mark();
+        let encoded = seg.encode_buf(pseudo);
+        let delta = mark.delta();
+        if delta.bytes > 0 {
+            self.stats.buf_copies += delta.copies;
+            self.stats.buf_copy_bytes += delta.bytes;
+            self.obs.emit(self.now, foxbasis::obs::NO_CONN, || Event::BufCopy {
+                layer: "xk_tx",
+                bytes: delta.bytes as u32,
+            });
+        }
+        if let (Some(conn), Ok(bytes)) = (self.lower_conn, encoded) {
             let _ = self.lower.send(conn, to, bytes);
         }
     }
@@ -554,7 +575,7 @@ where
             self.socks[i].snd_nxt = iss + 1;
         }
         self.arm_retransmit(i);
-        self.transmit(i, TcpSegment { header: h, payload: Vec::new() });
+        self.transmit(i, TcpSegment { header: h, payload: PacketBuf::new() });
     }
 
     fn send_ack(&mut self, i: usize) {
@@ -562,7 +583,7 @@ where
         let h = self.header_for(i, TcpFlags::ACK, seq);
         self.socks[i].ack_owed = false;
         self.socks[i].ack_deadline = None;
-        self.transmit(i, TcpSegment { header: h, payload: Vec::new() });
+        self.transmit(i, TcpSegment { header: h, payload: PacketBuf::new() });
     }
 
     /// The output routine: push whatever the windows allow, inline.
@@ -601,14 +622,19 @@ where
                 }
                 (take, fin_now, s.snd_nxt)
             };
-            let mut payload = vec![0u8; take as usize];
+            // Staged with no headroom: the Berkeley baseline pays a
+            // counted copy when `encode_buf` prepends the header.
+            let payload;
             {
                 let s = &mut self.socks[i];
                 let off = s.flight() as usize;
                 // The SYN octet never coexists with buffered data here:
                 // output only runs in synchronized states.
-                let got = s.send_buf.peek_at(off, &mut payload);
-                payload.truncate(got);
+                let send_buf = &s.send_buf;
+                payload = PacketBuf::build(0, take as usize, |dst| {
+                    let got = send_buf.peek_at(off, dst);
+                    debug_assert_eq!(got as u32, take, "staged bytes must be present");
+                });
                 s.snd_nxt = seq + take + u32::from(fin_now);
                 if fin_now {
                     s.fin_seq = Some(seq + take);
@@ -697,11 +723,15 @@ where
         if !send_probe {
             return;
         }
-        let mut payload = vec![0u8; 1];
+        let payload;
         {
             let s = &mut self.socks[i];
             let off = s.flight() as usize;
-            let got = s.send_buf.peek_at(off, &mut payload);
+            let mut got = 0;
+            let send_buf = &s.send_buf;
+            payload = PacketBuf::build(0, 1, |dst| {
+                got = send_buf.peek_at(off, dst);
+            });
             if got == 0 {
                 return;
             }
@@ -755,7 +785,7 @@ where
                     h
                 };
                 self.arm_retransmit(i);
-                self.transmit(i, TcpSegment { header: h, payload: Vec::new() });
+                self.transmit(i, TcpSegment { header: h, payload: PacketBuf::new() });
             }
             XkState::SynReceived => {
                 let h = {
@@ -764,7 +794,7 @@ where
                     h
                 };
                 self.arm_retransmit(i);
-                self.transmit(i, TcpSegment { header: h, payload: Vec::new() });
+                self.transmit(i, TcpSegment { header: h, payload: PacketBuf::new() });
             }
             _ => {
                 // Resend one MSS from snd_una (and the FIN if it is the
@@ -775,9 +805,13 @@ where
                     let fin_at_front = s.fin_seq == Some(una);
                     let data =
                         infl.saturating_sub(u32::from(s.fin_seq.is_some_and(|f| f.lt(s.snd_nxt)))).min(s.mss);
-                    let mut payload = vec![0u8; data as usize];
-                    let got = s.send_buf.peek_at(0, &mut payload);
-                    payload.truncate(got);
+                    let mut staged = vec![0u8; data as usize];
+                    let got = s.send_buf.peek_at(0, &mut staged);
+                    staged.truncate(got);
+                    // Go-back-N re-reads the ring every time: a counted
+                    // copy per retransmitted segment, headroom-free so
+                    // the header prepend pays another.
+                    let payload = PacketBuf::build(0, staged.len(), |dst| dst.copy_from_slice(&staged));
                     let fin =
                         fin_at_front || (s.fin_seq == Some(una + got as u32) && (got as u32) < s.mss.max(1));
                     (got, fin, payload)
@@ -799,7 +833,18 @@ where
             if pseudo.is_some() {
                 self.host.charge_checksum(info.data.len());
             }
-            match TcpSegment::decode(info.data, pseudo) {
+            let mark = copy_mark();
+            let decoded = TcpSegment::decode_buf(info.data, pseudo);
+            let delta = mark.delta();
+            if delta.bytes > 0 {
+                self.stats.buf_copies += delta.copies;
+                self.stats.buf_copy_bytes += delta.bytes;
+                self.obs.emit(self.now, foxbasis::obs::NO_CONN, || Event::BufCopy {
+                    layer: "xk_rx",
+                    bytes: delta.bytes as u32,
+                });
+            }
+            match decoded {
                 Ok(seg) => (info.src.clone(), seg),
                 Err(foxwire::WireError::BadChecksum(_)) => {
                     self.stats.checksum_failures += 1;
@@ -1060,7 +1105,7 @@ where
         {
             let s = &mut self.socks[i];
             if h.seq == s.rcv_nxt {
-                let took = s.recv_buf.write(&seg.payload);
+                let took = s.recv_buf.write(&seg.payload.bytes());
                 s.rcv_nxt += took as u32;
                 self.stats.bytes_received += took as u64;
                 s.ack_owed = true;
@@ -1082,7 +1127,7 @@ where
                 // Overlap: take the fresh tail.
                 let skip = s.rcv_nxt.since(h.seq) as usize;
                 if skip < seg.payload.len() {
-                    let took = s.recv_buf.write(&seg.payload[skip..]);
+                    let took = s.recv_buf.write(&seg.payload.bytes()[skip..]);
                     s.rcv_nxt += took as u32;
                     self.stats.bytes_received += took as u64;
                 }
@@ -1161,7 +1206,7 @@ fn reset_for(local_port: u16, seg: &TcpSegment) -> TcpSegment {
         h.ack = seg.header.seq + seg.seq_len();
         h.flags = TcpFlags::RST_ACK;
     }
-    TcpSegment { header: h, payload: Vec::new() }
+    TcpSegment { header: h, payload: PacketBuf::new() }
 }
 
 impl<L, A> fmt::Debug for XkTcp<L, A>

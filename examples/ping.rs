@@ -79,12 +79,12 @@ fn main() {
     let echo_log = Rc::new(RefCell::new(Vec::<(Ipv4Addr, u16, Vec<u8>)>::new()));
     let log = echo_log.clone();
     b.udp
-        .open(6969, Box::new(move |m| log.borrow_mut().push((m.src.0, m.src.1, m.payload))))
+        .open(6969, Box::new(move |m| log.borrow_mut().push((m.src.0, m.src.1, m.payload.to_vec()))))
         .expect("bind echo port");
 
     let replies = Rc::new(RefCell::new(Vec::<Vec<u8>>::new()));
     let r2 = replies.clone();
-    let a_sock = a.udp.open(5000, Box::new(move |m| r2.borrow_mut().push(m.payload))).unwrap();
+    let a_sock = a.udp.open(5000, Box::new(move |m| r2.borrow_mut().push(m.payload.to_vec()))).unwrap();
 
     a.udp.send(a_sock, (Ipv4Addr::new(192, 168, 69, 2), 6969), b"abcdefg".to_vec()).unwrap();
     settle(&net, &mut [&mut a, &mut b]);
