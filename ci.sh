@@ -3,12 +3,15 @@
 #
 #   ./ci.sh
 #
-# Five stages, all must pass:
+# Six stages, all must pass:
 #   1. formatting (fails fast, before anything compiles)
 #   2. release build of every crate and target
 #   3. the whole workspace test suite
-#   4. the Criterion benches compile (not run; keeps them from rotting)
-#   5. clippy over every target (benches and bins too), warnings as errors
+#   4. the RFC-793 conformance suite, explicitly (both TCP stacks
+#      against the standard's state diagram; also part of stage 3, but
+#      a named stage keeps the gate visible)
+#   5. the Criterion benches compile (not run; keeps them from rotting)
+#   6. clippy over every target (benches and bins too), warnings as errors
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,6 +23,9 @@ cargo build --release
 
 echo "== test (workspace) =="
 cargo test -q --workspace
+
+echo "== conformance (RFC 793, both stacks) =="
+cargo test -q -p foxtcp --test conformance
 
 echo "== bench (compile only) =="
 cargo bench --workspace --no-run

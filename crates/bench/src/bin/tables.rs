@@ -5,7 +5,7 @@
 //!   cargo run --release -p foxbench --bin tables -- table1   # one item
 //!
 //! Items: table1, table2, gc, gcpause, ablations, matrix, loss,
-//! lossmatrix, copies, micro
+//! lossmatrix, copies, scale, micro
 //!
 //! Flags:
 //!   --trace <file>   record the Table 1 bulk run's typed event stream;
@@ -129,6 +129,12 @@ fn main() {
         println!("running the copy comparison (Table 1 workload, copy counter on)...\n");
         let rows = exp::copy_comparison(1_000_000, seed);
         println!("{}", exp::render_copy_comparison(&rows));
+    }
+
+    if want(&args, "scale") {
+        println!("running the scale experiment (N concurrent connections, fox vs x-kernel)...\n");
+        let cells = exp::scale_experiment(&[16, 64, 256], seed);
+        println!("{}", exp::render_scale(&cells));
     }
 
     if want(&args, "micro") {

@@ -34,7 +34,10 @@
 //! * [`obs`] — the typed, bounded, zero-cost-when-off event layer
 //!   (state transitions, actions, timers, segments, wire faults, GC
 //!   pauses) with JSONL / chrome://tracing exporters and a stream
-//!   differ that turns the determinism claim into a debugging tool.
+//!   differ that turns the determinism claim into a debugging tool;
+//! * [`wheel`] — a hierarchical timer wheel (O(1) arm/cancel, virtual-time
+//!   driven, cascading slots) shared by both TCP stacks, replacing the
+//!   one-coroutine-per-timer Fig. 11 scheme at scale.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,6 +53,7 @@ pub mod ring;
 pub mod seq;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 pub mod wordarray;
 
 pub use buf::PacketBuf;
@@ -62,4 +66,5 @@ pub use ring::RingBuffer;
 pub use seq::Seq;
 pub use time::{VirtualDuration, VirtualTime};
 pub use trace::Trace;
+pub use wheel::{TimerId, TimerWheel, WheelStats};
 pub use wordarray::WordArray;

@@ -1,0 +1,511 @@
+//! A hierarchical timer wheel driven by virtual time.
+//!
+//! The paper's Fig. 11 timer forks one coroutine per armed timer; with a
+//! handful of connections that is charming, with hundreds it is O(log n)
+//! heap traffic per arm and a dead sleeper left behind by every cancel.
+//! This wheel gives every protocol stack in the workspace (foxtcp *and*
+//! the x-kernel baseline, so the comparison stays apples-to-apples)
+//! O(1) arm and cancel:
+//!
+//! * [`LEVELS`] levels of [`SLOTS`] slots each; a level-0 slot covers one
+//!   tick of 2^[`TICK_BITS`] µs (≈ 1 ms), each level above covers
+//!   [`SLOTS`]× the span below — six levels reach ~2.2 virtual years.
+//! * Slot windows are **aligned**: an entry lives at the lowest level
+//!   whose aligned window around the current time contains its deadline
+//!   (equivalently, at level `highest_differing_bit / 6` of
+//!   `deadline_tick XOR now_tick`). Alignment is what makes the wheel
+//!   safe to mix with exact virtual time: every entry at level ℓ+1 is
+//!   strictly later than everything still pending at level ℓ, so firing
+//!   never has to look upward.
+//! * Exact deadlines are kept in the entries; [`TimerWheel::advance`]
+//!   returns everything due sorted by `(deadline, arm order)` — the same
+//!   total order the scheduler's sleep heap imposed, which is what keeps
+//!   same-seed traces byte-identical after the migration.
+//! * Cancellation marks the entry and forgets it; the carcass is
+//!   dropped when cascading or firing next touches its slot.
+
+use crate::time::VirtualTime;
+use std::collections::HashSet;
+
+/// Bits of one level-0 tick: a slot spans 2^10 µs = 1.024 ms.
+pub const TICK_BITS: u32 = 10;
+/// log2 of the slots per level.
+pub const SLOT_BITS: u32 = 6;
+/// Slots per level.
+pub const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of levels.
+pub const LEVELS: usize = 6;
+
+/// Handle for a pending timer, returned by [`TimerWheel::arm`].
+/// Ids are never reused; cancelling an already-fired id is a no-op.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(u64);
+
+/// Operation counters (the `tables -- scale` experiment reports these).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// Timers armed.
+    pub arms: u64,
+    /// Timers cancelled while still pending.
+    pub cancels: u64,
+    /// Timers fired (returned from [`TimerWheel::advance`]).
+    pub fires: u64,
+    /// Entries moved between levels by cascading.
+    pub cascades: u64,
+}
+
+struct Entry<T> {
+    /// Exact deadline in µs.
+    deadline: u64,
+    /// Arm order; doubles as the [`TimerId`].
+    seq: u64,
+    payload: T,
+}
+
+/// One fired timer.
+#[derive(Debug)]
+pub struct Fired<T> {
+    /// The id [`TimerWheel::arm`] returned.
+    pub id: TimerId,
+    /// The exact deadline it was armed for (≤ the advance target).
+    pub deadline: VirtualTime,
+    /// The payload it was armed with.
+    pub payload: T,
+}
+
+/// The wheel. `T` is the per-timer payload — protocol stacks use
+/// `(connection id, timer kind)`.
+pub struct TimerWheel<T> {
+    /// `LEVELS * SLOTS` buckets, level-major.
+    slots: Vec<Vec<Entry<T>>>,
+    /// Entries due within the current tick but after `now`.
+    near: Vec<Entry<T>>,
+    /// Entries armed with a deadline already ≤ `now`: due at the very
+    /// next `advance`, whatever its target.
+    ripe: Vec<Entry<T>>,
+    /// Current time in µs.
+    now: u64,
+    next_seq: u64,
+    /// Ids armed and neither fired nor cancelled.
+    pending: HashSet<u64>,
+    /// Ids cancelled whose entries still sit in a slot.
+    cancelled: HashSet<u64>,
+    stats: WheelStats,
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel whose clock starts at `start`.
+    pub fn new(start: VirtualTime) -> TimerWheel<T> {
+        TimerWheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            near: Vec::new(),
+            ripe: Vec::new(),
+            now: start.as_micros(),
+            next_seq: 0,
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            stats: WheelStats::default(),
+        }
+    }
+
+    /// The wheel's current time.
+    pub fn now(&self) -> VirtualTime {
+        VirtualTime::from_micros(self.now)
+    }
+
+    /// Pending (armed, not yet fired or cancelled) timers.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// No pending timers?
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> WheelStats {
+        self.stats
+    }
+
+    /// Arms a timer for `deadline`. A deadline at or before the current
+    /// time is clamped to the current time and fires on the next
+    /// [`TimerWheel::advance`] — the scheduler this replaces could never
+    /// sleep into the past, so "already due" means "due now, after
+    /// everything armed earlier". O(1).
+    pub fn arm(&mut self, deadline: VirtualTime, payload: T) -> TimerId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.arms += 1;
+        self.pending.insert(seq);
+        let deadline = deadline.as_micros().max(self.now);
+        self.place(Entry { deadline, seq, payload });
+        TimerId(seq)
+    }
+
+    /// Cancels a pending timer; returns whether it was still pending.
+    /// O(1) — the entry is dropped lazily.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        if self.pending.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            self.stats.cancels += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The earliest pending deadline, if any. O(pending) — diagnostics
+    /// and tests only; the hot path is `advance`.
+    pub fn next_deadline(&self) -> Option<VirtualTime> {
+        self.slots
+            .iter()
+            .chain(std::iter::once(&self.near))
+            .chain(std::iter::once(&self.ripe))
+            .flatten()
+            .filter(|e| !self.cancelled.contains(&e.seq))
+            .map(|e| e.deadline)
+            .min()
+            .map(VirtualTime::from_micros)
+    }
+
+    /// Moves the clock to `to` (must not go backwards) and returns every
+    /// timer with `deadline <= to`, sorted by `(deadline, arm order)`.
+    /// Calling with `to == now()` still drains timers armed at or before
+    /// the current instant.
+    pub fn advance(&mut self, to: VirtualTime) -> Vec<Fired<T>> {
+        let to_us = to.as_micros();
+        assert!(to_us >= self.now, "timer wheel clock cannot run backwards");
+        let old_t = self.now >> TICK_BITS;
+        self.now = to_us;
+        let new_t = to_us >> TICK_BITS;
+
+        let mut due: Vec<Entry<T>> = std::mem::take(&mut self.ripe);
+        let mut replace: Vec<Entry<T>> = Vec::new();
+
+        if new_t == old_t {
+            // Same tick: only `near` can have come due.
+            let mut keep = Vec::new();
+            for e in self.near.drain(..) {
+                if e.deadline <= to_us {
+                    due.push(e);
+                } else {
+                    keep.push(e);
+                }
+            }
+            self.near = keep;
+        } else {
+            // The old tick is fully behind us.
+            due.append(&mut self.near);
+            // Drain every slot the cursor passed, level by level. A span
+            // of ≥ SLOTS at some level drains the whole level; levels
+            // whose cursor did not move are untouched (and neither are
+            // any above them).
+            for lvl in 0..LEVELS {
+                let shift = SLOT_BITS * lvl as u32;
+                let (old_l, new_l) = (old_t >> shift, new_t >> shift);
+                if old_l == new_l {
+                    break;
+                }
+                let span = (new_l - old_l).min(SLOTS as u64);
+                for k in 1..=span {
+                    let slot = ((old_l + k) % SLOTS as u64) as usize;
+                    for e in self.slots[lvl * SLOTS + slot].drain(..) {
+                        if e.deadline <= to_us {
+                            due.push(e);
+                        } else {
+                            if lvl > 0 {
+                                self.stats.cascades += 1;
+                            }
+                            replace.push(e);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Re-file survivors relative to the new now (cascade).
+        for e in replace {
+            self.place(e);
+        }
+
+        due.retain(|e| {
+            if self.cancelled.remove(&e.seq) {
+                false
+            } else {
+                self.pending.remove(&e.seq);
+                true
+            }
+        });
+        due.sort_by_key(|e| (e.deadline, e.seq));
+        self.stats.fires += due.len() as u64;
+        due.into_iter()
+            .map(|e| Fired {
+                id: TimerId(e.seq),
+                deadline: VirtualTime::from_micros(e.deadline),
+                payload: e.payload,
+            })
+            .collect()
+    }
+
+    /// Files an entry at the lowest level whose aligned window (around
+    /// the current time) contains its deadline.
+    fn place(&mut self, e: Entry<T>) {
+        if e.deadline <= self.now {
+            self.ripe.push(e);
+            return;
+        }
+        let now_t = self.now >> TICK_BITS;
+        let d_t = e.deadline >> TICK_BITS;
+        let diff = d_t ^ now_t;
+        if diff == 0 {
+            self.near.push(e);
+            return;
+        }
+        let lvl = ((63 - diff.leading_zeros()) / SLOT_BITS) as usize;
+        let slot = if lvl >= LEVELS {
+            // Beyond the top level's window (> ~2 years out): park one
+            // slot ahead of the top cursor. An overflow deadline is
+            // always past the next top-level cursor move, so the entry
+            // is re-examined (and re-filed closer) there — never early,
+            // never missed.
+            let top = now_t >> (SLOT_BITS * (LEVELS as u32 - 1));
+            ((top + 1) % SLOTS as u64) as usize + (LEVELS - 1) * SLOTS
+        } else {
+            ((d_t >> (SLOT_BITS * lvl as u32)) % SLOTS as u64) as usize + lvl * SLOTS
+        };
+        self.slots[slot].push(e);
+    }
+}
+
+impl<T> std::fmt::Debug for TimerWheel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TimerWheel(now={}µs, pending={}, stats={:?})", self.now, self.pending.len(), self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::VirtualDuration;
+    use std::collections::BTreeMap;
+
+    fn t(us: u64) -> VirtualTime {
+        VirtualTime::from_micros(us)
+    }
+
+    #[test]
+    fn fires_in_deadline_then_arm_order() {
+        let mut w = TimerWheel::new(VirtualTime::ZERO);
+        let a = w.arm(t(5_000), "a");
+        let b = w.arm(t(3_000), "b");
+        let c = w.arm(t(5_000), "c");
+        let fired = w.advance(t(10_000));
+        let order: Vec<&str> = fired.iter().map(|f| f.payload).collect();
+        assert_eq!(order, ["b", "a", "c"], "deadline asc, ties by arm order");
+        assert_eq!(fired[0].deadline, t(3_000));
+        assert_eq!(fired[1].id, a);
+        let _ = (b, c);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_prevents_fire_and_reports_liveness() {
+        let mut w = TimerWheel::new(VirtualTime::ZERO);
+        let a = w.arm(t(2_000), 1);
+        let b = w.arm(t(2_000), 2);
+        assert!(w.cancel(a));
+        assert!(!w.cancel(a), "second cancel is a no-op");
+        let fired = w.advance(t(5_000));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].payload, 2);
+        assert!(!w.cancel(b), "fired timers cannot be cancelled");
+        assert_eq!(w.stats().cancels, 1);
+        assert_eq!(w.stats().fires, 1);
+    }
+
+    #[test]
+    fn deadline_at_or_before_now_fires_on_next_advance() {
+        let mut w = TimerWheel::new(t(1_000_000));
+        w.arm(t(1_000_000), "now");
+        w.arm(t(5), "past");
+        // Zero-width advance still drains ripe timers; the past deadline
+        // was clamped to now, so both tie and fire in arm order.
+        let fired = w.advance(t(1_000_000));
+        let order: Vec<&str> = fired.iter().map(|f| f.payload).collect();
+        assert_eq!(order, ["now", "past"]);
+        assert_eq!(fired[1].deadline, t(1_000_000), "past deadline clamped");
+    }
+
+    #[test]
+    fn sub_tick_precision_within_one_slot() {
+        let mut w = TimerWheel::new(VirtualTime::ZERO);
+        w.arm(t(700), "late");
+        w.arm(t(300), "early");
+        assert!(w.advance(t(100)).is_empty());
+        let f1 = w.advance(t(300));
+        assert_eq!(f1.len(), 1);
+        assert_eq!(f1[0].payload, "early");
+        let f2 = w.advance(t(900));
+        assert_eq!(f2.len(), 1);
+        assert_eq!(f2[0].payload, "late");
+    }
+
+    #[test]
+    fn long_jumps_cascade_correctly() {
+        let mut w = TimerWheel::new(VirtualTime::ZERO);
+        // One timer per decade of µs: exercises every level.
+        let mut expect = Vec::new();
+        for p in 0..10u32 {
+            let us = 10u64.pow(p);
+            w.arm(t(us), us);
+            expect.push(us);
+        }
+        expect.sort();
+        // Advance in stages so high-level entries are drained early and
+        // cascade down, then jump past all of them.
+        let mut got = Vec::new();
+        for stop in [900_000_000, 999_999_000, 20_000_000_000] {
+            got.extend(w.advance(t(stop)).iter().map(|f| f.payload));
+        }
+        assert_eq!(got, expect);
+        assert!(w.stats().cascades > 0, "multi-level deadlines must cascade");
+    }
+
+    #[test]
+    fn next_deadline_tracks_minimum() {
+        let mut w = TimerWheel::new(VirtualTime::ZERO);
+        assert_eq!(w.next_deadline(), None);
+        w.arm(t(500_000), ());
+        let near = w.arm(t(2_000), ());
+        assert_eq!(w.next_deadline(), Some(t(2_000)));
+        w.cancel(near);
+        assert_eq!(w.next_deadline(), Some(t(500_000)));
+        w.advance(t(1_000_000));
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn far_future_overflow_parks_and_still_fires() {
+        let mut w = TimerWheel::new(VirtualTime::ZERO);
+        // Beyond the six-level horizon (~2.2 virtual years).
+        let far = 1u64 << 50;
+        w.arm(t(far), "far");
+        assert!(w.advance(t(far - 1)).is_empty());
+        let fired = w.advance(t(far));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].payload, "far");
+    }
+
+    /// The reference model the proptest below (and the satellite task)
+    /// pins the wheel against: a `BTreeMap<(time, id)>`, fired in key
+    /// order — exactly the scheduler sleep-heap semantics the wheel
+    /// replaces.
+    #[derive(Default)]
+    struct NaiveTimers {
+        map: BTreeMap<(u64, u64), u32>,
+        by_id: BTreeMap<u64, (u64, u64)>,
+        now: u64,
+        next: u64,
+    }
+
+    impl NaiveTimers {
+        fn arm(&mut self, deadline: u64, payload: u32) -> u64 {
+            let id = self.next;
+            self.next += 1;
+            self.map.insert((deadline, id), payload);
+            self.by_id.insert(id, (deadline, id));
+            id
+        }
+
+        fn cancel(&mut self, id: u64) -> bool {
+            match self.by_id.remove(&id) {
+                Some(key) => self.map.remove(&key).is_some(),
+                None => false,
+            }
+        }
+
+        fn advance(&mut self, to: u64) -> Vec<(u64, u32)> {
+            self.now = self.now.max(to);
+            let mut fired = Vec::new();
+            while let Some((&(d, id), &p)) = self.map.iter().next() {
+                if d > self.now {
+                    break;
+                }
+                self.map.remove(&(d, id));
+                self.by_id.remove(&id);
+                fired.push((d, p));
+            }
+            fired
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(256))]
+
+        /// Arbitrary arm/cancel/advance sequences fire the same timers
+        /// in the same order as the naive ordered-map model.
+        #[test]
+        fn wheel_matches_btreemap_reference(ops in proptest::collection::vec((0u8..8, 0u64..5_000_000), 1..120)) {
+            let mut wheel = TimerWheel::new(VirtualTime::ZERO);
+            let mut model = NaiveTimers::default();
+            let mut ids: Vec<(TimerId, u64)> = Vec::new();
+            let mut now = 0u64;
+            let mut payload = 0u32;
+            for (op, arg) in ops {
+                match op {
+                    // Arm (weighted: most ops arm).
+                    0..=3 => {
+                        // Mix of near, far, and already-due deadlines.
+                        let deadline = match op {
+                            0 => now + arg % 2_048,              // sub-slot
+                            1 => now + arg % 400_000,            // a few slots
+                            2 => now + arg,                      // anywhere
+                            _ => now.saturating_sub(arg % 1_000), // already due
+                        };
+                        payload += 1;
+                        let wid = wheel.arm(t(deadline), payload);
+                        let mid = model.arm(deadline.max(now), payload);
+                        ids.push((wid, mid));
+                    }
+                    // Cancel a random previously armed timer.
+                    4 | 5 => {
+                        if !ids.is_empty() {
+                            let (wid, mid) = ids[arg as usize % ids.len()];
+                            let a = wheel.cancel(wid);
+                            let b = model.cancel(mid);
+                            proptest::prop_assert_eq!(a, b, "cancel liveness must agree");
+                        }
+                    }
+                    // Advance (sometimes by zero).
+                    _ => {
+                        now += if op == 6 { arg % 3_000 } else { arg % 900_000 };
+                        let fired: Vec<u32> = wheel.advance(t(now)).into_iter().map(|f| f.payload).collect();
+                        let expect: Vec<u32> = model.advance(now).into_iter().map(|(_, p)| p).collect();
+                        proptest::prop_assert_eq!(fired, expect, "same timers, same order");
+                    }
+                }
+            }
+            // Drain everything left and compare the tail too.
+            now += 100_000_000_000;
+            let fired: Vec<u32> = wheel.advance(t(now)).into_iter().map(|f| f.payload).collect();
+            let expect: Vec<u32> = model.advance(now).into_iter().map(|(_, p)| p).collect();
+            proptest::prop_assert_eq!(fired, expect);
+            proptest::prop_assert!(wheel.is_empty());
+        }
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut w = TimerWheel::new(VirtualTime::ZERO);
+        let a = w.arm(t(1_000), ());
+        w.arm(t(2_000), ());
+        w.cancel(a);
+        w.advance(t(5_000));
+        let s = w.stats();
+        assert_eq!(s.arms, 2);
+        assert_eq!(s.cancels, 1);
+        assert_eq!(s.fires, 1);
+        let _ = VirtualDuration::ZERO;
+    }
+}

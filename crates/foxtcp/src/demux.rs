@@ -1,0 +1,235 @@
+//! Keyed segment demultiplexing: (local port, remote address, remote
+//! port) → connection, in O(1).
+//!
+//! The paper's Connection module keeps "a list of open connections";
+//! with one or two connections per host (all Table 1 ever needed) a
+//! linear scan per segment is free, but at N connections every arrival
+//! costs O(N) — exactly the hot path Laminar identifies as dominating
+//! structured-TCP scaling. This table replaces those scans:
+//!
+//! * **flows** — established/embryonic connections, keyed by
+//!   `(local port, hash(remote addr), remote port)`. The address is
+//!   keyed by its [`IpAux::hash`](foxproto::aux::IpAux::hash) value, so
+//!   the table is address-type-agnostic; hash collisions are resolved
+//!   by the caller's `verify` closure, which re-checks full address
+//!   equality (and any state predicate) against the TCB.
+//! * **listeners** — connections opened passively (no remote), keyed by
+//!   local port.
+//! * **by_id** — connection id → current index in the engine's table.
+//! * **ports** — local-port reference counts, for ephemeral allocation.
+//!
+//! Within one bucket, candidate ids are kept in creation order, so the
+//! first verified candidate is the same connection the old front-to-back
+//! scan found — lookup results are bit-for-bit unchanged, only cheaper.
+
+use std::collections::HashMap;
+
+/// Operation counters (the `tables -- scale` experiment reports these).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DemuxStats {
+    /// Lookups performed (flow + listener).
+    pub lookups: u64,
+    /// Candidates examined across all lookups. With a healthy table
+    /// this stays ~1 per lookup however many connections exist; the
+    /// linear scan it replaces examined ~N/2.
+    pub steps: u64,
+}
+
+/// The demux table. Ids are the engine's connection ids; indexes are
+/// positions in the engine's connection vector (the engine re-indexes
+/// after reaping).
+#[derive(Default)]
+pub struct Demux {
+    flows: HashMap<(u16, u64, u16), Vec<u32>>,
+    listeners: HashMap<u16, Vec<u32>>,
+    by_id: HashMap<u32, usize>,
+    ports: HashMap<u16, usize>,
+    stats: DemuxStats,
+}
+
+impl Demux {
+    /// An empty table.
+    pub fn new() -> Demux {
+        Demux::default()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> DemuxStats {
+        self.stats
+    }
+
+    /// Registered connections.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// No registered connections?
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Registers a connection at `index`. `flow` is
+    /// `(hash(remote addr), remote port)` for connections with a fixed
+    /// peer; `None` for listeners.
+    pub fn insert(&mut self, id: u32, index: usize, local_port: u16, flow: Option<(u64, u16)>) {
+        self.by_id.insert(id, index);
+        *self.ports.entry(local_port).or_insert(0) += 1;
+        match flow {
+            Some((peer, remote_port)) => {
+                self.flows.entry((local_port, peer, remote_port)).or_default().push(id)
+            }
+            None => self.listeners.entry(local_port).or_default().push(id),
+        }
+    }
+
+    /// Unregisters a connection; `flow` must match what `insert` got.
+    pub fn remove(&mut self, id: u32, local_port: u16, flow: Option<(u64, u16)>) {
+        self.by_id.remove(&id);
+        if let Some(n) = self.ports.get_mut(&local_port) {
+            *n -= 1;
+            if *n == 0 {
+                self.ports.remove(&local_port);
+            }
+        }
+        let bucket = match flow {
+            Some((peer, remote_port)) => self.flows.get_mut(&(local_port, peer, remote_port)),
+            None => self.listeners.get_mut(&local_port),
+        };
+        if let Some(ids) = bucket {
+            ids.retain(|&x| x != id);
+            if ids.is_empty() {
+                match flow {
+                    Some((peer, remote_port)) => {
+                        self.flows.remove(&(local_port, peer, remote_port));
+                    }
+                    None => {
+                        self.listeners.remove(&local_port);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The connection's current index, if registered.
+    pub fn index_of(&self, id: u32) -> Option<usize> {
+        self.by_id.get(&id).copied()
+    }
+
+    /// Re-points a connection at a new index (after the engine compacts
+    /// its table).
+    pub fn set_index(&mut self, id: u32, index: usize) {
+        if let Some(slot) = self.by_id.get_mut(&id) {
+            *slot = index;
+        }
+    }
+
+    /// Any connection (in any state) using `local_port`?
+    pub fn port_in_use(&self, local_port: u16) -> bool {
+        self.ports.contains_key(&local_port)
+    }
+
+    /// Finds the first (oldest) flow connection matching the key that
+    /// `verify(index, id)` accepts — the closure re-checks full address
+    /// equality against the TCB, making hash collisions harmless.
+    /// Returns `(index, id)`.
+    pub fn lookup_flow(
+        &mut self,
+        local_port: u16,
+        peer: u64,
+        remote_port: u16,
+        mut verify: impl FnMut(usize, u32) -> bool,
+    ) -> Option<(usize, u32)> {
+        self.stats.lookups += 1;
+        let ids = self.flows.get(&(local_port, peer, remote_port))?;
+        for &id in ids {
+            self.stats.steps += 1;
+            let idx = *self.by_id.get(&id).expect("flow entry without index");
+            if verify(idx, id) {
+                return Some((idx, id));
+            }
+        }
+        None
+    }
+
+    /// Finds the first (oldest) listener on `local_port` that
+    /// `verify(index, id)` accepts. Returns `(index, id)`.
+    pub fn lookup_listener(
+        &mut self,
+        local_port: u16,
+        mut verify: impl FnMut(usize, u32) -> bool,
+    ) -> Option<(usize, u32)> {
+        self.stats.lookups += 1;
+        let ids = self.listeners.get(&local_port)?;
+        for &id in ids {
+            self.stats.steps += 1;
+            let idx = *self.by_id.get(&id).expect("listener entry without index");
+            if verify(idx, id) {
+                return Some((idx, id));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_lookup_finds_oldest_verified_candidate() {
+        let mut d = Demux::new();
+        d.insert(7, 0, 2000, Some((0xabc, 5000)));
+        d.insert(9, 1, 2000, Some((0xabc, 5000))); // same bucket (collision or dup key)
+                                                   // Verify rejects id 7 (e.g. state mismatch): falls to 9.
+        let got = d.lookup_flow(2000, 0xabc, 5000, |_idx, id| id != 7);
+        assert_eq!(got, Some((1, 9)));
+        // Verify accepts all: oldest wins, like the old front-to-back scan.
+        let got = d.lookup_flow(2000, 0xabc, 5000, |_idx, _id| true);
+        assert_eq!(got, Some((0, 7)));
+        assert_eq!(d.stats().lookups, 2);
+        assert_eq!(d.stats().steps, 3);
+    }
+
+    #[test]
+    fn listener_and_flow_namespaces_are_distinct() {
+        let mut d = Demux::new();
+        d.insert(1, 0, 2000, None);
+        d.insert(2, 1, 2000, Some((5, 6)));
+        assert_eq!(d.lookup_listener(2000, |_, _| true), Some((0, 1)));
+        assert_eq!(d.lookup_flow(2000, 5, 6, |_, _| true), Some((1, 2)));
+        assert_eq!(d.lookup_flow(2000, 5, 7, |_, _| true), None);
+        assert_eq!(d.lookup_listener(2001, |_, _| true), None);
+    }
+
+    #[test]
+    fn remove_and_reindex_track_the_engine_table() {
+        let mut d = Demux::new();
+        d.insert(1, 0, 1000, Some((1, 1)));
+        d.insert(2, 1, 1000, Some((2, 2)));
+        d.insert(3, 2, 1001, None);
+        assert!(d.port_in_use(1000));
+        d.remove(1, 1000, Some((1, 1)));
+        assert!(d.port_in_use(1000), "port refcount survives one of two users");
+        // Engine compacted: id 2 now at index 0, id 3 at 1.
+        d.set_index(2, 0);
+        d.set_index(3, 1);
+        assert_eq!(d.index_of(2), Some(0));
+        assert_eq!(d.lookup_flow(1000, 2, 2, |_, _| true), Some((0, 2)));
+        d.remove(2, 1000, Some((2, 2)));
+        assert!(!d.port_in_use(1000));
+        assert_eq!(d.lookup_flow(1000, 2, 2, |_, _| true), None);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn port_refcounts_span_flows_and_listeners() {
+        let mut d = Demux::new();
+        d.insert(1, 0, 2000, None);
+        d.insert(2, 1, 2000, Some((9, 9)));
+        d.remove(1, 2000, None);
+        assert!(d.port_in_use(2000));
+        d.remove(2, 2000, Some((9, 9)));
+        assert!(!d.port_in_use(2000));
+        assert!(d.is_empty());
+    }
+}

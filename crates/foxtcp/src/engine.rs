@@ -16,18 +16,20 @@
 //! paper advertises. [`crate::TcpConfig`] carries the value parameters.
 
 use crate::action::{LossEvent, TcpAction, TimerKind};
+use crate::demux::{Demux, DemuxStats};
 use crate::receive::{self, ListenVerdict};
 use crate::send;
 use crate::state;
 use crate::tcb::TcpState;
 use crate::{ConnCore, TcpConfig};
-use fox_scheduler::{SchedHandle, TimerHandle};
+use fox_scheduler::SchedHandle;
 use foxbasis::buf::copy_mark;
 use foxbasis::fifo::Fifo;
 use foxbasis::obs::{ConnMetrics, Event, EventSink};
 use foxbasis::seq::Seq;
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxbasis::trace::Trace;
+use foxbasis::wheel::{TimerWheel, WheelStats};
 use foxproto::aux::IpAux;
 use foxproto::{Handler, ProtoError, Protocol};
 use foxwire::tcp::TcpSegment;
@@ -121,6 +123,8 @@ pub struct TcpStats {
     pub rto_fires: u64,
     /// Zero-window probes sent by the persist timer.
     pub probe_fires: u64,
+    /// SYNs dropped because the listener's accept queue was full.
+    pub syns_dropped: u64,
     /// Real buffer copies ([`foxbasis::buf`] copy counter deltas)
     /// observed while externalizing/internalizing segments. Purely
     /// observational: the virtual cost model charges the paper's per-KB
@@ -135,7 +139,7 @@ struct Conn<P> {
     core: ConnCore<P>,
     handler: Option<Handler<TcpEvent>>,
     pending_events: Vec<TcpEvent>,
-    timers: [Option<TimerHandle>; 5],
+    timers: [Option<foxbasis::wheel::TimerId>; 5],
     /// The listener that spawned this connection, if any.
     parent: Option<u32>,
     /// Set once a terminal event (Closed/Reset/TimedOut) was delivered.
@@ -184,6 +188,11 @@ where
     next_ephemeral: u16,
     stats: TcpStats,
     obs: EventSink,
+    /// All connection timers, one shared wheel: payload is
+    /// (connection id, timer kind).
+    wheel: TimerWheel<(u32, TimerKind)>,
+    /// Keyed segment→connection table; mirrors `conns` exactly.
+    demux: Demux,
 }
 
 /// Renders wire flags as the event layer's bitmask.
@@ -226,6 +235,7 @@ where
         host: HostHandle,
     ) -> Tcp<L, A> {
         let trace = Trace::new("tcp", cfg.do_prints, cfg.do_traces);
+        let wheel = TimerWheel::new(sched.now());
         Tcp {
             lower,
             aux,
@@ -241,6 +251,8 @@ where
             next_ephemeral: 49152,
             stats: TcpStats::default(),
             obs: EventSink::off(),
+            wheel,
+            demux: Demux::new(),
         }
     }
 
@@ -253,6 +265,17 @@ where
     /// Statistics snapshot.
     pub fn stats(&self) -> TcpStats {
         self.stats
+    }
+
+    /// Timer-wheel operation counters (the `tables -- scale` experiment
+    /// reports these alongside demux counters).
+    pub fn wheel_stats(&self) -> WheelStats {
+        self.wheel.stats()
+    }
+
+    /// Demux-table operation counters.
+    pub fn demux_stats(&self) -> DemuxStats {
+        self.demux.stats()
     }
 
     /// A unified per-connection metrics snapshot: the TCB's live
@@ -346,11 +369,11 @@ where
     // ----- internals -----
 
     fn conn_index(&self, conn: TcpConnId) -> Option<usize> {
-        self.conns.iter().position(|c| c.id == conn.0)
+        self.demux.index_of(conn.0)
     }
 
     fn index_of_id(&self, id: u32) -> Option<usize> {
-        self.conns.iter().position(|c| c.id == id)
+        self.demux.index_of(id)
     }
 
     fn ensure_lower_open(&mut self) -> Result<(), ProtoError> {
@@ -373,8 +396,7 @@ where
         loop {
             let p = self.next_ephemeral;
             self.next_ephemeral = if p == u16::MAX { 49152 } else { p + 1 };
-            let in_use = self.conns.iter().any(|c| c.core.local_port == p);
-            if !in_use {
+            if !self.demux.port_in_use(p) {
                 return p;
             }
         }
@@ -387,6 +409,10 @@ where
         let mut core = ConnCore::new(&self.cfg, local_port, iss, self.aux.mtu() as u32 - 20);
         core.remote = remote;
         core.tcb.mss = (self.aux.mtu() as u32).saturating_sub(20).max(1);
+        // `core.remote` is fixed for the connection's lifetime, so its
+        // demux key never needs re-filing.
+        let flow = core.remote.as_ref().map(|(a, p)| (A::hash(a), *p));
+        self.demux.insert(id, self.conns.len(), local_port, flow);
         self.conns.push(Conn {
             id,
             core,
@@ -429,12 +455,24 @@ where
         }
         self.host.charge_tcp_segment_sized(seg.payload.len());
         self.host.with(|h| h.alloc_segment(seg.payload.len()));
+        // One keyed lookup serves both the window bookkeeping and the
+        // observability stamp below (the old code scanned twice with the
+        // same predicate); skipped when neither needs it.
+        let tx_conn = if seg.header.flags.ack || self.obs.is_on() {
+            let conns = &self.conns;
+            self.demux.lookup_flow(seg.header.src_port, A::hash(&to), seg.header.dst_port, |idx, _id| {
+                conns[idx]
+                    .core
+                    .remote
+                    .as_ref()
+                    .is_some_and(|(a, p)| A::eq(a, &to) && *p == seg.header.dst_port)
+            })
+        } else {
+            None
+        };
         // Remember what window the peer will believe after this segment.
         if seg.header.flags.ack {
-            if let Some(idx) = self.conns.iter().position(|c| {
-                c.core.local_port == seg.header.src_port
-                    && c.core.remote.as_ref().is_some_and(|(a, p)| A::eq(a, &to) && *p == seg.header.dst_port)
-            }) {
+            if let Some((idx, _)) = tx_conn {
                 self.conns[idx].core.tcb.last_adv_wnd = u32::from(seg.header.window);
             }
         }
@@ -458,17 +496,7 @@ where
         self.stats.segments_sent += 1;
         self.stats.bytes_sent += seg.payload.len() as u64;
         if self.obs.is_on() {
-            let conn = self
-                .conns
-                .iter()
-                .find(|c| {
-                    c.core.local_port == seg.header.src_port
-                        && c.core
-                            .remote
-                            .as_ref()
-                            .is_some_and(|(a, p)| A::eq(a, &to) && *p == seg.header.dst_port)
-                })
-                .map_or(foxbasis::obs::NO_CONN, |c| c.id);
+            let conn = tx_conn.map_or(foxbasis::obs::NO_CONN, |(_, id)| id);
             self.obs.emit(self.sched.now(), conn, || Event::SegTx {
                 seq: seg.header.seq.0,
                 ack: seg.header.ack.0,
@@ -500,9 +528,11 @@ where
         let _ = self.lower.send(conn, to, bytes);
     }
 
-    /// Arms the Fig. 11 timer for `kind` on connection `idx`. The timer
-    /// handler captures only the connection's to_do queue — asynchronous
-    /// events synchronize by enqueueing, never by touching state.
+    /// Arms the Fig. 11 timer for `kind` on connection `idx` — on the
+    /// shared wheel rather than as a forked coroutine, but with the same
+    /// contract: expiry synchronizes only by enqueueing a
+    /// `Timer_Expiration` action onto the connection's to_do queue,
+    /// never by touching state.
     fn set_timer(&mut self, idx: usize, kind: TimerKind, ms: u64) {
         self.clear_timer(idx, kind);
         self.stats.timers_set += 1;
@@ -511,19 +541,18 @@ where
             after_ms: ms,
         });
         self.host.charge_thread_op();
-        let todo = self.conns[idx].core.tcb.to_do.clone();
-        let handle = self.sched.start_timer(
-            VirtualDuration::from_millis(ms),
-            Box::new(move |_s| {
-                todo.borrow_mut().add(TcpAction::TimerExpiration(kind));
-            }),
-        );
-        self.conns[idx].timers[timer_index(kind)] = Some(handle);
+        let deadline = self.sched.now() + VirtualDuration::from_millis(ms);
+        let id = self.conns[idx].id;
+        let tid = self.wheel.arm(deadline, (id, kind));
+        self.conns[idx].timers[timer_index(kind)] = Some(tid);
     }
 
     fn clear_timer(&mut self, idx: usize, kind: TimerKind) {
-        if let Some(h) = self.conns[idx].timers[timer_index(kind)].take() {
-            h.clear();
+        if let Some(tid) = self.conns[idx].timers[timer_index(kind)].take() {
+            // May already have fired — cancelling then is a no-op, and
+            // the clear is still reported (as with the old one-shot
+            // timer handles).
+            self.wheel.cancel(tid);
             self.obs.emit(self.sched.now(), self.conns[idx].id, || Event::TimerClear { timer: kind.name() });
         }
     }
@@ -715,25 +744,31 @@ where
         };
         self.stats.segments_received += 1;
 
-        // Demultiplex: exact (remote, ports) match first.
-        let exact = self.conns.iter().position(|c| {
-            c.core.local_port == seg.header.dst_port
-                && c.core.remote.as_ref().is_some_and(|(a, p)| A::eq(a, &src) && *p == seg.header.src_port)
-                && c.core.state != TcpState::Closed
-        });
-        if let Some(idx) = exact {
-            let id = self.conns[idx].id;
+        // Demultiplex: exact (remote, ports) match first. The verify
+        // closure re-checks full address equality (hash collisions) and
+        // the state predicate the old scan applied.
+        let exact = {
+            let conns = &self.conns;
+            self.demux.lookup_flow(seg.header.dst_port, A::hash(&src), seg.header.src_port, |idx, _id| {
+                let c = &conns[idx];
+                c.core.remote.as_ref().is_some_and(|(a, p)| A::eq(a, &src) && *p == seg.header.src_port)
+                    && c.core.state != TcpState::Closed
+            })
+        };
+        if let Some((idx, id)) = exact {
             self.conns[idx].core.tcb.push_action(TcpAction::ProcessData(seg, src));
             self.run_actions(id);
             return;
         }
 
         // A listener on the port?
-        let listener = self.conns.iter().position(|c| {
-            c.core.local_port == seg.header.dst_port && matches!(c.core.state, TcpState::Listen { .. })
-        });
-        if let Some(lidx) = listener {
-            let lid = self.conns[lidx].id;
+        let listener = {
+            let conns = &self.conns;
+            self.demux.lookup_listener(seg.header.dst_port, |idx, _id| {
+                matches!(conns[idx].core.state, TcpState::Listen { .. })
+            })
+        };
+        if let Some((lidx, lid)) = listener {
             match receive::on_listen_segment(seg.header.dst_port, &seg) {
                 ListenVerdict::Ignore => {}
                 ListenVerdict::Reply(rst) => self.transmit_to(rst, src),
@@ -742,12 +777,21 @@ where
                         TcpState::Listen { backlog } => backlog,
                         _ => unreachable!("listener checked above"),
                     };
-                    let embryonic = self
+                    // The backlog is a real bounded accept queue: it
+                    // counts every live child the user has not taken
+                    // over yet — embryonic (handshake in flight) and
+                    // established-but-unaccepted alike. The dropped SYN
+                    // is not answered; the peer's retransmitted SYN
+                    // retries admission once the queue has drained.
+                    let pending = self
                         .conns
                         .iter()
-                        .filter(|c| c.parent == Some(lid) && c.core.state.is_syn_received())
+                        .filter(|c| {
+                            c.parent == Some(lid) && c.handler.is_none() && c.core.state != TcpState::Closed
+                        })
                         .count();
-                    if embryonic >= backlog {
+                    if pending >= backlog {
+                        self.stats.syns_dropped += 1;
                         self.trace.trace(|| "SYN dropped: backlog full".into());
                         return;
                     }
@@ -778,15 +822,27 @@ where
     }
 
     /// Removes connections that are fully closed, drained, and whose
-    /// user has seen the end.
+    /// user has seen the end, keeping the demux table in step.
     fn reap(&mut self) {
+        let demux = &mut self.demux;
+        let mut removed = false;
         self.conns.retain(|c| {
             let done = c.core.state == TcpState::Closed
                 && c.core.tcb.to_do.borrow().is_empty()
                 && c.pending_events.is_empty()
                 && (c.finished || c.parent.is_some());
+            if done {
+                removed = true;
+                let flow = c.core.remote.as_ref().map(|(a, p)| (A::hash(a), *p));
+                demux.remove(c.id, c.core.local_port, flow);
+            }
             !done
         });
+        if removed {
+            for (i, c) in self.conns.iter().enumerate() {
+                self.demux.set_index(c.id, i);
+            }
+        }
     }
 }
 
@@ -809,11 +865,22 @@ where
         match pattern {
             TcpPattern::Active { remote, remote_port, local_port } => {
                 let local_port = if local_port == 0 { self.alloc_ephemeral() } else { local_port };
-                let clash = self.conns.iter().any(|c| {
-                    c.core.local_port == local_port
-                        && c.core.remote.as_ref().is_none_or(|(a, p)| A::eq(a, &remote) && *p == remote_port)
-                        && c.core.state != TcpState::Closed
-                });
+                // Same predicate the old scan applied: a live connection
+                // with the exact 4-tuple, or any live listener on the
+                // port (remote-`None` connections are only listeners).
+                let conns = &self.conns;
+                let clash = self
+                    .demux
+                    .lookup_flow(local_port, A::hash(&remote), remote_port, |idx, _id| {
+                        let c = &conns[idx];
+                        c.core.remote.as_ref().is_some_and(|(a, p)| A::eq(a, &remote) && *p == remote_port)
+                            && c.core.state != TcpState::Closed
+                    })
+                    .is_some()
+                    || self
+                        .demux
+                        .lookup_listener(local_port, |idx, _id| conns[idx].core.state != TcpState::Closed)
+                        .is_some();
                 if clash {
                     return Err(ProtoError::AlreadyOpen);
                 }
@@ -836,9 +903,13 @@ where
                 if local_port == 0 {
                     return Err(ProtoError::Invalid("listen port 0"));
                 }
-                let clash = self.conns.iter().any(|c| {
-                    c.core.local_port == local_port && matches!(c.core.state, TcpState::Listen { .. })
-                });
+                let conns = &self.conns;
+                let clash = self
+                    .demux
+                    .lookup_listener(local_port, |idx, _id| {
+                        matches!(conns[idx].core.state, TcpState::Listen { .. })
+                    })
+                    .is_some();
                 if clash {
                     return Err(ProtoError::AlreadyOpen);
                 }
@@ -914,9 +985,16 @@ where
         //    we are attached below.
         let _ = self.ensure_lower_open();
         // 1. Let the clock catch up: due timers enqueue
-        //    Timer_Expiration actions.
+        //    Timer_Expiration actions, in (deadline, arm order) — the
+        //    same total order the scheduler's sleep heap used to give.
         if self.sched.now() < now {
             self.sched.advance_to(now);
+            for fired in self.wheel.advance(now) {
+                let (cid, kind) = fired.payload;
+                if let Some(idx) = self.index_of_id(cid) {
+                    self.conns[idx].core.tcb.to_do.borrow_mut().add(TcpAction::TimerExpiration(kind));
+                }
+            }
         }
         // 2. Pull from below.
         let mut progress = self.lower.step(now);

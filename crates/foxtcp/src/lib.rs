@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod demux;
 pub mod engine;
 pub mod fastpath;
 pub mod receive;
@@ -40,6 +41,7 @@ pub mod tcb;
 pub mod testlink;
 
 pub use action::{LossEvent, TcpAction, TimerKind};
+pub use demux::{Demux, DemuxStats};
 pub use engine::{Tcp, TcpConnId, TcpEvent, TcpPattern, TcpStats};
 pub use tcb::{Tcb, TcpState};
 

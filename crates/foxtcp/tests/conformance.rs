@@ -1,0 +1,851 @@
+//! RFC-793 §3.9 conformance: both TCP implementations, one script.
+//!
+//! Every scenario is a table of [`Step`]s — user calls on the system
+//! under test (SUT) interleaved with raw segments crafted by a scripted
+//! peer — and runs unchanged against the structured stack
+//! ([`foxtcp::Tcp`]) and the monolithic baseline ([`xktcp::XkTcp`]).
+//! The peer is *not* a TCP: it is the test itself, holding the other
+//! end of a [`LinkPair`] and encoding/decoding [`TcpSegment`]s by hand,
+//! so every transition is pinned against the standard's state diagram
+//! rather than against whatever the other implementation happens to do.
+//!
+//! State names are normalized to the RFC's vocabulary (`SYN-RECEIVED`,
+//! `FIN-WAIT-1`, ...) because the two stacks factor the diagram
+//! differently: fox splits SYN-RECEIVED into `SynActive`/`SynPassive`
+//! (the paper's Fig. 6), and a connection that has been reaped reads as
+//! `CLOSED`.
+
+use fox_scheduler::SchedHandle;
+use foxbasis::seq::Seq;
+use foxbasis::time::{VirtualDuration, VirtualTime};
+use foxproto::Protocol;
+use foxtcp::testlink::{LinkPair, TestAux, TestLower};
+use foxtcp::{Tcp, TcpConfig, TcpConnId, TcpEvent, TcpPattern};
+use foxwire::tcp::{TcpFlags, TcpHeader, TcpSegment};
+use simnet::HostHandle;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use xktcp::{SockId, XkConfig, XkEvent, XkTcp};
+
+/// Port the SUT listens on in passive scenarios.
+const SUT_LISTEN_PORT: u16 = 80;
+/// Local port the SUT binds in active scenarios.
+const SUT_ACTIVE_PORT: u16 = 4000;
+/// The scripted peer's port.
+const PEER_PORT: u16 = 9000;
+/// The peer's initial sequence number.
+const PEER_ISS: u32 = 1000;
+
+/// One entry of a scenario table.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// SUT: passive open on [`SUT_LISTEN_PORT`].
+    Listen,
+    /// SUT: active open toward the peer.
+    Connect,
+    /// SUT: graceful close of the data connection.
+    Close,
+    /// Peer → SUT: bare SYN (consumes one peer sequence number).
+    Syn,
+    /// Peer → SUT: SYN+ACK acknowledging everything seen.
+    SynAck,
+    /// Peer → SUT: pure ACK of everything seen.
+    Ack,
+    /// Peer → SUT: FIN+ACK acknowledging everything seen.
+    Fin,
+    /// Peer → SUT: FIN that does *not* acknowledge the SUT's FIN —
+    /// the crossing FIN of a simultaneous close.
+    FinCrossing,
+    /// Peer → SUT: RST (with ACK, so it is acceptable in SYN-SENT too).
+    Rst,
+    /// Assert the data connection's normalized state.
+    Expect(&'static str),
+    /// Assert the listener's normalized state.
+    ExpectListener(&'static str),
+    /// Assert the SUT transmitted a segment matching the pattern
+    /// (consumes received segments up to and including the match).
+    ExpectTx(Pat),
+    /// Advance virtual time by this many milliseconds, stepping the SUT.
+    Wait(u64),
+}
+
+/// What a transmitted segment must look like.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Pat {
+    /// SYN without ACK (active open).
+    Syn,
+    /// SYN+ACK (passive handshake reply).
+    SynAck,
+    /// A data-less ACK acknowledging everything the peer has sent.
+    AckOnly,
+    /// Any segment with FIN set.
+    Fin,
+    /// Any segment with RST set.
+    Rst,
+}
+
+/// The driver interface both stacks are wrapped in. "The connection"
+/// is the single data connection a scenario exercises: the active
+/// client, or the first child a listener spawns.
+trait Sut {
+    fn kind(&self) -> &'static str;
+    fn listen(&mut self);
+    fn connect(&mut self);
+    fn close_conn(&mut self);
+    /// One step at `now`; returns true if progress was made.
+    fn step(&mut self, now: VirtualTime) -> bool;
+    /// Raw (un-normalized) state name of the data connection;
+    /// `"Closed"` once the stack has forgotten it.
+    fn conn_state(&self) -> &'static str;
+    fn listener_state(&self) -> &'static str;
+}
+
+/// Maps both stacks' state vocabularies onto RFC 793's.
+fn normalize(raw: &str) -> &'static str {
+    match raw {
+        "Closed" => "CLOSED",
+        "Listen" => "LISTEN",
+        "SynSent" => "SYN-SENT",
+        // fox factors SYN-RECEIVED by how it was reached (paper Fig. 6);
+        // xk keeps the RFC's single state.
+        "SynActive" | "SynPassive" | "SynReceived" => "SYN-RECEIVED",
+        "Estab" | "Established" => "ESTABLISHED",
+        "FinWait1" => "FIN-WAIT-1",
+        "FinWait2" => "FIN-WAIT-2",
+        "CloseWait" => "CLOSE-WAIT",
+        "Closing" => "CLOSING",
+        "LastAck" => "LAST-ACK",
+        "TimeWait" => "TIME-WAIT",
+        other => panic!("unknown state name {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------- fox
+
+struct FoxSut {
+    tcp: Tcp<TestLower, TestAux>,
+    _sched: SchedHandle,
+    events: Rc<RefCell<Vec<TcpEvent>>>,
+    listener: Option<TcpConnId>,
+    conn: Option<TcpConnId>,
+}
+
+impl FoxSut {
+    fn new(link: &LinkPair) -> FoxSut {
+        let sched = SchedHandle::new();
+        let tcp =
+            Tcp::new(link.endpoint(1), TestAux, (), TcpConfig::default(), sched.clone(), HostHandle::free());
+        FoxSut { tcp, _sched: sched, events: Rc::new(RefCell::new(Vec::new())), listener: None, conn: None }
+    }
+
+    fn recorder(&self) -> foxproto::Handler<TcpEvent> {
+        let ev = self.events.clone();
+        Box::new(move |e| ev.borrow_mut().push(e))
+    }
+}
+
+impl Sut for FoxSut {
+    fn kind(&self) -> &'static str {
+        "fox"
+    }
+
+    fn listen(&mut self) {
+        let h = self.recorder();
+        let id = self.tcp.open(TcpPattern::Passive { local_port: SUT_LISTEN_PORT }, h).unwrap();
+        self.listener = Some(id);
+    }
+
+    fn connect(&mut self) {
+        let h = self.recorder();
+        let id = self
+            .tcp
+            .open(TcpPattern::Active { remote: 0, remote_port: PEER_PORT, local_port: SUT_ACTIVE_PORT }, h)
+            .unwrap();
+        self.conn = Some(id);
+    }
+
+    fn close_conn(&mut self) {
+        let c = self.conn.expect("no connection to close");
+        self.tcp.close(c).unwrap();
+    }
+
+    fn step(&mut self, now: VirtualTime) -> bool {
+        let progress = self.tcp.step(now);
+        if self.conn.is_none() {
+            // Adopt the listener's first child so its state is visible
+            // and its terminal event lets the engine reap it.
+            let child = self.events.borrow().iter().find_map(|e| match e {
+                TcpEvent::NewConnection(c) => Some(*c),
+                _ => None,
+            });
+            if let Some(c) = child {
+                let ev = self.events.clone();
+                self.tcp.set_handler(c, Box::new(move |e| ev.borrow_mut().push(e))).unwrap();
+                self.conn = Some(c);
+            }
+        }
+        progress
+    }
+
+    fn conn_state(&self) -> &'static str {
+        match self.conn {
+            None => "Closed",
+            Some(c) => self.tcp.state_of(c).map_or("Closed", |s| s.name()),
+        }
+    }
+
+    fn listener_state(&self) -> &'static str {
+        match self.listener {
+            None => "Closed",
+            Some(l) => self.tcp.state_of(l).map_or("Closed", |s| s.name()),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- xk
+
+struct XkSut {
+    tcp: XkTcp<TestLower, TestAux>,
+    listener: Option<SockId>,
+    conn: Option<SockId>,
+}
+
+impl XkSut {
+    fn new(link: &LinkPair) -> XkSut {
+        let tcp = XkTcp::new(link.endpoint(1), TestAux, (), XkConfig::default(), HostHandle::free());
+        XkSut { tcp, listener: None, conn: None }
+    }
+}
+
+impl Sut for XkSut {
+    fn kind(&self) -> &'static str {
+        "xk"
+    }
+
+    fn listen(&mut self) {
+        self.listener = Some(self.tcp.listen(SUT_LISTEN_PORT).unwrap());
+    }
+
+    fn connect(&mut self) {
+        self.conn = Some(self.tcp.connect(0, PEER_PORT, SUT_ACTIVE_PORT).unwrap());
+    }
+
+    fn close_conn(&mut self) {
+        let c = self.conn.expect("no connection to close");
+        self.tcp.close(c).unwrap();
+    }
+
+    fn step(&mut self, now: VirtualTime) -> bool {
+        let progress = self.tcp.step(now);
+        if let Some(l) = self.listener {
+            while let Some(e) = self.tcp.poll_event(l) {
+                if let XkEvent::Accepted(c) = e {
+                    self.conn.get_or_insert(c);
+                }
+            }
+        }
+        progress
+    }
+
+    fn conn_state(&self) -> &'static str {
+        match self.conn {
+            None => "Closed",
+            Some(c) => self.tcp.state_of(c).map_or("Closed", |s| s.name()),
+        }
+    }
+
+    fn listener_state(&self) -> &'static str {
+        match self.listener {
+            None => "Closed",
+            Some(l) => self.tcp.state_of(l).map_or("Closed", |s| s.name()),
+        }
+    }
+}
+
+// --------------------------------------------------------- the runner
+
+/// The scripted peer plus the bookkeeping the script needs: its own
+/// next sequence number, the SUT's (observed, not computed), and every
+/// segment the SUT has transmitted.
+struct Harness {
+    sut: Box<dyn Sut>,
+    lower: TestLower,
+    rx: Rc<RefCell<VecDeque<TcpSegment>>>,
+    now: VirtualTime,
+    /// Next sequence number the peer will send.
+    peer_nxt: u32,
+    /// Everything the SUT has sent us, cumulatively acknowledged.
+    sut_nxt: u32,
+    /// Sequence number of the SUT's FIN, once seen.
+    sut_fin_seq: Option<u32>,
+    /// Where peer segments are addressed (learned from SUT traffic).
+    dst_port: u16,
+    /// Transmit log and the assertion cursor into it.
+    got: Vec<TcpSegment>,
+    cursor: usize,
+}
+
+impl Harness {
+    fn new(link: &LinkPair, sut: Box<dyn Sut>) -> Harness {
+        let rx: Rc<RefCell<VecDeque<TcpSegment>>> = Rc::new(RefCell::new(VecDeque::new()));
+        let sink = rx.clone();
+        let mut lower = link.endpoint(0);
+        lower
+            .open(
+                (),
+                Box::new(move |m| {
+                    let seg = TcpSegment::decode_buf(&m.data, None).expect("undecodable segment");
+                    sink.borrow_mut().push_back(seg);
+                }),
+            )
+            .unwrap();
+        Harness {
+            sut,
+            lower,
+            rx,
+            now: VirtualTime::ZERO,
+            peer_nxt: PEER_ISS,
+            sut_nxt: 0,
+            sut_fin_seq: None,
+            dst_port: SUT_LISTEN_PORT,
+            got: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Steps SUT and peer until neither makes progress.
+    fn settle(&mut self) {
+        for _ in 0..256 {
+            let p = self.sut.step(self.now);
+            self.lower.step(self.now);
+            let mut fresh = false;
+            loop {
+                let seg = self.rx.borrow_mut().pop_front();
+                match seg {
+                    Some(seg) => {
+                        fresh = true;
+                        self.note(seg);
+                    }
+                    None => break,
+                }
+            }
+            if !p && !fresh {
+                return;
+            }
+        }
+        panic!("[{}] did not settle", self.sut.kind());
+    }
+
+    /// Records a segment from the SUT; the link is in-order and
+    /// loss-free, so cumulative state just follows the latest segment.
+    fn note(&mut self, seg: TcpSegment) {
+        self.dst_port = seg.header.src_port;
+        self.sut_nxt = seg.header.seq.0.wrapping_add(seg.seq_len());
+        if seg.header.flags.fin {
+            self.sut_fin_seq = Some(seg.header.seq.0.wrapping_add(seg.payload.len() as u32));
+        }
+        self.got.push(seg);
+    }
+
+    /// Peer → SUT.
+    fn send(&mut self, flags: TcpFlags, seq: u32, ack: u32) {
+        let mut h = TcpHeader::new(PEER_PORT, self.dst_port);
+        h.seq = Seq(seq);
+        h.ack = Seq(ack);
+        h.flags = flags;
+        h.window = 4096;
+        let seg = TcpSegment { header: h, payload: foxbasis::buf::PacketBuf::new() };
+        let buf = seg.encode_buf(None).unwrap();
+        self.lower.send(0, 1, buf).unwrap();
+        self.settle();
+    }
+
+    fn run(&mut self, name: &str, steps: &[Step]) {
+        for (i, step) in steps.iter().enumerate() {
+            let ctx = format!("[{} · {name} · step {i}: {step:?}]", self.sut.kind());
+            match *step {
+                Step::Listen => {
+                    self.sut.listen();
+                    self.settle();
+                }
+                Step::Connect => {
+                    self.sut.connect();
+                    self.settle();
+                }
+                Step::Close => {
+                    self.sut.close_conn();
+                    self.settle();
+                }
+                Step::Syn => {
+                    let seq = self.peer_nxt;
+                    self.peer_nxt = self.peer_nxt.wrapping_add(1);
+                    self.send(TcpFlags::SYN, seq, 0);
+                }
+                Step::SynAck => {
+                    let seq = self.peer_nxt;
+                    self.peer_nxt = self.peer_nxt.wrapping_add(1);
+                    let ack = self.sut_nxt;
+                    self.send(TcpFlags::SYN_ACK, seq, ack);
+                }
+                Step::Ack => {
+                    let (seq, ack) = (self.peer_nxt, self.sut_nxt);
+                    self.send(TcpFlags::ACK, seq, ack);
+                }
+                Step::Fin => {
+                    let seq = self.peer_nxt;
+                    self.peer_nxt = self.peer_nxt.wrapping_add(1);
+                    let ack = self.sut_nxt;
+                    self.send(TcpFlags::FIN_ACK, seq, ack);
+                }
+                Step::FinCrossing => {
+                    let seq = self.peer_nxt;
+                    self.peer_nxt = self.peer_nxt.wrapping_add(1);
+                    let ack = self.sut_fin_seq.expect("no SUT FIN to cross");
+                    self.send(TcpFlags::FIN_ACK, seq, ack);
+                }
+                Step::Rst => {
+                    let (seq, ack) = (self.peer_nxt, self.sut_nxt);
+                    self.send(TcpFlags::RST_ACK, seq, ack);
+                }
+                Step::Expect(want) => {
+                    let raw = self.sut.conn_state();
+                    let have = normalize(raw);
+                    assert_eq!(have, want, "{ctx} connection is {raw}");
+                }
+                Step::ExpectListener(want) => {
+                    let raw = self.sut.listener_state();
+                    let have = normalize(raw);
+                    assert_eq!(have, want, "{ctx} listener is {raw}");
+                }
+                Step::ExpectTx(pat) => {
+                    let found = self.got[self.cursor..].iter().position(|seg| {
+                        let f = &seg.header.flags;
+                        match pat {
+                            Pat::Syn => f.syn && !f.ack,
+                            Pat::SynAck => f.syn && f.ack,
+                            Pat::Fin => f.fin,
+                            Pat::Rst => f.rst,
+                            Pat::AckOnly => {
+                                !f.syn
+                                    && !f.fin
+                                    && !f.rst
+                                    && f.ack
+                                    && seg.payload.is_empty()
+                                    && seg.header.ack.0 == self.peer_nxt
+                            }
+                        }
+                    });
+                    match found {
+                        Some(off) => self.cursor += off + 1,
+                        None => panic!(
+                            "{ctx} expected {pat:?}, transmit log since last match: {:?}",
+                            self.got[self.cursor..]
+                                .iter()
+                                .map(|s| format!(
+                                    "seq={} ack={} {}{}{}{}",
+                                    s.header.seq.0,
+                                    s.header.ack.0,
+                                    if s.header.flags.syn { "S" } else { "" },
+                                    if s.header.flags.ack { "A" } else { "" },
+                                    if s.header.flags.fin { "F" } else { "" },
+                                    if s.header.flags.rst { "R" } else { "" },
+                                ))
+                                .collect::<Vec<_>>()
+                        ),
+                    }
+                }
+                Step::Wait(ms) => {
+                    let end = self.now + VirtualDuration::from_millis(ms);
+                    while self.now < end {
+                        self.now = (self.now + VirtualDuration::from_millis(1000)).min(end);
+                        self.settle();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds one stack's driver over a fresh link.
+type SutBuilder = fn(&LinkPair) -> Box<dyn Sut>;
+
+/// Runs one scenario table against both stacks.
+fn conform(name: &str, steps: &[Step]) {
+    let builders: [SutBuilder; 2] = [|l| Box::new(FoxSut::new(l)), |l| Box::new(XkSut::new(l))];
+    for build in builders {
+        let link = LinkPair::new();
+        let sut = build(&link);
+        let mut h = Harness::new(&link, sut);
+        h.run(name, steps);
+    }
+}
+
+// ------------------------------------------------------ the scenarios
+
+use Step::*;
+
+/// RFC 793 §3.9, passive side: LISTEN → SYN-RECEIVED → ESTABLISHED,
+/// then the peer closes first: CLOSE-WAIT → LAST-ACK → CLOSED. The
+/// listener survives its child.
+#[test]
+fn passive_open_then_remote_close() {
+    conform(
+        "passive_open_then_remote_close",
+        &[
+            Listen,
+            ExpectListener("LISTEN"),
+            Syn,
+            Expect("SYN-RECEIVED"),
+            ExpectTx(Pat::SynAck),
+            Ack,
+            Expect("ESTABLISHED"),
+            Fin,
+            ExpectTx(Pat::AckOnly),
+            Expect("CLOSE-WAIT"),
+            Close,
+            ExpectTx(Pat::Fin),
+            Expect("LAST-ACK"),
+            Ack,
+            Expect("CLOSED"),
+            ExpectListener("LISTEN"),
+        ],
+    );
+}
+
+/// The quoted chain of the state diagram: a passively accepted child
+/// closes first and walks LISTEN → SYN-RECEIVED → ESTABLISHED →
+/// FIN-WAIT-1 → FIN-WAIT-2 → TIME-WAIT → CLOSED.
+#[test]
+fn passive_open_then_local_close() {
+    conform(
+        "passive_open_then_local_close",
+        &[
+            Listen,
+            Syn,
+            Expect("SYN-RECEIVED"),
+            ExpectTx(Pat::SynAck),
+            Ack,
+            Expect("ESTABLISHED"),
+            Close,
+            ExpectTx(Pat::Fin),
+            Expect("FIN-WAIT-1"),
+            Ack,
+            Expect("FIN-WAIT-2"),
+            Fin,
+            ExpectTx(Pat::AckOnly),
+            Expect("TIME-WAIT"),
+            Wait(61_000),
+            Expect("CLOSED"),
+        ],
+    );
+}
+
+/// Active side: CLOSED → SYN-SENT → ESTABLISHED, local close through
+/// FIN-WAIT-1 → FIN-WAIT-2 → TIME-WAIT, and the 2MSL expiry.
+#[test]
+fn active_open_then_local_close() {
+    conform(
+        "active_open_then_local_close",
+        &[
+            Connect,
+            ExpectTx(Pat::Syn),
+            Expect("SYN-SENT"),
+            SynAck,
+            ExpectTx(Pat::AckOnly),
+            Expect("ESTABLISHED"),
+            Close,
+            ExpectTx(Pat::Fin),
+            Expect("FIN-WAIT-1"),
+            Ack,
+            Expect("FIN-WAIT-2"),
+            Fin,
+            ExpectTx(Pat::AckOnly),
+            Expect("TIME-WAIT"),
+            Wait(61_000),
+            Expect("CLOSED"),
+        ],
+    );
+}
+
+/// Simultaneous open (RFC 793 p. 32): SYNs cross, both sides pass
+/// through SYN-RECEIVED. The SUT's own SYN is already in flight when
+/// the peer's bare SYN arrives.
+#[test]
+fn simultaneous_open() {
+    conform(
+        "simultaneous_open",
+        &[
+            Connect,
+            ExpectTx(Pat::Syn),
+            Expect("SYN-SENT"),
+            Syn,
+            ExpectTx(Pat::SynAck),
+            Expect("SYN-RECEIVED"),
+            Ack,
+            Expect("ESTABLISHED"),
+        ],
+    );
+}
+
+/// Simultaneous close (RFC 793 p. 39): FINs cross, so the SUT moves
+/// FIN-WAIT-1 → CLOSING → TIME-WAIT instead of through FIN-WAIT-2.
+#[test]
+fn simultaneous_close() {
+    conform(
+        "simultaneous_close",
+        &[
+            Connect,
+            ExpectTx(Pat::Syn),
+            SynAck,
+            Expect("ESTABLISHED"),
+            Close,
+            ExpectTx(Pat::Fin),
+            Expect("FIN-WAIT-1"),
+            FinCrossing,
+            ExpectTx(Pat::AckOnly),
+            Expect("CLOSING"),
+            Ack,
+            Expect("TIME-WAIT"),
+            Wait(61_000),
+            Expect("CLOSED"),
+        ],
+    );
+}
+
+/// A connection request aimed at a port nobody listens on draws a RST
+/// (RFC 793 p. 36, "If the connection does not exist").
+#[test]
+fn syn_to_closed_port_draws_rst() {
+    conform("syn_to_closed_port_draws_rst", &[Syn, ExpectTx(Pat::Rst)]);
+}
+
+/// RST while in SYN-SENT (connection refused) kills the attempt.
+#[test]
+fn rst_in_syn_sent() {
+    conform("rst_in_syn_sent", &[Connect, ExpectTx(Pat::Syn), Expect("SYN-SENT"), Rst, Expect("CLOSED")]);
+}
+
+/// RST while in SYN-RECEIVED returns the passive side to anonymity:
+/// the embryonic child dies, the listener keeps listening.
+#[test]
+fn rst_in_syn_received() {
+    conform(
+        "rst_in_syn_received",
+        &[
+            Listen,
+            Syn,
+            ExpectTx(Pat::SynAck),
+            Expect("SYN-RECEIVED"),
+            Rst,
+            Expect("CLOSED"),
+            ExpectListener("LISTEN"),
+        ],
+    );
+}
+
+/// RST in ESTABLISHED tears the connection down immediately.
+#[test]
+fn rst_in_established() {
+    conform(
+        "rst_in_established",
+        &[Listen, Syn, Ack, Expect("ESTABLISHED"), Rst, Expect("CLOSED"), ExpectListener("LISTEN")],
+    );
+}
+
+/// RST in FIN-WAIT-1 (peer aborts mid-close).
+#[test]
+fn rst_in_fin_wait_1() {
+    conform(
+        "rst_in_fin_wait_1",
+        &[
+            Connect,
+            ExpectTx(Pat::Syn),
+            SynAck,
+            Close,
+            ExpectTx(Pat::Fin),
+            Expect("FIN-WAIT-1"),
+            Rst,
+            Expect("CLOSED"),
+        ],
+    );
+}
+
+/// RST in CLOSE-WAIT (peer aborts after half-closing).
+#[test]
+fn rst_in_close_wait() {
+    conform("rst_in_close_wait", &[Listen, Syn, Ack, Fin, Expect("CLOSE-WAIT"), Rst, Expect("CLOSED")]);
+}
+
+/// A listener ignores stray RSTs (RFC 793 p. 65, LISTEN: "An incoming
+/// RST should be ignored").
+#[test]
+fn rst_in_listen_is_ignored() {
+    conform("rst_in_listen_is_ignored", &[Listen, Rst, ExpectListener("LISTEN")]);
+}
+
+// ------------------------------------------------- SYN-flood recovery
+
+/// A raw peer that floods from many source ports and watches which of
+/// them the listener answers.
+struct FloodPeer {
+    lower: TestLower,
+    rx: Rc<RefCell<VecDeque<TcpSegment>>>,
+}
+
+impl FloodPeer {
+    fn new(link: &LinkPair) -> FloodPeer {
+        let rx: Rc<RefCell<VecDeque<TcpSegment>>> = Rc::new(RefCell::new(VecDeque::new()));
+        let sink = rx.clone();
+        let mut lower = link.endpoint(0);
+        lower
+            .open(
+                (),
+                Box::new(move |m| {
+                    let seg = TcpSegment::decode_buf(&m.data, None).expect("undecodable segment");
+                    sink.borrow_mut().push_back(seg);
+                }),
+            )
+            .unwrap();
+        FloodPeer { lower, rx }
+    }
+
+    fn send(&mut self, src_port: u16, flags: TcpFlags, seq: u32, ack: u32) {
+        let mut h = TcpHeader::new(src_port, SUT_LISTEN_PORT);
+        h.seq = Seq(seq);
+        h.ack = Seq(ack);
+        h.flags = flags;
+        h.window = 4096;
+        let seg = TcpSegment { header: h, payload: foxbasis::buf::PacketBuf::new() };
+        self.lower.send(0, 1, seg.encode_buf(None).unwrap()).unwrap();
+    }
+
+    /// Drains received segments, returning `(dst_port, segment)` pairs.
+    fn drain(&mut self, now: VirtualTime) -> Vec<(u16, TcpSegment)> {
+        self.lower.step(now);
+        let mut out = Vec::new();
+        loop {
+            let seg = self.rx.borrow_mut().pop_front();
+            match seg {
+                Some(s) => out.push((s.header.dst_port, s)),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// Shared script: flood a backlog-2 listener with 5 SYNs, check only 2
+/// are answered, drain the accept queue by finishing those handshakes,
+/// then retry one of the dropped SYNs and see it admitted — the
+/// bounded queue recovers instead of wedging.
+///
+/// `step` drives the stack; `drainq` performs whatever the stack needs
+/// for an established child to leave the accept queue (fox: adopt it
+/// with a handler; xk: nothing, SYN-RECEIVED ends at establishment).
+fn syn_flood_recovers(
+    kind: &str,
+    step: &mut dyn FnMut(VirtualTime) -> bool,
+    drainq: &mut dyn FnMut(),
+    peer: &mut FloodPeer,
+) -> Vec<u16> {
+    let now = VirtualTime::ZERO;
+    let mut settle = |peer: &mut FloodPeer| {
+        let mut seen = Vec::new();
+        for _ in 0..256 {
+            let p = step(now);
+            let fresh = peer.drain(now);
+            if !p && fresh.is_empty() {
+                return seen;
+            }
+            seen.extend(fresh);
+        }
+        panic!("[{kind}] did not settle");
+    };
+
+    // Five clients, one burst. Backlog is 2.
+    for port in [9001u16, 9002, 9003, 9004, 9005] {
+        peer.send(port, TcpFlags::SYN, 1000, 0);
+    }
+    let replies = settle(peer);
+    let answered: Vec<u16> =
+        replies.iter().filter(|(_, s)| s.header.flags.syn && s.header.flags.ack).map(|(p, _)| *p).collect();
+    assert_eq!(answered, vec![9001, 9002], "[{kind}] only the backlog is admitted");
+
+    // Finish the admitted handshakes and take the children off the
+    // accept queue.
+    for (port, seg) in replies.iter().filter(|(_, s)| s.header.flags.syn && s.header.flags.ack) {
+        peer.send(*port, TcpFlags::ACK, 1001, seg.header.seq.0.wrapping_add(1));
+    }
+    settle(peer);
+    drainq();
+    settle(peer);
+
+    // One of the silently dropped clients retransmits its SYN; the
+    // drained queue now has room.
+    peer.send(9004, TcpFlags::SYN, 1000, 0);
+    let replies = settle(peer);
+    assert!(
+        replies.iter().any(|(p, s)| *p == 9004 && s.header.flags.syn && s.header.flags.ack),
+        "[{kind}] retransmitted SYN is admitted after the queue drains"
+    );
+    answered
+}
+
+#[test]
+fn fox_syn_flood_drops_beyond_backlog_and_recovers() {
+    let link = LinkPair::new();
+    let sched = SchedHandle::new();
+    let cfg = TcpConfig { backlog: 2, ..TcpConfig::default() };
+    let tcp: Rc<RefCell<Tcp<TestLower, TestAux>>> = Rc::new(RefCell::new(Tcp::new(
+        link.endpoint(1),
+        TestAux,
+        (),
+        cfg,
+        sched.clone(),
+        HostHandle::free(),
+    )));
+    let events: Rc<RefCell<Vec<TcpEvent>>> = Rc::new(RefCell::new(Vec::new()));
+    let ev = events.clone();
+    tcp.borrow_mut()
+        .open(TcpPattern::Passive { local_port: SUT_LISTEN_PORT }, Box::new(move |e| ev.borrow_mut().push(e)))
+        .unwrap();
+    let mut peer = FloodPeer::new(&link);
+
+    let t = tcp.clone();
+    let mut step = move |now: VirtualTime| t.borrow_mut().step(now);
+    let t = tcp.clone();
+    let mut drainq = move || {
+        // Adopting a child (installing its handler) is fox's accept().
+        let children: Vec<TcpConnId> = events
+            .borrow()
+            .iter()
+            .filter_map(|e| match e {
+                TcpEvent::NewConnection(c) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        for c in children {
+            let _ = t.borrow_mut().set_handler(c, Box::new(|_| {}));
+        }
+    };
+    syn_flood_recovers("fox", &mut step, &mut drainq, &mut peer);
+    assert_eq!(tcp.borrow().stats().syns_dropped, 3, "three of the five SYNs were shed");
+}
+
+#[test]
+fn xk_syn_flood_drops_beyond_backlog_and_recovers() {
+    let link = LinkPair::new();
+    let cfg = XkConfig { backlog: 2, ..XkConfig::default() };
+    let tcp: Rc<RefCell<XkTcp<TestLower, TestAux>>> =
+        Rc::new(RefCell::new(XkTcp::new(link.endpoint(1), TestAux, (), cfg, HostHandle::free())));
+    tcp.borrow_mut().listen(SUT_LISTEN_PORT).unwrap();
+    let mut peer = FloodPeer::new(&link);
+
+    let t = tcp.clone();
+    let mut step = move |now: VirtualTime| t.borrow_mut().step(now);
+    // xk's embryonic count only covers SYN-RECEIVED sockets, so the
+    // completed handshakes already drained the queue.
+    let mut drainq = || {};
+    syn_flood_recovers("xk", &mut step, &mut drainq, &mut peer);
+}

@@ -4,8 +4,8 @@
 
 use crate::report::{f1, f2, Table};
 use crate::stack::StackKind;
-use crate::station::StationStats;
-use crate::workload::{bulk_transfer, ping_pong, BulkResult, PingResult};
+use crate::station::{ScaleCounters, StationStats};
+use crate::workload::{bulk_transfer, many_flows, ping_pong, BulkResult, PingResult};
 use foxbasis::obs::{EventSink, Stamped, DEFAULT_RING_CAPACITY};
 use foxbasis::profile::Account;
 use foxbasis::time::{VirtualDuration, VirtualTime};
@@ -732,6 +732,112 @@ pub fn render_loss_sweep(rows: &[(f64, f64, u64)]) -> Table {
     let mut tab = Table::new("Loss-rate sweep (Fox Net, free CPU)", &["loss", "Mb/s", "retransmits"]);
     for (p, mbps, retx) in rows {
         tab.row(&[format!("{:.0}%", p * 100.0), f2(*mbps), retx.to_string()]);
+    }
+    tab
+}
+
+/// One cell of the scale experiment: one stack at one concurrency level.
+#[derive(Clone, Debug)]
+pub struct ScaleCell {
+    /// Which stack served the flows.
+    pub kind: StackKind,
+    /// Clients attached (half bulk, half ping-pong).
+    pub flows: usize,
+    /// Flows that delivered everything (must equal `flows`).
+    pub completed: usize,
+    /// Aggregate payload throughput across all flows, Mb/s.
+    pub aggregate_mbps: f64,
+    /// Mean per-connection throughput of the bulk flows, Mb/s.
+    pub bulk_mean_mbps: f64,
+    /// Mean application round-trip of the ping flows, ms.
+    pub ping_mean_ms: f64,
+    /// Simulated CPU time the server spent, ms (aggregate host cost).
+    pub server_busy_ms: f64,
+    /// Server timer-wheel and demux operation counts.
+    pub scale: ScaleCounters,
+}
+
+/// The scale experiment: [`many_flows`] at each concurrency in `ns`
+/// (paper setup × N — the regime Table 1 never reaches), fox and
+/// x-kernel back to back on identical segments. Every client downloads
+/// 8 KB (even index) or runs eight 64-byte round trips (odd index).
+/// Both stacks run on the same DECstation C cost model, so the host-cost
+/// column compares implementations, not machines.
+pub fn scale_experiment(ns: &[usize], seed: u64) -> Vec<ScaleCell> {
+    let mut cells = Vec::new();
+    for &kind in &[StackKind::FoxStandard, StackKind::XKernel] {
+        for &n in ns {
+            let net = fresh_net(seed);
+            let r = many_flows(
+                &net,
+                kind,
+                n,
+                8192,
+                8,
+                CostModel::decstation_c,
+                &EventSink::off(),
+                VirtualTime::from_millis(600_000),
+            );
+            let bulk: Vec<f64> = r.per_flow.iter().filter(|f| f.bulk).map(|f| f.mbps()).collect();
+            let ping: Vec<f64> = r
+                .per_flow
+                .iter()
+                .filter(|f| !f.bulk)
+                .map(|f| f.elapsed.as_secs_f64() * 1000.0 / 8.0)
+                .collect();
+            let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+            cells.push(ScaleCell {
+                kind,
+                flows: n,
+                completed: r.completed,
+                aggregate_mbps: r.aggregate_mbps,
+                bulk_mean_mbps: mean(&bulk),
+                ping_mean_ms: mean(&ping),
+                server_busy_ms: r.server_busy.as_secs_f64() * 1000.0,
+                scale: r.server_scale,
+            });
+        }
+    }
+    cells
+}
+
+/// Renders the scale experiment.
+pub fn render_scale(cells: &[ScaleCell]) -> Table {
+    let mut tab = Table::new(
+        "Scale: N concurrent connections through one server (DECstation C cost model)",
+        &[
+            "stack",
+            "N",
+            "done",
+            "agg Mb/s",
+            "bulk Mb/s",
+            "ping ms",
+            "cpu ms",
+            "tmr arms",
+            "tmr fires",
+            "casc",
+            "dmx look",
+            "dmx steps",
+            "steps/look",
+        ],
+    );
+    for c in cells {
+        let per = c.scale.demux_steps as f64 / (c.scale.demux_lookups as f64).max(1.0);
+        tab.row(&[
+            c.kind.name().into(),
+            c.flows.to_string(),
+            format!("{}/{}", c.completed, c.flows),
+            f2(c.aggregate_mbps),
+            f2(c.bulk_mean_mbps),
+            f2(c.ping_mean_ms),
+            f1(c.server_busy_ms),
+            c.scale.timer_arms.to_string(),
+            c.scale.timer_fires.to_string(),
+            c.scale.timer_cascades.to_string(),
+            c.scale.demux_lookups.to_string(),
+            c.scale.demux_steps.to_string(),
+            f2(per),
+        ]);
     }
     tab
 }

@@ -13,7 +13,7 @@
 //! also carries the x-kernel baseline, so the Table 1 comparison holds
 //! everything but the TCP implementation (and its cost model) equal.
 
-use crate::station::{ConnHandle, Station, StationStats};
+use crate::station::{ConnHandle, ScaleCounters, Station, StationStats};
 use fox_scheduler::SchedHandle;
 use foxbasis::obs::{ConnMetrics, EventSink};
 use foxbasis::time::VirtualTime;
@@ -53,8 +53,8 @@ impl StackKind {
     pub fn build(
         self,
         net: &SimNet,
-        id: u8,
-        peer_id: u8,
+        id: u16,
+        peer_id: u16,
         cost: CostModel,
         profiled: bool,
         tcp_cfg: TcpConfig,
@@ -70,8 +70,8 @@ impl StackKind {
     pub fn build_traced(
         self,
         net: &SimNet,
-        id: u8,
-        peer_id: u8,
+        id: u16,
+        peer_id: u16,
         cost: CostModel,
         profiled: bool,
         tcp_cfg: TcpConfig,
@@ -94,7 +94,7 @@ impl StackKind {
     }
 }
 
-fn host_handle(id: u8, cost: CostModel, profiled: bool) -> HostHandle {
+fn host_handle(id: u16, cost: CostModel, profiled: bool) -> HostHandle {
     let name: &'static str = match id {
         1 => "host1",
         2 => "host2",
@@ -103,18 +103,37 @@ fn host_handle(id: u8, cost: CostModel, profiled: bool) -> HostHandle {
     HostHandle::new(Host::new(name, cost, profiled))
 }
 
+/// MAC for a station id. Ids below 256 keep the classic
+/// `02:00:00:00:00:<id>` form; the high byte extends the space so the
+/// scale experiment can attach hundreds of hosts to one segment.
+fn mac_of(id: u16) -> EthAddr {
+    EthAddr([0x02, 0, 0, 0, (id >> 8) as u8, (id & 0xff) as u8])
+}
+
+/// IP for a station id: `10.0.<hi>.<lo>` (same as the old
+/// `10.0.0.<id>` for ids below 256).
+fn ip_of(id: u16) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, (id >> 8) as u8, (id & 0xff) as u8)
+}
+
+/// A /16 host config: like [`IpConfig::isolated`] but wide enough that
+/// the scale experiment's hosts (10.0.1.x and up) stay on-subnet.
+fn ip_config(local: Ipv4Addr) -> IpConfig {
+    IpConfig { local, prefix_len: 16, gateway: None, ttl: 64 }
+}
+
 /// Stations attach ports in build order, so station `id` (1-based) sits
 /// on wire port `id - 1`; stamping events with the port number keeps the
 /// device-side and wire-side views of one frame under the same host id.
-fn stamp(sink: &EventSink, id: u8) -> EventSink {
+fn stamp(sink: &EventSink, id: u16) -> EventSink {
     sink.for_host(u32::from(id.saturating_sub(1)))
 }
 
 /// `Standard_Tcp = Tcp (structure Lower = Ip ...)`.
 pub fn standard_station(
     net: &SimNet,
-    id: u8,
-    peer_id: u8,
+    id: u16,
+    peer_id: u16,
     cost: CostModel,
     profiled: bool,
     tcp_cfg: TcpConfig,
@@ -124,12 +143,12 @@ pub fn standard_station(
     let host = host_handle(id, cost, profiled);
     host.set_obs(stamped.clone());
     let sched = SchedHandle::new();
-    let mac = EthAddr::host(id);
-    let local = Ipv4Addr::new(10, 0, 0, id);
+    let mac = mac_of(id);
+    let local = ip_of(id);
     let mut dev = Dev::new(net.attach(mac), host.clone());
     dev.set_obs(stamped.clone());
     let eth = Eth::new(dev, mac, host.clone());
-    let ip = Ip::new(eth, mac, IpConfig::isolated(local), host.clone());
+    let ip = Ip::new(eth, mac, ip_config(local), host.clone());
     let mtu = ip.mtu();
     let aux = IpAuxImpl::new(local, IpProtocol::Tcp, mtu);
     let mut tcp = Tcp::new(ip, aux, IpProtocol::Tcp, tcp_cfg, sched.clone(), host.clone());
@@ -138,7 +157,7 @@ pub fn standard_station(
         tcp,
         _sched: sched,
         host,
-        peer: Ipv4Addr::new(10, 0, 0, peer_id),
+        peer: ip_of(peer_id),
         kind: "Fox Net",
         bufs: HashMap::new(),
         accepted: Rc::new(RefCell::new(VecDeque::new())),
@@ -150,8 +169,8 @@ pub fn standard_station(
 /// checksums off (the Ethernet FCS carries integrity).
 pub fn special_station(
     net: &SimNet,
-    id: u8,
-    peer_id: u8,
+    id: u16,
+    peer_id: u16,
     cost: CostModel,
     profiled: bool,
     mut tcp_cfg: TcpConfig,
@@ -162,7 +181,7 @@ pub fn special_station(
     let host = host_handle(id, cost, profiled);
     host.set_obs(stamped.clone());
     let sched = SchedHandle::new();
-    let mac = EthAddr::host(id);
+    let mac = mac_of(id);
     let mut dev = Dev::new(net.attach(mac), host.clone());
     dev.set_obs(stamped.clone());
     let eth = SizedPayload::new(Eth::new(dev, mac, host.clone()));
@@ -172,7 +191,7 @@ pub fn special_station(
         tcp,
         _sched: sched,
         host,
-        peer: EthAddr::host(peer_id),
+        peer: mac_of(peer_id),
         kind: "Fox Net (TCP/Eth)",
         bufs: HashMap::new(),
         accepted: Rc::new(RefCell::new(VecDeque::new())),
@@ -182,8 +201,8 @@ pub fn special_station(
 /// The x-kernel baseline over the standard substrate.
 pub fn xk_station(
     net: &SimNet,
-    id: u8,
-    peer_id: u8,
+    id: u16,
+    peer_id: u16,
     cost: CostModel,
     profiled: bool,
     tcp_cfg: &TcpConfig,
@@ -192,12 +211,12 @@ pub fn xk_station(
     let stamped = stamp(&sink, id);
     let host = host_handle(id, cost, profiled);
     host.set_obs(stamped.clone());
-    let mac = EthAddr::host(id);
-    let local = Ipv4Addr::new(10, 0, 0, id);
+    let mac = mac_of(id);
+    let local = ip_of(id);
     let mut dev = Dev::new(net.attach(mac), host.clone());
     dev.set_obs(stamped.clone());
     let eth = Eth::new(dev, mac, host.clone());
-    let ip = Ip::new(eth, mac, IpConfig::isolated(local), host.clone());
+    let ip = Ip::new(eth, mac, ip_config(local), host.clone());
     let mtu = ip.mtu();
     let aux = IpAuxImpl::new(local, IpProtocol::Tcp, mtu);
     let cfg = XkConfig {
@@ -207,13 +226,14 @@ pub fn xk_station(
         delayed_ack_ms: tcp_cfg.delayed_ack_ms,
         time_wait_ms: tcp_cfg.time_wait_ms,
         max_retransmits: tcp_cfg.max_retransmits,
+        backlog: tcp_cfg.backlog,
     };
     let mut tcp = XkTcp::new(ip, aux, IpProtocol::Tcp, cfg, host.clone());
     tcp.set_obs(stamped);
     Box::new(XkStation {
         tcp,
         host,
-        peer: Ipv4Addr::new(10, 0, 0, peer_id),
+        peer: ip_of(peer_id),
         conns: Vec::new(),
         listener: None,
         accepted: VecDeque::new(),
@@ -361,6 +381,19 @@ where
     fn metrics(&self, conn: ConnHandle) -> Option<ConnMetrics> {
         self.tcp.metrics_of(TcpConnId(conn))
     }
+
+    fn scale_counters(&self) -> ScaleCounters {
+        let w = self.tcp.wheel_stats();
+        let d = self.tcp.demux_stats();
+        ScaleCounters {
+            timer_arms: w.arms,
+            timer_cancels: w.cancels,
+            timer_fires: w.fires,
+            timer_cascades: w.cascades,
+            demux_lookups: d.lookups,
+            demux_steps: d.steps,
+        }
+    }
 }
 
 // ----- x-kernel station -----
@@ -498,6 +531,19 @@ where
 
     fn metrics(&self, conn: ConnHandle) -> Option<ConnMetrics> {
         self.tcp.metrics_of(xktcp::SockId(conn))
+    }
+
+    fn scale_counters(&self) -> ScaleCounters {
+        let w = self.tcp.wheel_stats();
+        let s = self.tcp.stats();
+        ScaleCounters {
+            timer_arms: w.arms,
+            timer_cancels: w.cancels,
+            timer_fires: w.fires,
+            timer_cascades: w.cascades,
+            demux_lookups: s.demux_lookups,
+            demux_steps: s.demux_steps,
+        }
     }
 
     fn debug_line(&self) -> String {

@@ -34,6 +34,27 @@ pub struct StationStats {
     pub probe_fires: u64,
 }
 
+/// Timer and demultiplexer operation counts, for the scale experiment.
+/// Both stacks arm timers on the shared hierarchical wheel, so the
+/// timer columns are directly comparable; the demux columns price
+/// foxtcp's keyed table against the baseline's linear session scan
+/// (`steps` = candidates examined across all `lookups`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScaleCounters {
+    /// Timers armed on the wheel.
+    pub timer_arms: u64,
+    /// Timers cancelled before firing.
+    pub timer_cancels: u64,
+    /// Timers that fired.
+    pub timer_fires: u64,
+    /// Entries cascaded between wheel levels.
+    pub timer_cascades: u64,
+    /// Segment-demux lookups performed.
+    pub demux_lookups: u64,
+    /// Connections examined across those lookups.
+    pub demux_steps: u64,
+}
+
 /// One host's TCP endpoint, as the workloads see it.
 pub trait Station {
     /// Begins an active open; the handle becomes established later.
@@ -86,6 +107,11 @@ pub trait Station {
     /// reaped, or for stations that keep no such bookkeeping).
     fn metrics(&self, _conn: ConnHandle) -> Option<foxbasis::obs::ConnMetrics> {
         None
+    }
+
+    /// Timer-wheel and demux operation counts (the scale experiment).
+    fn scale_counters(&self) -> ScaleCounters {
+        ScaleCounters::default()
     }
 
     /// Implementation-specific diagnostic line (for debugging harnesses).

@@ -13,10 +13,14 @@
 //! application level."
 
 use crate::sim::drive;
-use crate::station::{Station, StationStats};
+use crate::stack::StackKind;
+use crate::station::{ConnHandle, ScaleCounters, Station, StationStats};
+use foxbasis::obs::EventSink;
 use foxbasis::profile::Account;
 use foxbasis::time::{VirtualDuration, VirtualTime};
-use simnet::{GcStats, NetStats, SimNet};
+use foxtcp::TcpConfig;
+use simnet::{CostModel, GcStats, NetStats, SimNet};
+use std::collections::HashMap;
 
 /// Result of one bulk-transfer run.
 #[derive(Clone, Debug)]
@@ -136,6 +140,227 @@ pub fn bulk_transfer(
         receiver_profile,
         sender_gc,
         net: net.stats(),
+    }
+}
+
+/// What one flow of a [`many_flows`] run accomplished.
+#[derive(Clone, Debug)]
+pub struct FlowOutcome {
+    /// Bulk download (`true`) or ping-pong (`false`).
+    pub bulk: bool,
+    /// Application payload bytes the client received.
+    pub bytes: u64,
+    /// Request sent → last byte received.
+    pub elapsed: VirtualDuration,
+}
+
+impl FlowOutcome {
+    /// Payload throughput of this flow in Mb/s.
+    pub fn mbps(&self) -> f64 {
+        (self.bytes as f64 * 8.0) / self.elapsed.as_secs_f64().max(1e-9) / 1e6
+    }
+}
+
+/// Result of one [`many_flows`] run.
+#[derive(Clone, Debug)]
+pub struct ManyFlowsResult {
+    /// Flows driven (= clients attached).
+    pub flows: usize,
+    /// Flows that delivered everything they asked for.
+    pub completed: usize,
+    /// Per-flow outcomes, in client order (even indexes bulk, odd ping).
+    pub per_flow: Vec<FlowOutcome>,
+    /// First request sent → last flow complete.
+    pub elapsed: VirtualDuration,
+    /// Application payload bytes moved, all flows.
+    pub total_bytes: u64,
+    /// Aggregate payload throughput in Mb/s.
+    pub aggregate_mbps: f64,
+    /// Simulated CPU time the server host spent (aggregate host cost).
+    pub server_busy: VirtualDuration,
+    /// Server TCP stats.
+    pub server: StationStats,
+    /// Server timer-wheel and demux operation counts.
+    pub server_scale: ScaleCounters,
+    /// Network statistics.
+    pub net: NetStats,
+}
+
+/// The scale workload: `n` clients share one server station on one
+/// segment. Even-indexed clients download `bulk_bytes`; odd-indexed
+/// clients run `ping_rounds` round trips of a 64-byte message. Each
+/// client opens one connection to server port 2000, sends a 9-byte
+/// request header (mode byte + big-endian count), and runs its mode to
+/// completion; the run ends when every flow is done (or at `deadline`).
+///
+/// All stations use the same `cost` model, so fox-vs-xk differences in
+/// `server_busy` and [`ScaleCounters`] are implementation differences,
+/// not machine differences.
+#[allow(clippy::too_many_arguments)] // a workload is its parameter list
+pub fn many_flows(
+    net: &SimNet,
+    kind: StackKind,
+    n: usize,
+    bulk_bytes: usize,
+    ping_rounds: usize,
+    cost: fn() -> CostModel,
+    sink: &EventSink,
+    deadline: VirtualTime,
+) -> ManyFlowsResult {
+    const PING_LEN: usize = 64;
+    // A server expecting n simultaneous openers provisions its accept
+    // queue for them; the SYN-flood path is exercised separately.
+    let base = TcpConfig::default();
+    let cfg = TcpConfig { backlog: base.backlog.max(n), ..base };
+
+    let mut all: Vec<Box<dyn Station>> = Vec::with_capacity(n + 1);
+    all.push(kind.build_traced(net, 1, 2, cost(), false, cfg.clone(), sink.clone()));
+    for i in 0..n {
+        let id = u16::try_from(i + 2).expect("station id fits u16");
+        all.push(kind.build_traced(net, id, 1, cost(), false, cfg.clone(), sink.clone()));
+    }
+    all[0].listen(2000);
+    let handles: Vec<ConnHandle> = all[1..].iter_mut().map(|c| c.connect(2000)).collect();
+
+    // Server-side per-connection application state.
+    #[derive(Default)]
+    struct Srv {
+        got_header: bool,
+        mode_bulk: bool,
+        head: Vec<u8>,
+        bulk_left: u64,
+        echo_pending: usize,
+    }
+    let mut srv_conns: Vec<ConnHandle> = Vec::new();
+    let mut srv_state: HashMap<ConnHandle, Srv> = HashMap::new();
+    let chunk: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+    let ping = [0x42u8; PING_LEN];
+
+    // Client-side progress.
+    let is_bulk = |i: usize| i.is_multiple_of(2);
+    let want = |i: usize| -> u64 {
+        if is_bulk(i) {
+            bulk_bytes as u64
+        } else {
+            (ping_rounds * PING_LEN) as u64
+        }
+    };
+    let mut t0: Vec<Option<VirtualTime>> = vec![None; n];
+    let mut t1: Vec<Option<VirtualTime>> = vec![None; n];
+    let mut got: Vec<u64> = vec![0; n];
+    let mut rounds_sent: Vec<usize> = vec![0; n];
+
+    let mut refs: Vec<&mut Box<dyn Station>> = all.iter_mut().collect();
+    drive(
+        net,
+        &mut refs,
+        |st| {
+            // Server application: accept, parse requests, pump/echo.
+            while let Some(c) = st[0].accept() {
+                srv_conns.push(c);
+                srv_state.insert(c, Srv::default());
+            }
+            for &c in &srv_conns {
+                let fresh = st[0].recv(c);
+                let s = srv_state.get_mut(&c).expect("accepted conn has state");
+                if !s.got_header {
+                    s.head.extend_from_slice(&fresh);
+                    if s.head.len() >= 9 {
+                        s.got_header = true;
+                        s.mode_bulk = s.head[0] == 0;
+                        let count = u64::from_be_bytes(s.head[1..9].try_into().expect("8-byte count"));
+                        if s.mode_bulk {
+                            s.bulk_left = count;
+                        } else {
+                            s.echo_pending = s.head.len() - 9;
+                        }
+                    }
+                } else if !s.mode_bulk {
+                    s.echo_pending += fresh.len();
+                }
+                if s.got_header {
+                    if s.mode_bulk {
+                        if s.bulk_left > 0 {
+                            let len = chunk.len().min(s.bulk_left as usize);
+                            s.bulk_left -= st[0].send(c, &chunk[..len]) as u64;
+                        }
+                    } else if s.echo_pending > 0 {
+                        let len = s.echo_pending.min(chunk.len());
+                        s.echo_pending -= st[0].send(c, &vec![0x42u8; len]);
+                    }
+                }
+            }
+            // Client applications.
+            let mut all_done = true;
+            for i in 0..n {
+                let h = handles[i];
+                let stn = &mut *st[1 + i];
+                if t0[i].is_none() {
+                    if stn.established(h) {
+                        let mut req = [0u8; 9];
+                        req[0] = u8::from(!is_bulk(i));
+                        let count = if is_bulk(i) { bulk_bytes as u64 } else { ping_rounds as u64 };
+                        req[1..].copy_from_slice(&count.to_be_bytes());
+                        assert_eq!(stn.send(h, &req), 9, "request fits an empty window");
+                        t0[i] = Some(net.now());
+                        if !is_bulk(i) && ping_rounds > 0 {
+                            assert_eq!(stn.send(h, &ping), PING_LEN);
+                            rounds_sent[i] = 1;
+                        }
+                    }
+                    all_done = false;
+                    continue;
+                }
+                got[i] += stn.recv(h).len() as u64;
+                if !is_bulk(i) {
+                    // Next round once the previous echo fully returned.
+                    while rounds_sent[i] < ping_rounds && got[i] >= (rounds_sent[i] * PING_LEN) as u64 {
+                        assert_eq!(stn.send(h, &ping), PING_LEN, "one ping in flight fits");
+                        rounds_sent[i] += 1;
+                    }
+                }
+                if got[i] >= want(i) {
+                    if t1[i].is_none() {
+                        t1[i] = Some(net.now());
+                    }
+                } else {
+                    all_done = false;
+                }
+            }
+            all_done
+        },
+        VirtualDuration::from_millis(1),
+        deadline,
+    );
+
+    let per_flow: Vec<FlowOutcome> = (0..n)
+        .map(|i| FlowOutcome {
+            bulk: is_bulk(i),
+            bytes: got[i].min(want(i)),
+            elapsed: match (t0[i], t1[i]) {
+                (Some(a), Some(b)) => b.saturating_since(a),
+                (Some(a), None) => net.now().saturating_since(a),
+                _ => VirtualDuration::ZERO,
+            },
+        })
+        .collect();
+    let completed = (0..n).filter(|&i| got[i] >= want(i)).count();
+    let start = t0.iter().flatten().min().copied().unwrap_or(net.now());
+    let end =
+        if completed == n { t1.iter().flatten().max().copied().unwrap_or(net.now()) } else { net.now() };
+    let elapsed = end.saturating_since(start);
+    let total_bytes: u64 = per_flow.iter().map(|f| f.bytes).sum();
+    ManyFlowsResult {
+        flows: n,
+        completed,
+        elapsed,
+        total_bytes,
+        aggregate_mbps: (total_bytes as f64 * 8.0) / elapsed.as_secs_f64().max(1e-9) / 1e6,
+        server_busy: all[0].host().with(|h| h.total_busy()),
+        server: all[0].stats(),
+        server_scale: all[0].scale_counters(),
+        net: net.stats(),
+        per_flow,
     }
 }
 
@@ -259,6 +484,52 @@ mod tests {
         let r = bulk_transfer(&net, &mut sender, &mut receiver, 100_000, VirtualTime::from_millis(600_000));
         assert_eq!(r.bytes, 100_000);
         assert_eq!(r.sender.checksum_failures, 0);
+    }
+
+    #[test]
+    fn many_flows_fox_full_delivery() {
+        let net = SimNet::ethernet_10mbps(99);
+        let r = many_flows(
+            &net,
+            StackKind::FoxStandard,
+            8,
+            16_384,
+            8,
+            CostModel::modern,
+            &foxbasis::obs::EventSink::off(),
+            VirtualTime::from_millis(600_000),
+        );
+        assert_eq!(r.completed, 8, "all flows finish: {:?}", r.per_flow);
+        assert_eq!(r.total_bytes, 4 * 16_384 + 4 * 8 * 64);
+        assert!(r.server_scale.demux_lookups > 0, "keyed demux was exercised");
+        assert!(r.server_scale.timer_arms > 0, "wheel was exercised");
+        // The keyed table examines ~1 candidate per lookup however many
+        // connections are open.
+        assert!(
+            r.server_scale.demux_steps <= 2 * r.server_scale.demux_lookups,
+            "steps {} for {} lookups",
+            r.server_scale.demux_steps,
+            r.server_scale.demux_lookups
+        );
+    }
+
+    #[test]
+    fn many_flows_xk_full_delivery() {
+        let net = SimNet::ethernet_10mbps(99);
+        let r = many_flows(
+            &net,
+            StackKind::XKernel,
+            8,
+            16_384,
+            8,
+            CostModel::modern,
+            &foxbasis::obs::EventSink::off(),
+            VirtualTime::from_millis(600_000),
+        );
+        assert_eq!(r.completed, 8, "all flows finish");
+        assert!(r.server_scale.demux_lookups > 0);
+        // The baseline's linear scan walks the socket table.
+        assert!(r.server_scale.demux_steps > r.server_scale.demux_lookups);
     }
 
     #[test]

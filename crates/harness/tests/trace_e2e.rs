@@ -4,10 +4,12 @@
 //! difference), and a schema check that the chrome://tracing export of
 //! a loss-matrix cell is well-formed JSON of the expected shape.
 
-use foxbasis::obs::{first_divergence, to_chrome_trace, to_jsonl, Event};
+use foxbasis::obs::{first_divergence, to_chrome_trace, to_jsonl, Event, EventSink, Stamped};
+use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxharness::experiments as exp;
 use foxharness::stack::StackKind;
-use simnet::CostModel;
+use foxharness::workload::{many_flows, ManyFlowsResult};
+use simnet::{CostModel, FaultConfig, NetConfig, SimNet};
 
 #[test]
 fn same_seed_table1_runs_diff_to_zero() {
@@ -49,6 +51,40 @@ fn xkernel_stack_is_traced_too() {
     assert!(has(&|e| matches!(e, Event::StateTransition { to: "Estab", .. })));
     assert!(has(&|e| matches!(e, Event::SegTx { .. })));
     assert!(has(&|e| matches!(e, Event::SegRx { .. })));
+}
+
+/// The scale workload is as replayable as the two-host ones: 64
+/// concurrent connections through one server on a bursty
+/// (Gilbert–Elliott) segment, run twice with the same seed, must
+/// produce byte-identical event streams — the demux table and the
+/// shared timer wheel introduce no iteration-order or timing
+/// nondeterminism even while losses force retransmission.
+#[test]
+fn same_seed_many_flows_under_burst_loss_diff_to_zero() {
+    fn run(kind: StackKind, seed: u64) -> (ManyFlowsResult, Vec<Stamped>) {
+        let cfg = NetConfig {
+            // Mean burst of ~3 frames, entered ~2% of frames, dropping
+            // 70% while bad: enough to force recovery on many flows.
+            faults: FaultConfig::bursty(0.02, 0.3, 0.7),
+            ..NetConfig::default()
+        };
+        let net = SimNet::new(cfg, seed);
+        let sink = EventSink::recording(1 << 18);
+        let deadline = VirtualTime::ZERO + VirtualDuration::from_millis(600_000);
+        let r = many_flows(&net, kind, 64, 4096, 4, CostModel::modern, &sink, deadline);
+        (r, sink.events())
+    }
+    for kind in [StackKind::FoxStandard, StackKind::XKernel] {
+        let (r1, e1) = run(kind, 11);
+        let (r2, e2) = run(kind, 11);
+        assert_eq!(r1.completed, 64, "{kind:?}: all flows finish despite the bursts");
+        assert_eq!(r1.completed, r2.completed);
+        assert!(r1.net.frames_dropped_fault > 0, "{kind:?}: the fault chain actually fired");
+        assert!(!e1.is_empty());
+        let d = first_divergence(&e1, &e2);
+        assert!(d.is_none(), "{kind:?}: same-seed replay diverged at {d:?}");
+        assert_eq!(to_jsonl(&e1), to_jsonl(&e2));
+    }
 }
 
 #[test]

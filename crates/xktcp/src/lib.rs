@@ -31,6 +31,7 @@ use foxbasis::obs::{ConnMetrics, Event, EventSink};
 use foxbasis::ring::RingBuffer;
 use foxbasis::seq::Seq;
 use foxbasis::time::{VirtualDuration, VirtualTime};
+use foxbasis::wheel::{TimerWheel, WheelStats};
 use foxproto::aux::IpAux;
 use foxproto::{ProtoError, Protocol};
 use foxwire::tcp::{TcpFlags, TcpHeader, TcpOption, TcpSegment};
@@ -97,6 +98,10 @@ pub struct XkConfig {
     pub time_wait_ms: u64,
     /// Give up after this many retransmissions.
     pub max_retransmits: u32,
+    /// Bound on embryonic (SYN-RECEIVED) children per listener; SYNs
+    /// beyond it are dropped and admitted on retransmission once the
+    /// queue drains.
+    pub backlog: usize,
 }
 
 impl Default for XkConfig {
@@ -108,6 +113,7 @@ impl Default for XkConfig {
             delayed_ack_ms: Some(200),
             time_wait_ms: 60_000,
             max_retransmits: 12,
+            backlog: 8,
         }
     }
 }
@@ -151,6 +157,33 @@ pub struct XkStats {
     pub buf_copies: u64,
     /// Bytes moved by those copies.
     pub buf_copy_bytes: u64,
+    /// Demultiplexing scans over the socket table (one per arriving
+    /// segment, plus one for the listener pass when the exact scan
+    /// misses). The baseline keeps the x-kernel's linear session list.
+    pub demux_lookups: u64,
+    /// Sockets examined across those scans — grows O(N) per segment
+    /// with N open connections, which is the scaling cost the keyed
+    /// table in `foxtcp::demux` removes.
+    pub demux_steps: u64,
+}
+
+/// Timer kinds, in the order the old per-step poll checked them —
+/// timer dispatch sorts by this rank to keep traces identical.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum XkTimerKind {
+    DelayedAck = 0,
+    TimeWait = 1,
+    Resend = 2,
+    Persist = 3,
+}
+
+/// One socket timer: the deadline (still consulted by `is_none` checks
+/// and diagnostics, exactly like the old plain fields) plus its entry on
+/// the shared wheel.
+#[derive(Default)]
+struct TimerSlot {
+    at: Option<VirtualTime>,
+    tid: Option<foxbasis::wheel::TimerId>,
 }
 
 struct Socket<P> {
@@ -177,17 +210,15 @@ struct Socket<P> {
     // BSD-style single retransmit deadline + counters.
     rto: VirtualDuration,
     backoff: u32,
-    retransmit_at: Option<VirtualTime>,
     retransmits_left: u32,
     srtt: Option<VirtualDuration>,
     rttvar: VirtualDuration,
     timing: Option<(Seq, VirtualTime)>,
 
-    ack_deadline: Option<VirtualTime>,
     ack_owed: bool,
-    time_wait_at: Option<VirtualTime>,
-    /// Zero-window probe deadline (BSD's persist timer).
-    probe_at: Option<VirtualTime>,
+    /// Retransmit / delayed-ACK / TIME-WAIT / persist deadlines, each
+    /// mirrored on the stack's shared timer wheel.
+    timers: [TimerSlot; 4],
 
     events: VecDeque<XkEvent>,
 }
@@ -199,6 +230,27 @@ impl<P> Socket<P> {
 
     fn push_event(&mut self, e: XkEvent) {
         self.events.push_back(e);
+    }
+
+    fn deadline(&self, kind: XkTimerKind) -> Option<VirtualTime> {
+        self.timers[kind as usize].at
+    }
+
+    fn set_timer(&mut self, wheel: &mut TimerWheel<(u32, XkTimerKind)>, kind: XkTimerKind, at: VirtualTime) {
+        let slot = &mut self.timers[kind as usize];
+        if let Some(tid) = slot.tid.take() {
+            wheel.cancel(tid);
+        }
+        slot.at = Some(at);
+        slot.tid = Some(wheel.arm(at, (self.id, kind)));
+    }
+
+    fn clear_timer(&mut self, wheel: &mut TimerWheel<(u32, XkTimerKind)>, kind: XkTimerKind) {
+        let slot = &mut self.timers[kind as usize];
+        slot.at = None;
+        if let Some(tid) = slot.tid.take() {
+            wheel.cancel(tid);
+        }
     }
 }
 
@@ -221,6 +273,9 @@ where
     stats: XkStats,
     now: VirtualTime,
     obs: EventSink,
+    /// All socket timers, one shared wheel: payload is
+    /// (socket id, timer kind).
+    wheel: TimerWheel<(u32, XkTimerKind)>,
 }
 
 impl<L, A> XkTcp<L, A>
@@ -244,12 +299,19 @@ where
             stats: XkStats::default(),
             now: VirtualTime::ZERO,
             obs: EventSink::off(),
+            wheel: TimerWheel::new(VirtualTime::ZERO),
         }
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> XkStats {
         self.stats
+    }
+
+    /// Timer-wheel operation counters (the `tables -- scale` experiment
+    /// reports these alongside demux counters).
+    pub fn wheel_stats(&self) -> WheelStats {
+        self.wheel.stats()
     }
 
     /// Installs an event sink; segments, timers, and state transitions
@@ -337,15 +399,12 @@ where
             fin_seq: None,
             rto: VirtualDuration::from_millis(1000),
             backoff: 0,
-            retransmit_at: None,
             retransmits_left: self.cfg.max_retransmits,
             srtt: None,
             rttvar: VirtualDuration::ZERO,
             timing: None,
-            ack_deadline: None,
             ack_owed: false,
-            time_wait_at: None,
-            probe_at: None,
+            timers: Default::default(),
             events: VecDeque::new(),
         });
         id
@@ -416,8 +475,9 @@ where
         if n > 0 {
             // Window opened: let the peer know if it was pinched.
             self.socks[i].ack_owed = true;
-            if self.socks[i].ack_deadline.is_none() {
-                self.socks[i].ack_deadline = Some(self.now);
+            if self.socks[i].deadline(XkTimerKind::DelayedAck).is_none() {
+                let at = self.now;
+                self.socks[i].set_timer(&mut self.wheel, XkTimerKind::DelayedAck, at);
             }
         }
         Ok(n)
@@ -479,7 +539,7 @@ where
                 s.snd_wnd,
                 s.flight(),
                 s.send_buf.len(),
-                s.retransmit_at,
+                s.deadline(XkTimerKind::Resend),
                 s.backoff,
                 s.retransmits_left
             )
@@ -582,7 +642,7 @@ where
         let seq = self.socks[i].snd_nxt;
         let h = self.header_for(i, TcpFlags::ACK, seq);
         self.socks[i].ack_owed = false;
-        self.socks[i].ack_deadline = None;
+        self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::DelayedAck);
         self.transmit(i, TcpSegment { header: h, payload: PacketBuf::new() });
     }
 
@@ -612,11 +672,9 @@ where
                     // Zero window with data pending: arm the persist
                     // timer so a lost window update cannot wedge us.
                     let stalled = unsent > 0 && s.snd_wnd == 0 && s.flight() == 0;
-                    if stalled {
-                        let s = &mut self.socks[i];
-                        if s.probe_at.is_none() {
-                            s.probe_at = Some(self.now + s.rto);
-                        }
+                    if stalled && self.socks[i].deadline(XkTimerKind::Persist).is_none() {
+                        let at = self.now + self.socks[i].rto;
+                        self.socks[i].set_timer(&mut self.wheel, XkTimerKind::Persist, at);
                     }
                     return;
                 }
@@ -647,7 +705,7 @@ where
             let h = self.header_for(i, flags, seq);
             self.arm_retransmit(i);
             self.socks[i].ack_owed = false;
-            self.socks[i].ack_deadline = None;
+            self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::DelayedAck);
             self.transmit(i, TcpSegment { header: h, payload });
             if fin_now {
                 return;
@@ -656,52 +714,83 @@ where
     }
 
     fn arm_retransmit(&mut self, i: usize) {
-        let s = &mut self.socks[i];
-        if s.retransmit_at.is_none() {
-            let t = s.rto.saturating_mul(1 << s.backoff.min(6));
-            s.retransmit_at = Some(self.now + t);
+        if self.socks[i].deadline(XkTimerKind::Resend).is_none() {
+            let s = &self.socks[i];
+            let at = self.now + s.rto.saturating_mul(1 << s.backoff.min(6));
+            self.socks[i].set_timer(&mut self.wheel, XkTimerKind::Resend, at);
         }
     }
 
     // ----- timers -----
 
+    /// Fires due deadlines from the shared wheel. Dispatch order
+    /// replicates the per-step poll this replaces exactly: sockets in
+    /// table order, and within one socket delayed ACK, then TIME-WAIT,
+    /// then retransmission, then persist.
     fn run_timers(&mut self) -> bool {
+        let fired = self.wheel.advance(self.now);
+        if fired.is_empty() {
+            return false;
+        }
+        let mut due: Vec<(usize, XkTimerKind, foxbasis::wheel::TimerId)> = fired
+            .iter()
+            .filter_map(|f| {
+                let (sid, kind) = f.payload;
+                self.socks.iter().position(|s| s.id == sid).map(|i| (i, kind, f.id))
+            })
+            .collect();
+        due.sort_by_key(|&(i, kind, _)| (i, kind as u32));
         let mut progress = false;
-        for i in 0..self.socks.len() {
-            // Delayed ACK flush.
-            if self.socks[i].ack_deadline.is_some_and(|t| t <= self.now) && self.socks[i].ack_owed {
-                progress = true;
-                let conn = self.socks[i].id;
-                self.obs.emit(self.now, conn, || Event::TimerFire { timer: "DelayedAck" });
-                self.send_ack(i);
+        for (i, kind, tid) in due {
+            if self.socks[i].timers[kind as usize].tid != Some(tid) {
+                continue; // superseded since the wheel drained
             }
-            // TIME-WAIT expiry.
-            if self.socks[i].time_wait_at.is_some_and(|t| t <= self.now)
-                && self.socks[i].state == XkState::TimeWait
-            {
-                progress = true;
-                let conn = self.socks[i].id;
-                self.obs.emit(self.now, conn, || Event::TimerFire { timer: "TimeWait" });
-                self.socks[i].state = XkState::Closed;
-                self.socks[i].time_wait_at = None;
-                self.socks[i].push_event(XkEvent::Closed);
-                self.note_transition(i, XkState::TimeWait);
-            }
-            // Retransmission.
-            if self.socks[i].retransmit_at.is_some_and(|t| t <= self.now) {
-                progress = true;
-                let conn = self.socks[i].id;
-                self.obs.emit(self.now, conn, || Event::TimerFire { timer: "Resend" });
-                let before = self.socks[i].state;
-                self.retransmit(i);
-                self.note_transition(i, before);
-            }
-            // Zero-window probe.
-            if self.socks[i].probe_at.is_some_and(|t| t <= self.now) {
-                progress = true;
-                let conn = self.socks[i].id;
-                self.obs.emit(self.now, conn, || Event::TimerFire { timer: "Persist" });
-                self.window_probe(i);
+            match kind {
+                // Delayed ACK flush.
+                XkTimerKind::DelayedAck => {
+                    if self.socks[i].ack_owed {
+                        progress = true;
+                        let conn = self.socks[i].id;
+                        self.obs.emit(self.now, conn, || Event::TimerFire { timer: "DelayedAck" });
+                        self.send_ack(i);
+                    } else {
+                        // The poll would re-check next step: keep the
+                        // deadline pending until the ACK is owed.
+                        let at = self.socks[i].deadline(XkTimerKind::DelayedAck).unwrap_or(self.now);
+                        self.socks[i].set_timer(&mut self.wheel, XkTimerKind::DelayedAck, at);
+                    }
+                }
+                // TIME-WAIT expiry.
+                XkTimerKind::TimeWait => {
+                    if self.socks[i].state == XkState::TimeWait {
+                        progress = true;
+                        let conn = self.socks[i].id;
+                        self.obs.emit(self.now, conn, || Event::TimerFire { timer: "TimeWait" });
+                        self.socks[i].state = XkState::Closed;
+                        self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::TimeWait);
+                        self.socks[i].push_event(XkEvent::Closed);
+                        self.note_transition(i, XkState::TimeWait);
+                    } else {
+                        // Left TIME-WAIT some other way; re-entry re-arms.
+                        self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::TimeWait);
+                    }
+                }
+                // Retransmission.
+                XkTimerKind::Resend => {
+                    progress = true;
+                    let conn = self.socks[i].id;
+                    self.obs.emit(self.now, conn, || Event::TimerFire { timer: "Resend" });
+                    let before = self.socks[i].state;
+                    self.retransmit(i);
+                    self.note_transition(i, before);
+                }
+                // Zero-window probe.
+                XkTimerKind::Persist => {
+                    progress = true;
+                    let conn = self.socks[i].id;
+                    self.obs.emit(self.now, conn, || Event::TimerFire { timer: "Persist" });
+                    self.window_probe(i);
+                }
             }
         }
         progress
@@ -710,9 +799,9 @@ where
     /// Persist: send one byte beyond the window to solicit a window
     /// update, and re-arm with backoff.
     fn window_probe(&mut self, i: usize) {
+        self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::Persist);
         let (send_probe, seq) = {
-            let s = &mut self.socks[i];
-            s.probe_at = None;
+            let s = &self.socks[i];
             let unsent = (s.send_buf.len() as u32).saturating_sub(s.flight());
             if s.snd_wnd > 0 || unsent == 0 {
                 (false, Seq(0))
@@ -737,8 +826,11 @@ where
             }
             s.snd_nxt = seq + 1;
             s.backoff = (s.backoff + 1).min(6);
-            let b = s.backoff;
-            s.probe_at = Some(self.now + s.rto.saturating_mul(1 << b));
+        }
+        {
+            let s = &self.socks[i];
+            let at = self.now + s.rto.saturating_mul(1 << s.backoff);
+            self.socks[i].set_timer(&mut self.wheel, XkTimerKind::Persist, at);
         }
         {
             let conn = self.socks[i].id;
@@ -751,9 +843,9 @@ where
     }
 
     fn retransmit(&mut self, i: usize) {
+        self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::Resend);
         {
             let s = &mut self.socks[i];
-            s.retransmit_at = None;
             let has_unacked = s.flight() > 0;
             if !has_unacked {
                 return;
@@ -857,21 +949,42 @@ where
         self.stats.segments_received += 1;
         let h = seg.header.clone();
 
-        // Demux.
+        // Demux: the x-kernel's linear session scan, instrumented so the
+        // scale experiment can price it against foxtcp's keyed table.
+        self.stats.demux_lookups += 1;
+        let mut steps = 0u64;
         let exact = self.socks.iter().position(|s| {
+            steps += 1;
             s.local_port == h.dst_port
                 && s.remote.as_ref().is_some_and(|(a, p)| A::eq(a, &src) && *p == h.src_port)
                 && s.state != XkState::Closed
         });
+        self.stats.demux_steps += steps;
         let i = match exact {
             Some(i) => i,
             None => {
-                let listener =
-                    self.socks.iter().position(|s| s.local_port == h.dst_port && s.state == XkState::Listen);
+                self.stats.demux_lookups += 1;
+                let mut steps = 0u64;
+                let listener = self.socks.iter().position(|s| {
+                    steps += 1;
+                    s.local_port == h.dst_port && s.state == XkState::Listen
+                });
+                self.stats.demux_steps += steps;
                 match listener {
                     Some(li) if h.flags.syn && !h.flags.ack && !h.flags.rst => {
-                        // Spawn a child in SYN-RECEIVED.
+                        // Spawn a child in SYN-RECEIVED — unless the
+                        // listener's embryonic queue is full, in which
+                        // case the SYN is silently dropped and the
+                        // peer's retransmission retries admission.
                         let lid = self.socks[li].id;
+                        let embryonic = self
+                            .socks
+                            .iter()
+                            .filter(|s| s.parent == Some(lid) && s.state == XkState::SynReceived)
+                            .count();
+                        if embryonic >= self.cfg.backlog {
+                            return;
+                        }
                         let port = self.socks[li].local_port;
                         let child = self.new_socket(port, Some((src.clone(), h.src_port)));
                         let ci = self.idx(SockId(child)).expect("child");
@@ -964,9 +1077,9 @@ where
                     s.snd_wl1 = h.seq;
                     s.snd_wl2 = h.ack;
                     s.state = XkState::Established;
-                    s.retransmit_at = None;
                     s.backoff = 0;
                     s.push_event(XkEvent::Connected);
+                    self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::Resend);
                     self.send_ack(i);
                     self.output(i);
                 } else {
@@ -1022,9 +1135,9 @@ where
                 s.snd_wl1 = h.seq;
                 s.snd_wl2 = h.ack;
                 s.state = XkState::Established;
-                s.retransmit_at = None;
                 s.backoff = 0;
                 s.push_event(XkEvent::Connected);
+                self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::Resend);
             } else {
                 let rst = reset_for(self.socks[i].local_port, &seg);
                 self.transmit(i, rst);
@@ -1063,11 +1176,15 @@ where
                     s.timing = None;
                 }
             }
-            s.retransmit_at = if s.flight() > 0 {
+            let rearm = if s.flight() > 0 {
                 Some(self.now + s.rto.saturating_mul(1 << s.backoff.min(6)))
             } else {
                 None
             };
+            match rearm {
+                Some(at) => self.socks[i].set_timer(&mut self.wheel, XkTimerKind::Resend, at),
+                None => self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::Resend),
+            }
         }
         // Window update.
         {
@@ -1077,7 +1194,7 @@ where
                 s.snd_wl1 = h.seq;
                 s.snd_wl2 = h.ack;
                 if s.snd_wnd > 0 {
-                    s.probe_at = None;
+                    self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::Persist);
                 }
             }
         }
@@ -1087,8 +1204,8 @@ where
             XkState::FinWait1 if fin_acked => self.socks[i].state = XkState::FinWait2,
             XkState::Closing if fin_acked => {
                 self.socks[i].state = XkState::TimeWait;
-                self.socks[i].time_wait_at =
-                    Some(self.now + VirtualDuration::from_millis(self.cfg.time_wait_ms));
+                let at = self.now + VirtualDuration::from_millis(self.cfg.time_wait_ms);
+                self.socks[i].set_timer(&mut self.wheel, XkTimerKind::TimeWait, at);
             }
             XkState::LastAck if fin_acked => {
                 self.socks[i].state = XkState::Closed;
@@ -1109,12 +1226,14 @@ where
                 s.rcv_nxt += took as u32;
                 self.stats.bytes_received += took as u64;
                 s.ack_owed = true;
-                if s.ack_deadline.is_none() {
-                    let delay = self.cfg.delayed_ack_ms.unwrap_or(0);
-                    s.ack_deadline = Some(self.now + VirtualDuration::from_millis(delay));
-                }
                 // Ack every second full segment immediately (BSD).
-                if seg.payload.len() as u32 >= s.mss {
+                let full_segment = seg.payload.len() as u32 >= s.mss;
+                if s.deadline(XkTimerKind::DelayedAck).is_none() {
+                    let delay = self.cfg.delayed_ack_ms.unwrap_or(0);
+                    let at = self.now + VirtualDuration::from_millis(delay);
+                    self.socks[i].set_timer(&mut self.wheel, XkTimerKind::DelayedAck, at);
+                }
+                if full_segment {
                     self.send_ack(i);
                 }
             } else if h.seq.gt(s.rcv_nxt) {
@@ -1151,14 +1270,14 @@ where
                 XkState::Established | XkState::SynReceived => self.socks[i].state = XkState::CloseWait,
                 XkState::FinWait1 if fin_acked => {
                     self.socks[i].state = XkState::TimeWait;
-                    self.socks[i].time_wait_at = Some(tw);
+                    self.socks[i].set_timer(&mut self.wheel, XkTimerKind::TimeWait, tw);
                 }
                 XkState::FinWait1 => self.socks[i].state = XkState::Closing,
                 XkState::FinWait2 => {
                     self.socks[i].state = XkState::TimeWait;
-                    self.socks[i].time_wait_at = Some(tw);
+                    self.socks[i].set_timer(&mut self.wheel, XkTimerKind::TimeWait, tw);
                 }
-                XkState::TimeWait => self.socks[i].time_wait_at = Some(tw),
+                XkState::TimeWait => self.socks[i].set_timer(&mut self.wheel, XkTimerKind::TimeWait, tw),
                 _ => {}
             }
         }
