@@ -3,20 +3,26 @@
 #
 #   ./ci.sh
 #
-# Six stages, all must pass:
+# Seven stages, all must pass:
 #   1. formatting (fails fast, before anything compiles)
-#   2. release build of every crate and target
-#   3. the whole workspace test suite
-#   4. the RFC-793 conformance suite, explicitly (both TCP stacks
-#      against the standard's state diagram; also part of stage 3, but
+#   2. foxlint: the workspace invariant lints (determinism, hash_iter,
+#      rx_panic, tcb_write — see DESIGN.md §5.8), ratcheted against
+#      foxlint.baseline; fails on new violations AND on stale entries
+#   3. release build of every crate and target
+#   4. the whole workspace test suite
+#   5. the RFC-793 conformance suite, explicitly (both TCP stacks
+#      against the standard's state diagram; also part of stage 4, but
 #      a named stage keeps the gate visible)
-#   5. the Criterion benches compile (not run; keeps them from rotting)
-#   6. clippy over every target (benches and bins too), warnings as errors
+#   6. the Criterion benches compile (not run; keeps them from rotting)
+#   7. clippy over every target (benches and bins too), warnings as errors
 set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "== fmt (check) =="
 cargo fmt --check
+
+echo "== foxlint (invariant lints, baseline ratchet) =="
+cargo run -q -p foxlint -- --check
 
 echo "== build (release) =="
 cargo build --release

@@ -25,7 +25,7 @@
 //!   dropped when cascading or firing next touches its slot.
 
 use crate::time::VirtualTime;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Bits of one level-0 tick: a slot spans 2^10 µs = 1.024 ms.
 pub const TICK_BITS: u32 = 10;
@@ -87,9 +87,9 @@ pub struct TimerWheel<T> {
     now: u64,
     next_seq: u64,
     /// Ids armed and neither fired nor cancelled.
-    pending: HashSet<u64>,
+    pending: BTreeSet<u64>,
     /// Ids cancelled whose entries still sit in a slot.
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     stats: WheelStats,
 }
 
@@ -102,8 +102,8 @@ impl<T> TimerWheel<T> {
             ripe: Vec::new(),
             now: start.as_micros(),
             next_seq: 0,
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            pending: BTreeSet::new(),
+            cancelled: BTreeSet::new(),
             stats: WheelStats::default(),
         }
     }

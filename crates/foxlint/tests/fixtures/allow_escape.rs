@@ -1,0 +1,11 @@
+// Fixture: the per-site escape hatch. A valid allow with a reason
+// suppresses the same or next line; a bad directive is itself an error.
+use std::collections::HashMap; // foxlint::allow(hash_iter): lookup-only cache, never iterated
+
+pub struct Cache {
+    // foxlint::allow(hash_iter): keyed by opaque token, iteration never observed
+    inner: HashMap<u64, u64>,
+}
+
+// foxlint::allow(nosuch_lint): this directive is malformed //~ directive
+pub fn noop() {}

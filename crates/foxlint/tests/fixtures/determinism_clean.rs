@@ -1,0 +1,7 @@
+// Fixture: virtual time and seeded randomness — must not fire
+// `determinism`. Mentions of banned names in comments (Instant,
+// SystemTime, thread_rng) and strings must be ignored by the lexer.
+pub fn stamp(now: VirtualTime, rng: &mut StdRng) -> u64 {
+    let _banned_in_string = "Instant::now() SystemTime thread_rng";
+    now.as_ticks() ^ rng.next_u64()
+}

@@ -1,0 +1,12 @@
+// Fixture: ambient time and randomness — every marked line must fire
+// the `determinism` lint when scanned as a non-bench crate file.
+use std::time::Instant; //~ determinism
+use std::time::SystemTime; //~ determinism
+
+pub fn stamp() -> u128 {
+    let t = Instant::now(); //~ determinism
+    let _ = SystemTime::now(); //~ determinism
+    let mut rng = rand::thread_rng(); //~ determinism
+    let _h = std::collections::hash_map::RandomState::new(); //~ determinism
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,12 @@
+// Fixture: ordered containers — must not fire `hash_iter`.
+use std::collections::BTreeMap;
+
+pub struct Table {
+    flows: BTreeMap<u32, u32>,
+}
+
+impl Table {
+    pub fn total(&self) -> u32 {
+        self.flows.values().sum()
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: hash containers in a trace-affecting crate — the type
+// mentions fire, and iteration over a declared hash container fires.
+use std::collections::HashMap; //~ hash_iter
+
+pub struct Table {
+    flows: HashMap<u32, u32>, //~ hash_iter
+}
+
+impl Table {
+    pub fn total(&self) -> u32 {
+        let mut sum = 0;
+        for (_k, v) in self.flows.iter() {
+            //~^ hash_iter (iteration over hash container)
+            sum += v;
+        }
+        sum
+    }
+}

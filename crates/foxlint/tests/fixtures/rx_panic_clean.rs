@@ -1,0 +1,16 @@
+// Fixture: total decoder — must not fire `rx_panic`. Checked access
+// only; `unwrap_or` / slice patterns are fine; encode functions may
+// index buffers they just built.
+pub fn decode(buf: &[u8]) -> Option<u16> {
+    match buf.get(0..2) {
+        Some(&[hi, lo]) => Some(u16::from_be_bytes([hi, lo])),
+        _ => None,
+    }
+}
+
+pub fn encode(v: u16) -> Vec<u8> {
+    let mut out = vec![0u8; 2];
+    out[0] = (v >> 8) as u8;
+    out[1] = v as u8;
+    out
+}

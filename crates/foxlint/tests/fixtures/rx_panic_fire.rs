@@ -1,0 +1,12 @@
+// Fixture: panics and unchecked indexing on the packet-input path —
+// scanned as a `crates/wire/src/` file, where decode*/parse* functions
+// additionally forbid indexing.
+pub fn decode(buf: &[u8]) -> u16 {
+    let first = buf[0]; //~ rx_panic (unchecked indexing in decoder)
+    let second = *buf.get(1).unwrap(); //~ rx_panic (unwrap)
+    if first == 0xff {
+        unreachable!("checked above"); //~ rx_panic (unreachable!)
+    }
+    let _third = buf.get(2).expect("short"); //~ rx_panic (expect)
+    u16::from(first) << 8 | u16::from(second)
+}

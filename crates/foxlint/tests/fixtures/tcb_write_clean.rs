@@ -1,0 +1,6 @@
+// Fixture: reading TCB fields and comparing them is fine anywhere —
+// only assignment is contained. Struct-literal construction uses `:`,
+// not `=`, and is likewise not a write through the API boundary.
+pub fn observe(tcb: &Tcb) -> bool {
+    tcb.snd_una == tcb.snd_nxt && tcb.cwnd >= tcb.ssthresh
+}

@@ -1,0 +1,7 @@
+// Fixture: TCB state written outside the engine whitelist — scanned as
+// a harness file (a trace crate not on the whitelist).
+pub fn meddle(tcb: &mut Tcb) {
+    tcb.snd_nxt = tcb.snd_nxt + 1; //~ tcb_write
+    tcb.cwnd += 1460; //~ tcb_write
+    tcb.ssthresh = 4096; //~ tcb_write
+}

@@ -1,0 +1,20 @@
+// Fixture: `#[cfg(test)]` regions and `#[test]` fns are exempt from all
+// lints — unwraps and hash maps in tests are idiomatic.
+pub fn live() -> u8 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn uses_all_the_banned_things() {
+        let mut m: HashMap<u8, u8> = HashMap::new();
+        m.insert(1, 2);
+        for (_k, v) in m.iter() {
+            assert_eq!(*v, 2);
+        }
+        let _ = m.get(&1).unwrap();
+    }
+}

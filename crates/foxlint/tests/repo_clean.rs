@@ -1,0 +1,22 @@
+//! The ratchet, enforced from the test suite too: linting the real
+//! workspace must agree with the checked-in baseline in both
+//! directions. This is the same check `ci.sh` runs via
+//! `cargo run -p foxlint -- --check`.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_matches_baseline() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let outcome = foxlint::check_root(&root);
+    assert!(outcome.files > 50, "walk found only {} files — wrong root?", outcome.files);
+    let current = foxlint::count(&outcome.violations);
+    let baseline = foxlint::load_baseline(&root.join("foxlint.baseline")).expect("baseline");
+    let drift = foxlint::compare(&current, &baseline);
+    assert!(
+        drift.grown.is_empty(),
+        "new violations vs baseline:\n{}",
+        outcome.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+    );
+    assert!(drift.stale.is_empty(), "stale baseline entries: {:?}", drift.stale);
+}

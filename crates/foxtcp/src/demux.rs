@@ -22,7 +22,7 @@
 //! first verified candidate is the same connection the old front-to-back
 //! scan found — lookup results are bit-for-bit unchanged, only cheaper.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Operation counters (the `tables -- scale` experiment reports these).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -40,10 +40,10 @@ pub struct DemuxStats {
 /// after reaping).
 #[derive(Default)]
 pub struct Demux {
-    flows: HashMap<(u16, u64, u16), Vec<u32>>,
-    listeners: HashMap<u16, Vec<u32>>,
-    by_id: HashMap<u32, usize>,
-    ports: HashMap<u16, usize>,
+    flows: BTreeMap<(u16, u64, u16), Vec<u32>>,
+    listeners: BTreeMap<u16, Vec<u32>>,
+    by_id: BTreeMap<u32, usize>,
+    ports: BTreeMap<u16, usize>,
     stats: DemuxStats,
 }
 
@@ -143,7 +143,9 @@ impl Demux {
         let ids = self.flows.get(&(local_port, peer, remote_port))?;
         for &id in ids {
             self.stats.steps += 1;
-            let idx = *self.by_id.get(&id).expect("flow entry without index");
+            // A flow entry without an index would mean insert/remove fell
+            // out of sync; skip rather than panic on the rx path.
+            let Some(&idx) = self.by_id.get(&id) else { continue };
             if verify(idx, id) {
                 return Some((idx, id));
             }
@@ -162,7 +164,7 @@ impl Demux {
         let ids = self.listeners.get(&local_port)?;
         for &id in ids {
             self.stats.steps += 1;
-            let idx = *self.by_id.get(&id).expect("listener entry without index");
+            let Some(&idx) = self.by_id.get(&id) else { continue };
             if verify(idx, id) {
                 return Some((idx, id));
             }

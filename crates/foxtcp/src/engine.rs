@@ -773,9 +773,11 @@ where
                 ListenVerdict::Ignore => {}
                 ListenVerdict::Reply(rst) => self.transmit_to(rst, src),
                 ListenVerdict::Spawn => {
-                    let backlog = match self.conns[lidx].core.state {
-                        TcpState::Listen { backlog } => backlog,
-                        _ => unreachable!("listener checked above"),
+                    // The verify closure above only accepts Listen, but
+                    // stay total on the rx path: treat anything else as
+                    // a vanished listener and drop the SYN.
+                    let TcpState::Listen { backlog } = self.conns[lidx].core.state else {
+                        return;
                     };
                     // The backlog is a real bounded accept queue: it
                     // counts every live child the user has not taken
@@ -800,7 +802,7 @@ where
                         Some((src.clone(), seg.header.src_port)),
                         Some(lid),
                     );
-                    let cidx = self.index_of_id(child).expect("just created");
+                    let Some(cidx) = self.index_of_id(child) else { return };
                     self.conns[cidx].core.state = TcpState::Listen { backlog: 0 };
                     self.conns[cidx].core.tcb.push_action(TcpAction::ProcessData(seg, src));
                     self.run_actions(child);

@@ -28,7 +28,7 @@ use foxwire::ether::{EthAddr, EtherType};
 use foxwire::ipv4::{IpProtocol, Ipv4Addr};
 use simnet::{CostModel, Host, HostHandle, SimNet};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 use xktcp::{XkConfig, XkEvent, XkTcp};
 
@@ -159,7 +159,7 @@ pub fn standard_station(
         host,
         peer: ip_of(peer_id),
         kind: "Fox Net",
-        bufs: HashMap::new(),
+        bufs: BTreeMap::new(),
         accepted: Rc::new(RefCell::new(VecDeque::new())),
     })
 }
@@ -193,7 +193,7 @@ pub fn special_station(
         host,
         peer: mac_of(peer_id),
         kind: "Fox Net (TCP/Eth)",
-        bufs: HashMap::new(),
+        bufs: BTreeMap::new(),
         accepted: Rc::new(RefCell::new(VecDeque::new())),
     })
 }
@@ -237,7 +237,7 @@ pub fn xk_station(
         conns: Vec::new(),
         listener: None,
         accepted: VecDeque::new(),
-        state: HashMap::new(),
+        state: BTreeMap::new(),
     })
 }
 
@@ -261,7 +261,7 @@ where
     host: HostHandle,
     peer: L::Peer,
     kind: &'static str,
-    bufs: HashMap<u32, Rc<RefCell<ConnBuf>>>,
+    bufs: BTreeMap<u32, Rc<RefCell<ConnBuf>>>,
     accepted: Rc<RefCell<VecDeque<TcpConnId>>>,
 }
 
@@ -409,7 +409,7 @@ where
     conns: Vec<xktcp::SockId>,
     listener: Option<xktcp::SockId>,
     accepted: VecDeque<xktcp::SockId>,
-    state: HashMap<u32, ConnBuf>,
+    state: BTreeMap<u32, ConnBuf>,
 }
 
 impl<L, A> XkStation<L, A>
@@ -428,7 +428,8 @@ where
                 }
             }
         }
-        for &c in self.conns.clone().iter() {
+        for i in 0..self.conns.len() {
+            let c = self.conns[i];
             while let Some(ev) = self.tcp.poll_event(c) {
                 let b = self.state.entry(c.0).or_default();
                 match ev {

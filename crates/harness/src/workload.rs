@@ -20,7 +20,7 @@ use foxbasis::profile::Account;
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxtcp::TcpConfig;
 use simnet::{CostModel, GcStats, NetStats, SimNet};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of one bulk-transfer run.
 #[derive(Clone, Debug)]
@@ -232,7 +232,7 @@ pub fn many_flows(
         echo_pending: usize,
     }
     let mut srv_conns: Vec<ConnHandle> = Vec::new();
-    let mut srv_state: HashMap<ConnHandle, Srv> = HashMap::new();
+    let mut srv_state: BTreeMap<ConnHandle, Srv> = BTreeMap::new();
     let chunk: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
     let ping = [0x42u8; PING_LEN];
 

@@ -10,7 +10,7 @@ use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxwire::arp::{ArpOp, ArpPacket};
 use foxwire::ether::EthAddr;
 use foxwire::ipv4::Ipv4Addr;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How long a learned mapping stays valid.
 pub const ENTRY_TTL: VirtualDuration = VirtualDuration::from_secs(60);
@@ -43,8 +43,8 @@ pub enum ArpEffect {
 pub struct ArpCache {
     local_eth: EthAddr,
     local_ip: Ipv4Addr,
-    entries: HashMap<Ipv4Addr, Entry>,
-    pending: HashMap<Ipv4Addr, PendingSlot>,
+    entries: BTreeMap<Ipv4Addr, Entry>,
+    pending: BTreeMap<Ipv4Addr, PendingSlot>,
     /// Requests transmitted (for tests and stats).
     pub requests_sent: u64,
     /// Replies transmitted.
@@ -57,8 +57,8 @@ impl ArpCache {
         ArpCache {
             local_eth,
             local_ip,
-            entries: HashMap::new(),
-            pending: HashMap::new(),
+            entries: BTreeMap::new(),
+            pending: BTreeMap::new(),
             requests_sent: 0,
             replies_sent: 0,
         }
@@ -125,7 +125,8 @@ impl ArpCache {
     }
 
     /// Drops pending queues whose requests have gone unanswered past
-    /// `timeout`; returns the addresses given up on.
+    /// `timeout`; returns the addresses given up on, in address order
+    /// (the `pending` map is ordered, so this is deterministic).
     pub fn expire_pending(&mut self, now: VirtualTime, timeout: VirtualDuration) -> Vec<Ipv4Addr> {
         let mut gone = Vec::new();
         self.pending.retain(|ip, slot| {

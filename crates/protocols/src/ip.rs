@@ -17,7 +17,7 @@ use foxwire::arp::ArpPacket;
 use foxwire::ether::{EthAddr, EtherType};
 use foxwire::ipv4::{IpProtocol, Ipv4Addr, Ipv4Header, Ipv4Packet};
 use simnet::HostHandle;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::{cell::RefCell, rc::Rc};
 
@@ -181,12 +181,12 @@ impl Reassembly {
 
 /// The fragment reassembler.
 pub struct Reassembler {
-    inflight: HashMap<(Ipv4Addr, u16, u8), Reassembly>,
+    inflight: BTreeMap<(Ipv4Addr, u16, u8), Reassembly>,
 }
 
 impl Reassembler {
     fn new() -> Reassembler {
-        Reassembler { inflight: HashMap::new() }
+        Reassembler { inflight: BTreeMap::new() }
     }
 
     /// Feeds one fragment; returns the whole datagram when complete.
@@ -206,8 +206,9 @@ impl Reassembler {
         let last = !pkt.header.more_frags;
         entry.insert(pkt.header.frag_byte_offset(), pkt.payload, last);
         if let Some(payload) = entry.complete() {
-            let done = self.inflight.remove(&key).expect("present");
-            return Some(IpIncoming { src: done.src, dst: done.dst, proto: done.proto, payload });
+            if let Some(done) = self.inflight.remove(&key) {
+                return Some(IpIncoming { src: done.src, dst: done.dst, proto: done.proto, payload });
+            }
         }
         None
     }

@@ -6,6 +6,7 @@
 //! machinery too; here it is in full (request/reply, plus gratuitous
 //! announcements handled by the protocol layer above).
 
+use crate::bytes::ByteReader;
 use crate::ether::EthAddr;
 use crate::ipv4::Ipv4Addr;
 use crate::{need, WireError};
@@ -77,31 +78,33 @@ impl ArpPacket {
     }
 
     /// Internalizes a packet, checking the hardware/protocol spaces.
+    /// Every access goes through the checked [`ByteReader`], so short
+    /// input yields `Err(Truncated)` from whichever field runs out —
+    /// never a panic.
     pub fn decode(buf: &[u8]) -> Result<ArpPacket, WireError> {
         need("arp packet", buf, PACKET_LEN)?;
-        let htype = u16::from_be_bytes([buf[0], buf[1]]);
-        let ptype = u16::from_be_bytes([buf[2], buf[3]]);
+        let mut r = ByteReader::new("arp packet", buf);
+        let htype = r.u16_be()?;
+        let ptype = r.u16_be()?;
         if htype != 1 {
             return Err(WireError::Unsupported { field: "arp htype", value: u32::from(htype) });
         }
         if ptype != 0x0800 {
             return Err(WireError::Unsupported { field: "arp ptype", value: u32::from(ptype) });
         }
-        if buf[4] != 6 || buf[5] != 4 {
+        if r.u8()? != 6 || r.u8()? != 4 {
             return Err(WireError::Malformed("arp address lengths"));
         }
-        let op = match u16::from_be_bytes([buf[6], buf[7]]) {
+        let op = match r.u16_be()? {
             1 => ArpOp::Request,
             2 => ArpOp::Reply,
             other => return Err(WireError::Unsupported { field: "arp op", value: u32::from(other) }),
         };
-        let eth = |at: usize| {
-            let mut a = [0u8; 6];
-            a.copy_from_slice(&buf[at..at + 6]);
-            EthAddr(a)
-        };
-        let ip = |at: usize| Ipv4Addr([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]]);
-        Ok(ArpPacket { op, sender_eth: eth(8), sender_ip: ip(14), target_eth: eth(18), target_ip: ip(24) })
+        let sender_eth = EthAddr(r.array::<6>()?);
+        let sender_ip = Ipv4Addr(r.array::<4>()?);
+        let target_eth = EthAddr(r.array::<6>()?);
+        let target_ip = Ipv4Addr(r.array::<4>()?);
+        Ok(ArpPacket { op, sender_eth, sender_ip, target_eth, target_ip })
     }
 }
 

@@ -7,6 +7,7 @@
 //! checksums disabled): corruption injected by the fault model is caught
 //! here, below TCP.
 
+use crate::bytes::{prefix, ByteReader};
 use crate::{need, WireError};
 use foxbasis::buf::PacketBuf;
 use std::fmt;
@@ -181,7 +182,8 @@ impl Frame {
     /// Internalizes a frame, verifying the FCS.
     pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
         let (dst, src, ethertype, body_len) = Frame::parse(buf)?;
-        Ok(Frame { dst, src, ethertype, payload: PacketBuf::from_vec(buf[HEADER_LEN..body_len].to_vec()) })
+        let payload = crate::bytes::range("ethernet payload", buf, HEADER_LEN, body_len)?;
+        Ok(Frame { dst, src, ethertype, payload: PacketBuf::from_vec(payload.to_vec()) })
     }
 
     /// Internalizes a frame from a [`PacketBuf`] view, slicing the
@@ -193,18 +195,19 @@ impl Frame {
 
     fn parse(buf: &[u8]) -> Result<(EthAddr, EthAddr, EtherType, usize), WireError> {
         need("ethernet frame", buf, HEADER_LEN + MIN_PAYLOAD + FCS_LEN)?;
-        let body_len = buf.len() - FCS_LEN;
-        let fcs =
-            u32::from_be_bytes([buf[body_len], buf[body_len + 1], buf[body_len + 2], buf[body_len + 3]]);
-        if crc32(&buf[..body_len]) != fcs {
+        let body_len = buf.len().saturating_sub(FCS_LEN);
+        let body = prefix("ethernet frame", buf, body_len)?;
+        let mut trailer = ByteReader::new("ethernet FCS", buf);
+        trailer.skip(body_len)?;
+        let fcs = trailer.u32_be()?;
+        if crc32(body) != fcs {
             return Err(WireError::BadChecksum("ethernet FCS"));
         }
-        let mut dst = [0u8; 6];
-        let mut src = [0u8; 6];
-        dst.copy_from_slice(&buf[0..6]);
-        src.copy_from_slice(&buf[6..12]);
-        let ethertype = EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]]));
-        Ok((EthAddr(dst), EthAddr(src), ethertype, body_len))
+        let mut r = ByteReader::new("ethernet header", body);
+        let dst = EthAddr(r.array::<6>()?);
+        let src = EthAddr(r.array::<6>()?);
+        let ethertype = EtherType::from_u16(r.u16_be()?);
+        Ok((dst, src, ethertype, body_len))
     }
 }
 

@@ -1,6 +1,7 @@
 //! ICMP echo request/reply (RFC 792) — enough of ICMP for the `ping`
 //! example and for keeping the Ip layer honest about demultiplexing.
 
+use crate::bytes::ByteReader;
 use crate::{need, WireError};
 use foxbasis::checksum;
 
@@ -39,25 +40,25 @@ impl IcmpEcho {
     }
 
     /// Internalizes an echo message, verifying type, code and checksum.
+    /// All field access is through the checked [`ByteReader`]; short
+    /// input is `Err(Truncated)`, never a panic.
     pub fn decode(buf: &[u8]) -> Result<IcmpEcho, WireError> {
         need("icmp echo", buf, HEADER_LEN)?;
-        let is_request = match buf[0] {
+        let mut r = ByteReader::new("icmp echo", buf);
+        let is_request = match r.u8()? {
             8 => true,
             0 => false,
             other => return Err(WireError::Unsupported { field: "icmp type", value: u32::from(other) }),
         };
-        if buf[1] != 0 {
-            return Err(WireError::Unsupported { field: "icmp code", value: u32::from(buf[1]) });
+        let code = r.u8()?;
+        if code != 0 {
+            return Err(WireError::Unsupported { field: "icmp code", value: u32::from(code) });
         }
         if checksum::ones_complement_sum(buf) != 0xffff {
             return Err(WireError::BadChecksum("icmp"));
         }
-        Ok(IcmpEcho {
-            is_request,
-            ident: u16::from_be_bytes([buf[4], buf[5]]),
-            seq: u16::from_be_bytes([buf[6], buf[7]]),
-            payload: buf[HEADER_LEN..].to_vec(),
-        })
+        r.skip(2)?; // checksum field, verified above over the whole message
+        Ok(IcmpEcho { is_request, ident: r.u16_be()?, seq: r.u16_be()?, payload: r.rest().to_vec() })
     }
 
     /// The reply to this request, echoing ident, seq and payload.

@@ -1,6 +1,7 @@
 //! The IPv4 header (RFC 791), with the fragmentation fields the Ip
 //! layer's reassembly machinery uses.
 
+use crate::bytes::{prefix, range, ByteReader};
 use crate::{need, WireError};
 use foxbasis::buf::PacketBuf;
 use foxbasis::checksum;
@@ -228,7 +229,8 @@ impl Ipv4Packet {
     /// discarded, which is why the length field exists.
     pub fn decode(buf: &[u8]) -> Result<Ipv4Packet, WireError> {
         let (header, ihl, total_len) = Ipv4Packet::parse_header(buf)?;
-        Ok(Ipv4Packet { header, payload: PacketBuf::from_vec(buf[ihl..total_len].to_vec()) })
+        let payload = range("ipv4 payload", buf, ihl, total_len)?;
+        Ok(Ipv4Packet { header, payload: PacketBuf::from_vec(payload.to_vec()) })
     }
 
     /// Internalizes a packet from a [`PacketBuf`] view, slicing the
@@ -238,37 +240,49 @@ impl Ipv4Packet {
         Ok(Ipv4Packet { header, payload: buf.slice(ihl, total_len) })
     }
 
+    /// Parses and validates the header. All byte access is through the
+    /// checked [`ByteReader`]/[`range`] helpers: malformed or truncated
+    /// input is an error, never a panic.
     fn parse_header(buf: &[u8]) -> Result<(Ipv4Header, usize, usize), WireError> {
         need("ipv4 header", buf, HEADER_LEN)?;
-        let version = buf[0] >> 4;
+        let mut r = ByteReader::new("ipv4 header", buf);
+        let ver_ihl = r.u8()?;
+        let version = ver_ihl >> 4;
         if version != 4 {
             return Err(WireError::Unsupported { field: "ip version", value: u32::from(version) });
         }
-        let ihl = usize::from(buf[0] & 0x0f) * 4;
+        let ihl = usize::from(ver_ihl & 0x0f) * 4;
         if ihl < HEADER_LEN {
             return Err(WireError::Malformed("ipv4 IHL"));
         }
         need("ipv4 options", buf, ihl)?;
-        let total_len = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
+        let tos = r.u8()?;
+        let total_len = usize::from(r.u16_be()?);
         if total_len < ihl {
             return Err(WireError::Malformed("ipv4 total length below IHL"));
         }
         need("ipv4 payload", buf, total_len)?;
-        if checksum::ones_complement_sum(&buf[..ihl]) != 0xffff {
+        if checksum::ones_complement_sum(prefix("ipv4 header", buf, ihl)?) != 0xffff {
             return Err(WireError::BadChecksum("ipv4 header"));
         }
-        let flags_frag = u16::from_be_bytes([buf[6], buf[7]]);
+        let ident = r.u16_be()?;
+        let flags_frag = r.u16_be()?;
+        let ttl = r.u8()?;
+        let protocol = IpProtocol::from_u8(r.u8()?);
+        r.skip(2)?; // header checksum, verified above
+        let src = Ipv4Addr(r.array::<4>()?);
+        let dst = Ipv4Addr(r.array::<4>()?);
         let header = Ipv4Header {
-            tos: buf[1],
-            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            tos,
+            ident,
             dont_frag: flags_frag & 0x4000 != 0,
             more_frags: flags_frag & 0x2000 != 0,
             frag_offset: flags_frag & 0x1fff,
-            ttl: buf[8],
-            protocol: IpProtocol::from_u8(buf[9]),
-            src: Ipv4Addr([buf[12], buf[13], buf[14], buf[15]]),
-            dst: Ipv4Addr([buf[16], buf[17], buf[18], buf[19]]),
-            options: buf[HEADER_LEN..ihl].to_vec(),
+            ttl,
+            protocol,
+            src,
+            dst,
+            options: range("ipv4 options", buf, HEADER_LEN, ihl)?.to_vec(),
         };
         Ok((header, ihl, total_len))
     }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod arp;
+pub mod bytes;
 pub mod ether;
 pub mod icmp;
 pub mod ipv4;

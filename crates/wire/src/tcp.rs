@@ -1,6 +1,7 @@
 //! The TCP header (RFC 793 §3.1) — segment externalization and
 //! internalization, the job of the paper's Action module.
 
+use crate::bytes::{range, ByteReader};
 use crate::ipv4::{IpProtocol, Ipv4Addr};
 use crate::{need, pseudo, WireError};
 use foxbasis::buf::PacketBuf;
@@ -287,7 +288,8 @@ impl TcpSegment {
     /// verified first; with `None` the checksum field is ignored.
     pub fn decode(buf: &[u8], pseudo_sum: Option<u16>) -> Result<TcpSegment, WireError> {
         let (header, data_offset) = TcpSegment::parse_header(buf, pseudo_sum)?;
-        Ok(TcpSegment { header, payload: PacketBuf::from_vec(buf[data_offset..].to_vec()) })
+        let payload = range("tcp payload", buf, data_offset, buf.len())?;
+        Ok(TcpSegment { header, payload: PacketBuf::from_vec(payload.to_vec()) })
     }
 
     /// Internalizes a segment from a [`PacketBuf`] view, slicing the
@@ -298,6 +300,10 @@ impl TcpSegment {
         Ok(TcpSegment { header, payload: buf.slice(data_offset, buf.len()) })
     }
 
+    /// Parses and validates the header. All byte access is through the
+    /// checked [`ByteReader`]/[`range`] helpers: malformed or truncated
+    /// input (including adversarial option lengths) is an error, never
+    /// a panic.
     fn parse_header(buf: &[u8], pseudo_sum: Option<u16>) -> Result<(TcpHeader, usize), WireError> {
         need("tcp header", buf, HEADER_LEN)?;
         if let Some(pseudo) = pseudo_sum {
@@ -307,51 +313,48 @@ impl TcpSegment {
                 return Err(WireError::BadChecksum("tcp"));
             }
         }
-        let data_offset = usize::from(buf[12] >> 4) * 4;
+        let mut r = ByteReader::new("tcp header", buf);
+        let src_port = r.u16_be()?;
+        let dst_port = r.u16_be()?;
+        let seq = Seq(r.u32_be()?);
+        let ack = Seq(r.u32_be()?);
+        let data_offset = usize::from(r.u8()? >> 4) * 4;
         if data_offset < HEADER_LEN {
             return Err(WireError::Malformed("tcp data offset"));
         }
         need("tcp options", buf, data_offset)?;
+        let flags = TcpFlags::from_u8(r.u8()?);
+        let window = r.u16_be()?;
+        r.skip(2)?; // checksum field, verified above when requested
+        let urgent = r.u16_be()?;
         let mut options = Vec::new();
-        let mut i = HEADER_LEN;
-        while i < data_offset {
-            match buf[i] {
+        let mut opts = ByteReader::new("tcp options", range("tcp options", buf, HEADER_LEN, data_offset)?);
+        while opts.remaining() > 0 {
+            match opts.u8()? {
                 0 => break, // end of option list
-                1 => {
-                    options.push(TcpOption::NoOp);
-                    i += 1;
-                }
+                1 => options.push(TcpOption::NoOp),
                 kind => {
-                    if i + 1 >= data_offset {
-                        return Err(WireError::Malformed("tcp option truncated"));
-                    }
-                    let len = usize::from(buf[i + 1]);
-                    if len < 2 || i + len > data_offset {
+                    let len =
+                        usize::from(opts.u8().map_err(|_| WireError::Malformed("tcp option truncated"))?);
+                    if len < 2 {
                         return Err(WireError::Malformed("tcp option length"));
                     }
-                    let body = &buf[i + 2..i + len];
+                    let body = opts.bytes(len - 2).map_err(|_| WireError::Malformed("tcp option length"))?;
                     if kind == 2 {
+                        let mss = ByteReader::new("tcp MSS option", body)
+                            .u16_be()
+                            .map_err(|_| WireError::Malformed("tcp MSS option length"))?;
                         if len != 4 {
                             return Err(WireError::Malformed("tcp MSS option length"));
                         }
-                        options.push(TcpOption::MaxSegmentSize(u16::from_be_bytes([body[0], body[1]])));
+                        options.push(TcpOption::MaxSegmentSize(mss));
                     } else {
                         options.push(TcpOption::Unknown(kind, body.to_vec()));
                     }
-                    i += len;
                 }
             }
         }
-        let header = TcpHeader {
-            src_port: u16::from_be_bytes([buf[0], buf[1]]),
-            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
-            seq: Seq(u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]])),
-            ack: Seq(u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]])),
-            flags: TcpFlags::from_u8(buf[13]),
-            window: u16::from_be_bytes([buf[14], buf[15]]),
-            urgent: u16::from_be_bytes([buf[18], buf[19]]),
-            options,
-        };
+        let header = TcpHeader { src_port, dst_port, seq, ack, flags, window, urgent, options };
         Ok((header, data_offset))
     }
 

@@ -4,6 +4,7 @@
 //! as a parameter to the UDP functor as well" — UDP shares TCP's need for
 //! the pseudo-header checksum.
 
+use crate::bytes::{prefix, range, ByteReader};
 use crate::ipv4::{IpProtocol, Ipv4Addr};
 use crate::{need, pseudo, WireError};
 use foxbasis::buf::PacketBuf;
@@ -64,55 +65,44 @@ impl UdpDatagram {
         Ok(buf)
     }
 
-    /// Internalizes a datagram; verifies the checksum when a pseudo-sum
-    /// is supplied and the sender computed one.
-    pub fn decode(buf: &[u8], pseudo_sum: Option<u16>) -> Result<UdpDatagram, WireError> {
+    /// Parses the header and verifies length and (optionally) checksum.
+    /// Returns `(src_port, dst_port, length)`. All byte access is
+    /// through the checked [`ByteReader`]/[`prefix`] helpers.
+    fn parse(buf: &[u8], pseudo_sum: Option<u16>) -> Result<(u16, u16, usize), WireError> {
         need("udp header", buf, HEADER_LEN)?;
-        let length = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
+        let mut r = ByteReader::new("udp header", buf);
+        let src_port = r.u16_be()?;
+        let dst_port = r.u16_be()?;
+        let length = usize::from(r.u16_be()?);
         if length < HEADER_LEN {
             return Err(WireError::Malformed("udp length"));
         }
         need("udp payload", buf, length)?;
-        let wire_checksum = u16::from_be_bytes([buf[6], buf[7]]);
+        let wire_checksum = r.u16_be()?;
         if let Some(p) = pseudo_sum {
             if wire_checksum != 0 {
                 let mut acc = foxbasis::checksum::ChecksumAccum::new();
-                acc.add_word(p).add_bytes(&buf[..length]);
+                acc.add_word(p).add_bytes(prefix("udp datagram", buf, length)?);
                 if acc.sum() != 0xffff {
                     return Err(WireError::BadChecksum("udp"));
                 }
             }
         }
-        Ok(UdpDatagram {
-            src_port: u16::from_be_bytes([buf[0], buf[1]]),
-            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
-            payload: PacketBuf::from_vec(buf[HEADER_LEN..length].to_vec()),
-        })
+        Ok((src_port, dst_port, length))
+    }
+
+    /// Internalizes a datagram; verifies the checksum when a pseudo-sum
+    /// is supplied and the sender computed one.
+    pub fn decode(buf: &[u8], pseudo_sum: Option<u16>) -> Result<UdpDatagram, WireError> {
+        let (src_port, dst_port, length) = UdpDatagram::parse(buf, pseudo_sum)?;
+        let payload = range("udp payload", buf, HEADER_LEN, length)?;
+        Ok(UdpDatagram { src_port, dst_port, payload: PacketBuf::from_vec(payload.to_vec()) })
     }
 
     /// Internalizes a datagram from a [`PacketBuf`], returning the
     /// payload as a zero-copy slice of the same buffer.
     pub fn decode_buf(buf: &PacketBuf, pseudo_sum: Option<u16>) -> Result<UdpDatagram, WireError> {
-        let (src_port, dst_port, length) = {
-            let b = buf.bytes();
-            need("udp header", &b, HEADER_LEN)?;
-            let length = usize::from(u16::from_be_bytes([b[4], b[5]]));
-            if length < HEADER_LEN {
-                return Err(WireError::Malformed("udp length"));
-            }
-            need("udp payload", &b, length)?;
-            let wire_checksum = u16::from_be_bytes([b[6], b[7]]);
-            if let Some(p) = pseudo_sum {
-                if wire_checksum != 0 {
-                    let mut acc = foxbasis::checksum::ChecksumAccum::new();
-                    acc.add_word(p).add_bytes(&b[..length]);
-                    if acc.sum() != 0xffff {
-                        return Err(WireError::BadChecksum("udp"));
-                    }
-                }
-            }
-            (u16::from_be_bytes([b[0], b[1]]), u16::from_be_bytes([b[2], b[3]]), length)
-        };
+        let (src_port, dst_port, length) = UdpDatagram::parse(&buf.bytes(), pseudo_sum)?;
         Ok(UdpDatagram { src_port, dst_port, payload: buf.slice(HEADER_LEN, length) })
     }
 
@@ -131,8 +121,10 @@ impl UdpDatagram {
         // The pseudo-header length field is the UDP length, which for a
         // valid datagram equals the length field in the header itself;
         // use the claimed length so padding does not disturb the sum.
-        let claimed =
-            if buf.len() >= 6 { usize::from(u16::from_be_bytes([buf[4], buf[5]])) } else { buf.len() };
+        let claimed = match buf.get(4..6) {
+            Some(&[hi, lo]) => usize::from(u16::from_be_bytes([hi, lo])),
+            _ => buf.len(),
+        };
         let pseudo = checksum_over.map(|(src, dst)| pseudo::v4_sum(src, dst, IpProtocol::Udp, claimed));
         UdpDatagram::decode(buf, pseudo)
     }

@@ -1,0 +1,87 @@
+//! Totality of every wire decoder: `decode(arbitrary bytes)` returns
+//! `Ok` or `Err`, never panics. This is the property the `rx_panic`
+//! foxlint rule enforces lexically — here it is exercised dynamically,
+//! with adversarial inputs that include truncations of valid packets
+//! (the inputs most likely to defeat a length check).
+
+use foxbasis::buf::PacketBuf;
+use foxwire::ipv4::Ipv4Addr;
+use foxwire::{ArpPacket, Frame, IcmpEcho, Ipv4Packet, TcpSegment, UdpDatagram};
+use proptest::prelude::*;
+
+const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+fn bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..max)
+}
+
+proptest! {
+    #[test]
+    fn arp_decode_total(buf in bytes(64)) {
+        let _ = ArpPacket::decode(&buf);
+    }
+
+    #[test]
+    fn ether_decode_total(buf in bytes(128)) {
+        let _ = Frame::decode(&buf);
+        let _ = Frame::decode_buf(&PacketBuf::from_vec(buf));
+    }
+
+    #[test]
+    fn icmp_decode_total(buf in bytes(96)) {
+        let _ = IcmpEcho::decode(&buf);
+    }
+
+    #[test]
+    fn ipv4_decode_total(buf in bytes(128)) {
+        let _ = Ipv4Packet::decode(&buf);
+    }
+
+    #[test]
+    fn tcp_decode_total(buf in bytes(128)) {
+        let _ = TcpSegment::decode(&buf, None);
+        let _ = TcpSegment::decode_buf(&PacketBuf::from_vec(buf), Some(0x1234));
+    }
+
+    #[test]
+    fn udp_decode_total(buf in bytes(96)) {
+        let _ = UdpDatagram::decode(&buf, None);
+        let _ = UdpDatagram::decode_v4(&buf, Some((A, B)));
+        let _ = UdpDatagram::decode_buf(&PacketBuf::from_vec(buf), Some(0x1234));
+    }
+
+    // Truncations and single-byte corruptions of well-formed packets:
+    // the adversarial cases a pure random byte soup rarely reaches
+    // (valid length fields with one byte missing, bad option lengths
+    // inside an otherwise valid TCP header, ...).
+    #[test]
+    fn truncated_valid_packets_never_panic(cut in 0usize..200, flip in 0usize..200) {
+        let mut header = foxwire::TcpHeader::new(2000, 5000);
+        header.window = 4096;
+        header.options = vec![foxwire::TcpOption::MaxSegmentSize(1460)];
+        let tcp = TcpSegment { header, payload: PacketBuf::from_vec(b"payload".to_vec()) };
+        let seg = tcp.encode_v4(Some((A, B))).unwrap();
+        let ip = Ipv4Packet {
+            header: foxwire::ipv4::Ipv4Header::new(foxwire::IpProtocol::Tcp, A, B),
+            payload: PacketBuf::from_vec(seg.clone()),
+        }
+        .encode()
+        .unwrap();
+        for base in [&seg, &ip] {
+            let cut = cut.min(base.len());
+            let _ = TcpSegment::decode(&base[..cut], None);
+            let _ = Ipv4Packet::decode(&base[..cut]);
+            let mut mutated = base.clone();
+            let flip = flip % mutated.len().max(1);
+            if let Some(b) = mutated.get_mut(flip) {
+                *b = b.wrapping_add(1);
+            }
+            let _ = TcpSegment::decode(&mutated, None);
+            let _ = Ipv4Packet::decode(&mutated);
+            let _ = UdpDatagram::decode_v4(&mutated, Some((A, B)));
+            let _ = ArpPacket::decode(&mutated);
+            let _ = IcmpEcho::decode(&mutated);
+        }
+    }
+}

@@ -987,7 +987,7 @@ where
                         }
                         let port = self.socks[li].local_port;
                         let child = self.new_socket(port, Some((src.clone(), h.src_port)));
-                        let ci = self.idx(SockId(child)).expect("child");
+                        let Some(ci) = self.idx(SockId(child)) else { return };
                         self.socks[ci].parent = Some(lid);
                         self.socks[ci].state = XkState::SynReceived;
                         if self.obs.is_on() {
@@ -1157,20 +1157,21 @@ where
             if let Some((timed, at)) = s.timing {
                 if timed.le(h.ack) {
                     let sample = self.now.saturating_since(at);
-                    match s.srtt {
+                    let smoothed = match s.srtt {
                         None => {
-                            s.srtt = Some(sample);
                             s.rttvar = sample / 2;
+                            sample
                         }
                         Some(sr) => {
                             let err = if sr > sample { sr - sample } else { sample - sr };
                             s.rttvar = (s.rttvar * 3) / 4 + err / 4;
-                            s.srtt = Some((sr * 7) / 8 + sample / 8);
+                            (sr * 7) / 8 + sample / 8
                         }
-                    }
+                    };
+                    s.srtt = Some(smoothed);
                     // BSD's one-second RTO floor (must exceed the
                     // peer's delayed-ACK hold time).
-                    s.rto = (s.srtt.unwrap() + s.rttvar * 4)
+                    s.rto = (smoothed + s.rttvar * 4)
                         .max(VirtualDuration::from_millis(1000))
                         .min(VirtualDuration::from_secs(64));
                     s.timing = None;
