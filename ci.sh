@@ -3,18 +3,24 @@
 #
 #   ./ci.sh
 #
-# Seven stages, all must pass:
+# Eight stages, all must pass:
 #   1. formatting (fails fast, before anything compiles)
 #   2. foxlint: the workspace invariant lints (determinism, hash_iter,
-#      rx_panic, tcb_write — see DESIGN.md §5.8), ratcheted against
-#      foxlint.baseline; fails on new violations AND on stale entries
+#      rx_panic, tcb_write, cc_write, win_cast — see DESIGN.md §5.8),
+#      ratcheted against foxlint.baseline; fails on new violations AND
+#      on stale entries
 #   3. release build of every crate and target
 #   4. the whole workspace test suite
 #   5. the RFC-793 conformance suite, explicitly (both TCP stacks
 #      against the standard's state diagram; also part of stage 4, but
 #      a named stage keeps the gate visible)
-#   6. the Criterion benches compile (not run; keeps them from rotting)
-#   7. clippy over every target (benches and bins too), warnings as errors
+#   6. the TCP-options interop matrix under fixed seeds: {none, wscale,
+#      sack, ts, all} × {fox↔fox, fox↔xk} × the loss-matrix fault
+#      profiles, every cell delivered in full and replayed
+#      bit-identically, plus the SACK-beats-NewReno burst-loss
+#      assertions (the `tables` binary panics if any of it regresses)
+#   7. the Criterion benches compile (not run; keeps them from rotting)
+#   8. clippy over every target (benches and bins too), warnings as errors
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -32,6 +38,9 @@ cargo test -q --workspace
 
 echo "== conformance (RFC 793, both stacks) =="
 cargo test -q -p foxtcp --test conformance
+
+echo "== options interop matrix (fixed seeds) =="
+cargo run -q --release -p foxbench --bin tables -- interop
 
 echo "== bench (compile only) =="
 cargo bench --workspace --no-run

@@ -5,7 +5,7 @@
 //!   cargo run --release -p foxbench --bin tables -- table1   # one item
 //!
 //! Items: table1, table2, gc, gcpause, ablations, matrix, loss,
-//! lossmatrix, copies, scale, micro
+//! lossmatrix, interop, copies, scale, micro
 //!
 //! Flags:
 //!   --trace <file>   record the Table 1 bulk run's typed event stream;
@@ -123,6 +123,15 @@ fn main() {
         println!("running the loss matrix (each cell twice, checking determinism)...\n");
         let cells = exp::loss_matrix(200_000, seed);
         println!("{}", exp::render_loss_matrix(&cells));
+    }
+
+    if want(&args, "interop") {
+        println!("running the options interop matrix (each cell twice, checking determinism)...\n");
+        let cells = exp::options_interop(50_000, seed);
+        println!("{}", exp::render_options_interop(&cells));
+        println!("running SACK vs NewReno under burst loss (three seeds)...\n");
+        let rows = exp::sack_vs_newreno(300_000, seed);
+        println!("{}", exp::render_sack_vs_newreno(&rows));
     }
 
     if want(&args, "copies") {

@@ -6,7 +6,7 @@
 //! a malformed segment, and byte-identical replay silently dies. The
 //! type system cannot see any of these, so this crate checks them
 //! mechanically — a registry-free, dependency-free lexer over the
-//! workspace source enforcing four lints:
+//! workspace source enforcing these lints:
 //!
 //! * [`determinism`](LINTS) — no ambient time (`Instant`, `SystemTime`)
 //!   or ambient randomness (`thread_rng`, `RandomState`, …) outside
@@ -22,10 +22,16 @@
 //!   also avoid unchecked indexing in `decode*`/`parse*` functions) and
 //!   the segment-input paths of both TCP engines. Malformed input is an
 //!   `Err`, never a crash.
-//! * `tcb_write` — TCB sequence-space and congestion fields may be
-//!   assigned only inside the whitelisted engine modules; everything
-//!   else goes through the engine API, preserving the quasi-synchronous
+//! * `tcb_write` — TCB sequence-space fields may be assigned only
+//!   inside the whitelisted engine modules; everything else goes
+//!   through the engine API, preserving the quasi-synchronous
 //!   containment of connection state.
+//! * `cc_write` — `cwnd`/`ssthresh` may be assigned only inside
+//!   `crates/foxtcp/src/congestion.rs`, so every congestion decision
+//!   flows through the `CongestionControl` trait.
+//! * `win_cast` — no raw `as u16` on window-named values outside
+//!   `crates/wire`: the codec's `wire_window` is the one sanctioned
+//!   16-bit narrowing (it applies the negotiated scale and the cap).
 //!
 //! Violations are reported as `file:line: lint: message`. A checked-in
 //! baseline (`foxlint.baseline`) ratchets: new violations fail, and so
@@ -51,6 +57,8 @@ pub const LINTS: &[(&str, &str)] = &[
     ("hash_iter", "no HashMap/HashSet in trace-affecting crates (randomized iteration order)"),
     ("rx_panic", "no panics or unchecked indexing in packet-input paths"),
     ("tcb_write", "TCB state fields assigned only inside whitelisted engine modules"),
+    ("cc_write", "cwnd/ssthresh assigned only inside the congestion-control module"),
+    ("win_cast", "no raw `as u16` window casts outside the wire codec"),
 ];
 
 /// Crates whose execution order is observable in traces.
@@ -64,7 +72,9 @@ const NONDET_IDENTS: &[&str] =
 const ITER_METHODS: &[&str] =
     &["iter", "iter_mut", "keys", "values", "values_mut", "drain", "retain", "into_iter"];
 
-/// TCB fields (RFC 793 names plus Reno state) whose writes are contained.
+/// TCB fields (RFC 793 names) whose writes are contained. The
+/// congestion windows are fenced separately (and more tightly) by
+/// `cc_write` below.
 const TCB_FIELDS: &[&str] = &[
     "snd_una",
     "snd_nxt",
@@ -76,12 +86,18 @@ const TCB_FIELDS: &[&str] = &[
     "irs",
     "rcv_nxt",
     "rcv_up",
-    "cwnd",
-    "ssthresh",
     "dup_acks",
     "recover",
     "persist_backoff",
 ];
+
+/// Congestion-window fields: assignable only inside the congestion
+/// module, so every algorithm decision flows through the
+/// `CongestionControl` trait.
+const CC_FIELDS: &[&str] = &["cwnd", "ssthresh"];
+
+/// The one file allowed to assign [`CC_FIELDS`].
+const CC_WHITELIST: &[&str] = &["crates/foxtcp/src/congestion.rs"];
 
 /// foxtcp files that may write TCB fields (the engine proper).
 const TCB_WHITELIST: &[&str] = &[
@@ -661,6 +677,69 @@ fn lint_tcb_write(cx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
+fn lint_cc_write(cx: &FileCtx, out: &mut Vec<Violation>) {
+    let Some(k) = cx.krate else { return };
+    if !TRACE_CRATES.contains(&k) || CC_WHITELIST.contains(&cx.rel) {
+        return;
+    }
+    const ASSIGN: &[&str] = &["=", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<=", ">>="];
+    for w in cx.toks.windows(3) {
+        let [dot, field, op] = w else { continue };
+        if dot.is_punct(".")
+            && field.ident().is_some_and(|f| CC_FIELDS.contains(&f))
+            && op.punct().is_some_and(|o| ASSIGN.contains(&o))
+        {
+            cx.emit(
+                out,
+                field.line,
+                "cc_write",
+                format!(
+                    "congestion field `{}` written outside crates/foxtcp/src/congestion.rs: \
+                     go through the CongestionControl trait",
+                    field.ident().unwrap_or(""),
+                ),
+            );
+        }
+    }
+}
+
+/// Idents that name a window quantity. The check is lexical, so it keys
+/// on the naming convention the codebase already follows.
+fn is_window_name(id: &str) -> bool {
+    id.contains("wnd") || id.to_ascii_lowercase().contains("window")
+}
+
+fn lint_win_cast(cx: &FileCtx, out: &mut Vec<Violation>) {
+    let Some(k) = cx.krate else { return };
+    // The wire codec owns the one sanctioned narrowing (`wire_window`);
+    // everywhere else a bare `as u16` silently reintroduces the 64 KB cap.
+    if !TRACE_CRATES.contains(&k) {
+        return;
+    }
+    for (i, t) in cx.toks.iter().enumerate() {
+        if !t.is_ident("as") || !cx.toks.get(i + 1).is_some_and(|n| n.is_ident("u16")) {
+            continue;
+        }
+        // Scan back through the statement for a window-named operand
+        // (assignment target or cast source); statement boundaries keep
+        // unrelated casts out of scope.
+        let windowish = cx.toks[..i]
+            .iter()
+            .rev()
+            .take(24)
+            .take_while(|b| !b.is_punct(";") && !b.is_punct("{") && !b.is_punct("}"))
+            .any(|b| b.ident().is_some_and(is_window_name));
+        if windowish {
+            cx.emit(
+                out,
+                t.line,
+                "win_cast",
+                "raw `as u16` on a window value: use foxwire::tcp::wire_window".into(),
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Per-file driver
 // ---------------------------------------------------------------------
@@ -678,6 +757,8 @@ pub fn lint_source(rel: &str, src: &str) -> (Vec<Violation>, usize) {
     lint_hash_iter(&cx, &mut raw);
     lint_rx_panic(&cx, &mut raw);
     lint_tcb_write(&cx, &mut raw);
+    lint_cc_write(&cx, &mut raw);
+    lint_win_cast(&cx, &mut raw);
     // Apply allow directives: a valid allow suppresses matching
     // violations on its own line and the following line. A malformed
     // directive is itself a violation — the escape hatch must not decay.
@@ -915,6 +996,39 @@ mod tests {
         let (toks, _) = lex(src);
         let names: Vec<_> = fn_regions(&toks).into_iter().map(|(n, _, _)| n).collect();
         assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn cc_write_fenced_to_congestion_module() {
+        let src = "fn f(t: &mut Tcb<u8>) { t.cwnd = 1; t.ssthresh += 2; }";
+        let (vs, _) = lint_source("crates/foxtcp/src/resend.rs", src);
+        assert_eq!(vs.len(), 2, "{vs:?}");
+        assert!(vs.iter().all(|v| v.lint == "cc_write"));
+        // The congestion module itself is the whitelist.
+        let (vs, _) = lint_source("crates/foxtcp/src/congestion.rs", src);
+        assert!(vs.is_empty(), "{vs:?}");
+        // Non-trace crates are out of scope.
+        let (vs, _) = lint_source("crates/bench/src/x.rs", src);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn win_cast_flags_window_narrowing_outside_wire() {
+        let src = "fn f(w: u32) -> u16 { let snd_wnd = w; snd_wnd.min(65535) as u16 }";
+        let (vs, _) = lint_source("crates/foxtcp/src/send.rs", src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].lint, "win_cast");
+        // crates/wire is not a trace crate: the codec owns the narrowing.
+        let (vs, _) = lint_source("crates/wire/src/tcp.rs", src);
+        assert!(vs.iter().all(|v| v.lint != "win_cast"), "{vs:?}");
+        // Unrelated u16 casts don't trip it.
+        let src = "fn g(port: u32) -> u16 { port as u16 }";
+        let (vs, _) = lint_source("crates/foxtcp/src/send.rs", src);
+        assert!(vs.is_empty(), "{vs:?}");
+        // Statement boundaries reset the lookback.
+        let src = "fn h(window: u32, p: u32) -> u16 { let _w = window; p as u16 }";
+        let (vs, _) = lint_source("crates/xktcp/src/lib.rs", src);
+        assert!(vs.is_empty(), "{vs:?}");
     }
 
     #[test]

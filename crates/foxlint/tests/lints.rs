@@ -103,13 +103,19 @@ fn rx_panic_scopes_engine_files_by_function() {
 
 #[test]
 fn tcb_write_fires_outside_whitelist_only() {
+    // The fixture writes snd_nxt (tcb_write's turf) and cwnd/ssthresh
+    // (cc_write's turf, fenced more tightly).
     let (vs, _) = run("tcb_write_fire.rs", "crates/harness/src/fixture.rs");
-    assert_eq!(lints_of(&vs), vec!["tcb_write"; 3], "{vs:?}");
-    // Same writes inside a whitelisted engine module: fine.
+    assert_eq!(lints_of(&vs), vec!["tcb_write", "cc_write", "cc_write"], "{vs:?}");
+    // Inside a whitelisted engine module the sequence-space write is
+    // fine, but the congestion writes still belong to congestion.rs.
     let (vs, _) = run("tcb_write_fire.rs", "crates/foxtcp/src/send.rs");
-    assert!(vs.is_empty(), "send.rs is whitelisted: {vs:?}");
+    assert_eq!(lints_of(&vs), vec!["cc_write", "cc_write"], "{vs:?}");
     let (vs, _) = run("tcb_write_fire.rs", "crates/xktcp/src/lib.rs");
-    assert!(vs.is_empty(), "xktcp lib.rs is whitelisted: {vs:?}");
+    assert_eq!(lints_of(&vs), vec!["cc_write", "cc_write"], "{vs:?}");
+    // congestion.rs may write the windows but not sequence space.
+    let (vs, _) = run("tcb_write_fire.rs", "crates/foxtcp/src/congestion.rs");
+    assert_eq!(lints_of(&vs), vec!["tcb_write"], "{vs:?}");
 }
 
 #[test]

@@ -406,9 +406,14 @@ where
         let id = self.next_id;
         self.next_id += 1;
         let iss = self.new_iss();
-        let mut core = ConnCore::new(&self.cfg, local_port, iss, self.aux.mtu() as u32 - 20);
+        // RFC 879: the MSS excludes both the IP and TCP headers from
+        // the link MTU the aux reports — 1460 on a 1500-byte Ethernet.
+        // One shared, saturating helper (the old code subtracted a bare
+        // unchecked 20 here and disagreed with xktcp on the clamp).
+        let mss = foxwire::tcp::mss_for_mtu(self.aux.mtu() as u32);
+        let mut core = ConnCore::new(&self.cfg, local_port, iss, mss);
         core.remote = remote;
-        core.tcb.mss = (self.aux.mtu() as u32).saturating_sub(20).max(1);
+        core.tcb.mss = mss;
         // `core.remote` is fixed for the connection's lifetime, so its
         // demux key never needs re-filing.
         let flow = core.remote.as_ref().map(|(a, p)| (A::hash(a), *p));
@@ -470,10 +475,13 @@ where
         } else {
             None
         };
-        // Remember what window the peer will believe after this segment.
+        // Remember what window the peer will believe after this segment
+        // (post-scaling; SYN windows go out unscaled per RFC 7323).
         if seg.header.flags.ack {
             if let Some((idx, _)) = tx_conn {
-                self.conns[idx].core.tcb.last_adv_wnd = u32::from(seg.header.window);
+                let tcb = &mut self.conns[idx].core.tcb;
+                let shift = if seg.header.flags.syn { 0 } else { tcb.adv_wscale() };
+                tcb.last_adv_wnd = u32::from(seg.header.window) << shift;
             }
         }
         let mark = copy_mark();
@@ -646,7 +654,7 @@ where
                         let grew = wnd.saturating_sub(core.tcb.last_adv_wnd);
                         let half = (core.tcb.recv_buf.capacity() as u32 / 2).max(1);
                         if core.state == TcpState::Estab && (grew >= 2 * core.tcb.mss || grew >= half) {
-                            send::queue_ack(core);
+                            send::queue_ack(core, now);
                         }
                     }
                     if !data.is_empty() {
@@ -969,10 +977,11 @@ where
 
     fn abort(&mut self, conn: TcpConnId) -> Result<(), ProtoError> {
         let i = self.conn_index(conn).ok_or(ProtoError::NotOpen)?;
+        let now = self.sched.now();
         let before = self.conns[i].core.state.name();
         let res = {
             let core = &mut self.conns[i].core;
-            state::abort(&self.cfg, core)
+            state::abort(&self.cfg, core, now)
         };
         let after = self.conns[i].core.state.name();
         if before != after {
@@ -1337,6 +1346,33 @@ mod tests {
         assert!(a.events_of(TcpConnId(7)).contains(&TcpEvent::Reset));
         assert_eq!(a.tcp.state_of(client), None, "connection reaped after reset");
         assert_eq!(b.tcp.stats().rsts_sent, 1);
+    }
+
+    #[test]
+    fn syn_advertises_rfc_879_mss_for_the_link() {
+        // Regression for the MSS derivation: the test link reports the
+        // conventional 1500-byte Ethernet MTU, and the SYN on the wire
+        // must carry 1460 — both 20-byte headers subtracted, through
+        // the one shared `mss_for_mtu` helper.
+        let link = LinkPair::new();
+        let mut a = Host::new(&link, 0, TcpConfig::default());
+        let mut b = Host::new(&link, 1, TcpConfig::default());
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let tap = seen.clone();
+        link.set_filter_toward(
+            1,
+            Box::new(move |bytes| {
+                if let Ok(seg) = TcpSegment::decode_buf(bytes, None) {
+                    if seg.header.flags.syn {
+                        tap.borrow_mut().push(seg.header.mss());
+                    }
+                }
+                true
+            }),
+        );
+        let (client, _child) = open_pair(&mut a, &mut b);
+        assert_eq!(seen.borrow().as_slice(), &[Some(1460)], "one SYN, MSS 1460 for MTU 1500");
+        assert!(a.tcp.state_of(client).is_some());
     }
 
     #[test]

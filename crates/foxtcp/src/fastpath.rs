@@ -42,8 +42,15 @@ pub fn try_fast<P: Clone + PartialEq + Debug>(
     if h.seq != core.tcb.rcv_nxt {
         return false;
     }
-    if u32::from(h.window) != core.tcb.snd_wnd {
+    // The wire field is compared post-scaling: with wscale negotiated an
+    // unchanged 16-bit field still predicts an unchanged true window.
+    if core.tcb.scale_peer_window(h.window, false) != core.tcb.snd_wnd {
         return false;
+    }
+    // RFC 7323's fast-path timestamp check: PAWS-reject old segments,
+    // and keep TS.Recent / the pending echo fresh for RTTM.
+    if !crate::receive::process_timestamps(core, h, now) {
+        return true; // dropped and re-ACKed: fully handled
     }
 
     if seg.payload.is_empty() {
@@ -94,7 +101,7 @@ pub fn try_fast<P: Clone + PartialEq + Debug>(
                 tcb.push_action(TcpAction::SetTimer(TimerKind::DelayedAck, ms));
             }
             _ => {
-                send::queue_ack(core);
+                send::queue_ack(core, now);
                 core.tcb.push_action(TcpAction::ClearTimer(TimerKind::DelayedAck));
             }
         }
@@ -281,6 +288,40 @@ mod tests {
             tags.contains(&"Send_Segment"),
             "fast path must attempt to send queued data like the slow path, got {tags:?}"
         );
+    }
+
+    #[test]
+    fn scaled_window_predicts_correctly() {
+        // snd_wnd 4096 with shift 4 means the wire field reads 256; the
+        // fast path must compare post-scaling or every segment of a
+        // wscale connection falls to the slow path.
+        let mut core = estab();
+        core.tcb.wscale_on = true;
+        core.tcb.snd_wscale = 4;
+        assert!(try_fast(&cfg(), &mut core, &seg(5000, 100, 256, &[3u8; 50]), VirtualTime::ZERO));
+        assert_eq!(core.tcb.rcv_nxt, Seq(5050));
+        // And a genuinely changed window still falls through.
+        let mut core = estab();
+        core.tcb.wscale_on = true;
+        core.tcb.snd_wscale = 4;
+        assert!(!try_fast(&cfg(), &mut core, &seg(5000, 100, 128, b""), VirtualTime::ZERO));
+    }
+
+    #[test]
+    fn paws_checked_on_fast_path() {
+        use foxwire::tcp::TcpOption;
+        let mut core = estab();
+        core.tcb.ts_on = true;
+        core.tcb.ts_recent = 500;
+        let mut s = seg(5000, 100, 4096, &[1u8; 10]);
+        s.header.options.push(TcpOption::Timestamps(499, 0));
+        assert!(try_fast(&cfg(), &mut core, &s, VirtualTime::ZERO), "PAWS drop is a handled segment");
+        assert_eq!(core.tcb.rcv_nxt, Seq(5000), "old-timestamp data not consumed");
+        let mut s = seg(5000, 100, 4096, &[1u8; 10]);
+        s.header.options.push(TcpOption::Timestamps(501, 0));
+        assert!(try_fast(&cfg(), &mut core, &s, VirtualTime::ZERO));
+        assert_eq!(core.tcb.rcv_nxt, Seq(5010));
+        assert_eq!(core.tcb.ts_recent, 501);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod congestion;
 pub mod demux;
 pub mod engine;
 pub mod fastpath;
@@ -41,6 +42,7 @@ pub mod tcb;
 pub mod testlink;
 
 pub use action::{LossEvent, TcpAction, TimerKind};
+pub use congestion::CcAlg;
 pub use demux::{Demux, DemuxStats};
 pub use engine::{Tcp, TcpConnId, TcpEvent, TcpPattern, TcpStats};
 pub use tcb::{Tcb, TcpState};
@@ -85,6 +87,20 @@ pub struct TcpConfig {
     /// Slow start and congestion avoidance (RFC 1122 requires them; an
     /// ablation switch here).
     pub congestion_control: bool,
+    /// Which algorithm owns `cwnd`/`ssthresh` when `congestion_control`
+    /// is on. Reno is the paper-era default; every write goes through
+    /// the [`congestion::CongestionControl`] trait either way (the
+    /// `cc_write` foxlint rule enforces that the seam is the only
+    /// writer).
+    pub congestion_algorithm: congestion::CcAlg,
+    /// Offer RFC 7323 window scaling on our SYN. Scaling only turns on
+    /// when both sides offer it; otherwise windows stay 16-bit exactly
+    /// as before.
+    pub window_scale: bool,
+    /// Offer RFC 2018 selective acknowledgments on our SYN.
+    pub sack: bool,
+    /// Offer RFC 7323 timestamps (RTTM + PAWS) on our SYN.
+    pub timestamps: bool,
     /// The 2MSL TIME-WAIT hold time, in ms.
     pub time_wait_ms: u64,
     /// Maximum retransmissions of one segment before giving up.
@@ -115,6 +131,10 @@ impl Default for TcpConfig {
             fast_path: true,
             latency_priority: false,
             congestion_control: true,
+            congestion_algorithm: congestion::CcAlg::Reno,
+            window_scale: false,
+            sack: false,
+            timestamps: false,
             time_wait_ms: 2 * 30_000, // 2 × MSL, scaled for the simulated LAN
             max_retransmits: 12,
             syn_retries: 5,
@@ -146,12 +166,16 @@ pub struct ConnCore<P> {
 impl<P: Clone + PartialEq + std::fmt::Debug> ConnCore<P> {
     /// A fresh closed connection core.
     pub fn new(cfg: &TcpConfig, local_port: u16, iss: Seq, our_mss: u32) -> ConnCore<P> {
-        ConnCore {
-            local_port,
-            remote: None,
-            state: TcpState::Closed,
-            tcb: TcbT::new(iss, cfg.send_buffer, cfg.initial_window),
-            our_mss,
+        let mut tcb = TcbT::new(iss, cfg.send_buffer, cfg.initial_window);
+        // The options we will offer at SYN time (each only turns on if
+        // the peer offers it back; see `receive`).
+        tcb.offer_wscale = cfg.window_scale;
+        tcb.offer_sack = cfg.sack;
+        tcb.offer_ts = cfg.timestamps;
+        if cfg.window_scale {
+            tcb.rcv_wscale = tcb::wscale_for(cfg.initial_window);
         }
+        tcb.cc = congestion::CcMachine::new(cfg.congestion_algorithm);
+        ConnCore { local_port, remote: None, state: TcpState::Closed, tcb, our_mss }
     }
 }

@@ -16,11 +16,11 @@ use crate::action::{TcpAction, TimerKind};
 use crate::resend;
 use crate::send;
 use crate::tcb::TcpState;
-use crate::{ConnCore, TcpConfig};
+use crate::{congestion, ConnCore, TcpConfig};
 use foxbasis::buf::PacketBuf;
 use foxbasis::seq::Seq;
 use foxbasis::time::VirtualTime;
-use foxwire::tcp::TcpSegment;
+use foxwire::tcp::{TcpHeader, TcpSegment};
 use std::fmt::Debug;
 
 /// What the engine should do after processing (beyond the actions queued
@@ -104,12 +104,14 @@ fn listen_receives_syn<P: Clone + PartialEq + Debug>(
     let tcb = &mut core.tcb;
     tcb.irs = seg.header.seq;
     tcb.rcv_nxt = seg.header.seq + 1;
+    // A SYN's window is never scaled (RFC 7323 §2.2).
     tcb.snd_wnd = u32::from(seg.header.window);
     tcb.snd_wl1 = seg.header.seq;
     tcb.snd_wl2 = Seq(0);
     if let Some(mss) = seg.header.mss() {
         tcb.mss = tcb.mss.min(u32::from(mss)).max(1);
     }
+    negotiate_syn_options(core, &seg.header);
     core.state = TcpState::SynPassive { retries_left: cfg.syn_retries };
     send::queue_syn(core, true, now);
     core.tcb.push_action(TcpAction::SetTimer(TimerKind::UserTimeout, cfg.user_timeout_ms));
@@ -154,10 +156,21 @@ fn syn_sent<P: Clone + PartialEq + Debug>(
         if let Some(mss) = h.mss() {
             core.tcb.mss = core.tcb.mss.min(u32::from(mss)).max(1);
         }
+        negotiate_syn_options(core, h);
         if ack_acceptable {
+            // The peer echoed our timestamp on the SYN+ACK: first RTTM
+            // sample (consumed in `process_ack`).
+            if core.tcb.ts_on {
+                if let Some((_, ecr)) = h.timestamps() {
+                    if ecr != 0 {
+                        core.tcb.ts_ecr_pending = Some(ecr);
+                    }
+                }
+            }
             // "SND.UNA should be advanced to equal SEG.ACK"; our SYN is
             // acknowledged: ESTABLISHED.
             resend::process_ack(cfg, core, h.ack, now);
+            // A SYN's window is never scaled (RFC 7323 §2.2).
             core.tcb.snd_wnd = u32::from(h.window);
             core.tcb.snd_wl1 = h.seq;
             core.tcb.snd_wl2 = h.ack;
@@ -165,7 +178,7 @@ fn syn_sent<P: Clone + PartialEq + Debug>(
             core.state = TcpState::Estab;
             core.tcb.push_action(TcpAction::ClearTimer(TimerKind::UserTimeout));
             core.tcb.push_action(TcpAction::CompleteOpen);
-            send::queue_ack(core);
+            send::queue_ack(core, now);
             send::maybe_send(cfg, core, now);
             // Data or FIN on the SYN+ACK continues below through the
             // synchronized path on retransmission; rare enough to defer.
@@ -186,7 +199,10 @@ fn synchronized<P: Clone + PartialEq + Debug>(
     seg: TcpSegment,
     now: VirtualTime,
 ) -> Disposition {
-    if !check_sequence(cfg, core, &seg) {
+    if !process_timestamps(core, &seg.header, now) {
+        return Disposition::default(); // PAWS rejected the segment
+    }
+    if !check_sequence(cfg, core, &seg, now) {
         return Disposition::default();
     }
     if seg.header.flags.rst {
@@ -232,6 +248,7 @@ fn check_sequence<P: Clone + PartialEq + Debug>(
     cfg: &TcpConfig,
     core: &mut ConnCore<P>,
     seg: &TcpSegment,
+    now: VirtualTime,
 ) -> bool {
     let tcb = &core.tcb;
     let seq = seg.header.seq;
@@ -244,13 +261,77 @@ fn check_sequence<P: Clone + PartialEq + Debug>(
         (l, w) => seq.in_window(tcb.rcv_nxt, w) || (seq + (l - 1)).in_window(tcb.rcv_nxt, w),
     };
     if !acceptable && !seg.header.flags.rst {
-        send::queue_ack(core);
+        send::queue_ack(core, now);
         if core.state == TcpState::TimeWait {
             // A retransmitted FIN restarts the 2MSL timer.
             core.tcb.push_action(TcpAction::SetTimer(TimerKind::TimeWait, cfg.time_wait_ms));
         }
     }
     acceptable
+}
+
+/// SYN-time option negotiation (RFC 7323 §2.5, RFC 2018 §2): an option
+/// turns on only when *we* offered it (config) *and* the peer's SYN (or
+/// SYN+ACK) carries it. A withheld option is cleanly off — every window
+/// stays 16-bit, no SACK blocks are sent or consumed, no timestamps
+/// ride on segments.
+fn negotiate_syn_options<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, h: &TcpHeader) {
+    debug_assert!(h.flags.syn);
+    let tcb = &mut core.tcb;
+    if let Some(shift) = h.wscale() {
+        if tcb.offer_wscale {
+            tcb.wscale_on = true;
+            tcb.snd_wscale = shift;
+        }
+    }
+    if h.sack_permitted() && tcb.offer_sack {
+        tcb.sack_on = true;
+    }
+    if let Some((tsval, _)) = h.timestamps() {
+        if tcb.offer_ts {
+            tcb.ts_on = true;
+            tcb.ts_recent = tsval;
+        }
+    }
+}
+
+/// RFC 7323 PAWS: true if `tsval` is from before `ts_recent` in 32-bit
+/// modular time — the segment predates one the connection already
+/// processed, however the sequence numbers look.
+fn paws_reject(ts_recent: u32, tsval: u32) -> bool {
+    (tsval.wrapping_sub(ts_recent) as i32) < 0
+}
+
+/// Timestamp processing for a synchronized connection: PAWS first
+/// (RFC 7323 §5.3 — reject and re-ACK old duplicates), then the
+/// `TS.Recent` update for segments at the left window edge, then stash
+/// TSecr for the RTTM sample `process_ack` takes. Returns false when
+/// PAWS drops the segment.
+pub(crate) fn process_timestamps<P: Clone + PartialEq + Debug>(
+    core: &mut ConnCore<P>,
+    h: &TcpHeader,
+    now: VirtualTime,
+) -> bool {
+    if !core.tcb.ts_on {
+        return true;
+    }
+    let Some((tsval, tsecr)) = h.timestamps() else {
+        // The peer negotiated timestamps but omitted the option; be
+        // lenient (RFC 7323 suggests dropping non-RST segments) so
+        // mixed stacks still interoperate.
+        return true;
+    };
+    if !h.flags.rst && paws_reject(core.tcb.ts_recent, tsval) {
+        send::queue_ack(core, now);
+        return false;
+    }
+    if h.seq.le(core.tcb.rcv_nxt) {
+        core.tcb.ts_recent = tsval;
+    }
+    if h.flags.ack && tsecr != 0 {
+        core.tcb.ts_ecr_pending = Some(tsecr);
+    }
+    true
 }
 
 /// Second check: RST in window.
@@ -283,12 +364,22 @@ fn check_ack<P: Clone + PartialEq + Debug>(
     let h = &seg.header;
     let ack = h.ack;
 
+    // SACK blocks ride on (duplicate) ACKs: fold them into the
+    // scoreboard before any ACK processing decides what to retransmit.
+    if core.tcb.sack_on {
+        let blocks = h.sack_blocks();
+        if !blocks.is_empty() {
+            core.tcb.note_sack_blocks(blocks);
+        }
+    }
+
     if core.state.is_syn_received() {
         // "If SND.UNA =< SEG.ACK =< SND.NXT then enter ESTABLISHED state
         // ... otherwise send a reset."
         if ack.in_open_closed(core.tcb.snd_una - 1, core.tcb.snd_nxt) {
             resend::process_ack(cfg, core, ack, now);
-            core.tcb.snd_wnd = u32::from(h.window);
+            // The handshake-completing ACK is not a SYN: scaled.
+            core.tcb.snd_wnd = core.tcb.scale_peer_window(h.window, false);
             core.tcb.snd_wl1 = h.seq;
             core.tcb.snd_wl2 = ack;
             init_cwnd(cfg, core);
@@ -311,8 +402,9 @@ fn check_ack<P: Clone + PartialEq + Debug>(
         send::maybe_send(cfg, core, now);
     } else if ack == core.tcb.snd_una {
         // Duplicate. Window updates may still ride on it.
-        let pure_dup =
-            seg.payload.is_empty() && u32::from(h.window) == core.tcb.snd_wnd && !seg.header.flags.fin;
+        let pure_dup = seg.payload.is_empty()
+            && core.tcb.scale_peer_window(h.window, h.flags.syn) == core.tcb.snd_wnd
+            && !seg.header.flags.fin;
         update_send_window(core, seg);
         if pure_dup {
             resend::duplicate_ack(cfg, core, now);
@@ -322,7 +414,7 @@ fn check_ack<P: Clone + PartialEq + Debug>(
     } else if ack.gt(core.tcb.snd_nxt) {
         // "If the ACK acks something not yet sent ... send an ACK, drop
         // the segment."
-        send::queue_ack(core);
+        send::queue_ack(core, now);
         return false;
     }
     // Old ACK (below snd_una): ignore the ACK field but keep processing.
@@ -335,7 +427,7 @@ fn update_send_window<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, seg:
     let tcb = &mut core.tcb;
     if tcb.snd_wl1.lt(h.seq) || (tcb.snd_wl1 == h.seq && tcb.snd_wl2.le(h.ack)) {
         let was_zero = tcb.snd_wnd == 0;
-        tcb.snd_wnd = u32::from(h.window);
+        tcb.snd_wnd = tcb.scale_peer_window(h.window, h.flags.syn);
         tcb.snd_wl1 = h.seq;
         tcb.snd_wl2 = h.ack;
         if tcb.snd_wnd > 0 && was_zero {
@@ -426,18 +518,19 @@ fn process_text<P: Clone + PartialEq + Debug>(
                 tcb.push_action(TcpAction::SetTimer(TimerKind::DelayedAck, ms));
             }
             _ => {
-                send::queue_ack(core);
+                send::queue_ack(core, now);
                 core.tcb.push_action(TcpAction::ClearTimer(TimerKind::DelayedAck));
             }
         }
     } else if seq.gt(tcb.rcv_nxt) {
         // Out of order: queue for later, duplicate-ACK immediately so
-        // the sender learns what we are missing.
+        // the sender learns what we are missing (with SACK negotiated,
+        // the ACK's blocks describe exactly what arrived).
         let in_window = seq.in_window(tcb.rcv_nxt, tcb.rcv_wnd());
         if in_window {
             tcb.insert_out_of_order(seq, seg.payload.clone(), fin);
         }
-        send::queue_ack(core);
+        send::queue_ack(core, now);
     } else {
         // Overlapping retransmission: the head is old, the tail may be
         // new.
@@ -458,9 +551,8 @@ fn process_text<P: Clone + PartialEq + Debug>(
             tcb.bytes_since_ack += delivered.len() as u32;
             tcb.push_action(TcpAction::UserData(delivered));
         }
-        send::queue_ack(core);
+        send::queue_ack(core, now);
     }
-    let _ = now;
 }
 
 /// Eighth: check the FIN bit.
@@ -486,14 +578,14 @@ fn check_fin<P: Clone + PartialEq + Debug>(
         }
         // Retransmitted FIN below rcv_nxt in TIME-WAIT and friends:
         if core.state == TcpState::TimeWait {
-            send::queue_ack(core);
+            send::queue_ack(core, now);
             core.tcb.push_action(TcpAction::SetTimer(TimerKind::TimeWait, cfg.time_wait_ms));
         }
         return;
     }
     // Consume the FIN.
     core.tcb.rcv_nxt += 1;
-    send::queue_ack(core);
+    send::queue_ack(core, now);
     core.tcb.push_action(TcpAction::PeerClose);
     match core.state {
         TcpState::SynActive | TcpState::SynPassive { .. } | TcpState::Estab => {
@@ -516,15 +608,14 @@ fn check_fin<P: Clone + PartialEq + Debug>(
         }
         _ => {}
     }
-    let _ = now;
 }
 
 /// Initial congestion window: one MSS (Jacobson's 1988 slow start, as
-/// 1994 practice had it).
+/// 1994 practice had it). The write happens behind the
+/// [`crate::congestion::CongestionControl`] seam.
 fn init_cwnd<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut ConnCore<P>) {
     if cfg.congestion_control {
-        core.tcb.cwnd = core.tcb.mss;
-        core.tcb.ssthresh = u32::MAX;
+        congestion::init(&mut core.tcb);
     }
 }
 
@@ -1048,6 +1139,197 @@ mod tests {
         segment_arrives(&cfg(), &mut core, s, VirtualTime::ZERO);
         assert_eq!(core.state, TcpState::Estab, "FIN not consumable yet");
         assert_eq!(core.tcb.rcv_nxt, Seq(5001));
+    }
+
+    // ---- SYN-time option negotiation (RFC 7323 / RFC 2018) ----
+
+    fn opt_cfg(wscale: bool, sack: bool, ts: bool) -> TcpConfig {
+        TcpConfig {
+            window_scale: wscale,
+            sack,
+            timestamps: ts,
+            initial_window: 1 << 18, // wants shift 2
+            ..cfg()
+        }
+    }
+
+    fn listener(c: &TcpConfig) -> ConnCore<u8> {
+        let mut core: ConnCore<u8> = ConnCore::new(c, 80, Seq(300), 1460);
+        core.remote = Some((9, 4000));
+        core.tcb.mss = 1460;
+        core.state = TcpState::Listen { backlog: 0 };
+        core
+    }
+
+    fn peer_syn(wscale: Option<u8>, sack: bool, ts: Option<(u32, u32)>) -> TcpSegment {
+        let mut s = seg(7000, TcpFlags::SYN, b"");
+        s.header.options.push(TcpOption::MaxSegmentSize(1460));
+        if let Some(sh) = wscale {
+            s.header.options.push(TcpOption::WindowScale(sh));
+        }
+        if sack {
+            s.header.options.push(TcpOption::SackPermitted);
+        }
+        if let Some((v, e)) = ts {
+            s.header.options.push(TcpOption::Timestamps(v, e));
+        }
+        s
+    }
+
+    /// Every option × offered/withheld, on the passive side: an option
+    /// is on iff both our config offers it and the peer's SYN carries
+    /// it, and the SYN+ACK echoes exactly the negotiated set.
+    #[test]
+    fn listener_negotiates_each_option_independently() {
+        for &ours in &[false, true] {
+            for &theirs in &[false, true] {
+                let on = ours && theirs;
+                // window scale
+                let mut core = listener(&opt_cfg(ours, false, false));
+                let s = peer_syn(theirs.then_some(7), false, None);
+                segment_arrives(&opt_cfg(ours, false, false), &mut core, s, VirtualTime::ZERO);
+                assert_eq!(core.tcb.wscale_on, on, "wscale ours={ours} theirs={theirs}");
+                if on {
+                    assert_eq!(core.tcb.snd_wscale, 7);
+                    assert_eq!(core.tcb.rcv_wscale, 3, "shift for a 256 KiB buffer");
+                }
+                let synack = drain_actions(&core)
+                    .iter()
+                    .find_map(|a| match a {
+                        TcpAction::SendSegment(s) => Some(s.clone()),
+                        _ => None,
+                    })
+                    .unwrap();
+                assert_eq!(synack.header.wscale().is_some(), on);
+
+                // SACK
+                let mut core = listener(&opt_cfg(false, ours, false));
+                let s = peer_syn(None, theirs, None);
+                segment_arrives(&opt_cfg(false, ours, false), &mut core, s, VirtualTime::ZERO);
+                assert_eq!(core.tcb.sack_on, on, "sack ours={ours} theirs={theirs}");
+                let synack = drain_actions(&core)
+                    .iter()
+                    .find_map(|a| match a {
+                        TcpAction::SendSegment(s) => Some(s.clone()),
+                        _ => None,
+                    })
+                    .unwrap();
+                assert_eq!(synack.header.sack_permitted(), on);
+
+                // timestamps
+                let mut core = listener(&opt_cfg(false, false, ours));
+                let s = peer_syn(None, false, theirs.then_some((5555, 0)));
+                segment_arrives(&opt_cfg(false, false, ours), &mut core, s, VirtualTime::ZERO);
+                assert_eq!(core.tcb.ts_on, on, "ts ours={ours} theirs={theirs}");
+                if on {
+                    assert_eq!(core.tcb.ts_recent, 5555, "TS.Recent initialized from the SYN");
+                }
+                let synack = drain_actions(&core)
+                    .iter()
+                    .find_map(|a| match a {
+                        TcpAction::SendSegment(s) => Some(s.clone()),
+                        _ => None,
+                    })
+                    .unwrap();
+                assert_eq!(synack.header.timestamps().is_some(), on);
+            }
+        }
+    }
+
+    /// The active side adopts from the SYN+ACK symmetrically.
+    #[test]
+    fn active_opener_negotiates_from_syn_ack() {
+        let c = opt_cfg(true, true, true);
+        let mut core: ConnCore<u8> = ConnCore::new(&c, 5000, Seq(100), 1460);
+        core.remote = Some((9, 80));
+        core.state = TcpState::SynSent { retries_left: 5 };
+        core.tcb.snd_nxt = Seq(101);
+        core.tcb.resend_queue.push_back(crate::tcb::SentSegment {
+            seq: Seq(100),
+            payload: PacketBuf::new(),
+            syn: true,
+            fin: false,
+        });
+        let mut s = peer_syn(Some(10), true, Some((9000, 1)));
+        s.header.flags = TcpFlags::SYN_ACK;
+        s.header.ack = Seq(101);
+        s.header.window = 2048;
+        segment_arrives(&c, &mut core, s, VirtualTime::from_millis(30));
+        assert_eq!(core.state, TcpState::Estab);
+        assert!(core.tcb.wscale_on && core.tcb.sack_on && core.tcb.ts_on);
+        assert_eq!(core.tcb.snd_wscale, 10);
+        assert_eq!(core.tcb.ts_recent, 9000);
+        assert_eq!(core.tcb.snd_wnd, 2048, "the SYN+ACK window itself is never scaled");
+        // The handshake ACK carries a timestamp echoing the peer.
+        let ack = drain_actions(&core)
+            .iter()
+            .find_map(|a| match a {
+                TcpAction::SendSegment(s) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ack.header.timestamps(), Some((30, 9000)));
+        // And the peer's SYN+ACK echo of our timestamp fed RTTM.
+        assert!(core.tcb.rtt.srtt.is_some(), "RTT sampled from TSecr");
+    }
+
+    /// A post-handshake window update applies the negotiated shift.
+    #[test]
+    fn scaled_window_update() {
+        let mut core = estab();
+        core.tcb.wscale_on = true;
+        core.tcb.snd_wscale = 4;
+        let mut s = seg(5001, TcpFlags::ACK, b"");
+        s.header.window = 4096;
+        segment_arrives(&cfg(), &mut core, s, VirtualTime::ZERO);
+        assert_eq!(core.tcb.snd_wnd, 4096 << 4, "window widened by the peer's shift");
+    }
+
+    /// PAWS (RFC 7323 §5.3): an in-window segment whose timestamp is
+    /// older than TS.Recent is dropped and re-ACKed.
+    #[test]
+    fn paws_rejects_old_timestamp() {
+        let mut core = estab();
+        core.tcb.ts_on = true;
+        core.tcb.ts_recent = 10_000;
+        let mut s = seg(5001, TcpFlags::ACK, b"wrapped ghost");
+        s.header.options.push(TcpOption::Timestamps(9_999, 0));
+        segment_arrives(&cfg(), &mut core, s, VirtualTime::ZERO);
+        assert_eq!(core.tcb.rcv_nxt, Seq(5001), "text not consumed");
+        let actions = drain_actions(&core);
+        assert!(
+            actions.iter().any(|a| matches!(a, TcpAction::SendSegment(s) if s.header.ack == Seq(5001))),
+            "PAWS drop still ACKs: {actions:?}"
+        );
+        // The same data with a current timestamp is accepted.
+        let mut s = seg(5001, TcpFlags::ACK, b"fresh");
+        s.header.options.push(TcpOption::Timestamps(10_001, 0));
+        segment_arrives(&cfg(), &mut core, s, VirtualTime::ZERO);
+        assert_eq!(core.tcb.rcv_nxt, Seq(5006));
+        assert_eq!(core.tcb.ts_recent, 10_001, "TS.Recent advanced");
+    }
+
+    /// Incoming SACK blocks land in the sender-side scoreboard.
+    #[test]
+    fn ack_with_sack_blocks_updates_scoreboard() {
+        let mut core = estab();
+        core.tcb.sack_on = true;
+        core.tcb.snd_nxt = Seq(4101);
+        core.tcb.send_buf.write(&[0; 4000]);
+        for i in 0..4u32 {
+            core.tcb.resend_queue.push_back(crate::tcb::SentSegment {
+                seq: Seq(101 + i * 1000),
+                payload: vec![0u8; 1000].into(),
+                syn: false,
+                fin: false,
+            });
+        }
+        let mut s = seg(5001, TcpFlags::ACK, b"");
+        s.header.ack = Seq(101); // duplicate
+        s.header.options.push(TcpOption::Sack(vec![(Seq(1101), Seq(2101))]));
+        segment_arrives(&cfg(), &mut core, s, VirtualTime::ZERO);
+        assert_eq!(core.tcb.sack_scoreboard, vec![(Seq(1101), Seq(2101))]);
+        assert!(core.tcb.sacked(Seq(1101), Seq(2101)));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! queue".
 
 use crate::action::{LossEvent, TcpAction, TimerKind};
+use crate::congestion;
 use crate::tcb::{RttEstimator, SentSegment, TcpState, MAX_RTO, MIN_RTO};
 use crate::{ConnCore, TcpConfig};
 use foxbasis::seq::Seq;
@@ -85,9 +86,21 @@ pub fn process_ack<P: Clone + PartialEq + Debug>(
         }
     }
 
-    // Karn: only sample if the timed sequence number is covered and no
-    // retransmission intervened (timing is cleared on retransmit).
-    if let Some((timed_seq, sent_at)) = tcb.rtt.timing {
+    // RTT sampling. With timestamps negotiated, every acceptable ACK
+    // carries a usable TSecr (RFC 7323 RTTM) — retransmission ambiguity
+    // doesn't arise because the echoed value identifies the send.
+    // Without them, Karn: only sample if the timed sequence number is
+    // covered and no retransmission intervened (timing is cleared on
+    // retransmit).
+    if tcb.ts_on {
+        if let Some(ecr) = tcb.ts_ecr_pending.take() {
+            let sample_ms = u64::from((now.as_millis() as u32).wrapping_sub(ecr));
+            if sample_ms < 3_600_000 {
+                update_rtt(&mut tcb.rtt, VirtualDuration::from_millis(sample_ms));
+            }
+            tcb.rtt.timing = None;
+        }
+    } else if let Some((timed_seq, sent_at)) = tcb.rtt.timing {
         if timed_seq.le(ack) {
             update_rtt(&mut tcb.rtt, now.saturating_since(sent_at));
             tcb.rtt.timing = None;
@@ -104,6 +117,9 @@ pub fn process_ack<P: Clone + PartialEq + Debug>(
     // buffer bytes.)
     tcb.send_buf.skip(out.bytes_acked as usize);
     tcb.snd_una = ack;
+    if tcb.sack_on {
+        tcb.prune_sack_scoreboard(ack);
+    }
 
     // Fast-recovery ACK processing (NewReno, RFC 6582). An ACK covering
     // the recovery point ends recovery and deflates cwnd to ssthresh; an
@@ -116,15 +132,12 @@ pub fn process_ack<P: Clone + PartialEq + Debug>(
     if cfg.congestion_control {
         if let Some(rp) = tcb.recover {
             if ack.ge(rp) {
-                if tcb.cwnd > 0 {
-                    tcb.cwnd = tcb.ssthresh.max(tcb.mss);
-                }
+                congestion::exit_recovery(tcb, now);
                 tcb.recover = None;
+                tcb.sack_rexmit = None;
                 tcb.push_action(TcpAction::Loss(LossEvent::RecoveryExited));
             } else {
-                if tcb.cwnd > 0 {
-                    tcb.cwnd = tcb.cwnd.saturating_sub(out.bytes_acked).saturating_add(tcb.mss).max(tcb.mss);
-                }
+                congestion::partial_ack(tcb, out.bytes_acked);
                 tcb.rtt.timing = None; // Karn: the hole is retransmitted below
                 partial_ack = true;
                 tcb.push_action(TcpAction::Loss(LossEvent::PartialAck));
@@ -132,15 +145,12 @@ pub fn process_ack<P: Clone + PartialEq + Debug>(
         }
     }
 
-    // Congestion window growth (Jacobson): slow start below ssthresh,
-    // linear above. Suspended while recovering — inflation/deflation
-    // own the window until the recovery point is acknowledged.
-    if cfg.congestion_control && tcb.cwnd > 0 && out.bytes_acked > 0 && !was_in_recovery {
-        if tcb.cwnd < tcb.ssthresh {
-            tcb.cwnd = tcb.cwnd.saturating_add(tcb.mss);
-        } else {
-            tcb.cwnd = tcb.cwnd.saturating_add((tcb.mss * tcb.mss / tcb.cwnd).max(1));
-        }
+    // Congestion window growth: the algorithm behind the seam decides
+    // (Reno: slow start below ssthresh, linear above). Suspended while
+    // recovering — inflation/deflation own the window until the
+    // recovery point is acknowledged.
+    if cfg.congestion_control && !was_in_recovery {
+        congestion::on_ack(tcb, out.bytes_acked, now);
     }
 
     // Retransmit timer: clear when everything is acknowledged, restart
@@ -152,7 +162,21 @@ pub fn process_ack<P: Clone + PartialEq + Debug>(
     }
     tcb.push_action(TcpAction::AckedTo(ack));
     if partial_ack {
-        retransmit_front(core, now);
+        let from = core.tcb.sack_rexmit.unwrap_or(core.tcb.snd_una);
+        if !core.tcb.sack_on || core.tcb.sack_scoreboard.is_empty() {
+            retransmit_front(core, now);
+        } else if !sack_retransmit_next(core, now) {
+            // RFC 6675: the scoreboard, not the cumulative ACK, decides
+            // what goes out next — the hole at `snd_una` usually went
+            // out off an earlier duplicate ACK, and re-sending it on
+            // every partial ACK is the one-hole-per-RTT NewReno tax
+            // SACK exists to avoid. Only when the new front hole lies
+            // beyond everything the scoreboard drove out does the
+            // NewReno retransmit still apply.
+            if core.tcb.resend_queue.front().is_some_and(|f| f.seq.ge(from)) {
+                retransmit_front(core, now);
+            }
+        }
     }
     out
 }
@@ -177,10 +201,14 @@ pub fn duplicate_ack<P: Clone + PartialEq + Debug>(
         return;
     }
     if core.tcb.recover.is_some() {
-        // In recovery: inflate and try to keep the pipe full.
-        let tcb = &mut core.tcb;
-        if tcb.cwnd > 0 {
-            tcb.cwnd = tcb.cwnd.saturating_add(tcb.mss);
+        // In recovery: inflate and try to keep the pipe full. With a
+        // SACK scoreboard the duplicate also pinpoints the *next* hole,
+        // which goes out right away — NewReno must instead wait a full
+        // RTT (one partial ACK) per hole, which is exactly the
+        // multi-hole burst-loss gap SACK closes.
+        congestion::dup_ack_inflate(&mut core.tcb);
+        if core.tcb.sack_on {
+            sack_retransmit_next(core, now);
         }
         crate::send::maybe_send(cfg, core, now);
     } else if core.tcb.dup_acks >= 3 {
@@ -191,17 +219,46 @@ pub fn duplicate_ack<P: Clone + PartialEq + Debug>(
         // e.g. recovery just exited on a partial window — the next
         // duplicate still re-arms it.)
         let tcb = &mut core.tcb;
-        let flight = tcb.flight_size();
-        tcb.ssthresh = (flight / 2).max(2 * tcb.mss);
-        if tcb.cwnd > 0 {
-            // ssthresh plus the three segments the duplicates ACKed.
-            tcb.cwnd = tcb.ssthresh.saturating_add(3 * tcb.mss);
-        }
+        congestion::enter_recovery(tcb, now);
         tcb.recover = Some(tcb.snd_nxt);
+        tcb.sack_rexmit = None;
         tcb.rtt.timing = None; // Karn
         tcb.push_action(TcpAction::Loss(LossEvent::RecoveryEntered));
         tcb.push_action(TcpAction::Loss(LossEvent::FastRetransmit));
         retransmit_front(core, now);
+        if core.tcb.sack_on {
+            // The front hole just went out; remember so further
+            // duplicates advance to the following holes.
+            core.tcb.sack_rexmit = core.tcb.resend_queue.front().map(SentSegment::end);
+        }
+    }
+}
+
+/// SACK-based loss recovery (RFC 6675, simplified): retransmits the
+/// next segment the scoreboard shows as a hole — unacknowledged, not
+/// SACKed, and below the highest SACKed edge (segments above it are not
+/// yet presumed lost). At most one segment per duplicate ACK, so the
+/// retransmissions are ACK-clocked like the rest of recovery. Returns
+/// whether a hole was found and retransmitted.
+pub fn sack_retransmit_next<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, now: VirtualTime) -> bool {
+    let high = match core.tcb.sack_scoreboard.last() {
+        Some((_, e)) => *e,
+        None => return false, // no scoreboard: plain NewReno behavior
+    };
+    let from = core.tcb.sack_rexmit.unwrap_or(core.tcb.snd_una);
+    let hole = core
+        .tcb
+        .resend_queue
+        .iter()
+        .find(|s| s.seq.ge(from) && s.end().le(high) && !core.tcb.sacked(s.seq, s.end()))
+        .cloned();
+    if let Some(seg) = hole {
+        core.tcb.sack_rexmit = Some(seg.end());
+        retransmit_segment(core, &seg, now);
+        core.tcb.push_action(TcpAction::Loss(LossEvent::FastRetransmit));
+        true
+    } else {
+        false
     }
 }
 
@@ -209,28 +266,42 @@ pub fn duplicate_ack<P: Clone + PartialEq + Debug>(
 /// transmission. The payload is *not* re-read from the send buffer: the
 /// queued [`foxbasis::buf::PacketBuf`] is re-referenced, so a pure
 /// retransmission memcpys nothing.
-pub fn retransmit_front<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, _now: VirtualTime) {
-    let tcb = &mut core.tcb;
-    let front = match tcb.resend_queue.front() {
+pub fn retransmit_front<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, now: VirtualTime) {
+    let front = match core.tcb.resend_queue.front() {
         Some(s) => s.clone(),
         None => return,
     };
-    let payload = front.payload.clone();
+    retransmit_segment(core, &front, now);
+}
+
+/// Rebuilds the header for `seg` (current `rcv_nxt`, window, negotiated
+/// options) and queues it for transmission.
+fn retransmit_segment<P: Clone + PartialEq + Debug>(
+    core: &mut ConnCore<P>,
+    seg: &SentSegment,
+    now: VirtualTime,
+) {
+    let payload = seg.payload.clone();
     let mut header = TcpHeader::new(core.local_port, core.remote.as_ref().map(|(_, p)| *p).unwrap_or(0));
-    header.seq = front.seq;
-    header.ack = tcb.rcv_nxt;
+    header.seq = seg.seq;
+    header.ack = core.tcb.rcv_nxt;
     header.flags = TcpFlags {
-        syn: front.syn,
-        fin: front.fin,
-        ack: core.state.is_synchronized() || !front.syn,
-        psh: !front.is_empty(),
+        syn: seg.syn,
+        fin: seg.fin,
+        ack: core.state.is_synchronized() || !seg.syn,
+        psh: !seg.is_empty(),
         ..TcpFlags::default()
     };
-    if front.syn {
-        header.options.push(foxwire::tcp::TcpOption::MaxSegmentSize(core.our_mss.min(65535) as u16));
+    if seg.syn {
         header.flags.ack = core.state.is_syn_received();
+        crate::send::push_syn_options(core, &mut header, now);
+    } else if core.tcb.ts_on {
+        header
+            .options
+            .push(foxwire::tcp::TcpOption::Timestamps(crate::send::ts_val(now), core.tcb.ts_recent));
     }
-    header.window = tcb.rcv_wnd().min(65535) as u16;
+    header.window = core.tcb.wire_window_field(seg.syn);
+    let tcb = &mut core.tcb;
     tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload }));
 }
 
@@ -263,15 +334,14 @@ pub fn retransmit_timeout<P: Clone + PartialEq + Debug>(
         tcb.rtt.timing = None; // Karn: never time a retransmitted segment
         tcb.push_action(TcpAction::Loss(LossEvent::Rto));
         if cfg.congestion_control {
-            let flight = tcb.flight_size();
-            tcb.ssthresh = (flight / 2).max(2 * tcb.mss);
-            if tcb.cwnd > 0 {
-                tcb.cwnd = tcb.mss; // back to slow start
-            }
+            congestion::on_rto(tcb, now);
             tcb.dup_acks = 0;
             // An RTO abandons any fast recovery in progress — slow start
-            // owns the window again.
+            // owns the window again. RFC 6675 also discards the SACK
+            // scoreboard: the network state it described is stale.
             tcb.recover = None;
+            tcb.sack_scoreboard.clear();
+            tcb.sack_rexmit = None;
         }
         // SYN-state retry accounting lives in the state, mirroring the
         // paper's `Syn_Sent of tcp_tcb * int`.

@@ -17,20 +17,70 @@ use foxbasis::time::VirtualTime;
 use foxwire::tcp::{TcpFlags, TcpHeader, TcpOption, TcpSegment};
 use std::fmt::Debug;
 
+/// The RFC 7323 timestamp clock: the virtual clock in milliseconds,
+/// truncated to the 32-bit TSval field (wrap is handled by the
+/// modular-arithmetic comparisons on the receive side).
+pub fn ts_val(now: VirtualTime) -> u32 {
+    now.as_millis() as u32
+}
+
 /// Builds a header for the current connection state: ports, `rcv_nxt`
-/// acknowledgment, advertised window.
-pub fn make_header<P: Clone + PartialEq + Debug>(core: &ConnCore<P>, flags: TcpFlags, seq: Seq) -> TcpHeader {
+/// acknowledgment, advertised window (scaled per the negotiation), and
+/// the per-segment options — timestamps and SACK blocks — that ride on
+/// every post-handshake segment once negotiated. SYN options are the
+/// caller's job ([`push_syn_options`]).
+pub fn make_header<P: Clone + PartialEq + Debug>(
+    core: &ConnCore<P>,
+    flags: TcpFlags,
+    seq: Seq,
+    now: VirtualTime,
+) -> TcpHeader {
     let mut h = TcpHeader::new(core.local_port, core.remote.as_ref().map(|(_, p)| *p).unwrap_or(0));
     h.seq = seq;
     h.ack = if flags.ack { core.tcb.rcv_nxt } else { Seq(0) };
     h.flags = flags;
-    h.window = core.tcb.rcv_wnd().min(65535) as u16;
+    h.window = core.tcb.wire_window_field(flags.syn);
+    if !flags.syn {
+        if core.tcb.ts_on {
+            h.options.push(TcpOption::Timestamps(ts_val(now), core.tcb.ts_recent));
+        }
+        if core.tcb.sack_on && flags.ack {
+            let blocks = core.tcb.sack_blocks_to_send();
+            if !blocks.is_empty() {
+                h.options.push(TcpOption::Sack(blocks));
+            }
+        }
+    }
     h
 }
 
+/// Appends the negotiated-at-SYN options to a SYN or SYN+ACK header:
+/// MSS always; window scale, SACK-permitted and timestamps per the
+/// offer flags (on our SYN) or per what the peer's SYN already agreed
+/// to (on a SYN+ACK — an option the peer withheld is cleanly omitted,
+/// RFC 7323 §2.5).
+pub fn push_syn_options<P: Clone + PartialEq + Debug>(
+    core: &ConnCore<P>,
+    header: &mut TcpHeader,
+    now: VirtualTime,
+) {
+    header.options.push(TcpOption::MaxSegmentSize(core.our_mss.min(65535) as u16));
+    let tcb = &core.tcb;
+    let answering = header.flags.ack; // SYN+ACK answers the peer's offers
+    if if answering { tcb.wscale_on } else { tcb.offer_wscale } {
+        header.options.push(TcpOption::WindowScale(tcb.rcv_wscale));
+    }
+    if if answering { tcb.sack_on } else { tcb.offer_sack } {
+        header.options.push(TcpOption::SackPermitted);
+    }
+    if if answering { tcb.ts_on } else { tcb.offer_ts } {
+        header.options.push(TcpOption::Timestamps(ts_val(now), tcb.ts_recent));
+    }
+}
+
 /// Stages a pure ACK of the current `rcv_nxt`.
-pub fn queue_ack<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>) {
-    let header = make_header(core, TcpFlags::ACK, core.tcb.snd_nxt);
+pub fn queue_ack<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, now: VirtualTime) {
+    let header = make_header(core, TcpFlags::ACK, core.tcb.snd_nxt, now);
     core.tcb.ack_pending = false;
     core.tcb.bytes_since_ack = 0;
     core.tcb.segs_since_ack = 0;
@@ -42,8 +92,8 @@ pub fn queue_ack<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>) {
 /// retransmission.
 pub fn queue_syn<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, with_ack: bool, now: VirtualTime) {
     let flags = if with_ack { TcpFlags::SYN_ACK } else { TcpFlags::SYN };
-    let mut header = make_header(core, flags, core.tcb.iss);
-    header.options.push(TcpOption::MaxSegmentSize(core.our_mss.min(65535) as u16));
+    let mut header = make_header(core, flags, core.tcb.iss, now);
+    push_syn_options(core, &mut header, now);
     core.tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload: PacketBuf::new() }));
     if core.tcb.snd_nxt == core.tcb.iss {
         let iss = core.tcb.iss;
@@ -67,7 +117,7 @@ pub fn maybe_send<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut Conn
         }
         let unsent = tcb.unsent();
         let usable = tcb.usable_window();
-        let take = unsent.min(usable).min(core.tcb.mss);
+        let take = unsent.min(usable).min(core.tcb.eff_mss());
 
         let fin_now = core.tcb.fin_pending && core.tcb.fin_seq.is_none() && unsent == take; // this segment (possibly empty) drains the buffer
 
@@ -82,7 +132,8 @@ pub fn maybe_send<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut Conn
         }
 
         // Nagle: hold small segments while anything is in flight.
-        if cfg.nagle && !fin_now && take < core.tcb.mss && core.tcb.flight_size() > 0 && take == unsent {
+        if cfg.nagle && !fin_now && take < core.tcb.eff_mss() && core.tcb.flight_size() > 0 && take == unsent
+        {
             return;
         }
 
@@ -103,7 +154,7 @@ pub fn maybe_send<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut Conn
         let seq = core.tcb.snd_nxt;
         let push = take > 0 && take == unsent;
         let flags = TcpFlags { ack: true, psh: push, fin: fin_now, ..TcpFlags::default() };
-        let header = make_header(core, flags, seq);
+        let header = make_header(core, flags, seq, now);
         core.tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload: payload.clone() }));
         core.tcb.snd_nxt = seq + take + u32::from(fin_now);
         if fin_now {
@@ -164,7 +215,7 @@ pub fn window_probe<P: Clone + PartialEq + Debug>(
         return;
     }
     let seq = core.tcb.snd_nxt;
-    let header = make_header(core, TcpFlags { ack: true, psh: true, ..TcpFlags::default() }, seq);
+    let header = make_header(core, TcpFlags { ack: true, psh: true, ..TcpFlags::default() }, seq, now);
     core.tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload: payload.clone() }));
     core.tcb.snd_nxt = seq + 1;
     resend::record_sent(&mut core.tcb, SentSegment { seq, payload, syn: false, fin: false }, now);
@@ -242,6 +293,29 @@ mod tests {
         assert!(!segs[0].header.flags.psh);
         assert_eq!(core.tcb.snd_nxt, Seq(2600));
         assert_eq!(core.tcb.resend_queue.len(), 3);
+    }
+
+    #[test]
+    fn segmentation_subtracts_the_timestamp_option() {
+        // RFC 6691 §3: the MSS never accounts for options, so with
+        // timestamps on the segmentation loop must shave the option's
+        // 12 padded bytes — a "full" segment sized by the raw MSS would
+        // overflow the link MTU and fragment.
+        let cfg = TcpConfig { nagle: false, ..TcpConfig::default() };
+        let mut core = estab_core(10_000);
+        core.tcb.ts_on = true;
+        let n = user_send(&cfg, &mut core, &[7u8; 2000], VirtualTime::ZERO);
+        assert_eq!(n, 2000);
+        let segs = staged_segments(&core);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].payload.len(), 988, "mss 1000 less the 12-byte option");
+        assert_eq!(segs[1].payload.len(), 988);
+        assert_eq!(segs[2].payload.len(), 24);
+        assert_eq!(
+            segs[0].header.header_len() + segs[0].payload.len(),
+            20 + 1000,
+            "header plus payload fills exactly what the raw MSS promised the link"
+        );
     }
 
     #[test]
@@ -428,10 +502,59 @@ mod tests {
     }
 
     #[test]
+    fn syn_offers_configured_options_and_syn_ack_echoes_negotiated() {
+        let cfg = TcpConfig {
+            window_scale: true,
+            sack: true,
+            timestamps: true,
+            initial_window: 1 << 20,
+            ..TcpConfig::default()
+        };
+        let mut core: ConnCore<u32> = ConnCore::new(&cfg, 1000, Seq(100), 1460);
+        core.remote = Some((7, 2000));
+        core.state = TcpState::SynSent { retries_left: 3 };
+        queue_syn(&mut core, false, VirtualTime::from_millis(250));
+        let segs = staged_segments(&core);
+        let h = &segs[0].header;
+        assert_eq!(h.mss(), Some(1460));
+        assert_eq!(h.wscale(), Some(5), "offers the shift covering a 1 MiB buffer");
+        assert!(h.sack_permitted());
+        assert_eq!(h.timestamps(), Some((250, 0)), "TSecr is zero on the initial SYN");
+        assert_eq!(h.window, 0xffff, "a SYN window is never scaled");
+
+        // A SYN+ACK echoes only what was negotiated: here the peer
+        // offered nothing, so nothing is echoed even though we offer.
+        let mut core: ConnCore<u32> = ConnCore::new(&cfg, 1000, Seq(100), 1460);
+        core.remote = Some((7, 2000));
+        core.state = TcpState::SynPassive { retries_left: 3 };
+        queue_syn(&mut core, true, VirtualTime::ZERO);
+        let segs = staged_segments(&core);
+        let h = &segs[0].header;
+        assert_eq!(h.wscale(), None);
+        assert!(!h.sack_permitted());
+        assert_eq!(h.timestamps(), None);
+        assert_eq!(h.mss(), Some(1460), "MSS always rides on a SYN");
+    }
+
+    #[test]
+    fn negotiated_segments_carry_timestamps_and_sack_blocks() {
+        let mut core = estab_core(10_000);
+        core.tcb.ts_on = true;
+        core.tcb.ts_recent = 777;
+        core.tcb.sack_on = true;
+        core.tcb.insert_out_of_order(Seq(6000), vec![1u8; 100], false);
+        queue_ack(&mut core, VirtualTime::from_millis(1234));
+        let segs = staged_segments(&core);
+        let h = &segs[0].header;
+        assert_eq!(h.timestamps(), Some((1234, 777)));
+        assert_eq!(h.sack_blocks(), &[(Seq(6000), Seq(6100))]);
+    }
+
+    #[test]
     fn ack_header_reflects_rcv_state() {
         let mut core = estab_core(1000);
         core.tcb.rcv_nxt = Seq(9999);
-        queue_ack(&mut core);
+        queue_ack(&mut core, VirtualTime::ZERO);
         let segs = staged_segments(&core);
         assert_eq!(segs[0].header.ack, Seq(9999));
         assert_eq!(segs[0].header.window, 4096);

@@ -87,13 +87,14 @@ pub fn close<P: Clone + PartialEq + Debug>(
 pub fn abort<P: Clone + PartialEq + Debug>(
     _cfg: &TcpConfig,
     core: &mut ConnCore<P>,
+    now: VirtualTime,
 ) -> Result<(), ProtoError> {
     let was = core.state.clone();
     if was == TcpState::Closed {
         return Err(ProtoError::NotOpen);
     }
     if core.state.is_synchronized() && was != TcpState::TimeWait {
-        let header = send::make_header(core, TcpFlags::RST_ACK, core.tcb.snd_nxt);
+        let header = send::make_header(core, TcpFlags::RST_ACK, core.tcb.snd_nxt, now);
         core.tcb.push_action(TcpAction::SendSegment(foxwire::tcp::TcpSegment {
             header,
             payload: foxbasis::buf::PacketBuf::new(),
@@ -127,7 +128,7 @@ pub fn timer_expired<P: Clone + PartialEq + Debug>(
         }
         TimerKind::DelayedAck => {
             if core.tcb.ack_pending {
-                send::queue_ack(core);
+                send::queue_ack(core, now);
             }
         }
         TimerKind::Persist => {
@@ -253,7 +254,7 @@ mod tests {
         let mut core = fresh();
         core.state = TcpState::Estab;
         core.tcb.send_buf.write(&[1; 100]);
-        abort(&cfg(), &mut core).unwrap();
+        abort(&cfg(), &mut core, VirtualTime::ZERO).unwrap();
         assert_eq!(core.state, TcpState::Closed);
         assert_eq!(core.tcb.send_buf.len(), 0);
         let acts: Vec<String> =
@@ -266,7 +267,7 @@ mod tests {
     fn abort_from_syn_sent_sends_no_rst() {
         let mut core = fresh();
         core.state = TcpState::SynSent { retries_left: 1 };
-        abort(&cfg(), &mut core).unwrap();
+        abort(&cfg(), &mut core, VirtualTime::ZERO).unwrap();
         let acts: Vec<String> =
             core.tcb.to_do.borrow_mut().drain_all().iter().map(|a| format!("{a:?}")).collect();
         assert!(!acts.iter().any(|a| a.contains("RST")), "{acts:?}");

@@ -231,6 +231,38 @@ pub struct Tcb<P> {
     // --- negotiated parameters ---
     /// Effective maximum segment size for sending.
     pub mss: u32,
+    /// Offer window scaling on our SYN (from [`crate::TcpConfig`]).
+    pub offer_wscale: bool,
+    /// Offer SACK on our SYN.
+    pub offer_sack: bool,
+    /// Offer timestamps on our SYN.
+    pub offer_ts: bool,
+    /// True once *both* sides carried the window-scale option on their
+    /// SYNs (RFC 7323 §2.5). Until then every window stays 16-bit.
+    pub wscale_on: bool,
+    /// The shift the peer applies to windows it advertises (their SYN's
+    /// option value). Meaningful only when [`Tcb::wscale_on`].
+    pub snd_wscale: u8,
+    /// The shift we apply to windows we advertise (picked from our
+    /// receive-buffer size at construction).
+    pub rcv_wscale: u8,
+    /// True once both SYNs carried SACK-permitted (RFC 2018).
+    pub sack_on: bool,
+    /// The sender-side SACK scoreboard (RFC 6675): peer-reported
+    /// received ranges above `snd_una`, merged and sorted.
+    pub sack_scoreboard: Vec<(Seq, Seq)>,
+    /// Highest sequence retransmitted from a SACK hole in the current
+    /// recovery episode (so each duplicate ACK advances to the *next*
+    /// hole instead of re-sending the same one).
+    pub sack_rexmit: Option<Seq>,
+    /// True once both SYNs carried the timestamps option (RFC 7323).
+    pub ts_on: bool,
+    /// `TS.Recent` — the peer timestamp we echo in TSecr, updated by the
+    /// RFC 7323 rule and consulted by the PAWS check.
+    pub ts_recent: u32,
+    /// TSecr of the most recent acceptable ACK, pending an RTTM sample
+    /// in `resend::process_ack`.
+    pub ts_ecr_pending: Option<u32>,
 
     // --- data buffers ---
     /// Outgoing byte store: `snd_una .. snd_una + send_buf.len()`.
@@ -270,6 +302,10 @@ pub struct Tcb<P> {
     /// `snd_nxt` at entry. An ACK covering it ends recovery; an ACK
     /// below it is a partial ACK and retransmits the next hole.
     pub recover: Option<Seq>,
+    /// The congestion-control algorithm state (the
+    /// [`crate::congestion::CongestionControl`] seam). All writes to
+    /// [`Tcb::cwnd`]/[`Tcb::ssthresh`] flow through it.
+    pub cc: crate::congestion::CcMachine,
     /// Zero-window probe backoff exponent. Separate from
     /// [`RttEstimator::backoff`] because every *answered* probe resets
     /// the RTT backoff (the probe byte is new data being acked) while
@@ -298,6 +334,13 @@ pub struct Tcb<P> {
 /// Maximum out-of-order segments held (smoltcp's upper configuration).
 pub const MAX_OUT_OF_ORDER: usize = 32;
 
+/// The window-scale shift to offer for a receive buffer of `capacity`
+/// bytes: the smallest shift that lets the 16-bit field cover the whole
+/// buffer, clamped to RFC 7323's maximum of 14.
+pub fn wscale_for(capacity: usize) -> u8 {
+    foxwire::tcp::wscale_for(capacity)
+}
+
 impl<P> Tcb<P> {
     /// A TCB for a connection with the given buffer sizes and initial
     /// send sequence number.
@@ -314,6 +357,18 @@ impl<P> Tcb<P> {
             rcv_nxt: Seq(0),
             rcv_up: Seq(0),
             mss: 536,
+            offer_wscale: false,
+            offer_sack: false,
+            offer_ts: false,
+            wscale_on: false,
+            snd_wscale: 0,
+            rcv_wscale: 0,
+            sack_on: false,
+            sack_scoreboard: Vec::new(),
+            sack_rexmit: None,
+            ts_on: false,
+            ts_recent: 0,
+            ts_ecr_pending: None,
             send_buf: RingBuffer::new(send_buffer.max(1)),
             fin_pending: false,
             fin_seq: None,
@@ -326,6 +381,7 @@ impl<P> Tcb<P> {
             ssthresh: u32::MAX,
             dup_acks: 0,
             recover: None,
+            cc: crate::congestion::CcMachine::default(),
             persist_backoff: 0,
             ack_pending: false,
             bytes_since_ack: 0,
@@ -336,9 +392,124 @@ impl<P> Tcb<P> {
     }
 
     /// The receive window we advertise: free space in the receive
-    /// buffer, capped at the 16-bit field.
+    /// buffer, capped at what the 16-bit field can carry under the
+    /// negotiated shift. Without window scaling this is exactly the
+    /// classic `min(free, 65535)`; with it, the value is what the peer
+    /// reconstructs after the wire round-trip (rounded down to the
+    /// shift granularity), so acceptance checks and advertisements
+    /// always agree.
     pub fn rcv_wnd(&self) -> u32 {
-        (self.recv_buf.free() as u32).min(65535)
+        let free = self.recv_buf.free() as u32;
+        let shift = self.adv_wscale();
+        u32::from(foxwire::tcp::wire_window(free, shift)) << shift
+    }
+
+    /// The shift applied to windows we advertise (0 unless negotiated).
+    pub fn adv_wscale(&self) -> u8 {
+        if self.wscale_on {
+            self.rcv_wscale
+        } else {
+            0
+        }
+    }
+
+    /// The shift applied to windows the peer advertises (0 unless
+    /// negotiated).
+    pub fn snd_shift(&self) -> u8 {
+        if self.wscale_on {
+            self.snd_wscale
+        } else {
+            0
+        }
+    }
+
+    /// The 16-bit window field for an outgoing header. A SYN's window is
+    /// never scaled (RFC 7323 §2.2), so the shift only applies after the
+    /// handshake. This (via [`foxwire::tcp::wire_window`]) is the one
+    /// sanctioned `u32 → u16` window narrowing in the stack.
+    pub fn wire_window_field(&self, syn: bool) -> u16 {
+        let shift = if syn { 0 } else { self.adv_wscale() };
+        foxwire::tcp::wire_window(self.recv_buf.free() as u32, shift)
+    }
+
+    /// A peer-advertised window field, widened by the negotiated shift.
+    /// Windows carried on SYN segments are never scaled.
+    pub fn scale_peer_window(&self, window: u16, syn: bool) -> u32 {
+        let shift = if syn { 0 } else { self.snd_shift() };
+        u32::from(window) << shift
+    }
+
+    /// Up to three SACK blocks describing the out-of-order queue
+    /// (RFC 2018): merged contiguous ranges above `rcv_nxt`, in
+    /// ascending order. (RFC 2018 prefers most-recent-first; ascending
+    /// is equally legal and keeps the report deterministic.)
+    pub fn sack_blocks_to_send(&self) -> Vec<(Seq, Seq)> {
+        let mut blocks: Vec<(Seq, Seq)> = Vec::new();
+        for (seq, data, fin) in &self.out_of_order {
+            let end = *seq + data.len() as u32 + u32::from(*fin);
+            match blocks.last_mut() {
+                Some((_, e)) if seq.le(*e) => {
+                    if end.gt(*e) {
+                        *e = end;
+                    }
+                }
+                _ => blocks.push((*seq, end)),
+            }
+        }
+        blocks.truncate(3);
+        blocks
+    }
+
+    /// Merges peer-reported SACK blocks into the scoreboard, dropping
+    /// anything at or below `snd_una` and keeping the ranges sorted and
+    /// disjoint.
+    pub fn note_sack_blocks(&mut self, blocks: &[(Seq, Seq)]) {
+        for &(start, end) in blocks {
+            let start = if start.lt(self.snd_una) { self.snd_una } else { start };
+            if !start.lt(end) || end.since(start) > (1 << 30) {
+                continue; // empty or implausible range
+            }
+            let at = self
+                .sack_scoreboard
+                .binary_search_by(|(s, _)| {
+                    if s.lt(start) {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                })
+                .unwrap_or_else(|e| e);
+            self.sack_scoreboard.insert(at, (start, end));
+        }
+        // Coalesce overlapping/adjacent ranges.
+        let mut merged: Vec<(Seq, Seq)> = Vec::new();
+        for &(s, e) in &self.sack_scoreboard {
+            match merged.last_mut() {
+                Some((_, me)) if s.le(*me) => {
+                    if e.gt(*me) {
+                        *me = e;
+                    }
+                }
+                _ => merged.push((s, e)),
+            }
+        }
+        merged.truncate(16);
+        self.sack_scoreboard = merged;
+    }
+
+    /// Drops scoreboard ranges the cumulative ACK has overtaken.
+    pub fn prune_sack_scoreboard(&mut self, ack: Seq) {
+        self.sack_scoreboard.retain(|(_, e)| e.gt(ack));
+        for (s, _) in &mut self.sack_scoreboard {
+            if s.lt(ack) {
+                *s = ack;
+            }
+        }
+    }
+
+    /// True if the peer has SACKed the whole range `[seq, end)`.
+    pub fn sacked(&self, seq: Seq, end: Seq) -> bool {
+        self.sack_scoreboard.iter().any(|(s, e)| s.le(seq) && end.le(*e))
     }
 
     /// Bytes in flight (sent, unacknowledged).
@@ -360,6 +531,21 @@ impl<P> Tcb<P> {
     /// cannot stop the probe interval from growing.
     pub fn persist_timeout(&self) -> VirtualDuration {
         self.rtt.rto.saturating_mul(1u64 << self.persist_backoff.min(6)).min(MAX_RTO)
+    }
+
+    /// The largest payload a data segment may carry: the negotiated MSS
+    /// less the option bytes every data segment wears. The MSS never
+    /// accounts for options (RFC 6691 §3), so the sender subtracts them
+    /// here — a timestamped "full" segment sized by the raw MSS would
+    /// overflow the link MTU by exactly the option's 12 bytes and
+    /// fragment. Only timestamps ride on data segments; the SYN-only
+    /// options and the receiver's SACK blocks never do.
+    pub fn eff_mss(&self) -> u32 {
+        if self.ts_on {
+            self.mss.saturating_sub(foxwire::tcp::TIMESTAMPS_SEGMENT_OVERHEAD).max(1)
+        } else {
+            self.mss
+        }
     }
 
     /// Unsent bytes staged in the send buffer (the paper's `queued`).
@@ -571,6 +757,70 @@ mod tests {
         let s = SentSegment { seq: Seq(10), payload: vec![0u8; 100].into(), syn: false, fin: true };
         assert_eq!(s.seq_len(), 101);
         assert_eq!(s.end(), Seq(111));
+    }
+
+    #[test]
+    fn wscale_for_covers_buffer() {
+        assert_eq!(wscale_for(4096), 0);
+        assert_eq!(wscale_for(65535), 0);
+        assert_eq!(wscale_for(65536), 1);
+        // (1 << 20) >> 4 = 65536 still exceeds the 16-bit field.
+        assert_eq!(wscale_for(1 << 20), 5);
+        assert_eq!(wscale_for(usize::MAX), 14, "clamped to RFC 7323's max");
+    }
+
+    #[test]
+    fn rcv_wnd_uncaps_with_negotiated_scale() {
+        let mut t: Tcb<()> = Tcb::new(Seq(0), 16, 1 << 20);
+        assert_eq!(t.rcv_wnd(), 65535, "unscaled until negotiated");
+        t.wscale_on = true;
+        t.rcv_wscale = 5;
+        assert_eq!(t.rcv_wnd(), 1 << 20, "full buffer visible");
+        t.recv_buf.write(&[0; 100]);
+        // Rounded down to the 32-byte shift granularity — what the peer
+        // reconstructs from the wire field.
+        assert_eq!(t.rcv_wnd(), ((1 << 20) - 100) & !0x1f);
+        assert_eq!(t.wire_window_field(false), (((1 << 20) - 100) >> 5) as u16);
+        assert_eq!(t.wire_window_field(true), 0xffff, "SYN windows are never scaled");
+    }
+
+    #[test]
+    fn peer_window_scaling_skips_syn() {
+        let mut t = tcb();
+        t.wscale_on = true;
+        t.snd_wscale = 7;
+        assert_eq!(t.scale_peer_window(512, false), 512 << 7);
+        assert_eq!(t.scale_peer_window(512, true), 512, "SYN windows are never scaled");
+        t.wscale_on = false;
+        assert_eq!(t.scale_peer_window(512, false), 512);
+    }
+
+    #[test]
+    fn sack_blocks_report_out_of_order_ranges() {
+        let mut t = tcb();
+        t.rcv_nxt = Seq(100);
+        t.insert_out_of_order(Seq(200), vec![1; 50], false);
+        t.insert_out_of_order(Seq(250), vec![2; 50], false); // adjacent: merges
+        t.insert_out_of_order(Seq(400), vec![3; 10], true); // FIN occupies a number
+        assert_eq!(t.sack_blocks_to_send(), vec![(Seq(200), Seq(300)), (Seq(400), Seq(411))]);
+        assert!(tcb().sack_blocks_to_send().is_empty());
+    }
+
+    #[test]
+    fn sack_scoreboard_merges_and_prunes() {
+        let mut t = tcb();
+        t.snd_una = Seq(1000);
+        t.note_sack_blocks(&[(Seq(2000), Seq(3000))]);
+        t.note_sack_blocks(&[(Seq(4000), Seq(5000)), (Seq(2500), Seq(3500))]);
+        assert_eq!(t.sack_scoreboard, vec![(Seq(2000), Seq(3500)), (Seq(4000), Seq(5000))]);
+        assert!(t.sacked(Seq(2000), Seq(3000)));
+        assert!(t.sacked(Seq(4000), Seq(5000)));
+        assert!(!t.sacked(Seq(3400), Seq(4100)), "spans a hole");
+        // Stale range at/below snd_una is clipped away entirely.
+        t.note_sack_blocks(&[(Seq(500), Seq(900))]);
+        assert_eq!(t.sack_scoreboard.len(), 2);
+        t.prune_sack_scoreboard(Seq(4500));
+        assert_eq!(t.sack_scoreboard, vec![(Seq(4500), Seq(5000))]);
     }
 
     #[test]

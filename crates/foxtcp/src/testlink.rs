@@ -179,7 +179,7 @@ impl IpAux for TestAux {
     }
 
     fn mtu(&self) -> usize {
-        1480
+        1500 // the conventional Ethernet link MTU, so the MSS pins at 1460
     }
 }
 

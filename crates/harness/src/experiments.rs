@@ -510,7 +510,7 @@ pub fn loss_matrix_profiles() -> Vec<(&'static str, FaultConfig)> {
 /// A window wide enough (≥ 11 MSS) that three duplicate ACKs can
 /// actually accumulate behind a hole; the paper's 4096-byte window is
 /// under three segments and would mask fast retransmit entirely.
-fn loss_matrix_config() -> TcpConfig {
+pub fn loss_matrix_config() -> TcpConfig {
     TcpConfig { initial_window: 16384, send_buffer: 32768, delayed_ack_ms: None, ..TcpConfig::default() }
 }
 
@@ -574,6 +574,210 @@ pub fn render_loss_matrix(cells: &[LossCell]) -> Table {
             c.fast_retransmits.to_string(),
             c.recoveries.to_string(),
             c.rto_fires.to_string(),
+        ]);
+    }
+    tab
+}
+
+// ----- TCP options: interop matrix and SACK-vs-NewReno (DESIGN.md §5.9) -----
+
+/// The option profiles of the interop matrix: every option alone, none,
+/// and all together, so a negotiation bug in any single module shows up
+/// as its own row.
+pub fn option_profiles() -> Vec<(&'static str, bool, bool, bool)> {
+    vec![
+        // (name, window_scale, sack, timestamps)
+        ("none", false, false, false),
+        ("wscale", true, false, false),
+        ("sack", false, true, false),
+        ("ts", false, false, true),
+        ("all", true, true, true),
+    ]
+}
+
+/// One cell of the options interop matrix.
+#[derive(Clone, Debug)]
+pub struct OptionCell {
+    /// Option profile name.
+    pub options: &'static str,
+    /// "sender -> receiver" stack pairing.
+    pub pairing: String,
+    /// Fault profile name.
+    pub profile: &'static str,
+    /// Throughput, Mb/s.
+    pub throughput_mbps: f64,
+    /// Sender retransmissions (all causes).
+    pub retransmits: u64,
+}
+
+/// The loss-matrix config with one option profile switched on. The
+/// window stays at the loss-matrix size so the `none` rows are directly
+/// comparable with the loss matrix itself.
+fn option_config(wscale: bool, sack: bool, ts: bool) -> TcpConfig {
+    TcpConfig { window_scale: wscale, sack, timestamps: ts, ..loss_matrix_config() }
+}
+
+/// Everything observable about one interop cell, for exact-equality
+/// comparison of same-seed reruns.
+fn option_cell_run(
+    sender: StackKind,
+    receiver: StackKind,
+    cfg: &TcpConfig,
+    faults: &FaultConfig,
+    bytes: usize,
+    seed: u64,
+) -> (usize, f64, VirtualDuration, StationStats, StationStats, NetStats) {
+    let netcfg = NetConfig { faults: faults.clone(), ..NetConfig::default() };
+    let net = SimNet::new(netcfg, seed);
+    let mut s = sender.build(&net, 1, 2, CostModel::modern(), false, cfg.clone());
+    let mut r = receiver.build(&net, 2, 1, CostModel::modern(), false, cfg.clone());
+    let res = bulk_transfer(&net, &mut s, &mut r, bytes, VirtualTime::from_millis(600_000));
+    (res.bytes, res.throughput_mbps, res.elapsed, res.sender, res.receiver, net.stats())
+}
+
+/// The options interop matrix: {none, wscale, sack, ts, all} × {fox→fox,
+/// fox→xk, xk→fox} × every loss-matrix fault profile, on fixed seeds.
+/// Every cell must deliver every byte, and every cell runs twice to
+/// assert that identical seeds replay bit-identically — negotiation must
+/// not perturb determinism. The x-kernel pairings additionally prove
+/// that each option degrades cleanly against a peer with a simpler
+/// implementation (xk echoes timestamps but keeps go-back-N, so its
+/// SackPermitted never grows a scoreboard).
+pub fn options_interop(bytes: usize, seed: u64) -> Vec<OptionCell> {
+    let pairings = [
+        (StackKind::FoxStandard, StackKind::FoxStandard),
+        (StackKind::FoxStandard, StackKind::XKernel),
+        (StackKind::XKernel, StackKind::FoxStandard),
+    ];
+    let mut cells = Vec::new();
+    for (opts, wscale, sack, ts) in option_profiles() {
+        let cfg = option_config(wscale, sack, ts);
+        for &(sender, receiver) in &pairings {
+            for (profile, faults) in loss_matrix_profiles() {
+                let a = option_cell_run(sender, receiver, &cfg, &faults, bytes, seed);
+                let b = option_cell_run(sender, receiver, &cfg, &faults, bytes, seed);
+                let pairing = format!("{} -> {}", sender.name(), receiver.name());
+                assert_eq!(a, b, "{opts}/{pairing}/{profile}: same seed must replay bit-identically");
+                assert_eq!(a.0, bytes, "{opts}/{pairing}/{profile}: transfer must complete");
+                cells.push(OptionCell {
+                    options: opts,
+                    pairing,
+                    profile,
+                    throughput_mbps: a.1,
+                    retransmits: a.3.retransmits,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Renders the options interop matrix.
+pub fn render_options_interop(cells: &[OptionCell]) -> Table {
+    let mut tab = Table::new(
+        "Options interop matrix (every cell delivered all bytes; identical seeds replay bit-identically)",
+        &["options", "pairing", "fault profile", "Mb/s", "retx"],
+    );
+    for c in cells {
+        tab.row(&[
+            c.options.into(),
+            c.pairing.clone(),
+            c.profile.into(),
+            f2(c.throughput_mbps),
+            c.retransmits.to_string(),
+        ]);
+    }
+    tab
+}
+
+/// One seed's SACK-vs-NewReno comparison under multi-hole burst loss.
+#[derive(Clone, Debug)]
+pub struct SackRow {
+    /// The seed this row ran under.
+    pub seed: u64,
+    /// Recovery scheme ("NewReno" or "SACK").
+    pub scheme: &'static str,
+    /// Completion time of the transfer, ms.
+    pub elapsed_ms: f64,
+    /// Payload bytes retransmitted (bytes sent beyond those delivered).
+    pub retransmitted_bytes: u64,
+    /// Sender retransmissions (all causes).
+    pub retransmits: u64,
+    /// Retransmission-timer retransmits on the sender.
+    pub rto_fires: u64,
+}
+
+fn sack_cell(sack: bool, bytes: usize, seed: u64) -> SackRow {
+    // A window wide enough (~43 MSS) for a burst to punch several holes
+    // into one flight — the multi-hole regime where cumulative-ACK
+    // NewReno retransmits one hole per RTT while the SACK scoreboard
+    // fills them all in the first.
+    let cfg = TcpConfig {
+        initial_window: 65535,
+        send_buffer: 131072,
+        delayed_ack_ms: None,
+        sack,
+        ..TcpConfig::default()
+    };
+    let faults = FaultConfig::bursty(1.0 / 50.0, 1.0 / 3.0, 0.9);
+    let netcfg = NetConfig { faults, ..NetConfig::default() };
+    let net = SimNet::new(netcfg, seed);
+    let mut s = StackKind::FoxStandard.build(&net, 1, 2, CostModel::modern(), false, cfg.clone());
+    let mut r = StackKind::FoxStandard.build(&net, 2, 1, CostModel::modern(), false, cfg);
+    let res = bulk_transfer(&net, &mut s, &mut r, bytes, VirtualTime::from_millis(600_000));
+    assert_eq!(res.bytes, bytes, "{}: transfer must complete", if sack { "SACK" } else { "NewReno" });
+    SackRow {
+        seed,
+        scheme: if sack { "SACK" } else { "NewReno" },
+        elapsed_ms: res.elapsed.as_micros() as f64 / 1e3,
+        retransmitted_bytes: res.sender.bytes_sent - res.bytes as u64,
+        retransmits: res.sender.retransmits,
+        rto_fires: res.sender.rto_fires,
+    }
+}
+
+/// SACK-based loss recovery (RFC 6675) against plain NewReno under
+/// Gilbert–Elliott burst loss: the same transfer, seeds, and network on
+/// both sides, differing only in whether the SACK option is offered.
+/// Asserts that across the seeds SACK retransmits strictly fewer payload
+/// bytes and completes strictly sooner in aggregate — the scoreboard
+/// retransmits only the holes the bursts actually punched, where
+/// go-one-hole-per-RTT NewReno rewinds and waits.
+pub fn sack_vs_newreno(bytes: usize, seed: u64) -> Vec<SackRow> {
+    let mut rows = Vec::new();
+    let (mut nr_bytes, mut nr_ms, mut sk_bytes, mut sk_ms) = (0u64, 0.0f64, 0u64, 0.0f64);
+    for s in seed..seed + 3 {
+        let nr = sack_cell(false, bytes, s);
+        let sk = sack_cell(true, bytes, s);
+        nr_bytes += nr.retransmitted_bytes;
+        nr_ms += nr.elapsed_ms;
+        sk_bytes += sk.retransmitted_bytes;
+        sk_ms += sk.elapsed_ms;
+        rows.push(nr);
+        rows.push(sk);
+    }
+    assert!(
+        sk_bytes < nr_bytes,
+        "SACK must retransmit fewer payload bytes than NewReno ({sk_bytes} vs {nr_bytes})"
+    );
+    assert!(sk_ms < nr_ms, "SACK must complete sooner than NewReno ({sk_ms:.1} ms vs {nr_ms:.1} ms)");
+    rows
+}
+
+/// Renders the SACK-vs-NewReno comparison.
+pub fn render_sack_vs_newreno(rows: &[SackRow]) -> Table {
+    let mut tab = Table::new(
+        "SACK vs NewReno under Gilbert-Elliott burst loss (fox -> fox, 64 KB window)",
+        &["seed", "scheme", "elapsed (ms)", "retx bytes", "retx", "RTO"],
+    );
+    for r in rows {
+        tab.row(&[
+            r.seed.to_string(),
+            r.scheme.into(),
+            f1(r.elapsed_ms),
+            r.retransmitted_bytes.to_string(),
+            r.retransmits.to_string(),
+            r.rto_fires.to_string(),
         ]);
     }
     tab
@@ -711,6 +915,20 @@ pub fn traced_table1_bulk(kind: StackKind, cost: fn() -> CostModel, bytes: usize
 /// seeds diverge and `first_divergence` names the first differing
 /// event.
 pub fn traced_loss_cell(kind: StackKind, profile: &str, bytes: usize, seed: u64) -> TracedBulk {
+    traced_cell_with(kind, profile, loss_matrix_config(), bytes, seed)
+}
+
+/// A traced loss-matrix cell under an explicit TCP configuration, for
+/// trace-diffing configuration changes — a selected congestion
+/// algorithm, an offered option — against the pinned defaults on the
+/// same fault dice.
+pub fn traced_cell_with(
+    kind: StackKind,
+    profile: &str,
+    cfg: TcpConfig,
+    bytes: usize,
+    seed: u64,
+) -> TracedBulk {
     let faults = loss_matrix_profiles()
         .into_iter()
         .find(|(name, _)| *name == profile)
@@ -721,7 +939,7 @@ pub fn traced_loss_cell(kind: StackKind, profile: &str, bytes: usize, seed: u64)
         SimNet::new(netcfg, seed),
         kind,
         CostModel::modern,
-        loss_matrix_config(),
+        cfg,
         bytes,
         VirtualTime::from_millis(600_000),
     )

@@ -149,8 +149,11 @@ pub fn standard_station(
     dev.set_obs(stamped.clone());
     let eth = Eth::new(dev, mac, host.clone());
     let ip = Ip::new(eth, mac, ip_config(local), host.clone());
-    let mtu = ip.mtu();
-    let aux = IpAuxImpl::new(local, IpProtocol::Tcp, mtu);
+    // The TCP aux carries the *link* MTU (1500 on Ethernet), not IP's
+    // post-header capacity: RFC 879 expresses the MSS against the link
+    // MTU (mss_for_mtu subtracts both 20-byte headers), so a 1500-byte
+    // link advertises 1460 and each full segment fills a frame exactly.
+    let aux = IpAuxImpl::new(local, IpProtocol::Tcp, foxwire::ether::MTU);
     let mut tcp = Tcp::new(ip, aux, IpProtocol::Tcp, tcp_cfg, sched.clone(), host.clone());
     tcp.set_obs(stamped);
     Box::new(FoxStation {
@@ -217,8 +220,11 @@ pub fn xk_station(
     dev.set_obs(stamped.clone());
     let eth = Eth::new(dev, mac, host.clone());
     let ip = Ip::new(eth, mac, ip_config(local), host.clone());
-    let mtu = ip.mtu();
-    let aux = IpAuxImpl::new(local, IpProtocol::Tcp, mtu);
+    // The TCP aux carries the *link* MTU (1500 on Ethernet), not IP's
+    // post-header capacity: RFC 879 expresses the MSS against the link
+    // MTU (mss_for_mtu subtracts both 20-byte headers), so a 1500-byte
+    // link advertises 1460 and each full segment fills a frame exactly.
+    let aux = IpAuxImpl::new(local, IpProtocol::Tcp, foxwire::ether::MTU);
     let cfg = XkConfig {
         window: tcp_cfg.initial_window,
         send_buffer: tcp_cfg.send_buffer,
@@ -227,6 +233,9 @@ pub fn xk_station(
         time_wait_ms: tcp_cfg.time_wait_ms,
         max_retransmits: tcp_cfg.max_retransmits,
         backlog: tcp_cfg.backlog,
+        window_scale: tcp_cfg.window_scale,
+        sack: tcp_cfg.sack,
+        timestamps: tcp_cfg.timestamps,
     };
     let mut tcp = XkTcp::new(ip, aux, IpProtocol::Tcp, cfg, host.clone());
     tcp.set_obs(stamped);

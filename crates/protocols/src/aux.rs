@@ -65,8 +65,12 @@ pub trait IpAux {
     /// should not be computed.
     fn check(&self, remote: &Self::Address, transport_len: usize) -> Option<u16>;
 
-    /// `val mtu: connection -> int` — the largest transport segment the
-    /// lower layer carries.
+    /// `val mtu: connection -> int` — the path MTU the transport sizes
+    /// its segments against. For TCP this is the *link* MTU (1500 on
+    /// Ethernet): [`foxwire::tcp::mss_for_mtu`] subtracts both 20-byte
+    /// headers from it, and IP would fragment anything larger anyway.
+    /// Auxiliaries for header-free lowers report their raw payload
+    /// capacity, trading the phantom IP header for 20 spare bytes.
     fn mtu(&self) -> usize;
 }
 
@@ -79,8 +83,10 @@ pub struct IpAuxImpl {
 }
 
 impl IpAuxImpl {
-    /// For a transport `proto` endpoint at `local` whose IP layer offers
-    /// `mtu` (usually [`crate::ip::Ip::mtu`]).
+    /// For a transport `proto` endpoint at `local` over a path with the
+    /// given `mtu` — the link MTU for TCP (see [`IpAux::mtu`]), or the
+    /// IP payload capacity ([`crate::ip::Ip::mtu`]) for datagram
+    /// transports that must fit each message in one packet.
     pub fn new(local: Ipv4Addr, proto: IpProtocol, mtu: usize) -> IpAuxImpl {
         IpAuxImpl { local, proto, mtu }
     }

@@ -11,6 +11,54 @@ use std::fmt;
 /// Length of the option-free TCP header.
 pub const HEADER_LEN: usize = 20;
 
+/// The largest window-scale shift RFC 7323 §2.3 permits.
+pub const MAX_WSCALE: u8 = 14;
+
+/// Derives the MSS a host should advertise for a link with the given
+/// MTU: RFC 879's rule, MTU minus 20 bytes of IP header and 20 bytes of
+/// TCP header. Saturating (a pathological simnet MTU below 40 yields
+/// the floor rather than wrapping), with a floor of 1 so even such a
+/// link makes byte-at-a-time progress — RFC 1122's 536-byte default is
+/// for *unknown* paths, and here the MTU is known, so clamping up to
+/// 536 would manufacture segments the link cannot carry. Both TCP
+/// stacks derive their advertised MSS through this one helper.
+pub fn mss_for_mtu(mtu: u32) -> u32 {
+    mtu.saturating_sub(40).max(1)
+}
+
+/// Wire cost of the timestamps option on a data segment: 10 option
+/// bytes rounded up to the 32-bit header boundary. The MSS never
+/// accounts for options (RFC 6691 §3), so a sender with timestamps on
+/// must subtract this when sizing segments — otherwise every "full"
+/// segment overflows the link MTU by exactly these 12 bytes and
+/// fragments. Both stacks' segmentation loops subtract it via their
+/// `eff_mss` accessors.
+pub const TIMESTAMPS_SEGMENT_OVERHEAD: u32 = 12;
+
+/// Encodes a receive window for the 16-bit header field under a
+/// window-scale shift (RFC 7323 §2.2): the true window is shifted
+/// right, and anything that still exceeds 16 bits is capped. With
+/// `shift == 0` this is the classic RFC 793 65 535 cap. This is the
+/// **only** place a window is narrowed to `u16` — the stacks must route
+/// every header-window store through it (enforced by the `win_cast`
+/// foxlint rule).
+pub fn wire_window(wnd: u32, shift: u8) -> u16 {
+    (wnd >> shift).min(0xffff) as u16
+}
+
+/// The smallest window-scale shift under which a receive buffer of
+/// `capacity` bytes fits the 16-bit window field, clamped to
+/// [`MAX_WSCALE`]. What a host should offer in its SYN's WindowScale
+/// option (RFC 7323 §2.3); both stacks derive their offer through this
+/// one helper.
+pub fn wscale_for(capacity: usize) -> u8 {
+    let mut shift = 0u8;
+    while shift < MAX_WSCALE && (capacity >> shift) > 0xffff {
+        shift += 1;
+    }
+    shift
+}
+
 /// The TCP control flags.
 #[derive(Copy, Clone, PartialEq, Eq, Default)]
 pub struct TcpFlags {
@@ -108,6 +156,16 @@ pub enum TcpOption {
     MaxSegmentSize(u16),
     /// Kind 1: no-operation padding.
     NoOp,
+    /// Kind 3: window scale shift count (RFC 7323 §2; only legal on SYN
+    /// segments).
+    WindowScale(u8),
+    /// Kind 4: SACK permitted (RFC 2018 §2; only legal on SYN segments).
+    SackPermitted,
+    /// Kind 5: SACK blocks, each `[left, right)` in sequence space
+    /// (RFC 2018 §3).
+    Sack(Vec<(Seq, Seq)>),
+    /// Kind 8: timestamps (RFC 7323 §3): (TSval, TSecr).
+    Timestamps(u32, u32),
     /// Any other option, carried as (kind, payload).
     Unknown(u8, Vec<u8>),
 }
@@ -156,6 +214,39 @@ impl TcpHeader {
         })
     }
 
+    /// The window-scale shift offered in the options, if any, clamped
+    /// to [`MAX_WSCALE`] as RFC 7323 §2.3 requires of the receiver.
+    pub fn wscale(&self) -> Option<u8> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::WindowScale(s) => Some((*s).min(MAX_WSCALE)),
+            _ => None,
+        })
+    }
+
+    /// Whether the options include SACK-permitted.
+    pub fn sack_permitted(&self) -> bool {
+        self.options.iter().any(|o| matches!(o, TcpOption::SackPermitted))
+    }
+
+    /// The SACK blocks carried in the options (empty if none).
+    pub fn sack_blocks(&self) -> &[(Seq, Seq)] {
+        self.options
+            .iter()
+            .find_map(|o| match o {
+                TcpOption::Sack(blocks) => Some(blocks.as_slice()),
+                _ => None,
+            })
+            .unwrap_or(&[])
+    }
+
+    /// The timestamps option as (TSval, TSecr), if present.
+    pub fn timestamps(&self) -> Option<(u32, u32)> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::Timestamps(tsval, tsecr) => Some((*tsval, *tsecr)),
+            _ => None,
+        })
+    }
+
     fn options_wire_len(&self) -> usize {
         let raw: usize = self
             .options
@@ -163,6 +254,10 @@ impl TcpHeader {
             .map(|o| match o {
                 TcpOption::MaxSegmentSize(_) => 4,
                 TcpOption::NoOp => 1,
+                TcpOption::WindowScale(_) => 3,
+                TcpOption::SackPermitted => 2,
+                TcpOption::Sack(blocks) => 2 + 8 * blocks.len(),
+                TcpOption::Timestamps(..) => 10,
                 TcpOption::Unknown(_, data) => 2 + data.len(),
             })
             .sum();
@@ -261,6 +356,29 @@ impl TcpSegment {
                     out.extend_from_slice(&v.to_be_bytes());
                 }
                 TcpOption::NoOp => out.push(1),
+                TcpOption::WindowScale(s) => {
+                    out.push(3);
+                    out.push(3);
+                    out.push(*s);
+                }
+                TcpOption::SackPermitted => {
+                    out.push(4);
+                    out.push(2);
+                }
+                TcpOption::Sack(blocks) => {
+                    out.push(5);
+                    out.push((2 + 8 * blocks.len()) as u8);
+                    for (left, right) in blocks {
+                        out.extend_from_slice(&left.raw().to_be_bytes());
+                        out.extend_from_slice(&right.raw().to_be_bytes());
+                    }
+                }
+                TcpOption::Timestamps(tsval, tsecr) => {
+                    out.push(8);
+                    out.push(10);
+                    out.extend_from_slice(&tsval.to_be_bytes());
+                    out.extend_from_slice(&tsecr.to_be_bytes());
+                }
                 TcpOption::Unknown(kind, data) => {
                     out.push(*kind);
                     out.push((2 + data.len()) as u8);
@@ -340,16 +458,55 @@ impl TcpSegment {
                         return Err(WireError::Malformed("tcp option length"));
                     }
                     let body = opts.bytes(len - 2).map_err(|_| WireError::Malformed("tcp option length"))?;
-                    if kind == 2 {
-                        let mss = ByteReader::new("tcp MSS option", body)
-                            .u16_be()
-                            .map_err(|_| WireError::Malformed("tcp MSS option length"))?;
-                        if len != 4 {
-                            return Err(WireError::Malformed("tcp MSS option length"));
+                    match kind {
+                        2 => {
+                            if len != 4 {
+                                return Err(WireError::Malformed("tcp MSS option length"));
+                            }
+                            let mss = ByteReader::new("tcp MSS option", body)
+                                .u16_be()
+                                .map_err(|_| WireError::Malformed("tcp MSS option length"))?;
+                            options.push(TcpOption::MaxSegmentSize(mss));
                         }
-                        options.push(TcpOption::MaxSegmentSize(mss));
-                    } else {
-                        options.push(TcpOption::Unknown(kind, body.to_vec()));
+                        3 => {
+                            if len != 3 {
+                                return Err(WireError::Malformed("tcp wscale option length"));
+                            }
+                            let shift = ByteReader::new("tcp wscale option", body)
+                                .u8()
+                                .map_err(|_| WireError::Malformed("tcp wscale option length"))?;
+                            options.push(TcpOption::WindowScale(shift));
+                        }
+                        4 => {
+                            if len != 2 {
+                                return Err(WireError::Malformed("tcp SACK-permitted length"));
+                            }
+                            options.push(TcpOption::SackPermitted);
+                        }
+                        5 => {
+                            // 1 to 4 blocks of 8 bytes (RFC 2018 §3).
+                            if len < 10 || (len - 2) % 8 != 0 || len > 2 + 8 * 4 {
+                                return Err(WireError::Malformed("tcp SACK option length"));
+                            }
+                            let mut blocks = Vec::with_capacity((len - 2) / 8);
+                            let mut br = ByteReader::new("tcp SACK option", body);
+                            while br.remaining() > 0 {
+                                let left = Seq(br.u32_be()?);
+                                let right = Seq(br.u32_be()?);
+                                blocks.push((left, right));
+                            }
+                            options.push(TcpOption::Sack(blocks));
+                        }
+                        8 => {
+                            if len != 10 {
+                                return Err(WireError::Malformed("tcp timestamps option length"));
+                            }
+                            let mut br = ByteReader::new("tcp timestamps option", body);
+                            options.push(TcpOption::Timestamps(br.u32_be()?, br.u32_be()?));
+                        }
+                        // RFC 1122 4.2.2.5: unknown options are skipped
+                        // by their length and otherwise ignored.
+                        _ => options.push(TcpOption::Unknown(kind, body.to_vec())),
                     }
                 }
             }
@@ -471,13 +628,90 @@ mod tests {
         assert_eq!(t.header.options, s.header.options);
     }
 
+    #[test]
+    fn rfc7323_and_sack_options_roundtrip() {
+        let mut s = syn_segment();
+        s.header.options = vec![
+            TcpOption::MaxSegmentSize(1460),
+            TcpOption::WindowScale(7),
+            TcpOption::SackPermitted,
+            TcpOption::Timestamps(0xdead_beef, 0x0bad_cafe),
+        ];
+        let bytes = s.encode_v4(Some((A, B))).unwrap();
+        let t = TcpSegment::decode_v4(&bytes, Some((A, B))).unwrap();
+        assert_eq!(t.header.options, s.header.options);
+        assert_eq!(t.header.wscale(), Some(7));
+        assert!(t.header.sack_permitted());
+        assert_eq!(t.header.timestamps(), Some((0xdead_beef, 0x0bad_cafe)));
+        assert!(t.header.sack_blocks().is_empty());
+    }
+
+    #[test]
+    fn sack_blocks_roundtrip() {
+        let mut s = syn_segment();
+        s.header.flags = TcpFlags::ACK;
+        s.header.options = vec![
+            TcpOption::Sack(vec![(Seq(100), Seq(200)), (Seq(400), Seq(450))]),
+            TcpOption::Timestamps(1, 2),
+        ];
+        let bytes = s.encode_v4(Some((A, B))).unwrap();
+        let t = TcpSegment::decode_v4(&bytes, Some((A, B))).unwrap();
+        assert_eq!(t.header.sack_blocks(), &[(Seq(100), Seq(200)), (Seq(400), Seq(450))]);
+    }
+
+    #[test]
+    fn wscale_accessor_clamps_to_rfc_limit() {
+        let mut s = syn_segment();
+        s.header.options = vec![TcpOption::WindowScale(30)];
+        let bytes = s.encode(None).unwrap();
+        let t = TcpSegment::decode(&bytes, None).unwrap();
+        // Decoded verbatim, but the accessor applies RFC 7323 §2.3.
+        assert_eq!(t.header.options, vec![TcpOption::WindowScale(30)]);
+        assert_eq!(t.header.wscale(), Some(MAX_WSCALE));
+    }
+
+    #[test]
+    fn bad_new_option_lengths_rejected() {
+        for (kind, bad_len) in [(3u8, 4u8), (4, 3), (5, 9), (5, 12), (8, 8)] {
+            let s = syn_segment();
+            let mut bytes = s.encode(None).unwrap();
+            bytes[20] = kind;
+            bytes[21] = bad_len;
+            assert!(
+                matches!(TcpSegment::decode(&bytes, None), Err(WireError::Malformed(_))),
+                "kind {kind} len {bad_len} must be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn mss_for_mtu_is_mtu_minus_both_headers() {
+        assert_eq!(mss_for_mtu(1500), 1460, "the classic Ethernet MSS");
+        assert_eq!(mss_for_mtu(576), 536, "the RFC 879 default path");
+        assert_eq!(mss_for_mtu(40), 1, "floor: degenerate MTUs still move a byte");
+        assert_eq!(mss_for_mtu(0), 1, "saturating, never wraps");
+    }
+
+    #[test]
+    fn wire_window_scales_and_caps() {
+        assert_eq!(wire_window(4096, 0), 4096);
+        assert_eq!(wire_window(100_000, 0), 0xffff, "classic 64 KB cap without wscale");
+        assert_eq!(wire_window(100_000, 2), 25_000);
+        assert_eq!(wire_window(1 << 30, 14), 0xffff, "still capped after shifting");
+        assert_eq!(wire_window(u32::MAX, MAX_WSCALE), 0xffff);
+    }
+
     proptest! {
         #[test]
         fn roundtrip_arbitrary(
             src_port: u16, dst_port: u16, seq: u32, ack: u32,
             flags in 0u8..64, window: u16, urgent: u16,
-            mss in proptest::option::of(536u16..9000),
-            payload in proptest::collection::vec(any::<u8>(), 0..1460),
+            syn_opts in (proptest::option::of(536u16..9000), proptest::option::of(0u8..=14), any::<bool>()),
+            ack_opts in (
+                proptest::option::of((any::<u32>(), any::<u32>())),
+                proptest::option::of(proptest::collection::vec((any::<u32>(), any::<u32>()), 1..=2)),
+            ),
+            payload in proptest::collection::vec(any::<u8>(), 0..1400),
         ) {
             let mut h = TcpHeader::new(src_port, dst_port);
             h.seq = Seq(seq);
@@ -485,7 +719,17 @@ mod tests {
             h.flags = TcpFlags::from_u8(flags);
             h.window = window;
             h.urgent = urgent;
+            let (mss, wscale, sack_permitted) = syn_opts;
+            let (ts, sack) = ack_opts;
             if let Some(m) = mss { h.options.push(TcpOption::MaxSegmentSize(m)); }
+            if let Some(s) = wscale { h.options.push(TcpOption::WindowScale(s)); }
+            if sack_permitted { h.options.push(TcpOption::SackPermitted); }
+            if let Some((v, e)) = ts { h.options.push(TcpOption::Timestamps(v, e)); }
+            if let Some(blocks) = sack {
+                h.options.push(TcpOption::Sack(
+                    blocks.into_iter().map(|(l, r)| (Seq(l), Seq(r))).collect(),
+                ));
+            }
             let s = TcpSegment { header: h, payload: payload.into() };
             let bytes = s.encode_v4(Some((A, B))).unwrap();
             let t = TcpSegment::decode_v4(&bytes, Some((A, B))).unwrap();

@@ -51,6 +51,41 @@ proptest! {
         let _ = UdpDatagram::decode_buf(&PacketBuf::from_vec(buf), Some(0x1234));
     }
 
+    // Adversarial option lists: arbitrary bytes spliced into the option
+    // region of an otherwise valid header. Exercises every option
+    // parser (wscale, SACK-permitted, SACK blocks, timestamps, MSS),
+    // RFC 1122 unknown-kind skipping, truncated lengths, and the
+    // `len < 2` check that prevents a zero-length-option parse loop.
+    #[test]
+    fn garbled_option_lists_never_panic_or_loop(opts in bytes(40)) {
+        let mut header = foxwire::TcpHeader::new(2000, 5000);
+        header.window = 4096;
+        let seg = TcpSegment { header, payload: PacketBuf::from_vec(b"x".to_vec()) };
+        let mut wire = seg.encode(None).unwrap();
+        // Rewrite the data offset to cover the injected option bytes
+        // (rounded down to a 32-bit boundary) and splice them in.
+        let opt_len = opts.len() & !3;
+        wire.splice(20..20, opts[..opt_len].iter().copied());
+        wire[12] = (((20 + opt_len) / 4) as u8) << 4;
+        let _ = TcpSegment::decode(&wire, None);
+    }
+
+    // Well-formed option kinds with every possible length byte: a known
+    // kind with a wrong length must come back `Err`, never a panic or
+    // a mis-parse that claims the following option's bytes.
+    #[test]
+    fn known_option_kinds_with_arbitrary_lengths(kind in 0u8..=16, len: u8, fill: u8) {
+        let mut header = foxwire::TcpHeader::new(2000, 5000);
+        header.window = 4096;
+        let seg = TcpSegment { header, payload: PacketBuf::new() };
+        let mut wire = seg.encode(None).unwrap();
+        let mut opts = vec![kind, len];
+        opts.resize(40, fill);
+        wire.splice(20..20, opts.iter().copied());
+        wire[12] = (((20 + 40) / 4) as u8) << 4;
+        let _ = TcpSegment::decode(&wire, None);
+    }
+
     // Truncations and single-byte corruptions of well-formed packets:
     // the adversarial cases a pure random byte soup rarely reaches
     // (valid length fields with one byte missing, bad option lengths
@@ -59,7 +94,12 @@ proptest! {
     fn truncated_valid_packets_never_panic(cut in 0usize..200, flip in 0usize..200) {
         let mut header = foxwire::TcpHeader::new(2000, 5000);
         header.window = 4096;
-        header.options = vec![foxwire::TcpOption::MaxSegmentSize(1460)];
+        header.options = vec![
+            foxwire::TcpOption::MaxSegmentSize(1460),
+            foxwire::TcpOption::WindowScale(7),
+            foxwire::TcpOption::SackPermitted,
+            foxwire::TcpOption::Timestamps(1000, 2000),
+        ];
         let tcp = TcpSegment { header, payload: PacketBuf::from_vec(b"payload".to_vec()) };
         let seg = tcp.encode_v4(Some((A, B))).unwrap();
         let ip = Ipv4Packet {

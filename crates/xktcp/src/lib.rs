@@ -102,6 +102,16 @@ pub struct XkConfig {
     /// beyond it are dropped and admitted on retransmission once the
     /// queue drains.
     pub backlog: usize,
+    /// Offer RFC 7323 window scaling on SYNs (on only if both sides
+    /// offer).
+    pub window_scale: bool,
+    /// Advertise RFC 2018 SACK-permitted on SYNs. The baseline drops
+    /// out-of-order segments, so it never *generates* SACK blocks — the
+    /// option only tells the peer it may send them.
+    pub sack: bool,
+    /// Offer RFC 7323 timestamps; when negotiated, every segment
+    /// carries TSval/TSecr and the peer's TSval is echoed back.
+    pub timestamps: bool,
 }
 
 impl Default for XkConfig {
@@ -114,6 +124,9 @@ impl Default for XkConfig {
             time_wait_ms: 60_000,
             max_retransmits: 12,
             backlog: 8,
+            window_scale: false,
+            sack: false,
+            timestamps: false,
         }
     }
 }
@@ -202,6 +215,15 @@ struct Socket<P> {
     rcv_nxt: Seq,
     mss: u32,
 
+    // Negotiated TCP options (all off until the SYN exchange says
+    // otherwise, so the default trace is byte-identical to pre-options).
+    wscale_on: bool,
+    snd_wscale: u8,
+    rcv_wscale: u8,
+    sack_ok: bool,
+    ts_on: bool,
+    ts_recent: u32,
+
     send_buf: RingBuffer,
     recv_buf: RingBuffer,
     fin_pending: bool,
@@ -226,6 +248,18 @@ struct Socket<P> {
 impl<P> Socket<P> {
     fn flight(&self) -> u32 {
         self.snd_nxt.since(self.snd_una)
+    }
+
+    /// The largest payload a data segment may carry: the MSS less the
+    /// timestamp option's 12 bytes when it is on (RFC 6691 §3 — the
+    /// MSS never accounts for options; sizing by the raw MSS would
+    /// push a "full" timestamped segment past the link MTU).
+    fn eff_mss(&self) -> u32 {
+        if self.ts_on {
+            self.mss.saturating_sub(foxwire::tcp::TIMESTAMPS_SEGMENT_OVERHEAD).max(1)
+        } else {
+            self.mss
+        }
     }
 
     fn push_event(&mut self, e: XkEvent) {
@@ -392,7 +426,16 @@ where
             snd_wl1: Seq(0),
             snd_wl2: Seq(0),
             rcv_nxt: Seq(0),
-            mss: (self.aux.mtu() as u32).saturating_sub(20).max(536),
+            // RFC 879 via the shared helper: MTU minus 40 bytes of
+            // IP+TCP headers (this stack formerly subtracted only 20
+            // and clamped at 536; foxtcp clamped at 1 — one rule now).
+            mss: foxwire::tcp::mss_for_mtu(self.aux.mtu() as u32),
+            wscale_on: false,
+            snd_wscale: 0,
+            rcv_wscale: if self.cfg.window_scale { foxwire::tcp::wscale_for(self.cfg.window) } else { 0 },
+            sack_ok: false,
+            ts_on: false,
+            ts_recent: 0,
             send_buf: RingBuffer::new(self.cfg.send_buffer.max(1)),
             recv_buf: RingBuffer::new(self.cfg.window.max(1)),
             fin_pending: false,
@@ -622,7 +665,13 @@ where
         h.seq = seq;
         h.ack = if flags.ack { s.rcv_nxt } else { Seq(0) };
         h.flags = flags;
-        h.window = (s.recv_buf.free() as u32).min(65535) as u16;
+        // SYN windows are never scaled (RFC 7323 §2.2); everywhere else
+        // the codec helper applies the negotiated shift and the cap.
+        let shift = if flags.syn || !s.wscale_on { 0 } else { s.rcv_wscale };
+        h.window = foxwire::tcp::wire_window(s.recv_buf.free() as u32, shift);
+        if s.ts_on && !flags.syn {
+            h.options.push(TcpOption::Timestamps(self.now.as_millis() as u32, s.ts_recent));
+        }
         h
     }
 
@@ -630,12 +679,55 @@ where
         let flags = if with_ack { TcpFlags::SYN_ACK } else { TcpFlags::SYN };
         let iss = self.socks[i].iss;
         let mut h = self.header_for(i, flags, iss);
-        h.options.push(TcpOption::MaxSegmentSize(self.socks[i].mss.min(65535) as u16));
+        {
+            let s = &self.socks[i];
+            h.options.push(TcpOption::MaxSegmentSize(s.mss.min(65535) as u16));
+            // A SYN offers what the config enables; a SYN+ACK echoes
+            // only what the peer's SYN already agreed to.
+            if if with_ack { s.wscale_on } else { self.cfg.window_scale } {
+                h.options.push(TcpOption::WindowScale(s.rcv_wscale));
+            }
+            if if with_ack { s.sack_ok } else { self.cfg.sack } {
+                h.options.push(TcpOption::SackPermitted);
+            }
+            if if with_ack { s.ts_on } else { self.cfg.timestamps } {
+                h.options.push(TcpOption::Timestamps(self.now.as_millis() as u32, s.ts_recent));
+            }
+        }
         if self.socks[i].snd_nxt == iss {
             self.socks[i].snd_nxt = iss + 1;
         }
         self.arm_retransmit(i);
         self.transmit(i, TcpSegment { header: h, payload: PacketBuf::new() });
+    }
+
+    /// Adopts the peer's SYN options: each one turns on only if our
+    /// config offered it too.
+    fn negotiate_syn_options(&mut self, i: usize, h: &TcpHeader) {
+        let s = &mut self.socks[i];
+        if let Some(shift) = h.wscale() {
+            if self.cfg.window_scale {
+                s.wscale_on = true;
+                s.snd_wscale = shift;
+            }
+        }
+        if h.sack_permitted() && self.cfg.sack {
+            s.sack_ok = true;
+        }
+        if let Some((tsval, _)) = h.timestamps() {
+            if self.cfg.timestamps {
+                s.ts_on = true;
+                s.ts_recent = tsval;
+            }
+        }
+    }
+
+    /// The peer's window field, widened by the negotiated send shift.
+    /// Windows on SYN segments are never scaled.
+    fn peer_window(&self, i: usize, h: &TcpHeader) -> u32 {
+        let s = &self.socks[i];
+        let shift = if h.flags.syn || !s.wscale_on { 0 } else { s.snd_wscale };
+        u32::from(h.window) << shift
     }
 
     fn send_ack(&mut self, i: usize) {
@@ -666,7 +758,7 @@ where
                 }
                 let unsent = (s.send_buf.len() as u32).saturating_sub(s.flight());
                 let usable = s.snd_wnd.saturating_sub(s.flight());
-                let take = unsent.min(usable).min(s.mss);
+                let take = unsent.min(usable).min(s.eff_mss());
                 let fin_now = s.fin_pending && s.fin_seq.is_none() && take == unsent;
                 if take == 0 && !fin_now {
                     // Zero window with data pending: arm the persist
@@ -865,28 +957,19 @@ where
             self.obs.emit(self.now, conn, || Event::Loss { kind: "Rto" });
         }
         // Go-back-N from snd_una.
-        let (state, una, iss) = {
+        let (state, una) = {
             let s = &self.socks[i];
-            (s.state, s.snd_una, s.iss)
+            (s.state, s.snd_una)
         };
         match state {
+            // send_syn rebuilds the options (MSS plus whatever was
+            // offered/negotiated), so a retransmitted SYN is identical
+            // to the original.
             XkState::SynSent => {
-                let h = {
-                    let mut h = self.header_for(i, TcpFlags::SYN, iss);
-                    h.options.push(TcpOption::MaxSegmentSize(self.socks[i].mss.min(65535) as u16));
-                    h
-                };
-                self.arm_retransmit(i);
-                self.transmit(i, TcpSegment { header: h, payload: PacketBuf::new() });
+                self.send_syn(i, false);
             }
             XkState::SynReceived => {
-                let h = {
-                    let mut h = self.header_for(i, TcpFlags::SYN_ACK, iss);
-                    h.options.push(TcpOption::MaxSegmentSize(self.socks[i].mss.min(65535) as u16));
-                    h
-                };
-                self.arm_retransmit(i);
-                self.transmit(i, TcpSegment { header: h, payload: PacketBuf::new() });
+                self.send_syn(i, true);
             }
             _ => {
                 // Resend one MSS from snd_una (and the FIN if it is the
@@ -895,8 +978,9 @@ where
                     let s = &mut self.socks[i];
                     let infl = s.flight();
                     let fin_at_front = s.fin_seq == Some(una);
-                    let data =
-                        infl.saturating_sub(u32::from(s.fin_seq.is_some_and(|f| f.lt(s.snd_nxt)))).min(s.mss);
+                    let data = infl
+                        .saturating_sub(u32::from(s.fin_seq.is_some_and(|f| f.lt(s.snd_nxt))))
+                        .min(s.eff_mss());
                     let mut staged = vec![0u8; data as usize];
                     let got = s.send_buf.peek_at(0, &mut staged);
                     staged.truncate(got);
@@ -905,7 +989,7 @@ where
                     // the header prepend pays another.
                     let payload = PacketBuf::build(0, staged.len(), |dst| dst.copy_from_slice(&staged));
                     let fin =
-                        fin_at_front || (s.fin_seq == Some(una + got as u32) && (got as u32) < s.mss.max(1));
+                        fin_at_front || (s.fin_seq == Some(una + got as u32) && (got as u32) < s.eff_mss());
                     (got, fin, payload)
                 };
                 let flags = TcpFlags { ack: true, psh: take > 0, fin, ..TcpFlags::default() };
@@ -1005,10 +1089,12 @@ where
                             });
                         }
                         self.socks[ci].rcv_nxt = h.seq + 1;
+                        // A SYN's window is never scaled.
                         self.socks[ci].snd_wnd = u32::from(h.window);
                         if let Some(mss) = h.mss() {
                             self.socks[ci].mss = self.socks[ci].mss.min(u32::from(mss)).max(1);
                         }
+                        self.negotiate_syn_options(ci, &h);
                         self.send_syn(ci, true);
                         if let Some(li) = self.socks.iter().position(|s| s.id == lid) {
                             let ev = XkEvent::Accepted(SockId(child));
@@ -1066,13 +1152,18 @@ where
                 return;
             }
             if h.flags.syn {
-                let s = &mut self.socks[i];
-                s.rcv_nxt = h.seq + 1;
-                if let Some(mss) = h.mss() {
-                    s.mss = s.mss.min(u32::from(mss)).max(1);
+                {
+                    let s = &mut self.socks[i];
+                    s.rcv_nxt = h.seq + 1;
+                    if let Some(mss) = h.mss() {
+                        s.mss = s.mss.min(u32::from(mss)).max(1);
+                    }
                 }
+                self.negotiate_syn_options(i, &h);
+                let s = &mut self.socks[i];
                 if h.flags.ack {
                     s.snd_una = h.ack;
+                    // The SYN+ACK's own window is unscaled.
                     s.snd_wnd = u32::from(h.window);
                     s.snd_wl1 = h.seq;
                     s.snd_wl2 = h.ack;
@@ -1090,8 +1181,30 @@ where
             return;
         }
 
-        // Sequence acceptability (abbreviated BSD check).
-        let wnd = (self.socks[i].recv_buf.free() as u32).min(65535);
+        // Timestamps (when negotiated): remember the peer's TSval for
+        // echo, BEFORE the acceptability check — RFC 7323 R4 updates
+        // TS.Recent for any segment at or left of the edge, duplicates
+        // included, so the re-ACK a retransmission earns echoes the
+        // retransmission's own clock and the sender's RTT sample spans
+        // one round trip, not the whole loss episode. The baseline
+        // keeps RTT timing on its Karn clock.
+        if self.socks[i].ts_on {
+            if let Some((tsval, _)) = h.timestamps() {
+                let s = &mut self.socks[i];
+                if h.seq.le(s.rcv_nxt) && (tsval.wrapping_sub(s.ts_recent) as i32) >= 0 {
+                    s.ts_recent = tsval;
+                }
+            }
+        }
+
+        // Sequence acceptability (abbreviated BSD check). The window
+        // used here is what the peer could have seen advertised:
+        // wire-granular under the negotiated shift.
+        let wnd = {
+            let s = &self.socks[i];
+            let shift = if s.wscale_on { s.rcv_wscale } else { 0 };
+            u32::from(foxwire::tcp::wire_window(s.recv_buf.free() as u32, shift)) << shift
+        };
         let seq_ok = {
             let s = &self.socks[i];
             let slen = seg.seq_len();
@@ -1125,13 +1238,13 @@ where
         if !h.flags.ack {
             return;
         }
-
         // ACK processing.
+        let peer_wnd = self.peer_window(i, &h);
         if state == XkState::SynReceived {
             if h.ack.in_open_closed(self.socks[i].snd_una - 1, self.socks[i].snd_nxt) {
                 let s = &mut self.socks[i];
                 s.snd_una = h.ack;
-                s.snd_wnd = u32::from(h.window);
+                s.snd_wnd = peer_wnd;
                 s.snd_wl1 = h.seq;
                 s.snd_wl2 = h.ack;
                 s.state = XkState::Established;
@@ -1191,7 +1304,7 @@ where
         {
             let s = &mut self.socks[i];
             if s.snd_wl1.lt(h.seq) || (s.snd_wl1 == h.seq && s.snd_wl2.le(h.ack)) {
-                s.snd_wnd = u32::from(h.window);
+                s.snd_wnd = peer_wnd;
                 s.snd_wl1 = h.seq;
                 s.snd_wl2 = h.ack;
                 if s.snd_wnd > 0 {
@@ -1228,7 +1341,7 @@ where
                 self.stats.bytes_received += took as u64;
                 s.ack_owed = true;
                 // Ack every second full segment immediately (BSD).
-                let full_segment = seg.payload.len() as u32 >= s.mss;
+                let full_segment = seg.payload.len() as u32 >= s.eff_mss();
                 if s.deadline(XkTimerKind::DelayedAck).is_none() {
                     let delay = self.cfg.delayed_ack_ms.unwrap_or(0);
                     let at = self.now + VirtualDuration::from_millis(delay);
@@ -1437,6 +1550,51 @@ mod tests {
         assert_eq!(a.state_of(client), Some(XkState::TimeWait));
         run_for(&mut a, &mut b, VirtualTime::ZERO, 61_000, 1000);
         assert_eq!(a.poll_event(client), Some(XkEvent::Closed));
+    }
+
+    #[test]
+    fn duplicate_refreshes_ts_recent_for_the_echo() {
+        // RFC 7323 R4: a pure duplicate (seq + len entirely left of
+        // rcv_nxt) still updates TS.Recent, so the re-ACK echoes the
+        // retransmission's own clock — not the clock of the segment
+        // that last advanced the edge. Without this, the sender's next
+        // RTT sample spans the whole lost-ACK episode instead of one
+        // round trip, and its RTO saturates for the rest of the
+        // connection.
+        let link = LinkPair::new();
+        let cfg = XkConfig { timestamps: true, ..XkConfig::default() };
+        let mut a = XkTcp::new(link.endpoint(0), TestAux, (), cfg.clone(), HostHandle::free());
+        let mut b = XkTcp::new(link.endpoint(1), TestAux, (), cfg, HostHandle::free());
+        let (client, child) = open(&mut a, &mut b);
+
+        // Let the clocks advance past the handshake's TSval of zero,
+        // then deliver 100 bytes while every frame back toward the
+        // sender vanishes: the data advances rcv_nxt, the ACKs do not
+        // arrive.
+        let now = run_for(&mut a, &mut b, VirtualTime::ZERO, 1_000, 100);
+        let blackhole = std::rc::Rc::new(std::cell::RefCell::new(true));
+        let bh = blackhole.clone();
+        link.set_filter_toward(0, Box::new(move |_| !*bh.borrow()));
+        a.send(client, &[7u8; 100]).unwrap();
+        let now = run_for(&mut a, &mut b, now, 200, 10);
+        let bi = b.idx(child).unwrap();
+        let mut buf = [0u8; 128];
+        assert_eq!(b.recv(child, &mut buf).unwrap(), 100, "data accepted");
+        let stale = b.socks[bi].ts_recent;
+        assert!(stale >= 1_000, "echo clock is from the original send");
+
+        // Keep the reverse path dark across the sender's RTO: the
+        // retransmissions that arrive now are pure duplicates at b,
+        // and each must still refresh TS.Recent.
+        let now = run_for(&mut a, &mut b, now, 4_000, 50);
+        let fresh = b.socks[bi].ts_recent;
+        assert!(fresh > stale, "duplicate refreshed TS.Recent ({stale} -> {fresh})");
+
+        // Heal the path; the next re-ACK releases the sender.
+        *blackhole.borrow_mut() = false;
+        let _ = run_for(&mut a, &mut b, now, 5_000, 50);
+        let ai = a.idx(client).unwrap();
+        assert_eq!(a.socks[ai].snd_una, a.socks[ai].snd_nxt, "retransmission was ACKed");
     }
 
     #[test]
