@@ -19,8 +19,12 @@
 #      profiles, every cell delivered in full and replayed
 #      bit-identically, plus the SACK-beats-NewReno burst-loss
 #      assertions (the `tables` binary panics if any of it regresses)
-#   7. the Criterion benches compile (not run; keeps them from rotting)
-#   8. clippy over every target (benches and bins too), warnings as errors
+#   7. bench smoke: a small `tables -- bench-json` run end to end (its
+#      output schema-validated by bench-check, fox ≥ xk on the modern
+#      profile asserted), then bench-check against the checked-in
+#      BENCH_7.json trajectory
+#   8. the Criterion benches compile (not run; keeps them from rotting)
+#   9. clippy over every target (benches and bins too), warnings as errors
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -41,6 +45,13 @@ cargo test -q -p foxtcp --test conformance
 
 echo "== options interop matrix (fixed seeds) =="
 cargo run -q --release -p foxbench --bin tables -- interop
+
+echo "== bench smoke (segments/sec trajectory) =="
+BENCH_SMOKE_OUT=$(mktemp /tmp/bench_smoke.XXXXXX.json)
+trap 'rm -f "$BENCH_SMOKE_OUT"' EXIT
+cargo run -q --release -p foxbench --bin tables -- bench-json \
+  --out "$BENCH_SMOKE_OUT" --bytes 200000 --reps 5 --label ci-smoke
+cargo run -q --release -p foxbench --bin tables -- bench-check BENCH_7.json
 
 echo "== bench (compile only) =="
 cargo bench --workspace --no-run

@@ -94,5 +94,28 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// The full simulated stacks under both cost profiles — the Criterion
+/// rendering of the `tables -- bench-json` trajectory: each iteration is
+/// one complete bulk transfer through device, Ethernet, IP, and TCP on
+/// both hosts (1994: paper config, unbatched; modern: gigabit link,
+/// GRO/TSO batching, wscale, coalesced ACKs).
+fn bench_profiles(c: &mut Criterion) {
+    use foxharness::bench::{bench_transfer, BenchProfile};
+    use foxharness::stack::StackKind;
+    let mut group = c.benchmark_group("engine_profiles");
+    group.sample_size(15);
+    let bytes = 200_000usize;
+    group.throughput(Throughput::Bytes(bytes as u64));
+    for (kind, kname) in [(StackKind::FoxStandard, "fox"), (StackKind::XKernel, "xk")] {
+        for profile in [BenchProfile::Paper1994, BenchProfile::Modern] {
+            let id = BenchmarkId::new(format!("{kname}_{}", profile.name()), bytes);
+            group.bench_with_input(id, &bytes, |b, &n| {
+                b.iter(|| black_box(bench_transfer(kind, profile, n, 42).segments))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_profiles);
 criterion_main!(benches);

@@ -13,8 +13,18 @@
 //!                    other extension writes chrome://tracing JSON
 //!                    (open it in Perfetto)
 //!   --pcap <file>    write the same run's wire capture, Wireshark-ready
+//!
+//! Bench trajectory (the checked-in real-time numbers):
+//!   bench-json [--out F] [--bytes N] [--reps K] [--label L]
+//!                    run {fox, x-kernel} × {1994, modern} transfers,
+//!                    time them on the wall clock, and append a point to
+//!                    the trajectory file (default BENCH_7.json)
+//!   bench-check <file>
+//!                    validate a trajectory file's schema and its
+//!                    fox-vs-xk ordering on the modern profile
 
 use foxbasis::time::VirtualDuration;
+use foxharness::bench::{bench_transfer, BenchProfile};
 use foxharness::experiments as exp;
 use foxharness::stack::StackKind;
 use simnet::CostModel;
@@ -39,6 +49,17 @@ fn take_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let seed = 42;
+
+    if args.iter().any(|a| a == "bench-json") {
+        args.retain(|a| a != "bench-json");
+        bench_json(&mut args, seed);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "bench-check") {
+        let path = args.get(i + 1).cloned().unwrap_or_else(|| "BENCH_7.json".into());
+        bench_check(&path);
+        return;
+    }
 
     let trace_path = take_flag(&mut args, "--trace");
     let pcap_path = take_flag(&mut args, "--pcap");
@@ -149,6 +170,180 @@ fn main() {
     if want(&args, "micro") {
         println!("quick wall-clock microbenchmarks (see Criterion benches for rigor):\n");
         micro();
+    }
+}
+
+/// One cell of the bench matrix: {fox, xk} × {1994, modern}.
+const BENCH_CELLS: [(StackKind, &str); 2] = [(StackKind::FoxStandard, "fox"), (StackKind::XKernel, "xk")];
+
+/// `bench-json`: runs the bench matrix, times each cell on the wall
+/// clock (best of `--reps`, after one untimed warm-up), and appends a
+/// point to the trajectory file. The virtual outcome of every rep must
+/// be identical — the runs are deterministic — so only the wall time
+/// varies. Fails loudly if the structured stack falls behind the
+/// baseline on the modern profile.
+fn bench_json(args: &mut Vec<String>, seed: u64) {
+    let out = take_flag(args, "--out").unwrap_or_else(|| "BENCH_7.json".into());
+    let bytes: usize =
+        take_flag(args, "--bytes").map(|s| s.parse().expect("--bytes wants a number")).unwrap_or(1_000_000);
+    let reps: usize =
+        take_flag(args, "--reps").map(|s| s.parse().expect("--reps wants a number")).unwrap_or(5);
+    let label = take_flag(args, "--label").unwrap_or_else(|| "local".into());
+
+    println!("bench-json: {bytes}-byte transfers, best of {reps} interleaved reps per cell -> {out}");
+    // All four cells, warmed once untimed. The timed reps interleave
+    // across cells (fox, xk, fox, xk, ...) so a machine-load spike hits
+    // every cell equally instead of poisoning one stack's whole run;
+    // min-of-N per cell then discards the spikes.
+    let mut cells: Vec<(StackKind, &str, BenchProfile, _, f64)> = Vec::new();
+    for (kind, kname) in BENCH_CELLS {
+        for profile in [BenchProfile::Paper1994, BenchProfile::Modern] {
+            let warm = bench_transfer(kind, profile, bytes, seed);
+            cells.push((kind, kname, profile, warm, f64::INFINITY));
+        }
+    }
+    for _ in 0..reps {
+        for (kind, _, profile, warm, best) in cells.iter_mut() {
+            let t0 = Instant::now();
+            let r = bench_transfer(*kind, *profile, bytes, seed);
+            *best = best.min(t0.elapsed().as_secs_f64());
+            assert_eq!(r.segments, warm.segments, "same-seed reruns must be identical");
+        }
+    }
+
+    let mut runs = Vec::new();
+    let mut modern_rate = std::collections::BTreeMap::new();
+    for (_, kname, profile, warm, best) in &cells {
+        // The rate's numerator is the *workload* in MSS units — the
+        // same for every cell at a given size — so the rate orders
+        // exactly like wall time-to-completion; see `BenchRun`.
+        let segs_per_sec = warm.workload_segments as f64 / best.max(1e-9);
+        if *profile == BenchProfile::Modern {
+            modern_rate.insert(*kname, segs_per_sec);
+        }
+        println!(
+            "  {kname:>3} [{:>6}]  {:>6} data segments ({:>6} on the wire)  {:>8.2} ms wall  {:>9.0} segs/sec  ({:.2} virtual Mb/s)",
+            profile.name(),
+            warm.segments,
+            warm.wire_segments,
+            best * 1e3,
+            segs_per_sec,
+            warm.throughput_mbps
+        );
+        runs.push(format!(
+            "{{\"stack\": \"{kname}\", \"profile\": \"{}\", \"bytes\": {bytes}, \"workload_segments\": {}, \
+             \"segments\": {}, \"wire_segments\": {}, \"virtual_mbps\": {:.3}, \"wall_ms\": {:.3}, \
+             \"segments_per_sec\": {:.0}}}",
+            profile.name(),
+            warm.workload_segments,
+            warm.segments,
+            warm.wire_segments,
+            warm.throughput_mbps,
+            best * 1e3,
+            segs_per_sec
+        ));
+    }
+
+    let fox = modern_rate["fox"];
+    let xk = modern_rate["xk"];
+    assert!(
+        fox >= xk,
+        "the structured stack must process segments at least as fast as the baseline \
+         on the modern profile (fox {fox:.0} vs xk {xk:.0} segs/sec)"
+    );
+    println!("  modern fox/xk real-time ratio: {:.2}", fox / xk);
+
+    // Append-only trajectory: each point is exactly one line, so prior
+    // points survive as lines and ours appends after them.
+    let mut points: Vec<String> = std::fs::read_to_string(&out)
+        .map(|text| {
+            text.lines()
+                .map(str::trim_end)
+                .filter(|l| l.trim_start().starts_with("{\"label\""))
+                .map(|l| format!("    {}", l.trim_start().trim_end_matches(',')))
+                .collect()
+        })
+        .unwrap_or_default();
+    points.push(format!("    {{\"label\": \"{label}\", \"runs\": [{}]}}", runs.join(", ")));
+    let doc = format!(
+        "{{\n  \"schema\": \"fox-bench-v1\",\n  \"unit\": \"segments_per_sec\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        points.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out, &doc) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("  trajectory written to {out} ({} point(s))", points.len());
+    bench_check(&out);
+}
+
+/// `bench-check`: validates a trajectory file — schema marker, full
+/// {fox, xk} × {1994, modern} coverage, and the fox-vs-xk ordering on
+/// the modern profile of the latest point. Exits nonzero on any
+/// violation, so CI can gate on it.
+fn bench_check(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failures = Vec::new();
+    for needle in
+        ["\"schema\": \"fox-bench-v1\"", "\"unit\": \"segments_per_sec\"", "\"points\": [", "\"label\": "]
+    {
+        if !text.contains(needle) {
+            failures.push(format!("missing {needle}"));
+        }
+    }
+    // The latest point must cover the whole matrix.
+    let last = text.lines().rfind(|l| l.trim_start().starts_with("{\"label\""));
+    let point: String = match last {
+        Some(l) => {
+            // Runs may be pretty-printed on the following lines; take
+            // everything from the label line to the closing "]}".
+            let start = text.rfind(l).unwrap_or(0);
+            let rest = &text[start..];
+            let end = rest.find("]}").map(|i| i + 2).unwrap_or(rest.len());
+            rest[..end].to_string()
+        }
+        None => {
+            eprintln!("bench-check: {path}: no points found");
+            std::process::exit(1);
+        }
+    };
+    let rate = |stack: &str, profile: &str| -> Option<f64> {
+        let key = format!("\"stack\": \"{stack}\", \"profile\": \"{profile}\"");
+        let at = point.find(&key)?;
+        let tail = &point[at..];
+        let v = tail.split("\"segments_per_sec\": ").nth(1)?;
+        v.split([',', '}']).next()?.trim().parse().ok()
+    };
+    let mut rates = std::collections::BTreeMap::new();
+    for (_, stack) in BENCH_CELLS {
+        for profile in ["1994", "modern"] {
+            match rate(stack, profile) {
+                Some(v) if v > 0.0 => {
+                    rates.insert((stack, profile), v);
+                }
+                Some(v) => failures.push(format!("{stack}/{profile}: nonpositive rate {v}")),
+                None => failures.push(format!("{stack}/{profile}: cell missing from latest point")),
+            }
+        }
+    }
+    if let (Some(&fox), Some(&xk)) = (rates.get(&("fox", "modern")), rates.get(&("xk", "modern"))) {
+        if fox < xk {
+            failures.push(format!("modern profile: fox ({fox:.0}) slower than xk ({xk:.0}) segs/sec"));
+        }
+    }
+    if failures.is_empty() {
+        println!("bench-check: {path} OK ({} matrix cells in latest point)", rates.len());
+    } else {
+        for f in &failures {
+            eprintln!("bench-check: {path}: {f}");
+        }
+        std::process::exit(1);
     }
 }
 

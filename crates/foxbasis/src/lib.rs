@@ -64,7 +64,7 @@ pub use obs::{ConnMetrics, Event, EventRing, EventSink, Stamped, NO_CONN};
 pub use profile::{Account, Profiler};
 pub use ring::RingBuffer;
 pub use seq::Seq;
-pub use time::{VirtualDuration, VirtualTime};
+pub use time::{NanoDuration, VirtualDuration, VirtualTime};
 pub use trace::Trace;
 pub use wheel::{TimerId, TimerWheel, WheelStats};
 pub use wordarray::WordArray;

@@ -15,7 +15,7 @@
 //! model can slow the simulated machine down by the same amount — the
 //! measurement perturbs the system, as it did in 1994.
 
-use crate::time::VirtualDuration;
+use crate::time::{NanoDuration, VirtualDuration};
 use std::fmt;
 
 /// The cost accounts of Table 2, plus `Scheduler` (which the paper left
@@ -88,10 +88,10 @@ impl Account {
     }
 }
 
-/// Per-account totals.
+/// Per-account totals (nanosecond resolution — see [`NanoDuration`]).
 #[derive(Copy, Clone, Default, Debug)]
 struct Slot {
-    total: VirtualDuration,
+    total: NanoDuration,
     updates: u64,
 }
 
@@ -100,18 +100,18 @@ struct Slot {
 pub struct Profiler {
     enabled: bool,
     /// Virtual cost of one counter update pair (paper: 15 µs).
-    update_cost: VirtualDuration,
+    update_cost: NanoDuration,
     slots: [Slot; Account::ALL.len()],
 }
 
 /// The paper's measured cost of one start/stop counter pair.
-pub const PAPER_COUNTER_UPDATE_COST: VirtualDuration = VirtualDuration::from_micros(15);
+pub const PAPER_COUNTER_UPDATE_COST: NanoDuration = NanoDuration::from_micros(15);
 
 impl Profiler {
     /// A disabled profiler: charges are still accumulated (they are
     /// cheap), but no counter overhead is booked or reported.
     pub fn disabled() -> Self {
-        Profiler { enabled: false, update_cost: VirtualDuration::ZERO, slots: Default::default() }
+        Profiler { enabled: false, update_cost: NanoDuration::ZERO, slots: Default::default() }
     }
 
     /// An enabled profiler with the paper's 15 µs update cost.
@@ -120,7 +120,7 @@ impl Profiler {
     }
 
     /// An enabled profiler with a custom update cost.
-    pub fn with_update_cost(update_cost: VirtualDuration) -> Self {
+    pub fn with_update_cost(update_cost: NanoDuration) -> Self {
         Profiler { enabled: true, update_cost, slots: Default::default() }
     }
 
@@ -134,7 +134,7 @@ impl Profiler {
     /// must add to the simulated machine's busy time. The overhead is
     /// booked under [`Account::Counters`], estimated exactly as the paper
     /// does (updates × per-update cost).
-    pub fn charge(&mut self, account: Account, dur: VirtualDuration) -> VirtualDuration {
+    pub fn charge(&mut self, account: Account, dur: NanoDuration) -> NanoDuration {
         let slot = &mut self.slots[account.index()];
         slot.total += dur;
         slot.updates += 1;
@@ -144,12 +144,12 @@ impl Profiler {
             c.updates += 1;
             self.update_cost
         } else {
-            VirtualDuration::ZERO
+            NanoDuration::ZERO
         }
     }
 
     /// Total time booked to `account`.
-    pub fn total(&self, account: Account) -> VirtualDuration {
+    pub fn total(&self, account: Account) -> NanoDuration {
         self.slots[account.index()].total
     }
 
@@ -159,8 +159,8 @@ impl Profiler {
     }
 
     /// Sum over all accounts.
-    pub fn grand_total(&self) -> VirtualDuration {
-        self.slots.iter().fold(VirtualDuration::ZERO, |acc, s| acc + s.total)
+    pub fn grand_total(&self) -> NanoDuration {
+        self.slots.iter().fold(NanoDuration::ZERO, |acc, s| acc + s.total)
     }
 
     /// Each account's share of `wall` (the run's elapsed time), as
@@ -168,8 +168,8 @@ impl Profiler {
     /// 100.2 % and 94.0 % — overlap and unprofiled time make the column
     /// sums inexact, and ours are also not forced to 100.
     pub fn percentages(&self, wall: VirtualDuration) -> Vec<(Account, f64)> {
-        let denom = wall.as_micros().max(1) as f64;
-        Account::ALL.iter().map(|&a| (a, 100.0 * self.total(a).as_micros() as f64 / denom)).collect()
+        let denom = NanoDuration::from(wall).as_nanos().max(1) as f64;
+        Account::ALL.iter().map(|&a| (a, 100.0 * self.total(a).as_nanos() as f64 / denom)).collect()
     }
 
     /// Resets every account.
@@ -197,18 +197,18 @@ mod tests {
     #[test]
     fn disabled_profiler_has_no_overhead() {
         let mut p = Profiler::disabled();
-        let extra = p.charge(Account::Tcp, VirtualDuration::from_micros(100));
-        assert_eq!(extra, VirtualDuration::ZERO);
+        let extra = p.charge(Account::Tcp, NanoDuration::from_micros(100));
+        assert_eq!(extra, NanoDuration::ZERO);
         assert_eq!(p.total(Account::Tcp).as_micros(), 100);
-        assert_eq!(p.total(Account::Counters), VirtualDuration::ZERO);
+        assert_eq!(p.total(Account::Counters), NanoDuration::ZERO);
     }
 
     #[test]
     fn enabled_profiler_books_15us_per_update() {
         let mut p = Profiler::enabled();
-        let extra = p.charge(Account::Ip, VirtualDuration::from_micros(40));
+        let extra = p.charge(Account::Ip, NanoDuration::from_micros(40));
         assert_eq!(extra.as_micros(), 15);
-        p.charge(Account::Ip, VirtualDuration::from_micros(60));
+        p.charge(Account::Ip, NanoDuration::from_micros(60));
         assert_eq!(p.total(Account::Ip).as_micros(), 100);
         assert_eq!(p.updates(Account::Ip), 2);
         assert_eq!(p.total(Account::Counters).as_micros(), 30);
@@ -220,7 +220,7 @@ mod tests {
         // Updating a counter is itself a measured operation — the
         // "counters (est.)" row estimates exactly this self-cost.
         let mut p = Profiler::enabled();
-        let extra = p.charge(Account::Counters, VirtualDuration::from_micros(5));
+        let extra = p.charge(Account::Counters, NanoDuration::from_micros(5));
         assert_eq!(extra.as_micros(), 15);
         assert_eq!(p.total(Account::Counters).as_micros(), 5 + 15);
     }
@@ -228,8 +228,8 @@ mod tests {
     #[test]
     fn percentages_against_wall_time() {
         let mut p = Profiler::disabled();
-        p.charge(Account::Tcp, VirtualDuration::from_micros(290));
-        p.charge(Account::Ip, VirtualDuration::from_micros(78));
+        p.charge(Account::Tcp, NanoDuration::from_micros(290));
+        p.charge(Account::Ip, NanoDuration::from_micros(78));
         let pct = p.percentages(VirtualDuration::from_micros(1000));
         let tcp = pct.iter().find(|(a, _)| *a == Account::Tcp).unwrap().1;
         let ip = pct.iter().find(|(a, _)| *a == Account::Ip).unwrap().1;
@@ -240,10 +240,10 @@ mod tests {
     #[test]
     fn grand_total_and_reset() {
         let mut p = Profiler::enabled();
-        p.charge(Account::Copy, VirtualDuration::from_micros(10));
+        p.charge(Account::Copy, NanoDuration::from_micros(10));
         assert_eq!(p.grand_total().as_micros(), 25); // 10 + 15 overhead
         p.reset();
-        assert_eq!(p.grand_total(), VirtualDuration::ZERO);
+        assert_eq!(p.grand_total(), NanoDuration::ZERO);
     }
 
     #[test]

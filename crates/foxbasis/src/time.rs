@@ -140,6 +140,143 @@ impl VirtualDuration {
     }
 }
 
+/// A span of *cost-model* time, in nanoseconds.
+///
+/// The simulation clock itself stays at microsecond resolution — every
+/// timestamp that can reach a trace, a timer wheel, or a wire event is a
+/// [`VirtualTime`]. `NanoDuration` exists for the cost-accounting
+/// substrate underneath: the 1994 DECstation constants are hundreds of
+/// microseconds, but a modern-profile per-packet cost is a few hundred
+/// *nanoseconds*, unrepresentable in a µs duration. Hosts accumulate
+/// charges in `NanoDuration` and truncate to whole microseconds only at
+/// the clock boundary; since every 1994-profile constant is a whole
+/// number of microseconds, that truncation is exact for the paper's
+/// tables.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NanoDuration(u64);
+
+impl NanoDuration {
+    /// Zero-length duration.
+    pub const ZERO: NanoDuration = NanoDuration(0);
+
+    /// Builds a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        NanoDuration(ns)
+    }
+
+    /// Builds a duration from microseconds (exact).
+    pub const fn from_micros(us: u64) -> Self {
+        NanoDuration(us * 1_000)
+    }
+
+    /// Nanoseconds in this duration.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds in this duration (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Rounds down to a whole multiple of `quantum` (a zero quantum is
+    /// treated as 1 ns, i.e. no quantization). Cost models use this to
+    /// reproduce the paper-era arithmetic exactly: the 1994 presets
+    /// quantize computed per-KB charges to whole microseconds, matching
+    /// the original µs integer division bit-for-bit.
+    pub const fn quantize_down(self, quantum: NanoDuration) -> NanoDuration {
+        let q = if quantum.0 == 0 { 1 } else { quantum.0 };
+        NanoDuration(self.0 / q * q)
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: NanoDuration) -> NanoDuration {
+        NanoDuration(self.0.max(other.0))
+    }
+
+    /// `self - other`, saturating at zero.
+    pub fn saturating_sub(self, other: NanoDuration) -> NanoDuration {
+        NanoDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Truncates to the microsecond clock grid (exact whenever the
+    /// duration is a whole number of microseconds, as all 1994-profile
+    /// charges are).
+    pub const fn to_virtual_floor(self) -> VirtualDuration {
+        VirtualDuration(self.0 / 1_000)
+    }
+}
+
+impl From<VirtualDuration> for NanoDuration {
+    fn from(d: VirtualDuration) -> NanoDuration {
+        NanoDuration(d.0 * 1_000)
+    }
+}
+
+impl Add for NanoDuration {
+    type Output = NanoDuration;
+    fn add(self, o: NanoDuration) -> NanoDuration {
+        NanoDuration(self.0 + o.0)
+    }
+}
+
+impl AddAssign for NanoDuration {
+    fn add_assign(&mut self, o: NanoDuration) {
+        self.0 += o.0;
+    }
+}
+
+impl Sub for NanoDuration {
+    type Output = NanoDuration;
+    fn sub(self, o: NanoDuration) -> NanoDuration {
+        NanoDuration(self.0.checked_sub(o.0).expect("nano duration subtraction underflow"))
+    }
+}
+
+impl Mul<u64> for NanoDuration {
+    type Output = NanoDuration;
+    fn mul(self, n: u64) -> NanoDuration {
+        NanoDuration(self.0 * n)
+    }
+}
+
+impl Div<u64> for NanoDuration {
+    type Output = NanoDuration;
+    fn div(self, n: u64) -> NanoDuration {
+        NanoDuration(self.0 / n)
+    }
+}
+
+impl fmt::Debug for NanoDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for NanoDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
 impl Add<VirtualDuration> for VirtualTime {
     type Output = VirtualTime;
     fn add(self, d: VirtualDuration) -> VirtualTime {
@@ -289,6 +426,31 @@ mod tests {
     fn from_secs_f64_rounds_and_clamps() {
         assert_eq!(VirtualDuration::from_secs_f64(0.0000015).as_micros(), 2);
         assert_eq!(VirtualDuration::from_secs_f64(-1.0), VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn nano_duration_basics() {
+        let d = NanoDuration::from_micros(3);
+        assert_eq!(d.as_nanos(), 3_000);
+        assert_eq!(d.as_micros(), 3);
+        assert_eq!(NanoDuration::from(VirtualDuration::from_micros(7)).as_nanos(), 7_000);
+        assert_eq!((d + NanoDuration::from_nanos(5)).as_nanos(), 3_005);
+        assert_eq!((d * 2).as_nanos(), 6_000);
+        assert_eq!((d / 2).as_nanos(), 1_500);
+        assert_eq!((d - NanoDuration::from_nanos(1)).as_nanos(), 2_999);
+        assert!(NanoDuration::ZERO.is_zero());
+        assert_eq!(NanoDuration::from_nanos(2_500).to_virtual_floor().as_micros(), 2);
+    }
+
+    #[test]
+    fn nano_duration_quantize_down() {
+        let us = NanoDuration::from_micros(1);
+        // 29_296 ns quantized to the µs grid is 29 µs — exactly the
+        // paper-era integer division result.
+        assert_eq!(NanoDuration::from_nanos(29_296).quantize_down(us).as_nanos(), 29_000);
+        // A 1 ns quantum (or zero) leaves values untouched.
+        assert_eq!(NanoDuration::from_nanos(777).quantize_down(NanoDuration::from_nanos(1)).as_nanos(), 777);
+        assert_eq!(NanoDuration::from_nanos(777).quantize_down(NanoDuration::ZERO).as_nanos(), 777);
     }
 
     #[test]

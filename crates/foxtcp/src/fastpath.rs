@@ -95,8 +95,9 @@ pub fn try_fast<P: Clone + PartialEq + Debug>(
         // the slow path pays. Deliberately outside the copy counter:
         // the paper keeps the user copy out of its benchmarks.
         tcb.push_action(TcpAction::UserData(seg.payload.bytes().to_vec()));
+        let th = cfg.ack_threshold();
         match cfg.delayed_ack_ms {
-            Some(ms) if tcb.segs_since_ack < 2 && tcb.bytes_since_ack < 2 * tcb.mss => {
+            Some(ms) if tcb.segs_since_ack < th && tcb.bytes_since_ack < th * tcb.mss => {
                 tcb.ack_pending = true;
                 tcb.push_action(TcpAction::SetTimer(TimerKind::DelayedAck, ms));
             }
@@ -322,6 +323,54 @@ mod tests {
         assert!(try_fast(&cfg(), &mut core, &s, VirtualTime::ZERO));
         assert_eq!(core.tcb.rcv_nxt, Seq(5010));
         assert_eq!(core.tcb.ts_recent, 501);
+    }
+
+    #[test]
+    fn paws_drop_on_fast_path_emits_duplicate_ack() {
+        // Regression pin for the "dropped and re-ACKed: fully handled"
+        // claim above: a PAWS-rejected segment taken on the fast path
+        // must leave a duplicate ACK in the to_do queue, exactly as the
+        // slow path's PAWS drop does (RFC 7323 §5.3: "Send an
+        // acknowledgment in reply"). The engine drains to_do after
+        // try_fast returns, so an action here *is* an emitted segment.
+        use foxwire::tcp::TcpOption;
+        let mut core = estab();
+        core.tcb.ts_on = true;
+        core.tcb.ts_recent = 500;
+        let mut s = seg(5000, 100, 4096, &[1u8; 10]);
+        s.header.options.push(TcpOption::Timestamps(499, 0));
+        assert!(try_fast(&cfg(), &mut core, &s, VirtualTime::ZERO));
+        let actions = core.tcb.to_do.borrow_mut().drain_all();
+        let acks: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                TcpAction::SendSegment(seg) => Some(&seg.header),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks.len(), 1, "exactly one re-ACK must be staged, got {actions:?}");
+        let h = acks[0];
+        assert!(h.flags.ack && !h.flags.syn && !h.flags.fin && !h.flags.rst);
+        assert_eq!(h.ack, Seq(5000), "the re-ACK must re-assert rcv_nxt");
+        assert_eq!(h.seq, Seq(100), "the re-ACK carries snd_nxt");
+
+        // And the same drop on the *slow* path stages the same ACK —
+        // the parity the fast path's early return claims.
+        let mut core = estab();
+        core.tcb.ts_on = true;
+        core.tcb.ts_recent = 500;
+        let mut s = seg(5000, 100, 4096, &[1u8; 10]);
+        s.header.options.push(TcpOption::Timestamps(499, 0));
+        let _ = crate::receive::segment_arrives(&cfg(), &mut core, s, VirtualTime::ZERO);
+        let actions = core.tcb.to_do.borrow_mut().drain_all();
+        let slow_acks: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                TcpAction::SendSegment(seg) => Some(seg.header.ack),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(slow_acks, vec![Seq(5000)], "slow-path PAWS drop must stage the same re-ACK");
     }
 
     #[test]

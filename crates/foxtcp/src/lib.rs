@@ -73,6 +73,16 @@ pub struct TcpConfig {
     /// Milliseconds to delay ACKs waiting for a piggyback opportunity;
     /// `None` acknowledges immediately.
     pub delayed_ack_ms: Option<u64>,
+    /// ACK coalescing: how many in-order data segments (and segments ×
+    /// MSS bytes) may accumulate before an immediate ACK is forced.
+    /// `None` (the default) keeps the RFC 1122 / BSD rule — ACK at
+    /// least every second full segment — so every existing trace is
+    /// unchanged. `Some(k)` with `k > 2` lets a GRO-style burst be
+    /// answered with one cumulative ACK per `k` segments; the delayed-ACK
+    /// timer still bounds the wait, and `delayed_ack_ms: None` (the
+    /// paper's bulk config) still acknowledges every segment
+    /// immediately, coalescing or not.
+    pub ack_coalesce_segments: Option<u32>,
     /// Nagle's small-segment coalescing.
     pub nagle: bool,
     /// Use the §4 fast-path receive routine for common-case segments.
@@ -127,6 +137,7 @@ impl Default for TcpConfig {
             user_timeout_ms: 120_000,
             send_buffer: 8192,
             delayed_ack_ms: Some(200),
+            ack_coalesce_segments: None,
             nagle: true,
             fast_path: true,
             latency_priority: false,
@@ -142,6 +153,15 @@ impl Default for TcpConfig {
             do_prints: false,
             do_traces: false,
         }
+    }
+}
+
+impl TcpConfig {
+    /// The in-order segment count at which an immediate ACK is forced
+    /// (the byte bound is this × MSS). `ack_coalesce_segments: None`
+    /// yields the historical BSD threshold of 2.
+    pub fn ack_threshold(&self) -> u32 {
+        self.ack_coalesce_segments.unwrap_or(2).max(1)
     }
 }
 

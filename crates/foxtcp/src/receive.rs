@@ -511,9 +511,12 @@ fn process_text<P: Clone + PartialEq + Debug>(
         tcb.push_action(TcpAction::UserData(delivered));
         // ACK policy (BSD): immediately on every second data segment or
         // after 2·MSS of bytes; otherwise delayed ("else a Set_Timer for
-        // the ack timer if the ack is to be delayed").
+        // the ack timer if the ack is to be delayed"). The threshold of
+        // 2 can be raised by `ack_coalesce_segments` (GRO-era batching);
+        // the default keeps the historical rule exactly.
+        let th = cfg.ack_threshold();
         match cfg.delayed_ack_ms {
-            Some(ms) if tcb.segs_since_ack < 2 && tcb.bytes_since_ack < 2 * tcb.mss && !fin => {
+            Some(ms) if tcb.segs_since_ack < th && tcb.bytes_since_ack < th * tcb.mss && !fin => {
                 tcb.ack_pending = true;
                 tcb.push_action(TcpAction::SetTimer(TimerKind::DelayedAck, ms));
             }

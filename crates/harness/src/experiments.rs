@@ -891,11 +891,24 @@ fn run_traced(
     bytes: usize,
     deadline: VirtualTime,
 ) -> TracedBulk {
+    run_traced_batched(net, kind, cost, cfg, bytes, deadline, foxproto::dev::BatchConfig::default())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_traced_batched(
+    net: SimNet,
+    kind: StackKind,
+    cost: fn() -> CostModel,
+    cfg: TcpConfig,
+    bytes: usize,
+    deadline: VirtualTime,
+    batch: foxproto::dev::BatchConfig,
+) -> TracedBulk {
     let sink = EventSink::recording(DEFAULT_RING_CAPACITY);
     net.set_obs(sink.clone());
     let pcap = net.capture();
-    let mut s = kind.build_traced(&net, 1, 2, cost(), false, cfg.clone(), sink.clone());
-    let mut r = kind.build_traced(&net, 2, 1, cost(), false, cfg, sink.clone());
+    let mut s = kind.build_batched(&net, 1, 2, cost(), false, cfg.clone(), sink.clone(), batch);
+    let mut r = kind.build_batched(&net, 2, 1, cost(), false, cfg, sink.clone(), batch);
     let bulk = bulk_transfer(&net, &mut s, &mut r, bytes, deadline);
     TracedBulk { events: sink.events(), dropped: sink.dropped(), pcap, bulk }
 }
@@ -907,6 +920,43 @@ fn run_traced(
 /// `foxbasis::obs::first_divergence` of the pair is `None`.
 pub fn traced_table1_bulk(kind: StackKind, cost: fn() -> CostModel, bytes: usize, seed: u64) -> TracedBulk {
     run_traced(fresh_net(seed), kind, cost, paper_tcp_config(), bytes, VirtualTime::from_micros(u64::MAX / 2))
+}
+
+/// The traced bulk run under an explicit TCP configuration on the
+/// fault-free Table 1 network — for trace-diffing a configuration knob
+/// (ACK coalescing, delayed ACKs) against the defaults on the same
+/// seed.
+pub fn traced_bulk_with(
+    kind: StackKind,
+    cost: fn() -> CostModel,
+    cfg: TcpConfig,
+    bytes: usize,
+    seed: u64,
+) -> TracedBulk {
+    run_traced(fresh_net(seed), kind, cost, cfg, bytes, VirtualTime::from_micros(u64::MAX / 2))
+}
+
+/// The traced Table 1 bulk run with explicit GRO/TSO device batching —
+/// for trace-diffing a batched device against the unbatched one on the
+/// same seed. Under the 1994 cost presets the per-batch device costs
+/// are zero, so the two streams must be byte-identical: batching groups
+/// the charges that exist, it never invents new ones.
+pub fn traced_table1_bulk_batched(
+    kind: StackKind,
+    cost: fn() -> CostModel,
+    bytes: usize,
+    seed: u64,
+    batch: foxproto::dev::BatchConfig,
+) -> TracedBulk {
+    run_traced_batched(
+        fresh_net(seed),
+        kind,
+        cost,
+        paper_tcp_config(),
+        bytes,
+        VirtualTime::from_micros(u64::MAX / 2),
+        batch,
+    )
 }
 
 /// One loss-matrix cell with the event layer recording. Unlike the

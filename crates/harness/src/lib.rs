@@ -10,6 +10,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod experiments;
 pub mod report;
 pub mod sim;
@@ -17,6 +18,7 @@ pub mod stack;
 pub mod station;
 pub mod workload;
 
+pub use bench::{bench_transfer, BenchProfile, BenchRun};
 pub use sim::drive;
 pub use stack::{special_station, standard_station, xk_station, StackKind};
 pub use station::{ConnHandle, Station};

@@ -18,7 +18,7 @@ use fox_scheduler::SchedHandle;
 use foxbasis::obs::{ConnMetrics, EventSink};
 use foxbasis::time::VirtualTime;
 use foxproto::aux::IpAux;
-use foxproto::dev::Dev;
+use foxproto::dev::{BatchConfig, Dev};
 use foxproto::eth::Eth;
 use foxproto::ip::{Ip, IpConfig};
 use foxproto::vp::SizedPayload;
@@ -77,10 +77,30 @@ impl StackKind {
         tcp_cfg: TcpConfig,
         sink: EventSink,
     ) -> Box<dyn Station> {
+        self.build_batched(net, id, peer_id, cost, profiled, tcp_cfg, sink, BatchConfig::default())
+    }
+
+    /// Like [`StackKind::build_traced`], but with GRO/TSO device
+    /// batching limits. `BatchConfig::default()` (both bursts 1) is
+    /// exactly the unbatched device.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_batched(
+        self,
+        net: &SimNet,
+        id: u16,
+        peer_id: u16,
+        cost: CostModel,
+        profiled: bool,
+        tcp_cfg: TcpConfig,
+        sink: EventSink,
+        batch: BatchConfig,
+    ) -> Box<dyn Station> {
         match self {
-            StackKind::FoxStandard => standard_station(net, id, peer_id, cost, profiled, tcp_cfg, sink),
-            StackKind::FoxSpecial => special_station(net, id, peer_id, cost, profiled, tcp_cfg, sink),
-            StackKind::XKernel => xk_station(net, id, peer_id, cost, profiled, &tcp_cfg, sink),
+            StackKind::FoxStandard => {
+                standard_station(net, id, peer_id, cost, profiled, tcp_cfg, sink, batch)
+            }
+            StackKind::FoxSpecial => special_station(net, id, peer_id, cost, profiled, tcp_cfg, sink, batch),
+            StackKind::XKernel => xk_station(net, id, peer_id, cost, profiled, &tcp_cfg, sink, batch),
         }
     }
 
@@ -130,6 +150,7 @@ fn stamp(sink: &EventSink, id: u16) -> EventSink {
 }
 
 /// `Standard_Tcp = Tcp (structure Lower = Ip ...)`.
+#[allow(clippy::too_many_arguments)]
 pub fn standard_station(
     net: &SimNet,
     id: u16,
@@ -138,6 +159,7 @@ pub fn standard_station(
     profiled: bool,
     tcp_cfg: TcpConfig,
     sink: EventSink,
+    batch: BatchConfig,
 ) -> Box<dyn Station> {
     let stamped = stamp(&sink, id);
     let host = host_handle(id, cost, profiled);
@@ -146,6 +168,7 @@ pub fn standard_station(
     let mac = mac_of(id);
     let local = ip_of(id);
     let mut dev = Dev::new(net.attach(mac), host.clone());
+    dev.set_batching(batch);
     dev.set_obs(stamped.clone());
     let eth = Eth::new(dev, mac, host.clone());
     let ip = Ip::new(eth, mac, ip_config(local), host.clone());
@@ -170,6 +193,7 @@ pub fn standard_station(
 /// `Special_Tcp = Tcp (structure Lower = Eth ...)` — with the
 /// `SizedPayload` virtual protocol delimiting segments, and TCP
 /// checksums off (the Ethernet FCS carries integrity).
+#[allow(clippy::too_many_arguments)]
 pub fn special_station(
     net: &SimNet,
     id: u16,
@@ -178,6 +202,7 @@ pub fn special_station(
     profiled: bool,
     mut tcp_cfg: TcpConfig,
     sink: EventSink,
+    batch: BatchConfig,
 ) -> Box<dyn Station> {
     tcp_cfg.compute_checksums = false; // val do_checksums = false
     let stamped = stamp(&sink, id);
@@ -186,6 +211,7 @@ pub fn special_station(
     let sched = SchedHandle::new();
     let mac = mac_of(id);
     let mut dev = Dev::new(net.attach(mac), host.clone());
+    dev.set_batching(batch);
     dev.set_obs(stamped.clone());
     let eth = SizedPayload::new(Eth::new(dev, mac, host.clone()));
     let mut tcp = Tcp::new(eth, EthAux::new(), EtherType::TcpDirect, tcp_cfg, sched.clone(), host.clone());
@@ -202,6 +228,7 @@ pub fn special_station(
 }
 
 /// The x-kernel baseline over the standard substrate.
+#[allow(clippy::too_many_arguments)]
 pub fn xk_station(
     net: &SimNet,
     id: u16,
@@ -210,6 +237,7 @@ pub fn xk_station(
     profiled: bool,
     tcp_cfg: &TcpConfig,
     sink: EventSink,
+    batch: BatchConfig,
 ) -> Box<dyn Station> {
     let stamped = stamp(&sink, id);
     let host = host_handle(id, cost, profiled);
@@ -217,6 +245,7 @@ pub fn xk_station(
     let mac = mac_of(id);
     let local = ip_of(id);
     let mut dev = Dev::new(net.attach(mac), host.clone());
+    dev.set_batching(batch);
     dev.set_obs(stamped.clone());
     let eth = Eth::new(dev, mac, host.clone());
     let ip = Ip::new(eth, mac, ip_config(local), host.clone());
@@ -236,6 +265,7 @@ pub fn xk_station(
         window_scale: tcp_cfg.window_scale,
         sack: tcp_cfg.sack,
         timestamps: tcp_cfg.timestamps,
+        ack_coalesce_segments: tcp_cfg.ack_coalesce_segments,
     };
     let mut tcp = XkTcp::new(ip, aux, IpProtocol::Tcp, cfg, host.clone());
     tcp.set_obs(stamped);

@@ -89,6 +89,83 @@ fn same_seed_many_flows_under_burst_loss_diff_to_zero() {
     }
 }
 
+/// GRO/TSO device batching groups the per-batch cost charges — which
+/// are zero in every 1994 preset — so a batched device on the paper
+/// profile must replay the unbatched run byte for byte: same events,
+/// same timestamps, same delivery. Only the modern profile's nonzero
+/// per-batch constants give batching anything observable to amortize.
+#[test]
+fn gro_batched_device_is_trace_invisible_on_the_1994_profile() {
+    use foxproto::dev::BatchConfig;
+    for (kind, cost) in [
+        (StackKind::FoxStandard, CostModel::decstation_sml as fn() -> CostModel),
+        (StackKind::XKernel, CostModel::decstation_c),
+    ] {
+        let unbatched = exp::traced_table1_bulk(kind, cost, 120_000, 7);
+        let batched =
+            exp::traced_table1_bulk_batched(kind, cost, 120_000, 7, BatchConfig { rx_burst: 8, tx_burst: 8 });
+        assert_eq!(unbatched.bulk.bytes, 120_000);
+        assert_eq!(batched.bulk.bytes, 120_000);
+        let d = first_divergence(&unbatched.events, &batched.events);
+        assert!(d.is_none(), "{kind:?}: batching perturbed a 1994 trace, diverged at {d:?}");
+        assert_eq!(to_jsonl(&unbatched.events), to_jsonl(&batched.events));
+        assert_eq!(unbatched.bulk.elapsed, batched.bulk.elapsed, "{kind:?}: virtual time moved");
+    }
+}
+
+/// `ack_coalesce_segments: None` means "the historical threshold", and
+/// setting the knob explicitly *to* that threshold must be
+/// indistinguishable on the wire: Some(2) for the structured stack
+/// (the BSD every-second-segment rule), Some(1) for the x-kernel
+/// baseline (its every-full-segment rule). A genuinely raised
+/// threshold must then actually change the trace — the knob is a real
+/// policy, not dead configuration.
+#[test]
+fn ack_coalescing_defaults_pin_the_historical_thresholds() {
+    // Fox: coalescing only matters with a delayed-ACK timer to hold
+    // the ACK back (the paper's bulk config acks immediately).
+    let delayed = TcpConfig { initial_window: 4096, send_buffer: 8192, ..TcpConfig::default() };
+    assert_eq!(delayed.delayed_ack_ms, Some(200));
+    let base =
+        exp::traced_bulk_with(StackKind::FoxStandard, CostModel::decstation_sml, delayed.clone(), 80_000, 7);
+    let explicit = exp::traced_bulk_with(
+        StackKind::FoxStandard,
+        CostModel::decstation_sml,
+        TcpConfig { ack_coalesce_segments: Some(2), ..delayed.clone() },
+        80_000,
+        7,
+    );
+    let d = first_divergence(&base.events, &explicit.events);
+    assert!(d.is_none(), "fox: Some(2) must equal the default threshold, diverged at {d:?}");
+
+    let coalesced = exp::traced_bulk_with(
+        StackKind::FoxStandard,
+        CostModel::decstation_sml,
+        TcpConfig { ack_coalesce_segments: Some(8), ..delayed },
+        80_000,
+        7,
+    );
+    assert_eq!(coalesced.bulk.bytes, 80_000, "a coalescing receiver still delivers everything");
+    assert!(
+        first_divergence(&base.events, &coalesced.events).is_some(),
+        "fox: an 8-segment threshold must change the ACK stream"
+    );
+
+    // x-kernel: its historical rule is an immediate ACK on every full
+    // segment, i.e. threshold 1.
+    let paper = exp::paper_tcp_config();
+    let base = exp::traced_bulk_with(StackKind::XKernel, CostModel::decstation_c, paper.clone(), 80_000, 7);
+    let explicit = exp::traced_bulk_with(
+        StackKind::XKernel,
+        CostModel::decstation_c,
+        TcpConfig { ack_coalesce_segments: Some(1), ..paper },
+        80_000,
+        7,
+    );
+    let d = first_divergence(&base.events, &explicit.events);
+    assert!(d.is_none(), "xk: Some(1) must equal the default threshold, diverged at {d:?}");
+}
+
 /// The `CongestionControl` trait seam must be invisible on Reno's
 /// pinned runs: selecting the algorithm explicitly (with CUBIC compiled
 /// in behind the same trait) diffs to zero against the default

@@ -53,7 +53,7 @@ pub mod udp;
 pub mod vp;
 
 pub use aux::{EthAux, IpAux, IpAuxImpl};
-pub use dev::Dev;
+pub use dev::{BatchConfig, Dev};
 pub use eth::{Eth, EthIncoming};
 pub use icmp::{Icmp, Ping};
 pub use ip::{Ip, IpIncoming};

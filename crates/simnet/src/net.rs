@@ -50,6 +50,20 @@ impl Default for NetConfig {
     }
 }
 
+impl NetConfig {
+    /// A modern switched gigabit link: 1 Gb/s, 1 µs one-way propagation,
+    /// and a receive ring deep enough that GRO-sized bursts are not
+    /// dropped at the port. Pairs with [`crate::CostModel::modern_gbps`].
+    pub fn gigabit() -> NetConfig {
+        NetConfig {
+            bandwidth_bps: 1_000_000_000,
+            propagation: VirtualDuration::from_micros(1),
+            rx_capacity: 256 * 1024,
+            faults: FaultConfig::default(),
+        }
+    }
+}
+
 /// Fault-injection knobs (probabilities in `[0, 1]`).
 #[derive(Clone, Debug, Default)]
 pub struct FaultConfig {

@@ -112,6 +112,11 @@ pub struct XkConfig {
     /// Offer RFC 7323 timestamps; when negotiated, every segment
     /// carries TSval/TSecr and the peer's TSval is echoed back.
     pub timestamps: bool,
+    /// ACK-coalescing parity knob (mirrors `TcpConfig`): how many full
+    /// in-order segments may arrive before an immediate ACK is forced.
+    /// `None` (default) keeps this baseline's historical rule — an
+    /// immediate ACK on *every* full segment — byte-for-byte.
+    pub ack_coalesce_segments: Option<u32>,
 }
 
 impl Default for XkConfig {
@@ -126,6 +131,7 @@ impl Default for XkConfig {
             backlog: 8,
             window_scale: false,
             sack: false,
+            ack_coalesce_segments: None,
             timestamps: false,
         }
     }
@@ -238,6 +244,9 @@ struct Socket<P> {
     timing: Option<(Seq, VirtualTime)>,
 
     ack_owed: bool,
+    /// Full in-order segments accepted since the last ACK we sent
+    /// (drives the `ack_coalesce_segments` immediate-ACK threshold).
+    segs_since_ack: u32,
     /// Retransmit / delayed-ACK / TIME-WAIT / persist deadlines, each
     /// mirrored on the stack's shared timer wheel.
     timers: [TimerSlot; 4],
@@ -447,6 +456,7 @@ where
             rttvar: VirtualDuration::ZERO,
             timing: None,
             ack_owed: false,
+            segs_since_ack: 0,
             timers: Default::default(),
             events: VecDeque::new(),
         });
@@ -734,6 +744,7 @@ where
         let seq = self.socks[i].snd_nxt;
         let h = self.header_for(i, TcpFlags::ACK, seq);
         self.socks[i].ack_owed = false;
+        self.socks[i].segs_since_ack = 0;
         self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::DelayedAck);
         self.transmit(i, TcpSegment { header: h, payload: PacketBuf::new() });
     }
@@ -797,6 +808,7 @@ where
             let h = self.header_for(i, flags, seq);
             self.arm_retransmit(i);
             self.socks[i].ack_owed = false;
+            self.socks[i].segs_since_ack = 0;
             self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::DelayedAck);
             self.transmit(i, TcpSegment { header: h, payload });
             if fin_now {
@@ -846,10 +858,17 @@ where
                         self.obs.emit(self.now, conn, || Event::TimerFire { timer: "DelayedAck" });
                         self.send_ack(i);
                     } else {
-                        // The poll would re-check next step: keep the
-                        // deadline pending until the ACK is owed.
-                        let at = self.socks[i].deadline(XkTimerKind::DelayedAck).unwrap_or(self.now);
-                        self.socks[i].set_timer(&mut self.wheel, XkTimerKind::DelayedAck, at);
+                        // No ACK owed: the flush was superseded (the ACK
+                        // piggybacked on output or went out immediately).
+                        // The deadline slot still holds the *fired*
+                        // instant, so re-arming at `deadline(..)` would
+                        // put a timer in the past and the wheel would
+                        // refire it on every advance — a refire storm
+                        // that also pins `deadline(..).is_some()` and
+                        // blocks the rx path from ever arming a fresh
+                        // delay. Clear the slot instead; whoever next
+                        // owes an ACK arms a fresh timer.
+                        self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::DelayedAck);
                     }
                 }
                 // TIME-WAIT expiry.
@@ -1340,14 +1359,21 @@ where
                 s.rcv_nxt += took as u32;
                 self.stats.bytes_received += took as u64;
                 s.ack_owed = true;
-                // Ack every second full segment immediately (BSD).
+                // Ack every full segment immediately (this baseline's
+                // approximation of BSD's every-second-segment rule),
+                // unless the coalescing parity knob raises the
+                // threshold to one ACK per `k` full segments.
                 let full_segment = seg.payload.len() as u32 >= s.eff_mss();
-                if s.deadline(XkTimerKind::DelayedAck).is_none() {
+                if full_segment {
+                    s.segs_since_ack += 1;
+                }
+                let threshold = self.cfg.ack_coalesce_segments.unwrap_or(1).max(1);
+                if self.socks[i].deadline(XkTimerKind::DelayedAck).is_none() {
                     let delay = self.cfg.delayed_ack_ms.unwrap_or(0);
                     let at = self.now + VirtualDuration::from_millis(delay);
                     self.socks[i].set_timer(&mut self.wheel, XkTimerKind::DelayedAck, at);
                 }
-                if full_segment {
+                if full_segment && self.socks[i].segs_since_ack >= threshold {
                     self.send_ack(i);
                 }
             } else if h.seq.gt(s.rcv_nxt) {
@@ -1550,6 +1576,37 @@ mod tests {
         assert_eq!(a.state_of(client), Some(XkState::TimeWait));
         run_for(&mut a, &mut b, VirtualTime::ZERO, 61_000, 1000);
         assert_eq!(a.poll_event(client), Some(XkEvent::Closed));
+    }
+
+    #[test]
+    fn spurious_delayed_ack_fire_clears_instead_of_storming() {
+        // Regression: a DelayedAck that fires with no ACK owed (the
+        // flush was superseded) used to re-arm itself at the *fired*
+        // deadline — a timer in the past that the wheel refired on
+        // every advance, and whose pinned `deadline(..)` blocked the
+        // rx path from ever arming a real delayed ACK again. It must
+        // instead fire exactly once and leave the slot clear.
+        let (_l, mut a, mut b) = pair();
+        let (_client, child) = open(&mut a, &mut b);
+        let i = b.idx(child).unwrap();
+        let at = b.now + VirtualDuration::from_millis(1);
+        b.socks[i].set_timer(&mut b.wheel, XkTimerKind::DelayedAck, at);
+        b.socks[i].ack_owed = false;
+        let before = b.wheel_stats().fires;
+        let mut now = b.now;
+        for _ in 0..10 {
+            now += VirtualDuration::from_millis(5);
+            b.step(now);
+        }
+        assert_eq!(
+            b.wheel_stats().fires - before,
+            1,
+            "one flushed ACK means one DelayedAck fire, not a refire storm"
+        );
+        assert!(
+            b.socks[i].deadline(XkTimerKind::DelayedAck).is_none(),
+            "the slot must clear so the next owed ACK can arm a fresh delay"
+        );
     }
 
     #[test]
