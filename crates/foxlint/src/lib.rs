@@ -32,6 +32,12 @@
 //! * `win_cast` — no raw `as u16` on window-named values outside
 //!   `crates/wire`: the codec's `wire_window` is the one sanctioned
 //!   16-bit narrowing (it applies the negotiated scale and the cap).
+//! * `ctrl_data` — the control/data split inside foxtcp: `state` may be
+//!   assigned only under `crates/foxtcp/src/control/`, and the TCB's
+//!   sequence/window/congestion fields only under
+//!   `crates/foxtcp/src/data/` (or `tcb.rs` itself). Control hands data
+//!   an `EstablishedHandle`; data reports back through `DataEvent` —
+//!   neither half writes the other's fields. See DESIGN.md §5.11.
 //!
 //! Violations are reported as `file:line: lint: message`. A checked-in
 //! baseline (`foxlint.baseline`) ratchets: new violations fail, and so
@@ -59,6 +65,7 @@ pub const LINTS: &[(&str, &str)] = &[
     ("tcb_write", "TCB state fields assigned only inside whitelisted engine modules"),
     ("cc_write", "cwnd/ssthresh assigned only inside the congestion-control module"),
     ("win_cast", "no raw `as u16` window casts outside the wire codec"),
+    ("ctrl_data", "state transitions only under control/, data-path fields only under data/"),
 ];
 
 /// Crates whose execution order is observable in traces.
@@ -97,23 +104,32 @@ const TCB_FIELDS: &[&str] = &[
 const CC_FIELDS: &[&str] = &["cwnd", "ssthresh"];
 
 /// The one file allowed to assign [`CC_FIELDS`].
-const CC_WHITELIST: &[&str] = &["crates/foxtcp/src/congestion.rs"];
+const CC_WHITELIST: &[&str] = &["crates/foxtcp/src/data/congestion.rs"];
 
-/// foxtcp files that may write TCB fields (the engine proper).
+/// foxtcp files that may write TCB fields (the data path proper, plus
+/// the TCB's own methods and the monolithic baseline).
 const TCB_WHITELIST: &[&str] = &[
-    "crates/foxtcp/src/engine.rs",
-    "crates/foxtcp/src/receive.rs",
-    "crates/foxtcp/src/send.rs",
-    "crates/foxtcp/src/resend.rs",
-    "crates/foxtcp/src/fastpath.rs",
-    "crates/foxtcp/src/state.rs",
+    "crates/foxtcp/src/data/transfer.rs",
+    "crates/foxtcp/src/data/send.rs",
+    "crates/foxtcp/src/data/resend.rs",
+    "crates/foxtcp/src/data/fastpath.rs",
     "crates/foxtcp/src/tcb.rs",
     "crates/xktcp/src/lib.rs",
 ];
 
 /// foxtcp rx-path files checked whole.
-const FOXTCP_RX_FILES: &[&str] =
-    &["crates/foxtcp/src/receive.rs", "crates/foxtcp/src/fastpath.rs", "crates/foxtcp/src/demux.rs"];
+const FOXTCP_RX_FILES: &[&str] = &[
+    "crates/foxtcp/src/control/segment.rs",
+    "crates/foxtcp/src/data/transfer.rs",
+    "crates/foxtcp/src/data/fastpath.rs",
+    "crates/foxtcp/src/demux.rs",
+];
+
+/// The control side of the foxtcp split: connection lifecycle.
+const CONTROL_PREFIX: &str = "crates/foxtcp/src/control/";
+
+/// The data side of the foxtcp split: transfer machinery.
+const DATA_PREFIX: &str = "crates/foxtcp/src/data/";
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -703,6 +719,46 @@ fn lint_cc_write(cx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
+fn lint_ctrl_data(cx: &FileCtx, out: &mut Vec<Violation>) {
+    // The split is internal to foxtcp: other crates (including the
+    // monolithic xktcp baseline, which exists to *not* have this
+    // structure) are out of scope.
+    if !cx.rel.starts_with("crates/foxtcp/src/") {
+        return;
+    }
+    const ASSIGN: &[&str] = &["=", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<=", ">>="];
+    let in_control = cx.rel.starts_with(CONTROL_PREFIX);
+    let in_data = cx.rel.starts_with(DATA_PREFIX) || cx.rel == "crates/foxtcp/src/tcb.rs";
+    for w in cx.toks.windows(3) {
+        let [dot, field, op] = w else { continue };
+        if !dot.is_punct(".") || !op.punct().is_some_and(|o| ASSIGN.contains(&o)) {
+            continue;
+        }
+        let Some(f) = field.ident() else { continue };
+        if f == "state" && !in_control {
+            cx.emit(
+                out,
+                field.line,
+                "ctrl_data",
+                "state transition outside crates/foxtcp/src/control/: the data path reports \
+                 events (DataEvent), it never assigns `state`"
+                    .into(),
+            );
+        }
+        if (TCB_FIELDS.contains(&f) || CC_FIELDS.contains(&f)) && !in_data {
+            cx.emit(
+                out,
+                field.line,
+                "ctrl_data",
+                format!(
+                    "data-path field `{f}` written outside crates/foxtcp/src/data/: control \
+                     reaches the transfer machinery only through its explicit interface"
+                ),
+            );
+        }
+    }
+}
+
 /// Idents that name a window quantity. The check is lexical, so it keys
 /// on the naming convention the codebase already follows.
 fn is_window_name(id: &str) -> bool {
@@ -759,6 +815,7 @@ pub fn lint_source(rel: &str, src: &str) -> (Vec<Violation>, usize) {
     lint_tcb_write(&cx, &mut raw);
     lint_cc_write(&cx, &mut raw);
     lint_win_cast(&cx, &mut raw);
+    lint_ctrl_data(&cx, &mut raw);
     // Apply allow directives: a valid allow suppresses matching
     // violations on its own line and the following line. A malformed
     // directive is itself a violation — the escape hatch must not decay.
@@ -1001,14 +1058,43 @@ mod tests {
     #[test]
     fn cc_write_fenced_to_congestion_module() {
         let src = "fn f(t: &mut Tcb<u8>) { t.cwnd = 1; t.ssthresh += 2; }";
-        let (vs, _) = lint_source("crates/foxtcp/src/resend.rs", src);
+        let (vs, _) = lint_source("crates/foxtcp/src/data/resend.rs", src);
         assert_eq!(vs.len(), 2, "{vs:?}");
         assert!(vs.iter().all(|v| v.lint == "cc_write"));
         // The congestion module itself is the whitelist.
-        let (vs, _) = lint_source("crates/foxtcp/src/congestion.rs", src);
+        let (vs, _) = lint_source("crates/foxtcp/src/data/congestion.rs", src);
         assert!(vs.is_empty(), "{vs:?}");
         // Non-trace crates are out of scope.
         let (vs, _) = lint_source("crates/bench/src/x.rs", src);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn ctrl_data_separates_the_halves() {
+        // A state transition is control's alone: fine under control/,
+        // flagged in the data path and in the engine root.
+        let transition = "fn f(c: &mut Core) { c.state = 1; }";
+        let (vs, _) = lint_source("crates/foxtcp/src/control/state.rs", transition);
+        assert!(vs.is_empty(), "{vs:?}");
+        let (vs, _) = lint_source("crates/foxtcp/src/data/send.rs", transition);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].lint, "ctrl_data");
+        let (vs, _) = lint_source("crates/foxtcp/src/engine.rs", transition);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].lint, "ctrl_data");
+        // Sequence-space writes are data's alone: control gets flagged
+        // (tcb_write agrees, since control/ is not whitelisted either).
+        let seqwrite = "fn g(c: &mut Core) { c.rcv_nxt += 1; }";
+        let (vs, _) = lint_source("crates/foxtcp/src/control/segment.rs", seqwrite);
+        let lints: Vec<_> = vs.iter().map(|v| v.lint).collect();
+        assert_eq!(lints, vec!["ctrl_data", "tcb_write"], "{vs:?}");
+        let (vs, _) = lint_source("crates/foxtcp/src/data/transfer.rs", seqwrite);
+        assert!(vs.is_empty(), "{vs:?}");
+        // The TCB's own methods may touch its fields.
+        let (vs, _) = lint_source("crates/foxtcp/src/tcb.rs", seqwrite);
+        assert!(vs.is_empty(), "{vs:?}");
+        // The monolithic baseline is deliberately unsplit: out of scope.
+        let (vs, _) = lint_source("crates/xktcp/src/lib.rs", transition);
         assert!(vs.is_empty(), "{vs:?}");
     }
 

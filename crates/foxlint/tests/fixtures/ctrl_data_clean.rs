@@ -1,0 +1,17 @@
+//! `ctrl_data` no-fire fixture: reads and comparisons of both halves'
+//! fields are fine anywhere in foxtcp — only assignment crosses the
+//! boundary.
+
+pub struct Core {
+    pub state: u8,
+    pub snd_nxt: u32,
+    pub cwnd: u32,
+}
+
+pub fn observe(core: &Core) -> bool {
+    core.state == 1 && core.snd_nxt > 2 && core.cwnd != 0
+}
+
+pub fn snapshot(core: &Core) -> (u8, u32) {
+    (core.state, core.snd_nxt.min(core.cwnd))
+}

@@ -1,0 +1,16 @@
+//! `ctrl_data` fire fixture: one file that writes both halves' fields.
+//! Linted under the foxtcp engine root it trips all three writes; under
+//! `control/` only the data-path writes fire; under `data/` only the
+//! state transition does.
+
+pub struct Core {
+    pub state: u8,
+    pub snd_nxt: u32,
+    pub cwnd: u32,
+}
+
+pub fn mixed(core: &mut Core) {
+    core.state = 1;
+    core.snd_nxt += 2;
+    core.cwnd = 3;
+}

@@ -107,15 +107,45 @@ fn tcb_write_fires_outside_whitelist_only() {
     // (cc_write's turf, fenced more tightly).
     let (vs, _) = run("tcb_write_fire.rs", "crates/harness/src/fixture.rs");
     assert_eq!(lints_of(&vs), vec!["tcb_write", "cc_write", "cc_write"], "{vs:?}");
-    // Inside a whitelisted engine module the sequence-space write is
+    // Inside a whitelisted data module the sequence-space write is
     // fine, but the congestion writes still belong to congestion.rs.
-    let (vs, _) = run("tcb_write_fire.rs", "crates/foxtcp/src/send.rs");
+    let (vs, _) = run("tcb_write_fire.rs", "crates/foxtcp/src/data/send.rs");
     assert_eq!(lints_of(&vs), vec!["cc_write", "cc_write"], "{vs:?}");
     let (vs, _) = run("tcb_write_fire.rs", "crates/xktcp/src/lib.rs");
     assert_eq!(lints_of(&vs), vec!["cc_write", "cc_write"], "{vs:?}");
     // congestion.rs may write the windows but not sequence space.
-    let (vs, _) = run("tcb_write_fire.rs", "crates/foxtcp/src/congestion.rs");
+    let (vs, _) = run("tcb_write_fire.rs", "crates/foxtcp/src/data/congestion.rs");
     assert_eq!(lints_of(&vs), vec!["tcb_write"], "{vs:?}");
+}
+
+#[test]
+fn ctrl_data_fires_on_cross_boundary_writes() {
+    // In the engine root neither half's fields may be assigned: the
+    // state transition and both data-path writes fire (the data-path
+    // writes also trip their dedicated lints, which stay in agreement).
+    let (vs, _) = run("ctrl_data_fire.rs", "crates/foxtcp/src/fixture.rs");
+    let ctrl: Vec<_> = vs.iter().filter(|v| v.lint == "ctrl_data").collect();
+    assert_eq!(ctrl.len(), 3, "{vs:?}");
+    // Under control/ the state transition is legal; the seq/cwnd writes
+    // are not.
+    let (vs, _) = run("ctrl_data_fire.rs", "crates/foxtcp/src/control/fixture.rs");
+    assert_eq!(vs.iter().filter(|v| v.lint == "ctrl_data").count(), 2, "{vs:?}");
+    // Under data/ only the state transition fires.
+    let (vs, _) = run("ctrl_data_fire.rs", "crates/foxtcp/src/data/fixture.rs");
+    assert_eq!(vs.iter().filter(|v| v.lint == "ctrl_data").count(), 1, "{vs:?}");
+    assert!(vs.iter().any(|v| v.lint == "ctrl_data" && v.message.contains("state transition")), "{vs:?}");
+}
+
+#[test]
+fn ctrl_data_is_silent_on_reads_and_outside_foxtcp() {
+    let (vs, _) = run("ctrl_data_clean.rs", "crates/foxtcp/src/fixture.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+    // The split is foxtcp-internal: the monolithic baseline and the
+    // harness assign freely (their own lints still apply).
+    let (vs, _) = run("ctrl_data_fire.rs", "crates/xktcp/src/lib.rs");
+    assert!(vs.iter().all(|v| v.lint != "ctrl_data"), "{vs:?}");
+    let (vs, _) = run("ctrl_data_fire.rs", "crates/harness/src/fixture.rs");
+    assert!(vs.iter().all(|v| v.lint != "ctrl_data"), "{vs:?}");
 }
 
 #[test]

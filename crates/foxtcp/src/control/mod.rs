@@ -1,0 +1,35 @@
+//! The control path: connection lifecycle, and nothing else.
+//!
+//! Everything that decides *what a connection is* lives here — passive
+//! and active opens, the SYN handshakes, RST handling, the close
+//! sequences, timer-driven give-ups, and every write to
+//! [`crate::TcpState`]. The data path ([`crate::data`]) moves bytes for
+//! a connection whose shape control has already decided; it reports
+//! events back (see `DataEvent` in [`crate::data::transfer`]) but never
+//! mutates the state machine.
+//!
+//! The boundary is machine-checked: the `ctrl_data` foxlint rule
+//! rejects `state` assignments outside this directory and
+//! sequence/window/congestion writes inside it (DESIGN.md §5.11).
+
+pub mod segment;
+pub mod state;
+
+/// Control's transition token: proof that the decision to enter
+/// ESTABLISHED was made on the control side of the boundary.
+///
+/// The constructor is visible only inside `control`, and the one data
+/// function that completes an establishment
+/// (`crate::data::transfer::establish`) demands a handle — so the data
+/// path cannot promote a connection on its own, and control cannot
+/// forget to run the data-side bookkeeping when it does.
+pub(crate) struct EstablishedHandle {
+    _token: (),
+}
+
+impl EstablishedHandle {
+    /// Minted next to a `TcpState::Estab` write, nowhere else.
+    pub(in crate::control) fn mint() -> EstablishedHandle {
+        EstablishedHandle { _token: () }
+    }
+}

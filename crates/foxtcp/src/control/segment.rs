@@ -11,16 +11,22 @@
 //! through `check_sequence` → `check_rst` → `check_syn` → `check_ack` →
 //! `process_text` → `check_fin`, each an explicit function so the code
 //! can be read against the standard — the paper's maintainability claim.
+//!
+//! This file is the *control* half of the DAG: the branch structure and
+//! every state transition. The checks that move sequence numbers,
+//! windows, and bytes live in [`crate::data::transfer`]; this module
+//! calls them through the narrow seams described there (handing over an
+//! `EstablishedHandle` at promotion time, receiving `DataEvent`s back).
 
 use crate::action::{TcpAction, TimerKind};
+use crate::control::EstablishedHandle;
+use crate::data::transfer::{self, DataEvent};
 use crate::resend;
 use crate::send;
 use crate::tcb::TcpState;
-use crate::{congestion, ConnCore, TcpConfig};
-use foxbasis::buf::PacketBuf;
-use foxbasis::seq::Seq;
+use crate::{ConnCore, TcpConfig};
 use foxbasis::time::VirtualTime;
-use foxwire::tcp::{TcpHeader, TcpSegment};
+use foxwire::tcp::TcpSegment;
 use std::fmt::Debug;
 
 /// What the engine should do after processing (beyond the actions queued
@@ -101,17 +107,8 @@ fn listen_receives_syn<P: Clone + PartialEq + Debug>(
     seg: &TcpSegment,
     now: VirtualTime,
 ) {
-    let tcb = &mut core.tcb;
-    tcb.irs = seg.header.seq;
-    tcb.rcv_nxt = seg.header.seq + 1;
-    // A SYN's window is never scaled (RFC 7323 §2.2).
-    tcb.snd_wnd = u32::from(seg.header.window);
-    tcb.snd_wl1 = seg.header.seq;
-    tcb.snd_wl2 = Seq(0);
-    if let Some(mss) = seg.header.mss() {
-        tcb.mss = tcb.mss.min(u32::from(mss)).max(1);
-    }
-    negotiate_syn_options(core, &seg.header);
+    transfer::note_peer_syn(core, &seg.header);
+    transfer::init_window_from_syn(core, &seg.header);
     core.state = TcpState::SynPassive { retries_left: cfg.syn_retries };
     send::queue_syn(core, true, now);
     core.tcb.push_action(TcpAction::SetTimer(TimerKind::UserTimeout, cfg.user_timeout_ms));
@@ -151,30 +148,16 @@ fn syn_sent<P: Clone + PartialEq + Debug>(
     }
     // Fourth: check the SYN bit.
     if h.flags.syn {
-        core.tcb.irs = h.seq;
-        core.tcb.rcv_nxt = h.seq + 1;
-        if let Some(mss) = h.mss() {
-            core.tcb.mss = core.tcb.mss.min(u32::from(mss)).max(1);
-        }
-        negotiate_syn_options(core, h);
+        transfer::note_peer_syn(core, h);
         if ack_acceptable {
             // The peer echoed our timestamp on the SYN+ACK: first RTTM
             // sample (consumed in `process_ack`).
-            if core.tcb.ts_on {
-                if let Some((_, ecr)) = h.timestamps() {
-                    if ecr != 0 {
-                        core.tcb.ts_ecr_pending = Some(ecr);
-                    }
-                }
-            }
+            transfer::stash_syn_ack_echo(core, h);
             // "SND.UNA should be advanced to equal SEG.ACK"; our SYN is
             // acknowledged: ESTABLISHED.
             resend::process_ack(cfg, core, h.ack, now);
-            // A SYN's window is never scaled (RFC 7323 §2.2).
-            core.tcb.snd_wnd = u32::from(h.window);
-            core.tcb.snd_wl1 = h.seq;
-            core.tcb.snd_wl2 = h.ack;
-            init_cwnd(cfg, core);
+            // A SYN+ACK's window is never scaled.
+            transfer::establish(cfg, core, h, false, EstablishedHandle::mint());
             core.state = TcpState::Estab;
             core.tcb.push_action(TcpAction::ClearTimer(TimerKind::UserTimeout));
             core.tcb.push_action(TcpAction::CompleteOpen);
@@ -199,10 +182,10 @@ fn synchronized<P: Clone + PartialEq + Debug>(
     seg: TcpSegment,
     now: VirtualTime,
 ) -> Disposition {
-    if !process_timestamps(core, &seg.header, now) {
+    if !transfer::process_timestamps(core, &seg.header, now) {
         return Disposition::default(); // PAWS rejected the segment
     }
-    if !check_sequence(cfg, core, &seg, now) {
+    if !transfer::check_sequence(cfg, core, &seg, now) {
         return Disposition::default();
     }
     if seg.header.flags.rst {
@@ -221,117 +204,10 @@ fn synchronized<P: Clone + PartialEq + Debug>(
     if !check_ack(cfg, core, &seg, now) {
         return Disposition::default();
     }
-    check_urg(core, &seg);
-    process_text(cfg, core, &seg, now);
+    transfer::check_urg(core, &seg);
+    transfer::process_text(cfg, core, &seg, now);
     check_fin(cfg, core, &seg, now);
     Disposition::default()
-}
-
-/// Sixth check: the URG bit (RFC 793 p. 73). We advance `RCV.UP` and
-/// tell the user once per urgent region; like the paper's stack, we do
-/// not expedite delivery.
-fn check_urg<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, seg: &TcpSegment) {
-    if !seg.header.flags.urg || !core.state.can_receive() {
-        return;
-    }
-    let up = seg.header.seq + u32::from(seg.header.urgent);
-    if core.tcb.rcv_up.lt(up) {
-        core.tcb.rcv_up = up;
-        core.tcb.push_action(TcpAction::UrgentData(up));
-    }
-}
-
-/// First check: sequence acceptability (the four-case table on p. 69).
-/// Unacceptable segments are answered with an ACK (unless RST) and
-/// dropped.
-fn check_sequence<P: Clone + PartialEq + Debug>(
-    cfg: &TcpConfig,
-    core: &mut ConnCore<P>,
-    seg: &TcpSegment,
-    now: VirtualTime,
-) -> bool {
-    let tcb = &core.tcb;
-    let seq = seg.header.seq;
-    let seg_len = seg.seq_len();
-    let wnd = tcb.rcv_wnd();
-    let acceptable = match (seg_len, wnd) {
-        (0, 0) => seq == tcb.rcv_nxt,
-        (0, w) => seq.in_window(tcb.rcv_nxt, w),
-        (_, 0) => false,
-        (l, w) => seq.in_window(tcb.rcv_nxt, w) || (seq + (l - 1)).in_window(tcb.rcv_nxt, w),
-    };
-    if !acceptable && !seg.header.flags.rst {
-        send::queue_ack(core, now);
-        if core.state == TcpState::TimeWait {
-            // A retransmitted FIN restarts the 2MSL timer.
-            core.tcb.push_action(TcpAction::SetTimer(TimerKind::TimeWait, cfg.time_wait_ms));
-        }
-    }
-    acceptable
-}
-
-/// SYN-time option negotiation (RFC 7323 §2.5, RFC 2018 §2): an option
-/// turns on only when *we* offered it (config) *and* the peer's SYN (or
-/// SYN+ACK) carries it. A withheld option is cleanly off — every window
-/// stays 16-bit, no SACK blocks are sent or consumed, no timestamps
-/// ride on segments.
-fn negotiate_syn_options<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, h: &TcpHeader) {
-    debug_assert!(h.flags.syn);
-    let tcb = &mut core.tcb;
-    if let Some(shift) = h.wscale() {
-        if tcb.offer_wscale {
-            tcb.wscale_on = true;
-            tcb.snd_wscale = shift;
-        }
-    }
-    if h.sack_permitted() && tcb.offer_sack {
-        tcb.sack_on = true;
-    }
-    if let Some((tsval, _)) = h.timestamps() {
-        if tcb.offer_ts {
-            tcb.ts_on = true;
-            tcb.ts_recent = tsval;
-        }
-    }
-}
-
-/// RFC 7323 PAWS: true if `tsval` is from before `ts_recent` in 32-bit
-/// modular time — the segment predates one the connection already
-/// processed, however the sequence numbers look.
-fn paws_reject(ts_recent: u32, tsval: u32) -> bool {
-    (tsval.wrapping_sub(ts_recent) as i32) < 0
-}
-
-/// Timestamp processing for a synchronized connection: PAWS first
-/// (RFC 7323 §5.3 — reject and re-ACK old duplicates), then the
-/// `TS.Recent` update for segments at the left window edge, then stash
-/// TSecr for the RTTM sample `process_ack` takes. Returns false when
-/// PAWS drops the segment.
-pub(crate) fn process_timestamps<P: Clone + PartialEq + Debug>(
-    core: &mut ConnCore<P>,
-    h: &TcpHeader,
-    now: VirtualTime,
-) -> bool {
-    if !core.tcb.ts_on {
-        return true;
-    }
-    let Some((tsval, tsecr)) = h.timestamps() else {
-        // The peer negotiated timestamps but omitted the option; be
-        // lenient (RFC 7323 suggests dropping non-RST segments) so
-        // mixed stacks still interoperate.
-        return true;
-    };
-    if !h.flags.rst && paws_reject(core.tcb.ts_recent, tsval) {
-        send::queue_ack(core, now);
-        return false;
-    }
-    if h.seq.le(core.tcb.rcv_nxt) {
-        core.tcb.ts_recent = tsval;
-    }
-    if h.flags.ack && tsecr != 0 {
-        core.tcb.ts_ecr_pending = Some(tsecr);
-    }
-    true
 }
 
 /// Second check: RST in window.
@@ -379,10 +255,7 @@ fn check_ack<P: Clone + PartialEq + Debug>(
         if ack.in_open_closed(core.tcb.snd_una - 1, core.tcb.snd_nxt) {
             resend::process_ack(cfg, core, ack, now);
             // The handshake-completing ACK is not a SYN: scaled.
-            core.tcb.snd_wnd = core.tcb.scale_peer_window(h.window, false);
-            core.tcb.snd_wl1 = h.seq;
-            core.tcb.snd_wl2 = ack;
-            init_cwnd(cfg, core);
+            transfer::establish(cfg, core, h, true, EstablishedHandle::mint());
             core.state = TcpState::Estab;
             core.tcb.push_action(TcpAction::ClearTimer(TimerKind::UserTimeout));
             core.tcb.push_action(TcpAction::CompleteOpen);
@@ -397,7 +270,7 @@ fn check_ack<P: Clone + PartialEq + Debug>(
     // ESTABLISHED-family ACK processing.
     if ack.in_open_closed(core.tcb.snd_una, core.tcb.snd_nxt) {
         let outcome = resend::process_ack(cfg, core, ack, now);
-        update_send_window(core, seg);
+        transfer::update_send_window(core, seg);
         after_ack_transitions(cfg, core, outcome.fin_acked);
         send::maybe_send(cfg, core, now);
     } else if ack == core.tcb.snd_una {
@@ -405,7 +278,7 @@ fn check_ack<P: Clone + PartialEq + Debug>(
         let pure_dup = seg.payload.is_empty()
             && core.tcb.scale_peer_window(h.window, h.flags.syn) == core.tcb.snd_wnd
             && !seg.header.flags.fin;
-        update_send_window(core, seg);
+        transfer::update_send_window(core, seg);
         if pure_dup {
             resend::duplicate_ack(cfg, core, now);
         } else {
@@ -419,22 +292,6 @@ fn check_ack<P: Clone + PartialEq + Debug>(
     }
     // Old ACK (below snd_una): ignore the ACK field but keep processing.
     true
-}
-
-/// RFC 793's send-window update rule.
-fn update_send_window<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, seg: &TcpSegment) {
-    let h = &seg.header;
-    let tcb = &mut core.tcb;
-    if tcb.snd_wl1.lt(h.seq) || (tcb.snd_wl1 == h.seq && tcb.snd_wl2.le(h.ack)) {
-        let was_zero = tcb.snd_wnd == 0;
-        tcb.snd_wnd = tcb.scale_peer_window(h.window, h.flags.syn);
-        tcb.snd_wl1 = h.seq;
-        tcb.snd_wl2 = h.ack;
-        if tcb.snd_wnd > 0 && was_zero {
-            tcb.persist_backoff = 0;
-            tcb.push_action(TcpAction::ClearTimer(TimerKind::Persist));
-        }
-    }
 }
 
 /// ACK-driven state transitions for the closing states.
@@ -466,98 +323,6 @@ fn after_ack_transitions<P: Clone + PartialEq + Debug>(
     }
 }
 
-/// Seventh: process the segment text.
-fn process_text<P: Clone + PartialEq + Debug>(
-    cfg: &TcpConfig,
-    core: &mut ConnCore<P>,
-    seg: &TcpSegment,
-    now: VirtualTime,
-) {
-    if seg.payload.is_empty() {
-        return;
-    }
-    if !core.state.can_receive() {
-        // "This should not occur, since a FIN has been received from the
-        // remote side. Ignore the segment text."
-        return;
-    }
-    let tcb = &mut core.tcb;
-    let seq = seg.header.seq;
-    let fin = seg.header.flags.fin;
-
-    if seq == tcb.rcv_nxt {
-        // The expected segment: append, deliver, maybe drain the
-        // out-of-order queue behind it. (The copy into the user's
-        // delivery vector is the one copy the paper's receive path also
-        // pays — the user boundary.)
-        let (took, mut delivered) = {
-            let bytes = seg.payload.bytes();
-            let took = tcb.recv_buf.write(&bytes);
-            (took, bytes[..took].to_vec())
-        };
-        tcb.rcv_nxt += took as u32;
-        if took < seg.payload.len() {
-            // Receive buffer full: the rest stays unacknowledged; the
-            // sender will retransmit into our advertised window.
-        } else {
-            let (more, _fin_seen) = tcb.drain_out_of_order();
-            delivered.extend_from_slice(&more);
-            // A FIN buffered out of order is re-examined by check_fin on
-            // the retransmission that delivers it in order; simpler and
-            // still correct (the peer retransmits its FIN).
-        }
-        tcb.bytes_since_ack += delivered.len() as u32;
-        tcb.segs_since_ack += 1;
-        tcb.push_action(TcpAction::UserData(delivered));
-        // ACK policy (BSD): immediately on every second data segment or
-        // after 2·MSS of bytes; otherwise delayed ("else a Set_Timer for
-        // the ack timer if the ack is to be delayed"). The threshold of
-        // 2 can be raised by `ack_coalesce_segments` (GRO-era batching);
-        // the default keeps the historical rule exactly.
-        let th = cfg.ack_threshold();
-        match cfg.delayed_ack_ms {
-            Some(ms) if tcb.segs_since_ack < th && tcb.bytes_since_ack < th * tcb.mss && !fin => {
-                tcb.ack_pending = true;
-                tcb.push_action(TcpAction::SetTimer(TimerKind::DelayedAck, ms));
-            }
-            _ => {
-                send::queue_ack(core, now);
-                core.tcb.push_action(TcpAction::ClearTimer(TimerKind::DelayedAck));
-            }
-        }
-    } else if seq.gt(tcb.rcv_nxt) {
-        // Out of order: queue for later, duplicate-ACK immediately so
-        // the sender learns what we are missing (with SACK negotiated,
-        // the ACK's blocks describe exactly what arrived).
-        let in_window = seq.in_window(tcb.rcv_nxt, tcb.rcv_wnd());
-        if in_window {
-            tcb.insert_out_of_order(seq, seg.payload.clone(), fin);
-        }
-        send::queue_ack(core, now);
-    } else {
-        // Overlapping retransmission: the head is old, the tail may be
-        // new.
-        let skip = tcb.rcv_nxt.since(seq) as usize;
-        if skip < seg.payload.len() {
-            let fresh_len = seg.payload.len() - skip;
-            let (took, mut delivered) = {
-                let bytes = seg.payload.bytes();
-                let fresh = &bytes[skip..];
-                let took = tcb.recv_buf.write(fresh);
-                (took, fresh[..took].to_vec())
-            };
-            tcb.rcv_nxt += took as u32;
-            if took == fresh_len {
-                let (more, _) = tcb.drain_out_of_order();
-                delivered.extend_from_slice(&more);
-            }
-            tcb.bytes_since_ack += delivered.len() as u32;
-            tcb.push_action(TcpAction::UserData(delivered));
-        }
-        send::queue_ack(core, now);
-    }
-}
-
 /// Eighth: check the FIN bit.
 fn check_fin<P: Clone + PartialEq + Debug>(
     cfg: &TcpConfig,
@@ -575,7 +340,7 @@ fn check_fin<P: Clone + PartialEq + Debug>(
         // already sent tells the peer to retransmit.
         if fin_seq.gt(core.tcb.rcv_nxt) {
             if seg.payload.is_empty() {
-                core.tcb.insert_out_of_order(seg.header.seq, PacketBuf::new(), true);
+                transfer::note_out_of_order_fin(core, seg.header.seq);
             }
             return;
         }
@@ -586,9 +351,9 @@ fn check_fin<P: Clone + PartialEq + Debug>(
         }
         return;
     }
-    // Consume the FIN.
-    core.tcb.rcv_nxt += 1;
-    send::queue_ack(core, now);
+    // Consume the FIN; the data path reports it, control decides which
+    // closing state it implies.
+    let DataEvent::FinReceived = transfer::consume_fin(core, now);
     core.tcb.push_action(TcpAction::PeerClose);
     match core.state {
         TcpState::SynActive | TcpState::SynPassive { .. } | TcpState::Estab => {
@@ -610,15 +375,6 @@ fn check_fin<P: Clone + PartialEq + Debug>(
             core.tcb.push_action(TcpAction::SetTimer(TimerKind::TimeWait, cfg.time_wait_ms));
         }
         _ => {}
-    }
-}
-
-/// Initial congestion window: one MSS (Jacobson's 1988 slow start, as
-/// 1994 practice had it). The write happens behind the
-/// [`crate::congestion::CongestionControl`] seam.
-fn init_cwnd<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut ConnCore<P>) {
-    if cfg.congestion_control {
-        congestion::init(&mut core.tcb);
     }
 }
 
@@ -656,6 +412,8 @@ mod tests {
     //! SEGMENT-ARRIVES, and checks the TCB and emitted actions.
 
     use super::*;
+    use foxbasis::buf::PacketBuf;
+    use foxbasis::seq::Seq;
     use foxwire::tcp::{TcpFlags, TcpHeader, TcpOption};
 
     fn cfg() -> TcpConfig {

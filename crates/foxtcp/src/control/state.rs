@@ -43,6 +43,15 @@ pub fn passive_open<P: Clone + PartialEq + Debug>(
     Ok(())
 }
 
+/// Marks a freshly spawned child of a listener as an embryonic
+/// connection: it "listens" on behalf of its parent for exactly the SYN
+/// that created it (backlog 0 — a child spawns nothing itself). The
+/// engine calls this instead of writing the state directly; every
+/// lifecycle write stays in `control`.
+pub fn spawn_embryonic<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>) {
+    core.state = TcpState::Listen { backlog: 0 };
+}
+
 /// CLOSE (RFC 793 p. 60): graceful shutdown of our direction.
 pub fn close<P: Clone + PartialEq + Debug>(
     cfg: &TcpConfig,
@@ -123,9 +132,7 @@ pub fn timer_expired<P: Clone + PartialEq + Debug>(
         return;
     }
     match kind {
-        TimerKind::Resend => {
-            resend::retransmit_timeout(cfg, core, now);
-        }
+        TimerKind::Resend => retransmit_timer(cfg, core, now),
         TimerKind::DelayedAck => {
             if core.tcb.ack_pending {
                 send::queue_ack(core, now);
@@ -156,6 +163,44 @@ pub fn timer_expired<P: Clone + PartialEq + Debug>(
             }
         }
     }
+}
+
+/// The retransmission timer fired. The data path backs off and resends
+/// ([`resend::rto_backoff`] / [`resend::retransmit_and_rearm`]); whether
+/// the connection gives up instead — the retry budget, the SYN-state
+/// retry accounting — is this module's decision, because giving up is a
+/// state transition.
+fn retransmit_timer<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut ConnCore<P>, now: VirtualTime) {
+    if !resend::has_flight(core) {
+        return;
+    }
+    if resend::out_of_retries(core) {
+        give_up(core);
+        return;
+    }
+    resend::rto_backoff(cfg, core, now);
+    // SYN-state retry accounting lives in the state, mirroring the
+    // paper's `Syn_Sent of tcp_tcb * int`.
+    match &mut core.state {
+        TcpState::SynSent { retries_left } | TcpState::SynPassive { retries_left } => {
+            if *retries_left == 0 {
+                give_up(core);
+                return;
+            }
+            *retries_left -= 1;
+        }
+        _ => {}
+    }
+    resend::retransmit_and_rearm(core, now);
+}
+
+/// Hung operation: fail it (the paper's user timeout).
+fn give_up<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>) {
+    core.state = TcpState::Closed;
+    for kind in TimerKind::ALL {
+        core.tcb.push_action(TcpAction::ClearTimer(kind));
+    }
+    core.tcb.push_action(TcpAction::UserTimeoutFired);
 }
 
 #[cfg(test)]

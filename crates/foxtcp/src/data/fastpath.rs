@@ -49,7 +49,7 @@ pub fn try_fast<P: Clone + PartialEq + Debug>(
     }
     // RFC 7323's fast-path timestamp check: PAWS-reject old segments,
     // and keep TS.Recent / the pending echo fresh for RTTM.
-    if !crate::receive::process_timestamps(core, h, now) {
+    if !super::transfer::process_timestamps(core, h, now) {
         return true; // dropped and re-ACKed: fully handled
     }
 

@@ -8,7 +8,7 @@
 
 use crate::action::{LossEvent, TcpAction, TimerKind};
 use crate::congestion;
-use crate::tcb::{RttEstimator, SentSegment, TcpState, MAX_RTO, MIN_RTO};
+use crate::tcb::{RttEstimator, SentSegment, MAX_RTO, MIN_RTO};
 use crate::{ConnCore, TcpConfig};
 use foxbasis::seq::Seq;
 use foxbasis::time::{VirtualDuration, VirtualTime};
@@ -305,66 +305,49 @@ fn retransmit_segment<P: Clone + PartialEq + Debug>(
     tcb.push_action(TcpAction::SendSegment(TcpSegment { header, payload }));
 }
 
-/// The retransmission timer fired: back off, resend the front segment,
-/// shrink the congestion window, and give up (signalling the user
-/// timeout) when the retry budget is exhausted. Returns `true` if the
-/// connection gave up and was reset.
-pub fn retransmit_timeout<P: Clone + PartialEq + Debug>(
-    cfg: &TcpConfig,
-    core: &mut ConnCore<P>,
-    now: VirtualTime,
-) -> bool {
-    if core.tcb.resend_queue.is_empty() {
-        return false;
+/// True while the retransmission queue still holds unacknowledged
+/// flight — a retransmission timer that fires with nothing queued is
+/// stale and should do nothing.
+pub fn has_flight<P: Clone + PartialEq + Debug>(core: &ConnCore<P>) -> bool {
+    !core.tcb.resend_queue.is_empty()
+}
+
+/// True once the per-connection retry budget is spent. The control path
+/// turns this into a give-up (the paper's user timeout); the data path
+/// only reports it.
+pub fn out_of_retries<P: Clone + PartialEq + Debug>(core: &ConnCore<P>) -> bool {
+    core.tcb.retransmits_left == 0
+}
+
+/// The data-path half of a retransmission timeout: spend a retry, back
+/// the RTO off exponentially, apply Karn's rule, and let the congestion
+/// controller respond. Whether the connection *gives up* — the retry
+/// budget, the SYN-state retry accounting — is decided on the control
+/// side (`state::timer_expired`), around this call.
+pub fn rto_backoff<P: Clone + PartialEq + Debug>(cfg: &TcpConfig, core: &mut ConnCore<P>, now: VirtualTime) {
+    let tcb = &mut core.tcb;
+    tcb.retransmits_left -= 1;
+    tcb.rtt.backoff += 1;
+    tcb.rtt.timing = None; // Karn: never time a retransmitted segment
+    tcb.push_action(TcpAction::Loss(LossEvent::Rto));
+    if cfg.congestion_control {
+        congestion::on_rto(tcb, now);
+        tcb.dup_acks = 0;
+        // An RTO abandons any fast recovery in progress — slow start
+        // owns the window again. RFC 6675 also discards the SACK
+        // scoreboard: the network state it described is stale.
+        tcb.recover = None;
+        tcb.sack_scoreboard.clear();
+        tcb.sack_rexmit = None;
     }
-    if core.tcb.retransmits_left == 0 {
-        // Hung operation: fail it (the paper's user timeout).
-        core.state = TcpState::Closed;
-        let tcb = &mut core.tcb;
-        for kind in TimerKind::ALL {
-            tcb.push_action(TcpAction::ClearTimer(kind));
-        }
-        tcb.push_action(TcpAction::UserTimeoutFired);
-        return true;
-    }
-    {
-        let tcb = &mut core.tcb;
-        tcb.retransmits_left -= 1;
-        tcb.rtt.backoff += 1;
-        tcb.rtt.timing = None; // Karn: never time a retransmitted segment
-        tcb.push_action(TcpAction::Loss(LossEvent::Rto));
-        if cfg.congestion_control {
-            congestion::on_rto(tcb, now);
-            tcb.dup_acks = 0;
-            // An RTO abandons any fast recovery in progress — slow start
-            // owns the window again. RFC 6675 also discards the SACK
-            // scoreboard: the network state it described is stale.
-            tcb.recover = None;
-            tcb.sack_scoreboard.clear();
-            tcb.sack_rexmit = None;
-        }
-        // SYN-state retry accounting lives in the state, mirroring the
-        // paper's `Syn_Sent of tcp_tcb * int`.
-        match &mut core.state {
-            TcpState::SynSent { retries_left } | TcpState::SynPassive { retries_left } => {
-                if *retries_left == 0 {
-                    core.state = TcpState::Closed;
-                    let tcb = &mut core.tcb;
-                    for kind in TimerKind::ALL {
-                        tcb.push_action(TcpAction::ClearTimer(kind));
-                    }
-                    tcb.push_action(TcpAction::UserTimeoutFired);
-                    return true;
-                }
-                *retries_left -= 1;
-            }
-            _ => {}
-        }
-    }
+}
+
+/// Resends the front (oldest unacknowledged) segment and re-arms the
+/// retransmission timer with the backed-off RTO.
+pub fn retransmit_and_rearm<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>, now: VirtualTime) {
     retransmit_front(core, now);
     let timeout = core.tcb.rtt.timeout().as_millis();
     core.tcb.push_action(TcpAction::SetTimer(TimerKind::Resend, timeout));
-    false
 }
 
 /// Records a freshly transmitted segment in the retransmission queue and
@@ -383,7 +366,7 @@ pub fn record_sent<P>(tcb: &mut crate::tcb::Tcb<P>, seg: SentSegment, now: Virtu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tcb::INITIAL_RTO;
+    use crate::tcb::{TcpState, INITIAL_RTO};
 
     fn cfg() -> TcpConfig {
         TcpConfig::default()
@@ -411,6 +394,13 @@ mod tests {
 
     fn drain(core: &ConnCore<u32>) -> Vec<String> {
         core.tcb.to_do.borrow_mut().drain_all().into_iter().map(|a| format!("{a:?}")).collect()
+    }
+
+    /// Drives a retransmission timeout the way the engine does: through
+    /// the control path (`state::timer_expired`), which wraps the data
+    /// helpers under test here.
+    fn rto(core: &mut ConnCore<u32>, at_ms: u64) {
+        crate::state::timer_expired(&cfg(), core, TimerKind::Resend, VirtualTime::from_millis(at_ms));
     }
 
     #[test]
@@ -497,7 +487,7 @@ mod tests {
     fn karn_no_sample_after_retransmit() {
         let mut core = core_with_flight();
         core.tcb.rtt.timing = Some((Seq(1100), VirtualTime::from_millis(0)));
-        retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(1000));
+        rto(&mut core, 1000);
         assert!(core.tcb.rtt.timing.is_none(), "Karn clears the timer");
         process_ack(&cfg(), &mut core, Seq(1100), VirtualTime::from_millis(1500));
         assert!(core.tcb.rtt.srtt.is_none(), "no sample from a retransmitted segment");
@@ -508,10 +498,10 @@ mod tests {
         let mut core = core_with_flight();
         let t0 = core.tcb.rtt.timeout();
         assert_eq!(t0, INITIAL_RTO);
-        retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(1000));
+        rto(&mut core, 1000);
         assert_eq!(core.tcb.rtt.backoff, 1);
         assert_eq!(core.tcb.rtt.timeout(), INITIAL_RTO * 2);
-        retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(3000));
+        rto(&mut core, 3000);
         assert_eq!(core.tcb.rtt.timeout(), INITIAL_RTO * 4);
         process_ack(&cfg(), &mut core, Seq(1100), VirtualTime::from_millis(3500));
         assert_eq!(core.tcb.rtt.backoff, 0, "new data acked resets backoff");
@@ -520,7 +510,7 @@ mod tests {
     #[test]
     fn retransmit_reuses_queued_payload() {
         let mut core = core_with_flight();
-        retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(1000));
+        rto(&mut core, 1000);
         let acts = core.tcb.to_do.borrow_mut().drain_all();
         let seg = acts
             .iter()
@@ -538,7 +528,7 @@ mod tests {
         let mut core = core_with_flight();
         core.tcb.cwnd = 8000;
         core.tcb.ssthresh = u32::MAX;
-        retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(1000));
+        rto(&mut core, 1000);
         assert_eq!(core.tcb.cwnd, 1000, "back to one MSS");
         assert_eq!(core.tcb.ssthresh, 2000, "half the flight, floored at 2·MSS");
     }
@@ -547,8 +537,7 @@ mod tests {
     fn giving_up_signals_user_timeout() {
         let mut core = core_with_flight();
         core.tcb.retransmits_left = 0;
-        let gave_up = retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(1000));
-        assert!(gave_up);
+        rto(&mut core, 1000);
         assert_eq!(core.state, TcpState::Closed);
         let acts = drain(&core);
         assert!(acts.iter().any(|a| a == "User_Timeout"), "{acts:?}");
@@ -700,7 +689,7 @@ mod tests {
             duplicate_ack(&cfg(), &mut core, now);
         }
         assert!(core.tcb.recover.is_some());
-        retransmit_timeout(&cfg(), &mut core, VirtualTime::from_millis(2000));
+        rto(&mut core, 2000);
         assert_eq!(core.tcb.recover, None, "slow start owns the window after an RTO");
         assert_eq!(core.tcb.cwnd, 1000);
         let acts = drain(&core);

@@ -320,8 +320,13 @@ where
     }
 
     /// Free space in the connection's send buffer.
-    pub fn send_capacity(&self, conn: TcpConnId) -> usize {
-        self.conn_index(conn).map_or(0, |i| self.conns[i].core.tcb.send_buf.free())
+    ///
+    /// `Err(NotOpen)` for an unknown (or already reaped) connection —
+    /// distinguishable from `Ok(0)`, which means the connection exists
+    /// but flow control is pushing back.
+    pub fn send_capacity(&self, conn: TcpConnId) -> Result<usize, ProtoError> {
+        let i = self.conn_index(conn).ok_or(ProtoError::NotOpen)?;
+        Ok(self.conns[i].core.tcb.send_buf.free())
     }
 
     /// Installs (or replaces) the upcall handler; buffered events are
@@ -811,7 +816,7 @@ where
                         Some(lid),
                     );
                     let Some(cidx) = self.index_of_id(child) else { return };
-                    self.conns[cidx].core.state = TcpState::Listen { backlog: 0 };
+                    state::spawn_embryonic(&mut self.conns[cidx].core);
                     self.conns[cidx].core.tcb.push_action(TcpAction::ProcessData(seg, src));
                     self.run_actions(child);
                     // Tell the listener's user about the child.
@@ -949,9 +954,7 @@ where
         payload: impl Into<foxbasis::buf::PacketBuf>,
     ) -> Result<(), ProtoError> {
         let payload = payload.into();
-        if self.send_capacity(conn) < payload.len() {
-            // Distinguish "no such connection" from pushback.
-            self.conn_index(conn).ok_or(ProtoError::NotOpen)?;
+        if self.send_capacity(conn)? < payload.len() {
             return Err(ProtoError::WouldBlock);
         }
         let n = self.send_data(conn, &payload.bytes())?;

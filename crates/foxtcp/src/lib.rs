@@ -8,12 +8,21 @@
 //! |--------------|---------------|-----|
 //! | `Tcb`        | [`tcb`]       | the TCB record and `tcp_state` datatype (Fig. 6) |
 //! | `Main`       | [`engine`]    | the quasi-synchronous executor and user operations |
-//! | `State`      | [`state`]     | open/close/abort and timer-expiration state manipulations |
-//! | `Receive`    | [`receive`]   | RFC 793 SEGMENT-ARRIVES, branch for branch, functions as merge points |
-//! | `Resend`     | [`resend`]    | the retransmit queue and the Karn/Jacobson round-trip computations |
-//! | `Send`       | [`send`]      | segmenting outgoing data into `Send_Segment` actions |
+//! | `State`      | [`control::state`] | open/close/abort and timer-expiration state manipulations |
+//! | `Receive`    | [`control::segment`] + [`data::transfer`] | RFC 793 SEGMENT-ARRIVES, branch for branch, functions as merge points |
+//! | `Resend`     | [`data::resend`] | the retransmit queue and the Karn/Jacobson round-trip computations |
+//! | `Send`       | [`data::send`] | segmenting outgoing data into `Send_Segment` actions |
 //! | `Action`     | [`engine`] + [`action`] | timers, segment externalization/internalization |
-//! |  (§4)        | [`fastpath`]  | "fast-path receive and send routines which handle the normal cases quickly" |
+//! |  (§4)        | [`data::fastpath`] | "fast-path receive and send routines which handle the normal cases quickly" |
+//!
+//! On top of the paper's decomposition, the modules are grouped by
+//! *which half of TCP they implement*: [`control`] owns the connection
+//! lifecycle (every [`TcpState`] write), [`data`] owns byte transfer
+//! (every sequence/window/congestion write), and the two communicate
+//! only through the narrow seams in [`data::transfer`]. The `ctrl_data`
+//! foxlint rule enforces the split mechanically, and [`socket`] exposes
+//! it to users as a typestate API where illegal operations (sending on
+//! a listener) fail to compile.
 //!
 //! The control structure is the paper's Fig. 7: timer expirations and
 //! message receptions are asynchronous, but each merely *enqueues* a
@@ -30,21 +39,26 @@
 #![warn(missing_docs)]
 
 pub mod action;
-pub mod congestion;
+pub mod control;
+pub mod data;
 pub mod demux;
 pub mod engine;
-pub mod fastpath;
-pub mod receive;
-pub mod resend;
-pub mod send;
-pub mod state;
+pub mod socket;
 pub mod tcb;
 pub mod testlink;
+
+// Flat aliases for the paper's module names: `foxtcp::receive`,
+// `foxtcp::send`, ... keep working while the files themselves live on
+// the side of the control/data boundary they belong to.
+pub use control::segment as receive;
+pub use control::state;
+pub use data::{congestion, fastpath, resend, send};
 
 pub use action::{LossEvent, TcpAction, TimerKind};
 pub use congestion::CcAlg;
 pub use demux::{Demux, DemuxStats};
 pub use engine::{Tcp, TcpConnId, TcpEvent, TcpPattern, TcpStats};
+pub use socket::{ConnectingSocket, EstablishedSocket, ListeningSocket};
 pub use tcb::{Tcb, TcpState};
 
 use foxbasis::seq::Seq;

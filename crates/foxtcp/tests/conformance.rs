@@ -20,7 +20,7 @@ use foxbasis::seq::Seq;
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxproto::Protocol;
 use foxtcp::testlink::{LinkPair, TestAux, TestLower};
-use foxtcp::{Tcp, TcpConfig, TcpConnId, TcpEvent, TcpPattern};
+use foxtcp::{ConnectingSocket, EstablishedSocket, ListeningSocket, Tcp, TcpConfig, TcpConnId, TcpEvent};
 use foxwire::tcp::{TcpFlags, TcpHeader, TcpSegment};
 use simnet::HostHandle;
 use std::cell::RefCell;
@@ -123,12 +123,22 @@ fn normalize(raw: &str) -> &'static str {
 
 // ---------------------------------------------------------------- fox
 
+/// The data connection's typestate wrapper, at whichever stage it
+/// currently holds. The wrapper is consumed on close; `FoxSut` keeps
+/// the bare [`TcpConnId`] separately for state queries afterwards.
+enum FoxConn {
+    Connecting(ConnectingSocket),
+    Established(EstablishedSocket),
+}
+
 struct FoxSut {
     tcp: Tcp<TestLower, TestAux>,
     _sched: SchedHandle,
     events: Rc<RefCell<Vec<TcpEvent>>>,
-    listener: Option<TcpConnId>,
-    conn: Option<TcpConnId>,
+    listener: Option<ListeningSocket>,
+    listener_id: Option<TcpConnId>,
+    conn: Option<FoxConn>,
+    conn_id: Option<TcpConnId>,
 }
 
 impl FoxSut {
@@ -136,7 +146,15 @@ impl FoxSut {
         let sched = SchedHandle::new();
         let tcp =
             Tcp::new(link.endpoint(1), TestAux, (), TcpConfig::default(), sched.clone(), HostHandle::free());
-        FoxSut { tcp, _sched: sched, events: Rc::new(RefCell::new(Vec::new())), listener: None, conn: None }
+        FoxSut {
+            tcp,
+            _sched: sched,
+            events: Rc::new(RefCell::new(Vec::new())),
+            listener: None,
+            listener_id: None,
+            conn: None,
+            conn_id: None,
+        }
     }
 
     fn recorder(&self) -> foxproto::Handler<TcpEvent> {
@@ -152,27 +170,34 @@ impl Sut for FoxSut {
 
     fn listen(&mut self) {
         let h = self.recorder();
-        let id = self.tcp.open(TcpPattern::Passive { local_port: SUT_LISTEN_PORT }, h).unwrap();
-        self.listener = Some(id);
+        let sock = self.tcp.listen(SUT_LISTEN_PORT, h).unwrap();
+        self.listener_id = Some(sock.id());
+        self.listener = Some(sock);
     }
 
     fn connect(&mut self) {
         let h = self.recorder();
-        let id = self
-            .tcp
-            .open(TcpPattern::Active { remote: 0, remote_port: PEER_PORT, local_port: SUT_ACTIVE_PORT }, h)
-            .unwrap();
-        self.conn = Some(id);
+        let sock = self.tcp.connect(0, PEER_PORT, SUT_ACTIVE_PORT, h).unwrap();
+        self.conn_id = Some(sock.id());
+        self.conn = Some(FoxConn::Connecting(sock));
     }
 
     fn close_conn(&mut self) {
-        let c = self.conn.expect("no connection to close");
-        self.tcp.close(c).unwrap();
+        // Close consumes the wrapper at whatever stage the handshake
+        // reached; promote first so an established connection closes
+        // through the `EstablishedSocket` it really is.
+        match self.conn.take().expect("no connection to close") {
+            FoxConn::Connecting(sock) => match sock.try_established(&self.tcp) {
+                Ok(est) => est.close(&mut self.tcp).unwrap(),
+                Err(still) => still.close(&mut self.tcp).unwrap(),
+            },
+            FoxConn::Established(sock) => sock.close(&mut self.tcp).unwrap(),
+        }
     }
 
     fn step(&mut self, now: VirtualTime) -> bool {
         let progress = self.tcp.step(now);
-        if self.conn.is_none() {
+        if self.conn_id.is_none() {
             // Adopt the listener's first child so its state is visible
             // and its terminal event lets the engine reap it.
             let child = self.events.borrow().iter().find_map(|e| match e {
@@ -181,22 +206,34 @@ impl Sut for FoxSut {
             });
             if let Some(c) = child {
                 let ev = self.events.clone();
-                self.tcp.set_handler(c, Box::new(move |e| ev.borrow_mut().push(e))).unwrap();
-                self.conn = Some(c);
+                let listener = self.listener.as_ref().expect("a child implies a listener");
+                let sock =
+                    listener.accept(&mut self.tcp, c, Box::new(move |e| ev.borrow_mut().push(e))).unwrap();
+                self.conn_id = Some(c);
+                self.conn = Some(FoxConn::Connecting(sock));
             }
+        }
+        // Promote the wrapper once the handshake completes, so closes
+        // after establishment go through `EstablishedSocket`.
+        if let Some(FoxConn::Connecting(_)) = self.conn {
+            let Some(FoxConn::Connecting(sock)) = self.conn.take() else { unreachable!() };
+            self.conn = Some(match sock.try_established(&self.tcp) {
+                Ok(est) => FoxConn::Established(est),
+                Err(still) => FoxConn::Connecting(still),
+            });
         }
         progress
     }
 
     fn conn_state(&self) -> &'static str {
-        match self.conn {
+        match self.conn_id {
             None => "Closed",
             Some(c) => self.tcp.state_of(c).map_or("Closed", |s| s.name()),
         }
     }
 
     fn listener_state(&self) -> &'static str {
-        match self.listener {
+        match self.listener_id {
             None => "Closed",
             Some(l) => self.tcp.state_of(l).map_or("Closed", |s| s.name()),
         }
@@ -807,16 +844,16 @@ fn fox_syn_flood_drops_beyond_backlog_and_recovers() {
     )));
     let events: Rc<RefCell<Vec<TcpEvent>>> = Rc::new(RefCell::new(Vec::new()));
     let ev = events.clone();
-    tcp.borrow_mut()
-        .open(TcpPattern::Passive { local_port: SUT_LISTEN_PORT }, Box::new(move |e| ev.borrow_mut().push(e)))
-        .unwrap();
+    let listener =
+        tcp.borrow_mut().listen(SUT_LISTEN_PORT, Box::new(move |e| ev.borrow_mut().push(e))).unwrap();
     let mut peer = FloodPeer::new(&link);
 
     let t = tcp.clone();
     let mut step = move |now: VirtualTime| t.borrow_mut().step(now);
     let t = tcp.clone();
     let mut drainq = move || {
-        // Adopting a child (installing its handler) is fox's accept().
+        // Accepting a child (installing its handler) takes it off the
+        // listener's queue.
         let children: Vec<TcpConnId> = events
             .borrow()
             .iter()
@@ -826,7 +863,7 @@ fn fox_syn_flood_drops_beyond_backlog_and_recovers() {
             })
             .collect();
         for c in children {
-            let _ = t.borrow_mut().set_handler(c, Box::new(|_| {}));
+            let _ = listener.accept(&mut t.borrow_mut(), c, Box::new(|_| {}));
         }
     };
     syn_flood_recovers("fox", &mut step, &mut drainq, &mut peer);
@@ -848,4 +885,205 @@ fn xk_syn_flood_drops_beyond_backlog_and_recovers() {
     // completed handshakes already drained the queue.
     let mut drainq = || {};
     syn_flood_recovers("xk", &mut step, &mut drainq, &mut peer);
+}
+
+// ------------------------------------------- typestate lifecycle (fox)
+
+/// Steps a fox stack and a raw peer until neither makes progress,
+/// returning every segment the stack transmitted meanwhile.
+fn settle_fox(
+    tcp: &mut Tcp<TestLower, TestAux>,
+    peer: &mut FloodPeer,
+    now: VirtualTime,
+) -> Vec<(u16, TcpSegment)> {
+    let mut seen = Vec::new();
+    for _ in 0..256 {
+        let p = tcp.step(now);
+        let fresh = peer.drain(now);
+        if !p && fresh.is_empty() {
+            return seen;
+        }
+        seen.extend(fresh);
+    }
+    panic!("[fox] did not settle");
+}
+
+/// The positive half of the typestate story: a connection driven end to
+/// end — listen → accept → try_established → send_data → close —
+/// touching the engine only through the typed wrappers. (The negative
+/// half lives in `foxtcp::socket`'s `compile_fail` doctests.)
+#[test]
+fn fox_typed_lifecycle_listen_accept_send_close() {
+    let link = LinkPair::new();
+    let sched = SchedHandle::new();
+    let mut tcp = Tcp::new(link.endpoint(1), TestAux, (), TcpConfig::default(), sched, HostHandle::free());
+    let events: Rc<RefCell<Vec<TcpEvent>>> = Rc::new(RefCell::new(Vec::new()));
+    let ev = events.clone();
+    let listener = tcp.listen(SUT_LISTEN_PORT, Box::new(move |e| ev.borrow_mut().push(e))).unwrap();
+    let mut peer = FloodPeer::new(&link);
+    let now = VirtualTime::ZERO;
+
+    // Three-way handshake, scripted by the raw peer.
+    peer.send(PEER_PORT, TcpFlags::SYN, PEER_ISS, 0);
+    let replies = settle_fox(&mut tcp, &mut peer, now);
+    let sut_iss = replies
+        .iter()
+        .find(|(_, s)| s.header.flags.syn && s.header.flags.ack)
+        .expect("SYN-ACK answers the SYN")
+        .1
+        .header
+        .seq
+        .0;
+    peer.send(PEER_PORT, TcpFlags::ACK, PEER_ISS + 1, sut_iss.wrapping_add(1));
+    settle_fox(&mut tcp, &mut peer, now);
+
+    // Adopt the announced child through the typed accept; the
+    // handshake is already complete, so it promotes immediately.
+    let child = events
+        .borrow()
+        .iter()
+        .find_map(|e| match e {
+            TcpEvent::NewConnection(c) => Some(*c),
+            _ => None,
+        })
+        .expect("listener announced its child");
+    let conn = listener.accept(&mut tcp, child, Box::new(|_| {})).unwrap();
+    let est = conn.try_established(&tcp).expect("handshake has completed");
+
+    // Data moves only through the established stage.
+    assert_eq!(est.send_data(&mut tcp, b"typed").unwrap(), 5);
+    assert!(est.send_capacity(&tcp).unwrap() > 0);
+    let replies = settle_fox(&mut tcp, &mut peer, now);
+    assert!(replies.iter().any(|(_, s)| s.payload.len() == 5), "the payload went out");
+    peer.send(PEER_PORT, TcpFlags::ACK, PEER_ISS + 1, sut_iss.wrapping_add(1 + 5));
+    settle_fox(&mut tcp, &mut peer, now);
+
+    // Close consumes the socket and puts a FIN on the wire.
+    est.close(&mut tcp).unwrap();
+    let replies = settle_fox(&mut tcp, &mut peer, now);
+    assert!(replies.iter().any(|(_, s)| s.header.flags.fin), "FIN transmitted");
+    assert_eq!(tcp.state_of(child).expect("still tracked").name(), "FinWait1");
+    listener.close(&mut tcp).unwrap();
+}
+
+// --------------------------------------------- post-reap observability
+
+/// Once fox reaps a closed connection, `state_of` and `metrics_of`
+/// answer `None` — never a stale snapshot of the dead connection.
+#[test]
+fn fox_reaped_connection_reads_none() {
+    let link = LinkPair::new();
+    let sched = SchedHandle::new();
+    let mut tcp = Tcp::new(link.endpoint(1), TestAux, (), TcpConfig::default(), sched, HostHandle::free());
+    let events: Rc<RefCell<Vec<TcpEvent>>> = Rc::new(RefCell::new(Vec::new()));
+    let ev = events.clone();
+    let listener = tcp.listen(SUT_LISTEN_PORT, Box::new(move |e| ev.borrow_mut().push(e))).unwrap();
+    let mut peer = FloodPeer::new(&link);
+    let now = VirtualTime::ZERO;
+
+    peer.send(PEER_PORT, TcpFlags::SYN, PEER_ISS, 0);
+    let replies = settle_fox(&mut tcp, &mut peer, now);
+    let sut_iss = replies
+        .iter()
+        .find(|(_, s)| s.header.flags.syn && s.header.flags.ack)
+        .expect("SYN-ACK answers the SYN")
+        .1
+        .header
+        .seq
+        .0;
+    peer.send(PEER_PORT, TcpFlags::ACK, PEER_ISS + 1, sut_iss.wrapping_add(1));
+    settle_fox(&mut tcp, &mut peer, now);
+
+    let child = events
+        .borrow()
+        .iter()
+        .find_map(|e| match e {
+            TcpEvent::NewConnection(c) => Some(*c),
+            _ => None,
+        })
+        .expect("listener announced its child");
+    let conn = listener.accept(&mut tcp, child, Box::new(|_| {})).unwrap();
+    let est = conn.try_established(&tcp).expect("handshake has completed");
+    assert!(tcp.state_of(child).is_some(), "live connection is observable");
+    assert!(tcp.metrics_of(child).is_some());
+
+    // Passive close: peer's FIN, our FIN, peer's final ACK. LAST-ACK
+    // collapses straight to CLOSED, so the reaper takes the connection
+    // as soon as its Closed event has been delivered.
+    peer.send(PEER_PORT, TcpFlags::FIN_ACK, PEER_ISS + 1, sut_iss.wrapping_add(1));
+    settle_fox(&mut tcp, &mut peer, now);
+    est.close(&mut tcp).unwrap();
+    settle_fox(&mut tcp, &mut peer, now);
+    peer.send(PEER_PORT, TcpFlags::ACK, PEER_ISS + 2, sut_iss.wrapping_add(2));
+    settle_fox(&mut tcp, &mut peer, now);
+
+    assert_eq!(tcp.state_of(child), None, "reaped: no stale state");
+    assert!(tcp.metrics_of(child).is_none(), "reaped: no stale metrics");
+    assert!(tcp.state_of(listener.id()).is_some(), "the listener survives its child");
+    assert!(tcp.send_capacity(child).is_err(), "reaped: capacity is an error, not 0");
+}
+
+/// The xk baseline keeps the same post-reap contract: an accepted child
+/// that finishes its close and drains its events vanishes from
+/// `state_of`/`metrics_of` instead of lingering as a stale entry.
+/// (Only children are reaped — the listener itself stays.)
+#[test]
+fn xk_reaped_child_reads_none() {
+    let link = LinkPair::new();
+    let mut tcp = XkTcp::new(link.endpoint(1), TestAux, (), XkConfig::default(), HostHandle::free());
+    let listener = tcp.listen(SUT_LISTEN_PORT).unwrap();
+    let mut peer = FloodPeer::new(&link);
+    let now = VirtualTime::ZERO;
+
+    let settle = |tcp: &mut XkTcp<TestLower, TestAux>, peer: &mut FloodPeer| {
+        let mut seen: Vec<(u16, TcpSegment)> = Vec::new();
+        for _ in 0..256 {
+            let p = tcp.step(now);
+            let fresh = peer.drain(now);
+            if !p && fresh.is_empty() {
+                return seen;
+            }
+            seen.extend(fresh);
+        }
+        panic!("[xk] did not settle");
+    };
+
+    peer.send(PEER_PORT, TcpFlags::SYN, PEER_ISS, 0);
+    let replies = settle(&mut tcp, &mut peer);
+    let sut_iss = replies
+        .iter()
+        .find(|(_, s)| s.header.flags.syn && s.header.flags.ack)
+        .expect("SYN-ACK answers the SYN")
+        .1
+        .header
+        .seq
+        .0;
+    peer.send(PEER_PORT, TcpFlags::ACK, PEER_ISS + 1, sut_iss.wrapping_add(1));
+    settle(&mut tcp, &mut peer);
+
+    let mut child = None;
+    while let Some(e) = tcp.poll_event(listener) {
+        if let XkEvent::Accepted(c) = e {
+            child = Some(c);
+        }
+    }
+    let child = child.expect("listener accepted its child");
+    assert!(tcp.state_of(child).is_some(), "live child is observable");
+    assert!(tcp.metrics_of(child).is_some());
+
+    // Passive close of the child.
+    peer.send(PEER_PORT, TcpFlags::FIN_ACK, PEER_ISS + 1, sut_iss.wrapping_add(1));
+    settle(&mut tcp, &mut peer);
+    tcp.close(child).unwrap();
+    settle(&mut tcp, &mut peer);
+    peer.send(PEER_PORT, TcpFlags::ACK, PEER_ISS + 2, sut_iss.wrapping_add(2));
+    settle(&mut tcp, &mut peer);
+
+    // xk reaps only once the user has drained the child's events.
+    while tcp.poll_event(child).is_some() {}
+    tcp.step(now);
+
+    assert_eq!(tcp.state_of(child), None, "reaped: no stale state");
+    assert!(tcp.metrics_of(child).is_none(), "reaped: no stale metrics");
+    assert!(tcp.state_of(listener).is_some(), "the listener survives its child");
 }

@@ -23,7 +23,7 @@ use foxproto::eth::Eth;
 use foxproto::ip::{Ip, IpConfig};
 use foxproto::vp::SizedPayload;
 use foxproto::{EthAux, IpAuxImpl, Protocol};
-use foxtcp::{Tcp, TcpConfig, TcpConnId, TcpEvent, TcpPattern};
+use foxtcp::{ConnectingSocket, EstablishedSocket, ListeningSocket, Tcp, TcpConfig, TcpConnId, TcpEvent};
 use foxwire::ether::{EthAddr, EtherType};
 use foxwire::ipv4::{IpProtocol, Ipv4Addr};
 use simnet::{CostModel, Host, HostHandle, SimNet};
@@ -187,6 +187,8 @@ pub fn standard_station(
         kind: "Fox Net",
         bufs: BTreeMap::new(),
         accepted: Rc::new(RefCell::new(VecDeque::new())),
+        listener: None,
+        socks: BTreeMap::new(),
     })
 }
 
@@ -224,6 +226,8 @@ pub fn special_station(
         kind: "Fox Net (TCP/Eth)",
         bufs: BTreeMap::new(),
         accepted: Rc::new(RefCell::new(VecDeque::new())),
+        listener: None,
+        socks: BTreeMap::new(),
     })
 }
 
@@ -290,6 +294,17 @@ struct ConnBuf {
     data: Vec<u8>,
 }
 
+/// A connection at its current lifecycle stage: the typestate wrapper
+/// the station holds for it. Sending requires promotion to
+/// `Established` first — there is no way to reach `send_data` from the
+/// `Connecting` arm.
+enum SocketStage {
+    /// Handshake in flight (active open or freshly accepted child).
+    Connecting(ConnectingSocket),
+    /// Synchronized: data can move.
+    Established(EstablishedSocket),
+}
+
 struct FoxStation<L, A>
 where
     L: Protocol,
@@ -302,6 +317,8 @@ where
     kind: &'static str,
     bufs: BTreeMap<u32, Rc<RefCell<ConnBuf>>>,
     accepted: Rc<RefCell<VecDeque<TcpConnId>>>,
+    listener: Option<ListeningSocket>,
+    socks: BTreeMap<u32, SocketStage>,
 }
 
 fn buf_handler(buf: Rc<RefCell<ConnBuf>>) -> foxproto::Handler<TcpEvent> {
@@ -317,6 +334,28 @@ fn buf_handler(buf: Rc<RefCell<ConnBuf>>) -> foxproto::Handler<TcpEvent> {
     })
 }
 
+impl<L, A> FoxStation<L, A>
+where
+    L: Protocol,
+    A: IpAux<Address = L::Peer, Incoming = L::Incoming>,
+{
+    /// Promotes a `Connecting` socket to `Established` if its handshake
+    /// has completed; leaves it (and any other stage) untouched
+    /// otherwise.
+    fn promote(&mut self, conn: ConnHandle) {
+        if matches!(self.socks.get(&conn), Some(SocketStage::Connecting(_))) {
+            let Some(SocketStage::Connecting(sock)) = self.socks.remove(&conn) else {
+                unreachable!("just matched Connecting");
+            };
+            let stage = match sock.try_established(&self.tcp) {
+                Ok(est) => SocketStage::Established(est),
+                Err(still) => SocketStage::Connecting(still),
+            };
+            self.socks.insert(conn, stage);
+        }
+    }
+}
+
 impl<L, A> Station for FoxStation<L, A>
 where
     L: Protocol,
@@ -324,41 +363,48 @@ where
 {
     fn connect(&mut self, remote_port: u16) -> ConnHandle {
         let buf = Rc::new(RefCell::new(ConnBuf::default()));
-        let conn = self
+        let sock = self
             .tcp
-            .open(
-                TcpPattern::Active { remote: self.peer.clone(), remote_port, local_port: 0 },
-                buf_handler(buf.clone()),
-            )
+            .connect(self.peer.clone(), remote_port, 0, buf_handler(buf.clone()))
             .expect("active open");
-        self.bufs.insert(conn.0, buf);
-        conn.0
+        let conn = sock.id().0;
+        self.bufs.insert(conn, buf);
+        self.socks.insert(conn, SocketStage::Connecting(sock));
+        conn
     }
 
     fn listen(&mut self, local_port: u16) {
         let acc = self.accepted.clone();
-        self.tcp
-            .open(
-                TcpPattern::Passive { local_port },
-                Box::new(move |ev| {
-                    if let TcpEvent::NewConnection(c) = ev {
-                        acc.borrow_mut().push_back(c);
-                    }
-                }),
-            )
-            .expect("listen");
+        self.listener = Some(
+            self.tcp
+                .listen(
+                    local_port,
+                    Box::new(move |ev| {
+                        if let TcpEvent::NewConnection(c) = ev {
+                            acc.borrow_mut().push_back(c);
+                        }
+                    }),
+                )
+                .expect("listen"),
+        );
     }
 
     fn accept(&mut self) -> Option<ConnHandle> {
         let child = self.accepted.borrow_mut().pop_front()?;
+        let listener = self.listener.as_ref()?;
         let buf = Rc::new(RefCell::new(ConnBuf::default()));
-        self.tcp.set_handler(child, buf_handler(buf.clone())).ok()?;
+        let sock = listener.accept(&mut self.tcp, child, buf_handler(buf.clone())).ok()?;
         self.bufs.insert(child.0, buf);
+        self.socks.insert(child.0, SocketStage::Connecting(sock));
         Some(child.0)
     }
 
     fn send(&mut self, conn: ConnHandle, data: &[u8]) -> usize {
-        self.tcp.send_data(TcpConnId(conn), data).unwrap_or(0)
+        self.promote(conn);
+        match self.socks.get(&conn) {
+            Some(SocketStage::Established(sock)) => sock.send_data(&mut self.tcp, data).unwrap_or(0),
+            _ => 0, // not yet established (or already closed): nothing taken
+        }
     }
 
     fn recv(&mut self, conn: ConnHandle) -> Vec<u8> {
@@ -382,7 +428,18 @@ where
     }
 
     fn close(&mut self, conn: ConnHandle) {
-        let _ = self.tcp.close(TcpConnId(conn));
+        // Closing consumes the typestate wrapper, whatever its stage.
+        match self.socks.remove(&conn) {
+            Some(SocketStage::Connecting(sock)) => {
+                let _ = sock.close(&mut self.tcp);
+            }
+            Some(SocketStage::Established(sock)) => {
+                let _ = sock.close(&mut self.tcp);
+            }
+            None => {
+                let _ = self.tcp.close(TcpConnId(conn));
+            }
+        }
     }
 
     fn step(&mut self, now: VirtualTime) -> bool {
