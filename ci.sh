@@ -3,7 +3,7 @@
 #
 #   ./ci.sh
 #
-# Eight stages, all must pass:
+# Ten stages, all must pass:
 #   1. formatting (fails fast, before anything compiles)
 #   2. foxlint: the workspace invariant lints (determinism, hash_iter,
 #      rx_panic, tcb_write, cc_write, win_cast — see DESIGN.md §5.8),
@@ -19,12 +19,16 @@
 #      profiles, every cell delivered in full and replayed
 #      bit-identically, plus the SACK-beats-NewReno burst-loss
 #      assertions (the `tables` binary panics if any of it regresses)
-#   7. bench smoke: a small `tables -- bench-json` run end to end (its
+#   7. adversarial smoke: a fixed 6-cell subset of the adversarial
+#      matrix (DESIGN.md §5.12) — each cell internally run twice with
+#      bit-identical reports asserted — executed as two whole process
+#      runs whose rendered tables must diff to zero
+#   8. bench smoke: a small `tables -- bench-json` run end to end (its
 #      output schema-validated by bench-check, fox ≥ xk on the modern
 #      profile asserted), then bench-check against the checked-in
 #      BENCH_7.json trajectory
-#   8. the Criterion benches compile (not run; keeps them from rotting)
-#   9. clippy over every target (benches and bins too), warnings as errors
+#   9. the Criterion benches compile (not run; keeps them from rotting)
+#  10. clippy over every target (benches and bins too), warnings as errors
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -46,9 +50,17 @@ cargo test -q -p foxtcp --test conformance
 echo "== options interop matrix (fixed seeds) =="
 cargo run -q --release -p foxbench --bin tables -- interop
 
+echo "== adversarial smoke (6 fixed cells, two runs, diffed to zero) =="
+ADV_SMOKE_A=$(mktemp /tmp/adv_smoke_a.XXXXXX.txt)
+ADV_SMOKE_B=$(mktemp /tmp/adv_smoke_b.XXXXXX.txt)
+trap 'rm -f "$ADV_SMOKE_A" "$ADV_SMOKE_B"' EXIT
+cargo run -q --release -p foxbench --bin tables -- adversarial-smoke > "$ADV_SMOKE_A"
+cargo run -q --release -p foxbench --bin tables -- adversarial-smoke > "$ADV_SMOKE_B"
+diff "$ADV_SMOKE_A" "$ADV_SMOKE_B"
+
 echo "== bench smoke (segments/sec trajectory) =="
 BENCH_SMOKE_OUT=$(mktemp /tmp/bench_smoke.XXXXXX.json)
-trap 'rm -f "$BENCH_SMOKE_OUT"' EXIT
+trap 'rm -f "$ADV_SMOKE_A" "$ADV_SMOKE_B" "$BENCH_SMOKE_OUT"' EXIT
 cargo run -q --release -p foxbench --bin tables -- bench-json \
   --out "$BENCH_SMOKE_OUT" --bytes 200000 --reps 5 --label ci-smoke
 cargo run -q --release -p foxbench --bin tables -- bench-check BENCH_7.json

@@ -5,7 +5,7 @@
 //!   cargo run --release -p foxbench --bin tables -- table1   # one item
 //!
 //! Items: table1, table2, gc, gcpause, ablations, matrix, loss,
-//! lossmatrix, interop, copies, scale, micro
+//! lossmatrix, interop, copies, scale, adversarial, micro
 //!
 //! Flags:
 //!   --trace <file>   record the Table 1 bulk run's typed event stream;
@@ -165,6 +165,20 @@ fn main() {
         println!("running the scale experiment (N concurrent connections, fox vs x-kernel)...\n");
         let cells = exp::scale_experiment(&[16, 64, 256], seed);
         println!("{}", exp::render_scale(&cells));
+    }
+
+    // The CI subset is opt-in by exact name, never part of "everything"
+    // (the full matrix already covers it).
+    if args.iter().any(|a| a == "adversarial-smoke") {
+        println!("running the adversarial smoke subset (6 fixed cells, each twice)...\n");
+        let cells = exp::adversarial_smoke(seed);
+        println!("{}", exp::render_adversarial_matrix(&cells));
+    }
+
+    if want(&args, "adversarial") {
+        println!("running the adversarial matrix (attack × link × stack, each cell twice)...\n");
+        let cells = exp::adversarial_matrix(seed);
+        println!("{}", exp::render_adversarial_matrix(&cells));
     }
 
     if want(&args, "micro") {

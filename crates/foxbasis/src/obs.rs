@@ -150,6 +150,24 @@ pub enum Event {
     },
     /// Fault injection flipped a bit in a frame.
     FrameCorrupt,
+    /// The in-loop fuzzer deterministically mutated a live TCP segment
+    /// on the wire (header-field flip, truncation, option garbling).
+    FrameMutate {
+        /// Which mutation was applied (e.g. `flip_seq`, `truncate`).
+        kind: &'static str,
+    },
+    /// A middlebox hook rewrote a segment in flight (e.g. MSS clamping
+    /// on a SYN).
+    FrameRewrite {
+        /// Which rewrite was applied (e.g. `mss_clamp`).
+        kind: &'static str,
+    },
+    /// The stack recognized and repelled a state-targeted attack (bad-seq
+    /// RST, optimistic ACK for unsent data, ...).
+    Attack {
+        /// Which attack signature was rejected.
+        kind: &'static str,
+    },
     /// A frame landed in a port's receive queue.
     FrameDeliver {
         /// Frame length in bytes.
@@ -188,6 +206,9 @@ impl Event {
             Event::FrameTx { .. } => "frame_tx",
             Event::FrameDrop { .. } => "frame_drop",
             Event::FrameCorrupt => "frame_corrupt",
+            Event::FrameMutate { .. } => "frame_mutate",
+            Event::FrameRewrite { .. } => "frame_rewrite",
+            Event::Attack { .. } => "attack",
             Event::FrameDeliver { .. } => "frame_deliver",
             Event::GcPause { .. } => "gc_pause",
             Event::BufCopy { .. } => "buf_copy",
@@ -230,6 +251,9 @@ impl Event {
                 let _ = write!(s, "{{\"reason\":\"{reason}\"}}");
             }
             Event::FrameCorrupt => s.push_str("{}"),
+            Event::FrameMutate { kind } | Event::FrameRewrite { kind } | Event::Attack { kind } => {
+                let _ = write!(s, "{{\"kind\":\"{kind}\"}}");
+            }
             Event::GcPause { micros } => {
                 let _ = write!(s, "{{\"micros\":{micros}}}");
             }

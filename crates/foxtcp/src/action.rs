@@ -91,6 +91,31 @@ impl LossEvent {
     }
 }
 
+/// A repelled state-targeted attack, threaded through the to_do queue
+/// like [`LossEvent`] so the engine's statistics and trace observe
+/// *which* hostile input the connection rejected, not merely that it
+/// survived.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AttackEvent {
+    /// An RST whose sequence number was in the receive window but not
+    /// exactly `RCV.NXT` — a blind reset attempt; a challenge ACK was
+    /// queued instead of aborting (RFC 5961 §3.2 semantics).
+    RstBadSeq,
+    /// An ACK for data never sent (`SEG.ACK > SND.NXT`) — an optimistic
+    /// ACK attempt; the segment was dropped after queuing an ACK.
+    AckUnsentData,
+}
+
+impl AttackEvent {
+    /// The event's name, as event exports use it.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackEvent::RstBadSeq => "RstBadSeq",
+            AttackEvent::AckUnsentData => "AckUnsentData",
+        }
+    }
+}
+
 /// One action on a connection's to_do queue (paper Fig. 8).
 /// `P` is the lower-layer peer address type (IPv4 address for
 /// `Standard_Tcp`, Ethernet address for `Special_Tcp`).
@@ -134,6 +159,10 @@ pub enum TcpAction<P> {
     /// they are recovering; the engine counts these into its statistics
     /// and trace.
     Loss(LossEvent),
+    /// Attack-hardening bookkeeping: the Receive module repelled a
+    /// state-targeted attack; the engine counts these into its
+    /// statistics and trace.
+    Attack(AttackEvent),
 }
 
 impl<P: fmt::Debug> fmt::Debug for TcpAction<P> {
@@ -168,6 +197,7 @@ impl<P: fmt::Debug> fmt::Debug for TcpAction<P> {
             TcpAction::UrgentData(up) => write!(f, "Urgent_Data(up to {up})"),
             TcpAction::AckedTo(seq) => write!(f, "Acked_To({seq})"),
             TcpAction::Loss(ev) => write!(f, "Loss({ev:?})"),
+            TcpAction::Attack(ev) => write!(f, "Attack({ev:?})"),
         }
     }
 }
@@ -191,6 +221,7 @@ impl<P> TcpAction<P> {
             TcpAction::UrgentData(..) => "Urgent_Data",
             TcpAction::AckedTo(..) => "Acked_To",
             TcpAction::Loss(..) => "Loss",
+            TcpAction::Attack(..) => "Attack",
         }
     }
 }
@@ -221,10 +252,20 @@ mod tests {
             TcpAction::UserTimeoutFired,
             TcpAction::NewConnection(7),
             TcpAction::AckedTo(Seq(9)),
+            TcpAction::Attack(AttackEvent::RstBadSeq),
         ];
         let tags: Vec<_> = actions.iter().map(|a| a.tag()).collect();
-        assert_eq!(tags.len(), 11);
+        assert_eq!(tags.len(), 12);
         assert!(tags.contains(&"User_Data"));
         assert!(tags.contains(&"Acked_To"));
+        assert!(tags.contains(&"Attack"));
+    }
+
+    #[test]
+    fn attack_event_names() {
+        assert_eq!(AttackEvent::RstBadSeq.name(), "RstBadSeq");
+        assert_eq!(AttackEvent::AckUnsentData.name(), "AckUnsentData");
+        let a: TcpAction<()> = TcpAction::Attack(AttackEvent::AckUnsentData);
+        assert_eq!(format!("{a:?}"), "Attack(AckUnsentData)");
     }
 }

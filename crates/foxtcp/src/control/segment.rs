@@ -18,7 +18,7 @@
 //! calls them through the narrow seams described there (handing over an
 //! `EstablishedHandle` at promotion time, receiving `DataEvent`s back).
 
-use crate::action::{TcpAction, TimerKind};
+use crate::action::{AttackEvent, TcpAction, TimerKind};
 use crate::control::EstablishedHandle;
 use crate::data::transfer::{self, DataEvent};
 use crate::resend;
@@ -189,7 +189,17 @@ fn synchronized<P: Clone + PartialEq + Debug>(
         return Disposition::default();
     }
     if seg.header.flags.rst {
-        check_rst(core);
+        // RFC 5961 §3.2: only an RST at exactly RCV.NXT aborts. An RST
+        // elsewhere in the window is a blind-reset attempt (the attacker
+        // guessed the window but not the exact sequence number): answer
+        // with a challenge ACK so a genuine peer can re-send the exact
+        // one, and count the rejection.
+        if seg.header.seq == core.tcb.rcv_nxt {
+            check_rst(core);
+        } else {
+            core.tcb.push_action(TcpAction::Attack(AttackEvent::RstBadSeq));
+            send::queue_ack(core, now);
+        }
         return Disposition::default();
     }
     if seg.header.flags.syn {
@@ -286,7 +296,9 @@ fn check_ack<P: Clone + PartialEq + Debug>(
         }
     } else if ack.gt(core.tcb.snd_nxt) {
         // "If the ACK acks something not yet sent ... send an ACK, drop
-        // the segment."
+        // the segment." This is also the optimistic-ACK attack shape:
+        // count it so the harness can assert cwnd never grew on it.
+        core.tcb.push_action(TcpAction::Attack(AttackEvent::AckUnsentData));
         send::queue_ack(core, now);
         return false;
     }
@@ -627,6 +639,29 @@ mod tests {
     }
 
     #[test]
+    fn in_window_rst_off_exact_seq_challenged_not_aborted() {
+        // RFC 5961 §3.2: the window is [5001, 5001+rcv_wnd); an RST at
+        // 5002 is in-window but not at RCV.NXT — a blind-reset shape.
+        let mut core = estab();
+        let s = seg(5002, TcpFlags::RST, b"");
+        segment_arrives(&cfg(), &mut core, s, VirtualTime::ZERO);
+        assert_eq!(core.state, TcpState::Estab, "connection survives");
+        let tags = drain_tags(&core);
+        assert!(tags.contains(&"Attack"), "rejection counted");
+        assert!(tags.contains(&"Send_Segment"), "challenge ACK queued");
+        assert!(!tags.contains(&"Peer_Reset"));
+    }
+
+    #[test]
+    fn off_window_rst_ignored() {
+        let mut core = estab();
+        let s = seg(1, TcpFlags::RST, b"");
+        segment_arrives(&cfg(), &mut core, s, VirtualTime::ZERO);
+        assert_eq!(core.state, TcpState::Estab);
+        assert!(!drain_tags(&core).contains(&"Peer_Reset"));
+    }
+
+    #[test]
     fn rst_on_embryonic_passive_is_silent() {
         let mut core = estab();
         core.state = TcpState::SynPassive { retries_left: 3 };
@@ -674,6 +709,7 @@ mod tests {
         assert_eq!(core.tcb.rcv_nxt, Seq(5001), "text not processed");
         let tags = drain_tags(&core);
         assert!(tags.contains(&"Send_Segment"));
+        assert!(tags.contains(&"Attack"), "optimistic ACK counted");
         assert!(!tags.contains(&"User_Data"));
     }
 

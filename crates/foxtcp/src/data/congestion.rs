@@ -70,11 +70,18 @@ impl CongestionControl for Reno {
         w.ssthresh = u32::MAX;
     }
 
-    fn on_ack(&mut self, w: &mut CcWindow, mss: u32, _bytes_acked: u32, _now: VirtualTime) {
+    fn on_ack(&mut self, w: &mut CcWindow, mss: u32, bytes_acked: u32, _now: VirtualTime) {
+        // Appropriate Byte Counting (RFC 3465): growth is credited by
+        // bytes actually acknowledged, capped at one MSS per ACK, so an
+        // attacker dividing one segment's ACK into many sub-MSS ACKs
+        // earns no more window than the single honest ACK would. For
+        // full-segment ACKs (bytes_acked >= mss) the arithmetic is
+        // bit-identical to the historical ack-counted code.
+        let credit = bytes_acked.min(mss);
         if w.cwnd < w.ssthresh {
-            w.cwnd = w.cwnd.saturating_add(mss); // slow start
+            w.cwnd = w.cwnd.saturating_add(credit); // slow start
         } else {
-            w.cwnd = w.cwnd.saturating_add((mss * mss / w.cwnd).max(1));
+            w.cwnd = w.cwnd.saturating_add(((mss.saturating_mul(credit)) / w.cwnd).max(1));
         }
     }
 
@@ -167,9 +174,11 @@ impl CongestionControl for Cubic {
         self.epoch = None;
     }
 
-    fn on_ack(&mut self, w: &mut CcWindow, mss: u32, _bytes_acked: u32, now: VirtualTime) {
+    fn on_ack(&mut self, w: &mut CcWindow, mss: u32, bytes_acked: u32, now: VirtualTime) {
         if w.cwnd < w.ssthresh {
-            w.cwnd = w.cwnd.saturating_add(mss); // slow start, as Reno
+            // Byte-counted slow start, as Reno (RFC 3465 defense
+            // against ACK division).
+            w.cwnd = w.cwnd.saturating_add(bytes_acked.min(mss));
             return;
         }
         let epoch = *self.epoch.get_or_insert(now);
@@ -177,14 +186,17 @@ impl CongestionControl for Cubic {
             // No loss yet: congestion avoidance from the current window.
             self.w_max = w.cwnd;
         }
+        // As in Reno, an ACK never earns more window than it acknowledged
+        // bytes (ACK-division defense); full-segment ACKs are unchanged.
+        let credit = bytes_acked.min(mss);
         let target = self.target(mss, now.saturating_since(epoch).as_millis());
         if target > w.cwnd {
             // Spread the climb over roughly one window of ACKs.
             let per_ack = ((target - w.cwnd) / (w.cwnd / mss.max(1)).max(1)).max(1);
-            w.cwnd = w.cwnd.saturating_add(per_ack.min(mss));
+            w.cwnd = w.cwnd.saturating_add(per_ack.min(credit));
         } else {
             // At/above the curve: probe very slowly (one MSS per window).
-            w.cwnd = w.cwnd.saturating_add((mss * mss / w.cwnd.max(1)).max(1) / 4 + 1);
+            w.cwnd = w.cwnd.saturating_add(((mss * mss / w.cwnd.max(1)).max(1) / 4 + 1).min(credit));
         }
     }
 
@@ -358,6 +370,36 @@ mod tests {
         let mut win = w(8000, u32::MAX);
         reno.on_rto(&mut win, 1000, 4000, VirtualTime::ZERO);
         assert_eq!((win.cwnd, win.ssthresh), (1000, 2000));
+    }
+
+    #[test]
+    fn ack_division_earns_bytes_not_acks() {
+        // Savage et al.'s ACK-division attack: the receiver splits one
+        // segment's acknowledgement into many sub-MSS ACKs. Byte
+        // counting makes the 10 division ACKs worth exactly what the
+        // one honest ACK was worth — the acknowledged bytes.
+        let mut reno = Reno;
+        let mut honest = w(1000, u32::MAX);
+        reno.on_ack(&mut honest, 1000, 1000, VirtualTime::ZERO);
+        let mut attacked = w(1000, u32::MAX);
+        for _ in 0..10 {
+            reno.on_ack(&mut attacked, 1000, 100, VirtualTime::ZERO);
+        }
+        assert_eq!(honest.cwnd, attacked.cwnd, "division earned nothing extra");
+        // Congestion avoidance: sub-MSS ACKs earn proportionally less.
+        let mut ca = w(4000, 2000);
+        reno.on_ack(&mut ca, 1000, 1000, VirtualTime::ZERO);
+        assert_eq!(ca.cwnd, 4000 + 1000 * 1000 / 4000);
+        let mut ca_div = w(4000, 2000);
+        reno.on_ack(&mut ca_div, 1000, 100, VirtualTime::ZERO);
+        assert_eq!(ca_div.cwnd, 4000 + 1000 * 100 / 4000);
+        // Cubic's slow start is byte-counted the same way.
+        let mut cubic = Cubic::default();
+        let mut win = w(1000, 10_000);
+        for _ in 0..10 {
+            cubic.on_ack(&mut win, 1000, 100, VirtualTime::ZERO);
+        }
+        assert_eq!(win.cwnd, 2000, "ten 100-byte ACKs = one 1000-byte ACK");
     }
 
     #[test]

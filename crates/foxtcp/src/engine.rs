@@ -15,7 +15,7 @@
 //! `sharing type` constraints, checked by the compiler exactly as the
 //! paper advertises. [`crate::TcpConfig`] carries the value parameters.
 
-use crate::action::{LossEvent, TcpAction, TimerKind};
+use crate::action::{AttackEvent, LossEvent, TcpAction, TimerKind};
 use crate::demux::{Demux, DemuxStats};
 use crate::receive::{self, ListenVerdict};
 use crate::send;
@@ -125,6 +125,13 @@ pub struct TcpStats {
     pub probe_fires: u64,
     /// SYNs dropped because the listener's accept queue was full.
     pub syns_dropped: u64,
+    /// In-window RSTs rejected because their sequence number was not
+    /// exactly RCV.NXT (blind-reset attempts; RFC 5961 §3.2). Each one
+    /// was answered with a challenge ACK instead of aborting.
+    pub rst_rejected_seq: u64,
+    /// ACKs dropped because they acknowledged data never sent
+    /// (optimistic-ACK attempts; SEG.ACK > SND.NXT).
+    pub acks_ignored_unsent_data: u64,
     /// Real buffer copies ([`foxbasis::buf`] copy counter deltas)
     /// observed while externalizing/internalizing segments. Purely
     /// observational: the virtual cost model charges the paper's per-KB
@@ -710,6 +717,14 @@ where
                         LossEvent::Probe => self.stats.probe_fires += 1,
                     }
                     self.trace.trace(|| format!("conn {}: loss event {ev:?}", self.conns[idx].id));
+                }
+                TcpAction::Attack(ev) => {
+                    self.obs.emit(now, conn_obs_id, || Event::Attack { kind: ev.name() });
+                    match ev {
+                        AttackEvent::RstBadSeq => self.stats.rst_rejected_seq += 1,
+                        AttackEvent::AckUnsentData => self.stats.acks_ignored_unsent_data += 1,
+                    }
+                    self.trace.trace(|| format!("conn {}: attack repelled {ev:?}", self.conns[idx].id));
                 }
             }
             if let Some(before) = state_before {

@@ -59,6 +59,10 @@ enum Step {
     FinCrossing,
     /// Peer → SUT: RST (with ACK, so it is acceptable in SYN-SENT too).
     Rst,
+    /// Peer → SUT: RST whose sequence sits `offset` bytes past
+    /// RCV.NXT — inside the window but not exact. RFC 5961 §3.2 says
+    /// this must NOT abort; it draws a challenge ACK instead.
+    RstInWindow(u32),
     /// Assert the data connection's normalized state.
     Expect(&'static str),
     /// Assert the listener's normalized state.
@@ -445,6 +449,10 @@ impl Harness {
                     let (seq, ack) = (self.peer_nxt, self.sut_nxt);
                     self.send(TcpFlags::RST_ACK, seq, ack);
                 }
+                Step::RstInWindow(offset) => {
+                    let (seq, ack) = (self.peer_nxt.wrapping_add(offset), self.sut_nxt);
+                    self.send(TcpFlags::RST_ACK, seq, ack);
+                }
                 Step::Expect(want) => {
                     let raw = self.sut.conn_state();
                     let have = normalize(raw);
@@ -687,6 +695,47 @@ fn rst_in_established() {
     conform(
         "rst_in_established",
         &[Listen, Syn, Ack, Expect("ESTABLISHED"), Rst, Expect("CLOSED"), ExpectListener("LISTEN")],
+    );
+}
+
+/// RFC 5961 §3.2, negative path: an in-window RST that does not land
+/// exactly on RCV.NXT must NOT abort the connection — the SUT answers
+/// with a challenge ACK and stays put. The exact-sequence RST that
+/// follows is the one entitled to kill it.
+#[test]
+fn in_window_rst_challenges_instead_of_aborting() {
+    conform(
+        "in_window_rst_challenges_instead_of_aborting",
+        &[
+            Listen,
+            Syn,
+            Ack,
+            Expect("ESTABLISHED"),
+            RstInWindow(100),
+            Expect("ESTABLISHED"),
+            ExpectTx(Pat::AckOnly),
+            Rst,
+            Expect("CLOSED"),
+            ExpectListener("LISTEN"),
+        ],
+    );
+}
+
+/// The challenge boundary is sharp: even one byte past RCV.NXT is "not
+/// exact" and must challenge, not abort.
+#[test]
+fn rst_one_byte_past_rcv_nxt_still_challenges() {
+    conform(
+        "rst_one_byte_past_rcv_nxt_still_challenges",
+        &[
+            Listen,
+            Syn,
+            Ack,
+            Expect("ESTABLISHED"),
+            RstInWindow(1),
+            Expect("ESTABLISHED"),
+            ExpectTx(Pat::AckOnly),
+        ],
     );
 }
 

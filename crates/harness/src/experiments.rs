@@ -1109,3 +1109,165 @@ pub fn render_scale(cells: &[ScaleCell]) -> Table {
     }
     tab
 }
+
+// ----- Adversarial matrix (DESIGN.md §5.12) -----
+
+/// The link personalities the adversarial matrix crosses the attack
+/// scripts with: a clean segment plus the hostile-link shapes — the
+/// ADSL-style dialup↔gigabit mismatch, a bufferbloat-deep drop-tail
+/// queue, an MSS-clamping middlebox, and the in-loop packet fuzzer.
+pub fn adversarial_profiles() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        ("clean", FaultConfig::default()),
+        ("dialup", FaultConfig::dialup_mismatch()),
+        ("bloat", FaultConfig::bufferbloat(16)),
+        ("clamp536", FaultConfig::clamped(536)),
+        ("fuzz2%", FaultConfig::fuzzing(0.02)),
+    ]
+}
+
+/// One cell of the adversarial matrix.
+#[derive(Clone, Debug)]
+pub struct AdvCell {
+    /// Attack script name.
+    pub attack: &'static str,
+    /// Link personality name.
+    pub profile: &'static str,
+    /// Victim stack name.
+    pub stack: &'static str,
+    /// "survived", "refused", or "FAILED".
+    pub verdict: &'static str,
+    /// Payload bytes the legitimate receiver got.
+    pub delivered: usize,
+    /// Spoofed frames the adversary injected.
+    pub injected: u64,
+    /// Challenge-ACK rejections, both hosts.
+    pub rst_rejected: u64,
+    /// Optimistic/poisoned ACKs dropped, both hosts.
+    pub acks_ignored: u64,
+    /// SYNs refused at a full backlog, both hosts.
+    pub syns_dropped: u64,
+}
+
+/// The adversarial matrix: every attack script × every link
+/// personality × {Fox Net, x-kernel}, on a fixed seed. Every cell must
+/// either survive with full delivery or be one of the two documented
+/// refusals, and every cell is run twice to assert that identical
+/// seeds give bit-identical reports — the adversary owns no
+/// randomness, so a replayed cell is the same cell.
+pub fn adversarial_matrix(seed: u64) -> Vec<AdvCell> {
+    use crate::advpeer::Attack;
+    let mut cells = Vec::new();
+    for attack in Attack::ALL {
+        for (profile, faults) in adversarial_profiles() {
+            for kind in [StackKind::FoxStandard, StackKind::XKernel] {
+                cells.push(adversarial_cell(kind, attack, profile, &faults, seed));
+            }
+        }
+    }
+    cells
+}
+
+/// Runs one matrix cell twice, asserting bit-identical replay, the
+/// survive-or-documented-refusal outcome, and — for the attacks that
+/// are *about* a counter — that the counter moved on this personality,
+/// not just on the clean link.
+fn adversarial_cell(
+    kind: StackKind,
+    attack: crate::advpeer::Attack,
+    profile: &'static str,
+    faults: &FaultConfig,
+    seed: u64,
+) -> AdvCell {
+    use crate::advpeer::{run_attack, Attack};
+    let a = run_attack(kind, attack, faults.clone(), seed);
+    let b = run_attack(kind, attack, faults.clone(), seed);
+    assert_eq!(a, b, "{}/{profile}/{}: same seed must replay bit-identically", attack.name(), kind.name());
+    assert!(
+        a.outcome_ok(),
+        "{}/{profile}/{}: survive-or-documented-refusal violated: {a:?}",
+        attack.name(),
+        kind.name()
+    );
+    let rst_rejected = a.sender.rst_rejected_seq + a.receiver.rst_rejected_seq;
+    let acks_ignored = a.sender.acks_ignored_unsent_data + a.receiver.acks_ignored_unsent_data;
+    let syns_dropped = a.sender.syns_dropped + a.receiver.syns_dropped;
+    match attack {
+        Attack::BlindRstInWindow => assert!(
+            rst_rejected >= 1,
+            "{}/{profile}/{}: challenge-ACK counter never moved: {a:?}",
+            attack.name(),
+            kind.name()
+        ),
+        Attack::OptimisticAck => assert!(
+            acks_ignored >= 1,
+            "{}/{profile}/{}: optimistic ACKs were not counted: {a:?}",
+            attack.name(),
+            kind.name()
+        ),
+        Attack::SynFloodReplay if kind == StackKind::FoxStandard => assert!(
+            syns_dropped >= 1,
+            "{}/{profile}/{}: the full backlog never refused a SYN: {a:?}",
+            attack.name(),
+            kind.name()
+        ),
+        _ => {}
+    }
+    AdvCell {
+        attack: attack.name(),
+        profile,
+        stack: kind.name(),
+        verdict: a.verdict(),
+        delivered: a.delivered,
+        injected: a.injected,
+        rst_rejected,
+        acks_ignored,
+        syns_dropped,
+    }
+}
+
+/// The CI smoke subset: six fixed cells spanning both stacks, both
+/// documented refusals, every counter, and four of the five link
+/// personalities — each cell run twice with the same bit-identical
+/// assertions as the full matrix, in a fraction of the time.
+pub fn adversarial_smoke(seed: u64) -> Vec<AdvCell> {
+    use crate::advpeer::Attack;
+    let profiles = adversarial_profiles();
+    let faults = |name: &str| {
+        profiles.iter().find(|(n, _)| *n == name).map(|(_, f)| f.clone()).expect("known profile")
+    };
+    let picks: [(StackKind, Attack, &'static str); 6] = [
+        (StackKind::FoxStandard, Attack::BlindRstInWindow, "clean"),
+        (StackKind::XKernel, Attack::ExactRst, "clean"),
+        (StackKind::FoxStandard, Attack::ExactData, "fuzz2%"),
+        (StackKind::XKernel, Attack::OptimisticAck, "dialup"),
+        (StackKind::FoxStandard, Attack::SynFloodReplay, "clamp536"),
+        (StackKind::XKernel, Attack::AckDivision, "bloat"),
+    ];
+    picks
+        .into_iter()
+        .map(|(kind, attack, profile)| adversarial_cell(kind, attack, profile, &faults(profile), seed))
+        .collect()
+}
+
+/// Renders the adversarial matrix.
+pub fn render_adversarial_matrix(cells: &[AdvCell]) -> Table {
+    let mut tab = Table::new(
+        "Adversarial matrix (attack × link × stack; every cell replayed bit-identically)",
+        &["attack", "link", "stack", "verdict", "delivered", "injected", "rstRej", "ackIgn", "synDrop"],
+    );
+    for c in cells {
+        tab.row(&[
+            c.attack.into(),
+            c.profile.into(),
+            c.stack.into(),
+            c.verdict.into(),
+            c.delivered.to_string(),
+            c.injected.to_string(),
+            c.rst_rejected.to_string(),
+            c.acks_ignored.to_string(),
+            c.syns_dropped.to_string(),
+        ]);
+    }
+    tab
+}

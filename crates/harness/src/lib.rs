@@ -10,6 +10,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod advpeer;
 pub mod bench;
 pub mod experiments;
 pub mod report;
@@ -18,6 +19,7 @@ pub mod stack;
 pub mod station;
 pub mod workload;
 
+pub use advpeer::{run_attack, Adversary, Attack, AttackReport};
 pub use bench::{bench_transfer, BenchProfile, BenchRun};
 pub use sim::drive;
 pub use stack::{special_station, standard_station, xk_station, StackKind};

@@ -126,13 +126,13 @@ fn host_handle(id: u16, cost: CostModel, profiled: bool) -> HostHandle {
 /// MAC for a station id. Ids below 256 keep the classic
 /// `02:00:00:00:00:<id>` form; the high byte extends the space so the
 /// scale experiment can attach hundreds of hosts to one segment.
-fn mac_of(id: u16) -> EthAddr {
+pub fn mac_of(id: u16) -> EthAddr {
     EthAddr([0x02, 0, 0, 0, (id >> 8) as u8, (id & 0xff) as u8])
 }
 
 /// IP for a station id: `10.0.<hi>.<lo>` (same as the old
 /// `10.0.0.<id>` for ids below 256).
-fn ip_of(id: u16) -> Ipv4Addr {
+pub fn ip_of(id: u16) -> Ipv4Addr {
     Ipv4Addr::new(10, 0, (id >> 8) as u8, (id & 0xff) as u8)
 }
 
@@ -419,6 +419,10 @@ where
         self.bufs.get(&conn).is_some_and(|b| b.borrow().established)
     }
 
+    fn conn_state(&self, conn: ConnHandle) -> &'static str {
+        self.tcp.state_of(TcpConnId(conn)).map_or("", |s| s.name())
+    }
+
     fn peer_closed(&self, conn: ConnHandle) -> bool {
         self.bufs.get(&conn).is_some_and(|b| b.borrow().peer_closed)
     }
@@ -467,6 +471,9 @@ where
             recoveries: s.recoveries,
             rto_fires: s.rto_fires,
             probe_fires: s.probe_fires,
+            rst_rejected_seq: s.rst_rejected_seq,
+            acks_ignored_unsent_data: s.acks_ignored_unsent_data,
+            syns_dropped: s.syns_dropped,
         }
     }
 
@@ -583,6 +590,10 @@ where
         self.state.get(&conn).is_some_and(|b| b.established)
     }
 
+    fn conn_state(&self, conn: ConnHandle) -> &'static str {
+        self.tcp.state_of(xktcp::SockId(conn)).map_or("", |s| s.name())
+    }
+
     fn peer_closed(&self, conn: ConnHandle) -> bool {
         self.state.get(&conn).is_some_and(|b| b.peer_closed)
     }
@@ -618,6 +629,8 @@ where
             bytes_sent: s.bytes_sent,
             fastpath_hits: 0,
             checksum_failures: s.checksum_failures,
+            rst_rejected_seq: s.rst_rejected_seq,
+            acks_ignored_unsent_data: s.acks_ignored_unsent_data,
             ..StationStats::default()
         }
     }

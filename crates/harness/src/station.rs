@@ -32,6 +32,14 @@ pub struct StationStats {
     pub rto_fires: u64,
     /// Zero-window probes sent (zero for the baseline).
     pub probe_fires: u64,
+    /// In-window RSTs rejected for not landing exactly on RCV.NXT
+    /// (blind-reset attempts answered with a challenge ACK).
+    pub rst_rejected_seq: u64,
+    /// ACKs for data never sent, dropped (optimistic-ACK attempts).
+    pub acks_ignored_unsent_data: u64,
+    /// SYNs refused because the accept backlog was full (zero for the
+    /// baseline, which keeps no such counter).
+    pub syns_dropped: u64,
 }
 
 /// Timer and demultiplexer operation counts, for the scale experiment.
@@ -107,6 +115,13 @@ pub trait Station {
     /// reaped, or for stations that keep no such bookkeeping).
     fn metrics(&self, _conn: ConnHandle) -> Option<foxbasis::obs::ConnMetrics> {
         None
+    }
+
+    /// RFC 793 state name of a connection (`""` once the station no
+    /// longer tracks it). Diagnostic: the adversarial harness uses it
+    /// to tell a SYN-RCVD husk from a connection that really opened.
+    fn conn_state(&self, _conn: ConnHandle) -> &'static str {
+        ""
     }
 
     /// Timer-wheel and demux operation counts (the scale experiment).

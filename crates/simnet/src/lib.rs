@@ -36,5 +36,5 @@ pub mod pcap;
 
 pub use gcmodel::{GcConfig, GcStats, SmlRuntime};
 pub use host::{CostModel, Host, HostHandle};
-pub use net::{FaultConfig, NetConfig, NetStats, Port, SimNet};
+pub use net::{FaultConfig, NetConfig, NetStats, Port, SimNet, TxShape};
 pub use pcap::PcapSink;

@@ -184,6 +184,12 @@ pub struct XkStats {
     /// with N open connections, which is the scaling cost the keyed
     /// table in `foxtcp::demux` removes.
     pub demux_steps: u64,
+    /// In-window RSTs rejected because their sequence number was not
+    /// exactly RCV.NXT (blind-reset attempts; RFC 5961 §3.2).
+    pub rst_rejected_seq: u64,
+    /// ACKs dropped because they acknowledged data never sent
+    /// (optimistic-ACK attempts; SEG.ACK > SND.NXT).
+    pub acks_ignored_unsent_data: u64,
 }
 
 /// Timer kinds, in the order the old per-step poll checked them —
@@ -1241,9 +1247,19 @@ where
             return;
         }
         if h.flags.rst {
-            let s = &mut self.socks[i];
-            s.state = XkState::Closed;
-            s.push_event(XkEvent::Reset);
+            // RFC 5961 §3.2: only an RST at exactly RCV.NXT aborts; an
+            // in-window RST elsewhere is a blind-reset attempt — answer
+            // it with a challenge ACK and stay up.
+            if h.seq == self.socks[i].rcv_nxt {
+                let s = &mut self.socks[i];
+                s.state = XkState::Closed;
+                s.push_event(XkEvent::Reset);
+            } else {
+                self.stats.rst_rejected_seq += 1;
+                let conn = self.socks[i].id;
+                self.obs.emit(self.now, conn, || Event::Attack { kind: "RstBadSeq" });
+                self.send_ack(i);
+            }
             return;
         }
         if h.flags.syn {
@@ -1318,6 +1334,14 @@ where
                 Some(at) => self.socks[i].set_timer(&mut self.wheel, XkTimerKind::Resend, at),
                 None => self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::Resend),
             }
+        } else if h.ack.gt(self.socks[i].snd_nxt) {
+            // "If the ACK acks something not yet sent ... send an ACK,
+            // drop the segment" — the optimistic-ACK attack shape.
+            self.stats.acks_ignored_unsent_data += 1;
+            let conn = self.socks[i].id;
+            self.obs.emit(self.now, conn, || Event::Attack { kind: "AckUnsentData" });
+            self.send_ack(i);
+            return;
         }
         // Window update.
         {
