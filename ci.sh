@@ -3,12 +3,13 @@
 #
 #   ./ci.sh
 #
-# Ten stages, all must pass:
+# Eleven stages, all must pass:
 #   1. formatting (fails fast, before anything compiles)
 #   2. foxlint: the workspace invariant lints (determinism, hash_iter,
-#      rx_panic, tcb_write, cc_write, win_cast — see DESIGN.md §5.8),
-#      ratcheted against foxlint.baseline; fails on new violations AND
-#      on stale entries
+#      rx_panic, tcb_write, cc_write, win_cast, ctrl_data, and the
+#      shard_global/shard_rc/shard_tcb shard-confinement family — see
+#      DESIGN.md §5.8, §5.13), ratcheted against foxlint.baseline;
+#      fails on new violations AND on stale entries
 #   3. release build of every crate and target
 #   4. the whole workspace test suite
 #   5. the RFC-793 conformance suite, explicitly (both TCP stacks
@@ -29,6 +30,11 @@
 #      BENCH_7.json trajectory
 #   9. the Criterion benches compile (not run; keeps them from rotting)
 #  10. clippy over every target (benches and bins too), warnings as errors
+#  11. the FSM gate: `foxlint --fsm-check` proves the state machine
+#      extracted from foxtcp's control/ source equals spec/tcp_fsm.txt,
+#      then the conformance coverage ratchet proves every non-exempt
+#      spec edge is witnessed at runtime by both stacks (printing the
+#      edges-covered/total counts per stack)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -70,5 +76,11 @@ cargo bench --workspace --no-run
 
 echo "== clippy (all targets, deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== fsm gate (extracted graph == spec, spec edges covered at runtime) =="
+cargo run -q -p foxlint -- --fsm-check
+cargo test -q -p foxtcp --test conformance \
+  runtime_transitions_cover_the_extracted_fsm_spec -- --nocapture \
+  | grep -E "fsm coverage|test result"
 
 echo "CI OK"

@@ -72,6 +72,11 @@ pub const DEFAULT_TAILROOM: usize = 64;
 
 // ----- thread-local copy accounting -----
 
+// These counters are observational only: the virtual cost model charges
+// copies independently (`charge_copy`), so nothing trace-affecting ever
+// reads them — a shard seeing its own counts is exactly the intended
+// per-worker accounting.
+// foxlint::allow(shard_global): diagnostic copy counters; the cost model charges independently, so traces never read these
 thread_local! {
     static COPIES: Cell<u64> = const { Cell::new(0) };
     static COPY_BYTES: Cell<u64> = const { Cell::new(0) };

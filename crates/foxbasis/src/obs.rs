@@ -82,6 +82,12 @@ pub enum Event {
         from: &'static str,
         /// State after.
         to: &'static str,
+        /// What drove the move: a user call (`open`/`close`/`abort`),
+        /// a `timer`, or the highest-precedence flag of the arriving
+        /// segment (`rst` > `syn` > `fin` > `ack`) — the trigger
+        /// vocabulary of `spec/tcp_fsm.txt`, so runtime coverage can be
+        /// ratcheted against the extracted state machine.
+        cause: &'static str,
     },
     /// A `to_do` action was executed (the paper's quasi-synchronous
     /// unit of work).
@@ -219,8 +225,8 @@ impl Event {
     pub fn args_json(&self) -> String {
         let mut s = String::new();
         match self {
-            Event::StateTransition { from, to } => {
-                let _ = write!(s, "{{\"from\":\"{from}\",\"to\":\"{to}\"}}");
+            Event::StateTransition { from, to, cause } => {
+                let _ = write!(s, "{{\"from\":\"{from}\",\"to\":\"{to}\",\"cause\":\"{cause}\"}}");
             }
             Event::Action { tag } => {
                 let _ = write!(s, "{{\"tag\":\"{tag}\"}}");

@@ -57,6 +57,8 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod fsm;
+
 /// The lint registry: `(name, one-line description)`.
 pub const LINTS: &[(&str, &str)] = &[
     ("determinism", "no ambient time or randomness outside crates/bench"),
@@ -66,6 +68,12 @@ pub const LINTS: &[(&str, &str)] = &[
     ("cc_write", "cwnd/ssthresh assigned only inside the congestion-control module"),
     ("win_cast", "no raw `as u16` window casts outside the wire codec"),
     ("ctrl_data", "state transitions only under control/, data-path fields only under data/"),
+    ("shard_global", "no `static mut` or `thread_local!` state in trace-affecting crates"),
+    ("shard_rc", "no `Rc` in foxtcp's crate-public signatures: shared state must not escape the engine"),
+    (
+        "shard_tcb",
+        "TCB access only inside engine/control/data: everyone else goes through the demuxed engine API",
+    ),
 ];
 
 /// Crates whose execution order is observable in traces.
@@ -155,34 +163,34 @@ impl fmt::Display for Violation {
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
+pub(crate) enum Tok {
     Ident(String),
     Punct(String),
 }
 
 #[derive(Debug, Clone)]
-struct Token {
-    line: usize,
-    tok: Tok,
+pub(crate) struct Token {
+    pub(crate) line: usize,
+    pub(crate) tok: Tok,
 }
 
 impl Token {
-    fn ident(&self) -> Option<&str> {
+    pub(crate) fn ident(&self) -> Option<&str> {
         match &self.tok {
             Tok::Ident(s) => Some(s),
             Tok::Punct(_) => None,
         }
     }
-    fn punct(&self) -> Option<&str> {
+    pub(crate) fn punct(&self) -> Option<&str> {
         match &self.tok {
             Tok::Punct(s) => Some(s),
             Tok::Ident(_) => None,
         }
     }
-    fn is_punct(&self, p: &str) -> bool {
+    pub(crate) fn is_punct(&self, p: &str) -> bool {
         self.punct() == Some(p)
     }
-    fn is_ident(&self, i: &str) -> bool {
+    pub(crate) fn is_ident(&self, i: &str) -> bool {
         self.ident() == Some(i)
     }
 }
@@ -201,7 +209,7 @@ const MULTI_PUNCT: &[&str] = &[
     "/=", "%=", "^=", "&=", "|=", "<<", ">>",
 ];
 
-fn lex(src: &str) -> (Vec<Token>, Vec<Allow>) {
+pub(crate) fn lex(src: &str) -> (Vec<Token>, Vec<Allow>) {
     let chars: Vec<char> = src.chars().collect();
     let mut toks = Vec::new();
     let mut allows = Vec::new();
@@ -331,7 +339,16 @@ fn skip_string(chars: &[char], open: usize, line: &mut usize) -> usize {
     let mut j = open + 1;
     while j < chars.len() {
         match chars[j] {
-            '\\' => j += 2,
+            // An escape consumes the next char too — which may be a real
+            // newline (`\` line continuation, legal in `"…"`/`b"…"`).
+            // Count it, or every token after the string reports one line
+            // early and `foxlint::allow` stops matching its target line.
+            '\\' => {
+                if chars.get(j + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
             '"' => return j + 1,
             '\n' => {
                 *line += 1;
@@ -410,7 +427,7 @@ fn parse_allow(comment: &str, line: usize) -> Option<Allow> {
 // ---------------------------------------------------------------------
 
 /// Index of the `}` matching the `{` at `open`, or the last token.
-fn match_brace(toks: &[Token], open: usize) -> usize {
+pub(crate) fn match_brace(toks: &[Token], open: usize) -> usize {
     let mut depth = 0usize;
     for (k, t) in toks.iter().enumerate().skip(open) {
         if t.is_punct("{") {
@@ -427,7 +444,7 @@ fn match_brace(toks: &[Token], open: usize) -> usize {
 
 /// Lines covered by `#[cfg(test)]` / `#[test]` items (the attribute line
 /// through the close of the following brace block).
-fn test_lines(toks: &[Token]) -> BTreeSet<usize> {
+pub(crate) fn test_lines(toks: &[Token]) -> BTreeSet<usize> {
     let mut out = BTreeSet::new();
     let mut k = 0usize;
     while k < toks.len() {
@@ -797,6 +814,129 @@ fn lint_win_cast(cx: &FileCtx, out: &mut Vec<Violation>) {
 }
 
 // ---------------------------------------------------------------------
+// shard_ready family: the static shard-confinement proof
+// ---------------------------------------------------------------------
+//
+// ROADMAP item 2 wants the engine sharded by hashing 4-tuples onto W
+// workers. That is only sound if (1) no trace-affecting crate keeps
+// process-global mutable state a shard could race on, (2) no `Rc` to
+// TCB/engine state escapes foxtcp's public surface (an `Rc` crossing a
+// shard boundary is a data race the type system cannot see once shards
+// run on threads), and (3) every TCB access routes through the
+// demux-owning engine modules. These three lints are that proof.
+
+fn lint_shard_global(cx: &FileCtx, out: &mut Vec<Violation>) {
+    let Some(k) = cx.krate else { return };
+    if !TRACE_CRATES.contains(&k) {
+        return;
+    }
+    for (i, t) in cx.toks.iter().enumerate() {
+        if t.is_ident("static") && cx.toks.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            cx.emit(
+                out,
+                t.line,
+                "shard_global",
+                "`static mut` in a trace-affecting crate: shards would race on it — move the \
+                 state into the engine (per-shard) or behind an explicit channel"
+                    .into(),
+            );
+        }
+        if t.is_ident("thread_local") && cx.toks.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+            cx.emit(
+                out,
+                t.line,
+                "shard_global",
+                "`thread_local!` in a trace-affecting crate: per-thread state silently diverges \
+                 across shards — make it per-engine, or allow with a reason why it cannot \
+                 affect traces"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// Scans a `pub` item signature for an `Rc` mention. The signature runs
+/// from the token after `pub` to the first `;`, `{`, `}` or `,` at
+/// paren/bracket depth zero — a field ends at its comma, a fn at its
+/// body brace, a type alias at its semicolon. (Commas inside a generic
+/// parameter list are not depth-tracked; a signature like
+/// `pub fn f<A, B>() -> Rc<T>` ends the scan early. The codebase does
+/// not use that shape for shared state, and a missed site still fails
+/// the runtime coverage ratchet it would break.)
+fn lint_shard_rc(cx: &FileCtx, out: &mut Vec<Violation>) {
+    if !cx.rel.starts_with("crates/foxtcp/src/") {
+        return;
+    }
+    let toks = cx.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` never escape the crate.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match toks[j].punct() {
+                Some("(") | Some("[") => depth += 1,
+                Some(")") | Some("]") => depth -= 1,
+                Some(";") | Some("{") | Some("}") | Some(",") if depth == 0 => break,
+                _ => {}
+            }
+            if toks[j].is_ident("Rc") {
+                cx.emit(
+                    out,
+                    toks[j].line,
+                    "shard_rc",
+                    "`Rc` in a crate-public foxtcp signature: a shared handle crossing the crate \
+                     boundary cannot be confined to one shard — make it pub(crate) or expose a \
+                     method instead"
+                        .into(),
+                );
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// Files allowed to touch `.tcb` directly: the TCB itself and the
+/// engine that owns the demux table. `control/` and `data/` are the
+/// engine's own halves (scoped further by `ctrl_data`).
+const TCB_ROUTE_FILES: &[&str] = &["crates/foxtcp/src/tcb.rs", "crates/foxtcp/src/engine.rs"];
+
+fn lint_shard_tcb(cx: &FileCtx, out: &mut Vec<Violation>) {
+    let Some(k) = cx.krate else { return };
+    if !TRACE_CRATES.contains(&k) {
+        return;
+    }
+    if cx.rel.starts_with(CONTROL_PREFIX)
+        || cx.rel.starts_with(DATA_PREFIX)
+        || TCB_ROUTE_FILES.contains(&cx.rel)
+    {
+        return;
+    }
+    for w in cx.toks.windows(2) {
+        let [dot, field] = w else { continue };
+        if dot.is_punct(".") && field.is_ident("tcb") {
+            cx.emit(
+                out,
+                field.line,
+                "shard_tcb",
+                "direct `.tcb` access outside the engine modules: per-connection state is \
+                 reachable only through the demux-owning engine — use the engine API"
+                    .into(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Per-file driver
 // ---------------------------------------------------------------------
 
@@ -816,6 +956,9 @@ pub fn lint_source(rel: &str, src: &str) -> (Vec<Violation>, usize) {
     lint_cc_write(&cx, &mut raw);
     lint_win_cast(&cx, &mut raw);
     lint_ctrl_data(&cx, &mut raw);
+    lint_shard_global(&cx, &mut raw);
+    lint_shard_rc(&cx, &mut raw);
+    lint_shard_tcb(&cx, &mut raw);
     // Apply allow directives: a valid allow suppresses matching
     // violations on its own line and the following line. A malformed
     // directive is itself a violation — the escape hatch must not decay.
@@ -961,6 +1104,47 @@ pub fn render_baseline(c: &Counts) -> String {
     for ((lint, path), n) in c {
         s.push_str(&format!("{lint}\t{path}\t{n}\n"));
     }
+    s
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes violations as a JSON array of
+/// `{"file":…,"line":…,"lint":…,"message":…}` records (deterministic
+/// key and record order), for `foxlint --format json`.
+pub fn render_json(violations: &[Violation]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&v.path),
+            v.line,
+            json_escape(v.lint),
+            json_escape(&v.message),
+        ));
+    }
+    if !violations.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("]\n");
     s
 }
 

@@ -5,11 +5,14 @@
 //! cargo run -p foxlint -- --check              # default mode
 //! cargo run -p foxlint -- --update-baseline    # re-bless current counts
 //! cargo run -p foxlint -- --list               # describe the lints
+//! cargo run -p foxlint -- --format json        # machine-readable findings
+//! cargo run -p foxlint -- --fsm-check          # extracted FSM vs spec/tcp_fsm.txt
+//! cargo run -p foxlint -- --fsm-dot            # extracted FSM as Graphviz DOT
 //! ```
 //!
 //! Exit status 0 means no new violations and no stale baseline entries;
 //! anything else is 1, with every offending site printed as
-//! `file:line: lint: message`.
+//! `file:line: lint: message` (or as JSON records with `--format json`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,12 +22,22 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut update = false;
     let mut list = false;
+    let mut fsm_check = false;
+    let mut fsm_dot = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--check" => {}
             "--update-baseline" => update = true,
             "--list" => list = true,
+            "--fsm-check" => fsm_check = true,
+            "--fsm-dot" => fsm_dot = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => return usage("--format needs `text` or `json`"),
+            },
             "--root" => match args.next() {
                 Some(d) => root = PathBuf::from(d),
                 None => return usage("--root needs a directory"),
@@ -41,6 +54,21 @@ fn main() -> ExitCode {
             println!("{name}: {desc}");
         }
         return ExitCode::SUCCESS;
+    }
+    if fsm_dot {
+        match foxlint::fsm::extract_root(&root) {
+            Ok(graph) => {
+                print!("{}", foxlint::fsm::to_dot(&graph));
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("foxlint: fsm extraction failed:\n{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if fsm_check {
+        return run_fsm_check(&root);
     }
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("foxlint.baseline"));
 
@@ -70,6 +98,12 @@ fn main() -> ExitCode {
         }
     };
     let drift = foxlint::compare(&current, &baseline);
+
+    if json {
+        // Machine-readable findings: every current violation, whether
+        // baselined or new — consumers apply their own policy.
+        print!("{}", foxlint::render_json(&outcome.violations));
+    }
 
     let mut new = 0usize;
     for (lint, path, cur, base) in &drift.grown {
@@ -103,10 +137,49 @@ fn main() -> ExitCode {
     }
 }
 
+/// `--fsm-check`: extract the implemented transition graph and ratchet
+/// it against `spec/tcp_fsm.txt` in both directions.
+fn run_fsm_check(root: &std::path::Path) -> ExitCode {
+    let report = match foxlint::fsm::check_fsm(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("foxlint: fsm check failed:\n{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for ((from, to, trigger), sites) in &report.drift.code_only {
+        let at = sites.iter().map(|(f, l)| format!("{f}:{l}")).collect::<Vec<_>>().join(", ");
+        eprintln!(
+            "fsm: code implements {from} -> {to} : {trigger} (at {at}) but spec/tcp_fsm.txt \
+             does not list it — add the edge with its RFC citation, or fix the code"
+        );
+    }
+    for e in &report.drift.spec_only {
+        eprintln!(
+            "fsm: spec/tcp_fsm.txt:{} lists {} -> {} : {} but the control files do not \
+             implement it — implement the edge, or remove it from the spec",
+            e.line, e.from, e.to, e.trigger
+        );
+    }
+    println!(
+        "foxlint: fsm {} edges implemented, {} in spec, {} code-only, {} spec-only",
+        report.graph.edges.len(),
+        report.spec.len(),
+        report.drift.code_only.len(),
+        report.drift.spec_only.len(),
+    );
+    if report.drift.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!(
         "foxlint: {err}\n\
-         usage: foxlint [--check] [--update-baseline] [--list] [--root DIR] [--baseline FILE]"
+         usage: foxlint [--check] [--update-baseline] [--list] [--format text|json]\n\
+         \x20              [--fsm-check] [--fsm-dot] [--root DIR] [--baseline FILE]"
     );
     ExitCode::FAILURE
 }

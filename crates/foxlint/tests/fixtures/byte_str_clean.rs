@@ -1,0 +1,23 @@
+//! No-fire side of the byte-string pair: lint-named tokens inside every
+//! byte-string shape must not be misclassified as code.
+
+pub fn shapes() -> usize {
+    let plain = b"Instant SystemTime thread_rng";
+    let escaped = b"HashMap \"Instant\" \\";
+    let raw = br"RandomState \ no escapes";
+    let hashed = br#"DefaultHasher "quoted" inner"#;
+    let double = br##"Instant "# still inside"##;
+    let multiline = b"Instant
+        SystemTime";
+    let continued = b"thread_rng\
+        HashMap";
+    let ch = b'"';
+    plain.len()
+        + escaped.len()
+        + raw.len()
+        + hashed.len()
+        + double.len()
+        + multiline.len()
+        + continued.len()
+        + ch as usize
+}

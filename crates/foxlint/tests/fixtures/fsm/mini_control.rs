@@ -1,0 +1,73 @@
+//! A control/-shaped fixture with a known transition graph, exercising
+//! every extraction rule: early-return narrowing on state and flag
+//! guards, state matches with `|` patterns and payload skipping,
+//! `is_syn_received`/`is_synchronized` atoms, interprocedural context
+//! expansion, and the segment-flag trigger precedence.
+//!
+//! Expected graph (24 edges, RFC names):
+//!   open : CLOSED -> SYN-SENT
+//!   close: SYN-SENT -> CLOSED, ESTABLISHED -> FIN-WAIT-1
+//!   rst  : {SYN-RECEIVED, ESTABLISHED, FIN-WAIT-1, FIN-WAIT-2,
+//!           CLOSE-WAIT, CLOSING, LAST-ACK, TIME-WAIT} -> CLOSED
+//!   syn  : SYN-SENT -> ESTABLISHED
+//!   ack  : SYN-RECEIVED -> ESTABLISHED, FIN-WAIT-1 -> FIN-WAIT-2
+//!   timer: every non-CLOSED state -> CLOSED
+
+pub fn active_open(core: &mut Core) -> Result<(), Error> {
+    if core.state != TcpState::Closed {
+        return Err(Error::AlreadyOpen);
+    }
+    core.state = TcpState::SynSent { retries_left: 3 };
+    Ok(())
+}
+
+pub fn close(core: &mut Core) {
+    match core.state.clone() {
+        TcpState::SynSent { .. } => {
+            core.state = TcpState::Closed;
+        }
+        TcpState::Estab => core.state = TcpState::FinWait1 { fin_acked: false },
+        _ => {}
+    }
+}
+
+pub fn segment_arrives(core: &mut Core, seg: &Seg) {
+    if seg.header.flags.rst {
+        handle_rst(core);
+        return;
+    }
+    if seg.header.flags.syn {
+        if core.state == TcpState::SynSent {
+            core.state = TcpState::Estab;
+        }
+        return;
+    }
+    if !seg.header.flags.ack {
+        return;
+    }
+    if core.state.is_syn_received() {
+        core.state = TcpState::Estab;
+        return;
+    }
+    match core.state {
+        TcpState::FinWait1 { .. } => core.state = TcpState::FinWait2,
+        _ => {}
+    }
+}
+
+fn handle_rst(core: &mut Core) {
+    if core.state.is_synchronized() {
+        core.state = TcpState::Closed;
+    }
+}
+
+pub fn timer_expired(core: &mut Core) {
+    if core.state == TcpState::Closed {
+        return;
+    }
+    give_up(core);
+}
+
+fn give_up(core: &mut Core) {
+    core.state = TcpState::Closed;
+}

@@ -1,0 +1,24 @@
+//! No-fire side: immutable statics and engine-owned state are fine, and
+//! the allow escape hatch covers a justified thread_local.
+
+static GREETING: &str = "hello";
+pub static LIMITS: [u32; 2] = [1, 2];
+
+pub struct Engine {
+    packets_seen: u64,
+}
+
+impl Engine {
+    pub fn bump(&mut self) {
+        self.packets_seen += 1;
+    }
+}
+
+// foxlint::allow(shard_global): diagnostic counter, never read by trace-affecting code
+thread_local! {
+    static DIAG: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+pub fn greet() -> &'static str {
+    GREETING
+}

@@ -1,0 +1,14 @@
+//! Fire side: process-global mutable state a shard would race on.
+
+static mut PACKETS_SEEN: u64 = 0;
+
+thread_local! {
+    static SCRATCH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+pub fn bump() {
+    unsafe {
+        PACKETS_SEEN += 1;
+    }
+    SCRATCH.with(|s| s.set(s.get() + 1));
+}

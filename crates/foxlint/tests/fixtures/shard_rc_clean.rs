@@ -1,0 +1,16 @@
+//! No-fire side: crate-private `Rc` is fine (it cannot cross a shard
+//! boundary), and `Rc` inside a public fn's *body* is not a signature.
+
+pub(crate) type Handle = Rc<RefCell<Engine>>;
+
+pub struct Conn {
+    queue: Rc<RefCell<Fifo>>,
+    pub(crate) spare: Rc<RefCell<Fifo>>,
+}
+
+impl Conn {
+    pub fn depth(&self) -> usize {
+        let q: Rc<RefCell<Fifo>> = self.queue.clone();
+        q.borrow().len()
+    }
+}

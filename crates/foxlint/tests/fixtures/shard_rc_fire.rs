@@ -1,0 +1,14 @@
+//! Fire side: `Rc` handles to shared state escaping foxtcp's public
+//! surface — a type alias, a return type, and a public field.
+
+pub type Handle = Rc<RefCell<Engine>>;
+
+pub struct Conn {
+    pub queue: Rc<RefCell<Fifo>>,
+}
+
+impl Conn {
+    pub fn share(&self) -> Rc<RefCell<Fifo>> {
+        self.queue.clone()
+    }
+}

@@ -1,0 +1,7 @@
+//! No-fire side: state is observed through the engine API; a local
+//! named `tcb` without field access is not a TCB reach-through.
+
+pub fn peek(engine: &mut Engine, conn: ConnId) -> u32 {
+    let tcb = engine.window_of(conn);
+    tcb
+}

@@ -1,0 +1,8 @@
+//! Fire side: reaching into a connection's TCB from outside the engine
+//! modules instead of going through the demuxed engine API.
+
+pub fn peek(conns: &mut [Conn]) -> u32 {
+    let c = &mut conns[0];
+    c.core.tcb.snd_nxt = c.core.tcb.snd_una;
+    c.core.tcb.rcv_wnd()
+}

@@ -1,0 +1,176 @@
+//! Tests for the FSM extractor: a fixture control file with a known
+//! graph, the two-way spec ratchet (a deliberately missing transition
+//! and a deliberately spurious one), spec-parser rejection of malformed
+//! input, and idempotence of extraction over the real repository.
+
+use foxlint::fsm::{self, FsmGraph};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn mini_graph() -> FsmGraph {
+    let src = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/fsm/mini_control.rs"),
+    )
+    .expect("fixture");
+    fsm::extract(&[("mini_control.rs", &src)]).expect("extraction succeeds")
+}
+
+fn keys(g: &FsmGraph) -> Vec<String> {
+    g.keys().iter().map(|(f, t, tr)| format!("{f} -> {t} : {tr}")).collect()
+}
+
+#[test]
+fn fixture_graph_is_exactly_the_documented_one() {
+    let g = mini_graph();
+    let mut expected = vec![
+        "CLOSED -> SYN-SENT : open".to_string(),
+        "SYN-SENT -> CLOSED : close".to_string(),
+        "ESTABLISHED -> FIN-WAIT-1 : close".to_string(),
+        "SYN-SENT -> ESTABLISHED : syn".to_string(),
+        "SYN-RECEIVED -> ESTABLISHED : ack".to_string(),
+        "FIN-WAIT-1 -> FIN-WAIT-2 : ack".to_string(),
+    ];
+    for st in [
+        "SYN-RECEIVED",
+        "ESTABLISHED",
+        "FIN-WAIT-1",
+        "FIN-WAIT-2",
+        "CLOSE-WAIT",
+        "CLOSING",
+        "LAST-ACK",
+        "TIME-WAIT",
+    ] {
+        expected.push(format!("{st} -> CLOSED : rst"));
+    }
+    for st in [
+        "LISTEN",
+        "SYN-SENT",
+        "SYN-RECEIVED",
+        "ESTABLISHED",
+        "FIN-WAIT-1",
+        "FIN-WAIT-2",
+        "CLOSE-WAIT",
+        "CLOSING",
+        "LAST-ACK",
+        "TIME-WAIT",
+    ] {
+        expected.push(format!("{st} -> CLOSED : timer"));
+    }
+    expected.sort();
+    assert_eq!(keys(&g), expected);
+}
+
+#[test]
+fn write_sites_point_into_the_fixture() {
+    let g = mini_graph();
+    for sites in g.edges.values() {
+        for (file, line) in sites {
+            assert_eq!(file, "mini_control.rs");
+            assert!(*line > 0);
+        }
+    }
+}
+
+/// Spec text matching the fixture graph exactly.
+fn mini_spec_text() -> String {
+    let g = mini_graph();
+    g.keys().iter().map(|(f, t, tr)| format!("{f} -> {t} : {tr}\n")).collect()
+}
+
+#[test]
+fn matching_spec_diffs_clean() {
+    let spec = fsm::parse_spec(&mini_spec_text()).unwrap();
+    let d = fsm::diff_spec(&mini_graph(), &spec);
+    assert!(d.is_clean(), "{d:?}");
+}
+
+#[test]
+fn missing_transition_is_reported_as_spec_only() {
+    // The spec demands an edge the fixture deliberately does not
+    // implement: there is no FIN handling at all.
+    let mut text = mini_spec_text();
+    text.push_str("ESTABLISHED -> CLOSE-WAIT : fin\n");
+    let spec = fsm::parse_spec(&text).unwrap();
+    let d = fsm::diff_spec(&mini_graph(), &spec);
+    assert!(d.code_only.is_empty(), "{d:?}");
+    assert_eq!(d.spec_only.len(), 1);
+    assert_eq!(d.spec_only[0].key(), ("ESTABLISHED".into(), "CLOSE-WAIT".into(), "fin".into()));
+}
+
+#[test]
+fn spurious_transition_is_reported_as_code_only() {
+    // Drop one implemented edge from the spec: the extractor must flag
+    // the implementation as out in front of the contract.
+    let text: String = mini_spec_text()
+        .lines()
+        .filter(|l| *l != "SYN-SENT -> ESTABLISHED : syn")
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let spec = fsm::parse_spec(&text).unwrap();
+    let d = fsm::diff_spec(&mini_graph(), &spec);
+    assert!(d.spec_only.is_empty(), "{d:?}");
+    assert_eq!(d.code_only.len(), 1);
+    assert_eq!(d.code_only[0].0, ("SYN-SENT".into(), "ESTABLISHED".into(), "syn".into()));
+}
+
+#[test]
+fn spec_parser_rejects_malformed_input() {
+    assert!(fsm::parse_spec("NOWHERE -> CLOSED : rst").is_err(), "unknown state");
+    assert!(fsm::parse_spec("CLOSED -> LISTEN : shrug").is_err(), "unknown trigger");
+    assert!(fsm::parse_spec("CLOSED LISTEN open").is_err(), "missing arrow");
+    assert!(fsm::parse_spec("CLOSED -> LISTEN : open  @untested(both:)").is_err(), "empty reason");
+    assert!(fsm::parse_spec("CLOSED -> LISTEN : open  @untested(everyone: x)").is_err(), "bad scope");
+    assert!(fsm::parse_spec("CLOSED -> LISTEN : open\nCLOSED -> LISTEN : open").is_err(), "duplicate edge");
+}
+
+#[test]
+fn untested_scopes_resolve_per_stack() {
+    let spec = fsm::parse_spec(
+        "CLOSED -> LISTEN : open  @untested(both: a)\n\
+         CLOSED -> SYN-SENT : open  @untested(fox: b)\n\
+         LISTEN -> CLOSED : close  @untested(xk: c)\n\
+         SYN-SENT -> CLOSED : close\n",
+    )
+    .unwrap();
+    assert!(spec[0].untested_for("fox") && spec[0].untested_for("xk"));
+    assert!(spec[1].untested_for("fox") && !spec[1].untested_for("xk"));
+    assert!(!spec[2].untested_for("fox") && spec[2].untested_for("xk"));
+    assert!(!spec[3].untested_for("fox") && !spec[3].untested_for("xk"));
+}
+
+#[test]
+fn repo_extraction_is_idempotent_and_matches_spec() {
+    let root = repo_root();
+    let a = fsm::extract_root(&root).expect("first extraction");
+    let b = fsm::extract_root(&root).expect("second extraction");
+    assert_eq!(a, b, "extraction must be deterministic");
+    assert!(a.edges.len() >= 50, "the real machine has {} edges", a.edges.len());
+    // Spot-check the canonical handshake edges.
+    for key in [
+        ("LISTEN".to_string(), "SYN-RECEIVED".to_string(), "syn".to_string()),
+        ("SYN-SENT".to_string(), "ESTABLISHED".to_string(), "syn".to_string()),
+        ("SYN-RECEIVED".to_string(), "ESTABLISHED".to_string(), "ack".to_string()),
+    ] {
+        assert!(a.edges.contains_key(&key), "missing {key:?}");
+    }
+    // And the checked-in spec must match, exactly as ci.sh enforces.
+    let report = fsm::check_fsm(&root).expect("check_fsm");
+    assert!(report.drift.is_clean(), "code<->spec drift: {:?}", report.drift);
+}
+
+#[test]
+fn dot_output_is_deterministic_and_complete() {
+    let g = mini_graph();
+    let dot = fsm::to_dot(&g);
+    assert_eq!(dot, fsm::to_dot(&g));
+    assert!(dot.starts_with("// Generated by `foxlint --fsm-dot`"));
+    for (from, to, trigger) in g.keys() {
+        assert!(
+            dot.contains(&format!("\"{from}\" -> \"{to}\" [label=\"{trigger}\"")),
+            "missing {from}->{to}:{trigger} in DOT"
+        );
+    }
+}

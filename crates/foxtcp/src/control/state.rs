@@ -49,6 +49,9 @@ pub fn passive_open<P: Clone + PartialEq + Debug>(
 /// engine calls this instead of writing the state directly; every
 /// lifecycle write stays in `control`.
 pub fn spawn_embryonic<P: Clone + PartialEq + Debug>(core: &mut ConnCore<P>) {
+    // Embryonic TCBs are always minted fresh; the FSM extractor relies
+    // on this assertion to type the write as CLOSED -> LISTEN.
+    debug_assert!(core.state == TcpState::Closed);
     core.state = TcpState::Listen { backlog: 0 };
 }
 

@@ -202,6 +202,24 @@ where
     demux: Demux,
 }
 
+/// The transition-cause a segment carries, by flag precedence: an RST
+/// dominates everything, a SYN dominates FIN/ACK, a FIN dominates its
+/// piggybacked ACK. Matches the trigger vocabulary of
+/// `spec/tcp_fsm.txt` (see `foxlint --fsm-check`).
+fn seg_cause(f: &foxwire::tcp::TcpFlags) -> &'static str {
+    if f.rst {
+        "rst"
+    } else if f.syn {
+        "syn"
+    } else if f.fin {
+        "fin"
+    } else if f.ack {
+        "ack"
+    } else {
+        "seg"
+    }
+}
+
 /// Renders wire flags as the event layer's bitmask.
 fn obs_flags(f: &foxwire::tcp::TcpFlags) -> u8 {
     use foxbasis::obs::flags;
@@ -603,7 +621,15 @@ where
             let conn_obs_id = self.conns[idx].id;
             let state_before = if self.obs.is_on() {
                 self.obs.emit(now, conn_obs_id, || Event::Action { tag: action.tag() });
-                Some(self.conns[idx].core.state.name())
+                // Only segments and timers can move the state machine
+                // from inside the action loop; stamp the cause now,
+                // while the action still owns its segment.
+                let cause = match &action {
+                    TcpAction::ProcessData(seg, _) => seg_cause(&seg.header.flags),
+                    TcpAction::TimerExpiration(_) => "timer",
+                    _ => "action",
+                };
+                Some((self.conns[idx].core.state.name(), cause))
             } else {
                 None
             };
@@ -727,12 +753,15 @@ where
                     self.trace.trace(|| format!("conn {}: attack repelled {ev:?}", self.conns[idx].id));
                 }
             }
-            if let Some(before) = state_before {
+            if let Some((before, cause)) = state_before {
                 if let Some(i2) = self.index_of_id(conn_id) {
                     let after = self.conns[i2].core.state.name();
                     if before != after {
-                        self.obs
-                            .emit(now, conn_obs_id, || Event::StateTransition { from: before, to: after });
+                        self.obs.emit(now, conn_obs_id, || Event::StateTransition {
+                            from: before,
+                            to: after,
+                            cause,
+                        });
                     }
                 }
             }
@@ -925,6 +954,7 @@ where
                 self.obs.emit(now, id, || Event::StateTransition {
                     from: "Closed",
                     to: self.conns[idx].core.state.name(),
+                    cause: "open",
                 });
                 self.run_actions(id);
                 Ok(TcpConnId(id))
@@ -953,6 +983,7 @@ where
                 self.obs.emit(self.sched.now(), id, || Event::StateTransition {
                     from: "Closed",
                     to: self.conns[idx].core.state.name(),
+                    cause: "open",
                 });
                 Ok(TcpConnId(id))
             }
@@ -987,7 +1018,7 @@ where
         };
         let after = self.conns[i].core.state.name();
         if before != after {
-            self.obs.emit(now, conn.0, || Event::StateTransition { from: before, to: after });
+            self.obs.emit(now, conn.0, || Event::StateTransition { from: before, to: after, cause: "close" });
         }
         self.run_actions(conn.0);
         res
@@ -1003,7 +1034,11 @@ where
         };
         let after = self.conns[i].core.state.name();
         if before != after {
-            self.obs.emit(self.sched.now(), conn.0, || Event::StateTransition { from: before, to: after });
+            self.obs.emit(self.sched.now(), conn.0, || Event::StateTransition {
+                from: before,
+                to: after,
+                cause: "abort",
+            });
         }
         self.run_actions(conn.0);
         res

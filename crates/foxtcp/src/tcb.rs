@@ -33,7 +33,11 @@ use std::rc::Rc;
 /// Timer closures capture exactly this (never the engine or the TCB), so
 /// an expiration can only *enqueue* — the paper's rule that asynchronous
 /// events are synchronized by queuing actions.
-pub type ToDo<P> = Rc<RefCell<Fifo<TcpAction<P>>>>;
+///
+/// Crate-private on purpose (`shard_rc`): an `Rc` handle escaping the
+/// crate could pin a connection's queue to an alien shard. External
+/// code observes the queue through the engine API only.
+pub(crate) type ToDo<P> = Rc<RefCell<Fifo<TcpAction<P>>>>;
 
 /// The connection state (paper Fig. 6 `tcp_state`).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -328,7 +332,9 @@ pub struct Tcb<P> {
 
     // --- the control structure ---
     /// The to_do action queue (paper: `to_do: tcp_action Q.T ref`).
-    pub to_do: ToDo<P>,
+    /// Crate-private like [`ToDo`] itself; see `clear_pending_actions`
+    /// for the one sanctioned external operation.
+    pub(crate) to_do: ToDo<P>,
 }
 
 /// Maximum out-of-order segments held (smoltcp's upper configuration).
@@ -557,6 +563,13 @@ impl<P> Tcb<P> {
     /// ever scheduled against a connection).
     pub fn push_action(&self, action: TcpAction<P>) {
         self.to_do.borrow_mut().add(action);
+    }
+
+    /// Drops everything queued on the to_do queue without executing it.
+    /// For harnesses that drive the receive DAG without an engine
+    /// attached (the fuzz suite); the engine itself always drains.
+    pub fn clear_pending_actions(&self) {
+        self.to_do.borrow_mut().clear();
     }
 
     /// Inserts an out-of-order segment, keeping the queue sorted and

@@ -14,8 +14,18 @@
 //! differently: fox splits SYN-RECEIVED into `SynActive`/`SynPassive`
 //! (the paper's Fig. 6), and a connection that has been reaped reads as
 //! `CLOSED`.
+//!
+//! The scenarios live in one registry ([`SCENARIOS`]) so the suite can
+//! be ratcheted against the statically extracted state machine: every
+//! run records the `(state, trigger, state')` transitions each stack
+//! emits through `foxbasis::obs`, and
+//! [`runtime_transitions_cover_the_extracted_fsm_spec`] fails if any
+//! edge of `spec/tcp_fsm.txt` (itself diffed against the *code* by
+//! `foxlint --fsm-check`) is never exercised at runtime — unless the
+//! spec line carries a documented `@untested` exemption for that stack.
 
 use fox_scheduler::SchedHandle;
+use foxbasis::obs::{Event, EventSink};
 use foxbasis::seq::Seq;
 use foxbasis::time::{VirtualDuration, VirtualTime};
 use foxproto::Protocol;
@@ -24,6 +34,7 @@ use foxtcp::{ConnectingSocket, EstablishedSocket, ListeningSocket, Tcp, TcpConfi
 use foxwire::tcp::{TcpFlags, TcpHeader, TcpSegment};
 use simnet::HostHandle;
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::collections::VecDeque;
 use std::rc::Rc;
 use xktcp::{SockId, XkConfig, XkEvent, XkTcp};
@@ -46,6 +57,16 @@ enum Step {
     Connect,
     /// SUT: graceful close of the data connection.
     Close,
+    /// SUT: graceful close of the listener.
+    CloseListener,
+    /// SUT: queue a small payload on the data connection.
+    Send,
+    /// SUT: ABORT the data connection (fox only — the monolithic
+    /// baseline has no abort API, which `spec/tcp_fsm.txt` records as
+    /// `@untested(xk: ...)` on every abort edge).
+    Abort,
+    /// SUT: ABORT the listener (fox only).
+    AbortListener,
     /// Peer → SUT: bare SYN (consumes one peer sequence number).
     Syn,
     /// Peer → SUT: SYN+ACK acknowledging everything seen.
@@ -94,9 +115,25 @@ enum Pat {
 /// client, or the first child a listener spawns.
 trait Sut {
     fn kind(&self) -> &'static str;
+    /// Routes the stack's typed event stream into `sink` so the
+    /// coverage ratchet can read the transitions back out.
+    fn set_obs(&mut self, sink: EventSink);
     fn listen(&mut self);
     fn connect(&mut self);
     fn close_conn(&mut self);
+    fn close_listener(&mut self);
+    /// Queues a small payload on the data connection (it must be in a
+    /// state that accepts sends).
+    fn send_data(&mut self, data: &[u8]);
+    /// ABORT (RFC 793 p. 62) on the data connection. Scenarios using
+    /// this are marked [`Stacks::FoxOnly`]; the default is unreachable.
+    fn abort_conn(&mut self) {
+        panic!("[{}] stack has no abort API", self.kind());
+    }
+    /// ABORT on the listener (fox only, as above).
+    fn abort_listener(&mut self) {
+        panic!("[{}] stack has no abort API", self.kind());
+    }
     /// One step at `now`; returns true if progress was made.
     fn step(&mut self, now: VirtualTime) -> bool;
     /// Raw (un-normalized) state name of the data connection;
@@ -172,6 +209,10 @@ impl Sut for FoxSut {
         "fox"
     }
 
+    fn set_obs(&mut self, sink: EventSink) {
+        self.tcp.set_obs(sink);
+    }
+
     fn listen(&mut self) {
         let h = self.recorder();
         let sock = self.tcp.listen(SUT_LISTEN_PORT, h).unwrap();
@@ -197,6 +238,35 @@ impl Sut for FoxSut {
             },
             FoxConn::Established(sock) => sock.close(&mut self.tcp).unwrap(),
         }
+    }
+
+    fn close_listener(&mut self) {
+        // Keep `listener_id` so the state query still answers (reaped
+        // listeners read as CLOSED).
+        self.listener.take().expect("no listener to close").close(&mut self.tcp).unwrap();
+    }
+
+    fn send_data(&mut self, data: &[u8]) {
+        // Data moves only through the established-stage wrapper; the
+        // wrapper survives into CLOSE-WAIT, where RFC 793 still allows
+        // sends (only our peer has finished).
+        let Some(FoxConn::Established(est)) = &self.conn else {
+            panic!("send_data needs an established connection");
+        };
+        let n = est.send_data(&mut self.tcp, data).unwrap();
+        assert_eq!(n, data.len(), "send buffer accepted the payload");
+    }
+
+    fn abort_conn(&mut self) {
+        let id = self.conn_id.expect("no connection to abort");
+        self.conn = None; // the typed wrapper is dead with the connection
+        self.tcp.abort(id).unwrap();
+    }
+
+    fn abort_listener(&mut self) {
+        let id = self.listener_id.expect("no listener to abort");
+        self.listener = None;
+        self.tcp.abort(id).unwrap();
     }
 
     fn step(&mut self, now: VirtualTime) -> bool {
@@ -264,6 +334,10 @@ impl Sut for XkSut {
         "xk"
     }
 
+    fn set_obs(&mut self, sink: EventSink) {
+        self.tcp.set_obs(sink);
+    }
+
     fn listen(&mut self) {
         self.listener = Some(self.tcp.listen(SUT_LISTEN_PORT).unwrap());
     }
@@ -275,6 +349,17 @@ impl Sut for XkSut {
     fn close_conn(&mut self) {
         let c = self.conn.expect("no connection to close");
         self.tcp.close(c).unwrap();
+    }
+
+    fn close_listener(&mut self) {
+        let l = self.listener.expect("no listener to close");
+        self.tcp.close(l).unwrap();
+    }
+
+    fn send_data(&mut self, data: &[u8]) {
+        let c = self.conn.expect("no connection to send on");
+        let n = self.tcp.send(c, data).unwrap();
+        assert_eq!(n, data.len(), "send buffer accepted the payload");
     }
 
     fn step(&mut self, now: VirtualTime) -> bool {
@@ -418,6 +503,22 @@ impl Harness {
                     self.sut.close_conn();
                     self.settle();
                 }
+                Step::CloseListener => {
+                    self.sut.close_listener();
+                    self.settle();
+                }
+                Step::Send => {
+                    self.sut.send_data(b"ratchet");
+                    self.settle();
+                }
+                Step::Abort => {
+                    self.sut.abort_conn();
+                    self.settle();
+                }
+                Step::AbortListener => {
+                    self.sut.abort_listener();
+                    self.settle();
+                }
                 Step::Syn => {
                     let seq = self.peer_nxt;
                     self.peer_nxt = self.peer_nxt.wrapping_add(1);
@@ -512,17 +613,66 @@ impl Harness {
     }
 }
 
-/// Builds one stack's driver over a fresh link.
-type SutBuilder = fn(&LinkPair) -> Box<dyn Sut>;
+/// Which stacks a scenario runs on. Everything is [`Stacks::Both`]
+/// except the abort rows: the monolithic baseline has no abort API
+/// (the `@untested(xk: ...)` exemptions in `spec/tcp_fsm.txt`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Stacks {
+    Both,
+    FoxOnly,
+}
 
-/// Runs one scenario table against both stacks.
-fn conform(name: &str, steps: &[Step]) {
-    let builders: [SutBuilder; 2] = [|l| Box::new(FoxSut::new(l)), |l| Box::new(XkSut::new(l))];
-    for build in builders {
-        let link = LinkPair::new();
-        let sut = build(&link);
-        let mut h = Harness::new(&link, sut);
-        h.run(name, steps);
+/// One row of the conformance suite: a named step table and the stacks
+/// it applies to. The registry form (rather than free-standing tests)
+/// is what lets the coverage ratchet run *every* scenario and union the
+/// observed transitions.
+struct Scenario {
+    name: &'static str,
+    stacks: Stacks,
+    steps: &'static [Step],
+}
+
+impl Scenario {
+    fn runs_on(&self, stack: &str) -> bool {
+        self.stacks == Stacks::Both || stack == "fox"
+    }
+}
+
+/// Runs one scenario against one stack, returning the normalized
+/// `(from, trigger, to)` transitions the stack emitted while it ran.
+/// Normalized self-loops (e.g. a retransmission that re-enters the same
+/// RFC state) are dropped: the spec graph has no self-edges.
+fn run_on(stack: &'static str, sc: &Scenario) -> BTreeSet<(String, String, String)> {
+    let link = LinkPair::new();
+    let mut sut: Box<dyn Sut> = match stack {
+        "fox" => Box::new(FoxSut::new(&link)),
+        "xk" => Box::new(XkSut::new(&link)),
+        other => panic!("unknown stack {other:?}"),
+    };
+    let sink = EventSink::recording(1 << 16);
+    sut.set_obs(sink.clone());
+    let mut h = Harness::new(&link, sut);
+    h.run(sc.name, sc.steps);
+    let mut out = BTreeSet::new();
+    for ev in sink.events() {
+        if let Event::StateTransition { from, to, cause } = ev.event {
+            let (f, t) = (normalize(from), normalize(to));
+            if f != t {
+                out.insert((f.to_string(), cause.to_string(), t.to_string()));
+            }
+        }
+    }
+    assert_eq!(sink.dropped(), 0, "[{stack} · {}] event ring overflowed", sc.name);
+    out
+}
+
+/// Runs a registered scenario against every stack it applies to.
+fn conform(name: &str) {
+    let sc = SCENARIOS.iter().find(|s| s.name == name).expect("scenario not in SCENARIOS");
+    for stack in ["fox", "xk"] {
+        if sc.runs_on(stack) {
+            run_on(stack, sc);
+        }
     }
 }
 
@@ -530,14 +680,23 @@ fn conform(name: &str, steps: &[Step]) {
 
 use Step::*;
 
-/// RFC 793 §3.9, passive side: LISTEN → SYN-RECEIVED → ESTABLISHED,
-/// then the peer closes first: CLOSE-WAIT → LAST-ACK → CLOSED. The
-/// listener survives its child.
-#[test]
-fn passive_open_then_remote_close() {
-    conform(
-        "passive_open_then_remote_close",
-        &[
+/// How long the peer stays silent to exhaust a retransmission budget.
+/// The slower giver-upper is xk: 12 retransmits of a 1 s initial RTO
+/// backing off ×2 to the 64 s cap fire at 1+2+...+64·6 ≈ 511 s; the
+/// 13th fire finds the budget spent and closes. (fox's SYN states give
+/// up after `syn_retries = 5` ≈ 63 s, its other states on the same
+/// 12-retransmit budget.)
+const EXHAUST_MS: u64 = 540_000;
+
+/// 2MSL (60 s in both stacks' default configs), with margin.
+const TWO_MSL_MS: u64 = 61_000;
+
+static SCENARIOS: &[Scenario] = &[
+    // ---- the RFC 793 §3.9 diagram walks --------------------------
+    Scenario {
+        name: "passive_open_then_remote_close",
+        stacks: Stacks::Both,
+        steps: &[
             Listen,
             ExpectListener("LISTEN"),
             Syn,
@@ -555,17 +714,11 @@ fn passive_open_then_remote_close() {
             Expect("CLOSED"),
             ExpectListener("LISTEN"),
         ],
-    );
-}
-
-/// The quoted chain of the state diagram: a passively accepted child
-/// closes first and walks LISTEN → SYN-RECEIVED → ESTABLISHED →
-/// FIN-WAIT-1 → FIN-WAIT-2 → TIME-WAIT → CLOSED.
-#[test]
-fn passive_open_then_local_close() {
-    conform(
-        "passive_open_then_local_close",
-        &[
+    },
+    Scenario {
+        name: "passive_open_then_local_close",
+        stacks: Stacks::Both,
+        steps: &[
             Listen,
             Syn,
             Expect("SYN-RECEIVED"),
@@ -580,19 +733,14 @@ fn passive_open_then_local_close() {
             Fin,
             ExpectTx(Pat::AckOnly),
             Expect("TIME-WAIT"),
-            Wait(61_000),
+            Wait(TWO_MSL_MS),
             Expect("CLOSED"),
         ],
-    );
-}
-
-/// Active side: CLOSED → SYN-SENT → ESTABLISHED, local close through
-/// FIN-WAIT-1 → FIN-WAIT-2 → TIME-WAIT, and the 2MSL expiry.
-#[test]
-fn active_open_then_local_close() {
-    conform(
-        "active_open_then_local_close",
-        &[
+    },
+    Scenario {
+        name: "active_open_then_local_close",
+        stacks: Stacks::Both,
+        steps: &[
             Connect,
             ExpectTx(Pat::Syn),
             Expect("SYN-SENT"),
@@ -607,20 +755,14 @@ fn active_open_then_local_close() {
             Fin,
             ExpectTx(Pat::AckOnly),
             Expect("TIME-WAIT"),
-            Wait(61_000),
+            Wait(TWO_MSL_MS),
             Expect("CLOSED"),
         ],
-    );
-}
-
-/// Simultaneous open (RFC 793 p. 32): SYNs cross, both sides pass
-/// through SYN-RECEIVED. The SUT's own SYN is already in flight when
-/// the peer's bare SYN arrives.
-#[test]
-fn simultaneous_open() {
-    conform(
-        "simultaneous_open",
-        &[
+    },
+    Scenario {
+        name: "simultaneous_open",
+        stacks: Stacks::Both,
+        steps: &[
             Connect,
             ExpectTx(Pat::Syn),
             Expect("SYN-SENT"),
@@ -630,16 +772,11 @@ fn simultaneous_open() {
             Ack,
             Expect("ESTABLISHED"),
         ],
-    );
-}
-
-/// Simultaneous close (RFC 793 p. 39): FINs cross, so the SUT moves
-/// FIN-WAIT-1 → CLOSING → TIME-WAIT instead of through FIN-WAIT-2.
-#[test]
-fn simultaneous_close() {
-    conform(
-        "simultaneous_close",
-        &[
+    },
+    Scenario {
+        name: "simultaneous_close",
+        stacks: Stacks::Both,
+        steps: &[
             Connect,
             ExpectTx(Pat::Syn),
             SynAck,
@@ -652,32 +789,71 @@ fn simultaneous_close() {
             Expect("CLOSING"),
             Ack,
             Expect("TIME-WAIT"),
-            Wait(61_000),
+            Wait(TWO_MSL_MS),
             Expect("CLOSED"),
         ],
-    );
-}
-
-/// A connection request aimed at a port nobody listens on draws a RST
-/// (RFC 793 p. 36, "If the connection does not exist").
-#[test]
-fn syn_to_closed_port_draws_rst() {
-    conform("syn_to_closed_port_draws_rst", &[Syn, ExpectTx(Pat::Rst)]);
-}
-
-/// RST while in SYN-SENT (connection refused) kills the attempt.
-#[test]
-fn rst_in_syn_sent() {
-    conform("rst_in_syn_sent", &[Connect, ExpectTx(Pat::Syn), Expect("SYN-SENT"), Rst, Expect("CLOSED")]);
-}
-
-/// RST while in SYN-RECEIVED returns the passive side to anonymity:
-/// the embryonic child dies, the listener keeps listening.
-#[test]
-fn rst_in_syn_received() {
-    conform(
-        "rst_in_syn_received",
-        &[
+    },
+    // ---- FIN variants the diagram quotes but the walks miss ------
+    Scenario {
+        // The handshake-completing FIN+ACK: SYN-RECEIVED jumps straight
+        // to CLOSE-WAIT (RFC 793 p. 75 processes ACK, then FIN, in one
+        // segment).
+        name: "fin_completes_handshake_in_syn_received",
+        stacks: Stacks::Both,
+        steps: &[Listen, Syn, Expect("SYN-RECEIVED"), Fin, Expect("CLOSE-WAIT")],
+    },
+    Scenario {
+        // A FIN that also acknowledges our FIN: FIN-WAIT-1 jumps
+        // straight to TIME-WAIT, skipping FIN-WAIT-2.
+        name: "fin_acking_our_fin_skips_fin_wait_2",
+        stacks: Stacks::Both,
+        steps: &[
+            Listen,
+            Syn,
+            Ack,
+            Expect("ESTABLISHED"),
+            Close,
+            ExpectTx(Pat::Fin),
+            Expect("FIN-WAIT-1"),
+            Fin,
+            ExpectTx(Pat::AckOnly),
+            Expect("TIME-WAIT"),
+        ],
+    },
+    // ---- user closes from every closeable state ------------------
+    Scenario {
+        name: "close_in_listen",
+        stacks: Stacks::Both,
+        steps: &[Listen, ExpectListener("LISTEN"), CloseListener, ExpectListener("CLOSED")],
+    },
+    Scenario {
+        name: "close_in_syn_sent",
+        stacks: Stacks::Both,
+        steps: &[Connect, ExpectTx(Pat::Syn), Expect("SYN-SENT"), Close, Expect("CLOSED")],
+    },
+    Scenario {
+        // "Queue this until all preceding SENDs have been segmentized,
+        // then form a FIN": closing a half-open passive child enters
+        // FIN-WAIT-1 even though the handshake never completed.
+        name: "close_in_syn_received",
+        stacks: Stacks::Both,
+        steps: &[Listen, Syn, Expect("SYN-RECEIVED"), Close, Expect("FIN-WAIT-1")],
+    },
+    // ---- RST handling ---------------------------------------------
+    Scenario {
+        name: "syn_to_closed_port_draws_rst",
+        stacks: Stacks::Both,
+        steps: &[Syn, ExpectTx(Pat::Rst)],
+    },
+    Scenario {
+        name: "rst_in_syn_sent",
+        stacks: Stacks::Both,
+        steps: &[Connect, ExpectTx(Pat::Syn), Expect("SYN-SENT"), Rst, Expect("CLOSED")],
+    },
+    Scenario {
+        name: "rst_in_syn_received",
+        stacks: Stacks::Both,
+        steps: &[
             Listen,
             Syn,
             ExpectTx(Pat::SynAck),
@@ -686,27 +862,16 @@ fn rst_in_syn_received() {
             Expect("CLOSED"),
             ExpectListener("LISTEN"),
         ],
-    );
-}
-
-/// RST in ESTABLISHED tears the connection down immediately.
-#[test]
-fn rst_in_established() {
-    conform(
-        "rst_in_established",
-        &[Listen, Syn, Ack, Expect("ESTABLISHED"), Rst, Expect("CLOSED"), ExpectListener("LISTEN")],
-    );
-}
-
-/// RFC 5961 §3.2, negative path: an in-window RST that does not land
-/// exactly on RCV.NXT must NOT abort the connection — the SUT answers
-/// with a challenge ACK and stays put. The exact-sequence RST that
-/// follows is the one entitled to kill it.
-#[test]
-fn in_window_rst_challenges_instead_of_aborting() {
-    conform(
-        "in_window_rst_challenges_instead_of_aborting",
-        &[
+    },
+    Scenario {
+        name: "rst_in_established",
+        stacks: Stacks::Both,
+        steps: &[Listen, Syn, Ack, Expect("ESTABLISHED"), Rst, Expect("CLOSED"), ExpectListener("LISTEN")],
+    },
+    Scenario {
+        name: "in_window_rst_challenges_instead_of_aborting",
+        stacks: Stacks::Both,
+        steps: &[
             Listen,
             Syn,
             Ack,
@@ -718,16 +883,11 @@ fn in_window_rst_challenges_instead_of_aborting() {
             Expect("CLOSED"),
             ExpectListener("LISTEN"),
         ],
-    );
-}
-
-/// The challenge boundary is sharp: even one byte past RCV.NXT is "not
-/// exact" and must challenge, not abort.
-#[test]
-fn rst_one_byte_past_rcv_nxt_still_challenges() {
-    conform(
-        "rst_one_byte_past_rcv_nxt_still_challenges",
-        &[
+    },
+    Scenario {
+        name: "rst_one_byte_past_rcv_nxt_still_challenges",
+        stacks: Stacks::Both,
+        steps: &[
             Listen,
             Syn,
             Ack,
@@ -736,15 +896,11 @@ fn rst_one_byte_past_rcv_nxt_still_challenges() {
             Expect("ESTABLISHED"),
             ExpectTx(Pat::AckOnly),
         ],
-    );
-}
-
-/// RST in FIN-WAIT-1 (peer aborts mid-close).
-#[test]
-fn rst_in_fin_wait_1() {
-    conform(
-        "rst_in_fin_wait_1",
-        &[
+    },
+    Scenario {
+        name: "rst_in_fin_wait_1",
+        stacks: Stacks::Both,
+        steps: &[
             Connect,
             ExpectTx(Pat::Syn),
             SynAck,
@@ -754,20 +910,643 @@ fn rst_in_fin_wait_1() {
             Rst,
             Expect("CLOSED"),
         ],
-    );
+    },
+    Scenario {
+        name: "rst_in_fin_wait_2",
+        stacks: Stacks::Both,
+        steps: &[
+            Connect,
+            ExpectTx(Pat::Syn),
+            SynAck,
+            Expect("ESTABLISHED"),
+            Close,
+            ExpectTx(Pat::Fin),
+            Ack,
+            Expect("FIN-WAIT-2"),
+            Rst,
+            Expect("CLOSED"),
+        ],
+    },
+    Scenario {
+        name: "rst_in_close_wait",
+        stacks: Stacks::Both,
+        steps: &[Listen, Syn, Ack, Fin, Expect("CLOSE-WAIT"), Rst, Expect("CLOSED")],
+    },
+    Scenario {
+        name: "rst_in_closing",
+        stacks: Stacks::Both,
+        steps: &[
+            Connect,
+            ExpectTx(Pat::Syn),
+            SynAck,
+            Close,
+            ExpectTx(Pat::Fin),
+            FinCrossing,
+            Expect("CLOSING"),
+            Rst,
+            Expect("CLOSED"),
+        ],
+    },
+    Scenario {
+        name: "rst_in_last_ack",
+        stacks: Stacks::Both,
+        steps: &[
+            Listen,
+            Syn,
+            Ack,
+            Fin,
+            Expect("CLOSE-WAIT"),
+            Close,
+            Expect("LAST-ACK"),
+            Rst,
+            Expect("CLOSED"),
+        ],
+    },
+    Scenario {
+        name: "rst_in_time_wait",
+        stacks: Stacks::Both,
+        steps: &[
+            Listen,
+            Syn,
+            Ack,
+            Close,
+            ExpectTx(Pat::Fin),
+            Ack,
+            Fin,
+            Expect("TIME-WAIT"),
+            Rst,
+            Expect("CLOSED"),
+        ],
+    },
+    Scenario {
+        name: "rst_in_listen_is_ignored",
+        stacks: Stacks::Both,
+        steps: &[Listen, Rst, ExpectListener("LISTEN")],
+    },
+    // ---- in-window SYN is an error in every synchronized state ----
+    // "If the SYN is in the window it is an error, send a reset ...
+    // and return." (RFC 793 p. 71.)
+    Scenario {
+        name: "syn_in_syn_received_resets",
+        stacks: Stacks::Both,
+        steps: &[Listen, Syn, Expect("SYN-RECEIVED"), Syn, ExpectTx(Pat::Rst), Expect("CLOSED")],
+    },
+    Scenario {
+        name: "syn_in_established_resets",
+        stacks: Stacks::Both,
+        steps: &[Listen, Syn, Ack, Expect("ESTABLISHED"), Syn, ExpectTx(Pat::Rst), Expect("CLOSED")],
+    },
+    Scenario {
+        name: "syn_in_fin_wait_1_resets",
+        stacks: Stacks::Both,
+        steps: &[Listen, Syn, Ack, Close, ExpectTx(Pat::Fin), Expect("FIN-WAIT-1"), Syn, Expect("CLOSED")],
+    },
+    Scenario {
+        name: "syn_in_fin_wait_2_resets",
+        stacks: Stacks::Both,
+        steps: &[
+            Listen,
+            Syn,
+            Ack,
+            Close,
+            ExpectTx(Pat::Fin),
+            Ack,
+            Expect("FIN-WAIT-2"),
+            Syn,
+            Expect("CLOSED"),
+        ],
+    },
+    Scenario {
+        name: "syn_in_close_wait_resets",
+        stacks: Stacks::Both,
+        steps: &[Listen, Syn, Ack, Fin, Expect("CLOSE-WAIT"), Syn, Expect("CLOSED")],
+    },
+    Scenario {
+        name: "syn_in_closing_resets",
+        stacks: Stacks::Both,
+        steps: &[
+            Connect,
+            ExpectTx(Pat::Syn),
+            SynAck,
+            Close,
+            ExpectTx(Pat::Fin),
+            FinCrossing,
+            Expect("CLOSING"),
+            Syn,
+            Expect("CLOSED"),
+        ],
+    },
+    Scenario {
+        name: "syn_in_last_ack_resets",
+        stacks: Stacks::Both,
+        steps: &[Listen, Syn, Ack, Fin, Close, Expect("LAST-ACK"), Syn, Expect("CLOSED")],
+    },
+    Scenario {
+        name: "syn_in_time_wait_resets",
+        stacks: Stacks::Both,
+        steps: &[Listen, Syn, Ack, Close, Ack, Fin, Expect("TIME-WAIT"), Syn, Expect("CLOSED")],
+    },
+    // ---- retransmission budgets give up (the paper's user timeout) --
+    Scenario {
+        name: "handshake_times_out_in_syn_sent",
+        stacks: Stacks::Both,
+        steps: &[Connect, ExpectTx(Pat::Syn), Expect("SYN-SENT"), Wait(EXHAUST_MS), Expect("CLOSED")],
+    },
+    Scenario {
+        // The embryonic child dies when its SYN-ACK is never answered;
+        // the listener is untouched.
+        name: "syn_ack_retransmits_exhaust_in_syn_received",
+        stacks: Stacks::Both,
+        steps: &[
+            Listen,
+            Syn,
+            Expect("SYN-RECEIVED"),
+            Wait(EXHAUST_MS),
+            Expect("CLOSED"),
+            ExpectListener("LISTEN"),
+        ],
+    },
+    Scenario {
+        name: "unacked_data_times_out_in_established",
+        stacks: Stacks::Both,
+        steps: &[Listen, Syn, Ack, Expect("ESTABLISHED"), Send, Wait(EXHAUST_MS), Expect("CLOSED")],
+    },
+    Scenario {
+        name: "unacked_fin_times_out_in_fin_wait_1",
+        stacks: Stacks::Both,
+        steps: &[
+            Listen,
+            Syn,
+            Ack,
+            Close,
+            ExpectTx(Pat::Fin),
+            Expect("FIN-WAIT-1"),
+            Wait(EXHAUST_MS),
+            Expect("CLOSED"),
+        ],
+    },
+    Scenario {
+        // RFC 793 still allows SENDs in CLOSE-WAIT; if the peer (which
+        // already finished its side) never acknowledges them, the
+        // budget runs out there too.
+        name: "unacked_data_times_out_in_close_wait",
+        stacks: Stacks::Both,
+        steps: &[Listen, Syn, Ack, Fin, Expect("CLOSE-WAIT"), Send, Wait(EXHAUST_MS), Expect("CLOSED")],
+    },
+    Scenario {
+        name: "unacked_fin_times_out_in_closing",
+        stacks: Stacks::Both,
+        steps: &[
+            Connect,
+            ExpectTx(Pat::Syn),
+            SynAck,
+            Close,
+            ExpectTx(Pat::Fin),
+            FinCrossing,
+            Expect("CLOSING"),
+            Wait(EXHAUST_MS),
+            Expect("CLOSED"),
+        ],
+    },
+    Scenario {
+        name: "unacked_fin_times_out_in_last_ack",
+        stacks: Stacks::Both,
+        steps: &[
+            Listen,
+            Syn,
+            Ack,
+            Fin,
+            Expect("CLOSE-WAIT"),
+            Close,
+            Expect("LAST-ACK"),
+            Wait(EXHAUST_MS),
+            Expect("CLOSED"),
+        ],
+    },
+    // ---- ABORT from every state (fox only: xk has no abort API) ----
+    Scenario {
+        name: "abort_in_listen",
+        stacks: Stacks::FoxOnly,
+        steps: &[Listen, ExpectListener("LISTEN"), AbortListener, ExpectListener("CLOSED")],
+    },
+    Scenario {
+        name: "abort_in_syn_sent",
+        stacks: Stacks::FoxOnly,
+        steps: &[Connect, ExpectTx(Pat::Syn), Expect("SYN-SENT"), Abort, Expect("CLOSED")],
+    },
+    Scenario {
+        name: "abort_in_syn_received",
+        stacks: Stacks::FoxOnly,
+        steps: &[Listen, Syn, Expect("SYN-RECEIVED"), Abort, Expect("CLOSED"), ExpectListener("LISTEN")],
+    },
+    Scenario {
+        // A synchronized abort puts an RST on the wire (RFC 793 p. 62).
+        name: "abort_in_established",
+        stacks: Stacks::FoxOnly,
+        steps: &[Listen, Syn, Ack, Expect("ESTABLISHED"), Abort, ExpectTx(Pat::Rst), Expect("CLOSED")],
+    },
+    Scenario {
+        name: "abort_in_fin_wait_1",
+        stacks: Stacks::FoxOnly,
+        steps: &[Listen, Syn, Ack, Close, Expect("FIN-WAIT-1"), Abort, Expect("CLOSED")],
+    },
+    Scenario {
+        name: "abort_in_fin_wait_2",
+        stacks: Stacks::FoxOnly,
+        steps: &[Listen, Syn, Ack, Close, Ack, Expect("FIN-WAIT-2"), Abort, Expect("CLOSED")],
+    },
+    Scenario {
+        name: "abort_in_close_wait",
+        stacks: Stacks::FoxOnly,
+        steps: &[Listen, Syn, Ack, Fin, Expect("CLOSE-WAIT"), Abort, Expect("CLOSED")],
+    },
+    Scenario {
+        name: "abort_in_closing",
+        stacks: Stacks::FoxOnly,
+        steps: &[
+            Connect,
+            ExpectTx(Pat::Syn),
+            SynAck,
+            Close,
+            ExpectTx(Pat::Fin),
+            FinCrossing,
+            Expect("CLOSING"),
+            Abort,
+            Expect("CLOSED"),
+        ],
+    },
+    Scenario {
+        name: "abort_in_last_ack",
+        stacks: Stacks::FoxOnly,
+        steps: &[Listen, Syn, Ack, Fin, Close, Expect("LAST-ACK"), Abort, Expect("CLOSED")],
+    },
+    Scenario {
+        name: "abort_in_time_wait",
+        stacks: Stacks::FoxOnly,
+        steps: &[Listen, Syn, Ack, Close, Ack, Fin, Expect("TIME-WAIT"), Abort, Expect("CLOSED")],
+    },
+];
+
+// ------------------------------------------------- per-scenario tests
+
+/// RFC 793 §3.9, passive side: LISTEN → SYN-RECEIVED → ESTABLISHED,
+/// then the peer closes first: CLOSE-WAIT → LAST-ACK → CLOSED. The
+/// listener survives its child.
+#[test]
+fn passive_open_then_remote_close() {
+    conform("passive_open_then_remote_close");
 }
 
-/// RST in CLOSE-WAIT (peer aborts after half-closing).
+/// The quoted chain of the state diagram: a passively accepted child
+/// closes first and walks LISTEN → SYN-RECEIVED → ESTABLISHED →
+/// FIN-WAIT-1 → FIN-WAIT-2 → TIME-WAIT → CLOSED.
+#[test]
+fn passive_open_then_local_close() {
+    conform("passive_open_then_local_close");
+}
+
+/// Active side of the same walk: CLOSED → SYN-SENT → ESTABLISHED,
+/// then local close through TIME-WAIT.
+#[test]
+fn active_open_then_local_close() {
+    conform("active_open_then_local_close");
+}
+
+/// Simultaneous open: SYN-SENT → SYN-RECEIVED when a SYN (not a
+/// SYN-ACK) answers ours.
+#[test]
+fn simultaneous_open() {
+    conform("simultaneous_open");
+}
+
+/// Simultaneous close: FIN-WAIT-1 → CLOSING → TIME-WAIT when the FINs
+/// cross on the wire.
+#[test]
+fn simultaneous_close() {
+    conform("simultaneous_close");
+}
+
+/// An ACK-bearing FIN against SYN-RECEIVED completes the handshake and
+/// half-closes in one segment: SYN-RECEIVED → CLOSE-WAIT.
+#[test]
+fn fin_completes_handshake_in_syn_received() {
+    conform("fin_completes_handshake_in_syn_received");
+}
+
+/// A FIN that also acknowledges our FIN skips FIN-WAIT-2:
+/// FIN-WAIT-1 → TIME-WAIT.
+#[test]
+fn fin_acking_our_fin_skips_fin_wait_2() {
+    conform("fin_acking_our_fin_skips_fin_wait_2");
+}
+
+/// CLOSE in LISTEN tears the listener down.
+#[test]
+fn close_in_listen() {
+    conform("close_in_listen");
+}
+
+/// CLOSE in SYN-SENT deletes the embryonic connection without a FIN.
+#[test]
+fn close_in_syn_sent() {
+    conform("close_in_syn_sent");
+}
+
+/// CLOSE in SYN-RECEIVED queues a FIN: SYN-RECEIVED → FIN-WAIT-1.
+#[test]
+fn close_in_syn_received() {
+    conform("close_in_syn_received");
+}
+
+/// A SYN to a port nobody listens on draws an RST (RFC 793 p. 65).
+#[test]
+fn syn_to_closed_port_draws_rst() {
+    conform("syn_to_closed_port_draws_rst");
+}
+
+/// An acceptable RST in SYN-SENT kills the connection attempt.
+#[test]
+fn rst_in_syn_sent() {
+    conform("rst_in_syn_sent");
+}
+
+/// An RST against a half-open passive child reaps the child and leaves
+/// the listener in LISTEN.
+#[test]
+fn rst_in_syn_received() {
+    conform("rst_in_syn_received");
+}
+
+/// An exact-rcv_nxt RST in ESTABLISHED aborts the connection.
+#[test]
+fn rst_in_established() {
+    conform("rst_in_established");
+}
+
+/// RFC 5961 §3.2: an in-window RST that is not at exactly rcv_nxt
+/// draws a challenge ACK instead of aborting.
+#[test]
+fn in_window_rst_challenges_instead_of_aborting() {
+    conform("in_window_rst_challenges_instead_of_aborting");
+}
+
+/// The boundary case: one byte past rcv_nxt is still "in window,
+/// not exact" and must be challenged.
+#[test]
+fn rst_one_byte_past_rcv_nxt_still_challenges() {
+    conform("rst_one_byte_past_rcv_nxt_still_challenges");
+}
+
+/// An RST mid-close (FIN-WAIT-1) aborts the close handshake.
+#[test]
+fn rst_in_fin_wait_1() {
+    conform("rst_in_fin_wait_1");
+}
+
+/// An RST in FIN-WAIT-2 aborts the half-closed connection.
+#[test]
+fn rst_in_fin_wait_2() {
+    conform("rst_in_fin_wait_2");
+}
+
+/// An RST in CLOSE-WAIT aborts instead of finishing the close.
 #[test]
 fn rst_in_close_wait() {
-    conform("rst_in_close_wait", &[Listen, Syn, Ack, Fin, Expect("CLOSE-WAIT"), Rst, Expect("CLOSED")]);
+    conform("rst_in_close_wait");
+}
+
+/// An RST in CLOSING aborts the simultaneous close.
+#[test]
+fn rst_in_closing() {
+    conform("rst_in_closing");
+}
+
+/// An RST in LAST-ACK aborts instead of delivering the final ACK.
+#[test]
+fn rst_in_last_ack() {
+    conform("rst_in_last_ack");
+}
+
+/// An RST in TIME-WAIT releases the port before 2MSL expires.
+#[test]
+fn rst_in_time_wait() {
+    conform("rst_in_time_wait");
 }
 
 /// A listener ignores stray RSTs (RFC 793 p. 65, LISTEN: "An incoming
 /// RST should be ignored").
 #[test]
 fn rst_in_listen_is_ignored() {
-    conform("rst_in_listen_is_ignored", &[Listen, Rst, ExpectListener("LISTEN")]);
+    conform("rst_in_listen_is_ignored");
+}
+
+/// An in-window SYN in SYN-RECEIVED is an error: reset the connection.
+#[test]
+fn syn_in_syn_received_resets() {
+    conform("syn_in_syn_received_resets");
+}
+
+/// An in-window SYN in ESTABLISHED is an error: reset the connection.
+#[test]
+fn syn_in_established_resets() {
+    conform("syn_in_established_resets");
+}
+
+/// An in-window SYN in FIN-WAIT-1 is an error: reset the connection.
+#[test]
+fn syn_in_fin_wait_1_resets() {
+    conform("syn_in_fin_wait_1_resets");
+}
+
+/// An in-window SYN in FIN-WAIT-2 is an error: reset the connection.
+#[test]
+fn syn_in_fin_wait_2_resets() {
+    conform("syn_in_fin_wait_2_resets");
+}
+
+/// An in-window SYN in CLOSE-WAIT is an error: reset the connection.
+#[test]
+fn syn_in_close_wait_resets() {
+    conform("syn_in_close_wait_resets");
+}
+
+/// An in-window SYN in CLOSING is an error: reset the connection.
+#[test]
+fn syn_in_closing_resets() {
+    conform("syn_in_closing_resets");
+}
+
+/// An in-window SYN in LAST-ACK is an error: reset the connection.
+#[test]
+fn syn_in_last_ack_resets() {
+    conform("syn_in_last_ack_resets");
+}
+
+/// An in-window SYN in TIME-WAIT is an error: reset the connection.
+#[test]
+fn syn_in_time_wait_resets() {
+    conform("syn_in_time_wait_resets");
+}
+
+/// A SYN nobody answers exhausts its retransmission budget:
+/// SYN-SENT → CLOSED by timer.
+#[test]
+fn handshake_times_out_in_syn_sent() {
+    conform("handshake_times_out_in_syn_sent");
+}
+
+/// A SYN-ACK nobody answers exhausts its budget and reaps the child:
+/// SYN-RECEIVED → CLOSED by timer, listener untouched.
+#[test]
+fn syn_ack_retransmits_exhaust_in_syn_received() {
+    conform("syn_ack_retransmits_exhaust_in_syn_received");
+}
+
+/// Data the peer never acknowledges exhausts the budget:
+/// ESTABLISHED → CLOSED by timer.
+#[test]
+fn unacked_data_times_out_in_established() {
+    conform("unacked_data_times_out_in_established");
+}
+
+/// A FIN the peer never acknowledges exhausts the budget:
+/// FIN-WAIT-1 → CLOSED by timer.
+#[test]
+fn unacked_fin_times_out_in_fin_wait_1() {
+    conform("unacked_fin_times_out_in_fin_wait_1");
+}
+
+/// Data sent in CLOSE-WAIT that is never acknowledged exhausts the
+/// budget: CLOSE-WAIT → CLOSED by timer.
+#[test]
+fn unacked_data_times_out_in_close_wait() {
+    conform("unacked_data_times_out_in_close_wait");
+}
+
+/// A crossing FIN whose ACK never arrives exhausts the budget:
+/// CLOSING → CLOSED by timer.
+#[test]
+fn unacked_fin_times_out_in_closing() {
+    conform("unacked_fin_times_out_in_closing");
+}
+
+/// The final ACK never arrives: LAST-ACK → CLOSED by timer.
+#[test]
+fn unacked_fin_times_out_in_last_ack() {
+    conform("unacked_fin_times_out_in_last_ack");
+}
+
+/// ABORT in LISTEN deletes the listener (fox only).
+#[test]
+fn abort_in_listen() {
+    conform("abort_in_listen");
+}
+
+/// ABORT in SYN-SENT deletes the TCB without sending anything.
+#[test]
+fn abort_in_syn_sent() {
+    conform("abort_in_syn_sent");
+}
+
+/// ABORT in SYN-RECEIVED reaps the child; the listener survives.
+#[test]
+fn abort_in_syn_received() {
+    conform("abort_in_syn_received");
+}
+
+/// ABORT in ESTABLISHED puts an RST on the wire (RFC 793 p. 62).
+#[test]
+fn abort_in_established() {
+    conform("abort_in_established");
+}
+
+/// ABORT in FIN-WAIT-1 abandons the close handshake.
+#[test]
+fn abort_in_fin_wait_1() {
+    conform("abort_in_fin_wait_1");
+}
+
+/// ABORT in FIN-WAIT-2 abandons the half-closed connection.
+#[test]
+fn abort_in_fin_wait_2() {
+    conform("abort_in_fin_wait_2");
+}
+
+/// ABORT in CLOSE-WAIT abandons the close instead of finishing it.
+#[test]
+fn abort_in_close_wait() {
+    conform("abort_in_close_wait");
+}
+
+/// ABORT in CLOSING abandons the simultaneous close.
+#[test]
+fn abort_in_closing() {
+    conform("abort_in_closing");
+}
+
+/// ABORT in LAST-ACK abandons the wait for the final ACK.
+#[test]
+fn abort_in_last_ack() {
+    conform("abort_in_last_ack");
+}
+
+/// ABORT in TIME-WAIT releases the port before 2MSL expires.
+#[test]
+fn abort_in_time_wait() {
+    conform("abort_in_time_wait");
+}
+
+// ------------------------------------------------- the coverage ratchet
+
+/// Every transition the extracted spec (`spec/tcp_fsm.txt`) admits must
+/// be *witnessed at runtime* by some scenario above, per stack — and no
+/// scenario may witness a transition the spec does not admit. Edges a
+/// stack cannot reach are exempted in the spec file itself with
+/// `@untested(stack: reason)`, so skipping coverage is a reviewed spec
+/// edit, not a silent gap. New spec edges (from new code paths in
+/// `control/`) fail this test until a scenario exercises them: the
+/// ratchet only tightens.
+#[test]
+fn runtime_transitions_cover_the_extracted_fsm_spec() {
+    let spec_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../spec/tcp_fsm.txt");
+    let text = std::fs::read_to_string(spec_path).expect("read spec/tcp_fsm.txt");
+    let spec = foxlint::fsm::parse_spec(&text).expect("parse spec/tcp_fsm.txt");
+
+    let mut failures = Vec::new();
+    for stack in ["fox", "xk"] {
+        let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
+        for sc in SCENARIOS {
+            if sc.runs_on(stack) {
+                seen.extend(run_on(stack, sc));
+            }
+        }
+        // Nothing observed that the spec does not admit.
+        for (from, trigger, to) in &seen {
+            let admitted = spec.iter().any(|e| e.from == *from && e.to == *to && e.trigger == *trigger);
+            if !admitted {
+                failures.push(format!(
+                    "[{stack}] observed transition outside the spec: \
+                     {from} -> {to} : {trigger}"
+                ));
+            }
+        }
+        // Everything the spec admits (minus exemptions) observed.
+        let testable: Vec<_> = spec.iter().filter(|e| !e.untested_for(stack)).collect();
+        let mut covered = 0usize;
+        for e in &testable {
+            if seen.contains(&(e.from.clone(), e.trigger.clone(), e.to.clone())) {
+                covered += 1;
+            } else {
+                failures.push(format!(
+                    "[{stack}] spec edge never witnessed at runtime: \
+                     {} -> {} : {} (spec line {})",
+                    e.from, e.to, e.trigger, e.line
+                ));
+            }
+        }
+        println!("[{stack}] fsm coverage: {covered}/{} spec edges", testable.len());
+    }
+    assert!(failures.is_empty(), "fsm coverage ratchet failed:\n{}", failures.join("\n"));
 }
 
 // ------------------------------------------------- SYN-flood recovery

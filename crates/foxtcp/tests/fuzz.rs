@@ -108,7 +108,7 @@ proptest! {
         let mut core = estab_core();
         for (i, a) in segs.iter().enumerate() {
             let _ = receive::segment_arrives(&cfg, &mut core, to_segment(a), VirtualTime::from_millis(i as u64));
-            core.tcb.to_do.borrow_mut().clear();
+            core.tcb.clear_pending_actions();
             check_invariants(&core, "estab-fuzz");
             if core.state == TcpState::Closed {
                 break;
@@ -125,7 +125,7 @@ proptest! {
         let mut core = estab_core();
         for (i, a) in segs.iter().enumerate() {
             let _ = receive::segment_arrives(&cfg, &mut core, to_segment(a), VirtualTime::from_millis(i as u64));
-            core.tcb.to_do.borrow_mut().clear();
+            core.tcb.clear_pending_actions();
             check_invariants(&core, "window-fuzz");
             if core.state == TcpState::Closed {
                 break;
@@ -159,7 +159,7 @@ proptest! {
         }
         for (i, a) in segs.iter().enumerate() {
             let _ = receive::segment_arrives(&cfg, &mut core, to_segment(a), VirtualTime::from_millis(i as u64));
-            core.tcb.to_do.borrow_mut().clear();
+            core.tcb.clear_pending_actions();
             check_invariants(&core, "state-fuzz");
             if core.state == TcpState::Closed {
                 break;

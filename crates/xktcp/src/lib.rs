@@ -400,16 +400,21 @@ where
     }
 
     /// Emits a state transition if `before` is no longer the state of
-    /// socket `i` (callers snapshot before mutating).
-    fn note_transition(&mut self, i: usize, before: XkState) {
+    /// socket `i` (callers snapshot before mutating). `cause` names the
+    /// trigger in the `spec/tcp_fsm.txt` vocabulary: a user call, a
+    /// timer, or the arriving segment's dominant flag.
+    fn note_transition(&mut self, i: usize, before: XkState, cause: &'static str) {
         if !self.obs.is_on() {
             return;
         }
         let after = self.socks[i].state;
         if before as u32 != after as u32 {
             let conn = self.socks[i].id;
-            self.obs
-                .emit(self.now, conn, || Event::StateTransition { from: before.name(), to: after.name() });
+            self.obs.emit(self.now, conn, || Event::StateTransition {
+                from: before.name(),
+                to: after.name(),
+                cause,
+            });
         }
     }
 
@@ -493,7 +498,7 @@ where
         let id = self.new_socket(local_port, Some((remote, remote_port)));
         let i = self.idx(SockId(id)).expect("created");
         self.socks[i].state = XkState::SynSent;
-        self.note_transition(i, XkState::Closed);
+        self.note_transition(i, XkState::Closed, "open");
         self.send_syn(i, false);
         Ok(SockId(id))
     }
@@ -507,7 +512,7 @@ where
         let id = self.new_socket(local_port, None);
         let i = self.idx(SockId(id)).expect("created");
         self.socks[i].state = XkState::Listen;
-        self.note_transition(i, XkState::Closed);
+        self.note_transition(i, XkState::Closed, "open");
         Ok(SockId(id))
     }
 
@@ -562,7 +567,7 @@ where
             XkState::Listen | XkState::SynSent => {
                 self.socks[i].state = XkState::Closed;
                 self.socks[i].push_event(XkEvent::Closed);
-                self.note_transition(i, before);
+                self.note_transition(i, before, "close");
                 return Ok(());
             }
             XkState::Established | XkState::SynReceived => {
@@ -575,7 +580,7 @@ where
             }
             _ => return Err(ProtoError::Closing),
         }
-        self.note_transition(i, before);
+        self.note_transition(i, before, "close");
         self.output(i);
         Ok(())
     }
@@ -886,7 +891,7 @@ where
                         self.socks[i].state = XkState::Closed;
                         self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::TimeWait);
                         self.socks[i].push_event(XkEvent::Closed);
-                        self.note_transition(i, XkState::TimeWait);
+                        self.note_transition(i, XkState::TimeWait, "timer");
                     } else {
                         // Left TIME-WAIT some other way; re-entry re-arms.
                         self.socks[i].clear_timer(&mut self.wheel, XkTimerKind::TimeWait);
@@ -899,7 +904,7 @@ where
                     self.obs.emit(self.now, conn, || Event::TimerFire { timer: "Resend" });
                     let before = self.socks[i].state;
                     self.retransmit(i);
-                    self.note_transition(i, before);
+                    self.note_transition(i, before, "timer");
                 }
                 // Zero-window probe.
                 XkTimerKind::Persist => {
@@ -1108,9 +1113,15 @@ where
                                 flags: obs_flags(&h.flags),
                                 wnd: u32::from(h.window),
                             });
+                            // The child is spawned by the listener's
+                            // SYN: in spec vocabulary that is the
+                            // LISTEN -> SYN-RECEIVED edge, not a fresh
+                            // socket's CLOSED -> LISTEN (that edge
+                            // belongs to the `listen` user call).
                             self.obs.emit(self.now, conn, || Event::StateTransition {
-                                from: XkState::Closed.name(),
+                                from: XkState::Listen.name(),
                                 to: XkState::SynReceived.name(),
+                                cause: "syn",
                             });
                         }
                         self.socks[ci].rcv_nxt = h.seq + 1;
@@ -1151,10 +1162,11 @@ where
             });
         }
         let before = self.socks[i].state;
+        let cause = seg_cause(&h.flags);
         self.process_segment(i, seg);
         // `process_segment` never removes sockets (reaping happens in
         // `step`), so index `i` still names the same socket here.
-        self.note_transition(i, before);
+        self.note_transition(i, before, cause);
     }
 
     fn process_segment(&mut self, i: usize, seg: TcpSegment) {
@@ -1451,6 +1463,24 @@ where
         if self.socks[i].ack_owed && self.cfg.delayed_ack_ms.is_none() {
             self.send_ack(i);
         }
+    }
+}
+
+/// The transition-cause a segment carries, by flag precedence (`rst` >
+/// `syn` > `fin` > `ack`) — the `spec/tcp_fsm.txt` trigger vocabulary,
+/// kept identical to the structured stack's so both engines' observed
+/// edges resolve against the same spec.
+fn seg_cause(f: &TcpFlags) -> &'static str {
+    if f.rst {
+        "rst"
+    } else if f.syn {
+        "syn"
+    } else if f.fin {
+        "fin"
+    } else if f.ack {
+        "ack"
+    } else {
+        "seg"
     }
 }
 
